@@ -1,0 +1,201 @@
+//! The FFT-Hist example program (§6.2, Figure 5).
+//!
+//! A stream of `n × n` complex arrays flows through three tasks:
+//!
+//! * `colffts` — 1D FFTs on the columns;
+//! * `rowffts` — 1D FFTs on the rows (a transpose sits between the two);
+//! * `hist` — statistical analysis and output, with a sequential analysis
+//!   component and significant internal communication.
+//!
+//! The structural facts that drive the paper's optimal mapping:
+//!
+//! * `rowffts` and `hist` use the same data distribution → the edge
+//!   between them is [`TransferPattern::Aligned`](pipemap_machine::TransferPattern::Aligned) (free internally), so
+//!   merging them "eliminates the data transfer cost";
+//! * the `colffts → rowffts` transpose is an all-to-all whose "cost is
+//!   comparable whether they are mapped together or separately";
+//! * merging `colffts` into the big module raises the combined memory
+//!   floor, forcing larger instances on which `hist` (with its sequential
+//!   part and collective) runs inefficiently.
+
+use pipemap_machine::workload::{Collective, CollectivePattern};
+use pipemap_machine::{AppWorkload, EdgeWorkload, TaskWorkload};
+use pipemap_model::MemoryReq;
+
+/// Parameters of an FFT-Hist instance.
+#[derive(Clone, Copy, Debug)]
+pub struct FftHistConfig {
+    /// Array edge length `n` (the paper uses 256 and 512).
+    pub n: usize,
+    /// Effective flops per textbook FFT flop — calibration for the real
+    /// cost of a butterfly (memory traffic, index arithmetic) on the
+    /// reference machine. 1.0 means "peak-rate FFT".
+    pub fft_work_factor: f64,
+    /// Sequential analysis flops per array point in `hist` (output
+    /// formatting, global statistics).
+    pub hist_seq_flops_per_point: f64,
+    /// Parallelisable flops per array point in `hist`.
+    pub hist_par_flops_per_point: f64,
+    /// Per-processor per-data-set overhead flops of the FFT tasks (loop
+    /// startup, synchronisation).
+    pub fft_overhead_flops_per_proc: f64,
+}
+
+impl FftHistConfig {
+    /// The paper's 256 × 256 configuration.
+    pub fn n256() -> Self {
+        Self {
+            n: 256,
+            fft_work_factor: 12.0,
+            hist_seq_flops_per_point: 61.0,
+            hist_par_flops_per_point: 15.0,
+            fft_overhead_flops_per_proc: 30_000.0,
+        }
+    }
+
+    /// The paper's 512 × 512 configuration.
+    pub fn n512() -> Self {
+        Self {
+            n: 512,
+            ..Self::n256()
+        }
+    }
+
+    /// Total textbook FFT flops for one pass (`5 n² log2 n`).
+    pub fn fft_flops(&self) -> f64 {
+        let n = self.n as f64;
+        5.0 * n * n * n.log2() * self.fft_work_factor
+    }
+
+    /// Bytes of one `n × n` complex array (8-byte complex).
+    pub fn array_bytes(&self) -> f64 {
+        8.0 * (self.n * self.n) as f64
+    }
+}
+
+/// Build the FFT-Hist application workload.
+pub fn fft_hist(config: FftHistConfig) -> AppWorkload {
+    let n = config.n;
+    let points = (n * n) as f64;
+    let array = config.array_bytes();
+    let resident = 16e3;
+
+    let colffts = TaskWorkload {
+        name: "colffts".into(),
+        seq_flops: 0.0,
+        par_flops: config.fft_flops(),
+        grain: n as u64,
+        overhead_flops_per_proc: config.fft_overhead_flops_per_proc,
+        collective: None,
+        // Input + output array + transpose workspace: 20 bytes per point
+        // (the extra 4 n² beyond in+out is the send staging buffer).
+        memory: MemoryReq::new(resident, 2.5 * array),
+        replicable: true,
+    };
+
+    let rowffts = TaskWorkload {
+        name: "rowffts".into(),
+        seq_flops: 0.0,
+        par_flops: config.fft_flops(),
+        grain: n as u64,
+        overhead_flops_per_proc: config.fft_overhead_flops_per_proc,
+        collective: None,
+        memory: MemoryReq::new(resident, 2.0 * array),
+        replicable: true,
+    };
+
+    let hist = TaskWorkload {
+        name: "hist".into(),
+        seq_flops: config.hist_seq_flops_per_point * points,
+        par_flops: config.hist_par_flops_per_point * points,
+        grain: n as u64,
+        overhead_flops_per_proc: 10_000.0,
+        collective: Some(Collective {
+            pattern: CollectivePattern::AllToAll,
+            bytes: array,
+        }),
+        memory: MemoryReq::new(resident, array),
+        replicable: true,
+    };
+
+    AppWorkload::new(
+        format!("FFT-Hist {n}x{n}"),
+        vec![colffts, rowffts, hist],
+        vec![
+            // The transpose: full exchange of the array.
+            EdgeWorkload::all_to_all(array),
+            // Same distribution on both sides: free when clustered. When
+            // the tasks are split, the transfer moves the complex
+            // spectrum plus the magnitude plane hist's analysis starts
+            // from — twice the raw array.
+            EdgeWorkload::aligned(2.0 * array),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_machine::{synthesize_problem, MachineConfig};
+
+    #[test]
+    fn shape_matches_figure5() {
+        let app = fft_hist(FftHistConfig::n256());
+        assert_eq!(app.tasks.len(), 3);
+        assert_eq!(app.tasks[0].name, "colffts");
+        assert_eq!(app.tasks[1].name, "rowffts");
+        assert_eq!(app.tasks[2].name, "hist");
+        assert_eq!(app.edges.len(), 2);
+    }
+
+    #[test]
+    fn memory_floors_match_paper_table1() {
+        // §6.3: each instance of module 1 (colffts) needs ≥ 3 processors
+        // and module 2 (rowffts + hist) ≥ 4, for the 256² data set on the
+        // 0.5 MB/processor machine.
+        let machine = MachineConfig::iwarp_message();
+        let p = synthesize_problem(&fft_hist(FftHistConfig::n256()), &machine);
+        assert_eq!(p.module_floor(0, 0), Some(3), "colffts floor");
+        assert_eq!(p.module_floor(1, 2), Some(4), "rowffts+hist floor");
+    }
+
+    #[test]
+    fn memory_floors_512_force_low_replication() {
+        let machine = MachineConfig::iwarp_message();
+        let p = synthesize_problem(&fft_hist(FftHistConfig::n512()), &machine);
+        let f1 = p.module_floor(0, 0).unwrap();
+        let f2 = p.module_floor(1, 2).unwrap();
+        // 4× the data → roughly 4× the floors: replication on 64
+        // processors is limited to a handful of instances.
+        assert!((10..=13).contains(&f1), "colffts floor {f1}");
+        assert!((12..=16).contains(&f2), "module2 floor {f2}");
+        assert!(64 / f1 <= 5);
+        assert!(64 / f2 <= 4);
+    }
+
+    #[test]
+    fn merging_raises_the_floor() {
+        let machine = MachineConfig::iwarp_message();
+        let p = synthesize_problem(&fft_hist(FftHistConfig::n256()), &machine);
+        let merged = p.module_floor(0, 2).unwrap();
+        let separate = p.module_floor(1, 2).unwrap();
+        assert!(merged > separate, "merged {merged} vs module2 {separate}");
+    }
+
+    #[test]
+    fn aligned_edge_is_free_internally() {
+        let machine = MachineConfig::iwarp_message();
+        let p = synthesize_problem(&fft_hist(FftHistConfig::n256()), &machine);
+        assert_eq!(p.chain.edge(1).icom.eval(8), 0.0);
+        assert!(p.chain.edge(0).icom.eval(8) > 0.0);
+    }
+
+    #[test]
+    fn fft_flops_scale() {
+        let c256 = FftHistConfig::n256();
+        let c512 = FftHistConfig::n512();
+        // 4× points × 9/8 log factor.
+        let ratio = c512.fft_flops() / c256.fft_flops();
+        assert!((ratio - 4.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! # pipemap-apps
+//!
+//! Task-chain definitions of the applications the paper evaluates (§6):
+//!
+//! * [`fft_hist`] — the FFT-Hist example program: a stream of `n × n`
+//!   complex arrays through `colffts → rowffts → hist` (Figure 5), the
+//!   program behind Tables 1 and 2;
+//! * [`radar`] — narrowband tracking radar (512×10×4 data sets);
+//! * [`stereo`] — multibaseline stereo (256×100 data sets, the program
+//!   sketched in the paper's introduction).
+//!
+//! Each application is described by *operation counts and byte volumes*
+//! (see `pipemap_machine::workload`), not by ready-made polynomial
+//! coefficients, so the full pipeline — profile on the machine model, fit
+//! the §5 polynomials, optimise, simulate — is exercised end to end. The
+//! constants are calibrated so that on the default iWarp-like machine the
+//! throughput magnitudes land near the paper's reported numbers; the
+//! *shapes* (which tasks cluster, who replicates, who wins) follow from
+//! the structure, not from tuning.
+
+pub mod fft_hist;
+pub mod radar;
+pub mod stereo;
+pub mod synthetic;
+
+pub use fft_hist::{fft_hist, FftHistConfig};
+pub use radar::{radar, RadarConfig};
+pub use stereo::{stereo, StereoConfig};
+pub use synthetic::{synthetic_chain, ChainFlavor};

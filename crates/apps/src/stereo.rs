@@ -1,0 +1,181 @@
+//! Multibaseline stereo (§1, §6.4; Webb's parallel stereo program).
+//!
+//! "The first task captures three (or more) images from the cameras, the
+//! second task computes a difference image for each of 16 disparity
+//! levels, the third task computes an error image for each difference
+//! image, and the final task performs a minimum reduction across error
+//! images and computes the final depth image."
+//!
+//! The camera-capture stage is serialised on the frame grabber, so it is
+//! not replicable; the disparity stages have a grain of 16 (one unit per
+//! disparity level).
+
+use pipemap_machine::workload::{Collective, CollectivePattern};
+use pipemap_machine::{AppWorkload, EdgeWorkload, TaskWorkload};
+use pipemap_model::MemoryReq;
+
+/// Parameters of the stereo instance.
+#[derive(Clone, Copy, Debug)]
+pub struct StereoConfig {
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// Number of disparity levels.
+    pub disparities: usize,
+    /// Number of cameras.
+    pub cameras: usize,
+    /// Effective flops per abstract image operation (machine calibration).
+    pub work_factor: f64,
+}
+
+impl StereoConfig {
+    /// The paper's 256×100 configuration with 16 disparities and 3
+    /// cameras.
+    pub fn paper() -> Self {
+        Self {
+            width: 256,
+            height: 100,
+            disparities: 16,
+            cameras: 3,
+            // Pixel arithmetic is simple integer work; the effective
+            // per-operation inflation is far smaller than for an FFT
+            // butterfly.
+            work_factor: 3.0,
+        }
+    }
+
+    /// Pixels per image.
+    pub fn pixels(&self) -> f64 {
+        (self.width * self.height) as f64
+    }
+
+    /// Bytes of one grayscale image (1-byte pixels).
+    pub fn image_bytes(&self) -> f64 {
+        self.pixels()
+    }
+}
+
+/// Build the stereo application workload.
+pub fn stereo(config: StereoConfig) -> AppWorkload {
+    let pixels = config.pixels();
+    let image = config.image_bytes();
+    let disparity_volume = config.disparities as f64 * image;
+    let resident = 8e3;
+
+    let capture = TaskWorkload {
+        name: "capture".into(),
+        // Frame grabbing + de-bayer is serial per camera set.
+        seq_flops: 3.4 * pixels * config.cameras as f64,
+        par_flops: 1.0 * pixels * config.cameras as f64 * config.work_factor,
+        grain: config.cameras as u64,
+        overhead_flops_per_proc: 1_000.0,
+        collective: None,
+        memory: MemoryReq::new(resident, config.cameras as f64 * image),
+        replicable: false,
+    };
+
+    let difference = TaskWorkload {
+        name: "difference".into(),
+        seq_flops: 0.0,
+        par_flops: 4.0 * pixels * config.disparities as f64 * config.work_factor,
+        grain: config.disparities as u64,
+        overhead_flops_per_proc: 5_000.0,
+        collective: None,
+        memory: MemoryReq::new(resident, disparity_volume + image),
+        replicable: true,
+    };
+
+    let error = TaskWorkload {
+        name: "error".into(),
+        seq_flops: 0.0,
+        par_flops: 6.0 * pixels * config.disparities as f64 * config.work_factor,
+        grain: config.disparities as u64,
+        overhead_flops_per_proc: 5_000.0,
+        collective: None,
+        memory: MemoryReq::new(resident, 2.0 * disparity_volume),
+        replicable: true,
+    };
+
+    let depth = TaskWorkload {
+        name: "min-depth".into(),
+        seq_flops: 0.4 * pixels,
+        par_flops: 1.0 * pixels * config.disparities as f64 * config.work_factor,
+        grain: config.disparities as u64,
+        overhead_flops_per_proc: 2_000.0,
+        collective: Some(Collective {
+            pattern: CollectivePattern::Reduce,
+            bytes: image,
+        }),
+        memory: MemoryReq::new(resident, disparity_volume),
+        replicable: true,
+    };
+
+    AppWorkload::new(
+        format!("Stereo {}x{}", config.width, config.height),
+        vec![capture, difference, error, depth],
+        vec![
+            // Images fan out to the disparity workers.
+            EdgeWorkload {
+                bytes: config.cameras as f64 * image,
+                pattern: pipemap_machine::TransferPattern::Scatter,
+            },
+            EdgeWorkload::aligned(disparity_volume),
+            EdgeWorkload::aligned(disparity_volume),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_machine::{synthesize_problem, MachineConfig};
+
+    #[test]
+    fn capture_is_serialised() {
+        let app = stereo(StereoConfig::paper());
+        assert!(!app.tasks[0].replicable);
+        assert!(app.tasks[1..].iter().all(|t| t.replicable));
+    }
+
+    #[test]
+    fn disparity_grain_is_16() {
+        let app = stereo(StereoConfig::paper());
+        assert_eq!(app.tasks[1].grain, 16);
+        assert_eq!(app.tasks[2].grain, 16);
+    }
+
+    #[test]
+    fn aligned_disparity_edges() {
+        let machine = MachineConfig::iwarp_systolic();
+        let p = synthesize_problem(&stereo(StereoConfig::paper()), &machine);
+        assert_eq!(p.chain.edge(1).icom.eval(8), 0.0);
+        assert_eq!(p.chain.edge(2).icom.eval(8), 0.0);
+    }
+
+    #[test]
+    fn floors_are_modest() {
+        let machine = MachineConfig::iwarp_systolic();
+        let p = synthesize_problem(&stereo(StereoConfig::paper()), &machine);
+        for i in 0..4 {
+            let f = p.task_floor(i).unwrap();
+            assert!(f <= 8, "task {i} floor {f}");
+        }
+    }
+
+    #[test]
+    fn capture_rate_is_near_paper_throughput() {
+        // The serial capture stage caps throughput; the paper reports
+        // 43.1 data sets/second for the optimal mapping.
+        let machine = MachineConfig::iwarp_systolic();
+        let p = synthesize_problem(&stereo(StereoConfig::paper()), &machine);
+        let best_capture = (1..=16)
+            .map(|procs| p.chain.task(0).exec.eval(procs))
+            .fold(f64::INFINITY, f64::min);
+        let ceiling = 1.0 / best_capture;
+        assert!(
+            (30.0..=70.0).contains(&ceiling),
+            "capture ceiling {ceiling:.1}/s"
+        );
+    }
+}

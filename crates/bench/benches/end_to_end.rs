@@ -1,0 +1,44 @@
+//! Criterion benches of the end-to-end mapping tool (profile → fit → map
+//! → feasibility → simulate), greedy path — the cost of one full
+//! "automatic mapping" of each paper application, which is what a
+//! compile-time tool pays per program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipemap_apps::{fft_hist, radar, stereo, FftHistConfig, RadarConfig, StereoConfig};
+use pipemap_machine::MachineConfig;
+use pipemap_tool::{auto_map, MapperOptions};
+
+fn greedy_options() -> MapperOptions {
+    MapperOptions {
+        run_dp: false, // the DP path is benchmarked separately in solvers.rs
+        sim_datasets: 200,
+        ..MapperOptions::exact()
+    }
+}
+
+fn bench_auto_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("auto_map_greedy");
+    g.sample_size(10);
+    g.bench_function("fft_hist_256_message", |b| {
+        let app = fft_hist(FftHistConfig::n256());
+        let machine = MachineConfig::iwarp_message();
+        let opts = greedy_options();
+        b.iter(|| auto_map(&app, &machine, &opts).unwrap());
+    });
+    g.bench_function("radar_systolic", |b| {
+        let app = radar(RadarConfig::paper());
+        let machine = MachineConfig::iwarp_systolic();
+        let opts = greedy_options();
+        b.iter(|| auto_map(&app, &machine, &opts).unwrap());
+    });
+    g.bench_function("stereo_systolic", |b| {
+        let app = stereo(StereoConfig::paper());
+        let machine = MachineConfig::iwarp_systolic();
+        let opts = greedy_options();
+        b.iter(|| auto_map(&app, &machine, &opts).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_auto_map);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches of the real data parallel kernels in
+//! `pipemap-exec` — the computations the example pipelines actually run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipemap_exec::kernels::{
+    disparity_differences, error_images, fft_cols, fft_inplace, fft_rows, histogram, min_depth,
+    Complex, Image, Matrix,
+};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [256usize, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::new("1d", n), &n, |b, &n| {
+            let data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
+                .collect();
+            b.iter(|| {
+                let mut d = data.clone();
+                fft_inplace(&mut d);
+                d
+            });
+        });
+    }
+    g.bench_function("2d_128_rows_then_cols", |b| {
+        let m = Matrix::from_fn(128, |r, col| Complex::new((r + col) as f64, 0.0));
+        b.iter(|| {
+            let mut x = m.clone();
+            fft_cols(&mut x, 1);
+            fft_rows(&mut x, 1);
+            x
+        });
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let m = Matrix::from_fn(256, |r, col| Complex::new((r % 16) as f64, (col % 9) as f64));
+    let mut g = c.benchmark_group("histogram");
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("256x256/threads", threads), &threads, |b, &t| {
+            b.iter(|| histogram(&m, 64, 512.0, t));
+        });
+    }
+    g.finish();
+}
+
+fn bench_stereo(c: &mut Criterion) {
+    let reference = Image::from_fn(256, 64, |x, y| ((x * 7 + y * 13) % 251) as u8);
+    let other = Image::from_fn(256, 64, |x, y| {
+        if x + 3 < 256 {
+            reference.pixels[y * 256 + x + 3]
+        } else {
+            0
+        }
+    });
+    let mut g = c.benchmark_group("stereo");
+    g.bench_function("differences_8_disparities", |b| {
+        b.iter(|| disparity_differences(&other, &reference, 8, 1));
+    });
+    let diffs = disparity_differences(&other, &reference, 8, 1);
+    g.bench_function("error_images_window1", |b| {
+        b.iter(|| error_images(&diffs, 256, 64, 1, 1));
+    });
+    let errors = error_images(&diffs, 256, 64, 1, 1);
+    g.bench_function("min_depth", |b| {
+        b.iter(|| min_depth(&errors, 256, 64, 1));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_histogram, bench_stereo);
+criterion_main!(benches);

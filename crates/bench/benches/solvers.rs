@@ -1,0 +1,113 @@
+//! Criterion benches of the mapping algorithms: the `O(P⁴k²)` DP vs the
+//! `O(Pk)` greedy across processor counts — the scaling claim that
+//! motivates the heuristic (§4: the DP "can be unacceptably high when the
+//! number of processors is large, particularly when mapping tasks
+//! dynamically").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipemap_chain::{ChainBuilder, Edge, Problem, Task};
+use pipemap_core::{
+    best_latency_mapping, cluster_heuristic, dp_assignment, dp_mapping, greedy_assignment,
+    min_procs_mapping, GreedyOptions,
+};
+use pipemap_model::{MemoryReq, PolyEcom, PolyUnary};
+
+/// A deterministic synthetic chain of `k` tasks with non-trivial
+/// communication and memory floors.
+fn chain(k: usize) -> pipemap_chain::TaskChain {
+    let task = |i: usize| {
+        Task::new(
+            format!("t{i}"),
+            PolyUnary::new(0.1 + 0.02 * i as f64, 4.0 + i as f64, 0.01),
+        )
+        .with_memory(MemoryReq::new(1e3, 40e3 + 10e3 * i as f64))
+    };
+    let edge = |i: usize| {
+        Edge::new(
+            PolyUnary::new(0.02, 0.2, 0.0),
+            PolyEcom::new(0.05, 0.5 + 0.1 * i as f64, 0.5, 0.01, 0.01),
+        )
+    };
+    let mut b = ChainBuilder::new().task(task(0));
+    for i in 1..k {
+        b = b.edge(edge(i - 1)).task(task(i));
+    }
+    b.build()
+}
+
+fn problem(k: usize, p: usize) -> Problem {
+    Problem::new(chain(k), p, 64e3)
+}
+
+fn bench_dp_assignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_assignment");
+    for p in [16usize, 32, 64] {
+        g.bench_with_input(BenchmarkId::new("P", p), &p, |b, &p| {
+            let prob = problem(4, p);
+            b.iter(|| dp_assignment(&prob).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_dp_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_mapping");
+    g.sample_size(10);
+    for p in [16usize, 32, 64] {
+        g.bench_with_input(BenchmarkId::new("P", p), &p, |b, &p| {
+            let prob = problem(4, p);
+            b.iter(|| dp_mapping(&prob).unwrap());
+        });
+    }
+    for k in [2usize, 4, 6] {
+        g.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            let prob = problem(k, 32);
+            b.iter(|| dp_mapping(&prob).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy");
+    for p in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("assignment/P", p), &p, |b, &p| {
+            let prob = problem(4, p);
+            b.iter(|| greedy_assignment(&prob, GreedyOptions::paper()).unwrap());
+        });
+    }
+    for p in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("cluster_heuristic/P", p), &p, |b, &p| {
+            let prob = problem(4, p);
+            b.iter(|| cluster_heuristic(&prob, GreedyOptions::adaptive()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    for p in [16usize, 32] {
+        g.bench_with_input(BenchmarkId::new("latency_dp/P", p), &p, |b, &p| {
+            let prob = problem(4, p);
+            let thr = dp_mapping(&prob).unwrap().throughput;
+            b.iter(|| best_latency_mapping(&prob, 0.5 * thr).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("min_procs/P", p), &p, |b, &p| {
+            let prob = problem(4, p);
+            let thr = dp_mapping(&prob).unwrap().throughput;
+            b.iter(|| min_procs_mapping(&prob, 0.5 * thr).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dp_assignment,
+    bench_dp_mapping,
+    bench_greedy,
+    bench_extensions
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion benches of the substrate components: cost-table
+//! construction, rectangle packing, model fitting, throughput
+//! evaluation, and the pipeline simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipemap_apps::{fft_hist, FftHistConfig};
+use pipemap_chain::{CostTable, Mapping, ModuleAssignment};
+use pipemap_machine::{pack_rectangles, synthesize_problem, MachineConfig, PackRequest};
+use pipemap_profile::training::{fit_chain, profile_chain, TrainingConfig};
+use pipemap_profile::{fit_ecom, fit_unary, FitOptions};
+use pipemap_sim::{simulate, SimConfig};
+
+fn bench_cost_table(c: &mut Criterion) {
+    let machine = MachineConfig::iwarp_message();
+    let problem = synthesize_problem(&fft_hist(FftHistConfig::n256()), &machine);
+    c.bench_function("cost_table/fft_hist_256_p64", |b| {
+        b.iter(|| CostTable::build(&problem));
+    });
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packing");
+    // The paper's Table 1 row 1 layout: 8×3 + 10×4 on an 8×8 array.
+    g.bench_function("table1_row1", |b| {
+        let mut areas = vec![3usize; 8];
+        areas.extend(vec![4usize; 10]);
+        b.iter(|| pack_rectangles(&PackRequest::new(8, 8, areas.clone())).is_some());
+    });
+    // An infeasible case must also resolve quickly.
+    g.bench_function("infeasible_prime", |b| {
+        b.iter(|| pack_rectangles(&PackRequest::new(8, 8, vec![20, 14, 14, 13])).is_none());
+    });
+    g.finish();
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fitting");
+    let unary: Vec<(usize, f64)> = [1usize, 2, 3, 4, 8, 16, 32, 64]
+        .iter()
+        .map(|&p| (p, 0.3 + 5.0 / p as f64 + 0.01 * p as f64))
+        .collect();
+    g.bench_function("fit_unary_8pts", |b| {
+        b.iter(|| fit_unary(&unary, FitOptions::default()));
+    });
+    let ecom: Vec<((usize, usize), f64)> = [
+        (1usize, 1usize),
+        (2, 2),
+        (4, 4),
+        (8, 8),
+        (16, 16),
+        (2, 16),
+        (16, 2),
+        (4, 8),
+        (8, 4),
+    ]
+    .iter()
+    .map(|&(s, r)| ((s, r), 0.1 + 1.0 / s as f64 + 1.5 / r as f64))
+    .collect();
+    g.bench_function("fit_ecom_9pts", |b| {
+        b.iter(|| fit_ecom(&ecom, FitOptions::default()));
+    });
+    let machine = MachineConfig::iwarp_message();
+    let problem = synthesize_problem(&fft_hist(FftHistConfig::n256()), &machine);
+    let cfg = TrainingConfig::for_procs(64);
+    g.bench_function("profile_and_fit_fft_hist", |b| {
+        b.iter(|| {
+            let profile = profile_chain(&problem.chain, &cfg);
+            fit_chain(&problem.chain, &profile, FitOptions::default())
+        });
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let machine = MachineConfig::iwarp_message();
+    let problem = synthesize_problem(&fft_hist(FftHistConfig::n256()), &machine);
+    // The paper's optimal mapping.
+    let mapping = Mapping::new(vec![
+        ModuleAssignment::new(0, 0, 8, 3),
+        ModuleAssignment::new(1, 2, 10, 4),
+    ]);
+    let mut g = c.benchmark_group("simulator");
+    for n in [200usize, 1000] {
+        g.bench_with_input(BenchmarkId::new("datasets", n), &n, |b, &n| {
+            let cfg = SimConfig::with_datasets(n);
+            b.iter(|| simulate(&problem.chain, &mapping, &cfg));
+        });
+    }
+    g.bench_function("datasets/1000_noisy", |b| {
+        let cfg = SimConfig::with_datasets(1000).with_noise(0.05, 42);
+        b.iter(|| simulate(&problem.chain, &mapping, &cfg));
+    });
+    g.finish();
+}
+
+fn bench_throughput_eval(c: &mut Criterion) {
+    let machine = MachineConfig::iwarp_message();
+    let problem = synthesize_problem(&fft_hist(FftHistConfig::n256()), &machine);
+    let mapping = Mapping::new(vec![
+        ModuleAssignment::new(0, 0, 8, 3),
+        ModuleAssignment::new(1, 2, 10, 4),
+    ]);
+    c.bench_function("throughput_eval/fft_hist", |b| {
+        b.iter(|| pipemap_chain::throughput(&problem.chain, &mapping));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cost_table,
+    bench_packing,
+    bench_fitting,
+    bench_simulator,
+    bench_throughput_eval
+);
+criterion_main!(benches);

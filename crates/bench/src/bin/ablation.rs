@@ -1,0 +1,207 @@
+//! Ablation studies backing the design decisions (DESIGN.md A1–A3):
+//!
+//! * **A1** — solution quality and runtime of the DP vs the greedy
+//!   heuristic vs brute force over random chains (the paper's claim that
+//!   the greedy is near-optimal at a fraction of the cost);
+//! * **A2** — the value of a real communication model: mappings computed
+//!   with communication ignored (the Choudhary-et-al. regime the paper
+//!   argues against) evaluated under the true model;
+//! * **A3** — the §3.2 maximal-replication rule vs a free replication
+//!   search, on the radar pipeline where tiny instances hurt their
+//!   neighbours' transfers.
+
+use std::time::Instant;
+
+use pipemap_apps::{radar, RadarConfig};
+use pipemap_chain::{throughput, ChainBuilder, Edge, Problem, Task};
+use pipemap_core::{
+    brute_force_mapping, cluster_heuristic, dp_mapping, GreedyOptions, SolveError,
+};
+use pipemap_machine::{feasible_optimal, synthesize_problem, FeasibleSearch, MachineConfig};
+use pipemap_model::{PolyEcom, PolyUnary, UnaryCost};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_problem(rng: &mut StdRng, k: usize, p: usize) -> Problem {
+    let mut b = ChainBuilder::new().task(random_task(rng, 0));
+    for i in 1..k {
+        b = b.edge(random_edge(rng)).task(random_task(rng, i));
+    }
+    Problem::new(b.build(), p, 1e9).without_replication()
+}
+
+fn random_task(rng: &mut StdRng, i: usize) -> Task {
+    Task::new(
+        format!("t{i}"),
+        PolyUnary::new(
+            rng.gen_range(0.0..0.5),
+            rng.gen_range(1.0..10.0),
+            rng.gen_range(0.0..0.05),
+        ),
+    )
+}
+
+fn random_edge(rng: &mut StdRng) -> Edge {
+    Edge::new(
+        PolyUnary::new(rng.gen_range(0.0..0.3), rng.gen_range(0.0..1.0), 0.0),
+        PolyEcom::new(
+            rng.gen_range(0.0..0.5),
+            rng.gen_range(0.0..2.0),
+            rng.gen_range(0.0..2.0),
+            rng.gen_range(0.0..0.05),
+            rng.gen_range(0.0..0.05),
+        ),
+    )
+}
+
+fn ablation_a1() {
+    println!("A1: solver quality and runtime (random chains, no replication)\n");
+    println!(
+        "{:>3} {:>4} | {:>10} {:>10} {:>10} | {:>10} {:>10} | {:>8}",
+        "k", "P", "brute", "dp", "greedy", "dp time", "greedy t", "gap%"
+    );
+    let mut rng = StdRng::seed_from_u64(2024);
+    for (k, p, trials) in [(3usize, 8usize, 10usize), (4, 10, 10), (5, 24, 5), (4, 64, 5)] {
+        let mut dp_total = 0.0;
+        let mut greedy_total = 0.0;
+        let mut worst_gap: f64 = 0.0;
+        let mut brute_thr = f64::NAN;
+        let mut dp_thr = 0.0;
+        let mut greedy_thr = 0.0;
+        for _ in 0..trials {
+            let problem = random_problem(&mut rng, k, p);
+            let t0 = Instant::now();
+            let dp = dp_mapping(&problem).unwrap();
+            dp_total += t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let greedy = cluster_heuristic(&problem, GreedyOptions::adaptive()).unwrap();
+            greedy_total += t0.elapsed().as_secs_f64();
+            match brute_force_mapping(&problem) {
+                Ok(b) => {
+                    assert!(
+                        dp.throughput >= b.throughput * (1.0 - 1e-9),
+                        "DP must match brute force: {} vs {}",
+                        dp.throughput,
+                        b.throughput
+                    );
+                    brute_thr = b.throughput;
+                }
+                Err(SolveError::TooLarge { .. }) => brute_thr = f64::NAN,
+                Err(e) => panic!("{e}"),
+            }
+            let gap = 100.0 * (dp.throughput - greedy.throughput) / dp.throughput;
+            worst_gap = worst_gap.max(gap);
+            dp_thr = dp.throughput;
+            greedy_thr = greedy.throughput;
+        }
+        println!(
+            "{:>3} {:>4} | {:>10.3} {:>10.3} {:>10.3} | {:>9.1}ms {:>9.1}ms | {:>8.2}",
+            k,
+            p,
+            brute_thr,
+            dp_thr,
+            greedy_thr,
+            1e3 * dp_total / trials as f64,
+            1e3 * greedy_total / trials as f64,
+            worst_gap
+        );
+    }
+    println!("(gap% = worst greedy shortfall vs the optimal DP over the trials)\n");
+}
+
+fn ablation_a2() {
+    println!("A2: mapping with communication ignored (Choudhary et al. regime)\n");
+    // A chain whose transfers are expensive: the comm-blind mapper will
+    // split it; the comm-aware mapper clusters.
+    let mk_chain = |free_comm: bool| {
+        let ecom = if free_comm {
+            PolyEcom::zero()
+        } else {
+            PolyEcom::new(0.4, 1.0, 1.0, 0.02, 0.02)
+        };
+        let icom = if free_comm {
+            UnaryCost::Zero
+        } else {
+            UnaryCost::Poly(PolyUnary::new(0.05, 0.2, 0.0))
+        };
+        ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::new(0.1, 6.0, 0.01)))
+            .edge(Edge::new(icom.clone(), ecom))
+            .task(Task::new("b", PolyUnary::new(0.1, 8.0, 0.01)))
+            .edge(Edge::new(icom, ecom))
+            .task(Task::new("c", PolyUnary::new(0.1, 4.0, 0.01)))
+            .build()
+    };
+    let p = 32;
+    let real = Problem::new(mk_chain(false), p, 1e9).without_replication();
+    let blind = Problem::new(mk_chain(true), p, 1e9).without_replication();
+
+    let aware = dp_mapping(&real).unwrap();
+    let blind_sol = dp_mapping(&blind).unwrap();
+    // Evaluate the comm-blind mapping under the true cost model.
+    let blind_under_real = throughput(&real.chain, &blind_sol.mapping);
+    println!(
+        "  comm-aware optimal:  {:?} -> {:.3}/s",
+        aware.mapping.clustering(),
+        aware.throughput
+    );
+    println!(
+        "  comm-blind mapping:  {:?} -> {:.3}/s under the real model ({:.3}/s believed)",
+        blind_sol.mapping.clustering(),
+        blind_under_real,
+        blind_sol.throughput
+    );
+    println!(
+        "  penalty for ignoring communication: {:.1}%\n",
+        100.0 * (aware.throughput - blind_under_real) / aware.throughput
+    );
+    assert!(aware.throughput >= blind_under_real - 1e-9);
+}
+
+fn ablation_a3() {
+    println!("A3: maximal replication (§3.2 rule) vs free replication\n");
+    let machine = MachineConfig::iwarp_systolic();
+    let problem = synthesize_problem(&radar(RadarConfig::paper()), &machine);
+    let policy = dp_mapping(&problem).unwrap();
+    let free_dp = pipemap_core::dp_mapping_free(&problem).unwrap();
+    let free_search = feasible_optimal(
+        &problem,
+        &machine,
+        &policy.mapping.clustering(),
+        FeasibleSearch::default(),
+    );
+    let fmt = |m: &pipemap_chain::Mapping| -> Vec<(usize, usize)> {
+        m.modules.iter().map(|m| (m.procs, m.replicas)).collect()
+    };
+    println!(
+        "  §3.2-policy DP:           {:.2}/s  {:?}",
+        policy.throughput,
+        fmt(&policy.mapping)
+    );
+    println!(
+        "  free-replication DP:      {:.2}/s  {:?}",
+        free_dp.throughput,
+        fmt(&free_dp.mapping)
+    );
+    if let Some((m, thr)) = free_search {
+        println!(
+            "  free search (same clust): {:.2}/s  {:?}",
+            thr,
+            fmt(&m)
+        );
+    }
+    assert!(free_dp.throughput >= policy.throughput - 1e-9);
+    println!("\n  The §3.2 rule replicates maximally subject to memory floors, which");
+    println!("  is optimal when cost functions are superlinearity-free AND neighbours");
+    println!("  are unaffected — but an instance's size also appears in its");
+    println!("  neighbours' transfer costs, so floors of 1 let the rule shatter");
+    println!("  modules into 1-processor instances whose transfers are slow. The");
+    println!("  free-replication DP (binary search on throughput + a min-processor");
+    println!("  DP with closed-form r* = ceil(f*T)) removes the rule exactly.");
+}
+
+fn main() {
+    ablation_a1();
+    ablation_a2();
+    ablation_a3();
+}

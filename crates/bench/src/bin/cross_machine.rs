@@ -1,0 +1,49 @@
+//! Extension experiment: the same program, three machines. §1 lists the
+//! Fx compiler's targets (iWarp, Paragon, networks of workstations); the
+//! optimal mapping of FFT-Hist changes shape with the machine's
+//! compute/communication balance and memory capacity — demonstrating why
+//! an *automatic* tool beats a hand mapping carried between machines.
+
+use pipemap_apps::{fft_hist, FftHistConfig};
+use pipemap_core::{cluster_heuristic, GreedyOptions};
+use pipemap_machine::{synthesize_problem, MachineConfig};
+use pipemap_profile::training::fit_problem;
+use pipemap_profile::TrainingConfig;
+use pipemap_sim::{simulate, SimConfig};
+use pipemap_tool::render_mapping;
+
+fn main() {
+    println!("Cross-machine study: FFT-Hist 256x256 on three machine models\n");
+    let machines: Vec<(MachineConfig, &str)> = vec![
+        (MachineConfig::iwarp_message(), "iWarp 8x8 (message)"),
+        (MachineConfig::paragon(), "Paragon-like 16x8"),
+        (
+            MachineConfig::workstation_cluster(8),
+            "8 workstations (PVM)",
+        ),
+    ];
+    for (machine, label) in machines {
+        let truth = synthesize_problem(&fft_hist(FftHistConfig::n256()), &machine);
+        let fitted = fit_problem(&truth, &TrainingConfig::for_procs(truth.total_procs));
+        let sol = cluster_heuristic(&fitted, GreedyOptions::adaptive()).expect("mappable");
+        let measured = simulate(&truth.chain, &sol.mapping, &SimConfig::with_datasets(300));
+        println!("{label} ({} procs):", machine.total_procs());
+        println!(
+            "  mapping  {}\n  model {:.2}/s, simulated {:.2}/s\n",
+            render_mapping(&fitted, &sol.mapping),
+            sol.throughput,
+            measured.throughput
+        );
+    }
+    println!("Observations: the iWarp's 0.5 MB cells force 3-4 processor");
+    println!("instances with heavy replication; the Paragon's 16 MB nodes");
+    println!("lift the memory floors (fewer, freer choices, higher absolute");
+    println!("rate); and on a workstation cluster the millisecond messages");
+    println!("make fusing the whole chain the only sensible structure.");
+    println!();
+    println!("(The workstation row also shows a known limit of the §5 model:");
+    println!(" a redistribution is genuinely free on one processor, but the");
+    println!(" polynomial family cannot pass through zero at p = 1 and match");
+    println!(" p >= 2, so single-processor-instance mappings are predicted");
+    println!(" conservatively; the simulator shows the true, higher rate.)");
+}

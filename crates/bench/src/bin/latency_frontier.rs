@@ -1,0 +1,47 @@
+//! Extension experiment (DESIGN.md: the reference-\[14\] direction):
+//! the latency/throughput frontier of FFT-Hist. For a sweep of
+//! throughput floors, find the minimum-latency mapping meeting each
+//! floor, tracing how the mapper trades pipeline depth and replication
+//! for response time.
+
+use pipemap_apps::{fft_hist, FftHistConfig};
+use pipemap_bench::mapping_tuple;
+use pipemap_core::{best_latency_mapping, dp_mapping, latency};
+use pipemap_machine::{synthesize_problem, MachineConfig};
+use pipemap_profile::training::fit_problem;
+use pipemap_profile::TrainingConfig;
+
+fn main() {
+    let machine = MachineConfig::iwarp_message();
+    let truth = synthesize_problem(&fft_hist(FftHistConfig::n256()), &machine);
+    let problem = fit_problem(&truth, &TrainingConfig::for_procs(truth.total_procs));
+
+    let thr_opt = dp_mapping(&problem).expect("mappable");
+    println!("latency/throughput frontier — FFT-Hist 256x256, message passing, 64 procs");
+    println!(
+        "(throughput-optimal mapping: {} at {:.2}/s, latency {:.3}s)\n",
+        mapping_tuple(&thr_opt.mapping),
+        thr_opt.throughput,
+        latency(&problem.chain, &thr_opt.mapping)
+    );
+    println!(
+        "{:>12} | {:>10} {:>10}  mapping",
+        "floor (/s)", "latency s", "thr/s"
+    );
+    for frac in [0.0, 0.25, 0.5, 0.7, 0.85, 0.95, 0.999] {
+        let floor = thr_opt.throughput * frac;
+        match best_latency_mapping(&problem, floor) {
+            Ok(sol) => println!(
+                "{:>12.2} | {:>10.3} {:>10.2}  {}",
+                floor,
+                sol.latency,
+                sol.throughput,
+                mapping_tuple(&sol.mapping)
+            ),
+            Err(e) => println!("{floor:>12.2} | {e}"),
+        }
+    }
+    println!("\nLow floors admit one wide unreplicated module (minimum latency);");
+    println!("demanding floors force the throughput-optimal pipelined + replicated");
+    println!("structure, whose per-data-set latency is several times higher.");
+}

@@ -1,0 +1,62 @@
+//! Reproduce the §6.3 model-accuracy check: "We checked the accuracy of
+//! the model by comparing the predicted and actual communication and
+//! computation times for a set of mappings and the difference averaged
+//! less than 10%."
+//!
+//! For each application we profile the ground truth with the standard
+//! training set, fit the §5 polynomial models, and report the fit error —
+//! both averaged uniformly over the whole processor grid (pessimistic:
+//! includes extreme corners like a 1→64 transfer) and at the operating
+//! points of the optimal mapping (the comparison the paper describes).
+
+use pipemap_apps::{fft_hist, radar, stereo, FftHistConfig, RadarConfig, StereoConfig};
+use pipemap_core::{cluster_heuristic, GreedyOptions};
+use pipemap_machine::{synthesize_problem, MachineConfig};
+use pipemap_profile::training::{fit_problem, model_accuracy};
+use pipemap_profile::TrainingConfig;
+
+fn main() {
+    println!("Model accuracy: fitted §5 polynomials vs machine-level ground truth\n");
+    println!(
+        "{:<22} {:<9} | {:>10} {:>10} | {:>14}",
+        "app", "comm", "grid mean%", "grid max%", "at mapping, %"
+    );
+    let configs: Vec<(pipemap_machine::AppWorkload, MachineConfig)> = vec![
+        (fft_hist(FftHistConfig::n256()), MachineConfig::iwarp_message()),
+        (fft_hist(FftHistConfig::n256()), MachineConfig::iwarp_systolic()),
+        (fft_hist(FftHistConfig::n512()), MachineConfig::iwarp_message()),
+        (radar(RadarConfig::paper()), MachineConfig::iwarp_systolic()),
+        (stereo(StereoConfig::paper()), MachineConfig::iwarp_systolic()),
+    ];
+    for (app, machine) in configs {
+        let truth = synthesize_problem(&app, &machine);
+        let fitted = fit_problem(&truth, &TrainingConfig::for_procs(truth.total_procs));
+        let grid = model_accuracy(&truth.chain, &fitted.chain, truth.total_procs);
+
+        // Error at the operating points of the chosen mapping: compare
+        // per-module response times under truth vs fitted model.
+        let sol = cluster_heuristic(&fitted, GreedyOptions::adaptive()).expect("mappable");
+        let mut sum = 0.0;
+        let mut n = 0.0f64;
+        for i in 0..sol.mapping.num_modules() {
+            let t = pipemap_chain::module_response(&truth.chain, &sol.mapping, i).total();
+            let f = pipemap_chain::module_response(&fitted.chain, &sol.mapping, i).total();
+            if t > 0.0 {
+                sum += ((f - t) / t).abs();
+                n += 1.0;
+            }
+        }
+        let at_mapping = 100.0 * sum / n.max(1.0);
+        println!(
+            "{:<22} {:<9} | {:>10.1} {:>10.1} | {:>14.1}",
+            app.name,
+            machine.mode.label(),
+            100.0 * grid.mean_rel_error,
+            100.0 * grid.max_rel_error,
+            at_mapping
+        );
+    }
+    println!("\nThe paper's \"<10% average\" claim concerns the operating-point");
+    println!("comparison (rightmost column); the uniform grid average includes");
+    println!("corners no mapping visits and is naturally higher.");
+}

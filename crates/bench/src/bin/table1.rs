@@ -1,0 +1,63 @@
+//! Regenerate **Table 1**: optimal and feasible-optimal mappings for
+//! FFT-Hist on the 64-processor machine, for both data-set sizes and both
+//! communication modes.
+//!
+//! Paper reference (Subhlok & Vondran 1995, Table 1):
+//!
+//! ```text
+//! 256x256 Message : optimal (3,8)(4,10) 14.60/s ; feasible identical
+//! 256x256 Systolic: optimal (3,6)(4,11) 14.74/s ; feasible identical
+//! 512x512 Message : optimal (20,1)(14,3) 3.14/s ; feasible identical
+//! 512x512 Systolic: optimal (12,2)(13,3) 2.99/s ; feasible (12,2)(12,3) 2.83/s
+//! ```
+
+use pipemap_bench::{fft_hist_configs, mapping_tuple};
+use pipemap_core::dp_mapping;
+use pipemap_machine::{feasible_optimal, synthesize_problem, FeasibleSearch};
+use pipemap_profile::training::fit_problem;
+use pipemap_profile::TrainingConfig;
+use pipemap_tool::render_mapping;
+
+fn main() {
+    println!("Table 1: Optimal and Feasible Optimal Mappings for FFT-Hist");
+    println!("(paper values in the rightmost column for comparison)\n");
+    println!(
+        "{:<9} {:<9} {:<28} {:>8}   {:<28} {:>8}   paper optimal",
+        "Size", "Comm", "Optimal (p,r per module)", "thr/s", "Feasible", "thr/s"
+    );
+    let paper = [
+        "(3,8)(4,10) 14.60",
+        "(3,6)(4,11) 14.74",
+        "(20,1)(14,3) 3.14",
+        "(12,2)(13,3) 2.99; feas (12,2)(12,3) 2.83",
+    ];
+    for ((app, machine, size, comm), paper_row) in fft_hist_configs().into_iter().zip(paper) {
+        let truth = synthesize_problem(&app, &machine);
+        let fitted = fit_problem(&truth, &TrainingConfig::for_procs(truth.total_procs));
+        let optimal = dp_mapping(&fitted).expect("FFT-Hist is mappable");
+        let feasible = feasible_optimal(
+            &fitted,
+            &machine,
+            &optimal.mapping.clustering(),
+            FeasibleSearch::default(),
+        );
+        let (fm, fthr) = match &feasible {
+            Some((m, t)) => (mapping_tuple(m), format!("{t:.2}")),
+            None => ("(none found)".to_string(), "-".to_string()),
+        };
+        println!(
+            "{:<9} {:<9} {:<28} {:>8.2}   {:<28} {:>8}   {}",
+            size,
+            comm,
+            mapping_tuple(&optimal.mapping),
+            optimal.throughput,
+            fm,
+            fthr,
+            paper_row
+        );
+        println!(
+            "          clustering: {}",
+            render_mapping(&fitted, &optimal.mapping)
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! # pipemap-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! paper's evaluation (§6), plus the ablations called out in DESIGN.md.
+//!
+//! Regeneration binaries (run with `cargo run --release -p pipemap-bench
+//! --bin <name>`):
+//!
+//! | target    | paper artefact |
+//! |-----------|----------------|
+//! | `table1`  | Table 1 — optimal and feasible-optimal FFT-Hist mappings |
+//! | `table2`  | Table 2 — predicted vs measured vs data-parallel throughput |
+//! | `figure2` | Figure 2 — execution-model Gantt chart from a simulated run |
+//! | `figure3` | Figure 3 — replication: response time up, throughput up |
+//! | `figure4` | Figure 4 — the DP's subchain tables |
+//! | `figure5` | Figure 5 — the FFT-Hist task graph |
+//! | `figure6` | Figure 6 — the optimal mapping placed on the 8×8 array |
+//! | `ablation`| algorithm quality/runtime, comm-blind mapping, replication policy |
+//!
+//! (Figure 1's four mapping styles are the root crate's
+//! `examples/mapping_styles.rs`.) Criterion micro-benches for the solver
+//! and substrate components live under `benches/`.
+
+use pipemap_apps::{fft_hist, FftHistConfig};
+use pipemap_machine::{AppWorkload, MachineConfig};
+
+/// The four FFT-Hist configurations of Tables 1 and 2, with labels.
+pub fn fft_hist_configs() -> Vec<(AppWorkload, MachineConfig, &'static str, &'static str)> {
+    vec![
+        (
+            fft_hist(FftHistConfig::n256()),
+            MachineConfig::iwarp_message(),
+            "256x256",
+            "Message",
+        ),
+        (
+            fft_hist(FftHistConfig::n256()),
+            MachineConfig::iwarp_systolic(),
+            "256x256",
+            "Systolic",
+        ),
+        (
+            fft_hist(FftHistConfig::n512()),
+            MachineConfig::iwarp_message(),
+            "512x512",
+            "Message",
+        ),
+        (
+            fft_hist(FftHistConfig::n512()),
+            MachineConfig::iwarp_systolic(),
+            "512x512",
+            "Systolic",
+        ),
+    ]
+}
+
+/// Render one mapping as the paper's `(p_i, r_i)` tuple list.
+pub fn mapping_tuple(mapping: &pipemap_chain::Mapping) -> String {
+    mapping
+        .modules
+        .iter()
+        .map(|m| format!("p={:<2} r={:<2}", m.procs, m.replicas))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}

@@ -1,0 +1,198 @@
+//! The task chain: a linear sequence of tasks joined by communication edges.
+
+use crate::edge::Edge;
+use crate::task::Task;
+
+/// A linear chain of data parallel tasks `t1 → t2 → … → tk` with a
+/// communication [`Edge`] between each adjacent pair. The first task reads
+/// external input and the last produces the final output (§2.1); any cost
+/// of external I/O is folded into those tasks' execution functions.
+#[derive(Clone, Debug)]
+pub struct TaskChain {
+    tasks: Vec<Task>,
+    edges: Vec<Edge>,
+}
+
+impl TaskChain {
+    /// Build a chain from tasks and the edges between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty or `edges.len() != tasks.len() - 1`.
+    pub fn new(tasks: Vec<Task>, edges: Vec<Edge>) -> Self {
+        assert!(!tasks.is_empty(), "a chain needs at least one task");
+        assert_eq!(
+            edges.len(),
+            tasks.len() - 1,
+            "a chain of k tasks has k-1 edges"
+        );
+        Self { tasks, edges }
+    }
+
+    /// Number of tasks `k`.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// False — a chain always has at least one task. Present for clippy's
+    /// `len_without_is_empty` idiom.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Task `i` (0-based; the paper's `t_{i+1}`).
+    pub fn task(&self, i: usize) -> &Task {
+        &self.tasks[i]
+    }
+
+    /// All tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The edge between tasks `i` and `i + 1`.
+    pub fn edge(&self, i: usize) -> &Edge {
+        &self.edges[i]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Index of the task with the given name, if any.
+    pub fn task_index(&self, name: &str) -> Option<usize> {
+        self.tasks.iter().position(|t| t.name == name)
+    }
+
+    /// True iff every task in `first..=last` is replicable (§2.2: a module
+    /// is replicable only if composed exclusively of replicable tasks).
+    pub fn range_replicable(&self, first: usize, last: usize) -> bool {
+        self.tasks[first..=last].iter().all(|t| t.replicable)
+    }
+}
+
+/// Incremental builder: alternate [`ChainBuilder::task`] and
+/// [`ChainBuilder::edge`] calls, ending on a task.
+#[derive(Default)]
+pub struct ChainBuilder {
+    tasks: Vec<Task>,
+    edges: Vec<Edge>,
+}
+
+impl ChainBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a task. Must be the first call or follow an `edge` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two tasks are appended without an edge between them.
+    pub fn task(mut self, task: Task) -> Self {
+        assert_eq!(
+            self.tasks.len(),
+            self.edges.len(),
+            "two tasks appended without an edge between them"
+        );
+        self.tasks.push(task);
+        self
+    }
+
+    /// Append the edge leading to the next task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any task or twice in a row.
+    pub fn edge(mut self, edge: Edge) -> Self {
+        assert_eq!(
+            self.tasks.len(),
+            self.edges.len() + 1,
+            "edge must follow a task"
+        );
+        self.edges.push(edge);
+        self
+    }
+
+    /// Finish the chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder does not end on a task (or is empty).
+    pub fn build(self) -> TaskChain {
+        assert_eq!(
+            self.tasks.len(),
+            self.edges.len() + 1,
+            "chain must end on a task"
+        );
+        TaskChain::new(self.tasks, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_model::PolyUnary;
+
+    fn t(name: &str) -> Task {
+        Task::new(name, PolyUnary::perfectly_parallel(1.0))
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let c = ChainBuilder::new()
+            .task(t("a"))
+            .edge(Edge::free())
+            .task(t("b"))
+            .edge(Edge::free())
+            .task(t("c"))
+            .build();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.edges().len(), 2);
+        assert_eq!(c.task_index("b"), Some(1));
+        assert_eq!(c.task_index("zz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an edge")]
+    fn builder_rejects_adjacent_tasks() {
+        let _ = ChainBuilder::new().task(t("a")).task(t("b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge must follow a task")]
+    fn builder_rejects_leading_edge() {
+        let _ = ChainBuilder::new().edge(Edge::free());
+    }
+
+    #[test]
+    #[should_panic(expected = "must end on a task")]
+    fn builder_rejects_trailing_edge() {
+        let _ = ChainBuilder::new().task(t("a")).edge(Edge::free()).build();
+    }
+
+    #[test]
+    fn single_task_chain() {
+        let c = ChainBuilder::new().task(t("solo")).build();
+        assert_eq!(c.len(), 1);
+        assert!(c.edges().is_empty());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn range_replicable_respects_flags() {
+        let c = ChainBuilder::new()
+            .task(t("a"))
+            .edge(Edge::free())
+            .task(t("b").not_replicable())
+            .edge(Edge::free())
+            .task(t("c"))
+            .build();
+        assert!(c.range_replicable(0, 0));
+        assert!(!c.range_replicable(0, 1));
+        assert!(!c.range_replicable(1, 2));
+        assert!(c.range_replicable(2, 2));
+    }
+}

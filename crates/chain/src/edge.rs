@@ -1,0 +1,76 @@
+//! Communication between adjacent tasks.
+
+use pipemap_model::{BinaryCost, UnaryCost};
+
+/// The communication step between two adjacent tasks in a chain.
+///
+/// The cost of moving a data set from `t_i` to `t_{i+1}` depends on whether
+/// the two tasks share a processor group (§2.1):
+///
+/// * same group of `p` processors → `icom(p)`, a potential *internal
+///   redistribution*;
+/// * disjoint groups of `ps` and `pr` processors → `ecom(ps, pr)`, an
+///   *external transfer* that occupies both groups for its whole duration.
+#[derive(Clone, Debug, Default)]
+pub struct Edge {
+    /// Internal (same-group) redistribution cost `f_icom(p)`.
+    pub icom: UnaryCost,
+    /// External (cross-group) transfer cost `f_ecom(ps, pr)`.
+    pub ecom: BinaryCost,
+}
+
+impl Edge {
+    /// A new edge with the given internal and external costs.
+    pub fn new(icom: impl Into<UnaryCost>, ecom: impl Into<BinaryCost>) -> Self {
+        Self {
+            icom: icom.into(),
+            ecom: ecom.into(),
+        }
+    }
+
+    /// A free edge (both costs zero) — the Choudhary-et-al. regime the
+    /// paper argues against; useful as a baseline in experiments.
+    pub fn free() -> Self {
+        Self::default()
+    }
+
+    /// An edge whose internal redistribution is free (tasks use the same
+    /// distribution, like `rowffts → hist` in FFT-Hist) but whose external
+    /// transfer costs `ecom`.
+    pub fn aligned(ecom: impl Into<BinaryCost>) -> Self {
+        Self {
+            icom: UnaryCost::Zero,
+            ecom: ecom.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_model::{PolyEcom, PolyUnary};
+
+    #[test]
+    fn free_edge_costs_nothing() {
+        let e = Edge::free();
+        assert_eq!(e.icom.eval(8), 0.0);
+        assert_eq!(e.ecom.eval(3, 5), 0.0);
+    }
+
+    #[test]
+    fn aligned_edge_has_zero_icom_only() {
+        let e = Edge::aligned(PolyEcom::new(1.0, 0.0, 0.0, 0.0, 0.0));
+        assert_eq!(e.icom.eval(8), 0.0);
+        assert_eq!(e.ecom.eval(3, 5), 1.0);
+    }
+
+    #[test]
+    fn new_edge_evaluates_both() {
+        let e = Edge::new(
+            PolyUnary::new(0.5, 0.0, 0.0),
+            PolyEcom::new(1.0, 2.0, 0.0, 0.0, 0.0),
+        );
+        assert_eq!(e.icom.eval(4), 0.5);
+        assert!((e.ecom.eval(2, 7) - 2.0).abs() < 1e-12);
+    }
+}

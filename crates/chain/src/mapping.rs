@@ -1,0 +1,258 @@
+//! Mappings: clustering + replication + processor allocation.
+
+use pipemap_model::Procs;
+
+use crate::problem::Problem;
+
+/// One module of a mapping: the paper's triplet `(T, r, p)` — a contiguous
+/// subsequence of tasks, a replication degree, and a per-instance processor
+/// count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModuleAssignment {
+    /// Index of the first member task (0-based, inclusive).
+    pub first: usize,
+    /// Index of the last member task (inclusive).
+    pub last: usize,
+    /// Number of replicated instances `r`.
+    pub replicas: usize,
+    /// Processors assigned to each instance `p`.
+    pub procs: Procs,
+}
+
+impl ModuleAssignment {
+    /// A module holding tasks `first..=last` with `replicas` instances of
+    /// `procs` processors each.
+    pub fn new(first: usize, last: usize, replicas: usize, procs: Procs) -> Self {
+        assert!(first <= last, "module range reversed");
+        assert!(replicas >= 1, "module needs at least one instance");
+        assert!(procs >= 1, "instance needs at least one processor");
+        Self {
+            first,
+            last,
+            replicas,
+            procs,
+        }
+    }
+
+    /// Number of member tasks.
+    pub fn len(&self) -> usize {
+        self.last - self.first + 1
+    }
+
+    /// Always false; present for the `len`/`is_empty` idiom.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total processors consumed by all instances.
+    pub fn total_procs(&self) -> Procs {
+        self.replicas * self.procs
+    }
+
+    /// True if the module contains task `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        (self.first..=self.last).contains(&i)
+    }
+}
+
+/// A complete mapping of a chain: an ordered list of modules covering the
+/// tasks left to right.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Mapping {
+    /// Modules in chain order.
+    pub modules: Vec<ModuleAssignment>,
+}
+
+impl Mapping {
+    /// A mapping from an explicit module list.
+    pub fn new(modules: Vec<ModuleAssignment>) -> Self {
+        Self { modules }
+    }
+
+    /// Number of modules `l`.
+    pub fn num_modules(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Total processors consumed across all modules and instances.
+    pub fn total_procs(&self) -> Procs {
+        self.modules.iter().map(ModuleAssignment::total_procs).sum()
+    }
+
+    /// Index of the module containing task `i`, if any.
+    pub fn module_of_task(&self, i: usize) -> Option<usize> {
+        self.modules.iter().position(|m| m.contains(i))
+    }
+
+    /// The clustering as a list of `(first, last)` ranges, ignoring
+    /// processors and replication — what §4.2 compares across candidate
+    /// mappings.
+    pub fn clustering(&self) -> Vec<(usize, usize)> {
+        self.modules.iter().map(|m| (m.first, m.last)).collect()
+    }
+
+    /// Compact textual form `first-last:replicas x procs, …` — the format
+    /// `pipemap-tool`'s mapping parser and the CLI accept.
+    pub fn to_compact_string(&self) -> String {
+        self.modules
+            .iter()
+            .map(|m| format!("{}-{}:{}x{}", m.first, m.last, m.replicas, m.procs))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// The pure data parallel mapping of Figure 1(a): every task in one
+    /// module on all `P` processors, no replication.
+    pub fn data_parallel(problem: &Problem) -> Mapping {
+        let k = problem.num_tasks();
+        Mapping::new(vec![ModuleAssignment::new(
+            0,
+            k - 1,
+            1,
+            problem.total_procs,
+        )])
+    }
+
+    /// A task parallel mapping of Figure 1(b): one module per task with the
+    /// given per-task processor counts, no replication.
+    pub fn task_parallel(procs: &[Procs]) -> Mapping {
+        Mapping::new(
+            procs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| ModuleAssignment::new(i, i, 1, p))
+                .collect(),
+        )
+    }
+}
+
+/// A processor assignment for the *unclustered* problem (§3.1): `A(i)` =
+/// processors offered to task `i`, each task its own module. Replication,
+/// when enabled, is derived from the policy (maximal per task).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment(pub Vec<Procs>);
+
+impl Assignment {
+    /// Processors offered to task `i`.
+    pub fn procs(&self, i: usize) -> Procs {
+        self.0[i]
+    }
+
+    /// Total processors consumed.
+    pub fn total(&self) -> Procs {
+        self.0.iter().sum()
+    }
+
+    /// Convert to a [`Mapping`] under the problem's replication policy:
+    /// task `i` becomes its own module with the policy-prescribed
+    /// replication of its offered processors.
+    ///
+    /// Returns `None` if any task is offered fewer processors than its
+    /// floor.
+    pub fn to_mapping(&self, problem: &Problem) -> Option<Mapping> {
+        let mut modules = Vec::with_capacity(self.0.len());
+        for (i, &p) in self.0.iter().enumerate() {
+            let rep = problem.module_replication(i, i, p)?;
+            modules.push(ModuleAssignment::new(
+                i,
+                i,
+                rep.instances,
+                rep.procs_per_instance,
+            ));
+        }
+        Some(Mapping::new(modules))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainBuilder;
+    use crate::edge::Edge;
+    use crate::task::Task;
+    use pipemap_model::{MemoryReq, PolyUnary};
+
+    fn problem() -> Problem {
+        let t = |n: &str| {
+            Task::new(n, PolyUnary::perfectly_parallel(1.0))
+                .with_memory(MemoryReq::new(0.0, 300.0))
+        };
+        let c = ChainBuilder::new()
+            .task(t("a"))
+            .edge(Edge::free())
+            .task(t("b"))
+            .build();
+        Problem::new(c, 64, 100.0) // floors: 3 each
+    }
+
+    #[test]
+    fn module_geometry() {
+        let m = ModuleAssignment::new(1, 3, 2, 5);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.total_procs(), 10);
+        assert!(m.contains(2));
+        assert!(!m.contains(0));
+        assert!(!m.contains(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "range reversed")]
+    fn module_rejects_reversed_range() {
+        let _ = ModuleAssignment::new(3, 1, 1, 1);
+    }
+
+    #[test]
+    fn data_parallel_covers_all() {
+        let p = problem();
+        let m = Mapping::data_parallel(&p);
+        assert_eq!(m.num_modules(), 1);
+        assert_eq!(m.modules[0].first, 0);
+        assert_eq!(m.modules[0].last, 1);
+        assert_eq!(m.total_procs(), 64);
+    }
+
+    #[test]
+    fn task_parallel_one_module_per_task() {
+        let m = Mapping::task_parallel(&[4, 8]);
+        assert_eq!(m.num_modules(), 2);
+        assert_eq!(m.total_procs(), 12);
+        assert_eq!(m.module_of_task(0), Some(0));
+        assert_eq!(m.module_of_task(1), Some(1));
+        assert_eq!(m.module_of_task(2), None);
+    }
+
+    #[test]
+    fn assignment_to_mapping_applies_replication() {
+        let p = problem();
+        let a = Assignment(vec![24, 40]);
+        let m = a.to_mapping(&p).unwrap();
+        assert_eq!(m.modules[0].replicas, 8); // 24 / floor 3
+        assert_eq!(m.modules[0].procs, 3);
+        assert_eq!(m.modules[1].replicas, 13); // ⌊40/3⌋
+        assert_eq!(m.modules[1].procs, 3); // ⌊40/13⌋
+    }
+
+    #[test]
+    fn assignment_below_floor_fails() {
+        let p = problem();
+        assert!(Assignment(vec![2, 40]).to_mapping(&p).is_none());
+    }
+
+    #[test]
+    fn compact_string_format() {
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 8, 3),
+            ModuleAssignment::new(1, 2, 10, 4),
+        ]);
+        assert_eq!(m.to_compact_string(), "0-0:8x3,1-2:10x4");
+    }
+
+    #[test]
+    fn clustering_extraction() {
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 4),
+            ModuleAssignment::new(1, 2, 2, 3),
+        ]);
+        assert_eq!(m.clustering(), vec![(0, 0), (1, 2)]);
+    }
+}

@@ -1,0 +1,213 @@
+//! The mapping problem instance: a chain plus machine resources.
+
+use pipemap_model::{max_replication, module_memory, MemoryReq, Procs, Replication};
+
+use crate::chain::TaskChain;
+
+/// Whether the mapper may replicate modules (§3.2). The paper treats
+/// replication as an orthogonal capability: the DP and greedy algorithms
+/// run unchanged, substituting *effective* processor counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReplicationPolicy {
+    /// Modules always run as a single instance.
+    Disabled,
+    /// Replicable modules are replicated maximally subject to their memory
+    /// floor (`r = ⌊p / p_min⌋`), the provably-profitable choice under the
+    /// paper's no-superlinear-speedup assumption.
+    #[default]
+    Maximal,
+}
+
+/// An instance of the mapping problem: map `chain` onto `total_procs`
+/// processors, each with `mem_per_proc` bytes of memory, under the given
+/// replication policy. The goal is maximum throughput (data sets/second).
+#[derive(Clone, Debug)]
+pub struct Problem {
+    /// The task chain to map.
+    pub chain: TaskChain,
+    /// Number of available processors `P`.
+    pub total_procs: Procs,
+    /// Memory capacity per processor, in bytes.
+    pub mem_per_proc: f64,
+    /// Replication policy.
+    pub replication: ReplicationPolicy,
+}
+
+impl Problem {
+    /// A new problem with maximal replication enabled.
+    pub fn new(chain: TaskChain, total_procs: Procs, mem_per_proc: f64) -> Self {
+        assert!(total_procs >= 1, "need at least one processor");
+        assert!(mem_per_proc > 0.0, "memory capacity must be positive");
+        Self {
+            chain,
+            total_procs,
+            mem_per_proc,
+            replication: ReplicationPolicy::Maximal,
+        }
+    }
+
+    /// Disable replication.
+    pub fn without_replication(mut self) -> Self {
+        self.replication = ReplicationPolicy::Disabled;
+        self
+    }
+
+    /// Number of tasks `k`.
+    pub fn num_tasks(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Minimum feasible processor count for a single task: the larger of
+    /// the memory-derived floor and the task's explicit floor. `None` if
+    /// the task cannot run at any processor count (resident memory exceeds
+    /// capacity).
+    pub fn task_floor(&self, i: usize) -> Option<Procs> {
+        let t = self.chain.task(i);
+        let mem_floor = t.memory.min_procs(self.mem_per_proc)?;
+        Some(mem_floor.max(t.min_procs.unwrap_or(1)).max(1))
+    }
+
+    /// Memory requirement of the module holding tasks `first..=last`.
+    pub fn module_memory(&self, first: usize, last: usize) -> MemoryReq {
+        let members: Vec<MemoryReq> = (first..=last)
+            .map(|i| self.chain.task(i).memory)
+            .collect();
+        module_memory(&members)
+    }
+
+    /// Minimum feasible processor count for the module `first..=last`:
+    /// derived from the combined memory requirement and the members'
+    /// explicit floors.
+    pub fn module_floor(&self, first: usize, last: usize) -> Option<Procs> {
+        let mem_floor = self
+            .module_memory(first, last)
+            .min_procs(self.mem_per_proc)?;
+        let explicit = (first..=last)
+            .filter_map(|i| self.chain.task(i).min_procs)
+            .max()
+            .unwrap_or(1);
+        Some(mem_floor.max(explicit).max(1))
+    }
+
+    /// The replication the policy prescribes for the module `first..=last`
+    /// when offered `p` processors: maximal under [`ReplicationPolicy::
+    /// Maximal`] if every member is replicable, a single instance
+    /// otherwise. `None` if `p` is below the module's floor.
+    pub fn module_replication(&self, first: usize, last: usize, p: Procs) -> Option<Replication> {
+        let floor = self.module_floor(first, last)?;
+        let replicable = match self.replication {
+            ReplicationPolicy::Disabled => false,
+            ReplicationPolicy::Maximal => self.chain.range_replicable(first, last),
+        };
+        max_replication(p, floor, replicable)
+    }
+
+    /// True if the problem is feasible at all: every task can run and the
+    /// sum of singleton floors does not exceed the processor budget. (A
+    /// clustering can only *raise* per-module floors for its members, but
+    /// clustering also reduces the number of modules; this check is the
+    /// cheap necessary condition for the all-singleton mapping. The full
+    /// mapping algorithms report infeasibility precisely.)
+    pub fn singleton_feasible(&self) -> bool {
+        let mut total = 0;
+        for i in 0..self.num_tasks() {
+            match self.task_floor(i) {
+                Some(f) => total += f,
+                None => return false,
+            }
+        }
+        total <= self.total_procs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainBuilder;
+    use crate::edge::Edge;
+    use crate::task::Task;
+    use pipemap_model::PolyUnary;
+
+    fn chain3(mem: f64) -> TaskChain {
+        let t = |n: &str| {
+            Task::new(n, PolyUnary::perfectly_parallel(1.0))
+                .with_memory(MemoryReq::new(0.0, mem))
+        };
+        ChainBuilder::new()
+            .task(t("a"))
+            .edge(Edge::free())
+            .task(t("b"))
+            .edge(Edge::free())
+            .task(t("c"))
+            .build()
+    }
+
+    #[test]
+    fn task_floor_from_memory() {
+        let p = Problem::new(chain3(300.0), 16, 100.0);
+        assert_eq!(p.task_floor(0), Some(3));
+    }
+
+    #[test]
+    fn module_floor_grows_with_extent() {
+        let p = Problem::new(chain3(300.0), 64, 100.0);
+        assert_eq!(p.module_floor(0, 0), Some(3));
+        assert_eq!(p.module_floor(0, 1), Some(6));
+        assert_eq!(p.module_floor(0, 2), Some(9));
+    }
+
+    #[test]
+    fn explicit_floor_dominates() {
+        let t = Task::new("t", PolyUnary::zero()).with_min_procs(5);
+        let c = ChainBuilder::new().task(t).build();
+        let p = Problem::new(c, 16, 1e9);
+        assert_eq!(p.task_floor(0), Some(5));
+        assert_eq!(p.module_floor(0, 0), Some(5));
+    }
+
+    #[test]
+    fn replication_respects_policy() {
+        let prob = Problem::new(chain3(300.0), 64, 100.0);
+        let r = prob.module_replication(0, 0, 24).unwrap();
+        assert_eq!(r.instances, 8);
+        let no_rep = prob.clone().without_replication();
+        let r = no_rep.module_replication(0, 0, 24).unwrap();
+        assert_eq!(r.instances, 1);
+        assert_eq!(r.procs_per_instance, 24);
+    }
+
+    #[test]
+    fn replication_requires_all_members_replicable() {
+        let mk = |rep: bool| {
+            let mut t = Task::new("t", PolyUnary::zero());
+            if !rep {
+                t = t.not_replicable();
+            }
+            t
+        };
+        let c = ChainBuilder::new()
+            .task(mk(true))
+            .edge(Edge::free())
+            .task(mk(false))
+            .build();
+        let p = Problem::new(c, 16, 1e9);
+        assert_eq!(p.module_replication(0, 0, 8).unwrap().instances, 8);
+        assert_eq!(p.module_replication(0, 1, 8).unwrap().instances, 1);
+    }
+
+    #[test]
+    fn below_floor_replication_is_none() {
+        let p = Problem::new(chain3(300.0), 64, 100.0);
+        assert!(p.module_replication(0, 0, 2).is_none());
+    }
+
+    #[test]
+    fn singleton_feasibility() {
+        assert!(Problem::new(chain3(300.0), 9, 100.0).singleton_feasible());
+        assert!(!Problem::new(chain3(300.0), 8, 100.0).singleton_feasible());
+        // Resident component larger than capacity: infeasible at any count.
+        let t = Task::new("t", PolyUnary::zero()).with_memory(MemoryReq::new(200.0, 0.0));
+        let c = ChainBuilder::new().task(t).build();
+        assert!(!Problem::new(c, 64, 100.0).singleton_feasible());
+    }
+}

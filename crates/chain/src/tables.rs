@@ -1,0 +1,350 @@
+//! Pre-evaluated cost tables.
+//!
+//! The DP algorithm evaluates response times `O(P⁴k)` times; evaluating a
+//! `UnaryCost`/`BinaryCost` enum (or a user closure) in the innermost loop
+//! would dominate the run time. [`CostTable`] evaluates every cost function
+//! once for every relevant processor count, builds prefix sums over the
+//! chain so a *module's* execution time is an O(1) lookup for any extent
+//! and processor count (the §3.3 requirement), and caches memory floors and
+//! replication decisions.
+
+use pipemap_model::{max_replication, Procs, Replication, Seconds};
+
+use crate::problem::{Problem, ReplicationPolicy};
+
+/// Pre-evaluated execution, communication, memory-floor, and replication
+/// tables for a [`Problem`] over processor counts `1..=P`.
+#[derive(Clone, Debug)]
+pub struct CostTable {
+    k: usize,
+    max_p: Procs,
+    /// `ecom_t[e][(ps-1) * max_p + (pr-1)]`.
+    ecom_t: Vec<Vec<Seconds>>,
+    /// `exec_prefix[p-1][i]` = Σ_{l<i} exec_l(p); length `k+1` per row.
+    exec_prefix: Vec<Vec<Seconds>>,
+    /// `icom_prefix[p-1][e]` = Σ_{d<e} icom_d(p); length `k` per row.
+    icom_prefix: Vec<Vec<Seconds>>,
+    /// `floor[first][last]` = module memory/explicit floor. The sentinel
+    /// `usize::MAX` marks a module that cannot run at any processor count.
+    floor: Vec<Vec<Procs>>,
+    /// `replicable[first][last]` = policy allows replication of the module.
+    replicable: Vec<Vec<bool>>,
+    /// `rep[i][p-1]` = policy replication for the singleton module of task
+    /// `i` offered `p` processors; `None` below the floor.
+    rep: Vec<Vec<Option<Replication>>>,
+}
+
+impl CostTable {
+    /// Evaluate all cost functions of `problem` over `1..=problem.total_procs`.
+    pub fn build(problem: &Problem) -> Self {
+        let chain = &problem.chain;
+        let k = chain.len();
+        let max_p = problem.total_procs;
+
+        let mut exec_prefix = Vec::with_capacity(max_p);
+        let mut icom_prefix = Vec::with_capacity(max_p);
+        for p in 1..=max_p {
+            let mut epfx = Vec::with_capacity(k + 1);
+            epfx.push(0.0);
+            for i in 0..k {
+                let v = chain.task(i).exec.eval(p);
+                epfx.push(epfx[i] + v);
+            }
+            exec_prefix.push(epfx);
+            let mut ipfx = Vec::with_capacity(k);
+            ipfx.push(0.0);
+            for e in 0..k.saturating_sub(1) {
+                let v = chain.edge(e).icom.eval(p);
+                ipfx.push(ipfx[e] + v);
+            }
+            icom_prefix.push(ipfx);
+        }
+
+        let mut ecom_t = Vec::with_capacity(k.saturating_sub(1));
+        for e in 0..k.saturating_sub(1) {
+            let mut t = Vec::with_capacity(max_p * max_p);
+            for ps in 1..=max_p {
+                for pr in 1..=max_p {
+                    t.push(chain.edge(e).ecom.eval(ps, pr));
+                }
+            }
+            ecom_t.push(t);
+        }
+
+        let mut floor = vec![vec![Procs::MAX; k]; k];
+        let mut replicable = vec![vec![false; k]; k];
+        for first in 0..k {
+            for last in first..k {
+                floor[first][last] = problem.module_floor(first, last).unwrap_or(Procs::MAX);
+                replicable[first][last] = match problem.replication {
+                    ReplicationPolicy::Disabled => false,
+                    ReplicationPolicy::Maximal => chain.range_replicable(first, last),
+                };
+            }
+        }
+
+        let mut rep = vec![vec![None; max_p]; k];
+        for (i, row) in rep.iter_mut().enumerate() {
+            let fl = floor[i][i];
+            for (pm1, slot) in row.iter_mut().enumerate() {
+                let p = pm1 + 1;
+                if fl != Procs::MAX && p >= fl {
+                    *slot = max_replication(p, fl, replicable[i][i]);
+                }
+            }
+        }
+
+        Self {
+            k,
+            max_p,
+            ecom_t,
+            exec_prefix,
+            icom_prefix,
+            floor,
+            replicable,
+            rep,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.k
+    }
+
+    /// Largest tabulated processor count (the problem's `P`).
+    pub fn max_procs(&self) -> Procs {
+        self.max_p
+    }
+
+    /// Execution time of task `i` on `p` processors.
+    #[inline]
+    pub fn exec(&self, i: usize, p: Procs) -> Seconds {
+        debug_assert!(p >= 1 && p <= self.max_p);
+        self.exec_prefix[p - 1][i + 1] - self.exec_prefix[p - 1][i]
+    }
+
+    /// Internal redistribution time of edge `e` on `p` processors.
+    #[inline]
+    pub fn icom(&self, e: usize, p: Procs) -> Seconds {
+        debug_assert!(p >= 1 && p <= self.max_p);
+        self.icom_prefix[p - 1][e + 1] - self.icom_prefix[p - 1][e]
+    }
+
+    /// External transfer time of edge `e` from `ps` senders to `pr`
+    /// receivers.
+    #[inline]
+    pub fn ecom(&self, e: usize, ps: Procs, pr: Procs) -> Seconds {
+        debug_assert!(ps >= 1 && ps <= self.max_p && pr >= 1 && pr <= self.max_p);
+        self.ecom_t[e][(ps - 1) * self.max_p + (pr - 1)]
+    }
+
+    /// Execution time of the module `first..=last` on `p` processors:
+    /// member executions plus internal redistributions, via prefix sums.
+    #[inline]
+    pub fn module_exec(&self, first: usize, last: usize, p: Procs) -> Seconds {
+        debug_assert!(first <= last && last < self.k);
+        let row = &self.exec_prefix[p - 1];
+        let irow = &self.icom_prefix[p - 1];
+        (row[last + 1] - row[first]) + (irow[last] - irow[first])
+    }
+
+    /// The module's processor floor, or `None` if the module can never run.
+    pub fn module_floor(&self, first: usize, last: usize) -> Option<Procs> {
+        let f = self.floor[first][last];
+        (f != Procs::MAX).then_some(f)
+    }
+
+    /// True if the policy allows replicating the module `first..=last`.
+    pub fn module_replicable(&self, first: usize, last: usize) -> bool {
+        self.replicable[first][last]
+    }
+
+    /// Policy replication for the module `first..=last` offered `p`
+    /// processors; `None` below the floor. Singleton modules hit a cache.
+    pub fn module_replication(&self, first: usize, last: usize, p: Procs) -> Option<Replication> {
+        if first == last {
+            if p == 0 || p > self.max_p {
+                return None;
+            }
+            return self.rep[first][p - 1];
+        }
+        let fl = self.floor[first][last];
+        if fl == Procs::MAX || p < fl {
+            return None;
+        }
+        max_replication(p, fl, self.replicable[first][last])
+    }
+
+    /// Effective (replication-adjusted) response time of the *singleton*
+    /// module of task `i` offered `p` processors, with its neighbours'
+    /// instance sizes `prev_inst` / `next_inst` (`None` at chain ends):
+    /// `(ecom_in + exec + ecom_out)(instance sizes) / r`.
+    ///
+    /// Returns `+inf` below the task's floor — convenient as an "never pick
+    /// this" value inside the optimisers.
+    pub fn task_effective_response(
+        &self,
+        i: usize,
+        p: Procs,
+        prev_inst: Option<Procs>,
+        next_inst: Option<Procs>,
+    ) -> Seconds {
+        let Some(rep) = self.module_replication(i, i, p) else {
+            return f64::INFINITY;
+        };
+        let inst = rep.procs_per_instance;
+        let mut f = self.exec(i, inst);
+        if let Some(q) = prev_inst {
+            f += self.ecom(i - 1, q, inst);
+        }
+        if let Some(n) = next_inst {
+            f += self.ecom(i, inst, n);
+        }
+        f / rep.instances as f64
+    }
+
+    /// Instance size for task `i` offered `p` processors under the policy
+    /// (the §3.2 "effective number of processors"), or `None` below floor.
+    pub fn task_instance_procs(&self, i: usize, p: Procs) -> Option<Procs> {
+        self.module_replication(i, i, p).map(|r| r.procs_per_instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainBuilder;
+    use crate::edge::Edge;
+    use crate::task::Task;
+    use pipemap_model::{MemoryReq, PolyEcom, PolyUnary};
+
+    fn problem() -> Problem {
+        let c = ChainBuilder::new()
+            .task(
+                Task::new("a", PolyUnary::perfectly_parallel(8.0))
+                    .with_memory(MemoryReq::new(0.0, 30.0)),
+            )
+            .edge(Edge::new(
+                PolyUnary::new(1.0, 0.0, 0.0),
+                PolyEcom::new(0.5, 2.0, 2.0, 0.0, 0.0),
+            ))
+            .task(
+                Task::new("b", PolyUnary::perfectly_parallel(4.0))
+                    .with_memory(MemoryReq::new(0.0, 20.0)),
+            )
+            .edge(Edge::new(
+                PolyUnary::new(0.25, 0.0, 0.0),
+                PolyEcom::new(0.25, 1.0, 1.0, 0.0, 0.0),
+            ))
+            .task(Task::new("c", PolyUnary::perfectly_parallel(2.0)))
+            .build();
+        Problem::new(c, 16, 10.0) // floors: a → 3, b → 2, c → 1
+    }
+
+    #[test]
+    fn tables_match_direct_evaluation() {
+        let prob = problem();
+        let t = CostTable::build(&prob);
+        for p in 1..=16 {
+            for i in 0..3 {
+                let direct = prob.chain.task(i).exec.eval(p);
+                assert!((t.exec(i, p) - direct).abs() < 1e-12, "exec {i} @ {p}");
+            }
+            for e in 0..2 {
+                let direct = prob.chain.edge(e).icom.eval(p);
+                assert!((t.icom(e, p) - direct).abs() < 1e-12, "icom {e} @ {p}");
+                for q in 1..=16 {
+                    let direct = prob.chain.edge(e).ecom.eval(p, q);
+                    assert!((t.ecom(e, p, q) - direct).abs() < 1e-12, "ecom {e} @ {p},{q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn module_exec_matches_sum() {
+        let prob = problem();
+        let t = CostTable::build(&prob);
+        for p in 1..=16 {
+            // Module [0..=2]: 8/p + 1 + 4/p + 0.25 + 2/p.
+            let expect = 14.0 / p as f64 + 1.25;
+            assert!((t.module_exec(0, 2, p) - expect).abs() < 1e-12);
+            // Module [1..=2]: 4/p + 0.25 + 2/p.
+            let expect = 6.0 / p as f64 + 0.25;
+            assert!((t.module_exec(1, 2, p) - expect).abs() < 1e-12);
+            // Singleton [1..=1] equals task exec.
+            assert!((t.module_exec(1, 1, p) - t.exec(1, p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn floors_cached() {
+        let t = CostTable::build(&problem());
+        assert_eq!(t.module_floor(0, 0), Some(3));
+        assert_eq!(t.module_floor(1, 1), Some(2));
+        assert_eq!(t.module_floor(2, 2), Some(1));
+        assert_eq!(t.module_floor(0, 1), Some(5));
+        assert_eq!(t.module_floor(0, 2), Some(5));
+    }
+
+    #[test]
+    fn infeasible_module_floor_is_none() {
+        let c = ChainBuilder::new()
+            .task(Task::new("t", PolyUnary::zero()).with_memory(MemoryReq::new(20.0, 0.0)))
+            .build();
+        let t = CostTable::build(&Problem::new(c, 8, 10.0));
+        assert_eq!(t.module_floor(0, 0), None);
+        assert_eq!(t.module_replication(0, 0, 8), None);
+    }
+
+    #[test]
+    fn replication_cache_matches_problem() {
+        let prob = problem();
+        let t = CostTable::build(&prob);
+        for i in 0..3 {
+            for p in 1..=16 {
+                assert_eq!(
+                    t.module_replication(i, i, p),
+                    prob.module_replication(i, i, p),
+                    "task {i} @ {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn effective_response_below_floor_is_infinite() {
+        let t = CostTable::build(&problem());
+        assert!(t
+            .task_effective_response(0, 2, None, Some(1))
+            .is_infinite());
+    }
+
+    #[test]
+    fn effective_response_matches_manual() {
+        let prob = problem();
+        let t = CostTable::build(&prob);
+        // Task b offered 4 procs, floor 2 → r = 2, inst = 2.
+        let rep = t.module_replication(1, 1, 4).unwrap();
+        assert_eq!(rep.instances, 2);
+        assert_eq!(rep.procs_per_instance, 2);
+        let f = t.task_effective_response(1, 4, Some(3), Some(1));
+        let manual = (prob.chain.edge(0).ecom.eval(3, 2)
+            + prob.chain.task(1).exec.eval(2)
+            + prob.chain.edge(1).ecom.eval(2, 1))
+            / 2.0;
+        assert!((f - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_task_chain_tables() {
+        let c = ChainBuilder::new()
+            .task(Task::new("only", PolyUnary::perfectly_parallel(4.0)))
+            .build();
+        let t = CostTable::build(&Problem::new(c, 8, 1e9));
+        assert_eq!(t.num_tasks(), 1);
+        let f = t.task_effective_response(0, 8, None, None);
+        // floor 1 → 8 instances of 1 proc: f = 4.0 / 8.
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+}

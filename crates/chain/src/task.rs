@@ -1,0 +1,87 @@
+//! A single data parallel task in a chain.
+
+use pipemap_model::{MemoryReq, Procs, UnaryCost};
+
+/// A data parallel task: one stage of the pipeline.
+///
+/// The execution-time function `exec` is the paper's `f_exec_i(p)` — the
+/// time the task spends computing one data set on `p` processors, excluding
+/// inter-task communication (which lives on the [`crate::Edge`]s).
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// Human-readable name (e.g. `"colffts"`).
+    pub name: String,
+    /// Execution time as a function of the processor count.
+    pub exec: UnaryCost,
+    /// Memory requirement, which determines the minimum feasible processor
+    /// count on a machine with a given per-processor capacity.
+    pub memory: MemoryReq,
+    /// Whether alternate data sets may be processed by distinct instances
+    /// of this task (§2.2). The paper assumes replicability is known from a
+    /// data-dependence analysis; a task keeping state across data sets
+    /// (e.g. a running tracker) is not replicable.
+    pub replicable: bool,
+    /// Optional explicit floor on the processor count, combined (by max)
+    /// with the memory-derived floor. Useful for algorithmic minimums such
+    /// as "needs at least one processor per image".
+    pub min_procs: Option<Procs>,
+}
+
+impl Task {
+    /// A new task with the given name and execution cost; no memory
+    /// requirement, replicable, no explicit floor.
+    pub fn new(name: impl Into<String>, exec: impl Into<UnaryCost>) -> Self {
+        Self {
+            name: name.into(),
+            exec: exec.into(),
+            memory: MemoryReq::none(),
+            replicable: true,
+            min_procs: None,
+        }
+    }
+
+    /// Set the memory requirement.
+    pub fn with_memory(mut self, memory: MemoryReq) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Mark the task as non-replicable.
+    pub fn not_replicable(mut self) -> Self {
+        self.replicable = false;
+        self
+    }
+
+    /// Set an explicit minimum processor count.
+    pub fn with_min_procs(mut self, p: Procs) -> Self {
+        self.min_procs = Some(p);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_model::PolyUnary;
+
+    #[test]
+    fn builder_defaults() {
+        let t = Task::new("fft", PolyUnary::perfectly_parallel(4.0));
+        assert_eq!(t.name, "fft");
+        assert!(t.replicable);
+        assert_eq!(t.min_procs, None);
+        assert_eq!(t.memory, MemoryReq::none());
+        assert!((t.exec.eval(2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_modifiers() {
+        let t = Task::new("hist", PolyUnary::zero())
+            .with_memory(MemoryReq::new(1.0, 2.0))
+            .not_replicable()
+            .with_min_procs(4);
+        assert!(!t.replicable);
+        assert_eq!(t.min_procs, Some(4));
+        assert_eq!(t.memory, MemoryReq::new(1.0, 2.0));
+    }
+}

@@ -1,0 +1,261 @@
+//! Structural and resource validation of mappings.
+
+use std::fmt;
+
+use pipemap_model::Procs;
+
+use crate::mapping::Mapping;
+use crate::problem::{Problem, ReplicationPolicy};
+
+/// Why a mapping is invalid for a problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MappingError {
+    /// The modules do not cover tasks `0..k` contiguously, in order.
+    BadCoverage {
+        /// Index of the first task not covered correctly.
+        expected_first: usize,
+    },
+    /// Total processors over all instances exceed the budget.
+    TooManyProcs {
+        /// Processors the mapping consumes.
+        used: Procs,
+        /// Processors available.
+        available: Procs,
+    },
+    /// A module instance received fewer processors than its memory floor.
+    BelowFloor {
+        /// Module index in the mapping.
+        module: usize,
+        /// Required minimum processors per instance.
+        floor: Procs,
+        /// Processors per instance in the mapping.
+        procs: Procs,
+    },
+    /// A module can never run: its resident memory exceeds per-processor
+    /// capacity at any count.
+    NeverFits {
+        /// Module index in the mapping.
+        module: usize,
+    },
+    /// A module is replicated although it contains a non-replicable task
+    /// or the policy forbids replication.
+    ReplicationNotAllowed {
+        /// Module index in the mapping.
+        module: usize,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::BadCoverage { expected_first } => write!(
+                f,
+                "modules must cover the chain contiguously; coverage breaks at task {expected_first}"
+            ),
+            MappingError::TooManyProcs { used, available } => {
+                write!(f, "mapping uses {used} processors but only {available} are available")
+            }
+            MappingError::BelowFloor { module, floor, procs } => write!(
+                f,
+                "module {module} has {procs} processors per instance, below its floor of {floor}"
+            ),
+            MappingError::NeverFits { module } => {
+                write!(f, "module {module} cannot fit on any number of processors")
+            }
+            MappingError::ReplicationNotAllowed { module } => {
+                write!(f, "module {module} is replicated but not replicable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// Check that `mapping` is a valid solution shape for `problem`:
+/// contiguous coverage, processor budget, per-module memory floors, and
+/// replication legality. (It does *not* check machine-geometry feasibility;
+/// that lives in `pipemap-machine`.)
+pub fn validate(problem: &Problem, mapping: &Mapping) -> Result<(), MappingError> {
+    // Coverage.
+    let mut expected_first = 0;
+    for m in &mapping.modules {
+        if m.first != expected_first || m.last >= problem.num_tasks() {
+            return Err(MappingError::BadCoverage { expected_first });
+        }
+        expected_first = m.last + 1;
+    }
+    if expected_first != problem.num_tasks() {
+        return Err(MappingError::BadCoverage { expected_first });
+    }
+
+    // Budget.
+    let used = mapping.total_procs();
+    if used > problem.total_procs {
+        return Err(MappingError::TooManyProcs {
+            used,
+            available: problem.total_procs,
+        });
+    }
+
+    // Floors and replication.
+    for (idx, m) in mapping.modules.iter().enumerate() {
+        let Some(floor) = problem.module_floor(m.first, m.last) else {
+            return Err(MappingError::NeverFits { module: idx });
+        };
+        if m.procs < floor {
+            return Err(MappingError::BelowFloor {
+                module: idx,
+                floor,
+                procs: m.procs,
+            });
+        }
+        if m.replicas > 1 {
+            let allowed = problem.replication == ReplicationPolicy::Maximal
+                && problem.chain.range_replicable(m.first, m.last);
+            if !allowed {
+                return Err(MappingError::ReplicationNotAllowed { module: idx });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainBuilder;
+    use crate::edge::Edge;
+    use crate::mapping::ModuleAssignment;
+    use crate::task::Task;
+    use pipemap_model::{MemoryReq, PolyUnary};
+
+    fn problem() -> Problem {
+        let t = |n: &str| {
+            Task::new(n, PolyUnary::perfectly_parallel(1.0))
+                .with_memory(MemoryReq::new(0.0, 20.0))
+        };
+        let c = ChainBuilder::new()
+            .task(t("a"))
+            .edge(Edge::free())
+            .task(t("b").not_replicable())
+            .edge(Edge::free())
+            .task(t("c"))
+            .build();
+        Problem::new(c, 16, 10.0) // each task floor = 2
+    }
+
+    #[test]
+    fn valid_mapping_passes() {
+        let p = problem();
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 2, 2),
+            ModuleAssignment::new(1, 2, 1, 8),
+        ]);
+        assert_eq!(validate(&p, &m), Ok(()));
+    }
+
+    #[test]
+    fn gap_in_coverage_detected() {
+        let p = problem();
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 2),
+            ModuleAssignment::new(2, 2, 1, 2),
+        ]);
+        assert_eq!(
+            validate(&p, &m),
+            Err(MappingError::BadCoverage { expected_first: 1 })
+        );
+    }
+
+    #[test]
+    fn missing_tail_detected() {
+        let p = problem();
+        let m = Mapping::new(vec![ModuleAssignment::new(0, 1, 1, 4)]);
+        assert_eq!(
+            validate(&p, &m),
+            Err(MappingError::BadCoverage { expected_first: 2 })
+        );
+    }
+
+    #[test]
+    fn overlapping_modules_detected() {
+        let p = problem();
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 1, 1, 4),
+            ModuleAssignment::new(1, 2, 1, 4),
+        ]);
+        assert!(matches!(
+            validate(&p, &m),
+            Err(MappingError::BadCoverage { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let p = problem();
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 3, 3), // 9
+            ModuleAssignment::new(1, 2, 1, 8), // 8 → 17 > 16
+        ]);
+        assert_eq!(
+            validate(&p, &m),
+            Err(MappingError::TooManyProcs {
+                used: 17,
+                available: 16
+            })
+        );
+    }
+
+    #[test]
+    fn floor_enforced() {
+        let p = problem();
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 1), // floor is 2
+            ModuleAssignment::new(1, 2, 1, 8),
+        ]);
+        assert_eq!(
+            validate(&p, &m),
+            Err(MappingError::BelowFloor {
+                module: 0,
+                floor: 2,
+                procs: 1
+            })
+        );
+    }
+
+    #[test]
+    fn replication_of_nonreplicable_rejected() {
+        let p = problem();
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 2),
+            ModuleAssignment::new(1, 2, 2, 4), // contains non-replicable b
+        ]);
+        assert_eq!(
+            validate(&p, &m),
+            Err(MappingError::ReplicationNotAllowed { module: 1 })
+        );
+    }
+
+    #[test]
+    fn replication_under_disabled_policy_rejected() {
+        let p = problem().without_replication();
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 2, 2),
+            ModuleAssignment::new(1, 2, 1, 8),
+        ]);
+        assert_eq!(
+            validate(&p, &m),
+            Err(MappingError::ReplicationNotAllowed { module: 0 })
+        );
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = MappingError::TooManyProcs {
+            used: 9,
+            available: 8,
+        };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("8"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Exhaustive oracles for small instances.
+//!
+//! These enumerate the full search space — every clustering (a subset of
+//! the `k−1` chain boundaries), every processor allocation, with the
+//! policy's replication — and exist to *validate* the optimal algorithms:
+//! on any instance small enough to enumerate, `dp_mapping` must match
+//! [`brute_force_mapping`] exactly, and `dp_assignment` must match
+//! [`brute_force_assignment`]. They also quantify how far the greedy
+//! heuristic lands from the optimum.
+//!
+//! Both refuse instances whose search-space estimate exceeds a fixed
+//! budget instead of silently running forever.
+
+use pipemap_chain::{Assignment, Mapping, Problem};
+
+use crate::cluster::contract_chain;
+use crate::solution::{Solution, SolveError};
+
+/// Upper bound on enumerated allocations per clustering before the oracle
+/// refuses the instance.
+const MAX_STATES: u64 = 50_000_000;
+
+/// Estimate of the number of allocations for `modules` modules and `p`
+/// processors: `C(p, modules)`-ish; we use the loose bound `p^modules`.
+fn state_estimate(modules: usize, p: usize) -> u64 {
+    (p as u64).saturating_pow(modules as u32)
+}
+
+/// Recursively enumerate per-module processor offers (each at least its
+/// floor, total at most `budget`), calling `visit` with each complete
+/// offer vector.
+fn enumerate_allocations(
+    floors: &[usize],
+    budget: usize,
+    offer: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    let idx = offer.len();
+    if idx == floors.len() {
+        visit(offer);
+        return;
+    }
+    // Remaining modules still need their floors.
+    let reserve: usize = floors[idx + 1..].iter().sum();
+    if budget < floors[idx] + reserve {
+        return;
+    }
+    for p in floors[idx]..=(budget - reserve) {
+        offer.push(p);
+        enumerate_allocations(floors, budget - p, offer, visit);
+        offer.pop();
+    }
+}
+
+/// Exhaustive optimal processor assignment for the unclustered problem
+/// (each task its own module, policy replication). The oracle for
+/// [`crate::dp::dp_assignment`].
+pub fn brute_force_assignment(problem: &Problem) -> Result<(Solution, Assignment), SolveError> {
+    let k = problem.num_tasks();
+    let p = problem.total_procs;
+    if state_estimate(k, p) > MAX_STATES {
+        return Err(SolveError::TooLarge {
+            limit: "brute-force assignment state budget",
+        });
+    }
+    let mut floors = Vec::with_capacity(k);
+    for i in 0..k {
+        floors.push(problem.task_floor(i).ok_or(SolveError::Infeasible)?);
+    }
+    if floors.iter().sum::<usize>() > p {
+        return Err(SolveError::Infeasible);
+    }
+
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut offer = Vec::with_capacity(k);
+    enumerate_allocations(&floors, p, &mut offer, &mut |a| {
+        let assignment = Assignment(a.to_vec());
+        let Some(mapping) = assignment.to_mapping(problem) else {
+            return;
+        };
+        let thr = pipemap_chain::throughput(&problem.chain, &mapping);
+        if best.as_ref().is_none_or(|(b, _)| thr > *b) {
+            best = Some((thr, a.to_vec()));
+        }
+    });
+    let (_, a) = best.ok_or(SolveError::Infeasible)?;
+    let assignment = Assignment(a);
+    let mapping = assignment.to_mapping(problem).expect("floors respected");
+    Ok((Solution::from_mapping(problem, mapping), assignment))
+}
+
+/// Enumerate every clustering of a chain of `k` tasks (all `2^(k-1)`
+/// boundary subsets), as inclusive ranges.
+pub fn all_clusterings(k: usize) -> Vec<Vec<(usize, usize)>> {
+    assert!(k >= 1);
+    let mut out = Vec::with_capacity(1 << (k - 1));
+    for mask in 0u32..(1u32 << (k - 1)) {
+        let mut clustering = Vec::new();
+        let mut start = 0usize;
+        for b in 0..k - 1 {
+            if mask & (1 << b) != 0 {
+                clustering.push((start, b));
+                start = b + 1;
+            }
+        }
+        clustering.push((start, k - 1));
+        out.push(clustering);
+    }
+    out
+}
+
+/// Exhaustive optimal full mapping (clustering + replication +
+/// allocation). The oracle for [`crate::dp_cluster::dp_mapping`].
+pub fn brute_force_mapping(problem: &Problem) -> Result<Solution, SolveError> {
+    let k = problem.num_tasks();
+    let p = problem.total_procs;
+    if k > 12 {
+        return Err(SolveError::TooLarge {
+            limit: "brute-force mapping requires k <= 12",
+        });
+    }
+
+    let mut best: Option<(f64, Mapping)> = None;
+    let mut any_feasible = false;
+    for clustering in all_clusterings(k) {
+        if state_estimate(clustering.len(), p) > MAX_STATES {
+            return Err(SolveError::TooLarge {
+                limit: "brute-force mapping state budget",
+            });
+        }
+        let contracted = contract_chain(problem, &clustering);
+        let floors: Option<Vec<usize>> = (0..clustering.len())
+            .map(|i| contracted.problem.task_floor(i))
+            .collect();
+        let Some(floors) = floors else {
+            continue;
+        };
+        if floors.iter().sum::<usize>() > p {
+            continue;
+        }
+        any_feasible = true;
+        let mut offer = Vec::with_capacity(clustering.len());
+        enumerate_allocations(&floors, p, &mut offer, &mut |a| {
+            let assignment = Assignment(a.to_vec());
+            let Some(m) = assignment.to_mapping(&contracted.problem) else {
+                return;
+            };
+            let thr = pipemap_chain::throughput(&contracted.problem.chain, &m);
+            if best.as_ref().is_none_or(|(b, _)| thr > *b) {
+                best = Some((thr, contracted.expand(&m)));
+            }
+        });
+    }
+    if !any_feasible {
+        return Err(SolveError::Infeasible);
+    }
+    let (_, mapping) = best.ok_or(SolveError::Infeasible)?;
+    Ok(Solution::from_mapping(problem, mapping))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::dp_assignment;
+    use crate::dp_cluster::dp_mapping;
+    use pipemap_chain::{ChainBuilder, Edge, Task};
+    use pipemap_model::{MemoryReq, PolyEcom, PolyUnary};
+
+    #[test]
+    fn all_clusterings_counts() {
+        assert_eq!(all_clusterings(1).len(), 1);
+        assert_eq!(all_clusterings(2).len(), 2);
+        assert_eq!(all_clusterings(4).len(), 8);
+        // Every clustering covers the chain.
+        for c in all_clusterings(4) {
+            assert_eq!(c.first().unwrap().0, 0);
+            assert_eq!(c.last().unwrap().1, 3);
+            for w in c.windows(2) {
+                assert_eq!(w[0].1 + 1, w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_allocations_respects_floors_and_budget() {
+        let mut seen = Vec::new();
+        let mut offer = Vec::new();
+        enumerate_allocations(&[2, 1], 5, &mut offer, &mut |a| seen.push(a.to_vec()));
+        for a in &seen {
+            assert!(a[0] >= 2 && a[1] >= 1);
+            assert!(a[0] + a[1] <= 5);
+        }
+        // Count: p0 in 2..=4, p1 in 1..=(5-p0): 3 + 2 + 1 = 6.
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn brute_matches_dp_on_random_small_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..25 {
+            let k = rng.gen_range(1..=4);
+            let p = rng.gen_range(k..=9);
+            let mut b = ChainBuilder::new().task(Task::new(
+                "t0",
+                PolyUnary::new(
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.5..8.0),
+                    rng.gen_range(0.0..0.3),
+                ),
+            ));
+            for i in 1..k {
+                b = b
+                    .edge(Edge::new(
+                        PolyUnary::new(rng.gen_range(0.0..0.5), 0.0, 0.0),
+                        PolyEcom::new(
+                            rng.gen_range(0.0..1.0),
+                            rng.gen_range(0.0..2.0),
+                            rng.gen_range(0.0..2.0),
+                            rng.gen_range(0.0..0.2),
+                            rng.gen_range(0.0..0.2),
+                        ),
+                    ))
+                    .task(Task::new(
+                        format!("t{i}"),
+                        PolyUnary::new(
+                            rng.gen_range(0.0..1.0),
+                            rng.gen_range(0.5..8.0),
+                            rng.gen_range(0.0..0.3),
+                        ),
+                    ));
+            }
+            let chain = b.build();
+            let problem = Problem::new(chain, p, 1e9).without_replication();
+
+            let (bf, _) = brute_force_assignment(&problem).unwrap();
+            let (dp, _) = dp_assignment(&problem).unwrap();
+            assert!(
+                (bf.throughput - dp.throughput).abs() <= 1e-9 * bf.throughput.max(1.0),
+                "trial {trial}: assignment brute {} vs dp {}",
+                bf.throughput,
+                dp.throughput
+            );
+
+            let bf_map = brute_force_mapping(&problem).unwrap();
+            let dp_map = dp_mapping(&problem).unwrap();
+            assert!(
+                (bf_map.throughput - dp_map.throughput).abs()
+                    <= 1e-9 * bf_map.throughput.max(1.0),
+                "trial {trial}: mapping brute {} vs dp {}",
+                bf_map.throughput,
+                dp_map.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn brute_matches_dp_with_replication_and_memory() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..20 {
+            let k = rng.gen_range(1..=3);
+            let p = rng.gen_range((2 * k).max(3)..=8);
+            let mut tasks: Vec<Task> = Vec::new();
+            for i in 0..k {
+                let mut t = Task::new(
+                    format!("t{i}"),
+                    PolyUnary::new(rng.gen_range(0.1..1.0), rng.gen_range(0.5..6.0), 0.0),
+                )
+                .with_memory(MemoryReq::new(0.0, rng.gen_range(0.0..25.0)));
+                if rng.gen_bool(0.25) {
+                    t = t.not_replicable();
+                }
+                tasks.push(t);
+            }
+            let mut b = ChainBuilder::new().task(tasks[0].clone());
+            for t in tasks.into_iter().skip(1) {
+                b = b
+                    .edge(Edge::new(
+                        PolyUnary::new(rng.gen_range(0.0..0.3), 0.0, 0.0),
+                        PolyEcom::new(
+                            rng.gen_range(0.0..0.8),
+                            rng.gen_range(0.0..1.5),
+                            rng.gen_range(0.0..1.5),
+                            0.0,
+                            0.0,
+                        ),
+                    ))
+                    .task(t);
+            }
+            let problem = Problem::new(b.build(), p, 10.0);
+            let bf = brute_force_mapping(&problem);
+            let dp = dp_mapping(&problem);
+            match (bf, dp) {
+                (Ok(bf), Ok(dp)) => assert!(
+                    (bf.throughput - dp.throughput).abs() <= 1e-9 * bf.throughput.max(1.0),
+                    "trial {trial}: brute {} ({:?}) vs dp {} ({:?})",
+                    bf.throughput,
+                    bf.mapping,
+                    dp.throughput,
+                    dp.mapping
+                ),
+                (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+                (bf, dp) => panic!("trial {trial}: disagreement {bf:?} vs {dp:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn too_large_is_refused() {
+        let mut b = ChainBuilder::new().task(Task::new("t0", PolyUnary::zero()));
+        for i in 1..8 {
+            b = b
+                .edge(Edge::free())
+                .task(Task::new(format!("t{i}"), PolyUnary::zero()));
+        }
+        let p = Problem::new(b.build(), 512, 1e9);
+        assert!(matches!(
+            brute_force_assignment(&p),
+            Err(SolveError::TooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,381 @@
+//! Clustering support: chain contraction and the §4.2 heuristic.
+//!
+//! Clustering is the coarse decision of the mapping problem. The §4.2
+//! heuristic exploits the paper's observation that "mappings corresponding
+//! to optimal or near optimal throughput have the same clustering":
+//!
+//! 1. run the greedy processor assignment once with every task in its own
+//!    module, to get an approximate allocation;
+//! 2. scan adjacent module pairs, merging when the merged configuration
+//!    (on the pair's combined processors) improves predicted throughput,
+//!    then check whether any merged module should be split again;
+//! 3. re-run the greedy assignment on the resulting module chain to obtain
+//!    the final allocation and replication.
+//!
+//! The mechanical piece is [`contract_chain`]: turning a clustering into a
+//! derived problem whose "tasks" are the modules — execution costs compose
+//! (members + internal redistributions), memory adds, replicability is
+//! conjunctive, and the edges between modules are the original boundary
+//! edges. Every assignment-level algorithm then runs unchanged on the
+//! contracted problem, which is exactly how the paper's tool treats
+//! modules and tasks uniformly.
+
+use pipemap_chain::{ChainBuilder, Mapping, ModuleAssignment, Problem, Task, TaskChain};
+use pipemap_model::{ComposedModule, UnaryCost};
+
+use crate::greedy::{greedy_assignment, GreedyOptions};
+use crate::solution::{Solution, SolveError};
+
+/// A candidate clustering with per-module processor offers and the
+/// throughput it evaluates to.
+type ClusteringCandidate = (Vec<(usize, usize)>, Vec<usize>, f64);
+
+/// A problem whose tasks are the modules of a clustering of the original
+/// problem, plus the bookkeeping to expand solutions back.
+#[derive(Clone, Debug)]
+pub struct ContractedProblem {
+    /// The derived problem (one task per module).
+    pub problem: Problem,
+    /// The clustering, as inclusive task ranges of the original chain.
+    pub clustering: Vec<(usize, usize)>,
+}
+
+impl ContractedProblem {
+    /// Expand a mapping of the contracted problem (whose module ranges are
+    /// singletons over module-tasks) into a mapping of the original chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` does not have exactly one singleton module per
+    /// contracted task (the form produced by the assignment algorithms).
+    pub fn expand(&self, mapping: &Mapping) -> Mapping {
+        assert_eq!(mapping.num_modules(), self.clustering.len());
+        let modules = mapping
+            .modules
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                assert_eq!((m.first, m.last), (i, i), "expected singleton modules");
+                let (first, last) = self.clustering[i];
+                ModuleAssignment::new(first, last, m.replicas, m.procs)
+            })
+            .collect();
+        Mapping::new(modules)
+    }
+}
+
+/// Contract `problem` along `clustering` (a partition of the task indices
+/// into consecutive inclusive ranges): each module becomes one task whose
+/// execution cost is its members' execution plus internal redistributions,
+/// whose memory is the members' sum, and which is replicable only if every
+/// member is.
+///
+/// # Panics
+///
+/// Panics if `clustering` is not a left-to-right partition of the chain.
+pub fn contract_chain(problem: &Problem, clustering: &[(usize, usize)]) -> ContractedProblem {
+    let chain = &problem.chain;
+    let mut expected = 0usize;
+    for &(first, last) in clustering {
+        assert_eq!(first, expected, "clustering must cover the chain in order");
+        assert!(last >= first && last < chain.len());
+        expected = last + 1;
+    }
+    assert_eq!(expected, chain.len(), "clustering must cover every task");
+
+    let mut builder = ChainBuilder::new();
+    for (mi, &(first, last)) in clustering.iter().enumerate() {
+        let mut composed = ComposedModule::empty();
+        let mut names: Vec<&str> = Vec::new();
+        let mut min_procs = None;
+        for i in first..=last {
+            let t = chain.task(i);
+            let joining = if i == first {
+                UnaryCost::Zero
+            } else {
+                chain.edge(i - 1).icom.clone()
+            };
+            composed.push(t.exec.clone(), t.memory, t.replicable, &joining);
+            names.push(&t.name);
+            min_procs = match (min_procs, t.min_procs) {
+                (None, m) => m,
+                (m, None) => m,
+                (Some(a), Some(b)) => Some(a.max(b)),
+            };
+        }
+        let mut task = Task::new(names.join("+"), composed.exec().clone())
+            .with_memory(composed.memory());
+        if !composed.replicable() {
+            task = task.not_replicable();
+        }
+        if let Some(m) = min_procs {
+            task = task.with_min_procs(m);
+        }
+        builder = builder.task(task);
+        if mi + 1 < clustering.len() {
+            builder = builder.edge(chain.edge(last).clone());
+        }
+    }
+    let contracted: TaskChain = builder.build();
+    let mut derived = Problem::new(contracted, problem.total_procs, problem.mem_per_proc);
+    derived.replication = problem.replication;
+    ContractedProblem {
+        problem: derived,
+        clustering: clustering.to_vec(),
+    }
+}
+
+/// Throughput of a clustering with the given per-module processor offers,
+/// under the problem's replication policy. `None` if any module is below
+/// its floor or over budget.
+fn clustering_throughput(
+    problem: &Problem,
+    clustering: &[(usize, usize)],
+    procs: &[usize],
+) -> Option<f64> {
+    let total: usize = procs.iter().sum();
+    if total > problem.total_procs {
+        return None;
+    }
+    let contracted = contract_chain(problem, clustering);
+    let assignment = pipemap_chain::Assignment(procs.to_vec());
+    let mapping = assignment.to_mapping(&contracted.problem)?;
+    Some(pipemap_chain::throughput(
+        &contracted.problem.chain,
+        &mapping,
+    ))
+}
+
+/// The full §4.2 heuristic: greedy assignment → merge scan → split scan →
+/// greedy re-assignment on the final clustering. Returns the expanded
+/// mapping on the original chain.
+pub fn cluster_heuristic(
+    problem: &Problem,
+    options: GreedyOptions,
+) -> Result<Solution, SolveError> {
+    let k = problem.num_tasks();
+
+    // Phase 1: approximate assignment with singleton clustering.
+    let (_, assignment) = greedy_assignment(problem, options)?;
+    let mut clustering: Vec<(usize, usize)> = (0..k).map(|i| (i, i)).collect();
+    let mut procs: Vec<usize> = assignment.0.clone();
+
+    // Phase 2a: merge scan. Merging modules i, i+1 pools their
+    // processors. Each round evaluates *every* adjacent pair and applies
+    // the best improving merge (best-improvement, not first-improvement:
+    // a greedy left-to-right scan can commit to merging (t1, t2) and
+    // thereby hide the better (t2, t3) merge).
+    loop {
+        let cur = clustering_throughput(problem, &clustering, &procs);
+        let mut best: Option<ClusteringCandidate> = None;
+        for i in 0..clustering.len().saturating_sub(1) {
+            let mut mc = clustering.clone();
+            let mut mp = procs.clone();
+            let (f, _) = mc[i];
+            let (_, l2) = mc[i + 1];
+            mc[i] = (f, l2);
+            mc.remove(i + 1);
+            mp[i] += mp[i + 1];
+            mp.remove(i + 1);
+            if let Some(thr) = clustering_throughput(problem, &mc, &mp) {
+                if best.as_ref().is_none_or(|b| thr > b.2) {
+                    best = Some((mc, mp, thr));
+                }
+            }
+        }
+        match (cur, best) {
+            (Some(c), Some((mc, mp, thr))) if thr > c => {
+                clustering = mc;
+                procs = mp;
+            }
+            (None, Some((mc, mp, _))) => {
+                // The current split is infeasible (e.g. floors exceed the
+                // budget); take any feasible merge.
+                clustering = mc;
+                procs = mp;
+            }
+            _ => break,
+        }
+    }
+
+    // Phase 2b: split scan — check whether any merged module should be
+    // separated again, splitting its processors as evenly as floors allow.
+    let mut mi = 0;
+    while mi < clustering.len() {
+        let (first, last) = clustering[mi];
+        if first == last {
+            mi += 1;
+            continue;
+        }
+        let cur = clustering_throughput(problem, &clustering, &procs);
+        let mut best_split: Option<ClusteringCandidate> = None;
+        for cut in first..last {
+            // Split [first..=last] into [first..=cut] | [cut+1..=last].
+            let mut sc = clustering.clone();
+            sc[mi] = (first, cut);
+            sc.insert(mi + 1, (cut + 1, last));
+            let p = procs[mi];
+            let f1 = problem.module_floor(first, cut);
+            let f2 = problem.module_floor(cut + 1, last);
+            let (Some(f1), Some(f2)) = (f1, f2) else {
+                continue;
+            };
+            if f1 + f2 > p {
+                continue;
+            }
+            // Even split, clamped to floors.
+            let mut p1 = (p / 2).max(f1);
+            if p - p1 < f2 {
+                p1 = p - f2;
+            }
+            let p2 = p - p1;
+            let mut sp = procs.clone();
+            sp[mi] = p1;
+            sp.insert(mi + 1, p2);
+            if let Some(thr) = clustering_throughput(problem, &sc, &sp) {
+                if best_split.as_ref().is_none_or(|b| thr > b.2) {
+                    best_split = Some((sc, sp, thr));
+                }
+            }
+        }
+        if let (Some(c), Some((sc, sp, thr))) = (cur, best_split) {
+            if thr > c {
+                clustering = sc;
+                procs = sp;
+                continue; // re-examine the left part at the same index
+            }
+        }
+        mi += 1;
+    }
+
+    // Phase 3: final greedy assignment on the contracted chain.
+    let contracted = contract_chain(problem, &clustering);
+    let (sol, _) = greedy_assignment(&contracted.problem, options)?;
+    let expanded = contracted.expand(&sol.mapping);
+    Ok(Solution::from_mapping(problem, expanded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_chain::{throughput, validate, Edge};
+    use pipemap_model::{MemoryReq, PolyEcom, PolyUnary};
+
+    /// Two perfectly-parallel tasks. With `merge_wins` the transfer is
+    /// expensive and the internal redistribution free, so one module is
+    /// best; otherwise the redistribution costs more than the transfer,
+    /// so staying separate is best.
+    fn mk_chain(merge_wins: bool) -> TaskChain {
+        let (icom, ecom) = if merge_wins {
+            (PolyUnary::zero(), PolyEcom::new(50.0, 0.0, 0.0, 0.0, 0.0))
+        } else {
+            (
+                PolyUnary::new(0.5, 0.0, 0.0),
+                PolyEcom::new(0.01, 0.0, 0.0, 0.0, 0.0),
+            )
+        };
+        ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::perfectly_parallel(8.0)))
+            .edge(Edge::new(icom, ecom))
+            .task(Task::new("b", PolyUnary::perfectly_parallel(8.0)))
+            .build()
+    }
+
+    #[test]
+    fn contract_composes_costs() {
+        let p = Problem::new(mk_chain(false), 8, 1e9);
+        let c = contract_chain(&p, &[(0, 1)]);
+        assert_eq!(c.problem.num_tasks(), 1);
+        // Composed exec at 4 procs: 8/4 + icom(0.5) + 8/4 = 4.5.
+        assert!((c.problem.chain.task(0).exec.eval(4) - 4.5).abs() < 1e-12);
+        assert_eq!(c.problem.chain.task(0).name, "a+b");
+    }
+
+    #[test]
+    fn contract_preserves_boundary_edges() {
+        let chain = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::perfectly_parallel(1.0)))
+            .edge(Edge::new(
+                PolyUnary::new(0.5, 0.0, 0.0),
+                PolyEcom::new(2.0, 0.0, 0.0, 0.0, 0.0),
+            ))
+            .task(Task::new("b", PolyUnary::perfectly_parallel(1.0)))
+            .edge(Edge::new(
+                PolyUnary::new(0.25, 0.0, 0.0),
+                PolyEcom::new(3.0, 0.0, 0.0, 0.0, 0.0),
+            ))
+            .task(Task::new("c", PolyUnary::perfectly_parallel(1.0)))
+            .build();
+        let p = Problem::new(chain, 8, 1e9);
+        let c = contract_chain(&p, &[(0, 1), (2, 2)]);
+        assert_eq!(c.problem.num_tasks(), 2);
+        // The surviving edge is the original b→c edge.
+        assert!((c.problem.chain.edge(0).ecom.eval(1, 1) - 3.0).abs() < 1e-12);
+        // The a→b icom got folded into the first module's exec.
+        assert!((c.problem.chain.task(0).exec.eval(1) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contract_combines_memory_and_replicability() {
+        let chain = ChainBuilder::new()
+            .task(
+                Task::new("a", PolyUnary::zero())
+                    .with_memory(MemoryReq::new(1.0, 10.0))
+                    .not_replicable(),
+            )
+            .edge(Edge::free())
+            .task(Task::new("b", PolyUnary::zero()).with_memory(MemoryReq::new(2.0, 20.0)))
+            .build();
+        let p = Problem::new(chain, 8, 1e9);
+        let c = contract_chain(&p, &[(0, 1)]);
+        let t = c.problem.chain.task(0);
+        assert_eq!(t.memory, MemoryReq::new(3.0, 30.0));
+        assert!(!t.replicable);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every task")]
+    fn contract_rejects_bad_clustering() {
+        let p = Problem::new(mk_chain(false), 8, 1e9);
+        let _ = contract_chain(&p, &[(0, 0)]);
+    }
+
+    #[test]
+    fn expand_roundtrip() {
+        let p = Problem::new(mk_chain(false), 8, 1e9).without_replication();
+        let c = contract_chain(&p, &[(0, 1)]);
+        let m = Mapping::new(vec![ModuleAssignment::new(0, 0, 1, 8)]);
+        let e = c.expand(&m);
+        assert_eq!(e.modules[0].first, 0);
+        assert_eq!(e.modules[0].last, 1);
+        assert_eq!(e.modules[0].procs, 8);
+        validate(&p, &e).unwrap();
+    }
+
+    #[test]
+    fn heuristic_merges_under_heavy_ecom() {
+        let p = Problem::new(mk_chain(true), 8, 1e9).without_replication();
+        let s = cluster_heuristic(&p, GreedyOptions::paper()).unwrap();
+        assert_eq!(s.mapping.num_modules(), 1);
+        validate(&p, &s.mapping).unwrap();
+        assert!((s.throughput - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heuristic_keeps_split_under_light_ecom() {
+        let p = Problem::new(mk_chain(false), 8, 1e9).without_replication();
+        let s = cluster_heuristic(&p, GreedyOptions::paper()).unwrap();
+        assert_eq!(s.mapping.num_modules(), 2);
+        validate(&p, &s.mapping).unwrap();
+    }
+
+    #[test]
+    fn contracted_throughput_matches_expanded_throughput() {
+        let p = Problem::new(mk_chain(true), 8, 1e9).without_replication();
+        let c = contract_chain(&p, &[(0, 1)]);
+        let m = Mapping::new(vec![ModuleAssignment::new(0, 0, 1, 8)]);
+        let contracted_thr = throughput(&c.problem.chain, &m);
+        let expanded_thr = throughput(&p.chain, &c.expand(&m));
+        assert!((contracted_thr - expanded_thr).abs() < 1e-12);
+    }
+}

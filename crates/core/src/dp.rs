@@ -1,0 +1,459 @@
+//! Optimal processor assignment by dynamic programming (§3.1–§3.2).
+//!
+//! Each task is its own module (no clustering); the algorithm finds the
+//! per-task processor counts maximising throughput. The difficulty —
+//! and the reason a simple "feed the slowest task" loop is not optimal —
+//! is that a task's response time depends on the processor counts of its
+//! *neighbours* through the external communication functions.
+//!
+//! ## Formulation
+//!
+//! Following the paper's Lemma 1, define
+//!
+//! ```text
+//! V_j(p_total, p_last, p_next) =
+//!     the best achievable bottleneck throughput over assignments of at
+//!     most p_total processors to the subchain t_0..t_j, given that
+//!     A(j) = p_last and the following task will receive p_next,
+//! ```
+//!
+//! where the bottleneck includes the response of every task `t_0..t_j` —
+//! the response of `t_j` itself is computable because `p_next` is part of
+//! the state and the predecessor's count `q` is enumerated by the
+//! recurrence:
+//!
+//! ```text
+//! V_j(pt, pl, pn) = max_q min( V_{j-1}(pt − pl, q, pl),  1 / f_j(q, pl, pn) )
+//! V_0(pt, pl, pn) = 1 / f_0(pl, pn)                       for pl ≤ pt
+//! ```
+//!
+//! (The paper's function `F` excludes the last task's response and folds it
+//! one level up; folding it at extension time when `q` is known is the same
+//! computation.) Letting the base case accept `pl ≤ pt` implements the
+//! "optimal assignment may not use all available processors" refinement:
+//! slack is absorbed at the left end, and the value function is monotone in
+//! `p_total` by induction.
+//!
+//! ## Replication (§3.2)
+//!
+//! With maximal replication, a task offered `p` processors runs
+//! `r = ⌊p/p_min⌋` instances of `⌊p/r⌋` processors; every cost function is
+//! evaluated at *instance* sizes and the response divides by `r`. The
+//! tables in [`pipemap_chain::CostTable`] pre-compute the `p → (r, inst)`
+//! map, so the recurrence is unchanged — exactly the paper's observation.
+//!
+//! Complexity: `O(P⁴ k)` time (the `pn` dimension of the final stage is a
+//! single sentinel value, and per-stage work is `pt × pl × pn × q ≤ P⁴`),
+//! `O(P³)` memory (two live stages).
+
+use pipemap_chain::{Assignment, CostTable, Mapping, Problem};
+use pipemap_model::Procs;
+
+use crate::solution::{Solution, SolveError};
+
+/// The value + parent tables of one DP stage, kept for introspection
+/// (Figure 4 of the paper illustrates exactly these subchain tables).
+#[derive(Clone, Debug)]
+pub struct DpStage {
+    /// Task index `j` of this stage.
+    pub task: usize,
+    /// `value[idx(pt, pl, pn)]` = best bottleneck throughput, or
+    /// `f64::NEG_INFINITY` when the state is invalid.
+    pub value: Vec<f64>,
+    /// `parent[idx]` = the maximising `q` (processors of task `j-1`).
+    pub parent: Vec<u32>,
+}
+
+/// Introspection record of a DP run: per-stage tables plus the final
+/// choice. Produced by [`dp_assignment_traced`].
+#[derive(Clone, Debug)]
+pub struct DpTrace {
+    /// Stages in task order.
+    pub stages: Vec<DpStage>,
+    /// Chosen processors per task.
+    pub assignment: Vec<Procs>,
+    /// Optimal bottleneck throughput.
+    pub throughput: f64,
+}
+
+struct Dims {
+    p: usize,
+}
+
+impl Dims {
+    #[inline]
+    fn idx(&self, pt: usize, pl: usize, pn: usize) -> usize {
+        debug_assert!(pt <= self.p && pl <= self.p && pn <= self.p);
+        (pt * (self.p + 1) + pl) * (self.p + 1) + pn
+    }
+
+    fn len(&self) -> usize {
+        (self.p + 1) * (self.p + 1) * (self.p + 1)
+    }
+}
+
+/// Sentinel `pn` index meaning "no next task" (the paper's φ).
+const NO_NEXT: usize = 0;
+
+/// Throughput contribution of task `j` when offered `pl` processors, its
+/// predecessor `q` (0 = none) and successor `pn` (0 = none): `1 / f_j`
+/// with `f_j` the replication-adjusted response. Returns 0.0 when the
+/// response is infinite (below floor).
+#[inline]
+fn task_throughput(table: &CostTable, j: usize, q: usize, pl: usize, pn: usize) -> f64 {
+    let prev_inst = if q == 0 {
+        None
+    } else {
+        match table.task_instance_procs(j - 1, q) {
+            Some(i) => Some(i),
+            None => return f64::NEG_INFINITY, // predecessor below floor
+        }
+    };
+    let next_inst = if pn == 0 {
+        None
+    } else {
+        match table.task_instance_procs(j + 1, pn) {
+            Some(i) => Some(i),
+            None => return f64::NEG_INFINITY,
+        }
+    };
+    let f = table.task_effective_response(j, pl, prev_inst, next_inst);
+    if f.is_infinite() {
+        if f.is_sign_positive() {
+            0.0 // valid state, infinitely slow — dominated but not illegal
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else if f <= 0.0 {
+        f64::INFINITY // zero-cost task
+    } else {
+        1.0 / f
+    }
+}
+
+fn run_dp(problem: &Problem, table: &CostTable, keep_stages: bool) -> Result<DpTrace, SolveError> {
+    let k = problem.num_tasks();
+    let p = problem.total_procs;
+    let dims = Dims { p };
+
+    let floors: Vec<Procs> = (0..k)
+        .map(|i| problem.task_floor(i).ok_or(SolveError::Infeasible))
+        .collect::<Result<_, _>>()?;
+    if floors.iter().sum::<Procs>() > p {
+        return Err(SolveError::Infeasible);
+    }
+
+    // pn values that matter for stage j: the sentinel for the last stage,
+    // the successor's feasible range otherwise.
+    let pn_range = |j: usize| -> Vec<usize> {
+        if j + 1 == k {
+            vec![NO_NEXT]
+        } else {
+            (floors[j + 1]..=p).collect()
+        }
+    };
+
+    let mut stages: Vec<DpStage> = Vec::new();
+    let mut prev_value: Vec<f64> = Vec::new();
+    let mut all_parents: Vec<Vec<u32>> = Vec::new();
+
+    for j in 0..k {
+        let mut value = vec![f64::NEG_INFINITY; dims.len()];
+        let mut parent = vec![0u32; dims.len()];
+        let pns = pn_range(j);
+        for pt in floors[j]..=p {
+            for pl in floors[j]..=pt {
+                for &pn in &pns {
+                    let v = if j == 0 {
+                        task_throughput(table, 0, 0, pl, pn)
+                    } else {
+                        // Enumerate the predecessor's processors q.
+                        let budget = pt - pl;
+                        let mut best = f64::NEG_INFINITY;
+                        let mut best_q = 0u32;
+                        for q in floors[j - 1]..=budget {
+                            let sub = prev_value[dims.idx(budget, q, pl)];
+                            if sub <= best {
+                                continue; // min(sub, _) ≤ sub ≤ best
+                            }
+                            let own = task_throughput(table, j, q, pl, pn);
+                            let cand = sub.min(own);
+                            if cand > best {
+                                best = cand;
+                                best_q = q as u32;
+                            }
+                        }
+                        parent[dims.idx(pt, pl, pn)] = best_q;
+                        best
+                    };
+                    value[dims.idx(pt, pl, pn)] = v;
+                }
+            }
+        }
+        all_parents.push(parent.clone());
+        if keep_stages {
+            stages.push(DpStage {
+                task: j,
+                value: value.clone(),
+                parent: parent.clone(),
+            });
+        }
+        prev_value = value;
+    }
+
+    // Answer: best over pl of V_{k-1}(P, pl, φ); ties prefer fewer procs.
+    let mut best = f64::NEG_INFINITY;
+    let mut best_pl = 0usize;
+    for pl in floors[k - 1]..=p {
+        let v = prev_value[dims.idx(p, pl, NO_NEXT)];
+        if v > best {
+            best = v;
+            best_pl = pl;
+        }
+    }
+    if best == f64::NEG_INFINITY {
+        return Err(SolveError::Infeasible);
+    }
+
+    // Reconstruct right-to-left.
+    let mut assignment = vec![0usize; k];
+    let mut pt = p;
+    let mut pl = best_pl;
+    let mut pn = NO_NEXT;
+    for j in (0..k).rev() {
+        assignment[j] = pl;
+        if j > 0 {
+            let q = all_parents[j][dims.idx(pt, pl, pn)] as usize;
+            pt -= pl;
+            pn = pl;
+            pl = q;
+        }
+    }
+
+    Ok(DpTrace {
+        stages,
+        assignment,
+        throughput: best,
+    })
+}
+
+/// Optimal processor assignment for the unclustered problem: each task its
+/// own module, replication per the problem's policy. Returns the optimal
+/// [`Solution`] (throughput recomputed by the evaluator) and the chosen
+/// per-task processor counts.
+pub fn dp_assignment(problem: &Problem) -> Result<(Solution, Assignment), SolveError> {
+    let table = CostTable::build(problem);
+    let trace = run_dp(problem, &table, false)?;
+    let assignment = Assignment(trace.assignment.clone());
+    let mapping: Mapping = assignment
+        .to_mapping(problem)
+        .expect("DP respects per-task floors");
+    let solution = Solution::from_mapping(problem, mapping);
+    debug_assert!(
+        (solution.throughput - trace.throughput).abs()
+            <= 1e-9 * trace.throughput.abs().max(1.0),
+        "DP internal value {} disagrees with evaluator {}",
+        trace.throughput,
+        solution.throughput
+    );
+    Ok((solution, assignment))
+}
+
+/// [`dp_assignment`] keeping every stage table for inspection (Figure 4).
+pub fn dp_assignment_traced(problem: &Problem) -> Result<DpTrace, SolveError> {
+    let table = CostTable::build(problem);
+    run_dp(problem, &table, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_chain::{throughput, ChainBuilder, Edge, Task};
+    use pipemap_model::{MemoryReq, PolyEcom, PolyUnary};
+
+    fn simple_chain(work: &[f64]) -> pipemap_chain::TaskChain {
+        let mut b = ChainBuilder::new().task(Task::new(
+            "t0",
+            PolyUnary::perfectly_parallel(work[0]),
+        ));
+        for (i, &w) in work.iter().enumerate().skip(1) {
+            b = b
+                .edge(Edge::free())
+                .task(Task::new(format!("t{i}"), PolyUnary::perfectly_parallel(w)));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_task_uses_all_procs() {
+        let p = Problem::new(simple_chain(&[8.0]), 4, 1e9).without_replication();
+        let (s, a) = dp_assignment(&p).unwrap();
+        assert_eq!(a.0, vec![4]);
+        assert!((s.throughput - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_split_no_comm() {
+        // Two identical perfectly-parallel tasks, no comm: split in half.
+        let p = Problem::new(simple_chain(&[8.0, 8.0]), 8, 1e9).without_replication();
+        let (s, a) = dp_assignment(&p).unwrap();
+        assert_eq!(a.0, vec![4, 4]);
+        assert!((s.throughput - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_split_no_comm() {
+        // Work 12 vs 4 on 8 procs: best is 6/2 (bottleneck 2.0).
+        let p = Problem::new(simple_chain(&[12.0, 4.0]), 8, 1e9).without_replication();
+        let (s, a) = dp_assignment(&p).unwrap();
+        assert_eq!(a.0, vec![6, 2]);
+        assert!((s.throughput - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn may_leave_processors_idle() {
+        // Fixed-cost task plus an overhead-heavy task: extra processors on
+        // the second task only hurt. f1(p) = 1 + p/10: best at p = 1.
+        let c = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::new(2.0, 0.0, 0.0)))
+            .edge(Edge::free())
+            .task(Task::new("b", PolyUnary::new(0.0, 1.0, 0.1)))
+            .build();
+        let p = Problem::new(c, 16, 1e9).without_replication();
+        let (s, a) = dp_assignment(&p).unwrap();
+        // Task a: any count, 2.0. Task b: minimum at sqrt(1/0.1) ≈ 3;
+        // f(3) = 1/3 + 0.3 = 0.633. Bottleneck is a at 2.0 regardless, so
+        // anything with b's response ≤ 2 is optimal; throughput 0.5.
+        assert!((s.throughput - 0.5).abs() < 1e-12);
+        assert!(a.total() <= 16);
+    }
+
+    #[test]
+    fn comm_aware_beats_comm_blind() {
+        // Strong ecom penalty growing with sender procs: the optimum gives
+        // the sender fewer processors than a comm-blind balance would.
+        let c = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::perfectly_parallel(8.0)))
+            .edge(Edge::new(
+                PolyUnary::zero(),
+                PolyEcom::new(0.0, 0.0, 0.0, 0.5, 0.0),
+            ))
+            .task(Task::new("b", PolyUnary::perfectly_parallel(8.0)))
+            .build();
+        let p = Problem::new(c, 8, 1e9).without_replication();
+        let (s, a) = dp_assignment(&p).unwrap();
+        // Check optimality against explicit enumeration.
+        let mut best = 0.0_f64;
+        for pa in 1..=7usize {
+            for pb in 1..=(8 - pa) {
+                let m = Mapping::task_parallel(&[pa, pb]);
+                best = best.max(throughput(&p.chain, &m));
+            }
+        }
+        assert!((s.throughput - best).abs() < 1e-9);
+        assert!(a.total() <= 8);
+        // The ecom penalty (0.5·ps on both endpoints) caps the useful
+        // sender size: a naive "all processors help" split of 8 would use
+        // them all, but responses at [4,4] are 8/4 + 0.5·4 = 4.0 and any
+        // larger sender is strictly worse on both tasks.
+        assert!(a.procs(0) <= 4, "sender overallocated: {:?}", a.0);
+    }
+
+    #[test]
+    fn replication_boosts_throughput() {
+        // One task, fixed response 1s, floor 1: with replication on 8
+        // procs → 8 instances → throughput 8.
+        let c = ChainBuilder::new()
+            .task(Task::new("t", PolyUnary::new(1.0, 0.0, 0.0)))
+            .build();
+        let with_rep = Problem::new(c.clone(), 8, 1e9);
+        let (s, _) = dp_assignment(&with_rep).unwrap();
+        assert!((s.throughput - 8.0).abs() < 1e-9);
+        let without = Problem::new(c, 8, 1e9).without_replication();
+        let (s2, _) = dp_assignment(&without).unwrap();
+        assert!((s2.throughput - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_floor_respected() {
+        let c = ChainBuilder::new()
+            .task(
+                Task::new("a", PolyUnary::perfectly_parallel(4.0))
+                    .with_memory(MemoryReq::new(0.0, 30.0)),
+            )
+            .edge(Edge::free())
+            .task(Task::new("b", PolyUnary::perfectly_parallel(4.0)))
+            .build();
+        let p = Problem::new(c, 8, 10.0).without_replication(); // floor a = 3
+        let (_, a) = dp_assignment(&p).unwrap();
+        assert!(a.procs(0) >= 3);
+    }
+
+    #[test]
+    fn infeasible_when_floors_exceed_budget() {
+        let c = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::zero()).with_memory(MemoryReq::new(0.0, 50.0)))
+            .edge(Edge::free())
+            .task(Task::new("b", PolyUnary::zero()).with_memory(MemoryReq::new(0.0, 50.0)))
+            .build();
+        let p = Problem::new(c, 8, 10.0); // floors 5 + 5 > 8
+        assert_eq!(dp_assignment(&p).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_when_task_never_fits() {
+        let c = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::zero()).with_memory(MemoryReq::new(20.0, 0.0)))
+            .build();
+        let p = Problem::new(c, 8, 10.0);
+        assert_eq!(dp_assignment(&p).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn trace_exposes_stages() {
+        let p = Problem::new(simple_chain(&[4.0, 4.0]), 4, 1e9).without_replication();
+        let t = dp_assignment_traced(&p).unwrap();
+        assert_eq!(t.stages.len(), 2);
+        assert_eq!(t.assignment.len(), 2);
+        assert_eq!(t.stages[0].task, 0);
+        // The final stage's best value matches the reported throughput.
+        assert!(t.throughput > 0.0);
+    }
+
+    #[test]
+    fn three_task_chain_with_comm_is_optimal_vs_enumeration() {
+        let c = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::perfectly_parallel(6.0)))
+            .edge(Edge::new(
+                PolyUnary::zero(),
+                PolyEcom::new(0.2, 1.0, 1.0, 0.05, 0.05),
+            ))
+            .task(Task::new("b", PolyUnary::perfectly_parallel(10.0)))
+            .edge(Edge::new(
+                PolyUnary::zero(),
+                PolyEcom::new(0.1, 0.5, 0.5, 0.02, 0.02),
+            ))
+            .task(Task::new("c", PolyUnary::perfectly_parallel(3.0)))
+            .build();
+        let p = Problem::new(c, 12, 1e9).without_replication();
+        let (s, _) = dp_assignment(&p).unwrap();
+        let mut best = 0.0_f64;
+        for pa in 1..=12usize {
+            for pb in 1..=12usize {
+                for pc in 1..=12usize {
+                    if pa + pb + pc > 12 {
+                        continue;
+                    }
+                    let m = Mapping::task_parallel(&[pa, pb, pc]);
+                    best = best.max(throughput(&p.chain, &m));
+                }
+            }
+        }
+        assert!(
+            (s.throughput - best).abs() < 1e-9,
+            "dp {} vs enumeration {}",
+            s.throughput,
+            best
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! Optimal mapping with clustering by dynamic programming (§3.3).
+//!
+//! The full mapping problem decides, jointly: where the module boundaries
+//! fall, how many processors each module receives, and (via the §3.2 rule)
+//! how far each module is replicated. The paper extends the assignment DP
+//! with one extra state component — the *length* of the module following
+//! the current subchain — because a module's memory requirement, and hence
+//! its processor floor and replication degree, is known only once its full
+//! extent is known.
+//!
+//! ## State space used here
+//!
+//! We carry the same information in a form that makes every folded response
+//! exact under replication:
+//!
+//! ```text
+//! V(j, L, pl, ne, pt) =
+//!   best achievable bottleneck throughput over mappings of tasks 0..=j
+//!   whose last module is M = [j−L+1 ..= j] with pl processors, given that
+//!   the module following M has instance size ne (0 = none), using at most
+//!   pt processors for tasks 0..=j.
+//! ```
+//!
+//! The response of `M` itself is folded *at this level*: its extent and
+//! processors give its replication `(r, inst)` from the tables; `ne` gives
+//! the outgoing transfer; and the recurrence enumerates the previous
+//! module's `(length, processors)` pair, which gives the incoming transfer
+//! at exact instance sizes:
+//!
+//! ```text
+//! V(j, L, pl, ne, pt) = max over (L', q) of
+//!     min( V(j−L, L', q, inst(M), pt − pl),
+//!          r_M / (ecom_in(inst', inst) + exec_M(inst) + ecom_out(inst, ne)) )
+//! ```
+//!
+//! with the base case (module starting at task 0) accepting `pl ≤ pt` so
+//! processors may be left idle. This is the paper's
+//! `M_j(p_total, p_last, p_next, next_mod_length)` with the "next module"
+//! collapsed to its instance size (two next-modules with equal instance
+//! size are interchangeable for the subproblem, which is what lets the
+//! paper's 4-argument table work) and the last module's own length kept
+//! explicitly.
+//!
+//! Worst-case work is `O(k³ P⁴)` with `O(k² P³)` memory; the paper reports
+//! `O(P⁴ k²)` counting its per-entry work as `O(P)` amortised. Either way
+//! the cost is dominated by `P⁴`, and for the paper's scale (`P = 64`,
+//! `k ≤ 5`) the solve completes in seconds; the greedy algorithm exists
+//! precisely because this is too slow for large `P` or dynamic mapping.
+
+use pipemap_chain::{CostTable, Mapping, ModuleAssignment, Problem};
+
+use crate::solution::{Solution, SolveError};
+
+/// Packed parent record: the maximising previous-module choice.
+#[derive(Clone, Copy, Debug, Default)]
+struct Parent {
+    prev_len: u16,
+    prev_procs: u16,
+}
+
+/// Per-(j, L) stage table.
+struct Stage {
+    /// `value[((pl-1) * (P+1) + ne) * (P+1) + pt]`.
+    value: Vec<f64>,
+    parent: Vec<Parent>,
+}
+
+struct StageDims {
+    p: usize,
+}
+
+impl StageDims {
+    #[inline]
+    fn idx(&self, pl: usize, ne: usize, pt: usize) -> usize {
+        debug_assert!(pl >= 1);
+        ((pl - 1) * (self.p + 1) + ne) * (self.p + 1) + pt
+    }
+
+    fn len(&self) -> usize {
+        self.p * (self.p + 1) * (self.p + 1)
+    }
+}
+
+/// Optimal full mapping (clustering + replication + allocation) of the
+/// problem. Optimal with respect to the problem's replication policy and
+/// cost model; machine-geometry feasibility is handled separately by
+/// `pipemap-machine`.
+pub fn dp_mapping(problem: &Problem) -> Result<Solution, SolveError> {
+    let table = CostTable::build(problem);
+    let k = problem.num_tasks();
+    let p = problem.total_procs;
+    let dims = StageDims { p };
+
+    // stage_key(j, L) → index into `stages`; only L ≤ j+1 exist.
+    let stage_key = |j: usize, l: usize| -> usize {
+        debug_assert!(l >= 1 && l <= j + 1);
+        j * k + (l - 1)
+    };
+    let mut stages: Vec<Option<Stage>> = (0..k * k).map(|_| None).collect();
+
+    for j in 0..k {
+        for l in 1..=j + 1 {
+            let first = j + 1 - l;
+            let Some(floor) = table.module_floor(first, j) else {
+                continue; // module can never fit: leave stage absent
+            };
+            if floor > p {
+                continue;
+            }
+            let mut value = vec![f64::NEG_INFINITY; dims.len()];
+            let mut parent = vec![Parent::default(); dims.len()];
+
+            // `ne` values worth computing: the sentinel for the chain end,
+            // every possible next-module instance size otherwise.
+            let ne_values: Vec<usize> = if j + 1 == k {
+                vec![0]
+            } else {
+                (1..=p).collect()
+            };
+
+            for pl in floor..=p {
+                let rep = table
+                    .module_replication(first, j, pl)
+                    .expect("pl >= floor implies a replication exists");
+                let inst = rep.procs_per_instance;
+                let r = rep.instances as f64;
+                let exec = table.module_exec(first, j, inst);
+
+                // Incoming-transfer cost per previous-module (length, q):
+                // independent of ne and pt, so hoist it out of those loops.
+                let mut in_cost: Vec<(usize, usize, f64)> = Vec::new();
+                if first > 0 {
+                    let in_edge = first - 1;
+                    for prev_len in 1..=first {
+                        let prev_first = first - prev_len;
+                        let Some(pfloor) = table.module_floor(prev_first, first - 1) else {
+                            continue;
+                        };
+                        for q in pfloor..=p {
+                            let prep = table
+                                .module_replication(prev_first, first - 1, q)
+                                .expect("q >= pfloor");
+                            let cin = table.ecom(in_edge, prep.procs_per_instance, inst);
+                            in_cost.push((prev_len, q, cin));
+                        }
+                    }
+                }
+
+                for &ne in &ne_values {
+                    let out = if ne == 0 {
+                        0.0
+                    } else {
+                        table.ecom(j, inst, ne)
+                    };
+                    let base_f = exec + out;
+
+                    if first == 0 {
+                        // Base case: M is the leftmost module; slack allowed.
+                        let thr = if base_f <= 0.0 {
+                            f64::INFINITY
+                        } else {
+                            r / base_f
+                        };
+                        for pt in pl..=p {
+                            value[dims.idx(pl, ne, pt)] = thr;
+                        }
+                    } else {
+                        for pt in pl..=p {
+                            let budget = pt - pl;
+                            let mut best = f64::NEG_INFINITY;
+                            let mut best_parent = Parent::default();
+                            for &(prev_len, q, cin) in &in_cost {
+                                if q > budget {
+                                    continue;
+                                }
+                                let sub_stage = stages[stage_key(first - 1, prev_len)]
+                                    .as_ref()
+                                    .expect("in_cost only lists existing stages");
+                                let sub = sub_stage.value[dims.idx(q, inst, budget)];
+                                if sub <= best {
+                                    continue; // min(sub, _) cannot beat best
+                                }
+                                let f = cin + base_f;
+                                let thr = if f <= 0.0 { f64::INFINITY } else { r / f };
+                                let cand = sub.min(thr);
+                                if cand > best {
+                                    best = cand;
+                                    best_parent = Parent {
+                                        prev_len: prev_len as u16,
+                                        prev_procs: q as u16,
+                                    };
+                                }
+                            }
+                            let idx = dims.idx(pl, ne, pt);
+                            value[idx] = best;
+                            parent[idx] = best_parent;
+                        }
+                    }
+                }
+            }
+            stages[stage_key(j, l)] = Some(Stage { value, parent });
+        }
+    }
+
+    // Answer: best over the last module's (L, pl) at ne = 0, pt = P.
+    let mut best = f64::NEG_INFINITY;
+    let mut best_l = 0usize;
+    let mut best_pl = 0usize;
+    for l in 1..=k {
+        let Some(stage) = stages[stage_key(k - 1, l)].as_ref() else {
+            continue;
+        };
+        for pl in 1..=p {
+            let v = stage.value[dims.idx(pl, 0, p)];
+            if v > best {
+                best = v;
+                best_l = l;
+                best_pl = pl;
+            }
+        }
+    }
+    if best == f64::NEG_INFINITY {
+        return Err(SolveError::Infeasible);
+    }
+
+    // Reconstruct modules right-to-left.
+    let mut modules_rev: Vec<ModuleAssignment> = Vec::new();
+    let mut j = k - 1;
+    let mut l = best_l;
+    let mut pl = best_pl;
+    let mut ne = 0usize;
+    let mut pt = p;
+    loop {
+        let first = j + 1 - l;
+        let rep = table
+            .module_replication(first, j, pl)
+            .expect("reconstructed module respects its floor");
+        modules_rev.push(ModuleAssignment::new(
+            first,
+            j,
+            rep.instances,
+            rep.procs_per_instance,
+        ));
+        if first == 0 {
+            break;
+        }
+        let stage = stages[stage_key(j, l)].as_ref().expect("visited stage");
+        let par = stage.parent[dims.idx(pl, ne, pt)];
+        ne = rep.procs_per_instance;
+        pt -= pl;
+        j = first - 1;
+        l = par.prev_len as usize;
+        pl = par.prev_procs as usize;
+    }
+    modules_rev.reverse();
+    let mapping = Mapping::new(modules_rev);
+    let solution = Solution::from_mapping(problem, mapping);
+    debug_assert!(
+        (solution.throughput - best).abs() <= 1e-9 * best.abs().max(1.0)
+            || (solution.throughput.is_infinite() && best.is_infinite()),
+        "cluster DP internal value {} disagrees with evaluator {}",
+        best,
+        solution.throughput
+    );
+    Ok(solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_chain::{validate, ChainBuilder, Edge, Task, TaskChain};
+    use pipemap_model::{MemoryReq, PolyEcom, PolyUnary};
+
+    fn two_task_chain(ecom_fixed: f64) -> TaskChain {
+        ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::perfectly_parallel(8.0)))
+            .edge(Edge::new(
+                PolyUnary::zero(),
+                PolyEcom::new(ecom_fixed, 0.0, 0.0, 0.0, 0.0),
+            ))
+            .task(Task::new("b", PolyUnary::perfectly_parallel(8.0)))
+            .build()
+    }
+
+    #[test]
+    fn heavy_ecom_forces_clustering() {
+        // External transfer costs 100s; internal is free. The only sane
+        // mapping is one module.
+        let p = Problem::new(two_task_chain(100.0), 8, 1e9).without_replication();
+        let s = dp_mapping(&p).unwrap();
+        assert_eq!(s.mapping.num_modules(), 1);
+        assert_eq!(s.mapping.modules[0].procs, 8);
+        assert!((s.throughput - 0.5).abs() < 1e-9);
+        validate(&p, &s.mapping).unwrap();
+    }
+
+    #[test]
+    fn free_comm_prefers_pipeline_split() {
+        // No communication at all: splitting 8 procs 4/4 gives bottleneck
+        // 2.0 (thr 0.5); clustering gives 16/8 = 2.0 as well — equal.
+        // Add a tiny icom so clustering is strictly worse.
+        let c = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::perfectly_parallel(8.0)))
+            .edge(Edge::new(
+                PolyUnary::new(0.5, 0.0, 0.0),
+                PolyEcom::zero(),
+            ))
+            .task(Task::new("b", PolyUnary::perfectly_parallel(8.0)))
+            .build();
+        let p = Problem::new(c, 8, 1e9).without_replication();
+        let s = dp_mapping(&p).unwrap();
+        assert_eq!(s.mapping.num_modules(), 2);
+        assert!((s.throughput - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_dominates_when_tasks_dont_scale() {
+        // Fixed 1-second tasks that don't parallelise: cluster everything
+        // into one module and replicate it 8 ways.
+        let c = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::new(1.0, 0.0, 0.0)))
+            .edge(Edge::free())
+            .task(Task::new("b", PolyUnary::new(1.0, 0.0, 0.0)))
+            .build();
+        let p = Problem::new(c, 8, 1e9);
+        let s = dp_mapping(&p).unwrap();
+        // One module of both tasks, replicated 8×: f = 2, eff = 0.25 →
+        // throughput 4. Two singleton modules replicated 4× each: f = 1,
+        // eff = 0.25 → also 4. Both optimal; throughput must be 4.
+        assert!((s.throughput - 4.0).abs() < 1e-9, "got {}", s.throughput);
+        validate(&p, &s.mapping).unwrap();
+    }
+
+    #[test]
+    fn memory_floor_blocks_merging() {
+        // Clustering would eliminate a costly transfer, but the merged
+        // module's memory floor forces a large instance on which the
+        // communication-heavy second task runs inefficiently — the §6.3
+        // FFT-Hist effect in miniature.
+        let c = ChainBuilder::new()
+            .task(
+                Task::new("fft", PolyUnary::perfectly_parallel(12.0))
+                    .with_memory(MemoryReq::new(0.0, 60.0)),
+            )
+            .edge(Edge::new(
+                PolyUnary::new(0.05, 0.0, 0.0),
+                PolyEcom::new(0.1, 0.4, 0.4, 0.0, 0.0),
+            ))
+            .task(
+                // Heavy per-processor overhead: slows badly on big groups.
+                Task::new("hist", PolyUnary::new(0.0, 3.0, 0.45))
+                    .with_memory(MemoryReq::new(0.0, 40.0)),
+            )
+            .build();
+        let p = Problem::new(c, 16, 10.0); // floors: fft 6, hist 4, merged 10
+        let s = dp_mapping(&p).unwrap();
+        validate(&p, &s.mapping).unwrap();
+        // Exhaustive check over both clusterings confirms separation wins.
+        assert_eq!(
+            s.mapping.num_modules(),
+            2,
+            "expected separate modules, got {:?} (thr {})",
+            s.mapping,
+            s.throughput
+        );
+    }
+
+    #[test]
+    fn single_task_problem() {
+        let c = ChainBuilder::new()
+            .task(Task::new("only", PolyUnary::perfectly_parallel(4.0)))
+            .build();
+        let p = Problem::new(c, 4, 1e9).without_replication();
+        let s = dp_mapping(&p).unwrap();
+        assert_eq!(s.mapping.num_modules(), 1);
+        assert!((s.throughput - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_problem_reported() {
+        let c = ChainBuilder::new()
+            .task(Task::new("big", PolyUnary::zero()).with_memory(MemoryReq::new(100.0, 0.0)))
+            .build();
+        let p = Problem::new(c, 8, 10.0);
+        assert_eq!(dp_mapping(&p).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn clustering_merges_when_floors_allow() {
+        // Identical tasks with a transfer that is pure overhead and an
+        // internal redistribution that is free: merging wins.
+        let c = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::perfectly_parallel(4.0)))
+            .edge(Edge::aligned(PolyEcom::new(2.0, 0.0, 0.0, 0.0, 0.0)))
+            .task(Task::new("b", PolyUnary::perfectly_parallel(4.0)))
+            .edge(Edge::aligned(PolyEcom::new(2.0, 0.0, 0.0, 0.0, 0.0)))
+            .task(Task::new("c", PolyUnary::perfectly_parallel(4.0)))
+            .build();
+        let p = Problem::new(c, 6, 1e9).without_replication();
+        let s = dp_mapping(&p).unwrap();
+        assert_eq!(s.mapping.num_modules(), 1);
+        assert!((s.throughput - 0.5).abs() < 1e-9); // 12 units on 6 procs
+    }
+
+    #[test]
+    fn uses_at_most_budget() {
+        let c = two_task_chain(0.5);
+        let p = Problem::new(c, 13, 1e9).without_replication();
+        let s = dp_mapping(&p).unwrap();
+        assert!(s.mapping.total_procs() <= 13);
+        validate(&p, &s.mapping).unwrap();
+    }
+}

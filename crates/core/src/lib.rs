@@ -1,0 +1,46 @@
+//! # pipemap-core
+//!
+//! The mapping algorithms of Subhlok & Vondran, *Optimal Mapping of
+//! Sequences of Data Parallel Tasks* (PPoPP 1995): given a chain of data
+//! parallel tasks with execution/communication cost functions and `P`
+//! processors, find the clustering, replication, and processor allocation
+//! that maximises pipeline throughput.
+//!
+//! Four solver families are provided:
+//!
+//! * [`dp`] — the optimal dynamic-programming *processor assignment* for a
+//!   fixed (singleton) clustering, §3.1–§3.2, `O(P⁴k)`;
+//! * [`dp_cluster`] — the optimal *full mapping* including clustering,
+//!   §3.3, `O(P⁴k²)` per the paper (see the module docs for the exact
+//!   state space used here);
+//! * [`greedy`] — the fast heuristic of §4 (`O(Pk)`), its Theorem-1
+//!   "modified" variant, and the bounded-backtracking refinement justified
+//!   by Theorem 2, plus the §4.2 merge/split clustering heuristic in
+//!   [`cluster`];
+//! * [`brute`] — exhaustive oracles for small instances, used to validate
+//!   the optimal algorithms and to quantify the greedy gap.
+//!
+//! All solvers work on a [`pipemap_chain::Problem`] and return a
+//! [`Solution`] whose throughput is recomputed from first principles by
+//! `pipemap-chain`'s evaluator, so a solver bug cannot report a throughput
+//! its own mapping does not achieve.
+
+pub mod brute;
+pub mod cluster;
+pub mod dp;
+pub mod dp_cluster;
+pub mod dp_free;
+pub mod greedy;
+pub mod latency;
+pub mod procs;
+pub mod solution;
+
+pub use brute::{brute_force_assignment, brute_force_mapping};
+pub use cluster::{cluster_heuristic, contract_chain, ContractedProblem};
+pub use dp::{dp_assignment, DpTrace};
+pub use dp_cluster::dp_mapping;
+pub use dp_free::dp_mapping_free;
+pub use greedy::{greedy_assignment, refine_assignment, GreedyOptions, GreedyVariant};
+pub use latency::{best_latency_mapping, latency, LatencySolution};
+pub use procs::{min_procs_mapping, ProcsSolution};
+pub use solution::{Solution, SolveError};

@@ -1,0 +1,173 @@
+//! Processor minimisation: the third axis of the latency / throughput /
+//! processors trade-off studied in the paper's companion work (\[14\]).
+//!
+//! Given a throughput target, find a mapping that meets it with the
+//! fewest processors — what a system operator asks when a pipeline must
+//! sustain a known input rate and the remaining processors should serve
+//! other jobs.
+//!
+//! The implementation exploits a monotonicity fact: under the at-most
+//! allocation semantics, the optimal throughput `T*(P)` is non-decreasing
+//! in the processor budget `P` (any mapping valid for `P` is valid for
+//! `P + 1`). So the minimal budget meeting a target is found by binary
+//! search over `P`, solving the throughput DP at each probe.
+
+use pipemap_chain::Problem;
+
+use crate::dp_cluster::dp_mapping;
+use crate::solution::{Solution, SolveError};
+
+/// Result of a processor-minimisation query.
+#[derive(Clone, Debug)]
+pub struct ProcsSolution {
+    /// Fewest processors meeting the target.
+    pub procs: usize,
+    /// The optimal mapping at that budget.
+    pub solution: Solution,
+}
+
+/// The smallest processor budget `P ≤ problem.total_procs` whose optimal
+/// mapping reaches `min_throughput`, with that mapping. Errors with
+/// [`SolveError::Infeasible`] if even the full budget falls short.
+pub fn min_procs_mapping(
+    problem: &Problem,
+    min_throughput: f64,
+) -> Result<ProcsSolution, SolveError> {
+    assert!(
+        min_throughput > 0.0 && min_throughput.is_finite(),
+        "throughput target must be positive and finite"
+    );
+    let solve_at = |p: usize| -> Result<Solution, SolveError> {
+        let mut sub = problem.clone();
+        sub.total_procs = p;
+        dp_mapping(&sub)
+    };
+
+    // The full budget must reach the target at all.
+    let full = solve_at(problem.total_procs)?;
+    if full.throughput < min_throughput {
+        return Err(SolveError::Infeasible);
+    }
+
+    // Binary search the smallest feasible budget. `lo` is always
+    // infeasible-or-untested, `hi` always feasible.
+    let mut lo = 0usize;
+    let mut hi = problem.total_procs;
+    let mut best = full;
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        match solve_at(mid) {
+            Ok(sol) if sol.throughput >= min_throughput => {
+                hi = mid;
+                best = sol;
+            }
+            Ok(_) | Err(SolveError::Infeasible) => lo = mid,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ProcsSolution {
+        procs: hi,
+        solution: best,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_chain::{ChainBuilder, Edge, Task};
+    use pipemap_model::{MemoryReq, PolyEcom, PolyUnary};
+
+    fn problem(p: usize) -> Problem {
+        let chain = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::new(0.1, 2.0, 0.0)))
+            .edge(Edge::new(
+                PolyUnary::zero(),
+                PolyEcom::new(0.05, 0.1, 0.1, 0.0, 0.0),
+            ))
+            .task(Task::new("b", PolyUnary::new(0.1, 3.0, 0.0)))
+            .build();
+        Problem::new(chain, p, 1e12).without_replication()
+    }
+
+    #[test]
+    fn finds_the_minimal_budget() {
+        let p = problem(32);
+        // Verify by scanning: the returned budget is feasible and the
+        // one below is not.
+        let target = 1.2;
+        let sol = min_procs_mapping(&p, target).unwrap();
+        assert!(sol.solution.throughput >= target);
+        assert!(sol.procs >= 2);
+        let mut below = p.clone();
+        below.total_procs = sol.procs - 1;
+        match dp_mapping(&below) {
+            Ok(s) => assert!(
+                s.throughput < target,
+                "budget {} already reaches {} (target {target})",
+                sol.procs - 1,
+                s.throughput
+            ),
+            Err(SolveError::Infeasible) => {}
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    #[test]
+    fn minimal_budget_matches_linear_scan() {
+        let p = problem(24);
+        for target in [0.5, 1.0, 2.0] {
+            let fast = min_procs_mapping(&p, target).unwrap();
+            let mut scan = None;
+            for budget in 1..=24 {
+                let mut sub = p.clone();
+                sub.total_procs = budget;
+                if let Ok(s) = dp_mapping(&sub) {
+                    if s.throughput >= target {
+                        scan = Some(budget);
+                        break;
+                    }
+                }
+            }
+            assert_eq!(Some(fast.procs), scan, "target {target}");
+        }
+    }
+
+    #[test]
+    fn unreachable_target_is_infeasible() {
+        let p = problem(8);
+        assert_eq!(
+            min_procs_mapping(&p, 1e9).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn replication_lowers_the_required_budget() {
+        // A non-scaling task: without replication no budget reaches 2/s;
+        // with replication 2 processors do.
+        let chain = ChainBuilder::new()
+            .task(Task::new("flat", PolyUnary::new(1.0, 0.0, 0.0)))
+            .build();
+        let with = Problem::new(chain.clone(), 16, 1e12);
+        let sol = min_procs_mapping(&with, 2.0).unwrap();
+        assert_eq!(sol.procs, 2);
+        let without = Problem::new(chain, 16, 1e12).without_replication();
+        assert_eq!(
+            min_procs_mapping(&without, 2.0).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn memory_floors_bound_the_budget_from_below() {
+        let chain = ChainBuilder::new()
+            .task(
+                Task::new("big", PolyUnary::new(0.0, 1.0, 0.0))
+                    .with_memory(MemoryReq::new(0.0, 50.0)),
+            )
+            .build();
+        let p = Problem::new(chain, 16, 10.0); // floor 5
+        let sol = min_procs_mapping(&p, 0.1).unwrap();
+        assert!(sol.procs >= 5);
+    }
+}

@@ -1,0 +1,81 @@
+//! Solver result and error types.
+
+use std::fmt;
+
+use pipemap_chain::{throughput, Mapping, Problem};
+
+/// A mapping produced by one of the solvers, together with the throughput
+/// it is predicted to achieve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    /// The mapping: clustering, replication, processor allocation.
+    pub mapping: Mapping,
+    /// Predicted throughput in data sets per second, recomputed from the
+    /// mapping by `pipemap_chain::throughput` (never the solver's internal
+    /// bookkeeping value).
+    pub throughput: f64,
+}
+
+impl Solution {
+    /// Wrap a mapping, computing its throughput from first principles.
+    pub fn from_mapping(problem: &Problem, mapping: Mapping) -> Self {
+        let throughput = throughput(&problem.chain, &mapping);
+        Self {
+            mapping,
+            throughput,
+        }
+    }
+}
+
+/// Why a solver failed to produce a mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// No valid mapping exists: some task cannot fit in memory at any
+    /// processor count, or the singleton floors already exceed `P`.
+    Infeasible,
+    /// The instance is too large for this solver (used by the brute-force
+    /// oracles to refuse exponential blow-ups).
+    TooLarge {
+        /// A human-readable bound that was exceeded.
+        limit: &'static str,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "no valid mapping exists for this problem"),
+            SolveError::TooLarge { limit } => {
+                write!(f, "instance exceeds this solver's limit: {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_chain::{ChainBuilder, ModuleAssignment, Task};
+    use pipemap_model::PolyUnary;
+
+    #[test]
+    fn from_mapping_recomputes_throughput() {
+        let c = ChainBuilder::new()
+            .task(Task::new("t", PolyUnary::perfectly_parallel(4.0)))
+            .build();
+        let p = Problem::new(c, 8, 1e9);
+        let m = Mapping::new(vec![ModuleAssignment::new(0, 0, 1, 4)]);
+        let s = Solution::from_mapping(&p, m);
+        assert!((s.throughput - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(SolveError::Infeasible.to_string().contains("no valid"));
+        assert!(SolveError::TooLarge { limit: "k <= 8" }
+            .to_string()
+            .contains("k <= 8"));
+    }
+}

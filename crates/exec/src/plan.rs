@@ -1,0 +1,150 @@
+//! Build an executable [`PipelinePlan`] from a solver [`Mapping`].
+//!
+//! The mapper reasons about *processors on the model machine*; the
+//! executor spends *threads on this machine*. [`plan_from_mapping`]
+//! carries the mapping's structure over: one pipeline stage per module
+//! (the caller provides one fused stage function per module, since
+//! clustering means the member tasks run back-to-back in one address
+//! space), the module's replication degree verbatim, and its processor
+//! count rescaled into a thread budget.
+
+use pipemap_chain::Mapping;
+
+use crate::executor::{PipelinePlan, StagePlan};
+use crate::stage::Stage;
+
+/// Options for translating processor counts into thread counts.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadBudget {
+    /// Threads available on the executing machine.
+    pub total_threads: usize,
+    /// Processors the mapping was computed for.
+    pub model_procs: usize,
+}
+
+impl ThreadBudget {
+    /// Scale a module's per-instance processor count into threads,
+    /// rounding to at least 1.
+    pub fn threads_for(&self, procs: usize) -> usize {
+        if self.model_procs == 0 {
+            return 1;
+        }
+        let scaled = (procs * self.total_threads).div_ceil(self.model_procs);
+        scaled.max(1)
+    }
+}
+
+/// Build a pipeline plan mirroring `mapping`: `stages[i]` is the fused
+/// computation of module `i`'s member tasks.
+///
+/// # Panics
+///
+/// Panics if `stages.len() != mapping.num_modules()`.
+pub fn plan_from_mapping(
+    mapping: &Mapping,
+    stages: Vec<Stage>,
+    budget: ThreadBudget,
+) -> PipelinePlan {
+    assert_eq!(
+        stages.len(),
+        mapping.num_modules(),
+        "one stage function per module"
+    );
+    let plans = mapping
+        .modules
+        .iter()
+        .zip(stages)
+        .map(|(m, stage)| StagePlan::new(stage, m.replicas, budget.threads_for(m.procs)))
+        .collect();
+    PipelinePlan::new(plans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::run_pipeline;
+    use crate::stage::Data;
+    use pipemap_chain::ModuleAssignment;
+
+    #[test]
+    fn thread_budget_scales_and_rounds_up() {
+        let b = ThreadBudget {
+            total_threads: 8,
+            model_procs: 64,
+        };
+        assert_eq!(b.threads_for(3), 1); // 3/64 of 8 rounds up to 1
+        assert_eq!(b.threads_for(16), 2);
+        assert_eq!(b.threads_for(64), 8);
+        let degenerate = ThreadBudget {
+            total_threads: 8,
+            model_procs: 0,
+        };
+        assert_eq!(degenerate.threads_for(5), 1);
+    }
+
+    #[test]
+    fn plan_mirrors_mapping_structure() {
+        let mapping = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 8, 3),
+            ModuleAssignment::new(1, 2, 10, 4),
+        ]);
+        let stages = vec![
+            Stage::new("colffts", |x: u32, _| x + 1),
+            Stage::new("rowffts+hist", |x: u32, _| x * 2),
+        ];
+        let plan = plan_from_mapping(
+            &mapping,
+            stages,
+            ThreadBudget {
+                total_threads: 16,
+                model_procs: 64,
+            },
+        );
+        assert_eq!(plan.stages.len(), 2);
+        assert_eq!(plan.stages[0].replicas, 8);
+        assert_eq!(plan.stages[1].replicas, 10);
+        assert_eq!(plan.stages[0].threads, 1);
+        assert_eq!(plan.stages[1].threads, 1);
+    }
+
+    #[test]
+    fn plan_executes() {
+        let mapping = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 2, 2),
+            ModuleAssignment::new(1, 1, 3, 2),
+        ]);
+        let plan = plan_from_mapping(
+            &mapping,
+            vec![
+                Stage::new("inc", |x: u32, _| x + 1),
+                Stage::new("dbl", |x: u32, _| x * 2),
+            ],
+            ThreadBudget {
+                total_threads: 4,
+                model_procs: 10,
+            },
+        );
+        let inputs: Vec<Data> = (0..20u32).map(|i| Box::new(i) as Data).collect();
+        let (out, stats) = run_pipeline(&plan, inputs);
+        assert_eq!(stats.datasets, 20);
+        let values: Vec<u32> = out
+            .into_iter()
+            .map(|d| *d.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(values, (0..20u32).map(|i| (i + 1) * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "one stage function per module")]
+    fn stage_count_checked() {
+        let mapping = Mapping::new(vec![ModuleAssignment::new(0, 1, 1, 4)]);
+        let _ = plan_from_mapping(
+            &mapping,
+            vec![],
+            ThreadBudget {
+                total_threads: 4,
+                model_procs: 4,
+            },
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Type-erased pipeline stages.
+//!
+//! Pipelines are heterogeneous — an FFT stage produces a complex matrix,
+//! the histogram stage consumes it and produces counts — so stages pass a
+//! type-erased [`Data`] box. A stage function downcasts its input,
+//! computes with the instance's thread count, and boxes its output. The
+//! paper's model corresponds directly: the stage function is `f_exec`, the
+//! thread count is the instance's processor allocation.
+
+use std::any::Any;
+use std::sync::Arc;
+
+/// A type-erased data set flowing between stages.
+pub type Data = Box<dyn Any + Send>;
+
+/// One pipeline stage: a named data parallel computation.
+#[derive(Clone)]
+pub struct Stage {
+    /// Stage name (for stats and errors).
+    pub name: String,
+    func: Arc<dyn Fn(Data, usize) -> Data + Send + Sync>,
+}
+
+impl Stage {
+    /// A stage from a typed function: input `I`, output `O`, and the
+    /// instance's thread count.
+    ///
+    /// The wrapper panics (with the stage name) if an upstream stage sent
+    /// a value of the wrong type — a wiring bug, not a data error.
+    pub fn new<I, O, F>(name: impl Into<String>, f: F) -> Self
+    where
+        I: 'static,
+        O: Send + 'static,
+        F: Fn(I, usize) -> O + Send + Sync + 'static,
+    {
+        let name = name.into();
+        let n2 = name.clone();
+        Stage {
+            name,
+            func: Arc::new(move |data, threads| {
+                let input = data
+                    .downcast::<I>()
+                    .unwrap_or_else(|_| panic!("stage '{n2}' received wrong input type"));
+                Box::new(f(*input, threads))
+            }),
+        }
+    }
+
+    /// Apply the stage to a data set with `threads` worker threads.
+    pub fn apply(&self, data: Data, threads: usize) -> Data {
+        (self.func)(data, threads)
+    }
+}
+
+impl std::fmt::Debug for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Stage({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_roundtrip() {
+        let s = Stage::new("double", |x: i64, _t| x * 2);
+        let out = s.apply(Box::new(21i64), 1);
+        assert_eq!(*out.downcast::<i64>().unwrap(), 42);
+    }
+
+    #[test]
+    fn threads_are_passed_through() {
+        let s = Stage::new("threads", |_x: (), t| t);
+        let out = s.apply(Box::new(()), 7);
+        assert_eq!(*out.downcast::<usize>().unwrap(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input type")]
+    fn type_mismatch_is_loud() {
+        let s = Stage::new("int-only", |x: i64, _t| x);
+        let _ = s.apply(Box::new("oops".to_string()), 1);
+    }
+
+    #[test]
+    fn heterogeneous_chain() {
+        let a = Stage::new("len", |v: Vec<u8>, _| v.len());
+        let b = Stage::new("fmt", |n: usize, _| format!("{n}!"));
+        let mid = a.apply(Box::new(vec![1u8, 2, 3]), 1);
+        let out = b.apply(mid, 1);
+        assert_eq!(*out.downcast::<String>().unwrap(), "3!");
+    }
+}

@@ -1,0 +1,197 @@
+//! Machine parameters.
+//!
+//! The reference point is the Intel iWarp used in §6: an 8×8 array of
+//! 20 MFLOPS cells with 40 MB/s links, programmable either through a
+//! message-passing library (higher per-message software overhead) or
+//! through *systolic* hardware pathways (near-zero per-message cost, but a
+//! limited number of logical pathways may share a physical link — the
+//! machine constraint the paper says made some mappings infeasible).
+
+/// How inter-module data moves (§6.3 evaluates both).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommMode {
+    /// Library message passing: every message pays a software overhead.
+    Message,
+    /// Systolic pathways: tiny per-message cost, but at most
+    /// [`MachineConfig::max_pathways_per_link`] logical pathways may cross
+    /// one physical link.
+    Systolic,
+}
+
+impl CommMode {
+    /// Short label used in reports and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CommMode::Message => "Message",
+            CommMode::Systolic => "Systolic",
+        }
+    }
+}
+
+/// A 2D processor-array multicomputer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Array rows.
+    pub rows: usize,
+    /// Array columns.
+    pub cols: usize,
+    /// Seconds per floating-point operation on one cell.
+    pub flop_time: f64,
+    /// Memory capacity per processor, bytes.
+    pub mem_per_proc: f64,
+    /// Communication mode.
+    pub mode: CommMode,
+    /// Per-message software overhead, seconds (mode-dependent).
+    pub msg_overhead: f64,
+    /// Per-byte transfer time through a link, seconds.
+    pub byte_time: f64,
+    /// Fixed synchronisation cost per transfer step, seconds.
+    pub sync_overhead: f64,
+    /// Systolic mode: maximum logical pathways per physical link.
+    pub max_pathways_per_link: usize,
+}
+
+impl MachineConfig {
+    /// Total processors.
+    pub fn total_procs(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// An iWarp-like 8×8 array programmed with message passing:
+    /// 20 MFLOPS cells, 40 MB/s links, ~30 µs per-message software cost.
+    pub fn iwarp_message() -> Self {
+        Self {
+            rows: 8,
+            cols: 8,
+            flop_time: 50e-9,
+            mem_per_proc: 0.5e6,
+            mode: CommMode::Message,
+            msg_overhead: 30e-6,
+            // 40 MB/s links, but every transferred byte is also copied
+            // into and out of message buffers by a 20 MHz cell — the
+            // effective per-byte cost is dominated by those copies.
+            byte_time: 300e-9,
+            sync_overhead: 20e-6,
+            max_pathways_per_link: usize::MAX,
+        }
+    }
+
+    /// The same array using systolic pathways: per-message cost drops two
+    /// orders of magnitude, but each physical link carries at most a few
+    /// logical pathways.
+    pub fn iwarp_systolic() -> Self {
+        Self {
+            mode: CommMode::Systolic,
+            msg_overhead: 0.6e-6,
+            sync_overhead: 2e-6,
+            byte_time: 250e-9,
+            // Calibrated so that every replication pattern the paper's
+            // tool accepted fits under XY routing of a first-fit packing
+            // (FFT-Hist 256/systolic at r = 6 × r = 11 routes 66 pathways
+            // with a worst link load of 30), while runaway replication is
+            // still rejected by the bisection pre-filter.
+            max_pathways_per_link: 32,
+            ..Self::iwarp_message()
+        }
+    }
+
+    /// A Paragon-like 16×8 mesh: faster i860 cells (75 MFLOPS nominal,
+    /// ~13 ns effective per flop at the same efficiency discount), more
+    /// memory per node, but heavier message-passing software (NX ~70 µs
+    /// per message) and 175 MB/s links shared through buffer copies.
+    pub fn paragon() -> Self {
+        Self {
+            rows: 16,
+            cols: 8,
+            flop_time: 13e-9,
+            mem_per_proc: 16e6,
+            mode: CommMode::Message,
+            msg_overhead: 70e-6,
+            byte_time: 60e-9,
+            sync_overhead: 40e-6,
+            max_pathways_per_link: usize::MAX,
+        }
+    }
+
+    /// A network-of-workstations target (PVM over Ethernet, §1's last
+    /// listed target): few, fast nodes with very expensive messages —
+    /// the regime where clustering dominates every other decision.
+    pub fn workstation_cluster(nodes: usize) -> Self {
+        Self {
+            rows: 1,
+            cols: nodes,
+            flop_time: 20e-9,
+            mem_per_proc: 64e6,
+            mode: CommMode::Message,
+            msg_overhead: 1e-3,
+            byte_time: 800e-9,
+            sync_overhead: 500e-6,
+            max_pathways_per_link: usize::MAX,
+        }
+    }
+
+    /// Change the per-processor memory capacity.
+    pub fn with_memory(mut self, bytes: f64) -> Self {
+        self.mem_per_proc = bytes;
+        self
+    }
+
+    /// Change the array geometry.
+    pub fn with_geometry(mut self, rows: usize, cols: usize) -> Self {
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iwarp_has_64_processors() {
+        assert_eq!(MachineConfig::iwarp_message().total_procs(), 64);
+        assert_eq!(MachineConfig::iwarp_systolic().total_procs(), 64);
+    }
+
+    #[test]
+    fn systolic_has_cheaper_messages() {
+        let m = MachineConfig::iwarp_message();
+        let s = MachineConfig::iwarp_systolic();
+        assert!(s.msg_overhead < m.msg_overhead / 10.0);
+        assert_eq!(s.mode, CommMode::Systolic);
+        assert!(s.max_pathways_per_link < usize::MAX);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let m = MachineConfig::iwarp_message()
+            .with_memory(1e6)
+            .with_geometry(4, 4);
+        assert_eq!(m.total_procs(), 16);
+        assert_eq!(m.mem_per_proc, 1e6);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CommMode::Message.label(), "Message");
+        assert_eq!(CommMode::Systolic.label(), "Systolic");
+    }
+
+    #[test]
+    fn paragon_shape() {
+        let m = MachineConfig::paragon();
+        assert_eq!(m.total_procs(), 128);
+        assert!(m.flop_time < MachineConfig::iwarp_message().flop_time);
+        assert!(m.msg_overhead > MachineConfig::iwarp_message().msg_overhead);
+    }
+
+    #[test]
+    fn workstation_cluster_is_a_row() {
+        let m = MachineConfig::workstation_cluster(8);
+        assert_eq!(m.total_procs(), 8);
+        assert_eq!(m.rows, 1);
+        // Messages are three orders dearer than on the array machines.
+        assert!(m.msg_overhead >= 1e-3);
+    }
+}

@@ -1,0 +1,372 @@
+//! Machine-level feasibility of mappings and the feasible-optimal search.
+//!
+//! A mapping that is optimal under the cost model may still be impossible
+//! to realise on the machine (§6.1): every module instance must occupy a
+//! rectangular subarray, all instances must pack onto the array at once,
+//! and in systolic mode the logical pathways connecting adjacent modules
+//! must fit the per-link pathway limit. Table 1's "Optimal Feasible
+//! Mapping" columns are the result of re-optimising under these
+//! constraints; [`feasible_optimal`] reproduces that search by enumerating
+//! `(processors, replicas)` choices per module in throughput order and
+//! returning the best candidate that passes [`is_feasible`].
+
+use pipemap_chain::{throughput, Mapping, ModuleAssignment, Problem};
+
+use crate::config::{CommMode, MachineConfig};
+use crate::pack::{pack_rectangles, PackRequest, Placement};
+
+/// Outcome of a machine-feasibility check.
+#[derive(Clone, Debug)]
+pub enum Feasibility {
+    /// A concrete placement exists.
+    Feasible(Vec<Placement>),
+    /// Provably or practically infeasible, with the reason.
+    Infeasible(&'static str),
+}
+
+impl Feasibility {
+    /// True for [`Feasibility::Feasible`].
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Feasibility::Feasible(_))
+    }
+}
+
+/// Number of distinct (sender-instance, receiver-instance) pairs that
+/// carry traffic between adjacent modules replicated `r1` and `r2` times:
+/// data set `n` flows from instance `n mod r1` to instance `n mod r2`, so
+/// the pairs repeat with period `lcm(r1, r2)`.
+pub fn pathway_pairs(r1: usize, r2: usize) -> usize {
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    r1 / gcd(r1, r2) * r2
+}
+
+/// Check whether `mapping` can be realised on `machine`: rectangular
+/// instances must pack, and (systolic mode) the logical pathways
+/// connecting adjacent modules' instances — routed XY over the concrete
+/// placement — must not overload any physical link.
+///
+/// The pathway check runs in two stages: a cheap pre-filter (the pathway
+/// pairs of a boundary must fit through the array's larger bisection),
+/// then an exact per-link load check on the packed placement via
+/// [`crate::route::pathway_load`].
+pub fn is_feasible(machine: &MachineConfig, mapping: &Mapping) -> Feasibility {
+    // Rectangle packing of every instance.
+    let mut areas = Vec::new();
+    for m in &mapping.modules {
+        for _ in 0..m.replicas {
+            areas.push(m.procs);
+        }
+    }
+    let total: usize = areas.iter().sum();
+    if total > machine.total_procs() {
+        return Feasibility::Infeasible("mapping uses more processors than the array has");
+    }
+    // Systolic pathway budget across a bisection (cheap pre-filter).
+    if machine.mode == CommMode::Systolic {
+        let capacity = machine
+            .max_pathways_per_link
+            .saturating_mul(machine.rows.max(machine.cols));
+        for w in mapping.modules.windows(2) {
+            if pathway_pairs(w[0].replicas, w[1].replicas) > capacity {
+                return Feasibility::Infeasible("pathway pairs exceed link capacity");
+            }
+        }
+    }
+    let placements =
+        match pack_rectangles(&PackRequest::new(machine.rows, machine.cols, areas)) {
+            Some(p) => p,
+            None => {
+                return Feasibility::Infeasible("module instances do not pack as rectangles")
+            }
+        };
+    // Exact pathway routing over the placement.
+    if machine.mode == CommMode::Systolic && mapping.modules.len() > 1 {
+        let groups = group_placements(mapping, &placements);
+        let load = crate::route::pathway_load(&groups);
+        if load.max_per_link > machine.max_pathways_per_link {
+            return Feasibility::Infeasible("a physical link exceeds its pathway limit");
+        }
+    }
+    Feasibility::Feasible(placements)
+}
+
+/// Group a flat placement list (item-indexed over the mapping's instances
+/// in module order) into per-module placement vectors.
+fn group_placements(
+    mapping: &Mapping,
+    placements: &[Placement],
+) -> Vec<Vec<Placement>> {
+    let mut by_item: Vec<Option<Placement>> = vec![None; placements.len()];
+    for p in placements {
+        by_item[p.item] = Some(*p);
+    }
+    let mut groups = Vec::with_capacity(mapping.modules.len());
+    let mut next = 0;
+    for m in &mapping.modules {
+        let mut g = Vec::with_capacity(m.replicas);
+        for _ in 0..m.replicas {
+            g.push(by_item[next].expect("every instance was placed"));
+            next += 1;
+        }
+        groups.push(g);
+    }
+    groups
+}
+
+/// Options for [`feasible_optimal`].
+#[derive(Clone, Copy, Debug)]
+pub struct FeasibleSearch {
+    /// Maximum number of candidate mappings to enumerate before giving up.
+    pub max_candidates: usize,
+    /// Check at most this many of the top-ranked candidates for
+    /// feasibility (each check is a packing search).
+    pub max_checks: usize,
+}
+
+impl Default for FeasibleSearch {
+    fn default() -> Self {
+        Self {
+            max_candidates: 4_000_000,
+            max_checks: 20_000,
+        }
+    }
+}
+
+/// Find the best machine-feasible mapping with the given clustering:
+/// enumerate per-module `(procs-per-instance, replicas)` choices (bounded
+/// by floors, replicability, and the processor budget), rank by model
+/// throughput, and return the best candidate accepted by [`is_feasible`].
+///
+/// Returns `None` if no feasible candidate exists within the search
+/// bounds. The clustering is taken as given (the paper fixes the
+/// clustering from the unconstrained optimum before re-optimising the
+/// quantitative decisions).
+pub fn feasible_optimal(
+    problem: &Problem,
+    machine: &MachineConfig,
+    clustering: &[(usize, usize)],
+    search: FeasibleSearch,
+) -> Option<(Mapping, f64)> {
+    let p_total = problem.total_procs;
+    // Per-module options: (procs_per_instance, replicas).
+    let mut options: Vec<Vec<(usize, usize)>> = Vec::with_capacity(clustering.len());
+    for &(first, last) in clustering {
+        let floor = problem.module_floor(first, last)?;
+        if floor > p_total {
+            return None;
+        }
+        let replicable = problem.module_replication(first, last, p_total).map(|r| r.instances > 1).unwrap_or(false)
+            || problem.chain.range_replicable(first, last);
+        let mut opts = Vec::new();
+        for procs in floor..=p_total {
+            let max_r = if replicable { p_total / procs } else { 1 };
+            for r in 1..=max_r {
+                opts.push((procs, r));
+            }
+        }
+        options.push(opts);
+    }
+
+    // Enumerate combinations with budget pruning.
+    let mut candidates: Vec<Vec<(usize, usize)>> = Vec::new();
+    let mut cur: Vec<(usize, usize)> = Vec::new();
+    fn rec(
+        options: &[Vec<(usize, usize)>],
+        budget: usize,
+        cur: &mut Vec<(usize, usize)>,
+        out: &mut Vec<Vec<(usize, usize)>>,
+        cap: usize,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        let idx = cur.len();
+        if idx == options.len() {
+            out.push(cur.clone());
+            return;
+        }
+        for &(procs, r) in &options[idx] {
+            let used = procs * r;
+            if used > budget {
+                continue;
+            }
+            cur.push((procs, r));
+            rec(options, budget - used, cur, out, cap);
+            cur.pop();
+        }
+    }
+    rec(
+        &options,
+        p_total,
+        &mut cur,
+        &mut candidates,
+        search.max_candidates,
+    );
+
+    // Rank by model throughput, descending.
+    let mut ranked: Vec<(f64, Mapping)> = candidates
+        .into_iter()
+        .map(|combo| {
+            let modules = clustering
+                .iter()
+                .zip(&combo)
+                .map(|(&(first, last), &(procs, r))| ModuleAssignment::new(first, last, r, procs))
+                .collect();
+            let m = Mapping::new(modules);
+            (throughput(&problem.chain, &m), m)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    for (thr, mapping) in ranked.into_iter().take(search.max_checks) {
+        if is_feasible(machine, &mapping).is_feasible() {
+            return Some((mapping, thr));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_chain::{ChainBuilder, Edge, Task};
+    use pipemap_model::{MemoryReq, PolyEcom, PolyUnary};
+
+    #[test]
+    fn pathway_pairs_is_lcm() {
+        assert_eq!(pathway_pairs(1, 1), 1);
+        assert_eq!(pathway_pairs(2, 3), 6);
+        assert_eq!(pathway_pairs(4, 6), 12);
+        assert_eq!(pathway_pairs(8, 8), 8);
+    }
+
+    #[test]
+    fn paper_mappings_are_feasible() {
+        let msg = MachineConfig::iwarp_message();
+        // Table 1 row 1: (3 procs × 8) + (4 procs × 10).
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 8, 3),
+            ModuleAssignment::new(1, 2, 10, 4),
+        ]);
+        assert!(is_feasible(&msg, &m).is_feasible());
+        // Table 1 row 2 under systolic: (3×6) + (4×11).
+        let sys = MachineConfig::iwarp_systolic();
+        let m2 = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 6, 3),
+            ModuleAssignment::new(1, 2, 11, 4),
+        ]);
+        assert!(is_feasible(&sys, &m2).is_feasible());
+    }
+
+    #[test]
+    fn prime_instance_size_infeasible() {
+        let msg = MachineConfig::iwarp_message();
+        // 13-processor instances cannot be rectangles on 8×8.
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 2, 12),
+            ModuleAssignment::new(1, 2, 3, 13),
+        ]);
+        assert!(!is_feasible(&msg, &m).is_feasible());
+    }
+
+    #[test]
+    fn pathway_limit_rejects_extreme_replication() {
+        let mut sys = MachineConfig::iwarp_systolic();
+        sys.max_pathways_per_link = 1; // capacity 8
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 8, 1),  // r = 8
+            ModuleAssignment::new(1, 1, 56, 1), // r = 56 → lcm = 56 > 8
+        ]);
+        assert!(!is_feasible(&sys, &m).is_feasible());
+    }
+
+    #[test]
+    fn overallocation_rejected() {
+        let msg = MachineConfig::iwarp_message();
+        let m = Mapping::new(vec![ModuleAssignment::new(0, 0, 1, 65)]);
+        assert!(!is_feasible(&msg, &m).is_feasible());
+    }
+
+    fn toy_problem(procs: usize) -> Problem {
+        let chain = ChainBuilder::new()
+            .task(
+                Task::new("a", PolyUnary::perfectly_parallel(10.0))
+                    .with_memory(MemoryReq::new(0.0, 3.0)),
+            )
+            .edge(Edge::new(
+                PolyUnary::zero(),
+                PolyEcom::new(0.1, 0.5, 0.5, 0.0, 0.0),
+            ))
+            .task(
+                Task::new("b", PolyUnary::perfectly_parallel(14.0))
+                    .with_memory(MemoryReq::new(0.0, 4.0)),
+            )
+            .build();
+        Problem::new(chain, procs, 1.0)
+    }
+
+    #[test]
+    fn feasible_optimal_finds_a_packing() {
+        let machine = MachineConfig::iwarp_message();
+        let problem = toy_problem(machine.total_procs());
+        let (mapping, thr) = feasible_optimal(
+            &problem,
+            &machine,
+            &[(0, 0), (1, 1)],
+            FeasibleSearch::default(),
+        )
+        .expect("some feasible mapping exists");
+        assert!(thr > 0.0);
+        assert!(is_feasible(&machine, &mapping).is_feasible());
+        assert!(mapping.total_procs() <= 64);
+    }
+
+    #[test]
+    fn feasible_optimal_never_beats_unconstrained() {
+        let machine = MachineConfig::iwarp_message();
+        let problem = toy_problem(machine.total_procs());
+        let (_, feas_thr) = feasible_optimal(
+            &problem,
+            &machine,
+            &[(0, 0), (1, 1)],
+            FeasibleSearch::default(),
+        )
+        .unwrap();
+        let unconstrained = pipemap_core_oracle(&problem);
+        assert!(feas_thr <= unconstrained + 1e-9);
+    }
+
+    /// Small local oracle: best throughput over singleton-clustered
+    /// (procs, replicas) combos without machine constraints.
+    fn pipemap_core_oracle(problem: &Problem) -> f64 {
+        let p = problem.total_procs;
+        let mut best = 0.0_f64;
+        for p1 in 1..=p {
+            for r1 in 1..=(p / p1) {
+                for p2 in 1..=p {
+                    for r2 in 1..=(p / p2.max(1)) {
+                        if p1 * r1 + p2 * r2 > p {
+                            continue;
+                        }
+                        let m = Mapping::new(vec![
+                            ModuleAssignment::new(0, 0, r1, p1),
+                            ModuleAssignment::new(1, 1, r2, p2),
+                        ]);
+                        if problem.module_floor(0, 0).unwrap() <= p1
+                            && problem.module_floor(1, 1).unwrap() <= p2
+                        {
+                            best = best.max(throughput(&problem.chain, &m));
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+}

@@ -1,0 +1,38 @@
+//! # pipemap-machine
+//!
+//! A parametric model of a 2D processor-array multicomputer — the stand-in
+//! for the 64-processor Intel iWarp on which the paper's experiments ran.
+//!
+//! The crate provides:
+//!
+//! * [`config`] — machine parameters: array geometry, per-flop time,
+//!   per-message software overhead, per-byte link cost, and the two
+//!   communication modes the paper evaluates (*message passing* and
+//!   *systolic* pathway-based communication);
+//! * [`workload`] — *ground-truth* cost generation: task workloads are
+//!   described by operation counts (sequential/parallel flops, work grain,
+//!   per-processor overhead, internal collectives) and edge workloads by
+//!   transferred bytes and a redistribution pattern; the synthesised time
+//!   functions contain ceil-based load imbalance and logarithmic collective
+//!   terms, so the paper's polynomial model (§5) fits them *approximately*
+//!   — reproducing the fitted-model error the paper reports;
+//! * [`synth`] — assembling a [`pipemap_chain::Problem`] from workloads and
+//!   a machine;
+//! * [`pack`] / [`feasible`] — the Fx compiler's constraint that every
+//!   module instance occupies a *rectangular subarray* (§6.1): rectangle
+//!   packing onto the array, systolic pathway limits, and the
+//!   "feasible-optimal" mapping search used for Table 1.
+
+pub mod config;
+pub mod feasible;
+pub mod pack;
+pub mod route;
+pub mod synth;
+pub mod workload;
+
+pub use config::{CommMode, MachineConfig};
+pub use feasible::{feasible_optimal, is_feasible, FeasibleSearch, Feasibility};
+pub use pack::{pack_rectangles, PackRequest, Placement};
+pub use route::{pathway_load, xy_route, PathwayLoad};
+pub use synth::{synthesize_chain, synthesize_problem};
+pub use workload::{AppWorkload, CollectivePattern, EdgeWorkload, TaskWorkload, TransferPattern};

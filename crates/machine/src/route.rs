@@ -1,0 +1,218 @@
+//! Pathway routing over a concrete placement.
+//!
+//! In systolic mode, iWarp connects communicating module instances with
+//! *logical pathways* laid over the physical mesh links, and "a limit on
+//! the number of pathways that can pass through a physical communication
+//! link" made some mappings infeasible (§6.1). Given an actual placement
+//! of module instances (from the rectangle packer), this module routes
+//! one pathway per communicating instance pair with dimension-ordered
+//! (XY) routing — the standard mesh routing discipline — and reports the
+//! maximum pathway load on any link, which [`crate::feasible`] compares
+//! against the per-link limit.
+
+use crate::pack::Placement;
+
+/// A unidirectional mesh link between orthogonally adjacent cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Link {
+    /// Source cell (row, col).
+    pub from: (usize, usize),
+    /// Destination cell (row, col), orthogonally adjacent to `from`.
+    pub to: (usize, usize),
+}
+
+/// The centre cell of a placement (used as its pathway endpoint).
+fn anchor(p: &Placement) -> (usize, usize) {
+    (p.row + p.height / 2, p.col + p.width / 2)
+}
+
+/// The links of the XY route from `a` to `b`: move along the row to the
+/// target column, then along the column to the target row.
+pub fn xy_route(a: (usize, usize), b: (usize, usize)) -> Vec<Link> {
+    let mut links = Vec::new();
+    let (r0, mut c) = a;
+    while c != b.1 {
+        let next = if c < b.1 { c + 1 } else { c - 1 };
+        links.push(Link {
+            from: (r0, c),
+            to: (r0, next),
+        });
+        c = next;
+    }
+    let mut r = r0;
+    while r != b.0 {
+        let next = if r < b.0 { r + 1 } else { r - 1 };
+        links.push(Link {
+            from: (r, c),
+            to: (next, c),
+        });
+        r = next;
+    }
+    links
+}
+
+/// Pathway load analysis of a placed mapping.
+#[derive(Clone, Debug)]
+pub struct PathwayLoad {
+    /// Number of pathways routed.
+    pub pathways: usize,
+    /// The largest number of pathways sharing one physical link.
+    pub max_per_link: usize,
+    /// Total link-hops used by all pathways.
+    pub total_hops: usize,
+}
+
+/// Route one pathway per communicating instance pair between adjacent
+/// modules and measure per-link pathway load.
+///
+/// `groups[m]` holds the placements of module `m`'s instances, in
+/// instance order. Data set `n` flows from instance `n mod r_m` of
+/// module `m` to instance `n mod r_{m+1}` of module `m+1`, so the
+/// communicating pairs of the boundary are the distinct
+/// `(n mod r_m, n mod r_{m+1})` combinations — `lcm(r_m, r_{m+1})` of
+/// them.
+pub fn pathway_load(groups: &[Vec<Placement>]) -> PathwayLoad {
+    use std::collections::HashMap;
+    let mut loads: HashMap<Link, usize> = HashMap::new();
+    let mut pathways = 0;
+    let mut total_hops = 0;
+    for pair in groups.windows(2) {
+        let (up, down) = (&pair[0], &pair[1]);
+        if up.is_empty() || down.is_empty() {
+            continue;
+        }
+        let period = lcm(up.len(), down.len());
+        for n in 0..period {
+            let a = anchor(&up[n % up.len()]);
+            let b = anchor(&down[n % down.len()]);
+            pathways += 1;
+            for link in xy_route(a, b) {
+                total_hops += 1;
+                *loads.entry(link).or_insert(0) += 1;
+            }
+        }
+    }
+    PathwayLoad {
+        pathways,
+        max_per_link: loads.values().copied().max().unwrap_or(0),
+        total_hops,
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple.
+pub fn lcm(a: usize, b: usize) -> usize {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn place(item: usize, row: usize, col: usize, h: usize, w: usize) -> Placement {
+        Placement {
+            item,
+            row,
+            col,
+            height: h,
+            width: w,
+        }
+    }
+
+    #[test]
+    fn xy_route_lengths_are_manhattan() {
+        assert_eq!(xy_route((0, 0), (0, 0)).len(), 0);
+        assert_eq!(xy_route((0, 0), (0, 3)).len(), 3);
+        assert_eq!(xy_route((0, 0), (2, 0)).len(), 2);
+        assert_eq!(xy_route((1, 1), (3, 4)).len(), 5);
+        assert_eq!(xy_route((3, 4), (1, 1)).len(), 5);
+    }
+
+    #[test]
+    fn xy_route_goes_column_first_then_row() {
+        let links = xy_route((0, 0), (2, 2));
+        // First two hops move along the row (column index changes).
+        assert_eq!(links[0].from, (0, 0));
+        assert_eq!(links[0].to, (0, 1));
+        assert_eq!(links[1].to, (0, 2));
+        assert_eq!(links[2].to, (1, 2));
+        assert_eq!(links[3].to, (2, 2));
+    }
+
+    #[test]
+    fn route_links_are_adjacent() {
+        for (a, b) in [((0, 0), (3, 5)), ((4, 2), (0, 0)), ((2, 2), (2, 2))] {
+            for l in xy_route(a, b) {
+                let dr = l.from.0.abs_diff(l.to.0);
+                let dc = l.from.1.abs_diff(l.to.1);
+                assert_eq!(dr + dc, 1, "non-adjacent hop {l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_pair_load() {
+        let groups = vec![
+            vec![place(0, 0, 0, 1, 1)],
+            vec![place(1, 0, 3, 1, 1)],
+        ];
+        let load = pathway_load(&groups);
+        assert_eq!(load.pathways, 1);
+        assert_eq!(load.total_hops, 3);
+        assert_eq!(load.max_per_link, 1);
+    }
+
+    #[test]
+    fn replicated_pairs_follow_round_robin() {
+        // 2 upstream × 3 downstream instances → lcm = 6 pathways.
+        let groups = vec![
+            vec![place(0, 0, 0, 1, 1), place(1, 1, 0, 1, 1)],
+            vec![
+                place(2, 0, 3, 1, 1),
+                place(3, 1, 3, 1, 1),
+                place(4, 2, 3, 1, 1),
+            ],
+        ];
+        let load = pathway_load(&groups);
+        assert_eq!(load.pathways, 6);
+        assert!(load.max_per_link >= 2, "shared first hops must stack");
+    }
+
+    #[test]
+    fn colocated_anchors_use_no_links() {
+        let groups = vec![
+            vec![place(0, 0, 0, 2, 2)],
+            vec![place(1, 0, 0, 2, 2)], // same anchor (1, 1)
+        ];
+        let load = pathway_load(&groups);
+        assert_eq!(load.pathways, 1);
+        assert_eq!(load.total_hops, 0);
+        assert_eq!(load.max_per_link, 0);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(2, 3), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 7), 7);
+        assert_eq!(lcm(0, 5), 0);
+    }
+
+    #[test]
+    fn anchors_are_inside_placements() {
+        let p = place(0, 2, 3, 2, 4);
+        let (r, c) = anchor(&p);
+        assert!(r >= p.row && r < p.row + p.height);
+        assert!(c >= p.col && c < p.col + p.width);
+    }
+}

@@ -1,0 +1,87 @@
+//! Assemble a mapping problem from an application workload and a machine.
+
+use pipemap_chain::{ChainBuilder, Edge, Problem, Task, TaskChain};
+
+use crate::config::MachineConfig;
+use crate::workload::AppWorkload;
+
+/// Build the ground-truth [`TaskChain`] of `app` on `machine`: every cost
+/// function is the machine-level time model (closures over the operation
+/// counts), not a fitted polynomial. This is what the simulator executes;
+/// the profiling pipeline in `pipemap-profile` fits the paper's polynomial
+/// model *to* these functions.
+pub fn synthesize_chain(app: &AppWorkload, machine: &MachineConfig) -> TaskChain {
+    let mut builder = ChainBuilder::new();
+    for (i, tw) in app.tasks.iter().enumerate() {
+        let mut task = Task::new(tw.name.clone(), tw.exec_cost(machine)).with_memory(tw.memory);
+        if !tw.replicable {
+            task = task.not_replicable();
+        }
+        builder = builder.task(task);
+        if i < app.edges.len() {
+            let ew = &app.edges[i];
+            builder = builder.edge(Edge::new(ew.icom_cost(machine), ew.ecom_cost(machine)));
+        }
+    }
+    builder.build()
+}
+
+/// Build the full mapping [`Problem`] for `app` on `machine` (all
+/// processors, the machine's per-processor memory, maximal replication).
+pub fn synthesize_problem(app: &AppWorkload, machine: &MachineConfig) -> Problem {
+    Problem::new(
+        synthesize_chain(app, machine),
+        machine.total_procs(),
+        machine.mem_per_proc,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{EdgeWorkload, TaskWorkload};
+    use pipemap_model::MemoryReq;
+
+    fn app() -> AppWorkload {
+        let mut a = TaskWorkload::parallel("a", 1e6, 64);
+        a.memory = MemoryReq::new(0.0, 1.2e6);
+        let b = TaskWorkload::parallel("b", 2e6, 64);
+        AppWorkload::new(
+            "test",
+            vec![a, b],
+            vec![EdgeWorkload::all_to_all(1e5)],
+        )
+    }
+
+    #[test]
+    fn chain_mirrors_workload() {
+        let m = MachineConfig::iwarp_message();
+        let c = synthesize_chain(&app(), &m);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.task(0).name, "a");
+        // Costs agree with the workload's ground truth.
+        let tw = TaskWorkload::parallel("b", 2e6, 64);
+        for p in 1..=16 {
+            assert_eq!(c.task(1).exec.eval(p), tw.exec_time(&m, p));
+        }
+    }
+
+    #[test]
+    fn problem_uses_machine_resources() {
+        let m = MachineConfig::iwarp_message();
+        let p = synthesize_problem(&app(), &m);
+        assert_eq!(p.total_procs, 64);
+        assert_eq!(p.mem_per_proc, m.mem_per_proc);
+        // Task a needs 1.2 MB distributed over 0.5 MB/proc cells → 3.
+        assert_eq!(p.task_floor(0), Some(3));
+    }
+
+    #[test]
+    fn non_replicable_flag_propagates() {
+        let mut a = app();
+        a.tasks[0].replicable = false;
+        let p = synthesize_problem(&a, &MachineConfig::iwarp_message());
+        assert!(!p.chain.task(0).replicable);
+        assert!(p.chain.task(1).replicable);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of the rectangle packer and feasibility engine.
+
+use pipemap_machine::pack::{pack_rectangles, render_packing, shapes, PackRequest};
+use proptest::prelude::*;
+
+/// Check a claimed packing: right count, exact areas, inside the grid,
+/// no overlaps.
+fn assert_packing_valid(rows: usize, cols: usize, areas: &[usize]) -> Result<bool, TestCaseError> {
+    let req = PackRequest::new(rows, cols, areas.to_vec());
+    let Some(placements) = pack_rectangles(&req) else {
+        return Ok(false);
+    };
+    prop_assert_eq!(placements.len(), areas.len());
+    let mut grid = vec![vec![false; cols]; rows];
+    let mut seen = vec![false; areas.len()];
+    for p in &placements {
+        prop_assert!(!seen[p.item], "item placed twice");
+        seen[p.item] = true;
+        prop_assert_eq!(p.height * p.width, areas[p.item], "wrong area");
+        prop_assert!(p.row + p.height <= rows && p.col + p.width <= cols);
+        #[allow(clippy::needless_range_loop)] // r, c are also coordinates in the message
+        for r in p.row..p.row + p.height {
+            for c in p.col..p.col + p.width {
+                prop_assert!(!grid[r][c], "overlap at ({}, {})", r, c);
+                grid[r][c] = true;
+            }
+        }
+    }
+    Ok(true)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn packings_are_always_valid(
+        rows in 2..8usize,
+        cols in 2..8usize,
+        areas in prop::collection::vec(1..12usize, 1..8),
+    ) {
+        let _ = assert_packing_valid(rows, cols, &areas)?;
+    }
+
+    #[test]
+    fn single_rectangle_feasibility_equals_shape_existence(
+        rows in 1..10usize,
+        cols in 1..10usize,
+        area in 1..80usize,
+    ) {
+        let can_pack = pack_rectangles(&PackRequest::new(rows, cols, vec![area])).is_some();
+        let has_shape = !shapes(area, rows, cols).is_empty() && area <= rows * cols;
+        prop_assert_eq!(can_pack, has_shape);
+    }
+
+    #[test]
+    fn unit_squares_always_pack_up_to_capacity(
+        rows in 1..8usize,
+        cols in 1..8usize,
+        n in 1..64usize,
+    ) {
+        let fits = n <= rows * cols;
+        let packed =
+            pack_rectangles(&PackRequest::new(rows, cols, vec![1; n])).is_some();
+        prop_assert_eq!(packed, fits);
+    }
+
+    #[test]
+    fn removing_an_item_preserves_feasibility(
+        rows in 2..7usize,
+        cols in 2..7usize,
+        areas in prop::collection::vec(1..10usize, 2..7),
+        drop_idx in 0..6usize,
+    ) {
+        // If the full set packs, any subset must pack too (monotonicity).
+        if pack_rectangles(&PackRequest::new(rows, cols, areas.clone())).is_some() {
+            let mut fewer = areas.clone();
+            fewer.remove(drop_idx % fewer.len());
+            prop_assert!(
+                pack_rectangles(&PackRequest::new(rows, cols, fewer)).is_some(),
+                "subset of a feasible packing became infeasible"
+            );
+        }
+    }
+
+    #[test]
+    fn shapes_multiply_back_to_area(area in 1..200usize, rows in 1..16usize, cols in 1..16usize) {
+        for (h, w) in shapes(area, rows, cols) {
+            prop_assert_eq!(h * w, area);
+            prop_assert!(h <= rows && w <= cols);
+        }
+    }
+
+    #[test]
+    fn render_marks_exactly_the_packed_cells(
+        rows in 2..6usize,
+        cols in 2..6usize,
+        areas in prop::collection::vec(1..6usize, 1..5),
+    ) {
+        if let Some(p) = pack_rectangles(&PackRequest::new(rows, cols, areas.clone())) {
+            let s = render_packing(rows, cols, &p);
+            let filled = s.chars().filter(|c| c.is_ascii_alphabetic()).count();
+            prop_assert_eq!(filled, areas.iter().sum::<usize>());
+        }
+    }
+}

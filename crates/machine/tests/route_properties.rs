@@ -1,0 +1,76 @@
+//! Property tests of the XY pathway router.
+
+use pipemap_machine::pack::Placement;
+use pipemap_machine::route::{lcm, pathway_load, xy_route};
+use proptest::prelude::*;
+
+fn place(item: usize, row: usize, col: usize) -> Placement {
+    Placement {
+        item,
+        row,
+        col,
+        height: 1,
+        width: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn route_length_is_manhattan_distance(
+        a in (0..12usize, 0..12usize),
+        b in (0..12usize, 0..12usize),
+    ) {
+        let links = xy_route(a, b);
+        let manhattan = a.0.abs_diff(b.0) + a.1.abs_diff(b.1);
+        prop_assert_eq!(links.len(), manhattan);
+        // The route is connected: each hop starts where the previous
+        // ended, from `a` to `b`.
+        let mut at = a;
+        for l in &links {
+            prop_assert_eq!(l.from, at);
+            at = l.to;
+        }
+        if manhattan > 0 {
+            prop_assert_eq!(at, b);
+        }
+    }
+
+    #[test]
+    fn load_conservation(
+        ups in prop::collection::vec((0..8usize, 0..8usize), 1..5),
+        downs in prop::collection::vec((0..8usize, 0..8usize), 1..5),
+    ) {
+        let up: Vec<Placement> = ups.iter().enumerate().map(|(i, &(r, c))| place(i, r, c)).collect();
+        let down: Vec<Placement> = downs
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, c))| place(100 + i, r, c))
+            .collect();
+        let load = pathway_load(&[up.clone(), down.clone()]);
+        // Pathway count is the round-robin period.
+        prop_assert_eq!(load.pathways, lcm(up.len(), down.len()));
+        // Total hops equal the sum of Manhattan distances over the pairs.
+        let period = lcm(up.len(), down.len());
+        let mut expect_hops = 0;
+        for n in 0..period {
+            let a = &up[n % up.len()];
+            let b = &down[n % down.len()];
+            expect_hops += a.row.abs_diff(b.row) + a.col.abs_diff(b.col);
+        }
+        prop_assert_eq!(load.total_hops, expect_hops);
+        // Max per link cannot exceed total hops and is 0 iff no hops.
+        prop_assert!(load.max_per_link <= load.total_hops);
+        prop_assert_eq!(load.max_per_link == 0, load.total_hops == 0);
+    }
+
+    #[test]
+    fn lcm_properties(a in 1..60usize, b in 1..60usize) {
+        let l = lcm(a, b);
+        prop_assert_eq!(l % a, 0);
+        prop_assert_eq!(l % b, 0);
+        prop_assert!(l <= a * b);
+        prop_assert_eq!(lcm(a, b), lcm(b, a));
+    }
+}

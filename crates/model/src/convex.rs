@@ -1,0 +1,131 @@
+//! Discrete shape checks for cost functions.
+//!
+//! The paper's optimality theorems for the greedy algorithm (§4.1) hold
+//! under testable hypotheses:
+//!
+//! * **Theorem 1**: communication time increases monotonically with the
+//!   number of processors involved — `f_ecom(i, j) ≤ f_ecom(i+x, j+y)` for
+//!   `x, y ≥ 0`;
+//! * **Theorem 2**: all computation and communication functions are
+//!   *convex* (the improvement from each added processor shrinks), and
+//!   computation dominates communication (`δ_exec > 4 · δ_comm`).
+//!
+//! §3.2's maximal-replication argument additionally assumes *no superlinear
+//! speedup*: adding a processor to `k` processors cannot shrink the time by
+//! more than the factor `k/(k+1)`.
+//!
+//! These helpers verify the hypotheses over a finite processor range so that
+//! callers (tests, the mapping tool's diagnostics) can decide whether the
+//! greedy result is provably optimal or merely heuristic.
+
+use crate::cost::{BinaryCost, UnaryCost};
+use crate::Procs;
+
+/// Small tolerance for floating-point comparisons of times.
+const EPS: f64 = 1e-9;
+
+/// True if `f` is non-increasing in `p` over `[1, max_p]` (more processors
+/// never slow the task down). Not required by the paper in general — the
+/// `C3·p` overhead term violates it at large `p` — but useful to detect
+/// compute-dominant regimes.
+pub fn is_nonincreasing_unary(f: &UnaryCost, max_p: Procs) -> bool {
+    (1..max_p).all(|p| f.eval(p + 1) <= f.eval(p) + EPS)
+}
+
+/// True if `f` is discretely convex on `[1, max_p]`: the decrease obtained
+/// by each added processor is no larger than the decrease from the previous
+/// addition, i.e. `f(p) - f(p+1) ≤ f(p-1) - f(p)` (Theorem 2, condition 1).
+pub fn is_convex_unary(f: &UnaryCost, max_p: Procs) -> bool {
+    (2..max_p).all(|p| {
+        let d_prev = f.eval(p - 1) - f.eval(p);
+        let d_next = f.eval(p) - f.eval(p + 1);
+        d_next <= d_prev + EPS
+    })
+}
+
+/// Theorem 1 hypothesis: external communication time is monotone
+/// non-decreasing in *both* endpoint processor counts over `[1, max_p]²`.
+pub fn is_monotone_comm(f: &BinaryCost, max_p: Procs) -> bool {
+    for s in 1..=max_p {
+        for r in 1..=max_p {
+            let base = f.eval(s, r);
+            if s < max_p && f.eval(s + 1, r) + EPS < base {
+                return false;
+            }
+            if r < max_p && f.eval(s, r + 1) + EPS < base {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// §3.2 hypothesis: no superlinear speedup. Adding a processor to `p`
+/// processors decreases the time by at most the factor `p/(p+1)`:
+/// `f(p+1) ≥ f(p) · p/(p+1)`.
+pub fn no_superlinear_speedup(f: &UnaryCost, max_p: Procs) -> bool {
+    (1..max_p).all(|p| {
+        let bound = f.eval(p) * (p as f64) / ((p + 1) as f64);
+        f.eval(p + 1) + EPS >= bound
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::{PolyEcom, PolyUnary};
+    use crate::table::Tabulated;
+
+    #[test]
+    fn perfectly_parallel_is_convex_and_not_superlinear() {
+        let f = UnaryCost::Poly(PolyUnary::perfectly_parallel(64.0));
+        assert!(is_convex_unary(&f, 64));
+        assert!(no_superlinear_speedup(&f, 64));
+        assert!(is_nonincreasing_unary(&f, 64));
+    }
+
+    #[test]
+    fn overhead_term_breaks_monotonicity_but_not_convexity() {
+        let f = UnaryCost::Poly(PolyUnary::new(0.0, 16.0, 1.0));
+        assert!(!is_nonincreasing_unary(&f, 64));
+        assert!(is_convex_unary(&f, 64));
+    }
+
+    #[test]
+    fn superlinear_table_is_detected() {
+        // Time drops from 10 to 2 when going from 2 to 3 processors:
+        // 2 < 10 * 2/3, i.e. superlinear.
+        let f = UnaryCost::Table(Tabulated::new(vec![(1, 12.0), (2, 10.0), (3, 2.0)]));
+        assert!(!no_superlinear_speedup(&f, 3));
+    }
+
+    #[test]
+    fn paper_counterexample_is_nonconvex() {
+        // §4.1's extreme example: 2..9 processors have no effect, the 10th
+        // improves dramatically. That step function is not convex.
+        let f = UnaryCost::custom(|p| if p >= 10 { 1.0 } else { 50.0 });
+        assert!(!is_convex_unary(&f, 16));
+    }
+
+    #[test]
+    fn overhead_dominated_comm_is_monotone() {
+        // Software overhead grows with both group sizes (the regime where
+        // the paper says Theorem 1 applies).
+        let f = BinaryCost::Poly(PolyEcom::new(1.0, 0.0, 0.0, 0.5, 0.5));
+        assert!(is_monotone_comm(&f, 32));
+    }
+
+    #[test]
+    fn bandwidth_dominated_comm_is_not_monotone() {
+        let f = BinaryCost::Poly(PolyEcom::new(0.0, 10.0, 10.0, 0.0, 0.0));
+        assert!(!is_monotone_comm(&f, 32));
+    }
+
+    #[test]
+    fn zero_costs_satisfy_everything() {
+        assert!(is_convex_unary(&UnaryCost::Zero, 64));
+        assert!(no_superlinear_speedup(&UnaryCost::Zero, 64));
+        assert!(is_monotone_comm(&BinaryCost::Zero, 16));
+        assert!(is_nonincreasing_unary(&UnaryCost::Zero, 64));
+    }
+}

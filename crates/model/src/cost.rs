@@ -1,0 +1,287 @@
+//! Uniform cost-function evaluators.
+//!
+//! [`UnaryCost`] is a cost as a function of one processor count (execution
+//! time, internal communication); [`BinaryCost`] is a cost as a function of
+//! sender and receiver processor counts (external communication). Both are
+//! closed under pointwise addition and scaling so that modules (clusters of
+//! tasks) can compose their members' costs, and both admit arbitrary
+//! user-supplied closures — the mapping algorithms never assume a particular
+//! functional form.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::poly::{PolyEcom, PolyUnary};
+use crate::table::{Tabulated, Tabulated2d};
+use crate::{Procs, Seconds};
+
+/// A cost as a function of a single processor count: `f(p)`.
+///
+/// Used for task execution time (`f_exec`) and internal communication /
+/// redistribution time (`f_icom`).
+#[derive(Clone)]
+#[derive(Default)]
+pub enum UnaryCost {
+    /// Identically zero.
+    #[default]
+    Zero,
+    /// The paper's three-term polynomial `c1 + c2/p + c3·p`.
+    Poly(PolyUnary),
+    /// Pointwise samples with linear interpolation.
+    Table(Tabulated),
+    /// Pointwise sum of sub-costs.
+    Sum(Vec<UnaryCost>),
+    /// An arbitrary function of the processor count.
+    Custom(Arc<dyn Fn(Procs) -> Seconds + Send + Sync>),
+}
+
+impl UnaryCost {
+    /// Evaluate at `p` processors.
+    pub fn eval(&self, p: Procs) -> Seconds {
+        match self {
+            UnaryCost::Zero => 0.0,
+            UnaryCost::Poly(f) => f.eval(p),
+            UnaryCost::Table(t) => t.eval(p),
+            UnaryCost::Sum(parts) => parts.iter().map(|c| c.eval(p)).sum(),
+            UnaryCost::Custom(f) => {
+                if p == 0 {
+                    f64::INFINITY
+                } else {
+                    f(p)
+                }
+            }
+        }
+    }
+
+    /// Build from an arbitrary closure.
+    pub fn custom(f: impl Fn(Procs) -> Seconds + Send + Sync + 'static) -> Self {
+        UnaryCost::Custom(Arc::new(f))
+    }
+
+    /// Pointwise sum. Polynomials are folded algebraically; anything else
+    /// becomes a [`UnaryCost::Sum`] node (still O(1)-composable as the
+    /// paper's clustering step requires, since the sum is shallow).
+    pub fn add(&self, other: &UnaryCost) -> UnaryCost {
+        match (self, other) {
+            (UnaryCost::Zero, c) | (c, UnaryCost::Zero) => c.clone(),
+            (UnaryCost::Poly(a), UnaryCost::Poly(b)) => UnaryCost::Poly(a.add(b)),
+            (UnaryCost::Sum(a), UnaryCost::Sum(b)) => {
+                let mut v = a.clone();
+                v.extend(b.iter().cloned());
+                UnaryCost::Sum(v)
+            }
+            (UnaryCost::Sum(a), c) => {
+                let mut v = a.clone();
+                v.push(c.clone());
+                UnaryCost::Sum(v)
+            }
+            (c, UnaryCost::Sum(b)) => {
+                let mut v = vec![c.clone()];
+                v.extend(b.iter().cloned());
+                UnaryCost::Sum(v)
+            }
+            (a, b) => UnaryCost::Sum(vec![a.clone(), b.clone()]),
+        }
+    }
+
+    /// True if this cost is identically zero (structural check only).
+    pub fn is_zero(&self) -> bool {
+        match self {
+            UnaryCost::Zero => true,
+            UnaryCost::Poly(f) => *f == PolyUnary::zero(),
+            UnaryCost::Sum(parts) => parts.iter().all(UnaryCost::is_zero),
+            _ => false,
+        }
+    }
+}
+
+
+impl From<PolyUnary> for UnaryCost {
+    fn from(p: PolyUnary) -> Self {
+        UnaryCost::Poly(p)
+    }
+}
+
+impl From<Tabulated> for UnaryCost {
+    fn from(t: Tabulated) -> Self {
+        UnaryCost::Table(t)
+    }
+}
+
+impl fmt::Debug for UnaryCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnaryCost::Zero => write!(f, "Zero"),
+            UnaryCost::Poly(p) => write!(f, "Poly({p:?})"),
+            UnaryCost::Table(t) => write!(f, "Table({} pts)", t.points().len()),
+            UnaryCost::Sum(parts) => f.debug_tuple("Sum").field(parts).finish(),
+            UnaryCost::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+/// A cost as a function of sender and receiver processor counts:
+/// `f(ps, pr)`. Used for external communication (`f_ecom`).
+#[derive(Clone)]
+#[derive(Default)]
+pub enum BinaryCost {
+    /// Identically zero.
+    #[default]
+    Zero,
+    /// The paper's five-term polynomial.
+    Poly(PolyEcom),
+    /// Grid samples with bilinear interpolation.
+    Table(Tabulated2d),
+    /// Pointwise sum of sub-costs.
+    Sum(Vec<BinaryCost>),
+    /// An arbitrary function of `(ps, pr)`.
+    Custom(Arc<dyn Fn(Procs, Procs) -> Seconds + Send + Sync>),
+}
+
+impl BinaryCost {
+    /// Evaluate for `ps` senders and `pr` receivers.
+    pub fn eval(&self, ps: Procs, pr: Procs) -> Seconds {
+        match self {
+            BinaryCost::Zero => 0.0,
+            BinaryCost::Poly(f) => f.eval(ps, pr),
+            BinaryCost::Table(t) => t.eval(ps, pr),
+            BinaryCost::Sum(parts) => parts.iter().map(|c| c.eval(ps, pr)).sum(),
+            BinaryCost::Custom(f) => {
+                if ps == 0 || pr == 0 {
+                    f64::INFINITY
+                } else {
+                    f(ps, pr)
+                }
+            }
+        }
+    }
+
+    /// Build from an arbitrary closure.
+    pub fn custom(f: impl Fn(Procs, Procs) -> Seconds + Send + Sync + 'static) -> Self {
+        BinaryCost::Custom(Arc::new(f))
+    }
+
+    /// Pointwise sum (polynomials folded algebraically).
+    pub fn add(&self, other: &BinaryCost) -> BinaryCost {
+        match (self, other) {
+            (BinaryCost::Zero, c) | (c, BinaryCost::Zero) => c.clone(),
+            (BinaryCost::Poly(a), BinaryCost::Poly(b)) => BinaryCost::Poly(a.add(b)),
+            (a, b) => BinaryCost::Sum(vec![a.clone(), b.clone()]),
+        }
+    }
+
+    /// The unary cost obtained by identifying sender and receiver groups
+    /// (`ps = pr = p`); used as a fallback internal-communication estimate.
+    pub fn diagonal(&self) -> UnaryCost {
+        match self {
+            BinaryCost::Zero => UnaryCost::Zero,
+            BinaryCost::Poly(f) => UnaryCost::Poly(f.diagonal()),
+            other => {
+                let c = other.clone();
+                UnaryCost::custom(move |p| c.eval(p, p))
+            }
+        }
+    }
+
+    /// True if this cost is identically zero (structural check only).
+    pub fn is_zero(&self) -> bool {
+        match self {
+            BinaryCost::Zero => true,
+            BinaryCost::Poly(f) => *f == PolyEcom::zero(),
+            BinaryCost::Sum(parts) => parts.iter().all(BinaryCost::is_zero),
+            _ => false,
+        }
+    }
+}
+
+
+impl From<PolyEcom> for BinaryCost {
+    fn from(p: PolyEcom) -> Self {
+        BinaryCost::Poly(p)
+    }
+}
+
+impl From<Tabulated2d> for BinaryCost {
+    fn from(t: Tabulated2d) -> Self {
+        BinaryCost::Table(t)
+    }
+}
+
+impl fmt::Debug for BinaryCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinaryCost::Zero => write!(f, "Zero"),
+            BinaryCost::Poly(p) => write!(f, "Poly({p:?})"),
+            BinaryCost::Table(_) => write!(f, "Table(..)"),
+            BinaryCost::Sum(parts) => f.debug_tuple("Sum").field(parts).finish(),
+            BinaryCost::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_eval() {
+        assert_eq!(UnaryCost::Zero.eval(1), 0.0);
+        assert_eq!(BinaryCost::Zero.eval(3, 5), 0.0);
+    }
+
+    #[test]
+    fn poly_addition_folds() {
+        let a = UnaryCost::Poly(PolyUnary::new(1.0, 2.0, 3.0));
+        let b = UnaryCost::Poly(PolyUnary::new(1.0, 2.0, 3.0));
+        match a.add(&b) {
+            UnaryCost::Poly(p) => assert_eq!(p, PolyUnary::new(2.0, 4.0, 6.0)),
+            other => panic!("expected folded poly, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_zero_is_identity() {
+        let a = UnaryCost::Poly(PolyUnary::new(1.0, 2.0, 3.0));
+        let s = a.add(&UnaryCost::Zero);
+        assert!((s.eval(4) - a.eval(4)).abs() < 1e-12);
+        let b = BinaryCost::Poly(PolyEcom::new(1.0, 1.0, 1.0, 0.0, 0.0));
+        let t = BinaryCost::Zero.add(&b);
+        assert!((t.eval(2, 2) - b.eval(2, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_mixed_forms() {
+        let a = UnaryCost::Poly(PolyUnary::perfectly_parallel(8.0));
+        let b = UnaryCost::Table(Tabulated::new(vec![(1, 1.0), (8, 1.0)]));
+        let s = a.add(&b);
+        assert!((s.eval(8) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_closure() {
+        let c = UnaryCost::custom(|p| 1.0 / p as f64);
+        assert!((c.eval(4) - 0.25).abs() < 1e-12);
+        assert!(c.eval(0).is_infinite());
+        let e = BinaryCost::custom(|s, r| (s + r) as f64);
+        assert_eq!(e.eval(2, 3), 5.0);
+        assert!(e.eval(0, 3).is_infinite());
+    }
+
+    #[test]
+    fn binary_diagonal() {
+        let e = BinaryCost::Poly(PolyEcom::new(1.0, 2.0, 4.0, 0.5, 0.25));
+        let d = e.diagonal();
+        for p in 1..=16 {
+            assert!((d.eval(p) - e.eval(p, p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn is_zero_detection() {
+        assert!(UnaryCost::Zero.is_zero());
+        assert!(UnaryCost::Poly(PolyUnary::zero()).is_zero());
+        assert!(!UnaryCost::Poly(PolyUnary::new(0.0, 1.0, 0.0)).is_zero());
+        assert!(BinaryCost::Zero.is_zero());
+        assert!(!BinaryCost::custom(|_, _| 0.0).is_zero());
+    }
+}

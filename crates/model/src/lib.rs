@@ -1,0 +1,57 @@
+//! # pipemap-model
+//!
+//! Cost models for pipelines of data parallel tasks, following the execution
+//! model of Subhlok & Vondran, *Optimal Mapping of Sequences of Data Parallel
+//! Tasks* (PPoPP 1995), §2 and §5.
+//!
+//! A chain of tasks `t1 → t2 → … → tk` is characterised by three families of
+//! time functions:
+//!
+//! * `f_exec_i(p)` — execution time of task `i` on `p` processors,
+//! * `f_icom_{i→i+1}(p)` — *internal* communication (data redistribution)
+//!   time when both tasks run on the **same** `p` processors,
+//! * `f_ecom_{i→i+1}(ps, pr)` — *external* communication time when the tasks
+//!   run on **disjoint** groups of `ps` (sender) and `pr` (receiver)
+//!   processors.
+//!
+//! The paper's automatic tool models these as low-order polynomials in `p`
+//! and `1/p` fitted from a handful of profiled executions (§5); this crate
+//! provides those polynomial forms ([`PolyUnary`], [`PolyEcom`]), tabulated /
+//! interpolated forms, and arbitrary user closures, behind the uniform
+//! [`UnaryCost`] / [`BinaryCost`] evaluators. The mapping algorithms in
+//! `pipemap-core` work with *any* of these — one of the paper's stated
+//! advantages over mathematical-programming approaches.
+//!
+//! The crate also implements the paper's memory model (per-processor memory
+//! requirements determine the minimum feasible processor count of a task or
+//! module, §3.2/§5) and the *maximal replication* rule (§3.2): given `p`
+//! processors and a floor of `p_min`, a replicable module is split into
+//! `⌊p / p_min⌋` instances of `⌊p / r⌋` processors each, and its *effective*
+//! response time is `f(p_instance) / r`.
+
+pub mod compose;
+pub mod convex;
+pub mod cost;
+pub mod memory;
+pub mod poly;
+pub mod replicate;
+pub mod table;
+
+pub use compose::{module_exec_time, module_memory, ComposedModule};
+pub use convex::{
+    is_convex_unary, is_monotone_comm, is_nonincreasing_unary, no_superlinear_speedup,
+};
+pub use cost::{BinaryCost, UnaryCost};
+pub use memory::MemoryReq;
+pub use poly::{PolyEcom, PolyUnary};
+pub use replicate::{max_replication, Replication};
+pub use table::{Tabulated, Tabulated2d};
+
+/// Wall-clock time in seconds. All cost functions return this unit.
+pub type Seconds = f64;
+
+/// A processor count. Processor counts are always ≥ 1 when passed to cost
+/// functions; evaluating a cost at `p = 0` is a caller bug and the
+/// polynomial forms will return `+inf` to make such bugs loud rather than
+/// silently producing a division by zero that propagates `NaN`.
+pub type Procs = usize;

@@ -1,0 +1,148 @@
+//! The memory model (§3.2, §5).
+//!
+//! Each task requires a minimum number of processors `p_min` to execute,
+//! driven by per-processor memory capacity. The paper measures memory for
+//! "global and system variables, local variables, and compiler buffers"; we
+//! model the same split as a *resident* component (replicated on every
+//! processor — code, system state, scalar locals) and a *distributed*
+//! component (the data arrays, divided across the processors of the
+//! module). `p_min` matters twice in the mapping problem:
+//!
+//! * it bounds processor allocation from below, and
+//! * it caps the replication degree of a module (§3.2: a module with `p`
+//!   processors is replicated `⌊p / p_min⌋` times), which is why clustering
+//!   two memory-hungry tasks can *reduce* throughput even when it removes a
+//!   communication step — the paper's FFT-Hist analysis in §6.3 hinges on
+//!   exactly this effect.
+
+use crate::Procs;
+
+/// Memory requirement of a task or module, in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct MemoryReq {
+    /// Bytes replicated on every processor of the module (code, system
+    /// variables, scalar locals, fixed compiler buffers).
+    pub resident_bytes: f64,
+    /// Bytes distributed across the processors of the module (array data).
+    pub distributed_bytes: f64,
+}
+
+impl MemoryReq {
+    /// A new memory requirement.
+    pub const fn new(resident_bytes: f64, distributed_bytes: f64) -> Self {
+        Self {
+            resident_bytes,
+            distributed_bytes,
+        }
+    }
+
+    /// No memory requirement (always fits).
+    pub const fn none() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// Bytes needed on each processor when the module runs on `p`
+    /// processors.
+    pub fn per_proc(&self, p: Procs) -> f64 {
+        if p == 0 {
+            return f64::INFINITY;
+        }
+        self.resident_bytes + self.distributed_bytes / p as f64
+    }
+
+    /// The minimum number of processors so that the per-processor
+    /// requirement fits in `capacity_bytes`, or `None` if no processor count
+    /// suffices (resident part alone exceeds capacity).
+    pub fn min_procs(&self, capacity_bytes: f64) -> Option<Procs> {
+        assert!(capacity_bytes > 0.0, "capacity must be positive");
+        let avail = capacity_bytes - self.resident_bytes;
+        if avail <= 0.0 {
+            return if self.distributed_bytes <= 0.0 && self.resident_bytes <= capacity_bytes {
+                Some(1)
+            } else {
+                None
+            };
+        }
+        let p = (self.distributed_bytes / avail).ceil() as Procs;
+        Some(p.max(1))
+    }
+
+    /// Combined requirement when tasks are clustered into one module: both
+    /// components add, because a module holds all of its members' state at
+    /// once. (This is the §3.3 assumption that a module's memory requirement
+    /// is computable in O(1) from its members'.)
+    pub fn combine(&self, other: &MemoryReq) -> MemoryReq {
+        MemoryReq::new(
+            self.resident_bytes + other.resident_bytes,
+            self.distributed_bytes + other.distributed_bytes,
+        )
+    }
+
+    /// True if the module fits on `p` processors of `capacity_bytes` each.
+    pub fn fits(&self, p: Procs, capacity_bytes: f64) -> bool {
+        self.per_proc(p) <= capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_proc_divides_distributed_only() {
+        let m = MemoryReq::new(100.0, 1000.0);
+        assert!((m.per_proc(1) - 1100.0).abs() < 1e-9);
+        assert!((m.per_proc(10) - 200.0).abs() < 1e-9);
+        assert!(m.per_proc(0).is_infinite());
+    }
+
+    #[test]
+    fn min_procs_basic() {
+        // 1000 distributed, capacity 300, no resident: ceil(1000/300) = 4.
+        assert_eq!(MemoryReq::new(0.0, 1000.0).min_procs(300.0), Some(4));
+        // Resident eats into capacity: ceil(1000/(300-100)) = 5.
+        assert_eq!(MemoryReq::new(100.0, 1000.0).min_procs(300.0), Some(5));
+    }
+
+    #[test]
+    fn min_procs_at_least_one() {
+        assert_eq!(MemoryReq::none().min_procs(1.0), Some(1));
+        assert_eq!(MemoryReq::new(0.0, 0.5).min_procs(1.0), Some(1));
+    }
+
+    #[test]
+    fn min_procs_impossible() {
+        // Resident part alone exceeds capacity: never fits.
+        assert_eq!(MemoryReq::new(400.0, 10.0).min_procs(300.0), None);
+        // Resident exactly at capacity with no distributed data fits on 1.
+        assert_eq!(MemoryReq::new(300.0, 0.0).min_procs(300.0), Some(1));
+    }
+
+    #[test]
+    fn min_procs_is_tight() {
+        let m = MemoryReq::new(50.0, 10_000.0);
+        let cap = 1_000.0;
+        let p = m.min_procs(cap).unwrap();
+        assert!(m.fits(p, cap), "p_min must fit");
+        if p > 1 {
+            assert!(!m.fits(p - 1, cap), "p_min - 1 must not fit");
+        }
+    }
+
+    #[test]
+    fn combine_adds_components() {
+        let a = MemoryReq::new(10.0, 100.0);
+        let b = MemoryReq::new(5.0, 50.0);
+        assert_eq!(a.combine(&b), MemoryReq::new(15.0, 150.0));
+    }
+
+    #[test]
+    fn combine_raises_min_procs() {
+        // The §6.3 effect: merging raises the memory floor.
+        let cap = 100.0;
+        let a = MemoryReq::new(0.0, 300.0);
+        let b = MemoryReq::new(0.0, 300.0);
+        assert_eq!(a.min_procs(cap), Some(3));
+        assert_eq!(a.combine(&b).min_procs(cap), Some(6));
+    }
+}

@@ -1,0 +1,237 @@
+//! Polynomial cost-function forms from §5 of the paper.
+//!
+//! The paper models the execution time of a task on `p` processors as
+//!
+//! ```text
+//! f_exec(p) = C1 + C2/p + C3·p
+//! ```
+//!
+//! where `C1` captures fixed-cost sequential and replicated computation,
+//! `C2/p` the perfectly parallel part, and `C3·p` overheads that grow with
+//! the number of processors. Internal communication (redistribution on the
+//! same processor group) uses the same three-term form. External
+//! communication between a group of `ps` senders and `pr` receivers uses the
+//! five-term form
+//!
+//! ```text
+//! f_ecom(ps, pr) = C1 + C2/ps + C3/pr + C4·ps + C5·pr
+//! ```
+
+use crate::{Procs, Seconds};
+
+/// Three-term polynomial `c1 + c2/p + c3·p` used for execution time and
+/// internal (same-group) communication time.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct PolyUnary {
+    /// Fixed cost independent of the processor count (sequential and
+    /// replicated computation, fixed communication overhead).
+    pub c1: f64,
+    /// Coefficient of the `1/p` term: perfectly parallel work.
+    pub c2: f64,
+    /// Coefficient of the `p` term: per-processor overhead.
+    pub c3: f64,
+}
+
+impl PolyUnary {
+    /// A new three-term polynomial model.
+    pub const fn new(c1: f64, c2: f64, c3: f64) -> Self {
+        Self { c1, c2, c3 }
+    }
+
+    /// The zero function (no cost).
+    pub const fn zero() -> Self {
+        Self::new(0.0, 0.0, 0.0)
+    }
+
+    /// A perfectly parallel workload of `total` seconds of single-processor
+    /// work: `f(p) = total / p`.
+    pub const fn perfectly_parallel(total: f64) -> Self {
+        Self::new(0.0, total, 0.0)
+    }
+
+    /// Evaluate at `p` processors. Returns `+inf` for `p = 0`.
+    pub fn eval(&self, p: Procs) -> Seconds {
+        if p == 0 {
+            return f64::INFINITY;
+        }
+        let pf = p as f64;
+        self.c1 + self.c2 / pf + self.c3 * pf
+    }
+
+    /// Pointwise sum of two models (used when composing tasks into modules:
+    /// the per-data-set execution time of a module is the sum of its member
+    /// tasks' execution times plus the internal communication between them).
+    pub fn add(&self, other: &Self) -> Self {
+        Self::new(self.c1 + other.c1, self.c2 + other.c2, self.c3 + other.c3)
+    }
+
+    /// Scale all coefficients by `k` (e.g. per-byte cost × message size).
+    pub fn scale(&self, k: f64) -> Self {
+        Self::new(self.c1 * k, self.c2 * k, self.c3 * k)
+    }
+
+    /// The processor count in `[lo, hi]` minimising the cost. With `c2, c3
+    /// ≥ 0` the function is convex in `p` and the unconstrained minimiser is
+    /// `sqrt(c2/c3)`; this helper is exact for any coefficients because it
+    /// checks the clamped candidates and the interval ends.
+    pub fn argmin(&self, lo: Procs, hi: Procs) -> Procs {
+        assert!(lo >= 1 && lo <= hi, "invalid range [{lo}, {hi}]");
+        let mut best = lo;
+        let mut best_t = self.eval(lo);
+        let consider = |p: Procs, best: &mut Procs, best_t: &mut Seconds| {
+            if p >= lo && p <= hi {
+                let t = self.eval(p);
+                if t < *best_t {
+                    *best = p;
+                    *best_t = t;
+                }
+            }
+        };
+        consider(hi, &mut best, &mut best_t);
+        if self.c3 > 0.0 && self.c2 > 0.0 {
+            let x = (self.c2 / self.c3).sqrt();
+            consider(x.floor().max(1.0) as Procs, &mut best, &mut best_t);
+            consider(x.ceil().max(1.0) as Procs, &mut best, &mut best_t);
+        }
+        best
+    }
+}
+
+/// Five-term polynomial `c1 + c2/ps + c3/pr + c4·ps + c5·pr` used for
+/// external communication between disjoint processor groups.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct PolyEcom {
+    /// Fixed communication overhead.
+    pub c1: f64,
+    /// Coefficient of `1/ps`: send-side parallelism.
+    pub c2: f64,
+    /// Coefficient of `1/pr`: receive-side parallelism.
+    pub c3: f64,
+    /// Coefficient of `ps`: send-side per-processor overhead.
+    pub c4: f64,
+    /// Coefficient of `pr`: receive-side per-processor overhead.
+    pub c5: f64,
+}
+
+impl PolyEcom {
+    /// A new five-term external-communication model.
+    pub const fn new(c1: f64, c2: f64, c3: f64, c4: f64, c5: f64) -> Self {
+        Self { c1, c2, c3, c4, c5 }
+    }
+
+    /// The zero function (no cost).
+    pub const fn zero() -> Self {
+        Self::new(0.0, 0.0, 0.0, 0.0, 0.0)
+    }
+
+    /// Evaluate for `ps` sending and `pr` receiving processors. Returns
+    /// `+inf` if either count is zero.
+    pub fn eval(&self, ps: Procs, pr: Procs) -> Seconds {
+        if ps == 0 || pr == 0 {
+            return f64::INFINITY;
+        }
+        let (s, r) = (ps as f64, pr as f64);
+        self.c1 + self.c2 / s + self.c3 / r + self.c4 * s + self.c5 * r
+    }
+
+    /// Pointwise sum of two models.
+    pub fn add(&self, other: &Self) -> Self {
+        Self::new(
+            self.c1 + other.c1,
+            self.c2 + other.c2,
+            self.c3 + other.c3,
+            self.c4 + other.c4,
+            self.c5 + other.c5,
+        )
+    }
+
+    /// Scale all coefficients by `k`.
+    pub fn scale(&self, k: f64) -> Self {
+        Self::new(
+            self.c1 * k,
+            self.c2 * k,
+            self.c3 * k,
+            self.c4 * k,
+            self.c5 * k,
+        )
+    }
+
+    /// Collapse to the three-term internal form by identifying the sender
+    /// and receiver groups (`ps = pr = p`). This is how a fitted external
+    /// model is reused as a redistribution estimate when two tasks are
+    /// clustered and no separate internal profile is available.
+    pub fn diagonal(&self) -> PolyUnary {
+        PolyUnary::new(self.c1, self.c2 + self.c3, self.c4 + self.c5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_eval_basic() {
+        let f = PolyUnary::new(1.0, 8.0, 0.5);
+        assert!((f.eval(1) - 9.5).abs() < 1e-12);
+        assert!((f.eval(2) - (1.0 + 4.0 + 1.0)).abs() < 1e-12);
+        assert!((f.eval(8) - (1.0 + 1.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unary_zero_procs_is_infinite() {
+        assert!(PolyUnary::new(1.0, 1.0, 1.0).eval(0).is_infinite());
+        assert!(PolyEcom::new(1.0, 1.0, 1.0, 0.0, 0.0).eval(0, 4).is_infinite());
+        assert!(PolyEcom::new(1.0, 1.0, 1.0, 0.0, 0.0).eval(4, 0).is_infinite());
+    }
+
+    #[test]
+    fn unary_add_and_scale() {
+        let a = PolyUnary::new(1.0, 2.0, 3.0);
+        let b = PolyUnary::new(0.5, 0.5, 0.5);
+        let s = a.add(&b);
+        assert_eq!(s, PolyUnary::new(1.5, 2.5, 3.5));
+        assert_eq!(a.scale(2.0), PolyUnary::new(2.0, 4.0, 6.0));
+    }
+
+    #[test]
+    fn unary_argmin_interior() {
+        // c2/p + c3*p minimised at sqrt(c2/c3) = sqrt(100/1) = 10.
+        let f = PolyUnary::new(0.0, 100.0, 1.0);
+        assert_eq!(f.argmin(1, 64), 10);
+        // Clamped at range ends.
+        assert_eq!(f.argmin(12, 64), 12);
+        assert_eq!(f.argmin(1, 7), 7);
+    }
+
+    #[test]
+    fn unary_argmin_monotone_cases() {
+        // Pure parallel: more processors is always better.
+        assert_eq!(PolyUnary::perfectly_parallel(10.0).argmin(1, 32), 32);
+        // Pure overhead: fewer is better.
+        assert_eq!(PolyUnary::new(0.0, 0.0, 1.0).argmin(1, 32), 1);
+    }
+
+    #[test]
+    fn ecom_eval_basic() {
+        let f = PolyEcom::new(1.0, 4.0, 8.0, 0.25, 0.125);
+        let t = f.eval(2, 4);
+        assert!((t - (1.0 + 2.0 + 2.0 + 0.5 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecom_diagonal_matches_identified_eval() {
+        let f = PolyEcom::new(1.0, 4.0, 8.0, 0.25, 0.125);
+        let d = f.diagonal();
+        for p in 1..=32 {
+            assert!((d.eval(p) - f.eval(p, p)).abs() < 1e-12, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn perfectly_parallel_halves() {
+        let f = PolyUnary::perfectly_parallel(12.0);
+        assert!((f.eval(1) - 12.0).abs() < 1e-12);
+        assert!((f.eval(2) - 6.0).abs() < 1e-12);
+        assert!((f.eval(4) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Replication arithmetic (§3.2).
+//!
+//! If `p` processors are available to a replicable module with memory floor
+//! `p_min`, the paper shows that — under the assumption that execution and
+//! communication functions exhibit no superlinear speedup — it is always
+//! profitable to replicate *maximally*: split into `r = ⌊p / p_min⌋`
+//! instances with the processors divided equally (`⌊p / r⌋` each; any
+//! remainder processors are left idle, matching the "divided equally"
+//! prescription). Alternate data sets go to distinct instances, so the
+//! *effective* response time of the module is `f(p_instance) / r`.
+//!
+//! The mapping algorithms then run on *effective* processor counts: the
+//! instance size is the number that enters every cost function, and the
+//! replication degree only divides the response time.
+
+use crate::Procs;
+
+/// The replication decision for one module: how many instances and how many
+/// processors each instance receives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Replication {
+    /// Number of module instances processing alternate data sets.
+    pub instances: usize,
+    /// Processors allocated to each instance.
+    pub procs_per_instance: Procs,
+}
+
+impl Replication {
+    /// The trivial replication: one instance holding all `p` processors.
+    pub const fn single(p: Procs) -> Self {
+        Self {
+            instances: 1,
+            procs_per_instance: p,
+        }
+    }
+
+    /// Total processors consumed (instances × instance size). May be less
+    /// than the processors offered, when the division left a remainder.
+    pub fn total_procs(&self) -> Procs {
+        self.instances * self.procs_per_instance
+    }
+}
+
+/// Maximal replication of a module given `p` offered processors, a memory
+/// floor of `p_min` processors per instance, and whether the module's tasks
+/// permit replication at all (§2.2: only modules composed exclusively of
+/// replicable tasks are replicable).
+///
+/// Returns `None` when `p < p_min` (the module cannot run at all).
+pub fn max_replication(p: Procs, p_min: Procs, replicable: bool) -> Option<Replication> {
+    let p_min = p_min.max(1);
+    if p < p_min {
+        return None;
+    }
+    if !replicable {
+        return Some(Replication::single(p));
+    }
+    let r = p / p_min;
+    debug_assert!(r >= 1);
+    Some(Replication {
+        instances: r,
+        procs_per_instance: p / r,
+    })
+}
+
+/// Replication with an explicit cap on the number of instances (useful when
+/// data-dependence limits the replication window, or to model the paper's
+/// non-replicable case uniformly with `cap = 1`).
+pub fn capped_replication(
+    p: Procs,
+    p_min: Procs,
+    replicable: bool,
+    cap: usize,
+) -> Option<Replication> {
+    let r = max_replication(p, p_min, replicable)?;
+    let cap = cap.max(1);
+    if r.instances <= cap {
+        return Some(r);
+    }
+    Some(Replication {
+        instances: cap,
+        procs_per_instance: p / cap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_floor_is_infeasible() {
+        assert_eq!(max_replication(2, 3, true), None);
+        assert_eq!(max_replication(0, 1, true), None);
+    }
+
+    #[test]
+    fn non_replicable_keeps_one_instance() {
+        let r = max_replication(24, 3, false).unwrap();
+        assert_eq!(r, Replication::single(24));
+    }
+
+    #[test]
+    fn paper_fft_hist_module1() {
+        // §6.3: 24 processors, floor 3 → 8 instances of 3.
+        let r = max_replication(24, 3, true).unwrap();
+        assert_eq!(r.instances, 8);
+        assert_eq!(r.procs_per_instance, 3);
+    }
+
+    #[test]
+    fn paper_fft_hist_module2() {
+        // §6.3: 40 processors, floor 4 → 10 instances of 4.
+        let r = max_replication(40, 4, true).unwrap();
+        assert_eq!(r.instances, 10);
+        assert_eq!(r.procs_per_instance, 4);
+    }
+
+    #[test]
+    fn remainder_processors_are_idle() {
+        // 25 procs, floor 3 → r = 8, each instance ⌊25/8⌋ = 3, one idle.
+        let r = max_replication(25, 3, true).unwrap();
+        assert_eq!(r.instances, 8);
+        assert_eq!(r.procs_per_instance, 3);
+        assert_eq!(r.total_procs(), 24);
+    }
+
+    #[test]
+    fn instance_size_at_least_floor() {
+        for p in 1..200 {
+            for p_min in 1..12 {
+                if let Some(r) = max_replication(p, p_min, true) {
+                    assert!(r.procs_per_instance >= p_min, "p={p} p_min={p_min}");
+                    assert!(r.total_procs() <= p);
+                    // Maximality: one more instance would break the floor.
+                    assert!(
+                        p / (r.instances + 1) < p_min,
+                        "replication not maximal at p={p} p_min={p_min}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_floor_is_treated_as_one() {
+        let r = max_replication(6, 0, true).unwrap();
+        assert_eq!(r.instances, 6);
+        assert_eq!(r.procs_per_instance, 1);
+    }
+
+    #[test]
+    fn capped_replication_respects_cap() {
+        let r = capped_replication(24, 3, true, 4).unwrap();
+        assert_eq!(r.instances, 4);
+        assert_eq!(r.procs_per_instance, 6);
+        // Cap larger than maximal replication has no effect.
+        let r2 = capped_replication(24, 3, true, 100).unwrap();
+        assert_eq!(r2.instances, 8);
+        // Cap of zero behaves like one.
+        let r3 = capped_replication(24, 3, true, 0).unwrap();
+        assert_eq!(r3.instances, 1);
+        assert_eq!(r3.procs_per_instance, 24);
+    }
+}

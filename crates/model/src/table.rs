@@ -1,0 +1,219 @@
+//! Tabulated (pointwise) cost functions with linear interpolation.
+//!
+//! §5 of the paper notes that the mapping algorithms are independent of how
+//! the time functions are represented: "they may be mathematical functions
+//! … or they may be defined pointwise possibly using interpolation". These
+//! types implement the pointwise representation. They are the natural fit
+//! for measured profiles at a handful of processor counts.
+
+use crate::{Procs, Seconds};
+
+/// A unary cost function defined by samples `(p, t)` with linear
+/// interpolation between samples and clamped extrapolation outside the
+/// sampled range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tabulated {
+    /// Sample points, strictly increasing in `p`, all times finite.
+    points: Vec<(Procs, Seconds)>,
+}
+
+impl Tabulated {
+    /// Build from unsorted samples. Duplicate processor counts keep the
+    /// last-provided time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, contains `p = 0`, or contains a
+    /// non-finite time.
+    pub fn new(mut points: Vec<(Procs, Seconds)>) -> Self {
+        assert!(!points.is_empty(), "tabulated cost needs at least 1 sample");
+        for &(p, t) in &points {
+            assert!(p >= 1, "tabulated cost sampled at p = 0");
+            assert!(t.is_finite(), "tabulated cost has non-finite time {t}");
+        }
+        points.sort_by_key(|&(p, _)| p);
+        points.dedup_by_key(|&mut (p, _)| p);
+        Self { points }
+    }
+
+    /// The sample points (sorted, deduplicated).
+    pub fn points(&self) -> &[(Procs, Seconds)] {
+        &self.points
+    }
+
+    /// Evaluate at `p` with interpolation / clamped extrapolation.
+    pub fn eval(&self, p: Procs) -> Seconds {
+        if p == 0 {
+            return f64::INFINITY;
+        }
+        let pts = &self.points;
+        if p <= pts[0].0 {
+            return pts[0].1;
+        }
+        if p >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Find the bracketing pair by binary search on p.
+        let idx = pts.partition_point(|&(q, _)| q < p);
+        let (p1, t1) = pts[idx - 1];
+        let (p2, t2) = pts[idx];
+        if p1 == p {
+            return t1;
+        }
+        let w = (p - p1) as f64 / (p2 - p1) as f64;
+        t1 + w * (t2 - t1)
+    }
+}
+
+/// A binary cost function (external communication) defined on a grid of
+/// `(ps, pr)` samples with bilinear interpolation and clamped extrapolation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tabulated2d {
+    sender_axis: Vec<Procs>,
+    receiver_axis: Vec<Procs>,
+    /// Row-major: `times[si * receiver_axis.len() + ri]`.
+    times: Vec<Seconds>,
+}
+
+impl Tabulated2d {
+    /// Build from full-grid samples: `times[si][ri]` is the cost at
+    /// `(sender_axis[si], receiver_axis[ri])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty or not strictly increasing, if any
+    /// axis value is zero, or if `times` has the wrong shape or non-finite
+    /// entries.
+    pub fn new(sender_axis: Vec<Procs>, receiver_axis: Vec<Procs>, times: Vec<Seconds>) -> Self {
+        assert!(!sender_axis.is_empty() && !receiver_axis.is_empty());
+        assert!(sender_axis.windows(2).all(|w| w[0] < w[1]));
+        assert!(receiver_axis.windows(2).all(|w| w[0] < w[1]));
+        assert!(sender_axis[0] >= 1 && receiver_axis[0] >= 1);
+        assert_eq!(times.len(), sender_axis.len() * receiver_axis.len());
+        assert!(times.iter().all(|t| t.is_finite()));
+        Self {
+            sender_axis,
+            receiver_axis,
+            times,
+        }
+    }
+
+    fn at(&self, si: usize, ri: usize) -> Seconds {
+        self.times[si * self.receiver_axis.len() + ri]
+    }
+
+    /// Evaluate at `(ps, pr)` with bilinear interpolation.
+    pub fn eval(&self, ps: Procs, pr: Procs) -> Seconds {
+        if ps == 0 || pr == 0 {
+            return f64::INFINITY;
+        }
+        let (si, sw) = bracket(&self.sender_axis, ps);
+        let (ri, rw) = bracket(&self.receiver_axis, pr);
+        let t00 = self.at(si, ri);
+        let t01 = self.at(si, (ri + 1).min(self.receiver_axis.len() - 1));
+        let t10 = self.at((si + 1).min(self.sender_axis.len() - 1), ri);
+        let t11 = self.at(
+            (si + 1).min(self.sender_axis.len() - 1),
+            (ri + 1).min(self.receiver_axis.len() - 1),
+        );
+        let a = t00 + rw * (t01 - t00);
+        let b = t10 + rw * (t11 - t10);
+        a + sw * (b - a)
+    }
+}
+
+/// Locate `p` in `axis`: returns `(index, weight)` such that the value lies
+/// between `axis[index]` and `axis[index + 1]` with interpolation `weight`
+/// in `[0, 1]`; clamps outside the range.
+fn bracket(axis: &[Procs], p: Procs) -> (usize, f64) {
+    if p <= axis[0] {
+        return (0, 0.0);
+    }
+    if p >= axis[axis.len() - 1] {
+        return (axis.len() - 1, 0.0);
+    }
+    let idx = axis.partition_point(|&q| q < p);
+    let (p1, p2) = (axis[idx - 1], axis[idx]);
+    if p1 == p {
+        (idx - 1, 0.0)
+    } else {
+        (idx - 1, (p - p1) as f64 / (p2 - p1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabulated_exact_and_interpolated() {
+        let t = Tabulated::new(vec![(1, 10.0), (4, 4.0), (8, 3.0)]);
+        assert_eq!(t.eval(1), 10.0);
+        assert_eq!(t.eval(4), 4.0);
+        assert_eq!(t.eval(8), 3.0);
+        // Interpolation between 1 and 4: at p=2, 10 + (1/3)(4-10) = 8.
+        assert!((t.eval(2) - 8.0).abs() < 1e-12);
+        // Clamped extrapolation.
+        assert_eq!(t.eval(100), 3.0);
+    }
+
+    #[test]
+    fn tabulated_unsorted_input_is_sorted() {
+        let t = Tabulated::new(vec![(8, 3.0), (1, 10.0), (4, 4.0)]);
+        assert_eq!(t.points(), &[(1, 10.0), (4, 4.0), (8, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 sample")]
+    fn tabulated_empty_panics() {
+        let _ = Tabulated::new(vec![]);
+    }
+
+    #[test]
+    fn tabulated_single_point_is_constant() {
+        let t = Tabulated::new(vec![(4, 7.0)]);
+        assert_eq!(t.eval(1), 7.0);
+        assert_eq!(t.eval(4), 7.0);
+        assert_eq!(t.eval(64), 7.0);
+    }
+
+    #[test]
+    fn tabulated2d_corners_and_center() {
+        let t = Tabulated2d::new(
+            vec![1, 4],
+            vec![1, 4],
+            vec![
+                10.0, 6.0, // ps=1
+                4.0, 2.0, // ps=4
+            ],
+        );
+        assert_eq!(t.eval(1, 1), 10.0);
+        assert_eq!(t.eval(1, 4), 6.0);
+        assert_eq!(t.eval(4, 1), 4.0);
+        assert_eq!(t.eval(4, 4), 2.0);
+        // Bilinear centre: p=2.5 would be mid, but procs are integers;
+        // at (2, 2) weights are 1/3 each.
+        let w = 1.0 / 3.0;
+        let a = 10.0 + w * (6.0 - 10.0);
+        let b = 4.0 + w * (2.0 - 4.0);
+        let expect = a + w * (b - a);
+        assert!((t.eval(2, 2) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tabulated2d_clamps_out_of_range() {
+        let t = Tabulated2d::new(vec![2, 4], vec![2, 4], vec![8.0, 6.0, 5.0, 3.0]);
+        assert_eq!(t.eval(1, 1), 8.0);
+        assert_eq!(t.eval(64, 64), 3.0);
+        assert_eq!(t.eval(1, 64), 6.0);
+    }
+
+    #[test]
+    fn zero_procs_is_infinite() {
+        let t = Tabulated::new(vec![(1, 1.0)]);
+        assert!(t.eval(0).is_infinite());
+        let t2 = Tabulated2d::new(vec![1], vec![1], vec![1.0]);
+        assert!(t2.eval(0, 1).is_infinite());
+        assert!(t2.eval(1, 0).is_infinite());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests of the cost-model primitives.
+
+use pipemap_model::{
+    max_replication, MemoryReq, PolyEcom, PolyUnary, Tabulated, UnaryCost,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn poly_argmin_matches_exhaustive_scan(
+        c1 in 0.0..10.0f64,
+        c2 in 0.0..100.0f64,
+        c3 in 0.0..5.0f64,
+        lo in 1..32usize,
+        span in 0..64usize,
+    ) {
+        let hi = lo + span;
+        let f = PolyUnary::new(c1, c2, c3);
+        let fast = f.argmin(lo, hi);
+        let best_scan = (lo..=hi)
+            .min_by(|&a, &b| f.eval(a).partial_cmp(&f.eval(b)).unwrap())
+            .unwrap();
+        prop_assert!(
+            (f.eval(fast) - f.eval(best_scan)).abs() <= 1e-12 * f.eval(best_scan).max(1.0),
+            "argmin {} ({}) vs scan {} ({})",
+            fast, f.eval(fast), best_scan, f.eval(best_scan)
+        );
+    }
+
+    #[test]
+    fn poly_add_is_pointwise(
+        a in (0.0..5.0f64, 0.0..5.0f64, 0.0..5.0f64),
+        b in (0.0..5.0f64, 0.0..5.0f64, 0.0..5.0f64),
+        p in 1..128usize,
+    ) {
+        let fa = PolyUnary::new(a.0, a.1, a.2);
+        let fb = PolyUnary::new(b.0, b.1, b.2);
+        let sum = fa.add(&fb);
+        prop_assert!((sum.eval(p) - (fa.eval(p) + fb.eval(p))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecom_diagonal_identifies_groups(
+        c in (0.0..2.0f64, 0.0..4.0f64, 0.0..4.0f64, 0.0..0.5f64, 0.0..0.5f64),
+        p in 1..100usize,
+    ) {
+        let f = PolyEcom::new(c.0, c.1, c.2, c.3, c.4);
+        prop_assert!((f.diagonal().eval(p) - f.eval(p, p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tabulated_stays_within_sample_hull(
+        mut samples in prop::collection::vec((1..64usize, 0.1..100.0f64), 1..8),
+        p in 1..128usize,
+    ) {
+        samples.sort_by_key(|s| s.0);
+        samples.dedup_by_key(|s| s.0);
+        let t = Tabulated::new(samples.clone());
+        let v = t.eval(p);
+        let lo = samples.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().map(|s| s.1).fold(f64::NEG_INFINITY, f64::max);
+        // Linear interpolation + clamped extrapolation can never leave
+        // the sampled value range.
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn tabulated_hits_samples_exactly(
+        mut samples in prop::collection::vec((1..64usize, 0.1..100.0f64), 1..8),
+    ) {
+        samples.sort_by_key(|s| s.0);
+        samples.dedup_by_key(|s| s.0);
+        let t = Tabulated::new(samples.clone());
+        for (p, v) in samples {
+            prop_assert!((t.eval(p) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn replication_invariants(p in 0..256usize, floor in 0..16usize, replicable: bool) {
+        match max_replication(p, floor, replicable) {
+            None => prop_assert!(p < floor.max(1)),
+            Some(r) => {
+                prop_assert!(r.instances >= 1);
+                prop_assert!(r.procs_per_instance >= floor.max(1));
+                prop_assert!(r.total_procs() <= p);
+                if !replicable {
+                    prop_assert_eq!(r.instances, 1);
+                    prop_assert_eq!(r.procs_per_instance, p);
+                } else {
+                    // Maximality: one more instance would break the floor.
+                    prop_assert!(p / (r.instances + 1) < floor.max(1));
+                    // Wasted processors are fewer than one instance.
+                    prop_assert!(p - r.total_procs() < r.procs_per_instance.max(1) + r.instances);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_min_procs_is_tight(
+        resident in 0.0..500.0f64,
+        distributed in 0.0..100_000.0f64,
+        capacity in 1.0..2_000.0f64,
+    ) {
+        let m = MemoryReq::new(resident, distributed);
+        match m.min_procs(capacity) {
+            None => prop_assert!(resident > capacity || (resident == capacity && distributed > 0.0)),
+            Some(p) => {
+                prop_assert!(m.fits(p, capacity), "p_min {p} does not fit");
+                if p > 1 {
+                    prop_assert!(!m.fits(p - 1, capacity), "p_min {p} not tight");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_sum_associates(
+        coeffs in prop::collection::vec((0.0..3.0f64, 0.0..3.0f64, 0.0..0.5f64), 1..6),
+        p in 1..64usize,
+    ) {
+        let costs: Vec<UnaryCost> = coeffs
+            .iter()
+            .map(|&(a, b, c)| UnaryCost::Poly(PolyUnary::new(a, b, c)))
+            .collect();
+        let left = costs
+            .iter()
+            .fold(UnaryCost::Zero, |acc, c| acc.add(c));
+        let right = costs
+            .iter()
+            .rev()
+            .fold(UnaryCost::Zero, |acc, c| acc.add(c));
+        let direct: f64 = costs.iter().map(|c| c.eval(p)).sum();
+        prop_assert!((left.eval(p) - direct).abs() < 1e-9);
+        prop_assert!((right.eval(p) - direct).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,268 @@
+//! Execution-style profiling: the paper's "8 executions".
+//!
+//! §5 derives every model parameter "by analyzing the profile information
+//! from a set of executions" — each training run executes the *whole
+//! program* under one task-parallel assignment, and per-task timers yield
+//! one sample of every `f_exec_i` and every `f_ecom_e` simultaneously.
+//! That is stricter than sampling each cost function independently (as
+//! [`crate::training::profile_chain`] does): eight runs really do mean
+//! eight samples per function, and the sender/receiver counts of an
+//! edge's samples are tied to the assignments actually run.
+//!
+//! The training assignments are staggered so that eight runs cover the
+//! processor range for every task *and* give each edge asymmetric
+//! `(ps, pr)` pairs with distinct products — the condition under which
+//! the five-term communication model is identifiable (see
+//! `TrainingConfig::for_procs`).
+
+use pipemap_chain::{Assignment, ChainBuilder, Edge, Problem, Task, TaskChain};
+use pipemap_model::{Procs, Seconds};
+use pipemap_sim::NoiseModel;
+
+use crate::fit::{fit_ecom, fit_unary, FitOptions};
+use crate::training::{default_training_procs, ProfileData};
+
+/// The training assignments: even-numbered runs are *uniform* (every
+/// task at the same count — these sample the near-diagonal region of
+/// every `f_ecom`, which is where real mappings operate), odd-numbered
+/// runs are *staggered* in alternating directions (ascending
+/// `base[(i + j) mod n]` and descending `base[(n + j − i) mod n]`), so
+/// each edge sees asymmetric pairs in **both** orientations — needed to
+/// pin down communication costs whose send and receive sides differ,
+/// like a `max(send, recv)` transfer.
+pub fn training_assignments(chain_len: usize, max_p: Procs) -> Vec<Assignment> {
+    let base = default_training_procs(max_p);
+    let n = base.len();
+    (0..n)
+        .map(|j| {
+            Assignment(
+                (0..chain_len)
+                    .map(|i| {
+                        if j % 2 == 0 {
+                            base[j]
+                        } else if j % 4 == 1 {
+                            base[(i + j) % n]
+                        } else {
+                            base[(n + j - (i % n)) % n]
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// One profiled execution: the per-task and per-edge timings observed
+/// when the chain runs under `assignment`.
+#[derive(Clone, Debug)]
+pub struct ExecutionProfile {
+    /// The assignment that was run.
+    pub assignment: Assignment,
+    /// `exec[i]` — task `i`'s execution time at `assignment.procs(i)`.
+    pub exec: Vec<Seconds>,
+    /// `ecom[e]` — edge `e`'s transfer time at the endpoint counts.
+    pub ecom: Vec<Seconds>,
+    /// `icom[e]` — edge `e`'s redistribution time measured on the
+    /// *union* group (profiled from a co-located variant of the run,
+    /// as the Fx tool instruments redistributions separately).
+    pub icom: Vec<Seconds>,
+}
+
+/// Run (i.e. evaluate the ground-truth costs of) one training execution.
+pub fn run_execution(
+    chain: &TaskChain,
+    assignment: &Assignment,
+    noise: &mut Option<NoiseModel>,
+) -> ExecutionProfile {
+    let mut measure = |t: Seconds| -> Seconds {
+        match noise.as_mut() {
+            Some(n) => n.perturb(t),
+            None => t,
+        }
+    };
+    let k = chain.len();
+    let exec = (0..k)
+        .map(|i| measure(chain.task(i).exec.eval(assignment.procs(i))))
+        .collect();
+    let ecom = (0..k.saturating_sub(1))
+        .map(|e| {
+            measure(
+                chain
+                    .edge(e)
+                    .ecom
+                    .eval(assignment.procs(e), assignment.procs(e + 1)),
+            )
+        })
+        .collect();
+    let icom = (0..k.saturating_sub(1))
+        .map(|e| {
+            // The redistribution is profiled on the group the two tasks
+            // would share if co-located: the union of their allocations.
+            let union = assignment.procs(e) + assignment.procs(e + 1);
+            measure(chain.edge(e).icom.eval(union))
+        })
+        .collect();
+    ExecutionProfile {
+        assignment: assignment.clone(),
+        exec,
+        ecom,
+        icom,
+    }
+}
+
+/// Collect the samples of a set of executions into per-function sample
+/// lists (the shape the fitting routines consume).
+pub fn collect_profiles(chain: &TaskChain, profiles: &[ExecutionProfile]) -> ProfileData {
+    let k = chain.len();
+    let mut exec = vec![Vec::new(); k];
+    let mut icom = vec![Vec::new(); k.saturating_sub(1)];
+    let mut ecom = vec![Vec::new(); k.saturating_sub(1)];
+    for p in profiles {
+        for (i, samples) in exec.iter_mut().enumerate() {
+            samples.push((p.assignment.procs(i), p.exec[i]));
+        }
+        for e in 0..k.saturating_sub(1) {
+            let union = p.assignment.procs(e) + p.assignment.procs(e + 1);
+            icom[e].push((union, p.icom[e]));
+            ecom[e].push(((p.assignment.procs(e), p.assignment.procs(e + 1)), p.ecom[e]));
+        }
+    }
+    ProfileData { exec, icom, ecom }
+}
+
+/// Profile a problem with the paper's methodology — `runs` whole-program
+/// executions under staggered assignments — and fit its polynomial twin.
+pub fn fit_problem_from_executions(
+    problem: &Problem,
+    noise: Option<(f64, u64)>,
+    options: FitOptions,
+) -> Problem {
+    let chain = &problem.chain;
+    let assignments = training_assignments(chain.len(), problem.total_procs);
+    let mut noise_model = noise.map(|(s, seed)| NoiseModel::new(s, seed));
+    let profiles: Vec<ExecutionProfile> = assignments
+        .iter()
+        .map(|a| run_execution(chain, a, &mut noise_model))
+        .collect();
+    let data = collect_profiles(chain, &profiles);
+
+    let mut builder = ChainBuilder::new();
+    for i in 0..chain.len() {
+        let fit = fit_unary(&data.exec[i], options);
+        let src = chain.task(i);
+        let mut task = Task::new(src.name.clone(), fit.model).with_memory(src.memory);
+        if !src.replicable {
+            task = task.not_replicable();
+        }
+        if let Some(m) = src.min_procs {
+            task = task.with_min_procs(m);
+        }
+        builder = builder.task(task);
+        if i + 1 < chain.len() {
+            let ic = fit_unary(&data.icom[i], options);
+            let ec = fit_ecom(&data.ecom[i], options);
+            builder = builder.edge(Edge::new(ic.model, ec.model));
+        }
+    }
+    let mut fitted = Problem::new(builder.build(), problem.total_procs, problem.mem_per_proc);
+    fitted.replication = problem.replication;
+    fitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::model_accuracy;
+    use pipemap_model::{PolyEcom, PolyUnary};
+
+    fn poly_chain() -> TaskChain {
+        ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::new(0.2, 6.0, 0.01)))
+            .edge(Edge::new(
+                PolyUnary::new(0.05, 0.5, 0.001),
+                PolyEcom::new(0.1, 1.0, 1.5, 0.005, 0.004),
+            ))
+            .task(Task::new("b", PolyUnary::new(0.1, 9.0, 0.02)))
+            .edge(Edge::new(
+                PolyUnary::new(0.02, 0.8, 0.0),
+                PolyEcom::new(0.05, 2.0, 0.5, 0.002, 0.006),
+            ))
+            .task(Task::new("c", PolyUnary::new(0.3, 3.0, 0.005)))
+            .build()
+    }
+
+    #[test]
+    fn eight_mixed_assignments() {
+        let a = training_assignments(3, 64);
+        assert_eq!(a.len(), 8, "the paper's eight executions");
+        // Every task sees a good spread of counts across the runs.
+        for i in 0..3 {
+            let mut counts: Vec<usize> = a.iter().map(|x| x.procs(i)).collect();
+            counts.sort_unstable();
+            counts.dedup();
+            // Four-plus distinct counts identify the 3-term unary model;
+            // parity of the stagger means odd-indexed tasks revisit the
+            // uniform runs' counts.
+            assert!(counts.len() >= 4, "task {i} sees only {counts:?}");
+        }
+        // Even runs are uniform (diagonal pairs), odd runs staggered
+        // (asymmetric pairs).
+        for (j, run) in a.iter().enumerate() {
+            if j % 2 == 0 {
+                assert_eq!(run.procs(0), run.procs(1));
+                assert_eq!(run.procs(1), run.procs(2));
+            } else {
+                assert_ne!(run.procs(0), run.procs(1));
+                assert_ne!(run.procs(1), run.procs(2));
+            }
+        }
+        // Edge products vary across runs (identifiability), including
+        // between the asymmetric runs alone.
+        let asym_products: std::collections::HashSet<usize> = a
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| j % 2 == 1)
+            .map(|(_, r)| r.procs(0) * r.procs(1))
+            .collect();
+        assert!(asym_products.len() >= 2, "need distinct (ps·pr) products");
+    }
+
+    #[test]
+    fn executions_recover_polynomial_models() {
+        let chain = poly_chain();
+        let problem = Problem::new(chain.clone(), 64, 1e12);
+        let fitted = fit_problem_from_executions(&problem, None, FitOptions::default());
+        let acc = model_accuracy(&chain, &fitted.chain, 64);
+        assert!(
+            acc.mean_rel_error < 0.02,
+            "execution-profiled fit should be near exact: {acc:?}"
+        );
+    }
+
+    #[test]
+    fn noisy_executions_stay_close() {
+        let chain = poly_chain();
+        let problem = Problem::new(chain.clone(), 64, 1e12);
+        let fitted =
+            fit_problem_from_executions(&problem, Some((0.04, 3)), FitOptions::default());
+        let acc = model_accuracy(&chain, &fitted.chain, 64);
+        assert!(acc.mean_rel_error < 0.15, "{acc:?}");
+    }
+
+    #[test]
+    fn profile_counts_are_exactly_the_run_count() {
+        let chain = poly_chain();
+        let assignments = training_assignments(3, 16);
+        let profiles: Vec<ExecutionProfile> = assignments
+            .iter()
+            .map(|a| run_execution(&chain, a, &mut None))
+            .collect();
+        let data = collect_profiles(&chain, &profiles);
+        for samples in &data.exec {
+            assert_eq!(samples.len(), assignments.len());
+        }
+        for samples in &data.ecom {
+            assert_eq!(samples.len(), assignments.len());
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Fitting the §5 polynomial forms to timing samples.
+
+use pipemap_model::{PolyEcom, PolyUnary, Procs, Seconds};
+
+use crate::linalg::least_squares;
+
+/// Options for the fitting routines.
+#[derive(Clone, Copy, Debug)]
+pub struct FitOptions {
+    /// Constrain coefficients to be non-negative by iteratively dropping
+    /// the most negative column and re-fitting (a small active-set NNLS).
+    /// A negative `C2` or `C3` can predict *negative* times outside the
+    /// sampled range, which breaks the optimiser; the true coefficients of
+    /// the paper's model are physically non-negative.
+    pub nonnegative: bool,
+    /// Minimise *relative* residuals by weighting each sample with
+    /// `1/observed`. Communication samples span two or more orders of
+    /// magnitude across the processor range; unweighted least squares
+    /// sacrifices the cheap (large-`p`) corner, which is exactly where the
+    /// optimiser operates.
+    pub relative: bool,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        Self {
+            nonnegative: true,
+            relative: true,
+        }
+    }
+}
+
+/// A fitted model plus its goodness-of-fit diagnostics.
+#[derive(Clone, Debug)]
+pub struct FitReport<M> {
+    /// The fitted model.
+    pub model: M,
+    /// Root-mean-square of absolute residuals (seconds).
+    pub rmse: Seconds,
+    /// Mean relative error over the samples (|residual| / observed),
+    /// skipping zero observations.
+    pub mean_rel_error: f64,
+    /// Largest relative error over the samples.
+    pub max_rel_error: f64,
+}
+
+/// Solve a least-squares problem with optional non-negativity by column
+/// elimination and optional relative weighting. `design` is row-major
+/// `rows × cols`.
+fn constrained_ls(
+    design: &[f64],
+    y: &[f64],
+    rows: usize,
+    cols: usize,
+    options: FitOptions,
+) -> Vec<f64> {
+    // Relative weighting: scale each row by 1/|y| so residuals are
+    // fractions of the observed time.
+    let mut scaled_design;
+    let mut scaled_y;
+    let (design, y): (&[f64], &[f64]) = if options.relative {
+        scaled_design = design.to_vec();
+        scaled_y = y.to_vec();
+        // Weight floor: a (near-)zero observation must not get unbounded
+        // weight, or it alone would pin the fit (e.g. an internal
+        // redistribution that is free at p = 1).
+        let magnitude = y.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let floor = (0.01 * magnitude).max(1e-12);
+        for r in 0..rows {
+            let w = 1.0 / (y[r].abs() + floor);
+            for c in 0..cols {
+                scaled_design[r * cols + c] *= w;
+            }
+            scaled_y[r] *= w;
+        }
+        (&scaled_design, &scaled_y)
+    } else {
+        (design, y)
+    };
+    let nonnegative = options.nonnegative;
+    let mut active: Vec<usize> = (0..cols).collect();
+    loop {
+        // Build the reduced design over active columns.
+        let acols = active.len();
+        if acols == 0 {
+            return vec![0.0; cols];
+        }
+        let mut reduced = Vec::with_capacity(rows * acols);
+        for r in 0..rows {
+            for &c in &active {
+                reduced.push(design[r * cols + c]);
+            }
+        }
+        let sol = least_squares(&reduced, y, rows, acols).unwrap_or_else(|| vec![0.0; acols]);
+        if !nonnegative {
+            let mut full = vec![0.0; cols];
+            for (i, &c) in active.iter().enumerate() {
+                full[c] = sol[i];
+            }
+            return full;
+        }
+        // Drop the most negative coefficient, if any. The threshold is
+        // relative to the solution's magnitude so that float noise on a
+        // genuinely-zero coefficient doesn't eliminate its column.
+        let magnitude = sol.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-30);
+        let threshold = -1e-7 * magnitude;
+        let mut worst: Option<(usize, f64)> = None;
+        for (i, &v) in sol.iter().enumerate() {
+            if v < threshold && worst.is_none_or(|(_, w)| v < w) {
+                worst = Some((i, v));
+            }
+        }
+        match worst {
+            Some((i, _)) => {
+                active.remove(i);
+            }
+            None => {
+                let mut full = vec![0.0; cols];
+                for (i, &c) in active.iter().enumerate() {
+                    full[c] = sol[i].max(0.0);
+                }
+                return full;
+            }
+        }
+    }
+}
+
+fn diagnostics(observed: &[f64], predicted: &[f64]) -> (f64, f64, f64) {
+    let n = observed.len() as f64;
+    let mut sq = 0.0;
+    let mut rel_sum = 0.0;
+    let mut rel_max: f64 = 0.0;
+    let mut rel_n = 0.0;
+    for (&o, &p) in observed.iter().zip(predicted) {
+        let e = p - o;
+        sq += e * e;
+        if o.abs() > 1e-30 {
+            let r = (e / o).abs();
+            rel_sum += r;
+            rel_max = rel_max.max(r);
+            rel_n += 1.0;
+        }
+    }
+    (
+        (sq / n).sqrt(),
+        if rel_n > 0.0 { rel_sum / rel_n } else { 0.0 },
+        rel_max,
+    )
+}
+
+/// Fit the three-term `C1 + C2/p + C3·p` model to `(p, time)` samples.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains `p = 0`.
+pub fn fit_unary(samples: &[(Procs, Seconds)], options: FitOptions) -> FitReport<PolyUnary> {
+    assert!(!samples.is_empty(), "need at least one sample");
+    // Zero observations (e.g. a redistribution that is free on one
+    // processor) are structural discontinuities the polynomial family
+    // cannot pass through; fit the non-zero samples and accept a
+    // conservative over-estimate at the free points.
+    let nonzero: Vec<(Procs, Seconds)> = samples
+        .iter()
+        .copied()
+        .filter(|&(_, t)| t.abs() > 1e-30)
+        .collect();
+    let samples: &[(Procs, Seconds)] = if nonzero.is_empty() {
+        samples
+    } else {
+        &nonzero
+    };
+    let rows = samples.len();
+    let mut design = Vec::with_capacity(rows * 3);
+    let mut y = Vec::with_capacity(rows);
+    for &(p, t) in samples {
+        assert!(p >= 1, "cannot profile at p = 0");
+        design.extend([1.0, 1.0 / p as f64, p as f64]);
+        y.push(t);
+    }
+    let c = constrained_ls(&design, &y, rows, 3, options);
+    let model = PolyUnary::new(c[0], c[1], c[2]);
+    let predicted: Vec<f64> = samples.iter().map(|&(p, _)| model.eval(p)).collect();
+    let (rmse, mean_rel_error, max_rel_error) = diagnostics(&y, &predicted);
+    FitReport {
+        model,
+        rmse,
+        mean_rel_error,
+        max_rel_error,
+    }
+}
+
+/// Fit the five-term external-communication model to
+/// `((ps, pr), time)` samples.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains a zero processor count.
+pub fn fit_ecom(samples: &[((Procs, Procs), Seconds)], options: FitOptions) -> FitReport<PolyEcom> {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let nonzero: Vec<((Procs, Procs), Seconds)> = samples
+        .iter()
+        .copied()
+        .filter(|&(_, t)| t.abs() > 1e-30)
+        .collect();
+    let samples: &[((Procs, Procs), Seconds)] = if nonzero.is_empty() {
+        samples
+    } else {
+        &nonzero
+    };
+    let rows = samples.len();
+    let mut design = Vec::with_capacity(rows * 5);
+    let mut y = Vec::with_capacity(rows);
+    for &((ps, pr), t) in samples {
+        assert!(ps >= 1 && pr >= 1, "cannot profile at p = 0");
+        let (s, r) = (ps as f64, pr as f64);
+        design.extend([1.0, 1.0 / s, 1.0 / r, s, r]);
+        y.push(t);
+    }
+    let c = constrained_ls(&design, &y, rows, 5, options);
+    let model = PolyEcom::new(c[0], c[1], c[2], c[3], c[4]);
+    let predicted: Vec<f64> = samples
+        .iter()
+        .map(|&((ps, pr), _)| model.eval(ps, pr))
+        .collect();
+    let (rmse, mean_rel_error, max_rel_error) = diagnostics(&y, &predicted);
+    FitReport {
+        model,
+        rmse,
+        mean_rel_error,
+        max_rel_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_unary_model() {
+        let truth = PolyUnary::new(0.5, 8.0, 0.125);
+        let samples: Vec<(Procs, f64)> = [1, 2, 4, 8, 16, 32, 48, 64]
+            .iter()
+            .map(|&p| (p, truth.eval(p)))
+            .collect();
+        let fit = fit_unary(&samples, FitOptions::default());
+        assert!((fit.model.c1 - 0.5).abs() < 1e-6, "{:?}", fit.model);
+        assert!((fit.model.c2 - 8.0).abs() < 1e-6);
+        assert!((fit.model.c3 - 0.125).abs() < 1e-6);
+        assert!(fit.max_rel_error < 1e-6);
+    }
+
+    #[test]
+    fn recovers_exact_ecom_model() {
+        let truth = PolyEcom::new(0.1, 2.0, 3.0, 0.01, 0.02);
+        let samples: Vec<((Procs, Procs), f64)> = [
+            (1, 1),
+            (2, 2),
+            (4, 4),
+            (8, 8),
+            (2, 8),
+            (8, 2),
+            (4, 16),
+            (16, 4),
+        ]
+        .iter()
+        .map(|&(s, r)| ((s, r), truth.eval(s, r)))
+        .collect();
+        let fit = fit_ecom(&samples, FitOptions::default());
+        assert!(fit.max_rel_error < 1e-6, "{:?}", fit);
+    }
+
+    #[test]
+    fn nonnegativity_enforced() {
+        // Superlinear-looking data would drive C3 negative without the
+        // constraint.
+        let samples: Vec<(Procs, f64)> =
+            vec![(1, 10.0), (2, 4.0), (4, 1.5), (8, 0.4), (16, 0.05)];
+        let fit = fit_unary(&samples, FitOptions::default());
+        assert!(fit.model.c1 >= 0.0);
+        assert!(fit.model.c2 >= 0.0);
+        assert!(fit.model.c3 >= 0.0);
+        // And the model never predicts negative times.
+        for p in 1..=64 {
+            assert!(fit.model.eval(p) >= 0.0, "negative time at p={p}");
+        }
+    }
+
+    #[test]
+    fn unconstrained_fit_can_go_negative() {
+        let samples: Vec<(Procs, f64)> =
+            vec![(1, 10.0), (2, 4.0), (4, 1.5), (8, 0.4), (16, 0.05)];
+        let fit = fit_unary(
+            &samples,
+            FitOptions {
+                nonnegative: false,
+                relative: false,
+            },
+        );
+        // The data's curvature forces some coefficient below zero.
+        assert!(
+            fit.model.c1 < 0.0 || fit.model.c3 < 0.0,
+            "expected a negative coefficient, got {:?}",
+            fit.model
+        );
+    }
+
+    #[test]
+    fn fit_with_noise_stays_close() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let truth = PolyUnary::new(1.0, 16.0, 0.05);
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<(Procs, f64)> = [1, 2, 3, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&p| (p, truth.eval(p) * rng.gen_range(0.95..1.05)))
+            .collect();
+        let fit = fit_unary(&samples, FitOptions::default());
+        // Model error within ~paper's 10% on the sampled range.
+        for p in 1..=64 {
+            let rel = (fit.model.eval(p) - truth.eval(p)).abs() / truth.eval(p);
+            assert!(rel < 0.12, "rel error {rel} at p={p}");
+        }
+    }
+
+    #[test]
+    fn minimal_sample_counts() {
+        // 8 samples fit 3 unknowns comfortably; even 3 exact samples
+        // identify the model.
+        let truth = PolyUnary::new(2.0, 4.0, 0.5);
+        let samples: Vec<(Procs, f64)> =
+            [1, 2, 4].iter().map(|&p| (p, truth.eval(p))).collect();
+        let fit = fit_unary(&samples, FitOptions::default());
+        assert!((fit.model.eval(8) - truth.eval(8)).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        let _ = fit_unary(&[], FitOptions::default());
+    }
+}

@@ -1,0 +1,172 @@
+//! Minimal dense linear algebra: linear solve and least squares.
+//!
+//! The fitting problems here are tiny (3–5 unknowns, a handful of
+//! samples), so a textbook implementation — normal equations plus
+//! partial-pivot Gaussian elimination with a ridge term for rank-deficient
+//! designs — is both sufficient and dependency-free.
+
+/// Solve `A x = b` for square `A` (row-major, `n × n`) by Gaussian
+/// elimination with partial pivoting. Returns `None` if the matrix is
+/// numerically singular.
+pub fn solve_linear(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix shape mismatch");
+    assert_eq!(b.len(), n, "rhs shape mismatch");
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: the largest |entry| in this column at/below row.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i * n + col]
+                    .abs()
+                    .partial_cmp(&m[j * n + col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap();
+        if m[pivot_row * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m[col * n + col];
+        for row in col + 1..n {
+            let factor = m[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = rhs[row];
+        for k in row + 1..n {
+            sum -= m[row * n + k] * x[k];
+        }
+        x[row] = sum / m[row * n + row];
+    }
+    Some(x)
+}
+
+/// Least-squares solution of `D x ≈ y` for a design matrix `D` with
+/// `rows × cols` entries (row-major, `rows ≥ 1`), via the normal equations
+/// `(DᵀD + λI) x = Dᵀy` with a tiny ridge `λ` scaled to the matrix so
+/// rank-deficient designs (e.g. two samples for three unknowns) still
+/// yield a stable solution.
+pub fn least_squares(design: &[f64], y: &[f64], rows: usize, cols: usize) -> Option<Vec<f64>> {
+    assert_eq!(design.len(), rows * cols, "design shape mismatch");
+    assert_eq!(y.len(), rows, "rhs shape mismatch");
+    let mut ata = vec![0.0; cols * cols];
+    let mut aty = vec![0.0; cols];
+    for r in 0..rows {
+        for i in 0..cols {
+            let di = design[r * cols + i];
+            aty[i] += di * y[r];
+            for j in 0..cols {
+                ata[i * cols + j] += di * design[r * cols + j];
+            }
+        }
+    }
+    // Try the plain normal equations first — exact when well-conditioned.
+    if let Some(x) = solve_linear(&ata, &aty, cols) {
+        return Some(x);
+    }
+    // Rank-deficient design: fall back to a tiny ridge scaled to the
+    // diagonal magnitude.
+    let scale = (0..cols)
+        .map(|i| ata[i * cols + i])
+        .fold(0.0_f64, f64::max)
+        .max(1e-30);
+    let lambda = 1e-9 * scale;
+    for i in 0..cols {
+        ata[i * cols + i] += lambda;
+    }
+    solve_linear(&ata, &aty, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let x = solve_linear(&a, &[3.0, 4.0], 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_requiring_pivoting() {
+        // First pivot is zero: must swap rows.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let x = solve_linear(&a, &[5.0, 7.0], 2).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_3x3() {
+        let a = vec![2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0];
+        let b = vec![8.0, -11.0, -3.0];
+        let x = solve_linear(&a, &b, 3).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(solve_linear(&a, &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn least_squares_exact_fit() {
+        // y = 2 + 3x sampled exactly.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let mut design = Vec::new();
+        let mut y = Vec::new();
+        for &x in &xs {
+            design.extend([1.0, x]);
+            y.push(2.0 + 3.0 * x);
+        }
+        let c = least_squares(&design, &y, xs.len(), 2).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-6);
+        assert!((c[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_minimizes() {
+        // Noisy line: solution should be near the true coefficients and
+        // the residual orthogonal to the design columns.
+        let pts = [(0.0, 1.1), (1.0, 2.9), (2.0, 5.2), (3.0, 6.8)];
+        let mut design = Vec::new();
+        let mut y = Vec::new();
+        for &(x, v) in &pts {
+            design.extend([1.0, x]);
+            y.push(v);
+        }
+        let c = least_squares(&design, &y, pts.len(), 2).unwrap();
+        assert!((c[0] - 1.04).abs() < 0.1, "intercept {}", c[0]);
+        assert!((c[1] - 1.95).abs() < 0.1, "slope {}", c[1]);
+    }
+
+    #[test]
+    fn least_squares_rank_deficient_is_stable() {
+        // One sample, two unknowns: ridge keeps it solvable.
+        let c = least_squares(&[1.0, 1.0], &[4.0], 1, 2).unwrap();
+        let predicted = c[0] + c[1];
+        assert!((predicted - 4.0).abs() < 1e-3);
+    }
+}

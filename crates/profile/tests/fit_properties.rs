@@ -1,0 +1,132 @@
+//! Property tests of the fitting pipeline: exact recovery of in-family
+//! models, non-negativity, and sanity of the produced predictions.
+
+use pipemap_profile::{fit_ecom, fit_unary, least_squares, solve_linear, FitOptions};
+use pipemap_model::{PolyEcom, PolyUnary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exact_polynomials_are_recovered(
+        c1 in 0.0..5.0f64,
+        c2 in 0.0..20.0f64,
+        c3 in 0.0..1.0f64,
+    ) {
+        let truth = PolyUnary::new(c1, c2, c3);
+        let samples: Vec<(usize, f64)> = [1, 2, 3, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&p| (p, truth.eval(p)))
+            .collect();
+        let fit = fit_unary(&samples, FitOptions::default());
+        for p in 1..=64 {
+            let (t, f) = (truth.eval(p), fit.model.eval(p));
+            prop_assert!(
+                (t - f).abs() <= 1e-6 * t.abs().max(1e-9),
+                "p={p}: truth {t} vs fit {f} (model {:?})",
+                fit.model
+            );
+        }
+    }
+
+    #[test]
+    fn exact_ecom_polynomials_are_recovered(
+        c in (0.0..2.0f64, 0.0..8.0f64, 0.0..8.0f64, 0.0..0.2f64, 0.0..0.2f64),
+    ) {
+        let truth = PolyEcom::new(c.0, c.1, c.2, c.3, c.4);
+        // Two skewed pairs with different products keep the design full
+        // rank (see TrainingConfig).
+        // Note: the two symmetric skewed pairs must have *different*
+        // products (2·16 = 32 vs 2·4 = 8), or the design has a null
+        // vector coupling the 1/p and p columns with ratio −(s·r).
+        let pairs = [
+            (1, 1), (2, 2), (4, 4), (8, 8), (16, 16),
+            (2, 16), (16, 2), (2, 4), (4, 2),
+        ];
+        let samples: Vec<((usize, usize), f64)> =
+            pairs.iter().map(|&(s, r)| ((s, r), truth.eval(s, r))).collect();
+        let fit = fit_ecom(&samples, FitOptions::default());
+        for &(s, r) in &pairs {
+            let (t, f) = (truth.eval(s, r), fit.model.eval(s, r));
+            prop_assert!((t - f).abs() <= 1e-6 * t.abs().max(1e-9));
+        }
+    }
+
+    #[test]
+    fn fitted_models_never_predict_negative_times(
+        samples in prop::collection::vec((1..64usize, 0.0..10.0f64), 3..10),
+    ) {
+        let fit = fit_unary(&samples, FitOptions::default());
+        for p in 1..=256 {
+            prop_assert!(fit.model.eval(p) >= -1e-12, "negative prediction at p={p}");
+        }
+    }
+
+    #[test]
+    fn noise_bounded_fit_error(
+        c1 in 0.1..2.0f64,
+        c2 in 1.0..20.0f64,
+        seed_vals in prop::collection::vec(-0.02..0.02f64, 8),
+    ) {
+        // ±2% multiplicative perturbation on an in-family model: the fit
+        // must stay within a small multiple of the noise.
+        let truth = PolyUnary::new(c1, c2, 0.0);
+        let samples: Vec<(usize, f64)> = [1usize, 2, 3, 4, 8, 16, 32, 64]
+            .iter()
+            .zip(&seed_vals)
+            .map(|(&p, &n)| (p, truth.eval(p) * (1.0 + n)))
+            .collect();
+        let fit = fit_unary(&samples, FitOptions::default());
+        for p in 1..=64 {
+            let rel = (fit.model.eval(p) - truth.eval(p)).abs() / truth.eval(p);
+            prop_assert!(rel < 0.10, "rel error {rel} at p={p}");
+        }
+    }
+
+    #[test]
+    fn linear_solver_roundtrips(
+        x in prop::collection::vec(-10.0..10.0f64, 3),
+        m in prop::collection::vec(-5.0..5.0f64, 9),
+    ) {
+        // b = Mx; solving must recover x when M is non-singular.
+        let n = 3;
+        let b: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| m[i * n + j] * x[j]).sum())
+            .collect();
+        if let Some(sol) = solve_linear(&m, &b, n) {
+            // Verify the residual rather than x (M may be near-singular).
+            for i in 0..n {
+                let ri: f64 = (0..n).map(|j| m[i * n + j] * sol[j]).sum::<f64>() - b[i];
+                prop_assert!(ri.abs() < 1e-6, "residual {ri} in row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_columns(
+        design_rows in prop::collection::vec((1.0..10.0f64,), 4..10),
+        ys in prop::collection::vec(0.0..10.0f64, 10),
+    ) {
+        // Design: [1, x]; LS residual must be orthogonal to both columns.
+        let rows = design_rows.len();
+        let mut design = Vec::new();
+        let mut y = Vec::new();
+        for (i, (x,)) in design_rows.iter().enumerate() {
+            design.extend([1.0, *x]);
+            y.push(ys[i % ys.len()]);
+        }
+        if let Some(c) = least_squares(&design, &y, rows, 2) {
+            let mut dot0 = 0.0;
+            let mut dot1 = 0.0;
+            for r in 0..rows {
+                let pred = c[0] + c[1] * design[r * 2 + 1];
+                let res = y[r] - pred;
+                dot0 += res;
+                dot1 += res * design[r * 2 + 1];
+            }
+            prop_assert!(dot0.abs() < 1e-5, "residual not orthogonal to 1s: {dot0}");
+            prop_assert!(dot1.abs() < 1e-4, "residual not orthogonal to x: {dot1}");
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Event-driven pipeline simulation on the [`crate::engine`] core.
+//!
+//! Semantically identical to [`crate::pipeline::simulate`] — the same
+//! serial instance schedules, rendezvous transfers, and round-robin
+//! replication — but computed as a genuine discrete-event simulation:
+//! state machines per module instance, condition re-evaluation on every
+//! event, and a future-event list, instead of the closed-form forward
+//! sweep. The two implementations cross-validate each other (see the
+//! tests here and `tests/sim_validation.rs`); they must agree to
+//! floating-point noise on every valid mapping.
+
+use std::collections::HashMap;
+
+use pipemap_chain::{module_response, Mapping, TaskChain};
+
+use crate::engine::Engine;
+use crate::noise::NoiseModel;
+use crate::pipeline::{SimConfig, SimResult};
+use crate::stats::Summary;
+
+/// Events of the pipeline model.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// Data set `n` becomes available at the pipeline entrance.
+    Arrival { n: usize },
+    /// The transfer of data set `n` into module `i` completed (both the
+    /// sender and receiver instances are released; the receiver starts
+    /// executing).
+    TransferEnd { module: usize, n: usize },
+    /// Module `i`'s instance finished executing data set `n`.
+    ExecEnd { module: usize, n: usize },
+}
+
+struct Model {
+    l: usize,
+    n_data: usize,
+    replicas: Vec<usize>,
+    /// (incoming, exec) noise-free durations per module.
+    durations: Vec<(f64, f64)>,
+    noise: Option<NoiseModel>,
+    /// exec_done[(i, n)] — module i finished computing data set n and its
+    /// output has not yet been shipped.
+    exec_done: HashMap<(usize, usize), bool>,
+    /// input_ready[n] — data set n has arrived (module 0 only).
+    input_ready: Vec<bool>,
+    /// ready_for[(i, c)] = the data set index instance (i, c) will accept
+    /// next (it is idle and waiting to receive exactly that data set).
+    ready_for: HashMap<(usize, usize), usize>,
+    start_times: Vec<f64>,
+    finish_times: Vec<f64>,
+    busy: Vec<f64>,
+}
+
+impl Model {
+    fn sample(&mut self, d: f64) -> f64 {
+        match &mut self.noise {
+            Some(n) => n.perturb(d),
+            None => d,
+        }
+    }
+
+    /// Try to begin moving data set `n` into module `i` (for `i = 0`,
+    /// "moving" is just picking up the arrived input). Fires at most
+    /// once per (i, n): the guards consume the enabling state.
+    fn try_start(&mut self, eng: &mut Engine<Ev>, i: usize, n: usize) {
+        if n >= self.n_data {
+            return;
+        }
+        let c = n % self.replicas[i];
+        if self.ready_for.get(&(i, c)) != Some(&n) {
+            return;
+        }
+        let upstream_ok = if i == 0 {
+            self.input_ready[n]
+        } else {
+            *self.exec_done.get(&(i - 1, n)).unwrap_or(&false)
+        };
+        if !upstream_ok {
+            return;
+        }
+        // Consume the enabling state.
+        self.ready_for.remove(&(i, c));
+        if i == 0 {
+            self.start_times[n] = eng.now();
+            let dur = self.sample(self.durations[0].1);
+            self.busy[0] += dur;
+            eng.schedule_in(dur, Ev::ExecEnd { module: 0, n });
+        } else {
+            self.exec_done.insert((i - 1, n), false);
+            let dur = self.sample(self.durations[i].0);
+            // Transfer occupies sender and receiver: both counted busy.
+            self.busy[i - 1] += dur;
+            self.busy[i] += dur;
+            eng.schedule_in(dur, Ev::TransferEnd { module: i, n });
+        }
+    }
+
+    fn handle(&mut self, eng: &mut Engine<Ev>, ev: Ev) {
+        match ev {
+            Ev::Arrival { n } => {
+                self.input_ready[n] = true;
+                self.try_start(eng, 0, n);
+            }
+            Ev::TransferEnd { module: i, n } => {
+                // Receiver starts executing immediately.
+                let dur = self.sample(self.durations[i].1);
+                self.busy[i] += dur;
+                eng.schedule_in(dur, Ev::ExecEnd { module: i, n });
+                // The sender instance becomes free for its next data set
+                // — unless the edge costs nothing, in which case it was
+                // released at its ExecEnd (a free transfer is a buffered
+                // handoff, not a rendezvous; the forward sweep has the
+                // same semantics).
+                if self.durations[i].0 > 0.0 {
+                    let up = i - 1;
+                    let cu = n % self.replicas[up];
+                    let next = n + self.replicas[up];
+                    self.ready_for.insert((up, cu), next);
+                    self.try_start(eng, up, next);
+                }
+            }
+            Ev::ExecEnd { module: i, n } => {
+                if i + 1 == self.l {
+                    // Output leaves for free; the instance is done with n.
+                    self.finish_times[n] = eng.now();
+                    let c = n % self.replicas[i];
+                    let next = n + self.replicas[i];
+                    self.ready_for.insert((i, c), next);
+                    self.try_start(eng, i, next);
+                } else {
+                    // The output waits for the downstream rendezvous.
+                    self.exec_done.insert((i, n), true);
+                    if self.durations[i + 1].0 == 0.0 {
+                        // Free edge: the handoff does not occupy this
+                        // instance, so it is immediately available for
+                        // its next data set.
+                        let c = n % self.replicas[i];
+                        let next = n + self.replicas[i];
+                        self.ready_for.insert((i, c), next);
+                        self.try_start(eng, i, next);
+                    }
+                    self.try_start(eng, i + 1, n);
+                }
+            }
+        }
+    }
+}
+
+/// Event-driven equivalent of [`crate::pipeline::simulate`]. Returns the
+/// same [`SimResult`] fields (the activity trace is not collected).
+pub fn simulate_des(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> SimResult {
+    let l = mapping.num_modules();
+    assert!(l >= 1, "mapping has no modules");
+    assert!(
+        config.num_datasets > config.warmup,
+        "need more data sets than warmup"
+    );
+    let n_data = config.num_datasets;
+    let durations: Vec<(f64, f64)> = (0..l)
+        .map(|i| {
+            let r = module_response(chain, mapping, i);
+            (r.incoming, r.exec)
+        })
+        .collect();
+    let replicas: Vec<usize> = mapping.modules.iter().map(|m| m.replicas).collect();
+
+    let mut model = Model {
+        l,
+        n_data,
+        replicas: replicas.clone(),
+        durations,
+        noise: config.noise.clone(),
+        exec_done: HashMap::new(),
+        input_ready: vec![false; n_data],
+        ready_for: HashMap::new(),
+        start_times: vec![0.0; n_data],
+        finish_times: vec![0.0; n_data],
+        busy: vec![0.0; l],
+    };
+    // Every instance starts idle, waiting for its first data set.
+    for (i, &r) in replicas.iter().enumerate() {
+        for c in 0..r {
+            model.ready_for.insert((i, c), c);
+        }
+    }
+
+    let mut eng: Engine<Ev> = Engine::new();
+    for n in 0..n_data {
+        let at = match config.arrival_period {
+            Some(period) => n as f64 * period,
+            None => 0.0,
+        };
+        eng.schedule_at(at, Ev::Arrival { n });
+    }
+    // Bound: every data set generates ≤ 2 events per module + 1 arrival.
+    let cap = (n_data as u64) * (2 * l as u64 + 2) + 16;
+    eng.run(cap, |eng, _t, ev| model.handle(eng, ev));
+
+    let makespan = model.finish_times[n_data - 1];
+    let w = config.warmup;
+    let window = model.finish_times[n_data - 1] - model.finish_times[w];
+    let throughput = if window > 0.0 {
+        (n_data - 1 - w) as f64 / window
+    } else {
+        f64::INFINITY
+    };
+    let start_ref: Vec<f64> = if config.arrival_period.is_some() {
+        (0..n_data)
+            .map(|n| n as f64 * config.arrival_period.unwrap())
+            .collect()
+    } else {
+        model.start_times.clone()
+    };
+    let latencies: Vec<f64> = (w..n_data)
+        .map(|n| model.finish_times[n] - start_ref[n])
+        .collect();
+    let latency = Summary::of(&latencies).expect("post-warmup window non-empty");
+    let utilization = (0..l)
+        .map(|i| {
+            if makespan <= 0.0 {
+                0.0
+            } else {
+                model.busy[i] / (replicas[i] as f64 * makespan)
+            }
+        })
+        .collect();
+    SimResult {
+        throughput,
+        makespan,
+        latency,
+        utilization,
+        trace: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::simulate;
+    use pipemap_chain::{ChainBuilder, Edge, ModuleAssignment, Task};
+    use pipemap_model::{PolyEcom, PolyUnary};
+
+    fn chain3() -> TaskChain {
+        ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::new(0.5, 4.0, 0.0)))
+            .edge(Edge::new(
+                PolyUnary::new(0.1, 0.0, 0.0),
+                PolyEcom::new(0.3, 0.5, 0.5, 0.0, 0.0),
+            ))
+            .task(Task::new("b", PolyUnary::new(0.2, 6.0, 0.0)))
+            .edge(Edge::new(
+                PolyUnary::zero(),
+                PolyEcom::new(0.2, 0.25, 0.25, 0.0, 0.0),
+            ))
+            .task(Task::new("c", PolyUnary::new(0.1, 2.0, 0.0)))
+            .build()
+    }
+
+    fn agree(mapping: Mapping, cfg: &SimConfig) {
+        let c = chain3();
+        let sweep = simulate(&c, &mapping, cfg);
+        let des = simulate_des(&c, &mapping, cfg);
+        assert!(
+            (sweep.throughput - des.throughput).abs()
+                <= 1e-9 * sweep.throughput.abs().max(1.0),
+            "throughput: sweep {} vs des {}",
+            sweep.throughput,
+            des.throughput
+        );
+        assert!(
+            (sweep.latency.mean - des.latency.mean).abs()
+                <= 1e-9 * sweep.latency.mean.abs().max(1.0),
+            "latency: sweep {} vs des {}",
+            sweep.latency.mean,
+            des.latency.mean
+        );
+        assert!((sweep.makespan - des.makespan).abs() <= 1e-9 * sweep.makespan.max(1.0));
+        for (a, b) in sweep.utilization.iter().zip(&des.utilization) {
+            assert!((a - b).abs() < 1e-9, "utilization {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matches_forward_sweep_unreplicated() {
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 2),
+            ModuleAssignment::new(1, 1, 1, 3),
+            ModuleAssignment::new(2, 2, 1, 1),
+        ]);
+        agree(m, &SimConfig::with_datasets(200));
+    }
+
+    #[test]
+    fn matches_forward_sweep_with_replication() {
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 3, 2),
+            ModuleAssignment::new(1, 1, 2, 3),
+            ModuleAssignment::new(2, 2, 4, 1),
+        ]);
+        agree(m, &SimConfig::with_datasets(400));
+    }
+
+    #[test]
+    fn matches_forward_sweep_fused() {
+        let m = Mapping::new(vec![ModuleAssignment::new(0, 2, 2, 4)]);
+        agree(m, &SimConfig::with_datasets(150));
+    }
+
+    #[test]
+    fn matches_forward_sweep_open_loop() {
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 1, 2, 2),
+            ModuleAssignment::new(2, 2, 1, 2),
+        ]);
+        agree(m, &SimConfig::with_datasets(120).with_arrival_period(9.0));
+    }
+
+    #[test]
+    fn single_module_single_instance() {
+        let m = Mapping::new(vec![ModuleAssignment::new(0, 2, 1, 4)]);
+        agree(m, &SimConfig::with_datasets(60));
+    }
+}

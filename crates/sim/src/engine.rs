@@ -1,0 +1,218 @@
+//! A small discrete-event simulation engine.
+//!
+//! The pipeline simulator in [`crate::pipeline`] computes its schedule
+//! with a closed-form forward sweep, which is possible because a linear
+//! chain's dependency structure is so regular. This module provides the
+//! general mechanism — a future-event list over opaque events, a
+//! simulation clock, and FIFO rendezvous queues — on which
+//! [`crate::des_pipeline`] rebuilds the same semantics event by event.
+//! The two implementations are cross-validated in tests: any divergence
+//! is a bug in one of them.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time, seconds.
+pub type SimTime = f64;
+
+/// A scheduled occurrence: at `time`, deliver `event` to the model.
+struct Scheduled<E> {
+    time: SimTime,
+    /// Tie-breaker preserving schedule order for simultaneous events.
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event-list core: a clock and a future-event list.
+pub struct Engine<E> {
+    fel: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// An empty engine at time zero.
+    pub fn new() -> Self {
+        Self {
+            fel: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `event` at absolute time `time` (must not precede the
+    /// clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past or not finite — scheduling into
+    /// the past is always a model bug.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time.is_finite() && time >= self.now,
+            "cannot schedule at {time} (now = {})",
+            self.now
+        );
+        self.seq += 1;
+        self.fel.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock to its time. (Named
+    /// `next_event` rather than `next` so it cannot be confused with
+    /// `Iterator::next`; the engine is not an iterator — popping mutates
+    /// the clock.)
+    pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        let s = self.fel.pop()?;
+        debug_assert!(s.time >= self.now);
+        self.now = s.time;
+        self.processed += 1;
+        Some((s.time, s.event))
+    }
+
+    /// True if no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.fel.is_empty()
+    }
+
+    /// Run the model to completion: `handler(engine, time, event)` may
+    /// schedule further events. A safety cap bounds runaway models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `max_events` are processed.
+    pub fn run(&mut self, max_events: u64, mut handler: impl FnMut(&mut Self, SimTime, E)) {
+        while let Some((t, e)) = self.next_event() {
+            handler(self, t, e);
+            assert!(
+                self.processed <= max_events,
+                "event cap {max_events} exceeded — runaway model?"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_at(3.0, "c");
+        e.schedule_at(1.0, "a");
+        e.schedule_at(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| e.next_event().map(|(_, ev)| ev)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(e.now(), 3.0);
+        assert_eq!(e.processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_preserve_schedule_order() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            e.schedule_at(5.0, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| e.next_event().map(|(_, ev)| ev)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(1.0, 1);
+        e.schedule_at(4.0, 2);
+        let (t1, _) = e.next_event().unwrap();
+        // Scheduling relative to the (advanced) clock.
+        e.schedule_in(0.5, 3);
+        let (t2, ev) = e.next_event().unwrap();
+        assert_eq!(t1, 1.0);
+        assert_eq!((t2, ev), (1.5, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule at")]
+    fn scheduling_into_the_past_panics() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(2.0, 1);
+        e.next_event();
+        e.schedule_at(1.0, 2);
+    }
+
+    #[test]
+    fn run_drives_a_cascade() {
+        // A chain reaction: each event schedules the next until 10.
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(0.0, 0);
+        let mut seen = Vec::new();
+        e.run(100, |eng, _t, ev| {
+            seen.push(ev);
+            if ev < 9 {
+                eng.schedule_in(1.0, ev + 1);
+            }
+        });
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(e.now(), 9.0);
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "event cap")]
+    fn run_catches_runaway_models() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(0.0, 0);
+        e.run(50, |eng, _t, ev| {
+            eng.schedule_in(1.0, ev + 1); // never stops
+        });
+    }
+}

@@ -1,0 +1,90 @@
+//! Multiplicative per-activity noise.
+//!
+//! Real machines do not reproduce an activity's duration exactly from run
+//! to run: cache state, link contention, and OS interference perturb it.
+//! The paper folds all of this into the gap between predicted and measured
+//! throughput (§6.4). [`NoiseModel`] draws an independent multiplicative
+//! factor per simulated activity from a triangular-ish distribution with a
+//! configurable coefficient of variation, seeded for reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reproducible multiplicative noise for activity durations.
+#[derive(Clone, Debug)]
+pub struct NoiseModel {
+    /// Relative spread (e.g. 0.05 for ±~5%).
+    pub spread: f64,
+    rng: StdRng,
+}
+
+impl NoiseModel {
+    /// A model with the given relative spread and seed.
+    pub fn new(spread: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&spread), "spread must be in [0, 1)");
+        Self {
+            spread,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw the next noise factor (mean 1.0, bounded to
+    /// `[1 − spread, 1 + spread]`; the average of two uniforms gives a
+    /// triangular shape concentrated near 1).
+    pub fn factor(&mut self) -> f64 {
+        let u = (self.rng.gen::<f64>() + self.rng.gen::<f64>()) / 2.0; // triangular on [0,1]
+        1.0 + self.spread * (2.0 * u - 1.0)
+    }
+
+    /// Apply noise to a duration.
+    pub fn perturb(&mut self, duration: f64) -> f64 {
+        duration * self.factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_are_bounded_and_centered() {
+        let mut n = NoiseModel::new(0.1, 42);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f = n.factor();
+            assert!((0.9..=1.1).contains(&f), "factor {f} out of bounds");
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean} far from 1");
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let mut a = NoiseModel::new(0.2, 7);
+        let mut b = NoiseModel::new(0.2, 7);
+        for _ in 0..100 {
+            assert_eq!(a.factor(), b.factor());
+        }
+        let mut c = NoiseModel::new(0.2, 8);
+        let same = (0..100).all(|_| {
+            let mut a2 = NoiseModel::new(0.2, 7);
+            a2.factor() == c.factor()
+        });
+        assert!(!same);
+    }
+
+    #[test]
+    fn zero_spread_is_identity() {
+        let mut n = NoiseModel::new(0.0, 1);
+        for _ in 0..10 {
+            assert_eq!(n.perturb(3.5), 3.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spread")]
+    fn spread_validated() {
+        let _ = NoiseModel::new(1.5, 0);
+    }
+}

@@ -1,0 +1,459 @@
+//! The pipeline simulator.
+//!
+//! Every module instance runs a serial schedule over the data sets it is
+//! responsible for (`n ≡ instance (mod r)`): *receive* the data set from
+//! the upstream instance (a rendezvous that occupies both sides, §2.1),
+//! *execute* the module's tasks, *send* downstream (another rendezvous).
+//! The first module's external input is always available; the last
+//! module's output leaves for free.
+//!
+//! The schedule is computed by a forward sweep over data sets: because the
+//! chain is linear and each instance is serial, the start of every
+//! activity is the max of (a) when its inputs are ready and (b) when the
+//! instances involved become free — no event queue is needed, yet the
+//! result is exactly the event-driven schedule.
+
+use pipemap_chain::{module_response, Mapping, TaskChain};
+
+use crate::noise::NoiseModel;
+use crate::stats::Summary;
+use crate::trace::{Activity, ActivityKind, Trace};
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Data sets to push through the pipeline.
+    pub num_datasets: usize,
+    /// Data sets discarded from the front before measuring throughput
+    /// (pipeline fill).
+    pub warmup: usize,
+    /// Optional per-activity multiplicative noise.
+    pub noise: Option<NoiseModel>,
+    /// Seconds between successive data-set arrivals at the first module.
+    /// `None` models a saturated source (the paper's regime: data sets
+    /// are always available); `Some(period)` models an open-loop source
+    /// such as a camera, letting latency be measured below saturation.
+    pub arrival_period: Option<f64>,
+    /// Collect a full activity trace (costs memory proportional to
+    /// `num_datasets × modules`).
+    pub collect_trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            num_datasets: 200,
+            warmup: 40,
+            noise: None,
+            arrival_period: None,
+            collect_trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A config processing `n` data sets with a 20% warmup.
+    pub fn with_datasets(n: usize) -> Self {
+        Self {
+            num_datasets: n,
+            warmup: n / 5,
+            ..Self::default()
+        }
+    }
+
+    /// Enable noise.
+    pub fn with_noise(mut self, spread: f64, seed: u64) -> Self {
+        self.noise = Some(NoiseModel::new(spread, seed));
+        self
+    }
+
+    /// Enable trace collection.
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
+    }
+
+    /// Model an open-loop source delivering one data set every `period`
+    /// seconds.
+    pub fn with_arrival_period(mut self, period: f64) -> Self {
+        assert!(period > 0.0 && period.is_finite());
+        self.arrival_period = Some(period);
+        self
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Measured steady-state throughput, data sets per second, over the
+    /// post-warmup window.
+    pub throughput: f64,
+    /// Completion time of the final data set (makespan).
+    pub makespan: f64,
+    /// Per-data-set latency summary (first-module start → last-module
+    /// output), post-warmup.
+    pub latency: Summary,
+    /// Busy fraction per module (averaged over instances), post-warmup
+    /// window approximated over the whole run.
+    pub utilization: Vec<f64>,
+    /// Activity trace, if requested.
+    pub trace: Option<Trace>,
+}
+
+/// Simulate `mapping` of `chain` over a stream of data sets.
+///
+/// # Panics
+///
+/// Panics if the mapping is structurally invalid for the chain (validate
+/// first) or `num_datasets <= warmup`.
+pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> SimResult {
+    let l = mapping.num_modules();
+    assert!(l >= 1, "mapping has no modules");
+    assert!(
+        config.num_datasets > config.warmup,
+        "need more data sets than warmup"
+    );
+    let n_data = config.num_datasets;
+    let mut noise = config.noise.clone();
+
+    // Noise-free durations per module: (incoming, exec) — outgoing of
+    // module i equals incoming of module i+1 and is sampled once per
+    // transfer below.
+    let durations: Vec<(f64, f64)> = (0..l)
+        .map(|i| {
+            let r = module_response(chain, mapping, i);
+            (r.incoming, r.exec)
+        })
+        .collect();
+    let replicas: Vec<usize> = mapping.modules.iter().map(|m| m.replicas).collect();
+
+    // free[i][c] = time instance c of module i becomes free.
+    let mut free: Vec<Vec<f64>> = replicas.iter().map(|&r| vec![0.0; r]).collect();
+    let mut busy: Vec<Vec<f64>> = replicas.iter().map(|&r| vec![0.0; r]).collect();
+    // output_ready[i] = for the current data set, when module i's exec
+    // finished (computed in the forward sweep).
+    let mut start_times = vec![0.0f64; n_data];
+    let mut finish_times = vec![0.0f64; n_data];
+    let mut trace = config.collect_trace.then(Trace::default);
+
+    let sample = |d: f64, noise: &mut Option<NoiseModel>| -> f64 {
+        match noise {
+            Some(n) => n.perturb(d),
+            None => d,
+        }
+    };
+
+    for n in 0..n_data {
+        // An open-loop source gates the first module on the data set's
+        // arrival time; a saturated source has everything ready at t=0.
+        let mut upstream_done = match config.arrival_period {
+            Some(period) => n as f64 * period,
+            None => 0.0,
+        };
+        let arrival = upstream_done;
+        for i in 0..l {
+            let c = n % replicas[i];
+            let (incoming, exec) = durations[i];
+            // Receive rendezvous: needs upstream output and both
+            // instances free. The upstream instance is free at
+            // `upstream_done` by construction of its serial schedule
+            // (its send immediately follows its exec).
+            let mut t = free[i][c].max(upstream_done);
+            if i > 0 && incoming > 0.0 {
+                let dur = sample(incoming, &mut noise);
+                let cu = n % replicas[i - 1];
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(Activity {
+                        module: i - 1,
+                        instance: cu,
+                        dataset: n,
+                        kind: ActivityKind::Send,
+                        start: t,
+                        end: t + dur,
+                    });
+                    tr.push(Activity {
+                        module: i,
+                        instance: c,
+                        dataset: n,
+                        kind: ActivityKind::Recv,
+                        start: t,
+                        end: t + dur,
+                    });
+                }
+                busy[i - 1][cu] += dur;
+                busy[i][c] += dur;
+                // The sender is occupied until the transfer completes.
+                free[i - 1][cu] = t + dur;
+                t += dur;
+            }
+            if i == 0 {
+                // Latency is measured from arrival (sojourn time): under
+                // a saturated source arrival is t = 0 for everyone, so
+                // the pre-existing semantics — latency from the moment
+                // the instance picks the data set up — are preserved by
+                // clamping to the actual start.
+                start_times[n] = if config.arrival_period.is_some() {
+                    arrival
+                } else {
+                    t
+                };
+            }
+            let dur = sample(exec, &mut noise);
+            if let Some(tr) = trace.as_mut() {
+                tr.push(Activity {
+                    module: i,
+                    instance: c,
+                    dataset: n,
+                    kind: ActivityKind::Exec,
+                    start: t,
+                    end: t + dur,
+                });
+            }
+            busy[i][c] += dur;
+            t += dur;
+            free[i][c] = t;
+            upstream_done = t;
+        }
+        finish_times[n] = upstream_done;
+    }
+
+    let makespan = finish_times[n_data - 1];
+    let w = config.warmup;
+    let window = finish_times[n_data - 1] - finish_times[w];
+    let throughput = if window > 0.0 {
+        (n_data - 1 - w) as f64 / window
+    } else {
+        f64::INFINITY
+    };
+    let latencies: Vec<f64> = (w..n_data)
+        .map(|n| finish_times[n] - start_times[n])
+        .collect();
+    let latency = Summary::of(&latencies).expect("post-warmup window non-empty");
+    let utilization = (0..l)
+        .map(|i| {
+            if makespan <= 0.0 {
+                return 0.0;
+            }
+            let total: f64 = busy[i].iter().sum();
+            total / (replicas[i] as f64 * makespan)
+        })
+        .collect();
+
+    SimResult {
+        throughput,
+        makespan,
+        latency,
+        utilization,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_chain::{throughput, ChainBuilder, Edge, Mapping, ModuleAssignment, Task};
+    use pipemap_model::{PolyEcom, PolyUnary};
+
+    fn chain2(w1: f64, w2: f64, ecom_fixed: f64) -> pipemap_chain::TaskChain {
+        ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::perfectly_parallel(w1)))
+            .edge(Edge::new(
+                PolyUnary::zero(),
+                PolyEcom::new(ecom_fixed, 0.0, 0.0, 0.0, 0.0),
+            ))
+            .task(Task::new("b", PolyUnary::perfectly_parallel(w2)))
+            .build()
+    }
+
+    #[test]
+    fn noise_free_matches_analytic_two_modules() {
+        let c = chain2(8.0, 6.0, 0.5);
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 4),
+            ModuleAssignment::new(1, 1, 1, 3),
+        ]);
+        let analytic = throughput(&c, &m);
+        let r = simulate(&c, &m, &SimConfig::with_datasets(400));
+        assert!(
+            (r.throughput - analytic).abs() < 1e-6 * analytic,
+            "sim {} vs analytic {}",
+            r.throughput,
+            analytic
+        );
+    }
+
+    #[test]
+    fn noise_free_matches_analytic_with_replication() {
+        let c = chain2(4.0, 4.0, 0.25);
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 3, 2),
+            ModuleAssignment::new(1, 1, 2, 3),
+        ]);
+        let analytic = throughput(&c, &m);
+        let r = simulate(&c, &m, &SimConfig::with_datasets(600));
+        assert!(
+            (r.throughput - analytic).abs() < 1e-3 * analytic,
+            "sim {} vs analytic {}",
+            r.throughput,
+            analytic
+        );
+    }
+
+    #[test]
+    fn single_module_throughput() {
+        let c = ChainBuilder::new()
+            .task(Task::new("t", PolyUnary::new(2.0, 0.0, 0.0)))
+            .build();
+        let m = Mapping::new(vec![ModuleAssignment::new(0, 0, 1, 1)]);
+        let r = simulate(&c, &m, &SimConfig::with_datasets(100));
+        assert!((r.throughput - 0.5).abs() < 1e-9);
+        assert!((r.latency.mean - 2.0).abs() < 1e-9);
+        assert!((r.utilization[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replicated_module_multiplies_throughput() {
+        let c = ChainBuilder::new()
+            .task(Task::new("t", PolyUnary::new(2.0, 0.0, 0.0)))
+            .build();
+        let m4 = Mapping::new(vec![ModuleAssignment::new(0, 0, 4, 1)]);
+        // Replicas finish in batches of 4, so the measurement window can
+        // be misaligned by up to r data sets — an O(r/N) artifact, hence
+        // the long run and the 0.5% tolerance.
+        let r = simulate(&c, &m4, &SimConfig::with_datasets(4000));
+        assert!(
+            (r.throughput - 2.0).abs() / 2.0 < 5e-3,
+            "got {}",
+            r.throughput
+        );
+        // Latency per data set unchanged.
+        assert!((r.latency.mean - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_module_is_fully_utilized() {
+        let c = chain2(8.0, 2.0, 0.0);
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 2), // response 4.0 — bottleneck
+            ModuleAssignment::new(1, 1, 1, 2), // response 1.0
+        ]);
+        let r = simulate(&c, &m, &SimConfig::with_datasets(300));
+        assert!(r.utilization[0] > 0.95, "bottleneck util {}", r.utilization[0]);
+        assert!(r.utilization[1] < 0.5, "idle module util {}", r.utilization[1]);
+    }
+
+    #[test]
+    fn noise_perturbs_but_tracks_analytic() {
+        let c = chain2(8.0, 6.0, 0.5);
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 4),
+            ModuleAssignment::new(1, 1, 1, 3),
+        ]);
+        let analytic = throughput(&c, &m);
+        let r = simulate(
+            &c,
+            &m,
+            &SimConfig::with_datasets(500).with_noise(0.08, 13),
+        );
+        let rel = (r.throughput - analytic).abs() / analytic;
+        assert!(rel < 0.15, "noisy sim off by {:.1}%", rel * 100.0);
+        assert!(r.throughput != analytic);
+    }
+
+    #[test]
+    fn trace_is_collected_when_requested() {
+        let c = chain2(2.0, 2.0, 0.5);
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 1),
+            ModuleAssignment::new(1, 1, 1, 1),
+        ]);
+        let r = simulate(&c, &m, &SimConfig::with_datasets(10).with_trace());
+        let t = r.trace.expect("trace requested");
+        // Sends, recvs and execs all present.
+        assert!(t
+            .activities
+            .iter()
+            .any(|a| a.kind == ActivityKind::Send));
+        assert!(t
+            .activities
+            .iter()
+            .any(|a| a.kind == ActivityKind::Recv));
+        assert!(t
+            .activities
+            .iter()
+            .any(|a| a.kind == ActivityKind::Exec));
+        // Busy time consistency: module 0 = exec + send per data set.
+        let per_ds = 2.0 + 0.5;
+        assert!((t.busy_time(0, 0) - 10.0 * per_ds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_exceeds_sum_when_queueing() {
+        // Downstream slower than upstream: data sets queue, per-data-set
+        // latency grows beyond the raw response sum.
+        let c = chain2(1.0, 8.0, 0.0);
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 1),
+            ModuleAssignment::new(1, 1, 1, 1),
+        ]);
+        let r = simulate(&c, &m, &SimConfig::with_datasets(100));
+        // Throughput capped by the slow module.
+        assert!((r.throughput - 1.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_loop_below_saturation_gives_unloaded_latency() {
+        // Saturation throughput of this mapping is 1/8 per second; feed
+        // one data set every 20 s and the pipeline is always empty when
+        // the next arrives, so every latency equals the unloaded
+        // traversal time (exec a + transfer + exec b).
+        let c = chain2(4.0, 8.0, 0.5);
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 2),
+            ModuleAssignment::new(1, 1, 1, 2),
+        ]);
+        let cfg = SimConfig::with_datasets(50).with_arrival_period(20.0);
+        let r = simulate(&c, &m, &cfg);
+        let unloaded = 2.0 + 0.5 + 4.0;
+        assert!(
+            (r.latency.mean - unloaded).abs() < 1e-9,
+            "latency {} vs unloaded {}",
+            r.latency.mean,
+            unloaded
+        );
+        assert!((r.latency.max - r.latency.min).abs() < 1e-9);
+        // Throughput equals the arrival rate, not the capacity.
+        assert!((r.throughput - 0.05).abs() < 1e-6, "thr {}", r.throughput);
+    }
+
+    #[test]
+    fn open_loop_above_saturation_queues() {
+        // Arrivals faster than capacity: throughput caps at capacity and
+        // latency grows far beyond the unloaded time.
+        let c = chain2(4.0, 8.0, 0.0);
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 2),
+            ModuleAssignment::new(1, 1, 1, 2),
+        ]);
+        let cfg = SimConfig::with_datasets(200).with_arrival_period(1.0);
+        let r = simulate(&c, &m, &cfg);
+        assert!((r.throughput - 0.25).abs() < 1e-3, "thr {}", r.throughput);
+        assert!(r.latency.max > 100.0, "queueing should blow up latency");
+    }
+
+    #[test]
+    #[should_panic(expected = "more data sets than warmup")]
+    fn warmup_validation() {
+        let c = chain2(1.0, 1.0, 0.0);
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 1),
+            ModuleAssignment::new(1, 1, 1, 1),
+        ]);
+        let cfg = SimConfig {
+            num_datasets: 5,
+            warmup: 5,
+            ..SimConfig::default()
+        };
+        let _ = simulate(&c, &m, &cfg);
+    }
+}

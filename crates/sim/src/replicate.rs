@@ -1,0 +1,106 @@
+//! Replicated measurement runs.
+//!
+//! A single noisy simulation is one "execution" of the program; real
+//! measurement methodology repeats the run and reports the spread. This
+//! is how the tool's "measured" numbers acquire error bars.
+
+use pipemap_chain::{Mapping, TaskChain};
+
+use crate::pipeline::{simulate, SimConfig, SimResult};
+use crate::stats::Summary;
+
+/// Aggregate of `runs` independent noisy simulations.
+#[derive(Clone, Debug)]
+pub struct ReplicatedResult {
+    /// Throughput across runs.
+    pub throughput: Summary,
+    /// Mean per-data-set latency across runs.
+    pub latency_mean: Summary,
+    /// The individual runs, in seed order.
+    pub runs: Vec<SimResult>,
+}
+
+/// Run `runs` simulations that differ only in their noise seed
+/// (`base_seed`, `base_seed + 1`, …) and summarise. With no noise
+/// configured the runs are identical and the spread is zero.
+pub fn replicate_simulation(
+    chain: &TaskChain,
+    mapping: &Mapping,
+    config: &SimConfig,
+    runs: usize,
+    base_seed: u64,
+) -> ReplicatedResult {
+    assert!(runs >= 1, "need at least one run");
+    let spread = config.noise.as_ref().map(|n| n.spread);
+    let results: Vec<SimResult> = (0..runs)
+        .map(|i| {
+            let mut cfg = config.clone();
+            if let Some(s) = spread {
+                cfg = cfg.with_noise(s, base_seed.wrapping_add(i as u64));
+            }
+            simulate(chain, mapping, &cfg)
+        })
+        .collect();
+    let thr: Vec<f64> = results.iter().map(|r| r.throughput).collect();
+    let lat: Vec<f64> = results.iter().map(|r| r.latency.mean).collect();
+    ReplicatedResult {
+        throughput: Summary::of(&thr).expect("runs >= 1"),
+        latency_mean: Summary::of(&lat).expect("runs >= 1"),
+        runs: results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_chain::{ChainBuilder, ModuleAssignment, Task};
+    use pipemap_model::PolyUnary;
+
+    fn setup() -> (TaskChain, Mapping) {
+        let c = ChainBuilder::new()
+            .task(Task::new("t", PolyUnary::new(0.5, 2.0, 0.0)))
+            .build();
+        let m = Mapping::new(vec![ModuleAssignment::new(0, 0, 2, 2)]);
+        (c, m)
+    }
+
+    #[test]
+    fn noiseless_runs_are_identical() {
+        let (c, m) = setup();
+        let r = replicate_simulation(&c, &m, &SimConfig::with_datasets(100), 5, 1);
+        assert_eq!(r.runs.len(), 5);
+        assert!(r.throughput.std_dev < 1e-12);
+        assert!(r.latency_mean.std_dev < 1e-12);
+    }
+
+    #[test]
+    fn noisy_runs_vary_but_concentrate() {
+        let (c, m) = setup();
+        let cfg = SimConfig::with_datasets(300).with_noise(0.08, 0);
+        let r = replicate_simulation(&c, &m, &cfg, 8, 42);
+        assert!(r.throughput.std_dev > 0.0, "seeds must differ");
+        // The spread across runs is far below the per-activity noise.
+        assert!(r.throughput.cv() < 0.05, "cv {}", r.throughput.cv());
+        // And the mean is near the noise-free value.
+        let clean = simulate(&c, &m, &SimConfig::with_datasets(300)).throughput;
+        assert!((r.throughput.mean - clean).abs() / clean < 0.05);
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let (c, m) = setup();
+        let cfg = SimConfig::with_datasets(100).with_noise(0.05, 7);
+        let a = replicate_simulation(&c, &m, &cfg, 3, 9);
+        let b = replicate_simulation(&c, &m, &cfg, 3, 9);
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.throughput, y.throughput);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let (c, m) = setup();
+        let _ = replicate_simulation(&c, &m, &SimConfig::default(), 0, 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Small summary-statistics helpers for simulation outputs.
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample; `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Some(Summary {
+            count: values.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+
+    /// Coefficient of variation (`std_dev / mean`), 0 for a zero mean.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Relative difference `(a − b) / b` in percent — the paper's "Percent
+/// Difference" column of Table 2.
+pub fn percent_difference(measured: f64, predicted: f64) -> f64 {
+    if predicted == 0.0 {
+        return f64::NAN;
+    }
+    100.0 * (measured - predicted) / predicted
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample by linear interpolation
+/// between order statistics; `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let w = pos - lo as f64;
+    Some(sorted[lo] + w * (sorted[hi] - sorted[lo]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.min - 1.0).abs() < 1e-12);
+        assert!((s.max - 4.0).abs() < 1e-12);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn cv_handles_zero_mean() {
+        let s = Summary::of(&[0.0, 0.0]).unwrap();
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 1.0), Some(4.0));
+        assert_eq!(percentile(&v, 0.5), Some(2.5));
+        assert!((percentile(&v, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 0.9), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn percentile_validates_q() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn percent_difference_matches_paper_convention() {
+        // Table 2 row 1: predicted 14.60, measured 16.28 → +11.51%.
+        let d = percent_difference(16.28, 14.60);
+        assert!((d - 11.5068).abs() < 0.01, "got {d}");
+        // Row 2: predicted 14.74, measured 14.35 → −2.65%.
+        let d = percent_difference(14.35, 14.74);
+        assert!((d + 2.6459).abs() < 0.01, "got {d}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Activity traces and Gantt rendering (the paper's Figure 2).
+
+/// What an instance is doing during an interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActivityKind {
+    /// Receiving a data set from the previous module (rendezvous).
+    Recv,
+    /// Executing the module's tasks.
+    Exec,
+    /// Sending the result to the next module (rendezvous).
+    Send,
+}
+
+impl ActivityKind {
+    fn glyph(&self) -> char {
+        match self {
+            ActivityKind::Recv => 'r',
+            ActivityKind::Exec => '#',
+            ActivityKind::Send => 's',
+        }
+    }
+}
+
+/// One recorded activity interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Activity {
+    /// Module index in the mapping.
+    pub module: usize,
+    /// Instance index within the module.
+    pub instance: usize,
+    /// Data set number being processed.
+    pub dataset: usize,
+    /// Kind of activity.
+    pub kind: ActivityKind,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+}
+
+/// A collection of activities from one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Recorded activities in schedule order.
+    pub activities: Vec<Activity>,
+}
+
+impl Trace {
+    /// Record an activity (zero-duration activities are skipped).
+    pub fn push(&mut self, a: Activity) {
+        if a.end > a.start {
+            self.activities.push(a);
+        }
+    }
+
+    /// Busy time of one instance.
+    pub fn busy_time(&self, module: usize, instance: usize) -> f64 {
+        self.activities
+            .iter()
+            .filter(|a| a.module == module && a.instance == instance)
+            .map(|a| a.end - a.start)
+            .sum()
+    }
+
+    /// End time of the last recorded activity.
+    pub fn makespan(&self) -> f64 {
+        self.activities.iter().map(|a| a.end).fold(0.0, f64::max)
+    }
+
+    /// Render the trace as an ASCII Gantt chart with `width` time columns
+    /// (one row per module instance): `r` = receive, `#` = execute,
+    /// `s` = send, `.` = idle. This is the Figure 2 execution-model
+    /// picture generated from an actual run.
+    pub fn render_gantt(&self, width: usize) -> String {
+        if self.activities.is_empty() {
+            return String::new();
+        }
+        let makespan = self.makespan();
+        let mut rows: Vec<(usize, usize)> = self
+            .activities
+            .iter()
+            .map(|a| (a.module, a.instance))
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        let mut out = String::new();
+        for &(m, inst) in &rows {
+            let mut line = vec!['.'; width];
+            for a in self
+                .activities
+                .iter()
+                .filter(|a| a.module == m && a.instance == inst)
+            {
+                let from = ((a.start / makespan) * width as f64).floor() as usize;
+                let to = (((a.end / makespan) * width as f64).ceil() as usize).min(width);
+                for cell in &mut line[from.min(width.saturating_sub(1))..to] {
+                    *cell = a.kind.glyph();
+                }
+            }
+            out.push_str(&format!("m{m}.{inst:<2} |"));
+            out.extend(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(module: usize, instance: usize, kind: ActivityKind, start: f64, end: f64) -> Activity {
+        Activity {
+            module,
+            instance,
+            dataset: 0,
+            kind,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn busy_time_sums_per_instance() {
+        let mut t = Trace::default();
+        t.push(act(0, 0, ActivityKind::Exec, 0.0, 2.0));
+        t.push(act(0, 0, ActivityKind::Send, 2.0, 3.0));
+        t.push(act(1, 0, ActivityKind::Exec, 3.0, 4.0));
+        assert!((t.busy_time(0, 0) - 3.0).abs() < 1e-12);
+        assert!((t.busy_time(1, 0) - 1.0).abs() < 1e-12);
+        assert!((t.makespan() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_activities_skipped() {
+        let mut t = Trace::default();
+        t.push(act(0, 0, ActivityKind::Recv, 1.0, 1.0));
+        assert!(t.activities.is_empty());
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_instance() {
+        let mut t = Trace::default();
+        t.push(act(0, 0, ActivityKind::Exec, 0.0, 1.0));
+        t.push(act(0, 1, ActivityKind::Exec, 0.0, 1.0));
+        t.push(act(1, 0, ActivityKind::Exec, 1.0, 2.0));
+        let g = t.render_gantt(20);
+        assert_eq!(g.trim_end().lines().count(), 3);
+        assert!(g.contains("m0.0"));
+        assert!(g.contains("m1.0"));
+        assert!(g.contains('#'));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert_eq!(Trace::default().render_gantt(10), "");
+    }
+}

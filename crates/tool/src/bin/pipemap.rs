@@ -1,0 +1,339 @@
+//! `pipemap` — command-line automatic mapping tool.
+//!
+//! ```text
+//! pipemap map <spec-file> [--greedy-only] [--latency-floor <thr>]
+//! pipemap demo <fft-hist-256|fft-hist-512|radar|stereo> [--systolic]
+//! pipemap template
+//! ```
+//!
+//! `map` reads a pipeline description (see `pipemap template` for the
+//! format), finds the optimal and greedy mappings, and prints them.
+//! `demo` runs the full paper methodology (profile → fit → map →
+//! constrain → simulate) on one of the built-in applications.
+
+use std::process::ExitCode;
+
+use pipemap_apps::{fft_hist, radar, stereo, FftHistConfig, RadarConfig, StereoConfig};
+use pipemap_core::{
+    best_latency_mapping, cluster_heuristic, dp_mapping, dp_mapping_free, min_procs_mapping,
+    GreedyOptions,
+};
+use pipemap_machine::MachineConfig;
+use pipemap_tool::spec::parse_spec;
+use pipemap_tool::{auto_map, render_mapping, render_report, MapperOptions};
+
+const USAGE: &str = "\
+pipemap — optimal mapping of pipelines of data parallel tasks
+
+USAGE:
+    pipemap map <spec-file> [--greedy-only] [--latency-floor <thr>]
+                            [--min-procs <thr>]
+    pipemap simulate <spec-file> <mapping> [--datasets <n>] [--noise <spread>]
+    pipemap demo <fft-hist-256|fft-hist-512|radar|stereo> [--systolic]
+    pipemap fit <fft-hist-256|fft-hist-512|radar|stereo> [--systolic]
+    pipemap template
+
+COMMANDS:
+    map       read a pipeline spec and print its optimal mapping
+    simulate  run a given mapping (e.g. '0-0:8x3,1-2:10x4') through the
+              pipeline simulator and report measured throughput
+    demo      run the full profile→fit→map→simulate methodology on a
+              built-in application from the paper
+    fit       profile a built-in application on the machine model and
+              print its fitted polynomial spec (pipe to a file, then use
+              'map' / 'simulate' on it)
+    template  print an annotated spec file to start from
+";
+
+const TEMPLATE: &str = "\
+# pipemap pipeline spec
+# time model: f(p) = C1 + C2/p + C3*p   (see the paper, section 5)
+
+procs 64              # available processors
+mem_per_proc 500000   # bytes per processor
+replication on        # 'off' disables module replication
+
+task front
+  exec poly 0.02 1.50 0.001      # C1 C2 C3
+  memory 16000 1310720           # resident distributed (bytes)
+
+edge
+  icom poly 0.0 0.04 0.0         # redistribution when co-located
+  ecom poly 0.002 0.08 0.08 0 0  # transfer(ps, pr) when split
+
+task back
+  exec table 1:0.50 4:0.16 16:0.07   # measured profile, interpolated
+  replicable no                      # stateful: single instance only
+  min_procs 2
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("map") => cmd_map(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("fit") => cmd_fit(&args[1..]),
+        Some("template") => {
+            print!("{TEMPLATE}");
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_map(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut greedy_only = false;
+    let mut latency_floor: Option<f64> = None;
+    let mut procs_target: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--greedy-only" => greedy_only = true,
+            "--latency-floor" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => latency_floor = Some(v),
+                None => {
+                    eprintln!("--latency-floor needs a numeric throughput");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--min-procs" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => procs_target = Some(v),
+                None => {
+                    eprintln!("--min-procs needs a numeric throughput target");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if file.is_none() => file = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("map needs a spec file\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let problem = match parse_spec(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{file}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{}: {} tasks on {} processors ({} bytes/proc)\n",
+        file,
+        problem.num_tasks(),
+        problem.total_procs,
+        problem.mem_per_proc
+    );
+    let greedy = match cluster_heuristic(&problem, GreedyOptions::adaptive()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mapping failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "greedy   : {}  -> {:.3} data sets/s",
+        render_mapping(&problem, &greedy.mapping),
+        greedy.throughput
+    );
+    if !greedy_only {
+        match dp_mapping(&problem) {
+            Ok(optimal) => println!(
+                "optimal  : {}  -> {:.3} data sets/s",
+                render_mapping(&problem, &optimal.mapping),
+                optimal.throughput
+            ),
+            Err(e) => eprintln!("optimal mapping failed: {e}"),
+        }
+        // Free replication degrees (an extension beyond the paper's
+        // maximal-replication rule): report only when it differs.
+        if let Ok(free) = dp_mapping_free(&problem) {
+            println!(
+                "free-rep : {}  -> {:.3} data sets/s",
+                render_mapping(&problem, &free.mapping),
+                free.throughput
+            );
+        }
+    }
+    if let Some(floor) = latency_floor {
+        match best_latency_mapping(&problem, floor) {
+            Ok(sol) => println!(
+                "latency  : {}  -> {:.3}s latency at {:.3} data sets/s (floor {:.3})",
+                render_mapping(&problem, &sol.mapping),
+                sol.latency,
+                sol.throughput,
+                floor
+            ),
+            Err(e) => eprintln!("no mapping reaches {floor} data sets/s: {e}"),
+        }
+    }
+    if let Some(target) = procs_target {
+        match min_procs_mapping(&problem, target) {
+            Ok(sol) => println!(
+                "procs    : {}  -> {} processors sustain {:.3} data sets/s (target {:.3})",
+                render_mapping(&problem, &sol.solution.mapping),
+                sol.procs,
+                sol.solution.throughput,
+                target
+            ),
+            Err(e) => eprintln!("no budget reaches {target} data sets/s: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    let mut positional = Vec::new();
+    let mut datasets = 400usize;
+    let mut noise: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--datasets" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => datasets = v,
+                None => {
+                    eprintln!("--datasets needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--noise" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => noise = Some(v),
+                None => {
+                    eprintln!("--noise needs a spread in [0, 1)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [file, mapping_str] = positional.as_slice() else {
+        eprintln!("simulate needs: <spec-file> <mapping>\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let problem = match parse_spec(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{file}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mapping = match pipemap_tool::spec::parse_mapping(mapping_str) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bad mapping: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = pipemap_chain::validate(&problem, &mapping) {
+        eprintln!("mapping invalid for this problem: {e}");
+        return ExitCode::FAILURE;
+    }
+    let analytic = pipemap_chain::throughput(&problem.chain, &mapping);
+    let mut cfg = pipemap_sim::SimConfig::with_datasets(datasets);
+    if let Some(s) = noise {
+        cfg = cfg.with_noise(s, 0x51e5);
+    }
+    let result = pipemap_sim::simulate(&problem.chain, &mapping, &cfg);
+    println!(
+        "mapping  : {}",
+        render_mapping(&problem, &mapping)
+    );
+    println!("analytic : {analytic:.3} data sets/s");
+    println!(
+        "simulated: {:.3} data sets/s over {} data sets (latency mean {:.3}s)",
+        result.throughput, datasets, result.latency.mean
+    );
+    for (i, u) in result.utilization.iter().enumerate() {
+        println!("module {i}: utilisation {:.0}%", 100.0 * u);
+    }
+    ExitCode::SUCCESS
+}
+
+fn builtin_app(name: Option<&str>) -> Option<pipemap_machine::AppWorkload> {
+    match name {
+        Some("fft-hist-256") => Some(fft_hist(FftHistConfig::n256())),
+        Some("fft-hist-512") => Some(fft_hist(FftHistConfig::n512())),
+        Some("radar") => Some(radar(RadarConfig::paper())),
+        Some("stereo") => Some(stereo(StereoConfig::paper())),
+        _ => None,
+    }
+}
+
+fn cmd_fit(args: &[String]) -> ExitCode {
+    let systolic = args.iter().any(|a| a == "--systolic");
+    let machine = if systolic {
+        MachineConfig::iwarp_systolic()
+    } else {
+        MachineConfig::iwarp_message()
+    };
+    let Some(app) = builtin_app(args.first().map(String::as_str)) else {
+        eprintln!("unknown app; pick fft-hist-256, fft-hist-512, radar, stereo");
+        return ExitCode::FAILURE;
+    };
+    let truth = pipemap_machine::synthesize_problem(&app, &machine);
+    let fitted = pipemap_profile::training::fit_problem(
+        &truth,
+        &pipemap_profile::TrainingConfig::for_procs(truth.total_procs),
+    );
+    match pipemap_tool::render_spec(&fitted) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot serialise fitted model: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_demo(args: &[String]) -> ExitCode {
+    let systolic = args.iter().any(|a| a == "--systolic");
+    let machine = if systolic {
+        MachineConfig::iwarp_systolic()
+    } else {
+        MachineConfig::iwarp_message()
+    };
+    let Some(app) = builtin_app(args.first().map(String::as_str)) else {
+        eprintln!("unknown demo; pick fft-hist-256, fft-hist-512, radar, stereo");
+        return ExitCode::FAILURE;
+    };
+    match auto_map(&app, &machine, &MapperOptions::default()) {
+        Ok(report) => {
+            println!("{}", render_report(&report));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("demo failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # pipemap-tool
+//!
+//! The end-to-end automatic mapping tool — the role the paper's
+//! implementation plays inside the Fx compiler (§6). One call to
+//! [`auto_map`] runs the whole methodology:
+//!
+//! 1. **profile**: time the application's tasks and communication steps on
+//!    a small training set of executions (on the machine model);
+//! 2. **fit**: derive the §5 polynomial cost models by least squares and
+//!    check their accuracy against ground truth;
+//! 3. **map**: run the optimal DP mapper and the fast greedy heuristic on
+//!    the fitted models, and compare them;
+//! 4. **constrain**: find the best mapping that satisfies the machine's
+//!    rectangular-subarray (and systolic pathway) constraints;
+//! 5. **measure**: execute the chosen mappings in the pipeline simulator
+//!    on the *ground-truth* costs, with noise, producing the numbers a
+//!    real run would give.
+//!
+//! [`render`] turns the results into the paper's table rows and the
+//! Figure 6-style array diagram.
+
+pub mod mapper;
+pub mod markdown;
+pub mod render;
+pub mod sensitivity;
+pub mod spec;
+
+pub use mapper::{auto_map, MapperOptions, MappingReport};
+pub use markdown::{report_markdown, table2_header, table2_row};
+pub use render::{render_mapping, render_placement, render_report};
+pub use sensitivity::{perturb_problem, robustness, Robustness};
+pub use spec::{parse_mapping, parse_spec, render_spec, SpecError};

@@ -1,0 +1,129 @@
+//! Markdown rendering of mapping reports — for CI artifacts and
+//! EXPERIMENTS.md-style records.
+
+use crate::mapper::MappingReport;
+use crate::render::render_mapping;
+
+/// Escape the characters markdown tables care about.
+fn cell(s: impl AsRef<str>) -> String {
+    s.as_ref().replace('|', "\\|")
+}
+
+/// A markdown table row for one report, matching [`table2_header`].
+pub fn table2_row(report: &MappingReport) -> String {
+    format!(
+        "| {} | {} | {:.2} | {:.2} | {:+.2}% | {:.2} | {:.2} |",
+        cell(&report.app),
+        report.machine.mode.label(),
+        report.predicted_throughput,
+        report.measured.throughput,
+        report.percent_difference(),
+        report.data_parallel.throughput,
+        report.optimal_over_data_parallel(),
+    )
+}
+
+/// Header lines for a Table-2-style markdown table.
+pub fn table2_header() -> String {
+    "| program | comm | predicted/s | measured/s | diff | data-parallel/s | ratio |\n\
+     |---|---|---|---|---|---|---|"
+        .to_string()
+}
+
+/// A full markdown section for one report: summary line, mapping lines,
+/// and the fit diagnostics.
+pub fn report_markdown(report: &MappingReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### {} — {}×{} ({})\n\n",
+        cell(&report.app),
+        report.machine.rows,
+        report.machine.cols,
+        report.machine.mode.label()
+    ));
+    out.push_str(&format!(
+        "* model fit: mean {:.1}% / max {:.1}% over {} points\n",
+        100.0 * report.fit_accuracy.mean_rel_error,
+        100.0 * report.fit_accuracy.max_rel_error,
+        report.fit_accuracy.points
+    ));
+    if let Some(opt) = &report.optimal {
+        out.push_str(&format!(
+            "* optimal (DP): `{}` → {:.2}/s\n",
+            render_mapping(&report.fitted, &opt.mapping),
+            opt.throughput
+        ));
+    }
+    out.push_str(&format!(
+        "* greedy: `{}` → {:.2}/s\n",
+        render_mapping(&report.fitted, &report.greedy.mapping),
+        report.greedy.throughput
+    ));
+    if let Some((m, thr)) = &report.feasible {
+        out.push_str(&format!(
+            "* feasible: `{}` → {:.2}/s\n",
+            render_mapping(&report.fitted, m),
+            thr
+        ));
+    }
+    out.push_str(&format!(
+        "* predicted {:.2}/s, measured {:.2}/s ({:+.2}%), data-parallel {:.2}/s (ratio {:.2})\n",
+        report.predicted_throughput,
+        report.measured.throughput,
+        report.percent_difference(),
+        report.data_parallel.throughput,
+        report.optimal_over_data_parallel()
+    ));
+    out.push('\n');
+    out.push_str(&table2_header());
+    out.push('\n');
+    out.push_str(&table2_row(report));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{auto_map, MapperOptions};
+    use pipemap_machine::workload::TaskWorkload;
+    use pipemap_machine::{AppWorkload, EdgeWorkload, MachineConfig};
+    use pipemap_model::MemoryReq;
+
+    fn report() -> MappingReport {
+        let mut a = TaskWorkload::parallel("x|y", 3e6, 32);
+        a.memory = MemoryReq::new(4e3, 0.5e6);
+        let b = TaskWorkload::parallel("b", 5e6, 32);
+        let app = AppWorkload::new("pipe|line", vec![a, b], vec![EdgeWorkload::aligned(1e5)]);
+        let machine = MachineConfig::iwarp_message().with_geometry(4, 4);
+        auto_map(&app, &machine, &MapperOptions::exact()).unwrap()
+    }
+
+    #[test]
+    fn rows_align_with_header() {
+        let r = report();
+        // Count cell separators, not the escaped pipes inside cells.
+        let unescaped = |s: &str| s.replace("\\|", "").matches('|').count();
+        let header_cols = unescaped(table2_header().lines().next().unwrap());
+        let row_cols = unescaped(&table2_row(&r));
+        assert_eq!(header_cols, row_cols);
+    }
+
+    #[test]
+    fn pipes_are_escaped() {
+        let r = report();
+        let row = table2_row(&r);
+        assert!(row.contains("pipe\\|line"));
+    }
+
+    #[test]
+    fn full_report_contains_the_essentials() {
+        let r = report();
+        let md = report_markdown(&r);
+        assert!(md.starts_with("### "));
+        assert!(md.contains("model fit"));
+        assert!(md.contains("greedy:"));
+        assert!(md.contains("predicted"));
+        assert!(md.contains("| program |"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Text rendering of mappings and reports.
+
+use pipemap_chain::{Mapping, Problem};
+use pipemap_machine::pack::render_packing;
+use pipemap_machine::{is_feasible, Feasibility, MachineConfig};
+
+use crate::mapper::MappingReport;
+
+/// One-line description of a mapping: `[a+b: 8 x 3p | c: 10 x 4p]`.
+pub fn render_mapping(problem: &Problem, mapping: &Mapping) -> String {
+    let parts: Vec<String> = mapping
+        .modules
+        .iter()
+        .map(|m| {
+            let names: Vec<&str> = (m.first..=m.last)
+                .map(|i| problem.chain.task(i).name.as_str())
+                .collect();
+            format!("{}: {} x {}p", names.join("+"), m.replicas, m.procs)
+        })
+        .collect();
+    format!("[{}]", parts.join(" | "))
+}
+
+/// Figure 6-style diagram: the mapping's instances placed on the
+/// processor array (letters label instances; `.` is an idle processor).
+/// Returns a message instead when the mapping cannot be placed.
+pub fn render_placement(machine: &MachineConfig, mapping: &Mapping) -> String {
+    match is_feasible(machine, mapping) {
+        Feasibility::Feasible(placements) => {
+            render_packing(machine.rows, machine.cols, &placements)
+        }
+        Feasibility::Infeasible(reason) => format!("(not placeable: {reason})"),
+    }
+}
+
+/// Multi-line human-readable report of one [`auto_map`] run.
+///
+/// [`auto_map`]: crate::mapper::auto_map
+pub fn render_report(report: &MappingReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== {} on {}x{} ({}) ===\n",
+        report.app,
+        report.machine.rows,
+        report.machine.cols,
+        report.machine.mode.label()
+    ));
+    out.push_str(&format!(
+        "model fit: mean err {:.1}%, max err {:.1}% over {} points\n",
+        report.fit_accuracy.mean_rel_error * 100.0,
+        report.fit_accuracy.max_rel_error * 100.0,
+        report.fit_accuracy.points
+    ));
+    if let Some(opt) = &report.optimal {
+        out.push_str(&format!(
+            "optimal (DP):   {}  -> {:.2}/s (model)\n",
+            render_mapping(&report.fitted, &opt.mapping),
+            opt.throughput
+        ));
+    }
+    out.push_str(&format!(
+        "greedy:         {}  -> {:.2}/s (model)\n",
+        render_mapping(&report.fitted, &report.greedy.mapping),
+        report.greedy.throughput
+    ));
+    if let Some((m, thr)) = &report.feasible {
+        out.push_str(&format!(
+            "feasible:       {}  -> {:.2}/s (model)\n",
+            render_mapping(&report.fitted, m),
+            thr
+        ));
+    }
+    out.push_str(&format!(
+        "predicted {:.2}/s, measured {:.2}/s ({:+.2}%), data-parallel {:.2}/s (ratio {:.2})\n",
+        report.predicted_throughput,
+        report.measured.throughput,
+        report.percent_difference(),
+        report.data_parallel.throughput,
+        report.optimal_over_data_parallel()
+    ));
+    out.push_str("placement:\n");
+    out.push_str(&render_placement(&report.machine, report.chosen()));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_chain::{ChainBuilder, ModuleAssignment, Task};
+    use pipemap_model::PolyUnary;
+
+    fn problem() -> Problem {
+        let c = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::perfectly_parallel(1.0)))
+            .edge(pipemap_chain::Edge::free())
+            .task(Task::new("b", PolyUnary::perfectly_parallel(1.0)))
+            .build();
+        Problem::new(c, 16, 1e9)
+    }
+
+    #[test]
+    fn mapping_renders_names_and_counts() {
+        let p = problem();
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 2, 3),
+            ModuleAssignment::new(1, 1, 1, 8),
+        ]);
+        let s = render_mapping(&p, &m);
+        assert_eq!(s, "[a: 2 x 3p | b: 1 x 8p]");
+        let merged = Mapping::new(vec![ModuleAssignment::new(0, 1, 4, 4)]);
+        assert_eq!(render_mapping(&p, &merged), "[a+b: 4 x 4p]");
+    }
+
+    #[test]
+    fn placement_renders_grid_or_reason() {
+        let machine = MachineConfig::iwarp_message().with_geometry(4, 4);
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 2, 4),
+            ModuleAssignment::new(1, 1, 1, 8),
+        ]);
+        let s = render_placement(&machine, &m);
+        assert!(s.contains('A'), "grid should show instances: {s}");
+        let too_big = Mapping::new(vec![ModuleAssignment::new(0, 1, 1, 99)]);
+        let s = render_placement(&machine, &too_big);
+        assert!(s.contains("not placeable"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Robustness of a chosen mapping to model error.
+//!
+//! §6.4 argues that "the inaccuracies in predicting an optimal mapping
+//! for a practical system are small as compared to the benefits that are
+//! obtained by choosing a good mapping". This module quantifies that:
+//! perturb every fitted cost function by an independent systematic
+//! factor (a model that is consistently x% off for one task or edge),
+//! re-solve on the perturbed model, and measure the *regret* — how much
+//! throughput the original mapping loses against the perturbed-model
+//! optimum, evaluated under the perturbed costs. A regret near zero
+//! across trials means the mapping decision is insensitive to model
+//! error of that magnitude.
+
+use pipemap_chain::{throughput, ChainBuilder, Edge, Mapping, Problem, Task};
+use pipemap_core::{cluster_heuristic, GreedyOptions, SolveError};
+use pipemap_model::{BinaryCost, UnaryCost};
+use pipemap_sim::{NoiseModel, Summary};
+
+/// Result of a robustness study.
+#[derive(Clone, Debug)]
+pub struct Robustness {
+    /// Per-trial regret: `1 − thr(mapping) / thr(perturbed optimum)`,
+    /// both evaluated under the perturbed model. 0 = still optimal.
+    pub regret: Summary,
+    /// Trials in which the perturbed model's optimal *clustering*
+    /// differs from the mapping's.
+    pub clustering_changes: usize,
+    /// Number of trials run.
+    pub trials: usize,
+}
+
+/// Scale a unary cost by a constant factor.
+fn scale_unary(c: &UnaryCost, factor: f64) -> UnaryCost {
+    let base = c.clone();
+    UnaryCost::custom(move |p| base.eval(p) * factor)
+}
+
+/// Scale a binary cost by a constant factor.
+fn scale_binary(c: &BinaryCost, factor: f64) -> BinaryCost {
+    let base = c.clone();
+    BinaryCost::custom(move |s, r| base.eval(s, r) * factor)
+}
+
+/// Build a perturbed copy of the problem: every cost function scaled by
+/// an independent factor drawn from `noise`.
+pub fn perturb_problem(problem: &Problem, noise: &mut NoiseModel) -> Problem {
+    let chain = &problem.chain;
+    let mut b = ChainBuilder::new();
+    for i in 0..chain.len() {
+        let src = chain.task(i);
+        let mut t = Task::new(src.name.clone(), scale_unary(&src.exec, noise.factor()))
+            .with_memory(src.memory);
+        if !src.replicable {
+            t = t.not_replicable();
+        }
+        if let Some(m) = src.min_procs {
+            t = t.with_min_procs(m);
+        }
+        b = b.task(t);
+        if i + 1 < chain.len() {
+            let e = chain.edge(i);
+            b = b.edge(Edge::new(
+                scale_unary(&e.icom, noise.factor()),
+                scale_binary(&e.ecom, noise.factor()),
+            ));
+        }
+    }
+    let mut p = Problem::new(b.build(), problem.total_procs, problem.mem_per_proc);
+    p.replication = problem.replication;
+    p
+}
+
+/// Measure the regret of `mapping` under `trials` independent model
+/// perturbations of relative spread `spread`.
+pub fn robustness(
+    problem: &Problem,
+    mapping: &Mapping,
+    spread: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<Robustness, SolveError> {
+    assert!(trials >= 1, "need at least one trial");
+    let mut noise = NoiseModel::new(spread, seed);
+    let mut regrets = Vec::with_capacity(trials);
+    let mut clustering_changes = 0;
+    for _ in 0..trials {
+        let perturbed = perturb_problem(problem, &mut noise);
+        let optimum = cluster_heuristic(&perturbed, GreedyOptions::adaptive())?;
+        let ours = throughput(&perturbed.chain, mapping);
+        let best = optimum.throughput.max(ours);
+        let regret = if best > 0.0 && best.is_finite() {
+            (1.0 - ours / best).max(0.0)
+        } else {
+            0.0
+        };
+        regrets.push(regret);
+        if optimum.mapping.clustering() != mapping.clustering() {
+            clustering_changes += 1;
+        }
+    }
+    Ok(Robustness {
+        regret: Summary::of(&regrets).expect("trials >= 1"),
+        clustering_changes,
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_core::dp_mapping;
+    use pipemap_model::{PolyEcom, PolyUnary};
+
+    fn problem() -> Problem {
+        let chain = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::new(0.1, 3.0, 0.01)))
+            .edge(Edge::new(
+                PolyUnary::new(0.02, 0.1, 0.0),
+                PolyEcom::new(0.05, 0.4, 0.4, 0.002, 0.002),
+            ))
+            .task(Task::new("b", PolyUnary::new(0.2, 5.0, 0.01)))
+            .build();
+        Problem::new(chain, 16, 1e12)
+    }
+
+    #[test]
+    fn zero_perturbation_means_zero_regret() {
+        let p = problem();
+        let opt = dp_mapping(&p).unwrap();
+        let r = robustness(&p, &opt.mapping, 0.0, 4, 1).unwrap();
+        assert!(r.regret.max < 1e-9, "{:?}", r);
+        assert_eq!(r.clustering_changes, 0);
+    }
+
+    #[test]
+    fn perturbation_scales_costs_correctly() {
+        let p = problem();
+        let mut noise = NoiseModel::new(0.5, 3);
+        let q = perturb_problem(&p, &mut noise);
+        // The perturbed costs are pointwise proportional to the originals
+        // (one factor per function).
+        for i in 0..p.num_tasks() {
+            let f1 = q.chain.task(i).exec.eval(1) / p.chain.task(i).exec.eval(1);
+            for procs in 2..=16 {
+                let f = q.chain.task(i).exec.eval(procs) / p.chain.task(i).exec.eval(procs);
+                assert!((f - f1).abs() < 1e-9, "task {i} factor drifts");
+            }
+            assert!((0.5..=1.5).contains(&f1), "factor {f1} out of range");
+        }
+    }
+
+    #[test]
+    fn small_model_error_keeps_small_regret() {
+        // The §6.4 claim at our scale: 10% model error costs far less
+        // than the mapping's advantage over data parallelism.
+        let p = problem();
+        let opt = dp_mapping(&p).unwrap();
+        let r = robustness(&p, &opt.mapping, 0.10, 12, 7).unwrap();
+        assert!(
+            r.regret.mean < 0.10,
+            "mean regret {:.3} too high",
+            r.regret.mean
+        );
+    }
+
+    #[test]
+    fn metadata_preserved_in_perturbation() {
+        let chain = ChainBuilder::new()
+            .task(
+                Task::new("s", PolyUnary::new(1.0, 0.0, 0.0))
+                    .not_replicable()
+                    .with_min_procs(2),
+            )
+            .build();
+        let p = Problem::new(chain, 8, 1e12);
+        let mut noise = NoiseModel::new(0.2, 5);
+        let q = perturb_problem(&p, &mut noise);
+        assert!(!q.chain.task(0).replicable);
+        assert_eq!(q.chain.task(0).min_procs, Some(2));
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end tests of the `pipemap` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn pipemap() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pipemap"))
+}
+
+fn write_spec(dir: &std::path::Path, name: &str, body: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(body.as_bytes()).unwrap();
+    path
+}
+
+const SPEC: &str = "\
+procs 16
+mem_per_proc 1e9
+
+task front
+  exec poly 0.02 1.0 0.001
+
+edge
+  icom poly 0.0 0.02 0.0
+  ecom poly 0.01 0.05 0.05 0 0
+
+task back
+  exec poly 0.05 0.5 0.0
+  replicable no
+";
+
+#[test]
+fn help_prints_usage() {
+    let out = pipemap().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("simulate"));
+}
+
+#[test]
+fn template_is_parseable_by_map() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-template");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tmpl = pipemap().arg("template").output().unwrap();
+    assert!(tmpl.status.success());
+    let spec = write_spec(&dir, "tmpl.pmap", &String::from_utf8_lossy(&tmpl.stdout));
+    let out = pipemap()
+        .arg("map")
+        .arg(&spec)
+        .arg("--greedy-only")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("greedy"), "{text}");
+    assert!(text.contains("data sets/s"));
+}
+
+#[test]
+fn map_solves_a_spec() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-map");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = write_spec(&dir, "p.pmap", SPEC);
+    let out = pipemap()
+        .arg("map")
+        .arg(&spec)
+        .arg("--min-procs")
+        .arg("1.0")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("optimal"), "{text}");
+    assert!(text.contains("procs"), "{text}");
+}
+
+#[test]
+fn simulate_runs_a_mapping() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-sim");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = write_spec(&dir, "p.pmap", SPEC);
+    let out = pipemap()
+        .arg("simulate")
+        .arg(&spec)
+        .arg("0-0:2x4,1-1:1x8")
+        .arg("--datasets")
+        .arg("120")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("analytic"), "{text}");
+    assert!(text.contains("simulated"), "{text}");
+    assert!(text.contains("utilisation"));
+}
+
+#[test]
+fn simulate_rejects_invalid_mappings() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = write_spec(&dir, "p.pmap", SPEC);
+    // The non-replicable `back` task must not be replicated.
+    let out = pipemap()
+        .arg("simulate")
+        .arg(&spec)
+        .arg("0-0:2x4,1-1:4x2")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid"), "{err}");
+}
+
+#[test]
+fn bad_spec_reports_line_numbers() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-err");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = write_spec(&dir, "bad.pmap", "procs 4\ntask t\n  exec poly oops 1 1\n");
+    let out = pipemap().arg("map").arg(&spec).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 3"), "{err}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = pipemap().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn fit_emits_a_mappable_spec() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-fit");
+    std::fs::create_dir_all(&dir).unwrap();
+    let fit = pipemap().arg("fit").arg("radar").arg("--systolic").output().unwrap();
+    assert!(
+        fit.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&fit.stderr)
+    );
+    let spec = write_spec(&dir, "radar.pmap", &String::from_utf8_lossy(&fit.stdout));
+    let map = pipemap().arg("map").arg(&spec).arg("--greedy-only").output().unwrap();
+    assert!(
+        map.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&map.stderr)
+    );
+    let text = String::from_utf8_lossy(&map.stdout);
+    assert!(text.contains("data sets/s"), "{text}");
+}

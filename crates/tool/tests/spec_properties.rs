@@ -1,0 +1,90 @@
+//! Property tests of the spec format: any polynomial problem round-trips
+//! through render → parse with its semantics intact.
+
+use pipemap_chain::{ChainBuilder, Edge, Problem, Task};
+use pipemap_model::{MemoryReq, PolyEcom, PolyUnary};
+use pipemap_tool::{parse_spec, render_spec};
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    (
+        prop::collection::vec(
+            (
+                0.0..5.0f64,
+                0.0..10.0f64,
+                0.0..0.5f64,
+                0.0..1000.0f64,
+                0.0..10000.0f64,
+                any::<bool>(),
+                prop::option::of(1..4usize),
+            ),
+            1..5,
+        ),
+        prop::collection::vec(
+            (0.0..1.0f64, 0.0..2.0f64, 0.0..2.0f64, 0.0..0.1f64, 0.0..0.1f64),
+            4,
+        ),
+        2..64usize,
+        any::<bool>(),
+    )
+        .prop_map(|(tasks, edges, procs, replication)| {
+            let k = tasks.len();
+            let mut b = ChainBuilder::new();
+            for (i, (c1, c2, c3, res, dist, rep, min_p)) in tasks.into_iter().enumerate() {
+                let mut t = Task::new(format!("t{i}"), PolyUnary::new(c1, c2, c3))
+                    .with_memory(MemoryReq::new(res, dist));
+                if !rep {
+                    t = t.not_replicable();
+                }
+                if let Some(m) = min_p {
+                    t = t.with_min_procs(m);
+                }
+                b = b.task(t);
+                if i + 1 < k {
+                    let e = edges[i];
+                    b = b.edge(Edge::new(
+                        PolyUnary::new(e.0, e.1, 0.0),
+                        PolyEcom::new(e.0, e.1, e.2, e.3, e.4),
+                    ));
+                }
+            }
+            let mut p = Problem::new(b.build(), procs, 1e6);
+            if !replication {
+                p = p.without_replication();
+            }
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spec_roundtrip_preserves_semantics(problem in arb_problem()) {
+        let text = render_spec(&problem).expect("polynomial problems serialise");
+        let back = parse_spec(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(back.total_procs, problem.total_procs);
+        prop_assert_eq!(back.replication, problem.replication);
+        prop_assert_eq!(back.num_tasks(), problem.num_tasks());
+        for i in 0..problem.num_tasks() {
+            for p in [1usize, 2, 5, 17, 63] {
+                let a = problem.chain.task(i).exec.eval(p);
+                let b = back.chain.task(i).exec.eval(p);
+                prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+            }
+            prop_assert_eq!(problem.task_floor(i), back.task_floor(i));
+        }
+        for e in 0..problem.num_tasks() - 1 {
+            for (s, r) in [(1usize, 5usize), (7, 2), (13, 13)] {
+                let a = problem.chain.edge(e).ecom.eval(s, r);
+                let b = back.chain.edge(e).ecom.eval(s, r);
+                prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+            }
+            for p in [1usize, 9, 33] {
+                let a = problem.chain.edge(e).icom.eval(p);
+                let b = back.chain.edge(e).icom.eval(p);
+                prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The mapping algorithms are independent of how costs are modelled (§5:
+//! "they may be mathematical functions … or they may be defined pointwise
+//! possibly using interpolation"). This example maps the same pipeline
+//! three ways — polynomial costs, measured/tabulated costs, and arbitrary
+//! closures — and shows the machinery is identical.
+//!
+//! ```sh
+//! cargo run --release --example custom_cost_model
+//! ```
+
+use pipemap::chain::{ChainBuilder, Edge, Problem, Task};
+use pipemap::core::dp_mapping;
+use pipemap::model::{BinaryCost, PolyEcom, PolyUnary, Tabulated, UnaryCost};
+use pipemap::tool::render_mapping;
+
+fn solve(label: &str, problem: &Problem) {
+    let s = dp_mapping(problem).expect("feasible");
+    println!(
+        "{label:<12} {}  -> {:.2}/s",
+        render_mapping(problem, &s.mapping),
+        s.throughput
+    );
+}
+
+fn main() {
+    let p = 16;
+    println!("one pipeline, three cost representations, same mapper\n");
+
+    // 1. Polynomial models (what the fitting pipeline produces).
+    let poly = ChainBuilder::new()
+        .task(Task::new("produce", PolyUnary::new(0.01, 0.24, 0.001)))
+        .edge(Edge::new(
+            PolyUnary::new(0.002, 0.01, 0.0),
+            PolyEcom::new(0.004, 0.03, 0.03, 0.0, 0.0),
+        ))
+        .task(Task::new("consume", PolyUnary::new(0.02, 0.40, 0.002)))
+        .build();
+    solve(
+        "polynomial",
+        &Problem::new(poly, p, 1e12).without_replication(),
+    );
+
+    // 2. Tabulated profiles: measured at a few processor counts,
+    //    interpolated in between — no functional form assumed.
+    let produce = Tabulated::new(vec![(1, 0.251), (2, 0.132), (4, 0.073), (8, 0.044), (16, 0.031)]);
+    let consume = Tabulated::new(vec![(1, 0.422), (2, 0.224), (4, 0.125), (8, 0.077), (16, 0.057)]);
+    let table = ChainBuilder::new()
+        .task(Task::new("produce", produce))
+        .edge(Edge::new(
+            UnaryCost::Zero,
+            PolyEcom::new(0.004, 0.03, 0.03, 0.0, 0.0),
+        ))
+        .task(Task::new("consume", consume))
+        .build();
+    solve(
+        "tabulated",
+        &Problem::new(table, p, 1e12).without_replication(),
+    );
+
+    // 3. Arbitrary closures: here a cost with a cache-cliff step that no
+    //    low-order polynomial represents.
+    let cliff = UnaryCost::custom(|procs| {
+        let base = 0.42 / procs as f64;
+        // Working set fits in cache only from 4 processors up.
+        if procs >= 4 {
+            base
+        } else {
+            2.5 * base
+        }
+    });
+    let custom = ChainBuilder::new()
+        .task(Task::new("produce", PolyUnary::new(0.01, 0.24, 0.001)))
+        .edge(Edge::new(
+            UnaryCost::Zero,
+            BinaryCost::custom(|s, r| 0.004 + 0.03 / s as f64 + 0.03 / r as f64),
+        ))
+        .task(Task::new("consume", cliff))
+        .build();
+    let problem = Problem::new(custom, p, 1e12).without_replication();
+    solve("closures", &problem);
+    println!("\n(the cache-cliff consumer is never given fewer than 4 processors:");
+    let s = dp_mapping(&problem).unwrap();
+    let consume_module = s
+        .mapping
+        .modules
+        .iter()
+        .find(|m| m.contains(1))
+        .expect("consume is mapped");
+    println!(" its instances got {} each)", consume_module.procs);
+}

@@ -1,0 +1,86 @@
+//! Figure 1 of the paper: the four ways to map a chain of data parallel
+//! tasks onto a machine — pure data parallelism, pure task parallelism,
+//! replicated data parallelism, and the mixed form — evaluated on one
+//! chain so the trade-offs are visible.
+//!
+//! ```sh
+//! cargo run --release --example mapping_styles
+//! ```
+
+use pipemap::chain::{
+    throughput, ChainBuilder, Edge, Mapping, ModuleAssignment, Problem, Task,
+};
+use pipemap::core::dp_mapping;
+use pipemap::model::{PolyEcom, PolyUnary};
+use pipemap::sim::{simulate, SimConfig};
+
+fn main() {
+    // Four tasks with different scalability: t2 parallelises well, t4 is
+    // dominated by fixed cost and — like a stateful output stage — cannot
+    // be replicated, which is what forces a genuinely *mixed* optimum.
+    let chain = ChainBuilder::new()
+        .task(Task::new("t1", PolyUnary::new(0.02, 0.40, 0.001)))
+        .edge(edge())
+        .task(Task::new("t2", PolyUnary::new(0.01, 0.90, 0.001)))
+        .edge(edge())
+        .task(Task::new("t3", PolyUnary::new(0.02, 0.50, 0.001)))
+        .edge(edge())
+        .task(Task::new("t4", PolyUnary::new(0.08, 0.10, 0.0)).not_replicable())
+        .build();
+    let p = 16;
+    let problem = Problem::new(chain, p, 1e12);
+
+    println!("Figure 1: combinations of data and task parallel mappings");
+    println!("(4-task chain on {p} processors)\n");
+
+    // (a) Pure data parallel: one module on all processors.
+    show(&problem, "(a) data parallel", Mapping::data_parallel(&problem));
+
+    // (b) Pure task parallel: one module per task.
+    show(
+        &problem,
+        "(b) task parallel",
+        Mapping::task_parallel(&[4, 6, 4, 2]),
+    );
+
+    // (c) Replicated data parallel: everything replicable as one module,
+    // replicated four ways (the stateful t4 must stay a single instance).
+    show(
+        &problem,
+        "(c) replicated (4x)",
+        Mapping::new(vec![
+            ModuleAssignment::new(0, 2, 4, 3),
+            ModuleAssignment::new(3, 3, 1, 4),
+        ]),
+    );
+
+    // (d) Mixed: what the optimal mapper actually picks.
+    let optimal = dp_mapping(&problem).unwrap();
+    show(&problem, "(d) optimal mixed", optimal.mapping.clone());
+    println!(
+        "\noptimal structure: {:?}",
+        optimal
+            .mapping
+            .modules
+            .iter()
+            .map(|m| format!("tasks {}..={} x{} on {}p", m.first, m.last, m.replicas, m.procs))
+            .collect::<Vec<_>>()
+    );
+}
+
+fn edge() -> Edge {
+    Edge::new(
+        PolyUnary::new(0.002, 0.01, 0.0),
+        PolyEcom::new(0.004, 0.02, 0.02, 0.0002, 0.0002),
+    )
+}
+
+fn show(problem: &Problem, label: &str, mapping: Mapping) {
+    let analytic = throughput(&problem.chain, &mapping);
+    let sim = simulate(&problem.chain, &mapping, &SimConfig::with_datasets(400));
+    println!(
+        "{label:<22} analytic {analytic:>7.2}/s   simulated {:>7.2}/s   procs used {}",
+        sim.throughput,
+        mapping.total_procs()
+    );
+}

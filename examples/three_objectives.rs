@@ -1,0 +1,61 @@
+//! The three objectives of pipeline mapping — throughput, latency, and
+//! processor count — on one problem (the trade-off studied in the
+//! paper's companion work, reference [14]).
+//!
+//! ```sh
+//! cargo run --release --example three_objectives
+//! ```
+
+use pipemap::chain::{ChainBuilder, Edge, Problem, Task};
+use pipemap::core::{best_latency_mapping, dp_mapping, latency, min_procs_mapping};
+use pipemap::model::{PolyEcom, PolyUnary};
+use pipemap::tool::render_mapping;
+
+fn main() {
+    // A video-analytics-style pipeline: ingest → detect → annotate.
+    let chain = ChainBuilder::new()
+        .task(Task::new("ingest", PolyUnary::new(0.005, 0.08, 0.0)))
+        .edge(Edge::new(
+            PolyUnary::new(0.002, 0.004, 0.0),
+            PolyEcom::new(0.004, 0.02, 0.02, 0.0, 0.0),
+        ))
+        .task(Task::new("detect", PolyUnary::new(0.010, 0.60, 0.0005)))
+        .edge(Edge::new(
+            PolyUnary::new(0.001, 0.002, 0.0),
+            PolyEcom::new(0.003, 0.01, 0.01, 0.0, 0.0),
+        ))
+        .task(Task::new("annotate", PolyUnary::new(0.004, 0.12, 0.0)))
+        .build();
+    let problem = Problem::new(chain, 48, 1e12);
+
+    // 1. Maximum throughput (the paper's objective).
+    let thr = dp_mapping(&problem).unwrap();
+    println!(
+        "max throughput : {}\n                 {:.1} frames/s, latency {:.3}s\n",
+        render_mapping(&problem, &thr.mapping),
+        thr.throughput,
+        latency(&problem.chain, &thr.mapping)
+    );
+
+    // 2. Minimum latency subject to 60% of that throughput.
+    let floor = 0.6 * thr.throughput;
+    let lat = best_latency_mapping(&problem, floor).unwrap();
+    println!(
+        "min latency    : {}\n                 latency {:.3}s at {:.1} frames/s (floor {:.1})\n",
+        render_mapping(&problem, &lat.mapping),
+        lat.latency,
+        lat.throughput,
+        floor
+    );
+
+    // 3. Fewest processors sustaining a 30 frames/s camera.
+    let target = 30.0;
+    let procs = min_procs_mapping(&problem, target).unwrap();
+    println!(
+        "min processors : {}\n                 {} of 48 processors sustain {:.1} frames/s (target {:.0})",
+        render_mapping(&problem, &procs.solution.mapping),
+        procs.procs,
+        procs.solution.throughput,
+        target
+    );
+}

@@ -1,0 +1,55 @@
+//! # pipemap — optimal mapping of pipelines of data parallel tasks
+//!
+//! A Rust implementation and experimental reproduction of Subhlok &
+//! Vondran, *Optimal Mapping of Sequences of Data Parallel Tasks*
+//! (PPoPP 1995). This facade crate re-exports the whole workspace; see
+//! the individual crates for the details:
+//!
+//! * [`model`] — cost-function forms, memory model, replication rules;
+//! * [`chain`] — task chains, mappings, throughput evaluation;
+//! * [`core`] — the optimal DP mappers, the greedy heuristic, and the
+//!   latency / processor-count extensions;
+//! * [`machine`] — the iWarp-like machine model and its feasibility
+//!   constraints;
+//! * [`sim`] — the pipeline simulator;
+//! * [`profile`] — profiling and least-squares model fitting;
+//! * [`apps`] — the paper's application suite;
+//! * [`exec`] — a real threaded executor with real kernels;
+//! * [`tool`] — the end-to-end automatic mapping tool.
+//!
+//! ## Example
+//!
+//! ```
+//! use pipemap::chain::{ChainBuilder, Edge, Problem, Task};
+//! use pipemap::core::dp_mapping;
+//! use pipemap::model::{PolyEcom, PolyUnary};
+//!
+//! // Two tasks, each f(p) = C1 + C2/p + C3·p, joined by a transfer
+//! // whose cost depends on both endpoint group sizes.
+//! let chain = ChainBuilder::new()
+//!     .task(Task::new("produce", PolyUnary::new(0.01, 0.40, 0.0)))
+//!     .edge(Edge::new(
+//!         PolyUnary::new(0.002, 0.01, 0.0),              // co-located
+//!         PolyEcom::new(0.004, 0.03, 0.03, 0.0, 0.0),    // split
+//!     ))
+//!     .task(Task::new("consume", PolyUnary::new(0.02, 0.60, 0.0)))
+//!     .build();
+//!
+//! let problem = Problem::new(chain, 16, 1e9);
+//! let solution = dp_mapping(&problem).expect("feasible");
+//! assert!(solution.throughput > 0.0);
+//! assert!(solution.mapping.total_procs() <= 16);
+//! // The reported throughput is recomputed by the independent evaluator.
+//! let check = pipemap::chain::throughput(&problem.chain, &solution.mapping);
+//! assert!((solution.throughput - check).abs() < 1e-9);
+//! ```
+
+pub use pipemap_apps as apps;
+pub use pipemap_chain as chain;
+pub use pipemap_core as core;
+pub use pipemap_exec as exec;
+pub use pipemap_machine as machine;
+pub use pipemap_model as model;
+pub use pipemap_profile as profile;
+pub use pipemap_sim as sim;
+pub use pipemap_tool as tool;

@@ -1,0 +1,120 @@
+//! End-to-end integration: the full methodology (synthesise → profile →
+//! fit → map → constrain → simulate) on a small machine, plus the real
+//! threaded executor driving actual kernels under a mapping the tool
+//! produced.
+
+use pipemap::exec::kernels::{fft_cols, fft_rows, histogram, Complex, Matrix};
+use pipemap::exec::{run_pipeline, Data, PipelinePlan, Stage, StagePlan};
+use pipemap::machine::workload::TaskWorkload;
+use pipemap::machine::{AppWorkload, EdgeWorkload, MachineConfig};
+use pipemap::model::MemoryReq;
+use pipemap::tool::{auto_map, render_report, MapperOptions};
+
+fn small_app() -> AppWorkload {
+    let mut front = TaskWorkload::parallel("front", 6e6, 64);
+    front.memory = MemoryReq::new(4e3, 0.9e6);
+    let mut mid = TaskWorkload::parallel("mid", 3e6, 64);
+    mid.seq_flops = 2e5;
+    mid.memory = MemoryReq::new(4e3, 0.5e6);
+    let mut back = TaskWorkload::parallel("back", 2e6, 64);
+    back.memory = MemoryReq::new(4e3, 0.4e6);
+    AppWorkload::new(
+        "three-stage",
+        vec![front, mid, back],
+        vec![EdgeWorkload::all_to_all(3e5), EdgeWorkload::aligned(3e5)],
+    )
+}
+
+#[test]
+fn full_methodology_on_small_machine() {
+    let machine = MachineConfig::iwarp_message().with_geometry(4, 4);
+    let report = auto_map(&small_app(), &machine, &MapperOptions::exact()).unwrap();
+
+    // Every stage of the methodology produced coherent results.
+    assert!(report.fit_accuracy.mean_rel_error < 0.15);
+    let optimal = report.optimal.as_ref().expect("DP requested");
+    assert!(optimal.throughput >= report.greedy.throughput - 1e-9);
+    pipemap::chain::validate(&report.fitted, &optimal.mapping).unwrap();
+    pipemap::chain::validate(&report.fitted, &report.greedy.mapping).unwrap();
+    assert!(report.measured.throughput > 0.0);
+    assert!(
+        report.percent_difference().abs() < 20.0,
+        "predicted vs measured {:+.1}%",
+        report.percent_difference()
+    );
+    assert!(report.optimal_over_data_parallel() > 1.0);
+
+    // The report renders without panicking and mentions the app.
+    let text = render_report(&report);
+    assert!(text.contains("three-stage"));
+    assert!(text.contains("predicted"));
+}
+
+#[test]
+fn mapper_options_control_the_pipeline() {
+    let machine = MachineConfig::iwarp_message().with_geometry(4, 4);
+    let no_dp = MapperOptions {
+        run_dp: false,
+        check_feasibility: false,
+        ..MapperOptions::exact()
+    };
+    let report = auto_map(&small_app(), &machine, &no_dp).unwrap();
+    assert!(report.optimal.is_none());
+    assert!(report.feasible.is_none());
+    // The chosen mapping falls back to greedy and is still simulatable.
+    assert!(report.measured.throughput > 0.0);
+}
+
+#[test]
+fn noisy_profiling_still_produces_good_mappings() {
+    let machine = MachineConfig::iwarp_message().with_geometry(4, 4);
+    let exact = auto_map(&small_app(), &machine, &MapperOptions::exact()).unwrap();
+    let noisy_opts = MapperOptions {
+        training_noise: Some((0.05, 7)),
+        measurement_noise: None,
+        ..MapperOptions::exact()
+    };
+    let noisy = auto_map(&small_app(), &machine, &noisy_opts).unwrap();
+    // The mapping chosen from noisy profiles, evaluated on ground truth,
+    // is within a modest factor of the exact-profile choice.
+    let ratio = noisy.measured.throughput / exact.measured.throughput;
+    assert!(
+        ratio > 0.85,
+        "noisy-profile mapping lost {:.0}% throughput",
+        100.0 * (1.0 - ratio)
+    );
+}
+
+#[test]
+fn threaded_executor_runs_a_mapped_fft_hist() {
+    // A miniature FFT-Hist (64×64) through the real executor with the
+    // paper's clustering: {colffts} and {rowffts+hist} fused.
+    let n = 64;
+    let colffts = Stage::new("colffts", |mut m: Matrix, threads| {
+        fft_cols(&mut m, threads);
+        m
+    });
+    let fused = Stage::new("rowffts+hist", |mut m: Matrix, threads| {
+        fft_rows(&mut m, threads);
+        histogram(&m, 32, 1e6, threads)
+    });
+    let plan = PipelinePlan::new(vec![
+        StagePlan::new(colffts, 2, 1),
+        StagePlan::new(fused, 2, 1),
+    ]);
+    let count = 12;
+    let inputs: Vec<Data> = (0..count)
+        .map(|i| {
+            Box::new(Matrix::from_fn(n, |r, c| {
+                Complex::new(((r + c * 3 + i) % 17) as f64, 0.0)
+            })) as Data
+        })
+        .collect();
+    let (outputs, stats) = run_pipeline(&plan, inputs);
+    assert_eq!(stats.datasets, count);
+    assert_eq!(outputs.len(), count);
+    for out in outputs {
+        let hist = out.downcast::<Vec<u64>>().expect("histogram output");
+        assert_eq!(hist.iter().sum::<u64>() as usize, n * n);
+    }
+}

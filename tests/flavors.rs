@@ -1,0 +1,102 @@
+//! Structural signatures: on workload families whose right answer is
+//! known by construction, the mapper must produce the matching mapping
+//! *shape* — the end-to-end sanity check that the cost model and the
+//! optimiser pull in the same direction.
+
+use pipemap::apps::{synthetic_chain, ChainFlavor};
+use pipemap::core::{cluster_heuristic, GreedyOptions};
+use pipemap::machine::{synthesize_problem, MachineConfig};
+use pipemap::profile::training::fit_problem;
+use pipemap::profile::TrainingConfig;
+
+fn solve(flavor: ChainFlavor, k: usize) -> (pipemap::chain::Problem, pipemap::core::Solution) {
+    let machine = MachineConfig::iwarp_message();
+    let truth = synthesize_problem(&synthetic_chain(flavor, k), &machine);
+    let fitted = fit_problem(&truth, &TrainingConfig::for_procs(truth.total_procs));
+    let sol = cluster_heuristic(&fitted, GreedyOptions::adaptive()).expect("mappable");
+    (fitted, sol)
+}
+
+#[test]
+fn comm_bound_chains_fuse() {
+    // All-to-all edges of 2 MB dwarf the computation: the mapper should
+    // collapse the chain into very few modules.
+    let (_, sol) = solve(ChainFlavor::CommBound, 6);
+    assert!(
+        sol.mapping.num_modules() <= 2,
+        "expected aggressive fusion, got {} modules",
+        sol.mapping.num_modules()
+    );
+}
+
+#[test]
+fn memory_bound_chains_replicate_little() {
+    let (problem, sol) = solve(ChainFlavor::MemoryBound, 4);
+    for m in &sol.mapping.modules {
+        assert!(
+            m.replicas <= 3,
+            "memory floors should cap replication, got r={}",
+            m.replicas
+        );
+        let floor = problem.module_floor(m.first, m.last).unwrap();
+        assert!(m.procs >= floor);
+    }
+}
+
+#[test]
+fn alternating_chains_pin_the_stateful_tail() {
+    let (_, sol) = solve(ChainFlavor::Alternating, 6);
+    let tail = sol
+        .mapping
+        .modules
+        .iter()
+        .find(|m| m.contains(5))
+        .expect("tail mapped");
+    assert_eq!(tail.replicas, 1, "stateful tail must not replicate");
+    // And at least one other module is replicated (the heavy stages
+    // can't reach the tail's rate on one instance).
+    assert!(
+        sol.mapping.modules.iter().any(|m| m.replicas > 1),
+        "expected replication of the non-stateful stages: {:?}",
+        sol.mapping
+    );
+}
+
+#[test]
+fn compute_bound_chains_scale_with_k() {
+    // Compute-bound chains should keep most of the machine busy: the
+    // mapping's processors-in-use stay near 64 as the chain grows.
+    for k in [2usize, 4, 8] {
+        let (_, sol) = solve(ChainFlavor::ComputeBound, k);
+        assert!(
+            sol.mapping.total_procs() >= 56,
+            "k={k}: only {} processors used",
+            sol.mapping.total_procs()
+        );
+        assert!(sol.throughput > 0.0);
+    }
+}
+
+#[test]
+fn flavors_have_distinct_structures() {
+    // The four flavors must not all map to the same shape — otherwise
+    // the generator isn't exercising the decision space.
+    let shapes: Vec<(usize, usize)> = [
+        ChainFlavor::ComputeBound,
+        ChainFlavor::CommBound,
+        ChainFlavor::MemoryBound,
+        ChainFlavor::Alternating,
+    ]
+    .into_iter()
+    .map(|f| {
+        let (_, sol) = solve(f, 4);
+        let max_r = sol.mapping.modules.iter().map(|m| m.replicas).max().unwrap();
+        (sol.mapping.num_modules(), max_r)
+    })
+    .collect();
+    let distinct: std::collections::HashSet<_> = shapes.iter().collect();
+    assert!(
+        distinct.len() >= 3,
+        "flavors collapsed to too few shapes: {shapes:?}"
+    );
+}

@@ -1,0 +1,182 @@
+//! Oracle tests: on every instance small enough to enumerate, the DP
+//! solvers must match brute force exactly, and the solvers' reported
+//! throughput must match the independent evaluator. Property-based via
+//! proptest.
+
+use pipemap::chain::{validate, ChainBuilder, Edge, Problem, Task};
+use pipemap::core::{
+    brute_force_assignment, brute_force_mapping, dp_assignment, dp_mapping, SolveError,
+};
+use pipemap::model::{MemoryReq, PolyEcom, PolyUnary};
+use proptest::prelude::*;
+
+/// Strategy: a random chain of `k` tasks with polynomial costs, optional
+/// memory requirements and replicability flags.
+fn arb_problem(max_k: usize, max_p: usize) -> impl Strategy<Value = Problem> {
+    let task = (
+        0.0..1.0f64,
+        0.2..8.0f64,
+        0.0..0.2f64,
+        0.0..30.0f64,
+        any::<bool>(),
+    );
+    let edge = (0.0..0.5f64, 0.0..1.5f64, 0.0..1.5f64, 0.0..0.1f64);
+    (
+        prop::collection::vec(task, 1..=max_k),
+        prop::collection::vec(edge, max_k.saturating_sub(1)),
+        2..=max_p,
+    )
+        .prop_map(|(tasks, edges, p)| {
+            let k = tasks.len();
+            let mut builder = ChainBuilder::new();
+            for (i, (c1, c2, c3, mem, replicable)) in tasks.into_iter().enumerate() {
+                let mut t = Task::new(format!("t{i}"), PolyUnary::new(c1, c2, c3))
+                    .with_memory(MemoryReq::new(0.0, mem));
+                if !replicable {
+                    t = t.not_replicable();
+                }
+                builder = builder.task(t);
+                if i + 1 < k {
+                    let (e1, e2, e3, e4) = edges[i];
+                    builder = builder.edge(Edge::new(
+                        PolyUnary::new(e1 * 0.5, e1, 0.0),
+                        PolyEcom::new(e1, e2, e3, e4, e4),
+                    ));
+                }
+            }
+            Problem::new(builder.build(), p, 10.0)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dp_assignment_matches_brute_force(problem in arb_problem(3, 8)) {
+        let brute = brute_force_assignment(&problem);
+        let dp = dp_assignment(&problem);
+        match (brute, dp) {
+            (Ok((b, _)), Ok((d, _))) => {
+                prop_assert!(
+                    (b.throughput - d.throughput).abs() <= 1e-9 * b.throughput.max(1.0),
+                    "brute {} vs dp {}", b.throughput, d.throughput
+                );
+                validate(&problem, &d.mapping).expect("dp mapping valid");
+            }
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (b, d) => prop_assert!(false, "disagree: {b:?} vs {d:?}"),
+        }
+    }
+
+    #[test]
+    fn dp_mapping_matches_brute_force(problem in arb_problem(4, 7)) {
+        let brute = brute_force_mapping(&problem);
+        let dp = dp_mapping(&problem);
+        match (brute, dp) {
+            (Ok(b), Ok(d)) => {
+                prop_assert!(
+                    (b.throughput - d.throughput).abs() <= 1e-9 * b.throughput.max(1.0),
+                    "brute {} ({:?}) vs dp {} ({:?})",
+                    b.throughput, b.mapping, d.throughput, d.mapping
+                );
+                validate(&problem, &d.mapping).expect("dp mapping valid");
+            }
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (b, d) => prop_assert!(false, "disagree: {b:?} vs {d:?}"),
+        }
+    }
+
+    #[test]
+    fn dp_mapping_never_worse_than_fixed_singleton_assignment(problem in arb_problem(3, 8)) {
+        // Clustering and replication are extra freedom: the full mapper
+        // must dominate the assignment-only mapper.
+        if let (Ok(full), Ok((assign, _))) = (dp_mapping(&problem), dp_assignment(&problem)) {
+            prop_assert!(
+                full.throughput >= assign.throughput - 1e-9 * assign.throughput.max(1.0),
+                "full {} < assignment {}", full.throughput, assign.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn reported_throughput_matches_evaluator(problem in arb_problem(4, 7)) {
+        if let Ok(sol) = dp_mapping(&problem) {
+            let independent = pipemap::chain::throughput(&problem.chain, &sol.mapping);
+            prop_assert!(
+                (sol.throughput - independent).abs() <= 1e-12 * independent.abs().max(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn free_replication_dp_dominates_policy_dp(problem in arb_problem(3, 8)) {
+        match (dp_mapping(&problem), pipemap::core::dp_mapping_free(&problem)) {
+            (Ok(policy), Ok(free)) => {
+                validate(&problem, &free.mapping).expect("free mapping valid");
+                let ok = if policy.throughput.is_infinite() {
+                    free.throughput.is_infinite()
+                } else {
+                    free.throughput >= policy.throughput * (1.0 - 1e-9)
+                };
+                prop_assert!(
+                    ok,
+                    "free {} < policy {}",
+                    free.throughput,
+                    policy.throughput
+                );
+            }
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn free_replication_dp_matches_exhaustive_two_task_oracle(
+        works in prop::collection::vec((0.0..1.0f64, 0.2..5.0f64), 2..=2),
+        ecom_fixed in 0.0..0.8f64,
+        p in 2..=7usize,
+    ) {
+        let chain = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::new(works[0].0, works[0].1, 0.0)))
+            .edge(Edge::new(
+                PolyUnary::new(ecom_fixed * 0.5, 0.0, 0.0),
+                PolyEcom::new(ecom_fixed, 0.5, 0.5, 0.0, 0.0),
+            ))
+            .task(Task::new("b", PolyUnary::new(works[1].0, works[1].1, 0.0)))
+            .build();
+        let problem = Problem::new(chain, p, 1e12);
+        let free = pipemap::core::dp_mapping_free(&problem).unwrap();
+        // Oracle: every clustering × instance size × replication degree.
+        let mut best = 0.0f64;
+        for i1 in 1..=p {
+            for r1 in 1..=(p / i1) {
+                for i2 in 1..=p {
+                    for r2 in 1..=(p / i2) {
+                        if i1 * r1 + i2 * r2 > p {
+                            continue;
+                        }
+                        let m = pipemap::chain::Mapping::new(vec![
+                            pipemap::chain::ModuleAssignment::new(0, 0, r1, i1),
+                            pipemap::chain::ModuleAssignment::new(1, 1, r2, i2),
+                        ]);
+                        best = best.max(pipemap::chain::throughput(&problem.chain, &m));
+                    }
+                }
+            }
+        }
+        for inst in 1..=p {
+            for r in 1..=(p / inst) {
+                let m = pipemap::chain::Mapping::new(vec![
+                    pipemap::chain::ModuleAssignment::new(0, 1, r, inst),
+                ]);
+                best = best.max(pipemap::chain::throughput(&problem.chain, &m));
+            }
+        }
+        prop_assert!(
+            (free.throughput - best).abs() <= 1e-6 * best.max(1e-12),
+            "free {} vs oracle {}",
+            free.throughput,
+            best
+        );
+    }
+}

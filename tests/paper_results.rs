@@ -1,0 +1,213 @@
+//! Shape-fidelity tests against the paper's evaluation (§6): the
+//! structural facts of Tables 1 and 2 must hold on our machine model.
+//! (These use the greedy path so they stay fast in debug builds; the
+//! release-mode `table1`/`table2` binaries additionally run the DP, which
+//! reaches the same mappings — the paper's own "key result".)
+
+use pipemap::apps::{fft_hist, radar, stereo, FftHistConfig, RadarConfig, StereoConfig};
+use pipemap::chain::Mapping;
+use pipemap::core::{cluster_heuristic, GreedyOptions};
+use pipemap::machine::{is_feasible, synthesize_problem, MachineConfig};
+use pipemap::profile::training::fit_problem;
+use pipemap::profile::TrainingConfig;
+use pipemap::sim::{simulate, SimConfig};
+
+fn fitted_fft_hist(n256: bool, machine: &MachineConfig) -> pipemap::chain::Problem {
+    let cfg = if n256 {
+        FftHistConfig::n256()
+    } else {
+        FftHistConfig::n512()
+    };
+    let truth = synthesize_problem(&fft_hist(cfg), machine);
+    fit_problem(&truth, &TrainingConfig::for_procs(truth.total_procs))
+}
+
+#[test]
+fn table1_256_reproduces_paper_clustering_and_replication() {
+    for machine in [
+        MachineConfig::iwarp_message(),
+        MachineConfig::iwarp_systolic(),
+    ] {
+        let problem = fitted_fft_hist(true, &machine);
+        let sol = cluster_heuristic(&problem, GreedyOptions::adaptive()).unwrap();
+        // Paper Table 1: module 1 = {colffts}, module 2 = {rowffts, hist}.
+        assert_eq!(
+            sol.mapping.clustering(),
+            vec![(0, 0), (1, 2)],
+            "clustering mismatch on {:?}",
+            machine.mode
+        );
+        let m1 = &sol.mapping.modules[0];
+        let m2 = &sol.mapping.modules[1];
+        // Paper: (p1, r1) = (3, 8) and (p2, r2) = (4, 10) for message
+        // passing; systolic differed only slightly (3,6)(4,11). Require
+        // instance sizes exactly and heavy replication.
+        assert_eq!(m1.procs, 3, "module 1 instance size");
+        assert_eq!(m2.procs, 4, "module 2 instance size");
+        assert!(
+            (6..=9).contains(&m1.replicas),
+            "module 1 replication {} outside the paper band",
+            m1.replicas
+        );
+        assert!(
+            (9..=11).contains(&m2.replicas),
+            "module 2 replication {} outside the paper band",
+            m2.replicas
+        );
+        // Throughput magnitude near the paper's 14.6–14.7/s.
+        assert!(
+            (11.0..=18.0).contains(&sol.throughput),
+            "throughput {:.2} far from the paper's 14.6",
+            sol.throughput
+        );
+    }
+}
+
+#[test]
+fn table1_512_memory_floors_suppress_replication() {
+    let machine = MachineConfig::iwarp_message();
+    let problem = fitted_fft_hist(false, &machine);
+    let sol = cluster_heuristic(&problem, GreedyOptions::adaptive()).unwrap();
+    // Paper Table 1 512×512: replication drops to r ∈ {1..3} because the
+    // memory floors are ~4× higher.
+    for m in &sol.mapping.modules {
+        assert!(
+            m.replicas <= 3,
+            "512x512 module replicated {} times; paper band is 1..3",
+            m.replicas
+        );
+        assert!(m.procs >= 5, "instances must be wide: {}", m.procs);
+    }
+    // Throughput magnitude near the paper's ~3/s.
+    assert!(
+        (1.8..=4.5).contains(&sol.throughput),
+        "throughput {:.2} far from the paper's 3.14",
+        sol.throughput
+    );
+}
+
+#[test]
+fn table2_predicted_vs_measured_within_paper_band() {
+    // The paper's Table 2 shows |predicted − measured| between 0 and
+    // 12%. Check the 256/message flagship configuration.
+    let machine = MachineConfig::iwarp_message();
+    let truth = synthesize_problem(&fft_hist(FftHistConfig::n256()), &machine);
+    let fitted = fit_problem(&truth, &TrainingConfig::for_procs(64));
+    let sol = cluster_heuristic(&fitted, GreedyOptions::adaptive()).unwrap();
+    let sim = simulate(
+        &truth.chain,
+        &sol.mapping,
+        &SimConfig::with_datasets(400).with_noise(0.04, 99),
+    );
+    let diff = 100.0 * (sim.throughput - sol.throughput).abs() / sol.throughput;
+    assert!(diff <= 12.0, "predicted vs measured differ by {diff:.1}%");
+}
+
+#[test]
+fn table2_optimal_beats_data_parallel_by_paper_factors() {
+    // Paper Table 2: optimal/data-parallel between ~2 and ~9.
+    let configs: Vec<(pipemap::machine::AppWorkload, MachineConfig)> = vec![
+        (
+            fft_hist(FftHistConfig::n256()),
+            MachineConfig::iwarp_message(),
+        ),
+        (
+            fft_hist(FftHistConfig::n512()),
+            MachineConfig::iwarp_message(),
+        ),
+        (radar(RadarConfig::paper()), MachineConfig::iwarp_systolic()),
+        (stereo(StereoConfig::paper()), MachineConfig::iwarp_systolic()),
+    ];
+    for (app, machine) in configs {
+        let truth = synthesize_problem(&app, &machine);
+        let fitted = fit_problem(&truth, &TrainingConfig::for_procs(truth.total_procs));
+        let sol = cluster_heuristic(&fitted, GreedyOptions::adaptive()).unwrap();
+        let optimal = simulate(&truth.chain, &sol.mapping, &SimConfig::with_datasets(300));
+        let dp = simulate(
+            &truth.chain,
+            &Mapping::data_parallel(&truth),
+            &SimConfig::with_datasets(300),
+        );
+        let ratio = optimal.throughput / dp.throughput;
+        assert!(
+            (1.5..=12.0).contains(&ratio),
+            "{}: optimal/data-parallel ratio {ratio:.2} outside the paper's band",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn feasibility_differences_mirror_the_paper() {
+    // The paper's 512/systolic row is the one where machine constraints
+    // changed the mapping (13-processor instances are impossible — 13 is
+    // prime and exceeds the 8-wide array). Verify the constraint engine
+    // reproduces that exact phenomenon.
+    let machine = MachineConfig::iwarp_systolic();
+    let thirteen = Mapping::new(vec![
+        pipemap::chain::ModuleAssignment::new(0, 0, 2, 12),
+        pipemap::chain::ModuleAssignment::new(1, 2, 3, 13),
+    ]);
+    assert!(!is_feasible(&machine, &thirteen).is_feasible());
+    let twelve = Mapping::new(vec![
+        pipemap::chain::ModuleAssignment::new(0, 0, 2, 12),
+        pipemap::chain::ModuleAssignment::new(1, 2, 3, 12),
+    ]);
+    assert!(is_feasible(&machine, &twelve).is_feasible());
+}
+
+#[test]
+fn radar_tracker_caps_throughput() {
+    let machine = MachineConfig::iwarp_systolic();
+    let truth = synthesize_problem(&radar(RadarConfig::paper()), &machine);
+    let fitted = fit_problem(&truth, &TrainingConfig::for_procs(64));
+    let sol = cluster_heuristic(&fitted, GreedyOptions::adaptive()).unwrap();
+    // The stateful tracker must be a single instance.
+    let track_module = sol
+        .mapping
+        .modules
+        .iter()
+        .find(|m| m.contains(3))
+        .expect("tracker mapped");
+    assert_eq!(track_module.replicas, 1, "tracker cannot replicate");
+    // And the throughput magnitude is in the paper's regime (81/s).
+    assert!(
+        (35.0..=110.0).contains(&sol.throughput),
+        "radar throughput {:.1}",
+        sol.throughput
+    );
+}
+
+#[test]
+fn execution_style_profiling_yields_a_near_optimal_mapping() {
+    // The paper's strict methodology — eight whole-program training
+    // executions — carries more model error than per-function sampling,
+    // and on FFT-Hist the top two clusterings sit within a few percent
+    // of each other, so the chosen *structure* may flip to the runner-up.
+    // What must hold is quality: evaluated on the ground truth, the
+    // mapping chosen from 8 executions loses little against the mapping
+    // chosen from dense profiles. (This mirrors the paper's observation
+    // that "it is certainly possible to develop a more accurate model
+    // that uses a larger number of executions".)
+    let machine = MachineConfig::iwarp_message();
+    let truth = synthesize_problem(&fft_hist(FftHistConfig::n256()), &machine);
+
+    let dense = fit_problem(&truth, &TrainingConfig::for_procs(64));
+    let reference = cluster_heuristic(&dense, GreedyOptions::adaptive()).unwrap();
+
+    let eight = pipemap::profile::fit_problem_from_executions(
+        &truth,
+        None,
+        pipemap::profile::FitOptions::default(),
+    );
+    let sol = cluster_heuristic(&eight, GreedyOptions::adaptive()).unwrap();
+
+    // Compare both mappings under the *ground truth* costs.
+    let truth_thr = |m: &Mapping| pipemap::chain::throughput(&truth.chain, m);
+    let ref_thr = truth_thr(&reference.mapping);
+    let eight_thr = truth_thr(&sol.mapping);
+    assert!(
+        eight_thr >= 0.90 * ref_thr,
+        "8-execution mapping reaches {eight_thr:.2}/s vs dense-profile {ref_thr:.2}/s"
+    );
+}

@@ -1,0 +1,150 @@
+//! The simulator and the analytic throughput model must agree: for any
+//! valid mapping of any chain, a noise-free simulated run converges to
+//! `1 / max_i (f_i / r_i)` (§2.2) at steady state.
+
+use pipemap::chain::{
+    throughput, validate, ChainBuilder, Edge, Mapping, ModuleAssignment, Problem, Task,
+};
+use pipemap::model::{PolyEcom, PolyUnary};
+use pipemap::sim::{simulate, SimConfig};
+use proptest::prelude::*;
+
+/// A random chain and a random *valid* mapping of it.
+fn arb_mapped_chain() -> impl Strategy<Value = (Problem, Mapping)> {
+    (
+        prop::collection::vec((0.1..4.0f64, 0.0..1.0f64), 1..=4),
+        prop::collection::vec((0.0..0.5f64, 0.0..1.0f64), 3),
+        prop::collection::vec((1..=3usize, 1..=4usize), 4),
+        prop::collection::vec(any::<bool>(), 3),
+    )
+        .prop_map(|(tasks, edges, allocs, cuts)| {
+            let k = tasks.len();
+            let mut b = ChainBuilder::new();
+            for (i, (par, fixed)) in tasks.iter().enumerate() {
+                b = b.task(Task::new(
+                    format!("t{i}"),
+                    PolyUnary::new(*fixed, *par, 0.0),
+                ));
+                if i + 1 < k {
+                    let (c, v) = edges[i];
+                    b = b.edge(Edge::new(
+                        PolyUnary::new(c * 0.5, v * 0.5, 0.0),
+                        PolyEcom::new(c, v, v, 0.0, 0.0),
+                    ));
+                }
+            }
+            // Build a clustering from the cut bits, then assign each
+            // module its (replicas, procs) pair.
+            let mut modules = Vec::new();
+            let mut first = 0;
+            let mut mi = 0;
+            #[allow(clippy::needless_range_loop)] // i is also a task index
+            for i in 0..k {
+                let is_cut = i + 1 == k || cuts[i];
+                if is_cut {
+                    let (r, p) = allocs[mi % allocs.len()];
+                    modules.push(ModuleAssignment::new(first, i, r, p));
+                    first = i + 1;
+                    mi += 1;
+                }
+            }
+            let mapping = Mapping::new(modules);
+            let total = mapping.total_procs();
+            (Problem::new(b.build(), total.max(1), 1e12), mapping)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn simulator_converges_to_analytic_throughput((problem, mapping) in arb_mapped_chain()) {
+        validate(&problem, &mapping).expect("constructed mapping is valid");
+        let analytic = throughput(&problem.chain, &mapping);
+        prop_assume!(analytic.is_finite() && analytic > 0.0);
+        // Long window + generous warmup: replication batching causes an
+        // O(r/N) window artifact; 2000 data sets keep it below 1%.
+        let sim = simulate(&problem.chain, &mapping, &SimConfig::with_datasets(2000));
+        let rel = (sim.throughput - analytic).abs() / analytic;
+        prop_assert!(
+            rel < 0.02,
+            "sim {} vs analytic {} (rel {:.4})",
+            sim.throughput,
+            analytic,
+            rel
+        );
+        // The pipeline can never beat the analytic bound by more than the
+        // measurement artifact.
+        prop_assert!(sim.throughput <= analytic * 1.02);
+    }
+
+    #[test]
+    fn event_driven_and_forward_sweep_simulators_agree((problem, mapping) in arb_mapped_chain()) {
+        // Two independent implementations of the execution model — the
+        // closed-form forward sweep and the event-driven engine — must
+        // produce identical schedules on every valid mapping.
+        let cfg = SimConfig::with_datasets(300);
+        let sweep = simulate(&problem.chain, &mapping, &cfg);
+        let des = pipemap::sim::simulate_des(&problem.chain, &mapping, &cfg);
+        let close = |a: f64, b: f64| {
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0) || (a.is_infinite() && b.is_infinite())
+        };
+        prop_assert!(
+            close(sweep.throughput, des.throughput),
+            "throughput: sweep {} vs des {}",
+            sweep.throughput,
+            des.throughput
+        );
+        prop_assert!(
+            close(sweep.latency.mean, des.latency.mean),
+            "latency: sweep {} vs des {}",
+            sweep.latency.mean,
+            des.latency.mean
+        );
+        prop_assert!(close(sweep.makespan, des.makespan));
+    }
+
+    #[test]
+    fn unloaded_open_loop_latency_equals_analytic_latency((problem, mapping) in arb_mapped_chain()) {
+        // Feed the pipeline far below saturation: every data set
+        // traverses an empty pipeline, so its sojourn time is exactly
+        // the analytic unloaded latency of pipemap-core.
+        let analytic_thr = throughput(&problem.chain, &mapping);
+        prop_assume!(analytic_thr.is_finite() && analytic_thr > 0.0);
+        let unloaded = pipemap::core::latency(&problem.chain, &mapping);
+        let slow_period = 10.0 * unloaded.max(1.0 / analytic_thr);
+        let cfg = SimConfig::with_datasets(60).with_arrival_period(slow_period);
+        let sim = simulate(&problem.chain, &mapping, &cfg);
+        prop_assert!(
+            (sim.latency.mean - unloaded).abs() <= 1e-9 * unloaded.max(1.0),
+            "sim latency {} vs analytic {}",
+            sim.latency.mean,
+            unloaded
+        );
+    }
+
+    #[test]
+    fn utilization_is_bounded((problem, mapping) in arb_mapped_chain()) {
+        let analytic = throughput(&problem.chain, &mapping);
+        prop_assume!(analytic.is_finite() && analytic > 0.0);
+        let sim = simulate(&problem.chain, &mapping, &SimConfig::with_datasets(400));
+        for (i, u) in sim.utilization.iter().enumerate() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(u), "module {i} utilization {u}");
+        }
+        // Latency is at least the sum of module response times.
+        let total_response: f64 = (0..mapping.num_modules())
+            .map(|i| pipemap::chain::module_response(&problem.chain, &mapping, i).total())
+            .sum();
+        // Transfers are counted in both neighbouring responses, so the
+        // latency lower bound subtracts one copy of each transfer.
+        let transfers: f64 = (1..mapping.num_modules())
+            .map(|i| pipemap::chain::module_response(&problem.chain, &mapping, i).incoming)
+            .sum();
+        prop_assert!(
+            sim.latency.min >= total_response - transfers - 1e-9,
+            "latency {} below pipeline depth {}",
+            sim.latency.min,
+            total_response - transfers
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Property tests of the paper's theorems and assumptions.
+//!
+//! * **Theorem 1** (§4.1): the modified greedy (grow only the bottleneck)
+//!   is optimal when communication time is monotone non-decreasing in
+//!   both endpoint processor counts.
+//! * **Theorem 2** (§4.1): under convex costs with computation dominating
+//!   communication, the greedy overallocates at most 2 processors per
+//!   task, so a radius-2 backtracking pass recovers the optimum.
+//! * **§3.2 assumption**: without superlinear speedup, maximal
+//!   replication of an isolated module is never worse than any other
+//!   replication of the same processor budget.
+
+use pipemap::chain::{ChainBuilder, Edge, Mapping, ModuleAssignment, Problem, Task};
+use pipemap::core::{dp_assignment, greedy_assignment, GreedyOptions, GreedyVariant};
+use pipemap::model::{
+    is_convex_unary, is_monotone_comm, max_replication, no_superlinear_speedup, PolyEcom,
+    PolyUnary, UnaryCost,
+};
+use proptest::prelude::*;
+
+/// Chains in the Theorem 1 regime: overhead-dominated communication
+/// (monotone in both processor counts), convex execution.
+fn arb_theorem1_problem() -> impl Strategy<Value = Problem> {
+    let task = (0.0..0.5f64, 1.0..10.0f64);
+    let edge = (0.01..0.3f64, 0.001..0.05f64);
+    (
+        prop::collection::vec(task, 2..=4),
+        prop::collection::vec(edge, 3),
+        4..=12usize,
+    )
+        .prop_map(|(tasks, edges, p)| {
+            let k = tasks.len();
+            let mut b = ChainBuilder::new();
+            for (i, (c1, c2)) in tasks.into_iter().enumerate() {
+                // No C3 term: execution decreasing and convex.
+                b = b.task(Task::new(format!("t{i}"), PolyUnary::new(c1, c2, 0.0)));
+                if i + 1 < k {
+                    let (fixed, per_proc) = edges[i];
+                    // Communication grows with both group sizes.
+                    b = b.edge(Edge::new(
+                        PolyUnary::new(fixed, 0.0, per_proc),
+                        PolyEcom::new(fixed, 0.0, 0.0, per_proc, per_proc),
+                    ));
+                }
+            }
+            Problem::new(b.build(), p, 1e12).without_replication()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn theorem1_modified_greedy_is_optimal(problem in arb_theorem1_problem()) {
+        // Verify the hypothesis actually holds for the generated chain.
+        for e in 0..problem.chain.len() - 1 {
+            prop_assert!(is_monotone_comm(&problem.chain.edge(e).ecom, problem.total_procs));
+        }
+        let opts = GreedyOptions {
+            variant: GreedyVariant::BottleneckOnly,
+            backtrack_radius: 0,
+            adaptive_radius: false,
+        };
+        let (greedy, _) = greedy_assignment(&problem, opts).unwrap();
+        let (optimal, _) = dp_assignment(&problem).unwrap();
+        prop_assert!(
+            (greedy.throughput - optimal.throughput).abs()
+                <= 1e-9 * optimal.throughput.max(1.0),
+            "greedy {} vs optimal {}",
+            greedy.throughput,
+            optimal.throughput
+        );
+    }
+
+    #[test]
+    fn theorem2_radius2_backtracking_recovers_optimum(
+        seeds in prop::collection::vec((0.0..0.3f64, 2.0..10.0f64), 2..=3),
+        comm in 0.001..0.01f64,
+        p in 4..=12usize,
+    ) {
+        // Convex execution, communication two orders below computation
+        // (the δ > 4 δc condition comfortably satisfied).
+        let k = seeds.len();
+        let mut b = ChainBuilder::new();
+        for (i, (c1, c2)) in seeds.iter().enumerate() {
+            b = b.task(Task::new(format!("t{i}"), PolyUnary::new(*c1, *c2, 0.0)));
+            if i + 1 < k {
+                b = b.edge(Edge::new(
+                    PolyUnary::new(comm, 0.0, 0.0),
+                    PolyEcom::new(comm, comm, comm, 0.0, 0.0),
+                ));
+            }
+        }
+        let problem = Problem::new(b.build(), p, 1e12).without_replication();
+        for i in 0..k {
+            prop_assert!(is_convex_unary(&problem.chain.task(i).exec, p));
+        }
+        let (greedy, _) =
+            greedy_assignment(&problem, GreedyOptions::with_backtracking()).unwrap();
+        let (optimal, _) = dp_assignment(&problem).unwrap();
+        prop_assert!(
+            (greedy.throughput - optimal.throughput).abs()
+                <= 1e-9 * optimal.throughput.max(1.0),
+            "greedy+bt {} vs optimal {}",
+            greedy.throughput,
+            optimal.throughput
+        );
+    }
+
+    #[test]
+    fn maximal_replication_dominates_for_isolated_modules(
+        c1 in 0.0..2.0f64,
+        c2 in 0.0..8.0f64,
+        c3 in 0.0..0.1f64,
+        p in 1..=24usize,
+        floor in 1..=4usize,
+    ) {
+        // A single-task chain (no neighbours, so the §3.2 argument's
+        // assumptions hold exactly), with the processor budget a multiple
+        // of the floor. Under those conditions the claim is provable:
+        // telescoping `f(m+1) ≥ f(m)·m/(m+1)` gives
+        // `f(inst) ≥ f(floor)·floor/inst`, so any `(r, inst)` with
+        // `r·inst ≤ p` has effective time
+        // `f(inst)/r ≥ f(floor)·floor/(r·inst) ≥ f(floor)·floor/p`,
+        // which is exactly the maximal-replication member's time.
+        //
+        // When the floor does NOT divide the budget the claim fails —
+        // found by this very test: with floor 3 and 10 processors the
+        // rule yields 3×3 (one processor idle) and loses to 1×10 on a
+        // perfectly parallel task. Recorded in EXPERIMENTS.md; the
+        // free-replication feasible search recovers such cases.
+        let p = p - p % floor.max(1); // make the budget divisible
+        prop_assume!(p >= floor.max(1));
+        let exec = UnaryCost::Poly(PolyUnary::new(c1, c2, c3));
+        prop_assume!(no_superlinear_speedup(&exec, p));
+        let chain = ChainBuilder::new()
+            .task(Task::new("t", exec).with_min_procs(floor))
+            .build();
+        let problem = Problem::new(chain, p, 1e12);
+        let Some(maximal) = max_replication(p, floor, true) else {
+            return Ok(()); // below floor: nothing to compare
+        };
+        let policy = Mapping::new(vec![ModuleAssignment::new(
+            0, 0, maximal.instances, maximal.procs_per_instance,
+        )]);
+        let policy_thr = pipemap::chain::throughput(&problem.chain, &policy);
+        for r in 1..=p {
+            for procs in floor..=p {
+                if r * procs > p {
+                    continue;
+                }
+                let m = Mapping::new(vec![ModuleAssignment::new(0, 0, r, procs)]);
+                let thr = pipemap::chain::throughput(&problem.chain, &m);
+                // Infinite throughput (zero-cost task) ties with itself.
+                let ok = if thr.is_infinite() {
+                    policy_thr.is_infinite()
+                } else {
+                    policy_thr >= thr - 1e-9 * thr.max(1.0)
+                };
+                prop_assert!(
+                    ok,
+                    "best policy member ({policy_thr}) beaten by ({r}, {procs}) = {thr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_never_reports_invalid_mappings(
+        works in prop::collection::vec(0.5..8.0f64, 1..=5),
+        p in 2..=16usize,
+    ) {
+        let k = works.len();
+        let mut b = ChainBuilder::new();
+        for (i, w) in works.iter().enumerate() {
+            b = b.task(Task::new(format!("t{i}"), PolyUnary::perfectly_parallel(*w)));
+            if i + 1 < k {
+                b = b.edge(Edge::new(
+                    PolyUnary::zero(),
+                    PolyEcom::new(0.05, 0.1, 0.1, 0.0, 0.0),
+                ));
+            }
+        }
+        let problem = Problem::new(b.build(), p, 1e12);
+        prop_assume!(k <= p); // below k processors the problem is infeasible
+        let (sol, assignment) = greedy_assignment(&problem, GreedyOptions::adaptive()).unwrap();
+        pipemap::chain::validate(&problem, &sol.mapping).expect("valid");
+        prop_assert!(assignment.total() <= p);
+    }
+}
