@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the tier-1 build+test gate.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build + tests =="
+cargo build --release
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "CI OK"

@@ -111,10 +111,7 @@ pub fn radar(config: RadarConfig) -> AppWorkload {
     };
 
     AppWorkload::new(
-        format!(
-            "Radar {}x{}x4",
-            config.samples, config.channels
-        ),
+        format!("Radar {}x{}x4", config.samples, config.channels),
         vec![ffts, beamform, iffts, track],
         vec![
             EdgeWorkload::aligned(dwell),
@@ -139,7 +136,10 @@ mod tests {
     #[test]
     fn memory_floors_are_small() {
         // The dwell is tiny (40 KB): every task fits on one processor.
-        let p = synthesize_problem(&radar(RadarConfig::paper()), &MachineConfig::iwarp_systolic());
+        let p = synthesize_problem(
+            &radar(RadarConfig::paper()),
+            &MachineConfig::iwarp_systolic(),
+        );
         for i in 0..4 {
             assert_eq!(p.task_floor(i), Some(1), "task {i}");
         }

@@ -175,8 +175,7 @@ mod tests {
             ChainFlavor::Alternating,
         ] {
             let problem = synthesize_problem(&synthetic_chain(flavor, 4), &machine);
-            let sol =
-                pipemap_core_greedy(&problem).unwrap_or_else(|e| panic!("{flavor:?}: {e}"));
+            let sol = pipemap_core_greedy(&problem).unwrap_or_else(|e| panic!("{flavor:?}: {e}"));
             assert!(sol > 0.0, "{flavor:?} throughput");
         }
 

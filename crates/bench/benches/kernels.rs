@@ -34,12 +34,18 @@ fn bench_fft(c: &mut Criterion) {
 }
 
 fn bench_histogram(c: &mut Criterion) {
-    let m = Matrix::from_fn(256, |r, col| Complex::new((r % 16) as f64, (col % 9) as f64));
+    let m = Matrix::from_fn(256, |r, col| {
+        Complex::new((r % 16) as f64, (col % 9) as f64)
+    });
     let mut g = c.benchmark_group("histogram");
     for threads in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("256x256/threads", threads), &threads, |b, &t| {
-            b.iter(|| histogram(&m, 64, 512.0, t));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("256x256/threads", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| histogram(&m, 64, 512.0, t));
+            },
+        );
     }
     g.finish();
 }

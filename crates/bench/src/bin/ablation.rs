@@ -14,9 +14,7 @@ use std::time::Instant;
 
 use pipemap_apps::{radar, RadarConfig};
 use pipemap_chain::{throughput, ChainBuilder, Edge, Problem, Task};
-use pipemap_core::{
-    brute_force_mapping, cluster_heuristic, dp_mapping, GreedyOptions, SolveError,
-};
+use pipemap_core::{brute_force_mapping, cluster_heuristic, dp_mapping, GreedyOptions, SolveError};
 use pipemap_machine::{feasible_optimal, synthesize_problem, FeasibleSearch, MachineConfig};
 use pipemap_model::{PolyEcom, PolyUnary, UnaryCost};
 use rand::rngs::StdRng;
@@ -61,7 +59,12 @@ fn ablation_a1() {
         "k", "P", "brute", "dp", "greedy", "dp time", "greedy t", "gap%"
     );
     let mut rng = StdRng::seed_from_u64(2024);
-    for (k, p, trials) in [(3usize, 8usize, 10usize), (4, 10, 10), (5, 24, 5), (4, 64, 5)] {
+    for (k, p, trials) in [
+        (3usize, 8usize, 10usize),
+        (4, 10, 10),
+        (5, 24, 5),
+        (4, 64, 5),
+    ] {
         let mut dp_total = 0.0;
         let mut greedy_total = 0.0;
         let mut worst_gap: f64 = 0.0;
@@ -184,11 +187,7 @@ fn ablation_a3() {
         fmt(&free_dp.mapping)
     );
     if let Some((m, thr)) = free_search {
-        println!(
-            "  free search (same clust): {:.2}/s  {:?}",
-            thr,
-            fmt(&m)
-        );
+        println!("  free search (same clust): {:.2}/s  {:?}", thr, fmt(&m));
     }
     assert!(free_dp.throughput >= policy.throughput - 1e-9);
     println!("\n  The §3.2 rule replicates maximally subject to memory floors, which");

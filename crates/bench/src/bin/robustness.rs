@@ -22,10 +22,19 @@ fn main() {
         "app", "error", "mean regret", "max regret", "reclust", "dp benefit"
     );
     let configs: Vec<(pipemap_machine::AppWorkload, MachineConfig)> = vec![
-        (fft_hist(FftHistConfig::n256()), MachineConfig::iwarp_message()),
-        (fft_hist(FftHistConfig::n512()), MachineConfig::iwarp_message()),
+        (
+            fft_hist(FftHistConfig::n256()),
+            MachineConfig::iwarp_message(),
+        ),
+        (
+            fft_hist(FftHistConfig::n512()),
+            MachineConfig::iwarp_message(),
+        ),
         (radar(RadarConfig::paper()), MachineConfig::iwarp_systolic()),
-        (stereo(StereoConfig::paper()), MachineConfig::iwarp_systolic()),
+        (
+            stereo(StereoConfig::paper()),
+            MachineConfig::iwarp_systolic(),
+        ),
     ];
     for (app, machine) in configs {
         let truth = synthesize_problem(&app, &machine);

@@ -63,8 +63,7 @@ fn main() {
         measurement_runs: 5,
         ..MapperOptions::default()
     };
-    for ((app, machine, size, comm), (p_pred, p_meas, p_dp, p_ratio)) in
-        rows.into_iter().zip(paper)
+    for ((app, machine, size, comm), (p_pred, p_meas, p_dp, p_ratio)) in rows.into_iter().zip(paper)
     {
         let report = auto_map(&app, &machine, &options).expect("mappable");
         println!(

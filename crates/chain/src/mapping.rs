@@ -174,8 +174,7 @@ mod tests {
 
     fn problem() -> Problem {
         let t = |n: &str| {
-            Task::new(n, PolyUnary::perfectly_parallel(1.0))
-                .with_memory(MemoryReq::new(0.0, 300.0))
+            Task::new(n, PolyUnary::perfectly_parallel(1.0)).with_memory(MemoryReq::new(0.0, 300.0))
         };
         let c = ChainBuilder::new()
             .task(t("a"))

@@ -69,9 +69,7 @@ impl Problem {
 
     /// Memory requirement of the module holding tasks `first..=last`.
     pub fn module_memory(&self, first: usize, last: usize) -> MemoryReq {
-        let members: Vec<MemoryReq> = (first..=last)
-            .map(|i| self.chain.task(i).memory)
-            .collect();
+        let members: Vec<MemoryReq> = (first..=last).map(|i| self.chain.task(i).memory).collect();
         module_memory(&members)
     }
 
@@ -130,8 +128,7 @@ mod tests {
 
     fn chain3(mem: f64) -> TaskChain {
         let t = |n: &str| {
-            Task::new(n, PolyUnary::perfectly_parallel(1.0))
-                .with_memory(MemoryReq::new(0.0, mem))
+            Task::new(n, PolyUnary::perfectly_parallel(1.0)).with_memory(MemoryReq::new(0.0, mem))
         };
         ChainBuilder::new()
             .task(t("a"))

@@ -206,7 +206,8 @@ impl CostTable {
     /// Instance size for task `i` offered `p` processors under the policy
     /// (the §3.2 "effective number of processors"), or `None` below floor.
     pub fn task_instance_procs(&self, i: usize, p: Procs) -> Option<Procs> {
-        self.module_replication(i, i, p).map(|r| r.procs_per_instance)
+        self.module_replication(i, i, p)
+            .map(|r| r.procs_per_instance)
     }
 }
 
@@ -255,7 +256,10 @@ mod tests {
                 assert!((t.icom(e, p) - direct).abs() < 1e-12, "icom {e} @ {p}");
                 for q in 1..=16 {
                     let direct = prob.chain.edge(e).ecom.eval(p, q);
-                    assert!((t.ecom(e, p, q) - direct).abs() < 1e-12, "ecom {e} @ {p},{q}");
+                    assert!(
+                        (t.ecom(e, p, q) - direct).abs() < 1e-12,
+                        "ecom {e} @ {p},{q}"
+                    );
                 }
             }
         }
@@ -315,9 +319,7 @@ mod tests {
     #[test]
     fn effective_response_below_floor_is_infinite() {
         let t = CostTable::build(&problem());
-        assert!(t
-            .task_effective_response(0, 2, None, Some(1))
-            .is_infinite());
+        assert!(t.task_effective_response(0, 2, None, Some(1)).is_infinite());
     }
 
     #[test]

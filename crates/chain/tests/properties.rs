@@ -12,13 +12,16 @@ use proptest::prelude::*;
 fn arb_problem() -> impl Strategy<Value = Problem> {
     (
         prop::collection::vec(
-            (0.0..2.0f64, 0.0..8.0f64, 0.0..0.2f64, 0.0..40.0f64, any::<bool>()),
+            (
+                0.0..2.0f64,
+                0.0..8.0f64,
+                0.0..0.2f64,
+                0.0..40.0f64,
+                any::<bool>(),
+            ),
             1..6,
         ),
-        prop::collection::vec(
-            (0.0..0.5f64, 0.0..2.0f64, 0.0..2.0f64, 0.0..0.1f64),
-            5,
-        ),
+        prop::collection::vec((0.0..0.5f64, 0.0..2.0f64, 0.0..2.0f64, 0.0..0.1f64), 5),
         2..20usize,
     )
         .prop_map(|(tasks, edges, p)| {

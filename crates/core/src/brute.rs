@@ -246,8 +246,7 @@ mod tests {
             let bf_map = brute_force_mapping(&problem).unwrap();
             let dp_map = dp_mapping(&problem).unwrap();
             assert!(
-                (bf_map.throughput - dp_map.throughput).abs()
-                    <= 1e-9 * bf_map.throughput.max(1.0),
+                (bf_map.throughput - dp_map.throughput).abs() <= 1e-9 * bf_map.throughput.max(1.0),
                 "trial {trial}: mapping brute {} vs dp {}",
                 bf_map.throughput,
                 dp_map.throughput

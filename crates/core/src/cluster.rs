@@ -103,8 +103,8 @@ pub fn contract_chain(problem: &Problem, clustering: &[(usize, usize)]) -> Contr
                 (Some(a), Some(b)) => Some(a.max(b)),
             };
         }
-        let mut task = Task::new(names.join("+"), composed.exec().clone())
-            .with_memory(composed.memory());
+        let mut task =
+            Task::new(names.join("+"), composed.exec().clone()).with_memory(composed.memory());
         if !composed.replicable() {
             task = task.not_replicable();
         }

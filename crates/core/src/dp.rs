@@ -132,6 +132,15 @@ fn task_throughput(table: &CostTable, j: usize, q: usize, pl: usize, pn: usize) 
 }
 
 fn run_dp(problem: &Problem, table: &CostTable, keep_stages: bool) -> Result<DpTrace, SolveError> {
+    let rec = pipemap_obs::global();
+    let _wall = rec.timer("solver.dp_assignment.wall_s");
+    let _span = pipemap_obs::span!("dp_assignment", "solver");
+    // Hot-loop counters accumulate locally and publish once at the end,
+    // so instrumentation adds no atomics to the recurrence itself.
+    let mut n_cells: u64 = 0;
+    let mut n_lookups: u64 = 0;
+    let mut n_pruned: u64 = 0;
+
     let k = problem.num_tasks();
     let p = problem.total_procs;
     let dims = Dims { p };
@@ -164,6 +173,7 @@ fn run_dp(problem: &Problem, table: &CostTable, keep_stages: bool) -> Result<DpT
         for pt in floors[j]..=p {
             for pl in floors[j]..=pt {
                 for &pn in &pns {
+                    n_cells += 1;
                     let v = if j == 0 {
                         task_throughput(table, 0, 0, pl, pn)
                     } else {
@@ -172,8 +182,10 @@ fn run_dp(problem: &Problem, table: &CostTable, keep_stages: bool) -> Result<DpT
                         let mut best = f64::NEG_INFINITY;
                         let mut best_q = 0u32;
                         for q in floors[j - 1]..=budget {
+                            n_lookups += 1;
                             let sub = prev_value[dims.idx(budget, q, pl)];
                             if sub <= best {
+                                n_pruned += 1;
                                 continue; // min(sub, _) ≤ sub ≤ best
                             }
                             let own = task_throughput(table, j, q, pl, pn);
@@ -200,6 +212,10 @@ fn run_dp(problem: &Problem, table: &CostTable, keep_stages: bool) -> Result<DpT
         }
         prev_value = value;
     }
+
+    rec.add("solver.dp_assignment.cells", n_cells);
+    rec.add("solver.dp_assignment.lookups", n_lookups);
+    rec.add("solver.dp_assignment.pruned", n_pruned);
 
     // Answer: best over pl of V_{k-1}(P, pl, φ); ties prefer fewer procs.
     let mut best = f64::NEG_INFINITY;
@@ -250,8 +266,7 @@ pub fn dp_assignment(problem: &Problem) -> Result<(Solution, Assignment), SolveE
         .expect("DP respects per-task floors");
     let solution = Solution::from_mapping(problem, mapping);
     debug_assert!(
-        (solution.throughput - trace.throughput).abs()
-            <= 1e-9 * trace.throughput.abs().max(1.0),
+        (solution.throughput - trace.throughput).abs() <= 1e-9 * trace.throughput.abs().max(1.0),
         "DP internal value {} disagrees with evaluator {}",
         trace.throughput,
         solution.throughput
@@ -272,10 +287,8 @@ mod tests {
     use pipemap_model::{MemoryReq, PolyEcom, PolyUnary};
 
     fn simple_chain(work: &[f64]) -> pipemap_chain::TaskChain {
-        let mut b = ChainBuilder::new().task(Task::new(
-            "t0",
-            PolyUnary::perfectly_parallel(work[0]),
-        ));
+        let mut b =
+            ChainBuilder::new().task(Task::new("t0", PolyUnary::perfectly_parallel(work[0])));
         for (i, &w) in work.iter().enumerate().skip(1) {
             b = b
                 .edge(Edge::free())

@@ -86,6 +86,14 @@ impl StageDims {
 /// cost model; machine-geometry feasibility is handled separately by
 /// `pipemap-machine`.
 pub fn dp_mapping(problem: &Problem) -> Result<Solution, SolveError> {
+    let rec = pipemap_obs::global();
+    let _wall = rec.timer("solver.dp_mapping.wall_s");
+    let _span = pipemap_obs::span!("dp_mapping", "solver");
+    // Local accumulators, published once — no atomics in the recurrence.
+    let mut n_cells: u64 = 0;
+    let mut n_lookups: u64 = 0;
+    let mut n_pruned: u64 = 0;
+
     let table = CostTable::build(problem);
     let k = problem.num_tasks();
     let p = problem.total_procs;
@@ -156,6 +164,7 @@ pub fn dp_mapping(problem: &Problem) -> Result<Solution, SolveError> {
 
                     if first == 0 {
                         // Base case: M is the leftmost module; slack allowed.
+                        n_cells += (p + 1 - pl) as u64;
                         let thr = if base_f <= 0.0 {
                             f64::INFINITY
                         } else {
@@ -166,6 +175,7 @@ pub fn dp_mapping(problem: &Problem) -> Result<Solution, SolveError> {
                         }
                     } else {
                         for pt in pl..=p {
+                            n_cells += 1;
                             let budget = pt - pl;
                             let mut best = f64::NEG_INFINITY;
                             let mut best_parent = Parent::default();
@@ -173,11 +183,13 @@ pub fn dp_mapping(problem: &Problem) -> Result<Solution, SolveError> {
                                 if q > budget {
                                     continue;
                                 }
+                                n_lookups += 1;
                                 let sub_stage = stages[stage_key(first - 1, prev_len)]
                                     .as_ref()
                                     .expect("in_cost only lists existing stages");
                                 let sub = sub_stage.value[dims.idx(q, inst, budget)];
                                 if sub <= best {
+                                    n_pruned += 1;
                                     continue; // min(sub, _) cannot beat best
                                 }
                                 let f = cin + base_f;
@@ -201,6 +213,10 @@ pub fn dp_mapping(problem: &Problem) -> Result<Solution, SolveError> {
             stages[stage_key(j, l)] = Some(Stage { value, parent });
         }
     }
+
+    rec.add("solver.dp_mapping.cells", n_cells);
+    rec.add("solver.dp_mapping.lookups", n_lookups);
+    rec.add("solver.dp_mapping.pruned", n_pruned);
 
     // Answer: best over the last module's (L, pl) at ne = 0, pt = P.
     let mut best = f64::NEG_INFINITY;
@@ -301,10 +317,7 @@ mod tests {
         // Add a tiny icom so clustering is strictly worse.
         let c = ChainBuilder::new()
             .task(Task::new("a", PolyUnary::perfectly_parallel(8.0)))
-            .edge(Edge::new(
-                PolyUnary::new(0.5, 0.0, 0.0),
-                PolyEcom::zero(),
-            ))
+            .edge(Edge::new(PolyUnary::new(0.5, 0.0, 0.0), PolyEcom::zero()))
             .task(Task::new("b", PolyUnary::perfectly_parallel(8.0)))
             .build();
         let p = Problem::new(c, 8, 1e9).without_replication();

@@ -115,7 +115,11 @@ fn min_procs_for_throughput(
                     }
                 }
                 for &ne in &ne_values {
-                    let out = if ne == 0 { 0.0 } else { table.ecom(j, inst, ne) };
+                    let out = if ne == 0 {
+                        0.0
+                    } else {
+                        table.ecom(j, inst, ne)
+                    };
                     if first == 0 {
                         if let Some(r) = required_r(exec + out, replicable, inst) {
                             let spend = inst * r;
@@ -130,13 +134,11 @@ fn min_procs_for_throughput(
                         let mut best = UNREACHABLE;
                         let mut best_par = (0u16, 0u16);
                         for &(prev_len, prev_inst, cin) in &prev_opts {
-                            let Some(r) = required_r(cin + exec + out, replicable, inst)
-                            else {
+                            let Some(r) = required_r(cin + exec + out, replicable, inst) else {
                                 continue;
                             };
                             let spend = inst * r;
-                            let Some(sub_v) = value[stage_key(first - 1, prev_len)].as_ref()
-                            else {
+                            let Some(sub_v) = value[stage_key(first - 1, prev_len)].as_ref() else {
                                 continue;
                             };
                             let sub = sub_v[idx(prev_inst, inst)];
@@ -190,12 +192,15 @@ fn min_procs_for_throughput(
         let first = j + 1 - l;
         let replicable = table.module_replicable(first, j);
         let exec = table.module_exec(first, j, inst);
-        let out = if ne == 0 { 0.0 } else { table.ecom(j, inst, ne) };
+        let out = if ne == 0 {
+            0.0
+        } else {
+            table.ecom(j, inst, ne)
+        };
         let (prev_len, prev_inst) = if first == 0 {
             (0usize, 0usize)
         } else {
-            let par =
-                parent[stage_key(j, l)].as_ref().expect("visited stage")[idx(inst, ne)];
+            let par = parent[stage_key(j, l)].as_ref().expect("visited stage")[idx(inst, ne)];
             (par.0 as usize, par.1 as usize)
         };
         let cin = if first == 0 {
@@ -280,10 +285,7 @@ mod tests {
         // is stuck at 3×3 (1.13/s); free replication reaches 1×10
         // (1.26/s). (EXPERIMENTS.md finding #4.)
         let chain = ChainBuilder::new()
-            .task(
-                Task::new("t", PolyUnary::perfectly_parallel(7.9548))
-                    .with_min_procs(3),
-            )
+            .task(Task::new("t", PolyUnary::perfectly_parallel(7.9548)).with_min_procs(3))
             .build();
         let problem = Problem::new(chain, 10, 1e12);
         let policy = dp_mapping(&problem).unwrap();

@@ -143,6 +143,13 @@ pub fn greedy_assignment(
     problem: &Problem,
     options: GreedyOptions,
 ) -> Result<(Solution, Assignment), SolveError> {
+    let rec = pipemap_obs::global();
+    let _wall = rec.timer("solver.greedy.wall_s");
+    let _span = pipemap_obs::span!("greedy_assignment", "solver");
+    // Local accumulators, published once at the end (cheap hot loop).
+    let mut n_placements: u64 = 0;
+    let mut n_evals: u64 = 0;
+
     let table = CostTable::build(problem);
     let k = problem.num_tasks();
     let p = problem.total_procs;
@@ -178,6 +185,7 @@ pub fn greedy_assignment(
                 continue;
             }
             a[c] += 1;
+            n_evals += 1;
             let thr = assignment_throughput(&table, &a);
             a[c] -= 1;
             // Strict improvement wins; on ties prefer the bottleneck task
@@ -191,6 +199,7 @@ pub fn greedy_assignment(
         }
         a[pick] += 1;
         available -= 1;
+        n_placements += 1;
         if pick_thr > best_thr {
             best_thr = pick_thr;
             best_a = a.clone();
@@ -209,6 +218,8 @@ pub fn greedy_assignment(
     if radius > 0 {
         best_a = refine_assignment(problem, &table, &best_a, radius);
     }
+    rec.add("solver.greedy.placements", n_placements);
+    rec.add("solver.greedy.evals", n_evals);
 
     let assignment = Assignment(best_a);
     let mapping = assignment
@@ -232,7 +243,11 @@ pub fn refine_assignment(
     let k = assignment.len();
     let p = problem.total_procs;
     let floors: Vec<Procs> = (0..k)
-        .map(|i| problem.task_floor(i).expect("assignment exists, so floors do"))
+        .map(|i| {
+            problem
+                .task_floor(i)
+                .expect("assignment exists, so floors do")
+        })
         .collect();
 
     /// One candidate local move: take `take` processors from `from` (if
@@ -260,6 +275,10 @@ pub fn refine_assignment(
             }
         }
     }
+
+    let rec = pipemap_obs::global();
+    let mut n_moves: u64 = 0;
+    let mut n_evals: u64 = 0;
 
     let mut a = assignment.to_vec();
     let mut thr = assignment_throughput(table, &a);
@@ -301,6 +320,7 @@ pub fn refine_assignment(
         let mut best_move: Option<Move> = None;
         let mut best_thr = thr;
         for m in &candidates {
+            n_evals += 1;
             apply(&mut a, m, false);
             let cand = assignment_throughput(table, &a);
             apply(&mut a, m, true);
@@ -313,10 +333,13 @@ pub fn refine_assignment(
             Some(m) => {
                 apply(&mut a, &m, false);
                 thr = best_thr;
+                n_moves += 1;
             }
             None => break,
         }
     }
+    rec.add("solver.greedy.refine_moves", n_moves);
+    rec.add("solver.greedy.refine_evals", n_evals);
     a
 }
 
@@ -328,10 +351,8 @@ mod tests {
     use pipemap_model::{MemoryReq, PolyEcom, PolyUnary};
 
     fn chain(work: &[f64]) -> TaskChain {
-        let mut b = ChainBuilder::new().task(Task::new(
-            "t0",
-            PolyUnary::perfectly_parallel(work[0]),
-        ));
+        let mut b =
+            ChainBuilder::new().task(Task::new("t0", PolyUnary::perfectly_parallel(work[0])));
         for (i, &w) in work.iter().enumerate().skip(1) {
             b = b
                 .edge(Edge::free())

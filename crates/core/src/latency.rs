@@ -99,9 +99,8 @@ pub fn best_latency_mapping(
     // value[(inst-1, ne, pt)] = minimal prefix latency with the last
     // module at instance size `inst`, given the next module's instance
     // size `ne` (0 = none) and at most `pt` processors for the prefix.
-    let idx = |inst: usize, ne: usize, pt: usize| -> usize {
-        ((inst - 1) * (p + 1) + ne) * (p + 1) + pt
-    };
+    let idx =
+        |inst: usize, ne: usize, pt: usize| -> usize { ((inst - 1) * (p + 1) + ne) * (p + 1) + pt };
     let stage_len = p * (p + 1) * (p + 1);
     let stage_key = |j: usize, l: usize| j * k + (l - 1);
     let mut value: Vec<Option<Vec<f64>>> = (0..k * k).map(|_| None).collect();
@@ -144,7 +143,11 @@ pub fn best_latency_mapping(
                     }
                 }
                 for &ne in &ne_values {
-                    let out = if ne == 0 { 0.0 } else { table.ecom(j, inst, ne) };
+                    let out = if ne == 0 {
+                        0.0
+                    } else {
+                        table.ecom(j, inst, ne)
+                    };
                     if first == 0 {
                         let f = exec + out;
                         let Some(r) = required_r(f, replicable, p / inst) else {
@@ -171,8 +174,7 @@ pub fn best_latency_mapping(
                                     continue;
                                 }
                                 let budget = pt - spend;
-                                let Some(sub_v) =
-                                    value[stage_key(first - 1, prev_len)].as_ref()
+                                let Some(sub_v) = value[stage_key(first - 1, prev_len)].as_ref()
                                 else {
                                     continue;
                                 };
@@ -231,12 +233,15 @@ pub fn best_latency_mapping(
         let first = j + 1 - l;
         let replicable = table.module_replicable(first, j);
         let exec = table.module_exec(first, j, inst);
-        let out = if ne == 0 { 0.0 } else { table.ecom(j, inst, ne) };
+        let out = if ne == 0 {
+            0.0
+        } else {
+            table.ecom(j, inst, ne)
+        };
         let (prev_len, prev_inst) = if first == 0 {
             (0usize, 0usize)
         } else {
-            let par = parent[stage_key(j, l)].as_ref().expect("visited stage")
-                [idx(inst, ne, pt)];
+            let par = parent[stage_key(j, l)].as_ref().expect("visited stage")[idx(inst, ne, pt)];
             (par.0 as usize, par.1 as usize)
         };
         let cin = if first == 0 {

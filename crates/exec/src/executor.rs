@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+use pipemap_obs::TraceEvent;
 
 use crate::stage::{Data, Stage};
 
@@ -77,6 +78,26 @@ impl PipelinePlan {
     }
 }
 
+/// Timing breakdown of one module instance's worker thread. The three
+/// accounted intervals tile the thread's lifetime (up to loop
+/// bookkeeping of a few microseconds per data set):
+/// `recv_wait + busy + send_wait ≈ lifetime`.
+#[derive(Clone, Copy, Debug)]
+pub struct InstanceStats {
+    /// Stage index in the plan.
+    pub stage: usize,
+    /// Instance index within the stage.
+    pub instance: usize,
+    /// Seconds blocked waiting for input (upstream too slow).
+    pub recv_wait: f64,
+    /// Seconds inside the stage function (service time).
+    pub busy: f64,
+    /// Seconds blocked pushing output (downstream backpressure).
+    pub send_wait: f64,
+    /// Seconds from worker start to worker exit.
+    pub lifetime: f64,
+}
+
 /// Execution statistics of one pipeline run.
 #[derive(Clone, Debug)]
 pub struct PipelineStats {
@@ -88,6 +109,15 @@ pub struct PipelineStats {
     pub throughput: f64,
     /// Busy seconds per stage (summed over instances).
     pub busy: Vec<f64>,
+    /// Seconds blocked on input per stage (summed over instances).
+    pub recv_wait: Vec<f64>,
+    /// Seconds blocked on output per stage (summed over instances).
+    pub send_wait: Vec<f64>,
+    /// Fraction of stage capacity spent computing:
+    /// `busy / (replicas × elapsed)`, in `[0, 1]`.
+    pub utilization: Vec<f64>,
+    /// Per-instance breakdowns, ordered by (stage, instance).
+    pub instances: Vec<InstanceStats>,
 }
 
 /// Run `inputs` through the pipeline and return the outputs (in input
@@ -97,13 +127,32 @@ pub struct PipelineStats {
 ///
 /// Panics if a stage function panics (the panic is propagated) or the
 /// plan is empty.
-pub fn run_pipeline(
-    plan: &PipelinePlan,
-    inputs: Vec<Data>,
-) -> (Vec<Data>, PipelineStats) {
+pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, PipelineStats) {
     let n_stages = plan.stages.len();
     let n_data = inputs.len();
-    let busy: Vec<Mutex<f64>> = (0..n_stages).map(|_| Mutex::new(0.0)).collect();
+    let instance_stats: Mutex<Vec<InstanceStats>> = Mutex::new(Vec::new());
+
+    // Observability: metrics always flow to the global recorder (no-op
+    // when none is installed); per-activity trace events only when the
+    // installed registry has tracing enabled. Each instance gets its own
+    // trace lane so Perfetto shows one row per worker thread.
+    let rec = pipemap_obs::global();
+    let tracing = rec.tracing();
+    let lanes: Vec<Vec<u64>> = plan
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(si, sp)| {
+            (0..sp.replicas)
+                .map(|ii| match (tracing, pipemap_obs::global_registry()) {
+                    (true, Some(reg)) => {
+                        reg.register_lane(format!("stage{si}.{}.{ii}", sp.stage.name))
+                    }
+                    _ => 0,
+                })
+                .collect()
+        })
+        .collect();
 
     // Channels: input channels for every instance of every stage, plus a
     // sink channel. Messages carry (sequence, data).
@@ -127,18 +176,56 @@ pub fn run_pipeline(
     let outputs: Vec<Option<Data>> = std::thread::scope(|scope| {
         // Instance workers.
         for (si, sp) in plan.stages.iter().enumerate() {
-            for rx_src in receivers[si].iter().take(sp.replicas) {
+            for (ii, rx_src) in receivers[si].iter().take(sp.replicas).enumerate() {
                 let rx = rx_src.clone();
                 let next: Option<Vec<Sender<Msg>>> = senders.get(si + 1).cloned();
                 let sink = sink_s.clone();
                 let stage = sp.stage.clone();
                 let threads = sp.threads;
-                let busy_cell = &busy[si];
+                let stats_out = &instance_stats;
+                let rec = rec.clone();
+                let lane = lanes[si][ii];
                 scope.spawn(move || {
-                    while let Ok((seq, data)) = rx.recv() {
-                        let t0 = Instant::now();
+                    let service_hist =
+                        rec.histogram(&format!("exec.stage{si}.{}.service_s", stage.name));
+                    let born = Instant::now();
+                    let mut recv_wait = 0.0f64;
+                    let mut busy = 0.0f64;
+                    let mut send_wait = 0.0f64;
+                    loop {
+                        let t_recv = Instant::now();
+                        let msg = rx.recv();
+                        let waited = t_recv.elapsed().as_secs_f64();
+                        recv_wait += waited;
+                        let Ok((seq, data)) = msg else { break };
+                        if tracing && waited > 0.0 {
+                            let now = rec.now_us();
+                            rec.event(TraceEvent {
+                                name: "recv".into(),
+                                cat: "recv".into(),
+                                lane,
+                                ts_us: now - waited * 1e6,
+                                dur_us: waited * 1e6,
+                                args: vec![("seq".into(), (seq as u64).into())],
+                            });
+                        }
+                        let t_exec = Instant::now();
                         let out = stage.apply(data, threads);
-                        *busy_cell.lock() += t0.elapsed().as_secs_f64();
+                        let service = t_exec.elapsed().as_secs_f64();
+                        busy += service;
+                        service_hist.record(service);
+                        if tracing {
+                            let now = rec.now_us();
+                            rec.event(TraceEvent {
+                                name: stage.name.clone(),
+                                cat: "exec".into(),
+                                lane,
+                                ts_us: now - service * 1e6,
+                                dur_us: service * 1e6,
+                                args: vec![("seq".into(), (seq as u64).into())],
+                            });
+                        }
+                        let t_send = Instant::now();
                         match &next {
                             Some(next_senders) => {
                                 let target = seq % next_senders.len();
@@ -150,7 +237,28 @@ pub fn run_pipeline(
                                 sink.send((seq, out)).expect("sink hung up");
                             }
                         }
+                        let blocked = t_send.elapsed().as_secs_f64();
+                        send_wait += blocked;
+                        if tracing && blocked > 0.0 {
+                            let now = rec.now_us();
+                            rec.event(TraceEvent {
+                                name: "send".into(),
+                                cat: "send".into(),
+                                lane,
+                                ts_us: now - blocked * 1e6,
+                                dur_us: blocked * 1e6,
+                                args: vec![("seq".into(), (seq as u64).into())],
+                            });
+                        }
                     }
+                    stats_out.lock().push(InstanceStats {
+                        stage: si,
+                        instance: ii,
+                        recv_wait,
+                        busy,
+                        send_wait,
+                        lifetime: born.elapsed().as_secs_f64(),
+                    });
                 });
             }
         }
@@ -180,6 +288,31 @@ pub fn run_pipeline(
     });
     let elapsed = start.elapsed().as_secs_f64();
 
+    let mut instances = instance_stats.into_inner();
+    instances.sort_by_key(|i| (i.stage, i.instance));
+    let per_stage = |f: fn(&InstanceStats) -> f64| -> Vec<f64> {
+        let mut v = vec![0.0; n_stages];
+        for i in &instances {
+            v[i.stage] += f(i);
+        }
+        v
+    };
+    let busy = per_stage(|i| i.busy);
+    let recv_wait = per_stage(|i| i.recv_wait);
+    let send_wait = per_stage(|i| i.send_wait);
+    let utilization: Vec<f64> = plan
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(si, sp)| {
+            if elapsed > 0.0 {
+                busy[si] / (sp.replicas as f64 * elapsed)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
     let stats = PipelineStats {
         datasets: n_data,
         elapsed,
@@ -188,7 +321,11 @@ pub fn run_pipeline(
         } else {
             f64::INFINITY
         },
-        busy: busy.iter().map(|b| *b.lock()).collect(),
+        busy,
+        recv_wait,
+        send_wait,
+        utilization,
+        instances,
     };
     let outputs = outputs
         .into_iter()
@@ -210,10 +347,7 @@ mod tests {
 
     #[test]
     fn identity_pipeline_preserves_order() {
-        let plan = PipelinePlan::new(vec![StagePlan::serial(Stage::new(
-            "id",
-            |x: usize, _| x,
-        ))]);
+        let plan = PipelinePlan::new(vec![StagePlan::serial(Stage::new("id", |x: usize, _| x))]);
         let inputs: Vec<Data> = (0..50usize).map(|i| Box::new(i) as Data).collect();
         let (out, stats) = run_pipeline(&plan, inputs);
         assert_eq!(unwrap_all::<usize>(out), (0..50).collect::<Vec<_>>());
@@ -292,13 +426,77 @@ mod tests {
 
     #[test]
     fn empty_input_is_fine() {
-        let plan = PipelinePlan::new(vec![StagePlan::serial(Stage::new(
-            "id",
-            |x: usize, _| x,
-        ))]);
+        let plan = PipelinePlan::new(vec![StagePlan::serial(Stage::new("id", |x: usize, _| x))]);
         let (out, stats) = run_pipeline(&plan, vec![]);
         assert!(out.is_empty());
         assert_eq!(stats.datasets, 0);
+    }
+
+    #[test]
+    fn instance_accounting_tiles_lifetime() {
+        // Stage 0 is the bottleneck: stage 1 should accumulate recv_wait,
+        // stage 0 send_wait (queue depth 1 gives backpressure).
+        let plan = PipelinePlan::new(vec![
+            StagePlan::serial(Stage::new("slow", |x: usize, _| {
+                std::thread::sleep(Duration::from_millis(3));
+                x
+            })),
+            StagePlan::serial(Stage::new("fast", |x: usize, _| x)),
+        ]);
+        let inputs: Vec<Data> = (0..20usize).map(|i| Box::new(i) as Data).collect();
+        let (_, stats) = run_pipeline(&plan, inputs);
+
+        assert_eq!(stats.instances.len(), 2);
+        for inst in &stats.instances {
+            let accounted = inst.recv_wait + inst.busy + inst.send_wait;
+            assert!(
+                accounted <= inst.lifetime + 1e-6,
+                "stage {} accounted {accounted} > lifetime {}",
+                inst.stage,
+                inst.lifetime
+            );
+            // Loop bookkeeping between the timed sections is microseconds
+            // per data set; allow 20% slack plus a constant for very short
+            // runs.
+            assert!(
+                accounted >= 0.8 * inst.lifetime - 2e-3,
+                "stage {} accounted {accounted} ≪ lifetime {}",
+                inst.stage,
+                inst.lifetime
+            );
+        }
+        for (si, u) in stats.utilization.iter().enumerate() {
+            assert!((0.0..=1.0).contains(u), "stage {si} utilization {u}");
+        }
+        // The stage downstream of the bottleneck starves on input.
+        assert!(
+            stats.recv_wait[1] > stats.recv_wait[0],
+            "downstream recv_wait {:?}",
+            stats.recv_wait
+        );
+        assert!(stats.utilization[0] > stats.utilization[1]);
+    }
+
+    #[test]
+    fn per_stage_sums_match_instances() {
+        let plan = PipelinePlan::new(vec![StagePlan::new(
+            Stage::new("work", |x: usize, _| {
+                std::thread::sleep(Duration::from_millis(1));
+                x
+            }),
+            3,
+            1,
+        )]);
+        let inputs: Vec<Data> = (0..30usize).map(|i| Box::new(i) as Data).collect();
+        let (_, stats) = run_pipeline(&plan, inputs);
+        assert_eq!(stats.instances.len(), 3);
+        let busy_sum: f64 = stats.instances.iter().map(|i| i.busy).sum();
+        assert!((busy_sum - stats.busy[0]).abs() < 1e-9);
+        let recv_sum: f64 = stats.instances.iter().map(|i| i.recv_wait).sum();
+        assert!((recv_sum - stats.recv_wait[0]).abs() < 1e-9);
+        // Instances are sorted by (stage, instance).
+        let order: Vec<usize> = stats.instances.iter().map(|i| i.instance).collect();
+        assert_eq!(order, vec![0, 1, 2]);
     }
 
     #[test]

@@ -24,6 +24,6 @@ pub mod kernels;
 pub mod plan;
 pub mod stage;
 
-pub use executor::{run_pipeline, PipelinePlan, PipelineStats, StagePlan};
+pub use executor::{run_pipeline, InstanceStats, PipelinePlan, PipelineStats, StagePlan};
 pub use plan::{plan_from_mapping, ThreadBudget};
 pub use stage::{Data, Stage};

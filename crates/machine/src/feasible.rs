@@ -78,13 +78,10 @@ pub fn is_feasible(machine: &MachineConfig, mapping: &Mapping) -> Feasibility {
             }
         }
     }
-    let placements =
-        match pack_rectangles(&PackRequest::new(machine.rows, machine.cols, areas)) {
-            Some(p) => p,
-            None => {
-                return Feasibility::Infeasible("module instances do not pack as rectangles")
-            }
-        };
+    let placements = match pack_rectangles(&PackRequest::new(machine.rows, machine.cols, areas)) {
+        Some(p) => p,
+        None => return Feasibility::Infeasible("module instances do not pack as rectangles"),
+    };
     // Exact pathway routing over the placement.
     if machine.mode == CommMode::Systolic && mapping.modules.len() > 1 {
         let groups = group_placements(mapping, &placements);
@@ -98,10 +95,7 @@ pub fn is_feasible(machine: &MachineConfig, mapping: &Mapping) -> Feasibility {
 
 /// Group a flat placement list (item-indexed over the mapping's instances
 /// in module order) into per-module placement vectors.
-fn group_placements(
-    mapping: &Mapping,
-    placements: &[Placement],
-) -> Vec<Vec<Placement>> {
+fn group_placements(mapping: &Mapping, placements: &[Placement]) -> Vec<Vec<Placement>> {
     let mut by_item: Vec<Option<Placement>> = vec![None; placements.len()];
     for p in placements {
         by_item[p.item] = Some(*p);
@@ -161,7 +155,10 @@ pub fn feasible_optimal(
         if floor > p_total {
             return None;
         }
-        let replicable = problem.module_replication(first, last, p_total).map(|r| r.instances > 1).unwrap_or(false)
+        let replicable = problem
+            .module_replication(first, last, p_total)
+            .map(|r| r.instances > 1)
+            .unwrap_or(false)
             || problem.chain.range_replicable(first, last);
         let mut opts = Vec::new();
         for procs in floor..=p_total {

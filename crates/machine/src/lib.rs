@@ -31,7 +31,7 @@ pub mod synth;
 pub mod workload;
 
 pub use config::{CommMode, MachineConfig};
-pub use feasible::{feasible_optimal, is_feasible, FeasibleSearch, Feasibility};
+pub use feasible::{feasible_optimal, is_feasible, Feasibility, FeasibleSearch};
 pub use pack::{pack_rectangles, PackRequest, Placement};
 pub use route::{pathway_load, xy_route, PathwayLoad};
 pub use synth::{synthesize_chain, synthesize_problem};

@@ -192,7 +192,8 @@ pub fn pack_rectangles(request: &PackRequest) -> Option<Vec<Placement>> {
     }
 
     // Re-attach original item indices by area.
-    let mut by_area: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    let mut by_area: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
     for (i, &a) in request.areas.iter().enumerate() {
         by_area.entry(a).or_default().push(i);
     }

@@ -162,10 +162,7 @@ mod tests {
 
     #[test]
     fn single_pair_load() {
-        let groups = vec![
-            vec![place(0, 0, 0, 1, 1)],
-            vec![place(1, 0, 3, 1, 1)],
-        ];
+        let groups = vec![vec![place(0, 0, 0, 1, 1)], vec![place(1, 0, 3, 1, 1)]];
         let load = pathway_load(&groups);
         assert_eq!(load.pathways, 1);
         assert_eq!(load.total_hops, 3);

@@ -46,11 +46,7 @@ mod tests {
         let mut a = TaskWorkload::parallel("a", 1e6, 64);
         a.memory = MemoryReq::new(0.0, 1.2e6);
         let b = TaskWorkload::parallel("b", 2e6, 64);
-        AppWorkload::new(
-            "test",
-            vec![a, b],
-            vec![EdgeWorkload::all_to_all(1e5)],
-        )
+        AppWorkload::new("test", vec![a, b], vec![EdgeWorkload::all_to_all(1e5)])
     }
 
     #[test]

@@ -261,7 +261,11 @@ pub struct AppWorkload {
 
 impl AppWorkload {
     /// Build, checking the chain shape.
-    pub fn new(name: impl Into<String>, tasks: Vec<TaskWorkload>, edges: Vec<EdgeWorkload>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        tasks: Vec<TaskWorkload>,
+        edges: Vec<EdgeWorkload>,
+    ) -> Self {
         assert!(!tasks.is_empty());
         assert_eq!(edges.len(), tasks.len() - 1);
         Self {
@@ -365,7 +369,10 @@ mod tests {
         let t8 = e.ecom_time(&m, 8, 8);
         let t64 = e.ecom_time(&m, 64, 64);
         assert!(t8 < t2, "parallelism should pay off early: {t2} vs {t8}");
-        assert!(t64 > t8, "message overhead should dominate late: {t8} vs {t64}");
+        assert!(
+            t64 > t8,
+            "message overhead should dominate late: {t8} vs {t64}"
+        );
     }
 
     #[test]

@@ -79,7 +79,13 @@ impl ComposedModule {
     /// Append a task on the right. `icom_joining` is the internal
     /// communication of the edge between the current last member and the
     /// appended task (ignored when the module was empty).
-    pub fn push(&mut self, exec: UnaryCost, memory: MemoryReq, replicable: bool, icom_joining: &UnaryCost) {
+    pub fn push(
+        &mut self,
+        exec: UnaryCost,
+        memory: MemoryReq,
+        replicable: bool,
+        icom_joining: &UnaryCost,
+    ) {
         if self.len > 0 {
             self.exec = self.exec.add(icom_joining);
         }

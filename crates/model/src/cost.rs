@@ -19,8 +19,7 @@ use crate::{Procs, Seconds};
 ///
 /// Used for task execution time (`f_exec`) and internal communication /
 /// redistribution time (`f_icom`).
-#[derive(Clone)]
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub enum UnaryCost {
     /// Identically zero.
     #[default]
@@ -95,7 +94,6 @@ impl UnaryCost {
     }
 }
 
-
 impl From<PolyUnary> for UnaryCost {
     fn from(p: PolyUnary) -> Self {
         UnaryCost::Poly(p)
@@ -122,8 +120,7 @@ impl fmt::Debug for UnaryCost {
 
 /// A cost as a function of sender and receiver processor counts:
 /// `f(ps, pr)`. Used for external communication (`f_ecom`).
-#[derive(Clone)]
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub enum BinaryCost {
     /// Identically zero.
     #[default]
@@ -193,7 +190,6 @@ impl BinaryCost {
         }
     }
 }
-
 
 impl From<PolyEcom> for BinaryCost {
     fn from(p: PolyEcom) -> Self {

@@ -180,8 +180,12 @@ mod tests {
     #[test]
     fn unary_zero_procs_is_infinite() {
         assert!(PolyUnary::new(1.0, 1.0, 1.0).eval(0).is_infinite());
-        assert!(PolyEcom::new(1.0, 1.0, 1.0, 0.0, 0.0).eval(0, 4).is_infinite());
-        assert!(PolyEcom::new(1.0, 1.0, 1.0, 0.0, 0.0).eval(4, 0).is_infinite());
+        assert!(PolyEcom::new(1.0, 1.0, 1.0, 0.0, 0.0)
+            .eval(0, 4)
+            .is_infinite());
+        assert!(PolyEcom::new(1.0, 1.0, 1.0, 0.0, 0.0)
+            .eval(4, 0)
+            .is_infinite());
     }
 
     #[test]

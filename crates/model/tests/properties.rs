@@ -1,8 +1,6 @@
 //! Property tests of the cost-model primitives.
 
-use pipemap_model::{
-    max_replication, MemoryReq, PolyEcom, PolyUnary, Tabulated, UnaryCost,
-};
+use pipemap_model::{max_replication, MemoryReq, PolyEcom, PolyUnary, Tabulated, UnaryCost};
 use proptest::prelude::*;
 
 proptest! {

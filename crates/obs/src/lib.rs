@@ -1,0 +1,109 @@
+//! # pipemap-obs
+//!
+//! Unified observability for the pipemap workspace: a thread-safe
+//! metrics registry (counters, gauges, log-bucketed histograms with
+//! p50/p95/p99/max), lightweight span timing with a structured JSONL
+//! event sink, and a Chrome `trace_event` exporter whose output loads
+//! directly in Perfetto.
+//!
+//! The design splits *ownership* from *recording*:
+//!
+//! * [`Registry`] owns the storage and is held by whoever reports
+//!   (the CLI, a test);
+//! * [`Recorder`] is a cheap cloneable handle passed into instrumented
+//!   code. A disabled recorder (no registry installed) makes every
+//!   operation a single `None` check, so instrumentation in solver
+//!   inner loops and executor workers costs effectively nothing when
+//!   observability is off.
+//!
+//! Instrumented code usually goes through the process-global accessor:
+//!
+//! ```
+//! pipemap_obs::install_global(pipemap_obs::Registry::new());
+//! let rec = pipemap_obs::global();
+//! rec.add("solver.dp.cells", 128);
+//! let _phase = pipemap_obs::span!("dp_fill");
+//! ```
+//!
+//! Only std is used — no external dependencies.
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+use std::sync::OnceLock;
+
+pub use json::Value;
+pub use metrics::{
+    Counter, Histogram, HistogramHandle, HistogramSummary, MetricsSnapshot, Recorder, Registry,
+    Timer,
+};
+pub use trace::{chrome_trace, events_to_jsonl, SpanGuard, TraceEvent};
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// Install the process-global registry. Returns `false` (and drops
+/// `registry`) if one is already installed.
+pub fn install_global(registry: Registry) -> bool {
+    GLOBAL.set(registry).is_ok()
+}
+
+/// The global registry, if one was installed.
+pub fn global_registry() -> Option<&'static Registry> {
+    GLOBAL.get()
+}
+
+/// A recorder feeding the global registry — or a no-op handle when no
+/// registry is installed. This is the accessor instrumented code uses.
+pub fn global() -> Recorder {
+    match GLOBAL.get() {
+        Some(r) => r.recorder(),
+        None => Recorder::disabled(),
+    }
+}
+
+/// Open a timed span on the global recorder; bind the result:
+/// `let _span = span!("dp_fill");`. The optional second argument is the
+/// category (defaults to `"pipemap"`).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::global().span($name, "pipemap")
+    };
+    ($name:expr, $cat:expr) => {
+        $crate::global().span($name, $cat)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_starts_disabled_then_records_after_install() {
+        // Process-global state: this test owns installation (the other
+        // tests in this crate only use local registries).
+        let before = global();
+        before.add("pre.install", 1);
+        assert!(!before.enabled());
+
+        assert!(install_global(Registry::new()));
+        assert!(!install_global(Registry::new()), "second install refused");
+
+        let rec = global();
+        assert!(rec.enabled());
+        rec.add("post.install", 2);
+        let snap = global_registry().unwrap().snapshot();
+        assert_eq!(snap.counter("post.install"), Some(2));
+        assert_eq!(snap.counter("pre.install"), None);
+
+        // span! compiles and is inert until tracing is enabled.
+        drop(span!("check"));
+        assert!(global_registry().unwrap().events().is_empty());
+        global_registry().unwrap().set_tracing(true);
+        drop(span!("check", "tests"));
+        let events = global_registry().unwrap().take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].cat, "tests");
+    }
+}

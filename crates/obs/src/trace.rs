@@ -1,0 +1,325 @@
+//! Structured tracing: span guards, trace events, a JSONL sink, and a
+//! Chrome `trace_event` exporter.
+//!
+//! Events are "complete" slices — a name, a lane (Chrome `tid`), a start
+//! timestamp, and a duration, all in microseconds — plus optional
+//! structured args. They can be dumped as JSONL (one object per line,
+//! greppable) or as a Chrome trace JSON document that loads directly in
+//! Perfetto / `chrome://tracing`.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::json::Value;
+use crate::metrics::{Inner, Recorder};
+
+/// One completed slice of work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Slice name (e.g. `"dp_fill"`, `"stage1.service"`).
+    pub name: String,
+    /// Category, used for filtering in trace viewers.
+    pub cat: String,
+    /// Lane id — rendered as a Chrome thread. See
+    /// [`crate::Registry::register_lane`].
+    pub lane: u64,
+    /// Start, microseconds from the registry epoch.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Structured payload shown in the viewer's args pane.
+    pub args: Vec<(String, Value)>,
+}
+
+impl TraceEvent {
+    /// The JSONL form of this event (one flat object).
+    pub fn to_json(&self) -> Value {
+        let mut o = Value::object();
+        o.set("name", self.name.clone());
+        o.set("cat", self.cat.clone());
+        o.set("lane", self.lane);
+        o.set("ts_us", self.ts_us);
+        o.set("dur_us", self.dur_us);
+        if !self.args.is_empty() {
+            let mut args = Value::object();
+            for (k, v) in &self.args {
+                args.set(k.clone(), v.clone());
+            }
+            o.set("args", args);
+        }
+        o
+    }
+}
+
+/// Serialise events as JSON Lines: one event object per line.
+pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json().to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Build a Chrome `trace_event` document (the JSON Object Format):
+/// one `"M"` thread-name metadata record per lane, then one `"X"`
+/// complete event per slice. The result loads in Perfetto or
+/// `chrome://tracing` as-is.
+pub fn chrome_trace(events: &[TraceEvent], lane_names: &[String]) -> Value {
+    let mut trace_events = Vec::with_capacity(events.len() + lane_names.len());
+    for (lane, name) in lane_names.iter().enumerate() {
+        let mut meta = Value::object();
+        meta.set("ph", "M");
+        meta.set("name", "thread_name");
+        meta.set("pid", 1u64);
+        meta.set("tid", lane as u64);
+        let mut args = Value::object();
+        args.set("name", name.clone());
+        meta.set("args", args);
+        trace_events.push(meta);
+    }
+    for e in events {
+        let mut x = Value::object();
+        x.set("ph", "X");
+        x.set("name", e.name.clone());
+        x.set("cat", e.cat.clone());
+        x.set("pid", 1u64);
+        x.set("tid", e.lane);
+        x.set("ts", e.ts_us);
+        x.set("dur", e.dur_us);
+        if !e.args.is_empty() {
+            let mut args = Value::object();
+            for (k, v) in &e.args {
+                args.set(k.clone(), v.clone());
+            }
+            x.set("args", args);
+        }
+        trace_events.push(x);
+    }
+    let mut doc = Value::object();
+    doc.set("traceEvents", Value::Array(trace_events));
+    doc.set("displayTimeUnit", "ms");
+    doc
+}
+
+impl crate::Registry {
+    /// Export the captured events (and lane names) as a Chrome trace
+    /// document without draining them.
+    pub fn chrome_trace(&self) -> Value {
+        chrome_trace(&self.events(), &self.lane_names())
+    }
+}
+
+impl Recorder {
+    /// Whether span capture is on (a registry is attached *and* its
+    /// tracing flag is set). Use to skip arg-building work.
+    pub fn tracing(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.tracing.load(Ordering::Relaxed))
+    }
+
+    /// Open a timed span on lane 0 ("main"); closes on drop.
+    pub fn span(&self, name: &str, cat: &str) -> SpanGuard {
+        self.span_on(0, name, cat)
+    }
+
+    /// Open a timed span on a specific lane; closes on drop.
+    pub fn span_on(&self, lane: u64, name: &str, cat: &str) -> SpanGuard {
+        let active = self.inner.as_ref().and_then(|inner| {
+            if inner.tracing.load(Ordering::Relaxed) {
+                Some(ActiveSpan {
+                    inner: inner.clone(),
+                    name: name.to_string(),
+                    cat: cat.to_string(),
+                    lane,
+                    args: Vec::new(),
+                    start: Instant::now(),
+                })
+            } else {
+                None
+            }
+        });
+        SpanGuard { active }
+    }
+
+    /// Record a pre-timed slice (for work measured out-of-band).
+    pub fn event(&self, e: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            if inner.tracing.load(Ordering::Relaxed) {
+                inner
+                    .events
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(e);
+            }
+        }
+    }
+
+    /// Microseconds since the registry epoch (0.0 when disabled).
+    /// Pair with [`Recorder::event`] to stamp out-of-band slices.
+    pub fn now_us(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.epoch.elapsed().as_secs_f64() * 1e6)
+            .unwrap_or(0.0)
+    }
+}
+
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    name: String,
+    cat: String,
+    lane: u64,
+    args: Vec<(String, Value)>,
+    start: Instant,
+}
+
+/// Guard from [`Recorder::span`]; emits a [`TraceEvent`] when dropped.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Attach a structured arg shown in the trace viewer.
+    pub fn arg(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        if let Some(a) = &mut self.active {
+            a.args.push((key.to_string(), value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            let end = Instant::now();
+            let ts_us = a.start.duration_since(a.inner.epoch).as_secs_f64() * 1e6;
+            let dur_us = end.duration_since(a.start).as_secs_f64() * 1e6;
+            a.inner
+                .events
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(TraceEvent {
+                    name: a.name,
+                    cat: a.cat,
+                    lane: a.lane,
+                    ts_us,
+                    dur_us,
+                    args: a.args,
+                });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn spans_capture_when_tracing_is_on() {
+        let registry = Registry::new();
+        registry.set_tracing(true);
+        let r = registry.recorder();
+        {
+            let mut s = r.span("phase_a", "solver");
+            s.arg("cells", 42u64);
+        }
+        drop(r.span("phase_b", "solver"));
+        let events = registry.take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "phase_a");
+        assert_eq!(
+            events[0].args,
+            vec![("cells".to_string(), Value::Number(42.0))]
+        );
+        assert!(events[0].dur_us >= 0.0);
+        assert!(events[1].ts_us >= events[0].ts_us);
+    }
+
+    #[test]
+    fn spans_are_noops_when_tracing_is_off() {
+        let registry = Registry::new();
+        let r = registry.recorder();
+        drop(r.span("ignored", "x"));
+        assert!(registry.events().is_empty());
+        assert!(!r.tracing());
+        // Fully disabled recorder too.
+        drop(Recorder::disabled().span("ignored", "x"));
+    }
+
+    #[test]
+    fn jsonl_has_one_parseable_object_per_line() {
+        let events = vec![
+            TraceEvent {
+                name: "a".into(),
+                cat: "c".into(),
+                lane: 0,
+                ts_us: 1.0,
+                dur_us: 2.0,
+                args: vec![("k".to_string(), Value::from("v"))],
+            },
+            TraceEvent {
+                name: "b".into(),
+                cat: "c".into(),
+                lane: 1,
+                ts_us: 3.0,
+                dur_us: 4.0,
+                args: vec![],
+            },
+        ];
+        let jsonl = events_to_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            Value::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn chrome_trace_document_is_valid_and_complete() {
+        let registry = Registry::new();
+        registry.set_tracing(true);
+        let lane = registry.register_lane("stage0.inst0");
+        let r = registry.recorder();
+        drop(r.span_on(lane, "service", "exec"));
+        let doc = registry.chrome_trace();
+        let parsed = Value::parse(&doc.to_json_pretty()).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 lanes ("main" + registered) of metadata + 1 slice.
+        assert_eq!(events.len(), 3);
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 2);
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(slice.get("name").and_then(Value::as_str), Some("service"));
+        assert_eq!(slice.get("tid").and_then(Value::as_f64), Some(lane as f64));
+        assert!(slice.get("dur").and_then(Value::as_f64).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn manual_events_respect_tracing_flag() {
+        let registry = Registry::new();
+        let r = registry.recorder();
+        let ev = TraceEvent {
+            name: "manual".into(),
+            cat: "sim".into(),
+            lane: 0,
+            ts_us: 0.0,
+            dur_us: 5.0,
+            args: vec![],
+        };
+        r.event(ev.clone());
+        assert!(registry.events().is_empty());
+        registry.set_tracing(true);
+        r.event(ev);
+        assert_eq!(registry.events().len(), 1);
+    }
+}

@@ -124,7 +124,10 @@ pub fn collect_profiles(chain: &TaskChain, profiles: &[ExecutionProfile]) -> Pro
         for e in 0..k.saturating_sub(1) {
             let union = p.assignment.procs(e) + p.assignment.procs(e + 1);
             icom[e].push((union, p.icom[e]));
-            ecom[e].push(((p.assignment.procs(e), p.assignment.procs(e + 1)), p.ecom[e]));
+            ecom[e].push((
+                (p.assignment.procs(e), p.assignment.procs(e + 1)),
+                p.ecom[e],
+            ));
         }
     }
     ProfileData { exec, icom, ecom }
@@ -243,8 +246,7 @@ mod tests {
     fn noisy_executions_stay_close() {
         let chain = poly_chain();
         let problem = Problem::new(chain.clone(), 64, 1e12);
-        let fitted =
-            fit_problem_from_executions(&problem, Some((0.04, 3)), FitOptions::default());
+        let fitted = fit_problem_from_executions(&problem, Some((0.04, 3)), FitOptions::default());
         let acc = model_accuracy(&chain, &fitted.chain, 64);
         assert!(acc.mean_rel_error < 0.15, "{acc:?}");
     }

@@ -273,8 +273,7 @@ mod tests {
     fn nonnegativity_enforced() {
         // Superlinear-looking data would drive C3 negative without the
         // constraint.
-        let samples: Vec<(Procs, f64)> =
-            vec![(1, 10.0), (2, 4.0), (4, 1.5), (8, 0.4), (16, 0.05)];
+        let samples: Vec<(Procs, f64)> = vec![(1, 10.0), (2, 4.0), (4, 1.5), (8, 0.4), (16, 0.05)];
         let fit = fit_unary(&samples, FitOptions::default());
         assert!(fit.model.c1 >= 0.0);
         assert!(fit.model.c2 >= 0.0);
@@ -287,8 +286,7 @@ mod tests {
 
     #[test]
     fn unconstrained_fit_can_go_negative() {
-        let samples: Vec<(Procs, f64)> =
-            vec![(1, 10.0), (2, 4.0), (4, 1.5), (8, 0.4), (16, 0.05)];
+        let samples: Vec<(Procs, f64)> = vec![(1, 10.0), (2, 4.0), (4, 1.5), (8, 0.4), (16, 0.05)];
         let fit = fit_unary(
             &samples,
             FitOptions {
@@ -327,8 +325,7 @@ mod tests {
         // 8 samples fit 3 unknowns comfortably; even 3 exact samples
         // identify the model.
         let truth = PolyUnary::new(2.0, 4.0, 0.5);
-        let samples: Vec<(Procs, f64)> =
-            [1, 2, 4].iter().map(|&p| (p, truth.eval(p))).collect();
+        let samples: Vec<(Procs, f64)> = [1, 2, 4].iter().map(|&p| (p, truth.eval(p))).collect();
         let fit = fit_unary(&samples, FitOptions::default());
         assert!((fit.model.eval(8) - truth.eval(8)).abs() < 1e-5);
     }

@@ -31,6 +31,6 @@ pub use executions::{
 pub use fit::{fit_ecom, fit_unary, FitOptions, FitReport};
 pub use linalg::{least_squares, solve_linear};
 pub use training::{
-    default_training_procs, fit_chain, model_accuracy, profile_chain, AccuracyReport,
-    ProfileData, TrainingConfig,
+    default_training_procs, fit_chain, model_accuracy, profile_chain, AccuracyReport, ProfileData,
+    TrainingConfig,
 };

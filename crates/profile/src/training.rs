@@ -37,11 +37,7 @@ pub struct TrainingConfig {
 /// `[1, max_p]` geometrically with the small counts kept dense.
 pub fn default_training_procs(max_p: Procs) -> Vec<Procs> {
     let candidates = [1, 2, 3, 4, 8, 16, 32, 64, 128, 256];
-    let mut out: Vec<Procs> = candidates
-        .iter()
-        .copied()
-        .filter(|&p| p <= max_p)
-        .collect();
+    let mut out: Vec<Procs> = candidates.iter().copied().filter(|&p| p <= max_p).collect();
     if out.last() != Some(&max_p) {
         out.push(max_p);
     }
@@ -288,9 +284,7 @@ mod tests {
             ))
             .edge(Edge::new(
                 UnaryCost::custom(|p| {
-                    0.05 + 0.3 / p as f64
-                        + 0.004 * p as f64
-                        + 0.005 * (p as f64).log2().ceil()
+                    0.05 + 0.3 / p as f64 + 0.004 * p as f64 + 0.005 * (p as f64).log2().ceil()
                 }),
                 PolyEcom::new(0.05, 0.8, 0.8, 0.002, 0.002),
             ))

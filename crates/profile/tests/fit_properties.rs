@@ -1,8 +1,8 @@
 //! Property tests of the fitting pipeline: exact recovery of in-family
 //! models, non-negativity, and sanity of the produced predictions.
 
-use pipemap_profile::{fit_ecom, fit_unary, least_squares, solve_linear, FitOptions};
 use pipemap_model::{PolyEcom, PolyUnary};
+use pipemap_profile::{fit_ecom, fit_unary, least_squares, solve_linear, FitOptions};
 use proptest::prelude::*;
 
 proptest! {

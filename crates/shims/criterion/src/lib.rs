@@ -1,0 +1,234 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size`, `bench_with_input`,
+//! `BenchmarkId`, and `Bencher::iter` — backed by a plain wall-clock
+//! loop instead of criterion's statistical machinery.
+//!
+//! Benchmarks only *run* under `cargo bench` (the harness looks for the
+//! `--bench` flag cargo passes to `harness = false` targets). Under
+//! `cargo test` the binaries build and exit immediately, so debug-mode
+//! test runs do not pay for release-grade workloads.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Hands the closure-under-measurement to the harness.
+pub struct Bencher {
+    iters_hint: u64,
+    /// Mean wall-clock time of one iteration, filled by [`Bencher::iter`].
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean duration of one call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup call.
+        std::hint::black_box(routine());
+        let budget = Duration::from_millis(500);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while iters < self.iters_hint && start.elapsed() < budget {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.mean = Some(start.elapsed() / iters.max(1) as u32);
+    }
+}
+
+/// Prevent the optimiser from discarding a value (re-export shape of
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The benchmark manager passed to every target function.
+pub struct Criterion {
+    enabled: bool,
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes `harness = false` bench targets with `--bench`
+        // under `cargo bench`; under `cargo test` the flag is absent.
+        let enabled = std::env::args().any(|a| a == "--bench");
+        Self {
+            enabled,
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&self, label: &str, sample_size: u64, f: impl FnOnce(&mut Bencher)) {
+        if !self.enabled {
+            return;
+        }
+        let mut b = Bencher {
+            iters_hint: sample_size,
+            mean: None,
+        };
+        f(&mut b);
+        match b.mean {
+            Some(mean) => println!("bench {label:<40} {mean:>12.2?}/iter"),
+            None => println!("bench {label:<40} (no measurement)"),
+        }
+    }
+
+    /// Time one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let sample_size = self.sample_size;
+        self.run_one(id, sample_size, |b| f(b));
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target iteration count for each benchmark in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Shared settings resolved against the parent [`Criterion`].
+    fn effective_sample_size(&self) -> u64 {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Time one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        self.criterion
+            .run_one(&label, self.effective_sample_size(), |b| f(b));
+        self
+    }
+
+    /// Time one parameterised benchmark of the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&label, self.effective_sample_size(), |b| f(b, input));
+        self
+    }
+
+    /// Close the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundle benchmark functions into a group callable from
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_harness_skips_routines() {
+        // Unit tests never pass --bench, so nothing should run.
+        let mut c = Criterion::default();
+        assert!(!c.enabled);
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn enabled_harness_measures() {
+        let c = Criterion {
+            enabled: true,
+            sample_size: 3,
+        };
+        let mut calls = 0u32;
+        c.run_one("count", 3, |b| b.iter(|| calls += 1));
+        // 1 warmup + up to 3 timed iterations.
+        assert!(calls >= 2, "calls {calls}");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fft", 256).to_string(), "fft/256");
+    }
+}

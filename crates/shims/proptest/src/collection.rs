@@ -1,0 +1,93 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive size interval for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let (lo, hi) = r.into_inner();
+        assert!(lo <= hi, "empty vec size range");
+        Self { lo, hi }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span + 1) as usize
+            };
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// A vector whose length is drawn from `size` and whose elements come
+/// from `element` (mirrors `proptest::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = TestRng::deterministic("vec-len", 1);
+        let s = vec(0..10usize, 2..5);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            seen[v.len()] = true;
+            assert!(v.iter().all(|&e| e < 10));
+        }
+        assert!(seen[2] && seen[3] && seen[4]);
+    }
+
+    #[test]
+    fn fixed_length() {
+        let mut rng = TestRng::deterministic("vec-fixed", 1);
+        let s = vec(0.0..1.0f64, 5);
+        assert_eq!(s.new_value(&mut rng).len(), 5);
+    }
+}

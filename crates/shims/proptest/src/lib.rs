@@ -1,0 +1,156 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate re-implements the subset of its API
+//! the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`,
+//!   `name in strategy` and `name: Type` bindings;
+//! * [`Strategy`](strategy::Strategy) for numeric ranges, tuples,
+//!   [`collection::vec`], [`any`](arbitrary::any), `Just`, and
+//!   `prop_map`;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its case/attempt number
+//!   and message but not a minimised input;
+//! * **deterministic inputs** — cases are derived from a fixed seed
+//!   (plus the test name), so runs are reproducible without a
+//!   regression file; `.proptest-regressions` files are ignored.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Define property tests. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { { $cfg } $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            { $crate::test_runner::ProptestConfig::default() } $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( { $cfg:expr } ) => {};
+    ( { $cfg:expr }
+      $(#[$meta:meta])*
+      fn $name:ident( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __proptest_config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __proptest_runner =
+                $crate::test_runner::TestRunner::new(__proptest_config);
+            __proptest_runner.run(stringify!($name), |__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                let __proptest_result: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+                __proptest_result
+            });
+        }
+        $crate::__proptest_items! { { $cfg } $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( $rng:ident $(,)? ) => {};
+    ( $rng:ident, $p:pat in $s:expr, $($rest:tt)* ) => {
+        let $p = $crate::strategy::Strategy::new_value(&($s), $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ( $rng:ident, $p:pat in $s:expr ) => {
+        let $p = $crate::strategy::Strategy::new_value(&($s), $rng);
+    };
+    ( $rng:ident, $i:ident : $t:ty, $($rest:tt)* ) => {
+        let $i = <$t as $crate::arbitrary::Arbitrary>::arbitrary($rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ( $rng:ident, $i:ident : $t:ty ) => {
+        let $i = <$t as $crate::arbitrary::Arbitrary>::arbitrary($rng);
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failure aborts the
+/// whole test with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            *l,
+            *r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            *l,
+            *r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` == `{:?}`", *l, *r);
+    }};
+}
+
+/// Discard the current case (it does not count towards the case
+/// budget) when a generated input misses a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        $crate::prop_assume!($cond, concat!("assumption failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(format!($($fmt)+)),
+            );
+        }
+    };
+}

@@ -1,0 +1,50 @@
+//! Strategies for `Option<T>` (`prop::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generate `Some` from the inner strategy most of the time, `None`
+/// roughly one case in four (the real crate's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Output of [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_none_and_some_in_bounds() {
+        let mut rng = TestRng::deterministic("option-tests", 1);
+        let strat = of(5..10usize);
+        let (mut nones, mut somes) = (0, 0);
+        for _ in 0..1000 {
+            match strat.new_value(&mut rng) {
+                None => nones += 1,
+                Some(v) => {
+                    assert!((5..10).contains(&v));
+                    somes += 1;
+                }
+            }
+        }
+        assert!(nones > 100, "nones {nones}");
+        assert!(somes > 500, "somes {somes}");
+    }
+}

@@ -1,0 +1,13 @@
+//! The glob-import surface (`use proptest::prelude::*`).
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+/// Namespace mirror of the real crate's `prop` module.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::strategy;
+}

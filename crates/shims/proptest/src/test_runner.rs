@@ -1,0 +1,204 @@
+//! Test execution: config, case errors, deterministic RNG, runner.
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum rejected (assumed-away) cases tolerated before the run
+    /// is abandoned as unable to satisfy its preconditions.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is violated.
+    Fail(String),
+    /// A precondition (`prop_assume!`) was not met: discard the case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::Reject(message.into())
+    }
+}
+
+/// Result of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-case generator handed to strategies. xoshiro256++
+/// seeded from a hash of the test name and the attempt index, so every
+/// run of the suite explores the same inputs (reproducibility without a
+/// regression file).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Generator for attempt `attempt` of test `name`.
+    pub fn deterministic(name: &str, attempt: u64) -> Self {
+        // FNV-1a over the name, mixed with the attempt index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut sm = h ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform on `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased uniform in `[0, bound)` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Drives the cases of one property test.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run `test` until `config.cases` successful cases have passed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails (carrying the failure message) or when
+    /// too many cases in a row are rejected by `prop_assume!`.
+    pub fn run<F>(&mut self, name: &str, mut test: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        let mut attempt: u64 = 0;
+        while passed < self.config.cases {
+            attempt += 1;
+            let mut rng = TestRng::deterministic(name, attempt);
+            match test(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest '{name}': too many rejected cases \
+                             ({rejected}) — preconditions are unsatisfiable"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{name}' failed at case {} (attempt {attempt}): {msg}",
+                        passed + 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_attempt() {
+        let mut a = TestRng::deterministic("t", 3);
+        let mut b = TestRng::deterministic("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("t", 4);
+        let mut d = TestRng::deterministic("u", 3);
+        let base = TestRng::deterministic("t", 3).next_u64();
+        assert_ne!(base, c.next_u64());
+        assert_ne!(base, d.next_u64());
+    }
+
+    #[test]
+    fn runner_counts_only_passes() {
+        let mut seen = 0u32;
+        TestRunner::new(ProptestConfig::with_cases(10)).run("count", |rng| {
+            // Reject roughly half the cases.
+            if rng.next_u64() % 2 == 0 {
+                return Err(TestCaseError::reject("half"));
+            }
+            seen += 1;
+            Ok(())
+        });
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn runner_panics_on_failure() {
+        TestRunner::new(ProptestConfig::with_cases(5))
+            .run("fail", |_| Err(TestCaseError::fail("boom")));
+    }
+}

@@ -261,8 +261,7 @@ mod tests {
         let sweep = simulate(&c, &mapping, cfg);
         let des = simulate_des(&c, &mapping, cfg);
         assert!(
-            (sweep.throughput - des.throughput).abs()
-                <= 1e-9 * sweep.throughput.abs().max(1.0),
+            (sweep.throughput - des.throughput).abs() <= 1e-9 * sweep.throughput.abs().max(1.0),
             "throughput: sweep {} vs des {}",
             sweep.throughput,
             des.throughput

@@ -26,6 +26,7 @@ pub mod pipeline;
 pub mod replicate;
 pub mod stats;
 pub mod trace;
+pub mod trace_export;
 
 pub use des_pipeline::simulate_des;
 pub use engine::{Engine, SimTime};
@@ -34,3 +35,4 @@ pub use pipeline::{simulate, SimConfig, SimResult};
 pub use replicate::{replicate_simulation, ReplicatedResult};
 pub use stats::{percent_difference, percentile, Summary};
 pub use trace::{Activity, ActivityKind, Trace};
+pub use trace_export::{chrome_trace_json, trace_events, trace_jsonl};

@@ -338,8 +338,16 @@ mod tests {
             ModuleAssignment::new(1, 1, 1, 2), // response 1.0
         ]);
         let r = simulate(&c, &m, &SimConfig::with_datasets(300));
-        assert!(r.utilization[0] > 0.95, "bottleneck util {}", r.utilization[0]);
-        assert!(r.utilization[1] < 0.5, "idle module util {}", r.utilization[1]);
+        assert!(
+            r.utilization[0] > 0.95,
+            "bottleneck util {}",
+            r.utilization[0]
+        );
+        assert!(
+            r.utilization[1] < 0.5,
+            "idle module util {}",
+            r.utilization[1]
+        );
     }
 
     #[test]
@@ -350,11 +358,7 @@ mod tests {
             ModuleAssignment::new(1, 1, 1, 3),
         ]);
         let analytic = throughput(&c, &m);
-        let r = simulate(
-            &c,
-            &m,
-            &SimConfig::with_datasets(500).with_noise(0.08, 13),
-        );
+        let r = simulate(&c, &m, &SimConfig::with_datasets(500).with_noise(0.08, 13));
         let rel = (r.throughput - analytic).abs() / analytic;
         assert!(rel < 0.15, "noisy sim off by {:.1}%", rel * 100.0);
         assert!(r.throughput != analytic);
@@ -370,18 +374,9 @@ mod tests {
         let r = simulate(&c, &m, &SimConfig::with_datasets(10).with_trace());
         let t = r.trace.expect("trace requested");
         // Sends, recvs and execs all present.
-        assert!(t
-            .activities
-            .iter()
-            .any(|a| a.kind == ActivityKind::Send));
-        assert!(t
-            .activities
-            .iter()
-            .any(|a| a.kind == ActivityKind::Recv));
-        assert!(t
-            .activities
-            .iter()
-            .any(|a| a.kind == ActivityKind::Exec));
+        assert!(t.activities.iter().any(|a| a.kind == ActivityKind::Send));
+        assert!(t.activities.iter().any(|a| a.kind == ActivityKind::Recv));
+        assert!(t.activities.iter().any(|a| a.kind == ActivityKind::Exec));
         // Busy time consistency: module 0 = exec + send per data set.
         let per_ds = 2.0 + 0.5;
         assert!((t.busy_time(0, 0) - 10.0 * per_ds).abs() < 1e-9);

@@ -13,6 +13,12 @@ pub struct Summary {
     pub min: f64,
     /// Maximum.
     pub max: f64,
+    /// Median (linear interpolation between order statistics).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
 }
 
 impl Summary {
@@ -24,12 +30,24 @@ impl Summary {
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let quantile = |q: f64| -> f64 {
+            let pos = q * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let w = pos - lo as f64;
+            sorted[lo] + w * (sorted[hi] - sorted[lo])
+        };
         Some(Summary {
             count: values.len(),
             mean,
             std_dev: var.sqrt(),
-            min: values.iter().copied().fold(f64::INFINITY, f64::min),
-            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
         })
     }
 
@@ -84,6 +102,23 @@ mod tests {
         assert!((s.min - 1.0).abs() < 1e-12);
         assert!((s.max - 4.0).abs() < 1e-12);
         assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!((s.p50 - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_percentiles_match_percentile_fn() {
+        let v: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        let s = Summary::of(&v).unwrap();
+        assert_eq!(Some(s.p50), percentile(&v, 0.50));
+        assert_eq!(Some(s.p90), percentile(&v, 0.90));
+        assert_eq!(Some(s.p99), percentile(&v, 0.99));
+        assert!(s.p50 < s.p90 && s.p90 < s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn summary_percentiles_of_singleton() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!((s.p50, s.p90, s.p99), (3.5, 3.5, 3.5));
     }
 
     #[test]

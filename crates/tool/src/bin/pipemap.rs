@@ -20,25 +20,37 @@ use pipemap_core::{
 };
 use pipemap_machine::MachineConfig;
 use pipemap_tool::spec::parse_spec;
-use pipemap_tool::{auto_map, render_mapping, render_report, MapperOptions};
+use pipemap_tool::{
+    auto_map, demo_report_json, map_report_json, mapping_json, render_mapping, render_report,
+    MapperOptions,
+};
 
 const USAGE: &str = "\
 pipemap — optimal mapping of pipelines of data parallel tasks
 
 USAGE:
     pipemap map <spec-file> [--greedy-only] [--latency-floor <thr>]
-                            [--min-procs <thr>]
+                            [--min-procs <thr>] [--report json]
     pipemap simulate <spec-file> <mapping> [--datasets <n>] [--noise <spread>]
+                     [--seed <n>]
     pipemap demo <fft-hist-256|fft-hist-512|radar|stereo> [--systolic]
+                 [--metrics] [--trace-out <file>]
     pipemap fit <fft-hist-256|fft-hist-512|radar|stereo> [--systolic]
     pipemap template
 
 COMMANDS:
     map       read a pipeline spec and print its optimal mapping
+              (--report json emits a machine-readable report including
+              solver counters: DP cells, lookups, prunings, wall time)
     simulate  run a given mapping (e.g. '0-0:8x3,1-2:10x4') through the
               pipeline simulator and report measured throughput
+              (--seed makes a --noise run reproducible)
     demo      run the full profile→fit→map→simulate methodology on a
-              built-in application from the paper
+              built-in application from the paper; --metrics prints a
+              JSON report (per-stage utilisation, recv/send wait,
+              predicted-vs-measured error, solver metrics) and
+              --trace-out writes a Chrome trace of the measured run
+              (open in Perfetto / chrome://tracing)
     fit       profile a built-in application on the machine model and
               print its fitted polynomial spec (pipe to a file, then use
               'map' / 'simulate' on it)
@@ -94,10 +106,18 @@ fn cmd_map(args: &[String]) -> ExitCode {
     let mut greedy_only = false;
     let mut latency_floor: Option<f64> = None;
     let mut procs_target: Option<f64> = None;
+    let mut report_fmt: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--greedy-only" => greedy_only = true,
+            "--report" => match it.next() {
+                Some(v) => report_fmt = Some(v.clone()),
+                None => {
+                    eprintln!("--report needs a format (json)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--latency-floor" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(v) => latency_floor = Some(v),
                 None => {
@@ -138,13 +158,29 @@ fn cmd_map(args: &[String]) -> ExitCode {
         }
     };
 
-    println!(
-        "{}: {} tasks on {} processors ({} bytes/proc)\n",
-        file,
-        problem.num_tasks(),
-        problem.total_procs,
-        problem.mem_per_proc
-    );
+    let json = match report_fmt.as_deref() {
+        None => false,
+        Some("json") => true,
+        Some(other) => {
+            eprintln!("unsupported report format '{other}' (only 'json')");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        // Count solver work (DP cells, lookups, prunings, wall time) in
+        // the global metrics registry; snapshotted into the report below.
+        pipemap_obs::install_global(pipemap_obs::Registry::new());
+    }
+
+    if !json {
+        println!(
+            "{}: {} tasks on {} processors ({} bytes/proc)\n",
+            file,
+            problem.num_tasks(),
+            problem.total_procs,
+            problem.mem_per_proc
+        );
+    }
     let greedy = match cluster_heuristic(&problem, GreedyOptions::adaptive()) {
         Ok(s) => s,
         Err(e) => {
@@ -152,53 +188,85 @@ fn cmd_map(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "greedy   : {}  -> {:.3} data sets/s",
-        render_mapping(&problem, &greedy.mapping),
-        greedy.throughput
-    );
+    let mut solutions = vec![("greedy", greedy)];
     if !greedy_only {
         match dp_mapping(&problem) {
-            Ok(optimal) => println!(
-                "optimal  : {}  -> {:.3} data sets/s",
-                render_mapping(&problem, &optimal.mapping),
-                optimal.throughput
-            ),
+            Ok(optimal) => solutions.push(("optimal", optimal)),
             Err(e) => eprintln!("optimal mapping failed: {e}"),
         }
         // Free replication degrees (an extension beyond the paper's
         // maximal-replication rule): report only when it differs.
         if let Ok(free) = dp_mapping_free(&problem) {
-            println!(
-                "free-rep : {}  -> {:.3} data sets/s",
-                render_mapping(&problem, &free.mapping),
-                free.throughput
-            );
+            solutions.push(("free_replication", free));
         }
     }
-    if let Some(floor) = latency_floor {
-        match best_latency_mapping(&problem, floor) {
-            Ok(sol) => println!(
-                "latency  : {}  -> {:.3}s latency at {:.3} data sets/s (floor {:.3})",
-                render_mapping(&problem, &sol.mapping),
-                sol.latency,
-                sol.throughput,
-                floor
-            ),
-            Err(e) => eprintln!("no mapping reaches {floor} data sets/s: {e}"),
+    let latency_sol = latency_floor.and_then(|floor| match best_latency_mapping(&problem, floor) {
+        Ok(sol) => Some((floor, sol)),
+        Err(e) => {
+            eprintln!("no mapping reaches {floor} data sets/s: {e}");
+            None
         }
+    });
+    let procs_sol = procs_target.and_then(|target| match min_procs_mapping(&problem, target) {
+        Ok(sol) => Some((target, sol)),
+        Err(e) => {
+            eprintln!("no budget reaches {target} data sets/s: {e}");
+            None
+        }
+    });
+
+    if json {
+        let metrics = pipemap_obs::global_registry().map(|r| r.snapshot());
+        let mut doc = map_report_json(&file, &problem, &solutions, metrics.as_ref());
+        if let Some((floor, sol)) = &latency_sol {
+            let mut o = pipemap_obs::Value::object();
+            o.set("mapping", mapping_json(&problem, &sol.mapping));
+            o.set("latency_s", sol.latency);
+            o.set("throughput", sol.throughput);
+            o.set("floor", *floor);
+            doc.set("latency", o);
+        }
+        if let Some((target, sol)) = &procs_sol {
+            let mut o = pipemap_obs::Value::object();
+            o.set("mapping", mapping_json(&problem, &sol.solution.mapping));
+            o.set("procs", sol.procs);
+            o.set("throughput", sol.solution.throughput);
+            o.set("target", *target);
+            doc.set("min_procs", o);
+        }
+        println!("{}", doc.to_json_pretty());
+        return ExitCode::SUCCESS;
     }
-    if let Some(target) = procs_target {
-        match min_procs_mapping(&problem, target) {
-            Ok(sol) => println!(
-                "procs    : {}  -> {} processors sustain {:.3} data sets/s (target {:.3})",
-                render_mapping(&problem, &sol.solution.mapping),
-                sol.procs,
-                sol.solution.throughput,
-                target
-            ),
-            Err(e) => eprintln!("no budget reaches {target} data sets/s: {e}"),
-        }
+
+    for (label, sol) in &solutions {
+        let tag = match *label {
+            "greedy" => "greedy   ",
+            "optimal" => "optimal  ",
+            _ => "free-rep ",
+        };
+        println!(
+            "{tag}: {}  -> {:.3} data sets/s",
+            render_mapping(&problem, &sol.mapping),
+            sol.throughput
+        );
+    }
+    if let Some((floor, sol)) = &latency_sol {
+        println!(
+            "latency  : {}  -> {:.3}s latency at {:.3} data sets/s (floor {:.3})",
+            render_mapping(&problem, &sol.mapping),
+            sol.latency,
+            sol.throughput,
+            floor
+        );
+    }
+    if let Some((target, sol)) = &procs_sol {
+        println!(
+            "procs    : {}  -> {} processors sustain {:.3} data sets/s (target {:.3})",
+            render_mapping(&problem, &sol.solution.mapping),
+            sol.procs,
+            sol.solution.throughput,
+            target
+        );
     }
     ExitCode::SUCCESS
 }
@@ -207,6 +275,7 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
     let mut positional = Vec::new();
     let mut datasets = 400usize;
     let mut noise: Option<f64> = None;
+    let mut seed = 0x51e5u64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -221,6 +290,13 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
                 Some(v) => noise = Some(v),
                 None => {
                     eprintln!("--noise needs a spread in [0, 1)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed needs an integer");
                     return ExitCode::FAILURE;
                 }
             },
@@ -259,17 +335,18 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
     let analytic = pipemap_chain::throughput(&problem.chain, &mapping);
     let mut cfg = pipemap_sim::SimConfig::with_datasets(datasets);
     if let Some(s) = noise {
-        cfg = cfg.with_noise(s, 0x51e5);
+        cfg = cfg.with_noise(s, seed);
     }
     let result = pipemap_sim::simulate(&problem.chain, &mapping, &cfg);
-    println!(
-        "mapping  : {}",
-        render_mapping(&problem, &mapping)
-    );
+    println!("mapping  : {}", render_mapping(&problem, &mapping));
     println!("analytic : {analytic:.3} data sets/s");
     println!(
-        "simulated: {:.3} data sets/s over {} data sets (latency mean {:.3}s)",
-        result.throughput, datasets, result.latency.mean
+        "simulated: {:.3} data sets/s over {} data sets",
+        result.throughput, datasets
+    );
+    println!(
+        "latency  : mean {:.3}s  p50 {:.3}s  p90 {:.3}s  p99 {:.3}s",
+        result.latency.mean, result.latency.p50, result.latency.p90, result.latency.p99
     );
     for (i, u) in result.utilization.iter().enumerate() {
         println!("module {i}: utilisation {:.0}%", 100.0 * u);
@@ -316,24 +393,85 @@ fn cmd_fit(args: &[String]) -> ExitCode {
 }
 
 fn cmd_demo(args: &[String]) -> ExitCode {
-    let systolic = args.iter().any(|a| a == "--systolic");
+    let mut systolic = false;
+    let mut metrics = false;
+    let mut trace_out: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--systolic" => systolic = true,
+            "--metrics" => metrics = true,
+            "--trace-out" => match it.next() {
+                Some(v) => trace_out = Some(v.clone()),
+                None => {
+                    eprintln!("--trace-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if name.is_none() => name = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let machine = if systolic {
         MachineConfig::iwarp_systolic()
     } else {
         MachineConfig::iwarp_message()
     };
-    let Some(app) = builtin_app(args.first().map(String::as_str)) else {
+    let Some(app) = builtin_app(name.as_deref()) else {
         eprintln!("unknown demo; pick fft-hist-256, fft-hist-512, radar, stereo");
         return ExitCode::FAILURE;
     };
-    match auto_map(&app, &machine, &MapperOptions::default()) {
-        Ok(report) => {
-            println!("{}", render_report(&report));
-            ExitCode::SUCCESS
-        }
+    if metrics {
+        // Capture solver counters and wall-time histograms while the
+        // mappers run; snapshotted into the JSON report.
+        pipemap_obs::install_global(pipemap_obs::Registry::new());
+    }
+    let options = MapperOptions::default();
+    let report = match auto_map(&app, &machine, &options) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("demo failed: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+    // Traced re-run of the chosen mapping on the ground-truth costs (same
+    // noise seed as the first measurement run) — the run the per-stage
+    // metrics and the Chrome trace describe.
+    let traced = (metrics || trace_out.is_some()).then(|| {
+        let mut cfg = pipemap_sim::SimConfig::with_datasets(options.sim_datasets).with_trace();
+        if let Some((s, seed)) = options.measurement_noise {
+            cfg = cfg.with_noise(s, seed);
+        }
+        pipemap_sim::simulate(&report.truth.chain, report.chosen(), &cfg)
+    });
+    if let Some(path) = &trace_out {
+        let trace = traced
+            .as_ref()
+            .and_then(|r| r.trace.as_ref())
+            .expect("trace collected");
+        let doc = pipemap_sim::chrome_trace_json(trace);
+        if let Err(e) = std::fs::write(path, doc.to_json_pretty()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote Chrome trace to {path} ({} activities)",
+            trace.activities.len()
+        );
     }
+    if metrics {
+        let snapshot = pipemap_obs::global_registry().map(|r| r.snapshot());
+        let traced = traced.as_ref().expect("traced run exists");
+        println!(
+            "{}",
+            demo_report_json(&report, traced, snapshot.as_ref()).to_json_pretty()
+        );
+    } else {
+        println!("{}", render_report(&report));
+    }
+    ExitCode::SUCCESS
 }

@@ -22,11 +22,13 @@
 pub mod mapper;
 pub mod markdown;
 pub mod render;
+pub mod report;
 pub mod sensitivity;
 pub mod spec;
 
 pub use mapper::{auto_map, MapperOptions, MappingReport};
 pub use markdown::{report_markdown, table2_header, table2_row};
 pub use render::{render_mapping, render_placement, render_report};
+pub use report::{demo_report_json, map_report_json, mapping_json, stage_metrics_json};
 pub use sensitivity::{perturb_problem, robustness, Robustness};
 pub use spec::{parse_mapping, parse_spec, render_spec, SpecError};

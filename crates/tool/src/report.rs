@@ -1,0 +1,364 @@
+//! Machine-readable (JSON) reports for the CLI.
+//!
+//! Where [`render`](crate::render) formats results for a terminal, this
+//! module emits the same information as structured JSON built on
+//! `pipemap-obs`'s [`Value`], so scripts can consume `pipemap map
+//! --report json` and `pipemap demo <app> --metrics` without scraping
+//! text. The demo report cross-references three layers:
+//!
+//! * the **model**'s per-stage predicted response times and throughput
+//!   capacity (fitted polynomials),
+//! * the **simulator**'s measured per-stage busy / receive / send time
+//!   and utilisation from an activity trace, and
+//! * the **solvers**' counters and wall-time histograms from the global
+//!   metrics registry (DP cells, lookups, prunings, …).
+
+use pipemap_chain::{module_response, Mapping, Problem};
+use pipemap_core::Solution;
+use pipemap_obs::{MetricsSnapshot, Value};
+use pipemap_sim::stats::percent_difference;
+use pipemap_sim::{ActivityKind, SimResult, Summary, Trace};
+
+use crate::mapper::MappingReport;
+use crate::render::render_mapping;
+
+/// A mapping as JSON: the compact string plus one object per module.
+pub fn mapping_json(problem: &Problem, mapping: &Mapping) -> Value {
+    let modules: Vec<Value> = mapping
+        .modules
+        .iter()
+        .map(|m| {
+            let names: Vec<&str> = (m.first..=m.last)
+                .map(|i| problem.chain.task(i).name.as_str())
+                .collect();
+            let mut o = Value::object();
+            o.set("tasks", names.join("+"));
+            o.set("first", m.first);
+            o.set("last", m.last);
+            o.set("replicas", m.replicas);
+            o.set("procs", m.procs);
+            o
+        })
+        .collect();
+    let mut o = Value::object();
+    o.set("compact", mapping.to_compact_string());
+    o.set("rendered", render_mapping(problem, mapping));
+    o.set("modules", modules);
+    o
+}
+
+/// A solver [`Solution`] as JSON (mapping plus model throughput).
+pub fn solution_json(problem: &Problem, solution: &Solution) -> Value {
+    let mut o = Value::object();
+    o.set("mapping", mapping_json(problem, &solution.mapping));
+    o.set("throughput", solution.throughput);
+    o
+}
+
+/// A sample [`Summary`] as JSON, including the percentiles.
+pub fn summary_json(s: &Summary) -> Value {
+    let mut o = Value::object();
+    o.set("count", s.count);
+    o.set("mean", s.mean);
+    o.set("std_dev", s.std_dev);
+    o.set("min", s.min);
+    o.set("max", s.max);
+    o.set("p50", s.p50);
+    o.set("p90", s.p90);
+    o.set("p99", s.p99);
+    o
+}
+
+/// Report for `pipemap map --report json`: the spec's dimensions, every
+/// solution found (labelled), and the solver metrics gathered while
+/// finding them.
+pub fn map_report_json(
+    file: &str,
+    problem: &Problem,
+    solutions: &[(&str, Solution)],
+    metrics: Option<&MetricsSnapshot>,
+) -> Value {
+    let mut sols = Value::object();
+    for (label, s) in solutions {
+        sols.set(*label, solution_json(problem, s));
+    }
+    let mut o = Value::object();
+    o.set("spec", file);
+    o.set("tasks", problem.num_tasks());
+    o.set("procs", problem.total_procs);
+    o.set("mem_per_proc", problem.mem_per_proc);
+    o.set("solutions", sols);
+    if let Some(m) = metrics {
+        o.set("solver", m.to_json());
+    }
+    o
+}
+
+/// Per-stage activity sums extracted from a simulation trace.
+#[derive(Clone, Copy, Debug, Default)]
+struct StageActivity {
+    recv: f64,
+    exec: f64,
+    send: f64,
+    datasets: usize,
+}
+
+fn stage_activity(trace: &Trace, module: usize) -> StageActivity {
+    let mut a = StageActivity::default();
+    for act in trace.activities.iter().filter(|x| x.module == module) {
+        let d = act.end - act.start;
+        match act.kind {
+            ActivityKind::Recv => a.recv += d,
+            ActivityKind::Exec => {
+                a.exec += d;
+                a.datasets += 1;
+            }
+            ActivityKind::Send => a.send += d,
+        }
+    }
+    a
+}
+
+/// Per-stage predicted-versus-measured table for a traced simulation of
+/// `mapping`. Predictions come from the fitted model's
+/// [`module_response`]; measurements from the trace: a module's measured
+/// response per data set is its total busy time divided by the data sets
+/// it processed, and its throughput capacity is `replicas / response`.
+/// `throughput_error_pct` is the paper's percent-difference convention
+/// (measured vs predicted) applied per stage.
+pub fn stage_metrics_json(fitted: &Problem, mapping: &Mapping, traced: &SimResult) -> Vec<Value> {
+    let trace = traced.trace.as_ref();
+    mapping
+        .modules
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let names: Vec<&str> = (m.first..=m.last)
+                .map(|t| fitted.chain.task(t).name.as_str())
+                .collect();
+            let predicted = module_response(&fitted.chain, mapping, i);
+            let predicted_capacity = if predicted.effective() > 0.0 {
+                1.0 / predicted.effective()
+            } else {
+                f64::INFINITY
+            };
+
+            let mut o = Value::object();
+            o.set("module", i);
+            o.set("tasks", names.join("+"));
+            o.set("replicas", m.replicas);
+            o.set("procs", m.procs);
+
+            let mut pred = Value::object();
+            pred.set("recv_s", predicted.incoming);
+            pred.set("exec_s", predicted.exec);
+            pred.set("send_s", predicted.outgoing);
+            pred.set("response_s", predicted.total());
+            pred.set("throughput", predicted_capacity);
+            o.set("predicted", pred);
+
+            if let Some(trace) = trace {
+                let act = stage_activity(trace, i);
+                let busy = act.recv + act.exec + act.send;
+                let response = if act.datasets > 0 {
+                    busy / act.datasets as f64
+                } else {
+                    0.0
+                };
+                let capacity = if response > 0.0 {
+                    m.replicas as f64 / response
+                } else {
+                    f64::INFINITY
+                };
+                let mut meas = Value::object();
+                meas.set("datasets", act.datasets);
+                meas.set("recv_wait_s", act.recv);
+                meas.set("exec_s", act.exec);
+                meas.set("send_wait_s", act.send);
+                meas.set("response_s", response);
+                meas.set("throughput", capacity);
+                meas.set(
+                    "utilization",
+                    traced.utilization.get(i).copied().unwrap_or(0.0),
+                );
+                o.set("measured", meas);
+                o.set(
+                    "throughput_error_pct",
+                    percent_difference(capacity, predicted_capacity),
+                );
+            }
+            o
+        })
+        .collect()
+}
+
+/// Report for `pipemap demo <app> --metrics`: fit quality, every
+/// solution, end-to-end predicted/measured throughput, latency
+/// percentiles, the per-stage table of [`stage_metrics_json`], and the
+/// solver metrics snapshot.
+///
+/// `traced` must be a simulation of `report.chosen()` on the
+/// ground-truth costs with trace collection enabled.
+pub fn demo_report_json(
+    report: &MappingReport,
+    traced: &SimResult,
+    metrics: Option<&MetricsSnapshot>,
+) -> Value {
+    let mut machine = Value::object();
+    machine.set("rows", report.machine.rows);
+    machine.set("cols", report.machine.cols);
+    machine.set("mode", report.machine.mode.label());
+
+    let mut fit = Value::object();
+    fit.set(
+        "mean_rel_error_pct",
+        report.fit_accuracy.mean_rel_error * 100.0,
+    );
+    fit.set(
+        "max_rel_error_pct",
+        report.fit_accuracy.max_rel_error * 100.0,
+    );
+    fit.set("points", report.fit_accuracy.points);
+
+    let mut sols = Value::object();
+    if let Some(opt) = &report.optimal {
+        sols.set("optimal", solution_json(&report.fitted, opt));
+    }
+    sols.set("greedy", solution_json(&report.fitted, &report.greedy));
+    if let Some((m, thr)) = &report.feasible {
+        let mut f = Value::object();
+        f.set("mapping", mapping_json(&report.fitted, m));
+        f.set("throughput", *thr);
+        sols.set("feasible", f);
+    }
+
+    let mut thr = Value::object();
+    thr.set("predicted", report.predicted_throughput);
+    thr.set("measured", report.measured.throughput);
+    thr.set("percent_difference", report.percent_difference());
+    thr.set("data_parallel", report.data_parallel.throughput);
+    thr.set(
+        "speedup_over_data_parallel",
+        report.optimal_over_data_parallel(),
+    );
+    thr.set("measured_runs", summary_json(&report.measured_spread));
+
+    let mut o = Value::object();
+    o.set("app", report.app.clone());
+    o.set("machine", machine);
+    o.set("fit", fit);
+    o.set("solutions", sols);
+    o.set("chosen", mapping_json(&report.fitted, report.chosen()));
+    o.set("throughput", thr);
+    o.set("latency", summary_json(&report.measured.latency));
+    o.set(
+        "stages",
+        stage_metrics_json(&report.fitted, report.chosen(), traced),
+    );
+    if let Some(m) = metrics {
+        o.set("solver", m.to_json());
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{auto_map, MapperOptions};
+    use pipemap_chain::{ChainBuilder, Edge, ModuleAssignment, Task};
+    use pipemap_machine::workload::TaskWorkload;
+    use pipemap_machine::{AppWorkload, EdgeWorkload, MachineConfig};
+    use pipemap_model::{MemoryReq, PolyEcom, PolyUnary};
+    use pipemap_sim::{simulate, SimConfig};
+
+    fn two_stage() -> (Problem, Mapping) {
+        let chain = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::perfectly_parallel(2.0)))
+            .edge(Edge::new(
+                PolyUnary::zero(),
+                PolyEcom::new(0.5, 0.0, 0.0, 0.0, 0.0),
+            ))
+            .task(Task::new("b", PolyUnary::perfectly_parallel(4.0)))
+            .build();
+        let problem = Problem::new(chain, 4, 1e9);
+        let mapping = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 2),
+            ModuleAssignment::new(1, 1, 1, 2),
+        ]);
+        (problem, mapping)
+    }
+
+    #[test]
+    fn mapping_json_has_one_object_per_module() {
+        let (problem, mapping) = two_stage();
+        let v = mapping_json(&problem, &mapping);
+        let modules = v.get("modules").unwrap().as_array().unwrap();
+        assert_eq!(modules.len(), 2);
+        assert_eq!(modules[0].get("tasks").and_then(Value::as_str), Some("a"));
+        assert!(v.get("compact").and_then(Value::as_str).is_some());
+        // Round-trips through the parser.
+        assert!(Value::parse(&v.to_json()).is_ok());
+    }
+
+    #[test]
+    fn stage_metrics_compare_prediction_with_trace() {
+        let (problem, mapping) = two_stage();
+        let traced = simulate(
+            &problem.chain,
+            &mapping,
+            &SimConfig::with_datasets(20).with_trace(),
+        );
+        let stages = stage_metrics_json(&problem, &mapping, &traced);
+        assert_eq!(stages.len(), 2);
+        for s in &stages {
+            let meas = s.get("measured").expect("trace present");
+            assert_eq!(meas.get("datasets").and_then(Value::as_f64), Some(20.0));
+            // Noise-free run: per-stage prediction is near-exact once the
+            // pipeline reaches steady state (small edge effects allowed).
+            let err = s
+                .get("throughput_error_pct")
+                .and_then(Value::as_f64)
+                .unwrap();
+            assert!(err.abs() < 5.0, "stage error {err}%");
+            let u = meas.get("utilization").and_then(Value::as_f64).unwrap();
+            assert!((0.0..=1.0 + 1e-9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn demo_report_is_valid_json_with_expected_keys() {
+        let mut a = TaskWorkload::parallel("front", 4e6, 32);
+        a.memory = MemoryReq::new(4e3, 0.6e6);
+        let mut b = TaskWorkload::parallel("back", 6e6, 32);
+        b.memory = MemoryReq::new(4e3, 0.8e6);
+        let app = AppWorkload::new("small", vec![a, b], vec![EdgeWorkload::all_to_all(2e5)]);
+        let machine = MachineConfig::iwarp_message().with_geometry(4, 4);
+        let report = auto_map(&app, &machine, &MapperOptions::exact()).unwrap();
+        let traced = simulate(
+            &report.truth.chain,
+            report.chosen(),
+            &SimConfig::with_datasets(50).with_trace(),
+        );
+        let registry = pipemap_obs::Registry::new();
+        let v = demo_report_json(&report, &traced, Some(&registry.snapshot()));
+        let parsed = Value::parse(&v.to_json_pretty()).expect("valid JSON");
+        for key in [
+            "app",
+            "machine",
+            "fit",
+            "solutions",
+            "chosen",
+            "throughput",
+            "latency",
+            "stages",
+            "solver",
+        ] {
+            assert!(parsed.get(key).is_some(), "missing key {key}");
+        }
+        let lat = parsed.get("latency").unwrap();
+        assert!(lat.get("p50").and_then(Value::as_f64).is_some());
+        assert!(lat.get("p99").and_then(Value::as_f64).is_some());
+        let stages = parsed.get("stages").unwrap().as_array().unwrap();
+        assert_eq!(stages.len(), report.chosen().num_modules());
+    }
+}

@@ -29,9 +29,7 @@
 //! used: the grammar is three keyword forms.
 
 use pipemap_chain::{ChainBuilder, Edge, Problem, Task};
-use pipemap_model::{
-    BinaryCost, MemoryReq, PolyEcom, PolyUnary, Tabulated, UnaryCost,
-};
+use pipemap_model::{BinaryCost, MemoryReq, PolyEcom, PolyUnary, Tabulated, UnaryCost};
 
 /// A parse failure, with the 1-based line number.
 #[derive(Clone, Debug, PartialEq)]
@@ -114,10 +112,15 @@ fn parse_ecom(line: usize, toks: &[&str]) -> Result<BinaryCost, SpecError> {
                 .map(|t| parse_f64(line, t, "coefficient"))
                 .collect();
             let c = c?;
-            Ok(BinaryCost::Poly(PolyEcom::new(c[0], c[1], c[2], c[3], c[4])))
+            Ok(BinaryCost::Poly(PolyEcom::new(
+                c[0], c[1], c[2], c[3], c[4],
+            )))
         }
         Some("zero") => Ok(BinaryCost::Zero),
-        other => Err(err(line, format!("expected 'poly' or 'zero', got {other:?}"))),
+        other => Err(err(
+            line,
+            format!("expected 'poly' or 'zero', got {other:?}"),
+        )),
     }
 }
 
@@ -148,9 +151,9 @@ pub fn parse_spec(text: &str) -> Result<Problem, SpecError> {
     let mut section = Section::None;
 
     let flush = |section: &mut Section,
-                     builder: &mut ChainBuilder,
-                     tasks: &mut usize,
-                     edges: &mut usize|
+                 builder: &mut ChainBuilder,
+                 tasks: &mut usize,
+                 edges: &mut usize|
      -> Result<(), SpecError> {
         let taken = std::mem::replace(section, Section::None);
         match taken {
@@ -166,7 +169,10 @@ pub fn parse_spec(text: &str) -> Result<Problem, SpecError> {
                 let exec =
                     exec.ok_or_else(|| err(line, format!("task '{name}' is missing 'exec'")))?;
                 if *tasks != *edges {
-                    return Err(err(line, "two tasks in a row: an 'edge' must separate them"));
+                    return Err(err(
+                        line,
+                        "two tasks in a row: an 'edge' must separate them",
+                    ));
                 }
                 let mut t = Task::new(name, exec).with_memory(memory);
                 if !replicable {
@@ -201,7 +207,11 @@ pub fn parse_spec(text: &str) -> Result<Problem, SpecError> {
         let toks: Vec<&str> = line.split_whitespace().collect();
         match toks[0] {
             "procs" => {
-                procs = Some(parse_usize(lineno, toks.get(1).copied().unwrap_or(""), "procs")?)
+                procs = Some(parse_usize(
+                    lineno,
+                    toks.get(1).copied().unwrap_or(""),
+                    "procs",
+                )?)
             }
             "mem_per_proc" => {
                 mem = Some(parse_f64(
@@ -214,9 +224,7 @@ pub fn parse_spec(text: &str) -> Result<Problem, SpecError> {
                 replication = match toks.get(1).copied() {
                     Some("on") | Some("yes") | Some("maximal") => true,
                     Some("off") | Some("no") => false,
-                    other => {
-                        return Err(err(lineno, format!("replication on/off, got {other:?}")))
-                    }
+                    other => return Err(err(lineno, format!("replication on/off, got {other:?}"))),
                 }
             }
             "task" => {
@@ -248,7 +256,10 @@ pub fn parse_spec(text: &str) -> Result<Problem, SpecError> {
             "memory" => match &mut section {
                 Section::Task { memory, .. } => {
                     if toks.len() != 3 {
-                        return Err(err(lineno, "memory needs: resident_bytes distributed_bytes"));
+                        return Err(err(
+                            lineno,
+                            "memory needs: resident_bytes distributed_bytes",
+                        ));
                     }
                     *memory = MemoryReq::new(
                         parse_f64(lineno, toks[1], "resident bytes")?,
@@ -313,11 +324,7 @@ pub fn render_spec(problem: &Problem) -> Result<String, SpecError> {
             UnaryCost::Zero => Ok(format!("  {kind} zero\n")),
             UnaryCost::Poly(p) => Ok(format!("  {kind} poly {} {} {}\n", p.c1, p.c2, p.c3)),
             UnaryCost::Table(t) => {
-                let pts: Vec<String> = t
-                    .points()
-                    .iter()
-                    .map(|(p, v)| format!("{p}:{v}"))
-                    .collect();
+                let pts: Vec<String> = t.points().iter().map(|(p, v)| format!("{p}:{v}")).collect();
                 Ok(format!("  {kind} table {}\n", pts.join(" ")))
             }
             other => Err(err(
@@ -402,10 +409,12 @@ pub fn parse_mapping(text: &str) -> Result<pipemap_chain::Mapping, SpecError> {
                 (t, t)
             }
         };
-        let (r, p) = alloc
-            .trim()
-            .split_once(['x', 'X'])
-            .ok_or_else(|| err(i + 1, format!("allocation '{alloc}' needs replicas x procs")))?;
+        let (r, p) = alloc.trim().split_once(['x', 'X']).ok_or_else(|| {
+            err(
+                i + 1,
+                format!("allocation '{alloc}' needs replicas x procs"),
+            )
+        })?;
         let replicas = parse_usize(i + 1, r.trim(), "replicas")?;
         let procs = parse_usize(i + 1, p.trim(), "procs")?;
         if replicas == 0 || procs == 0 || last < first {
@@ -458,10 +467,7 @@ task back
         assert!((p.chain.task(1).exec.eval(4) - 0.9).abs() < 1e-12);
         assert!(!p.chain.task(1).replicable);
         assert_eq!(p.chain.task(1).min_procs, Some(2));
-        assert_eq!(
-            p.replication,
-            pipemap_chain::ReplicationPolicy::Disabled
-        );
+        assert_eq!(p.replication, pipemap_chain::ReplicationPolicy::Disabled);
     }
 
     #[test]

@@ -142,14 +142,24 @@ fn unknown_command_fails() {
 fn fit_emits_a_mappable_spec() {
     let dir = std::env::temp_dir().join("pipemap-cli-test-fit");
     std::fs::create_dir_all(&dir).unwrap();
-    let fit = pipemap().arg("fit").arg("radar").arg("--systolic").output().unwrap();
+    let fit = pipemap()
+        .arg("fit")
+        .arg("radar")
+        .arg("--systolic")
+        .output()
+        .unwrap();
     assert!(
         fit.status.success(),
         "stderr: {}",
         String::from_utf8_lossy(&fit.stderr)
     );
     let spec = write_spec(&dir, "radar.pmap", &String::from_utf8_lossy(&fit.stdout));
-    let map = pipemap().arg("map").arg(&spec).arg("--greedy-only").output().unwrap();
+    let map = pipemap()
+        .arg("map")
+        .arg(&spec)
+        .arg("--greedy-only")
+        .output()
+        .unwrap();
     assert!(
         map.status.success(),
         "stderr: {}",

@@ -21,7 +21,13 @@ fn arb_problem() -> impl Strategy<Value = Problem> {
             1..5,
         ),
         prop::collection::vec(
-            (0.0..1.0f64, 0.0..2.0f64, 0.0..2.0f64, 0.0..0.1f64, 0.0..0.1f64),
+            (
+                0.0..1.0f64,
+                0.0..2.0f64,
+                0.0..2.0f64,
+                0.0..0.1f64,
+                0.0..0.1f64,
+            ),
             4,
         ),
         2..64usize,

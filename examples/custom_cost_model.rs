@@ -42,8 +42,20 @@ fn main() {
 
     // 2. Tabulated profiles: measured at a few processor counts,
     //    interpolated in between — no functional form assumed.
-    let produce = Tabulated::new(vec![(1, 0.251), (2, 0.132), (4, 0.073), (8, 0.044), (16, 0.031)]);
-    let consume = Tabulated::new(vec![(1, 0.422), (2, 0.224), (4, 0.125), (8, 0.077), (16, 0.057)]);
+    let produce = Tabulated::new(vec![
+        (1, 0.251),
+        (2, 0.132),
+        (4, 0.073),
+        (8, 0.044),
+        (16, 0.031),
+    ]);
+    let consume = Tabulated::new(vec![
+        (1, 0.422),
+        (2, 0.224),
+        (4, 0.125),
+        (8, 0.077),
+        (16, 0.057),
+    ]);
     let table = ChainBuilder::new()
         .task(Task::new("produce", produce))
         .edge(Edge::new(

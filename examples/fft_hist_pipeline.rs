@@ -25,21 +25,24 @@ fn colffts_stage() -> Stage {
 /// One fused stage per mapper module: clustering means the member tasks
 /// run back to back in one address space.
 fn fused_stage(first: usize, last: usize) -> Stage {
-    Stage::new(format!("tasks{first}-{last}"), move |mut m: Matrix, threads| {
-        // Tasks: 0 = colffts, 1 = rowffts, 2 = hist. Only the suffix
-        // containing rowffts/hist is ever fused in practice, but handle
-        // any contiguous range so arbitrary mapper output runs.
-        let mut hist_out: Option<Vec<u64>> = None;
-        for task in first..=last {
-            match task {
-                0 => fft_cols(&mut m, threads),
-                1 => fft_rows(&mut m, threads),
-                2 => hist_out = Some(histogram(&m, 64, 1e7, threads)),
-                _ => unreachable!("FFT-Hist has 3 tasks"),
+    Stage::new(
+        format!("tasks{first}-{last}"),
+        move |mut m: Matrix, threads| {
+            // Tasks: 0 = colffts, 1 = rowffts, 2 = hist. Only the suffix
+            // containing rowffts/hist is ever fused in practice, but handle
+            // any contiguous range so arbitrary mapper output runs.
+            let mut hist_out: Option<Vec<u64>> = None;
+            for task in first..=last {
+                match task {
+                    0 => fft_cols(&mut m, threads),
+                    1 => fft_rows(&mut m, threads),
+                    2 => hist_out = Some(histogram(&m, 64, 1e7, threads)),
+                    _ => unreachable!("FFT-Hist has 3 tasks"),
+                }
             }
-        }
-        hist_out.expect("the last module ends with hist")
-    })
+            hist_out.expect("the last module ends with hist")
+        },
+    )
 }
 
 fn inputs(n: usize, count: usize) -> Vec<Data> {
@@ -98,9 +101,7 @@ fn main() {
         model_procs: machine.total_procs(),
     };
     let plan = plan_from_mapping(&mapping, stages, budget);
-    println!(
-        "executing {count} arrays of {n}x{n} complex on {threads} hardware threads"
-    );
+    println!("executing {count} arrays of {n}x{n} complex on {threads} hardware threads");
 
     // 3. Run it, against a serial baseline.
     let serial = PipelinePlan::new(vec![

@@ -7,9 +7,7 @@
 //! cargo run --release --example mapping_styles
 //! ```
 
-use pipemap::chain::{
-    throughput, ChainBuilder, Edge, Mapping, ModuleAssignment, Problem, Task,
-};
+use pipemap::chain::{throughput, ChainBuilder, Edge, Mapping, ModuleAssignment, Problem, Task};
 use pipemap::core::dp_mapping;
 use pipemap::model::{PolyEcom, PolyUnary};
 use pipemap::sim::{simulate, SimConfig};
@@ -34,7 +32,11 @@ fn main() {
     println!("(4-task chain on {p} processors)\n");
 
     // (a) Pure data parallel: one module on all processors.
-    show(&problem, "(a) data parallel", Mapping::data_parallel(&problem));
+    show(
+        &problem,
+        "(a) data parallel",
+        Mapping::data_parallel(&problem),
+    );
 
     // (b) Pure task parallel: one module per task.
     show(
@@ -63,7 +65,10 @@ fn main() {
             .mapping
             .modules
             .iter()
-            .map(|m| format!("tasks {}..={} x{} on {}p", m.first, m.last, m.replicas, m.procs))
+            .map(|m| format!(
+                "tasks {}..={} x{} on {}p",
+                m.first, m.last, m.replicas, m.procs
+            ))
             .collect::<Vec<_>>()
     );
 }

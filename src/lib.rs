@@ -15,6 +15,7 @@
 //! * [`profile`] — profiling and least-squares model fitting;
 //! * [`apps`] — the paper's application suite;
 //! * [`exec`] — a real threaded executor with real kernels;
+//! * [`obs`] — metrics, span timing, and Chrome-trace export;
 //! * [`tool`] — the end-to-end automatic mapping tool.
 //!
 //! ## Example
@@ -50,6 +51,7 @@ pub use pipemap_core as core;
 pub use pipemap_exec as exec;
 pub use pipemap_machine as machine;
 pub use pipemap_model as model;
+pub use pipemap_obs as obs;
 pub use pipemap_profile as profile;
 pub use pipemap_sim as sim;
 pub use pipemap_tool as tool;

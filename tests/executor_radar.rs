@@ -3,9 +3,9 @@
 //! detector, with the tracker stage kept to a single instance as the
 //! mapper requires.
 
+use pipemap::chain::{Mapping, ModuleAssignment};
 use pipemap::exec::kernels::{fft_inplace, fir_filter, Complex};
 use pipemap::exec::{plan_from_mapping, run_pipeline, Data, Stage, ThreadBudget};
-use pipemap::chain::{Mapping, ModuleAssignment};
 
 const CHANNELS: usize = 8;
 const SAMPLES: usize = 256;
@@ -37,8 +37,7 @@ fn stages() -> Vec<Stage> {
     let doppler = Stage::new("doppler-fft", |d: (usize, Vec<Vec<f64>>), threads| {
         let (seq, channels) = d;
         let spectra = pipemap::exec::kernels::map_units(&channels, threads, |ch| {
-            let mut buf: Vec<Complex> =
-                ch.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            let mut buf: Vec<Complex> = ch.iter().map(|&x| Complex::new(x, 0.0)).collect();
             fft_inplace(&mut buf);
             buf
         });

@@ -90,7 +90,13 @@ fn flavors_have_distinct_structures() {
     .into_iter()
     .map(|f| {
         let (_, sol) = solve(f, 4);
-        let max_r = sol.mapping.modules.iter().map(|m| m.replicas).max().unwrap();
+        let max_r = sol
+            .mapping
+            .modules
+            .iter()
+            .map(|m| m.replicas)
+            .max()
+            .unwrap();
         (sol.mapping.num_modules(), max_r)
     })
     .collect();

@@ -116,7 +116,10 @@ fn table2_optimal_beats_data_parallel_by_paper_factors() {
             MachineConfig::iwarp_message(),
         ),
         (radar(RadarConfig::paper()), MachineConfig::iwarp_systolic()),
-        (stereo(StereoConfig::paper()), MachineConfig::iwarp_systolic()),
+        (
+            stereo(StereoConfig::paper()),
+            MachineConfig::iwarp_systolic(),
+        ),
     ];
     for (app, machine) in configs {
         let truth = synthesize_problem(&app, &machine);
