@@ -16,4 +16,17 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== bench-smoke: quick perf suite + schema check =="
+BENCH_SMOKE_OUT=$(mktemp /tmp/pipemap-bench-smoke.XXXXXX.json)
+trap 'rm -f "$BENCH_SMOKE_OUT"' EXIT
+./target/release/pipemap bench --quick --out "$BENCH_SMOKE_OUT"
+./target/release/pipemap bench --validate "$BENCH_SMOKE_OUT"
+# Compare against the committed baseline when one exists. Warn-only:
+# the quick suite on arbitrary CI hardware is indicative, not a gate —
+# the real gate is `pipemap bench --compare` on like-for-like machines.
+if [ -f BENCH_baseline.json ]; then
+    ./target/release/pipemap bench --warn-only \
+        --compare BENCH_baseline.json --against "$BENCH_SMOKE_OUT"
+fi
+
 echo "CI OK"

@@ -74,5 +74,40 @@ fn bench_stereo(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_histogram, bench_stereo);
+/// Micro-check that the disabled (no-op) recorder adds nothing
+/// measurable to a hot kernel loop: the instrumented FFT run must track
+/// the bare one. The zero-allocation guarantee itself is asserted by
+/// `pipemap-obs`'s `noop_overhead` test; this keeps the wall-clock side
+/// visible in the bench report.
+fn bench_noop_recorder(c: &mut Criterion) {
+    let m = Matrix::from_fn(128, |r, col| Complex::new((r + col) as f64, 0.0));
+    let mut g = c.benchmark_group("noop_recorder");
+    g.bench_function("fft128_bare", |b| {
+        b.iter(|| {
+            let mut x = m.clone();
+            fft_rows(&mut x, 1);
+            x
+        });
+    });
+    g.bench_function("fft128_instrumented_disabled", |b| {
+        let rec = pipemap_obs::Recorder::disabled();
+        let counter = rec.counter("bench.fft.rows");
+        b.iter(|| {
+            let mut x = m.clone();
+            let _t = rec.timer("bench.fft.wall_s");
+            fft_rows(&mut x, 1);
+            counter.add(1);
+            x
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_histogram,
+    bench_stereo,
+    bench_noop_recorder
+);
 criterion_main!(benches);

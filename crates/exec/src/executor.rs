@@ -188,6 +188,12 @@ pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, Pipel
                 scope.spawn(move || {
                     let service_hist =
                         rec.histogram(&format!("exec.stage{si}.{}.service_s", stage.name));
+                    // Monotonic per-stage counters (µs) — the flight
+                    // recorder derives live busy/wait rates (and hence
+                    // utilization) from their deltas.
+                    let recv_ctr = rec.counter(&format!("exec.stage{si}.recv_wait_us"));
+                    let busy_ctr = rec.counter(&format!("exec.stage{si}.busy_us"));
+                    let send_ctr = rec.counter(&format!("exec.stage{si}.send_wait_us"));
                     let born = Instant::now();
                     let mut recv_wait = 0.0f64;
                     let mut busy = 0.0f64;
@@ -197,6 +203,7 @@ pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, Pipel
                         let msg = rx.recv();
                         let waited = t_recv.elapsed().as_secs_f64();
                         recv_wait += waited;
+                        recv_ctr.add((waited * 1e6) as u64);
                         let Ok((seq, data)) = msg else { break };
                         if tracing && waited > 0.0 {
                             let now = rec.now_us();
@@ -214,6 +221,7 @@ pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, Pipel
                         let service = t_exec.elapsed().as_secs_f64();
                         busy += service;
                         service_hist.record(service);
+                        busy_ctr.add((service * 1e6) as u64);
                         if tracing {
                             let now = rec.now_us();
                             rec.event(TraceEvent {
@@ -239,6 +247,7 @@ pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, Pipel
                         }
                         let blocked = t_send.elapsed().as_secs_f64();
                         send_wait += blocked;
+                        send_ctr.add((blocked * 1e6) as u64);
                         if tracing && blocked > 0.0 {
                             let now = rec.now_us();
                             rec.event(TraceEvent {
@@ -279,9 +288,11 @@ pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, Pipel
         });
 
         // Collect and reorder.
+        let done_ctr = pipemap_obs::global().counter("exec.datasets.completed");
         let mut out: Vec<Option<Data>> = (0..n_data).map(|_| None).collect();
         for _ in 0..n_data {
             let (seq, data) = sink_r.recv().expect("pipeline dropped a data set");
+            done_ctr.add(1);
             out[seq] = Some(data);
         }
         out

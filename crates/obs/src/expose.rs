@@ -1,0 +1,265 @@
+//! Live metrics exposition over HTTP — std-only, no external crates.
+//!
+//! [`serve`] binds a [`std::net::TcpListener`] and answers three routes
+//! with a minimal HTTP/1.1 response per connection:
+//!
+//! * `GET /metrics` — OpenMetrics text (see [`crate::openmetrics`]);
+//! * `GET /snapshot.json` — the full metrics snapshot as pretty JSON;
+//! * `GET /recorder.jsonl` — the flight-recorder ring as JSONL (404
+//!   when no recorder is attached).
+//!
+//! The server runs on one background thread, handling connections
+//! serially — scrape endpoints see one client at a time and responses
+//! are small, so there is no need for a thread pool. The returned
+//! [`MetricsServer`] stops the thread on drop (it wakes the blocking
+//! `accept` with a loopback connection).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::Registry;
+use crate::recorder::FlightRecorder;
+
+/// Handle to a running exposition server; shuts down on drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful when serving on port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve `registry` (and optionally a flight recorder's ring) on `addr`.
+///
+/// `addr` is anything [`ToSocketAddrs`] accepts, e.g. `"127.0.0.1:9184"`
+/// or `"127.0.0.1:0"` to pick a free port (read it back from
+/// [`MetricsServer::addr`]).
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    registry: &Registry,
+    recorder: Option<&FlightRecorder>,
+) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let registry = registry.clone_handle();
+    let recorder = recorder.map(FlightRecorder::share_ring);
+    let stop_flag = stop.clone();
+    let thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop_flag.load(Ordering::Relaxed) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            // A misbehaving client must not wedge the scrape loop.
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+            let _ = handle(stream, &registry, recorder.as_ref());
+        }
+    });
+    Ok(MetricsServer {
+        addr: local,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn handle(
+    mut stream: TcpStream,
+    registry: &Registry,
+    recorder: Option<&FlightRecorder>,
+) -> std::io::Result<()> {
+    let path = match read_request_path(&mut stream) {
+        Some(p) => p,
+        None => {
+            return respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain; charset=utf-8",
+                "bad request\n",
+            )
+        }
+    };
+    match path.as_str() {
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            &registry.to_openmetrics(),
+        ),
+        "/snapshot.json" => {
+            let mut body = registry.snapshot().to_json().to_json_pretty();
+            body.push('\n');
+            respond(
+                &mut stream,
+                "200 OK",
+                "application/json; charset=utf-8",
+                &body,
+            )
+        }
+        "/recorder.jsonl" => match recorder {
+            Some(rec) => respond(
+                &mut stream,
+                "200 OK",
+                "application/jsonl; charset=utf-8",
+                &rec.to_jsonl(),
+            ),
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no flight recorder attached\n",
+            ),
+        },
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "routes: /metrics /snapshot.json /recorder.jsonl\n",
+        ),
+    }
+}
+
+/// Read up to the end of the request headers and return the request
+/// path, or `None` for anything that is not a well-formed GET.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 4096];
+    let mut used = 0;
+    loop {
+        let n = stream.read(&mut buf[used..]).ok()?;
+        if n == 0 {
+            break;
+        }
+        used += n;
+        if buf[..used].windows(4).any(|w| w == b"\r\n\r\n") || used == buf.len() {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&buf[..used]).ok()?;
+    let mut parts = text.lines().next()?.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Ignore any query string.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RecorderConfig;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_snapshot_and_recorder() {
+        let registry = Registry::new();
+        let r = registry.recorder();
+        r.add("srv.requests", 3);
+        r.gauge_set("srv.level", 1.5);
+        r.observe("srv.latency_s", 0.01);
+        let rec = FlightRecorder::attach(&registry, RecorderConfig::default());
+        rec.sample_now();
+        rec.sample_now();
+
+        let server = serve("127.0.0.1:0", &registry, Some(&rec)).unwrap();
+        let addr = server.addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("application/openmetrics-text"));
+        assert!(body.contains("pipemap_srv_requests_total 3"));
+        assert!(body.contains("# TYPE pipemap_srv_level gauge"));
+        assert!(body.contains("pipemap_srv_latency_s_bucket"));
+        assert!(body.ends_with("# EOF\n"));
+
+        let (head, body) = http_get(addr, "/snapshot.json");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        let doc = crate::json::Value::parse(body.trim()).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("srv.requests"))
+                .and_then(crate::json::Value::as_f64),
+            Some(3.0)
+        );
+
+        let (head, body) = http_get(addr, "/recorder.jsonl");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body.lines().count(), 2);
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn recorder_route_is_404_without_a_recorder() {
+        let registry = Registry::new();
+        let server = serve("127.0.0.1:0", &registry, None).unwrap();
+        let (head, _) = http_get(server.addr(), "/recorder.jsonl");
+        assert!(head.starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let registry = Registry::new();
+        let mut server = serve("127.0.0.1:0", &registry, None).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        // The listener is gone: either connect fails or reads see EOF.
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = write!(s, "GET /metrics HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            assert!(out.is_empty(), "server answered after shutdown: {out}");
+        }
+    }
+}

@@ -57,6 +57,14 @@ impl Value {
         }
     }
 
+    /// The key/value pairs of an object (`None` for non-objects).
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// The numeric value (`None` for non-numbers).
     pub fn as_f64(&self) -> Option<f64> {
         match self {

@@ -4,7 +4,11 @@
 //! metrics registry (counters, gauges, log-bucketed histograms with
 //! p50/p95/p99/max), lightweight span timing with a structured JSONL
 //! event sink, and a Chrome `trace_event` exporter whose output loads
-//! directly in Perfetto.
+//! directly in Perfetto. On top of the registry sit the live layers:
+//! an OpenMetrics/Prometheus text endpoint served from a plain
+//! [`std::net::TcpListener`] ([`expose`]), and a [`recorder`] flight
+//! recorder that samples the registry into a bounded ring for rate
+//! derivation, JSONL dumps, and Chrome counter tracks.
 //!
 //! The design splits *ownership* from *recording*:
 //!
@@ -27,18 +31,24 @@
 //!
 //! Only std is used — no external dependencies.
 
+pub mod expose;
 pub mod json;
 pub mod metrics;
+pub mod openmetrics;
+pub mod recorder;
 pub mod trace;
 
 use std::sync::OnceLock;
 
+pub use expose::{serve, MetricsServer};
 pub use json::Value;
 pub use metrics::{
     Counter, Histogram, HistogramHandle, HistogramSummary, MetricsSnapshot, Recorder, Registry,
     Timer,
 };
-pub use trace::{chrome_trace, events_to_jsonl, SpanGuard, TraceEvent};
+pub use openmetrics::render_openmetrics;
+pub use recorder::{FlightRecorder, FlightSample, RecorderConfig};
+pub use trace::{chrome_trace, chrome_trace_with_counters, events_to_jsonl, SpanGuard, TraceEvent};
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
 

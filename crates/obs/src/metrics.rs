@@ -57,6 +57,14 @@ fn bucket_value(idx: usize) -> f64 {
     2f64.powi(exp) * (1.0 + (sub + 0.5) / SUB_BUCKETS as f64)
 }
 
+/// Inclusive upper bound of a bucket — the `le` label in OpenMetrics
+/// exposition.
+fn bucket_upper(idx: usize) -> f64 {
+    let exp = (idx / SUB_BUCKETS) as i32 - OCTAVES as i32 / 2;
+    let sub = (idx % SUB_BUCKETS) as f64;
+    2f64.powi(exp) * (1.0 + (sub + 1.0) / SUB_BUCKETS as f64)
+}
+
 fn atomic_f64_add(cell: &AtomicU64, delta: f64) {
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
@@ -87,8 +95,16 @@ pub struct Histogram {
     max: AtomicU64,
 }
 
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Histogram {
-    fn new() -> Self {
+    /// An empty histogram (standalone use; registries create their own
+    /// via [`Recorder::observe`]).
+    pub fn new() -> Self {
         Self {
             buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
@@ -103,6 +119,22 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         atomic_f64_add(&self.sum, v);
         atomic_f64_max(&self.max, v);
+    }
+
+    /// Cumulative `(upper_bound, count)` pairs over the non-empty
+    /// buckets, in increasing bound order — the OpenMetrics `_bucket`
+    /// series (the implicit `+Inf` bound equals the total count).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                cum += c;
+                out.push((bucket_upper(idx), cum));
+            }
+        }
+        out
     }
 
     /// A consistent-enough point-in-time summary (readers racing
@@ -219,6 +251,29 @@ impl Registry {
         Recorder {
             inner: Some(self.inner.clone()),
         }
+    }
+
+    /// A second owner of the same storage, for handing the registry to a
+    /// background thread (the metrics server, the flight recorder).
+    /// Snapshots taken through either handle see the same metrics.
+    pub fn clone_handle(&self) -> Registry {
+        Registry {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Seconds since this registry was created.
+    pub fn uptime_s(&self) -> f64 {
+        self.inner.epoch.elapsed().as_secs_f64()
+    }
+
+    /// The histograms by name, with live access to their buckets (for
+    /// exposition formats that need more than the summary).
+    pub(crate) fn histogram_cells(&self) -> Vec<(String, Arc<Histogram>)> {
+        lock(&self.inner.histograms)
+            .iter()
+            .map(|(k, h)| (k.clone(), h.clone()))
+            .collect()
     }
 
     /// Register a named trace lane (a Chrome `tid`); returns its id.

@@ -1,0 +1,161 @@
+//! OpenMetrics / Prometheus text exposition of a [`Registry`].
+//!
+//! [`render_openmetrics`] turns the live registry into the text format
+//! Prometheus scrapes: one `counter` family per counter (`_total`
+//! sample), one `gauge` family per gauge, and for every histogram both a
+//! `histogram` family (cumulative `_bucket{le=...}` series over the
+//! non-empty log buckets, plus `_sum`/`_count`) and a companion
+//! `summary` family `<name>_q` carrying the p50/p95/p99 estimates. The
+//! document ends with the `# EOF` terminator OpenMetrics requires.
+//!
+//! Metric names are sanitised to `[a-zA-Z0-9_:]` (the registry's dotted
+//! names become underscored) and prefixed with `pipemap_`.
+
+use crate::metrics::Registry;
+
+/// Sanitise a registry metric name into an exposition metric name.
+fn metric_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 8);
+    out.push_str("pipemap_");
+    // The "pipemap_" prefix guarantees a valid first character, so
+    // digits are acceptable anywhere in the remainder.
+    for c in raw.chars() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Format a float the way Prometheus expects (`+Inf`/`-Inf`/`NaN` words).
+fn number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the registry's current metrics as OpenMetrics text.
+pub fn render_openmetrics(registry: &Registry) -> String {
+    let snap = registry.snapshot();
+    let mut out = String::new();
+
+    for (name, v) in &snap.counters {
+        let m = metric_name(name);
+        out.push_str(&format!("# TYPE {m} counter\n"));
+        out.push_str(&format!("{m}_total {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let m = metric_name(name);
+        out.push_str(&format!("# TYPE {m} gauge\n"));
+        out.push_str(&format!("{m} {}\n", number(*v)));
+    }
+    for (name, hist) in registry.histogram_cells() {
+        let m = metric_name(&name);
+        let summary = hist.summary();
+        out.push_str(&format!("# TYPE {m} histogram\n"));
+        for (le, cum) in hist.cumulative_buckets() {
+            out.push_str(&format!("{m}_bucket{{le=\"{}\"}} {cum}\n", number(le)));
+        }
+        out.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {}\n", summary.count));
+        out.push_str(&format!("{m}_sum {}\n", number(summary.sum)));
+        out.push_str(&format!("{m}_count {}\n", summary.count));
+        // Companion summary family with the quantile estimates.
+        out.push_str(&format!("# TYPE {m}_q summary\n"));
+        for (q, v) in [
+            ("0.5", summary.p50),
+            ("0.95", summary.p95),
+            ("0.99", summary.p99),
+        ] {
+            out.push_str(&format!("{m}_q{{quantile=\"{q}\"}} {}\n", number(v)));
+        }
+        out.push_str(&format!("{m}_q_sum {}\n", number(summary.sum)));
+        out.push_str(&format!("{m}_q_count {}\n", summary.count));
+    }
+
+    let up = metric_name("uptime_seconds");
+    out.push_str(&format!("# TYPE {up} gauge\n"));
+    out.push_str(&format!("{up} {}\n", number(registry.uptime_s())));
+    out.push_str("# EOF\n");
+    out
+}
+
+impl Registry {
+    /// The registry's metrics in OpenMetrics text form (see
+    /// [`render_openmetrics`]).
+    pub fn to_openmetrics(&self) -> String {
+        render_openmetrics(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitised_and_prefixed() {
+        assert_eq!(
+            metric_name("solver.dp_mapping.cells"),
+            "pipemap_solver_dp_mapping_cells"
+        );
+        assert_eq!(metric_name("9lives"), "pipemap_9lives");
+    }
+
+    #[test]
+    fn exposition_has_counter_gauge_and_histogram_families() {
+        let registry = Registry::new();
+        let r = registry.recorder();
+        r.add("solver.cells", 7);
+        r.gauge_set("pipeline.utilization", 0.5);
+        r.observe("solver.wall_s", 0.25);
+        r.observe("solver.wall_s", 0.5);
+        let text = registry.to_openmetrics();
+
+        assert!(text.contains("# TYPE pipemap_solver_cells counter\n"));
+        assert!(text.contains("pipemap_solver_cells_total 7\n"));
+        assert!(text.contains("# TYPE pipemap_pipeline_utilization gauge\n"));
+        assert!(text.contains("pipemap_pipeline_utilization 0.5\n"));
+        assert!(text.contains("# TYPE pipemap_solver_wall_s histogram\n"));
+        assert!(text.contains("pipemap_solver_wall_s_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("pipemap_solver_wall_s_count 2\n"));
+        assert!(text.contains("pipemap_solver_wall_s_q{quantile=\"0.5\"}"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_ordered() {
+        let registry = Registry::new();
+        let r = registry.recorder();
+        for v in [0.1, 0.2, 0.4, 0.8, 1.6] {
+            r.observe("h", v);
+        }
+        let text = registry.to_openmetrics();
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_cum = 0u64;
+        let mut seen = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("pipemap_h_bucket{le=\"") {
+                let (le_s, cum_s) = rest.split_once("\"} ").unwrap();
+                let le = if le_s == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le_s.parse().unwrap()
+                };
+                let cum: u64 = cum_s.parse().unwrap();
+                assert!(le > last_le, "le bounds must increase: {line}");
+                assert!(cum >= last_cum, "cumulative counts must not drop: {line}");
+                last_le = le;
+                last_cum = cum;
+                seen += 1;
+            }
+        }
+        assert!(seen >= 5, "expected one bucket per distinct octave + Inf");
+        assert_eq!(last_cum, 5);
+    }
+}

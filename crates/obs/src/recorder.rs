@@ -1,0 +1,349 @@
+//! The flight recorder: a background sampler that snapshots the
+//! registry at a fixed interval into a bounded ring buffer.
+//!
+//! Each [`FlightSample`] pairs a timestamp (seconds since the registry
+//! epoch) with a full [`MetricsSnapshot`]. Rates — DP cells/sec,
+//! data-sets/sec, per-stage wait time per second — are derived from
+//! counter deltas between consecutive samples at dump time, so sampling
+//! itself stays cheap. The ring can be dumped as JSONL
+//! ([`FlightRecorder::to_jsonl`]) or turned into Chrome `trace_event`
+//! counter tracks ([`FlightRecorder::counter_track_events`]) that render
+//! as per-metric stripcharts alongside the span lanes in Perfetto.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::json::Value;
+use crate::metrics::{MetricsSnapshot, Registry};
+
+/// Sampling cadence and ring capacity for a [`FlightRecorder`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecorderConfig {
+    /// Time between samples.
+    pub interval: Duration,
+    /// Maximum samples retained; older samples are dropped first.
+    pub capacity: usize,
+}
+
+impl Default for RecorderConfig {
+    /// 200 ms cadence, 512 samples (~100 s of history).
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(200),
+            capacity: 512,
+        }
+    }
+}
+
+/// One flight-recorder sample: when, and what every metric read.
+#[derive(Clone, Debug)]
+pub struct FlightSample {
+    /// Seconds since the registry epoch.
+    pub t_s: f64,
+    /// The registry's metrics at that instant.
+    pub snapshot: MetricsSnapshot,
+}
+
+struct Shared {
+    registry: Registry,
+    ring: Mutex<VecDeque<FlightSample>>,
+    capacity: usize,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn sample(&self) {
+        let sample = FlightSample {
+            t_s: self.registry.uptime_s(),
+            snapshot: self.registry.snapshot(),
+        };
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(sample);
+    }
+}
+
+/// A running (or manually driven) registry sampler. Stops and joins its
+/// thread on drop.
+pub struct FlightRecorder {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl FlightRecorder {
+    /// Start a background sampler over `registry` (shares its storage).
+    pub fn start(registry: &Registry, config: RecorderConfig) -> Self {
+        let mut rec = Self::attach(registry, config);
+        let shared = rec.shared.clone();
+        let interval = config.interval;
+        rec.thread = Some(std::thread::spawn(move || {
+            while !shared.stop.load(Ordering::Relaxed) {
+                shared.sample();
+                // Sleep in small slices so stop() returns promptly.
+                let mut left = interval;
+                while !shared.stop.load(Ordering::Relaxed) && left > Duration::ZERO {
+                    let step = left.min(Duration::from_millis(25));
+                    std::thread::sleep(step);
+                    left = left.saturating_sub(step);
+                }
+            }
+        }));
+        rec
+    }
+
+    /// A second handle sharing this recorder's ring (and registry) but
+    /// not its thread — for the exposition server. Dropping the shared
+    /// handle does not stop the original's sampling.
+    pub(crate) fn share_ring(&self) -> FlightRecorder {
+        FlightRecorder {
+            shared: self.shared.clone(),
+            thread: None,
+        }
+    }
+
+    /// A recorder with no background thread; drive it with
+    /// [`FlightRecorder::sample_now`] (deterministic tests, polling
+    /// loops that own their cadence).
+    pub fn attach(registry: &Registry, config: RecorderConfig) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                registry: registry.clone_handle(),
+                ring: Mutex::new(VecDeque::new()),
+                capacity: config.capacity.max(2),
+                stop: AtomicBool::new(false),
+            }),
+            thread: None,
+        }
+    }
+
+    /// Take one sample immediately.
+    pub fn sample_now(&self) {
+        self.shared.sample();
+    }
+
+    /// Stop the sampler thread (if any) and take a final sample, so the
+    /// record always covers the end of the run.
+    pub fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.shared.sample();
+    }
+
+    /// The retained samples, oldest first.
+    pub fn samples(&self) -> Vec<FlightSample> {
+        self.shared
+            .ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Dump the ring as JSONL: one object per sample with the raw
+    /// counters/gauges and, from the second sample on, per-counter
+    /// `rates` (delta per second versus the previous sample).
+    pub fn to_jsonl(&self) -> String {
+        let samples = self.samples();
+        let mut out = String::new();
+        for (i, s) in samples.iter().enumerate() {
+            let mut o = Value::object();
+            o.set("t_s", s.t_s);
+            let mut counters = Value::object();
+            for (k, v) in &s.snapshot.counters {
+                counters.set(k.clone(), *v);
+            }
+            o.set("counters", counters);
+            let mut gauges = Value::object();
+            for (k, v) in &s.snapshot.gauges {
+                gauges.set(k.clone(), *v);
+            }
+            o.set("gauges", gauges);
+            if i > 0 {
+                let mut rates = Value::object();
+                for (name, rate) in counter_rates(&samples[i - 1], s) {
+                    rates.set(name, rate);
+                }
+                o.set("rates", rates);
+            }
+            out.push_str(&o.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Chrome `trace_event` counter records (`"ph": "C"`): one track per
+    /// counter carrying its derived rate (`<name>/s`) and one per gauge
+    /// carrying its raw value. Append these to a trace document's
+    /// `traceEvents` (see [`crate::trace::chrome_trace_with_counters`]).
+    pub fn counter_track_events(&self) -> Vec<Value> {
+        let samples = self.samples();
+        let mut out = Vec::new();
+        for i in 1..samples.len() {
+            let ts_us = samples[i].t_s * 1e6;
+            for (name, rate) in counter_rates(&samples[i - 1], &samples[i]) {
+                out.push(counter_event(&format!("{name}/s"), ts_us, rate));
+            }
+            for (name, v) in &samples[i].snapshot.gauges {
+                out.push(counter_event(name, ts_us, *v));
+            }
+        }
+        out
+    }
+}
+
+impl Drop for FlightRecorder {
+    fn drop(&mut self) {
+        // Only the handle that owns the thread stops the sampler;
+        // shared ring handles (see `share_ring`) drop silently.
+        if let Some(t) = self.thread.take() {
+            self.shared.stop.store(true, Ordering::Relaxed);
+            let _ = t.join();
+        }
+    }
+}
+
+/// Per-counter rate (delta per second) between two samples.
+fn counter_rates(prev: &FlightSample, cur: &FlightSample) -> Vec<(String, f64)> {
+    let dt = cur.t_s - prev.t_s;
+    if dt <= 0.0 {
+        return Vec::new();
+    }
+    cur.snapshot
+        .counters
+        .iter()
+        .map(|(name, v)| {
+            let before = prev.snapshot.counter(name).unwrap_or(0);
+            (name.clone(), v.saturating_sub(before) as f64 / dt)
+        })
+        .collect()
+}
+
+fn counter_event(name: &str, ts_us: f64, value: f64) -> Value {
+    let mut e = Value::object();
+    e.set("ph", "C");
+    e.set("name", name);
+    e.set("pid", 1u64);
+    e.set("tid", 0u64);
+    e.set("ts", ts_us);
+    let mut args = Value::object();
+    args.set("value", value);
+    e.set("args", args);
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_sampling_derives_rates_from_counter_deltas() {
+        let registry = Registry::new();
+        let r = registry.recorder();
+        let rec = FlightRecorder::attach(&registry, RecorderConfig::default());
+        r.add("work.cells", 100);
+        rec.sample_now();
+        std::thread::sleep(Duration::from_millis(5));
+        r.add("work.cells", 300);
+        rec.sample_now();
+
+        let samples = rec.samples();
+        assert_eq!(samples.len(), 2);
+        let rates = counter_rates(&samples[0], &samples[1]);
+        let (_, rate) = rates.iter().find(|(n, _)| n == "work.cells").unwrap();
+        assert!(*rate > 0.0, "rate {rate}");
+
+        let jsonl = rec.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let last = Value::parse(lines[1]).unwrap();
+        assert_eq!(
+            last.get("counters")
+                .and_then(|c| c.get("work.cells"))
+                .and_then(Value::as_f64),
+            Some(400.0)
+        );
+        assert!(last
+            .get("rates")
+            .and_then(|r| r.get("work.cells"))
+            .and_then(Value::as_f64)
+            .is_some_and(|v| v > 0.0));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let registry = Registry::new();
+        let rec = FlightRecorder::attach(
+            &registry,
+            RecorderConfig {
+                capacity: 4,
+                ..Default::default()
+            },
+        );
+        for _ in 0..10 {
+            rec.sample_now();
+        }
+        let samples = rec.samples();
+        assert_eq!(samples.len(), 4);
+        // Oldest dropped: timestamps strictly from the tail of the run.
+        assert!(samples.windows(2).all(|w| w[0].t_s <= w[1].t_s));
+    }
+
+    #[test]
+    fn background_sampler_collects_and_stops() {
+        let registry = Registry::new();
+        let r = registry.recorder();
+        let mut rec = FlightRecorder::start(
+            &registry,
+            RecorderConfig {
+                interval: Duration::from_millis(5),
+                capacity: 128,
+            },
+        );
+        r.add("bg.ticks", 1);
+        std::thread::sleep(Duration::from_millis(30));
+        rec.stop();
+        let n = rec.samples().len();
+        assert!(n >= 2, "expected several samples, got {n}");
+        // Stopped: no further growth.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rec.samples().len(), n);
+    }
+
+    #[test]
+    fn counter_tracks_are_chrome_counter_events() {
+        let registry = Registry::new();
+        let r = registry.recorder();
+        let rec = FlightRecorder::attach(&registry, RecorderConfig::default());
+        r.add("evt.count", 5);
+        r.gauge_set("evt.level", 2.5);
+        rec.sample_now();
+        std::thread::sleep(Duration::from_millis(2));
+        r.add("evt.count", 5);
+        rec.sample_now();
+        let events = rec.counter_track_events();
+        assert!(!events.is_empty());
+        for e in &events {
+            assert_eq!(e.get("ph").and_then(Value::as_str), Some("C"));
+            assert!(e.get("ts").and_then(Value::as_f64).is_some());
+            assert!(e
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Value::as_f64)
+                .is_some());
+        }
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some("evt.count/s")));
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some("evt.level")));
+    }
+}

@@ -67,7 +67,25 @@ pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
 /// complete event per slice. The result loads in Perfetto or
 /// `chrome://tracing` as-is.
 pub fn chrome_trace(events: &[TraceEvent], lane_names: &[String]) -> Value {
-    let mut trace_events = Vec::with_capacity(events.len() + lane_names.len());
+    chrome_trace_with_counters(events, lane_names, Vec::new())
+}
+
+/// [`chrome_trace`] plus extra pre-built `trace_event` records —
+/// typically the `"C"` counter tracks of a flight recorder
+/// ([`crate::recorder::FlightRecorder::counter_track_events`]) — appended
+/// after the slices. Slices are emitted sorted by start timestamp, so
+/// `ts` is monotonically non-decreasing within every lane.
+pub fn chrome_trace_with_counters(
+    events: &[TraceEvent],
+    lane_names: &[String],
+    counters: Vec<Value>,
+) -> Value {
+    // Capture order is completion order (span guards push on drop), so
+    // re-sort by start time for viewers and round-trip guarantees.
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+    let events = ordered;
+    let mut trace_events = Vec::with_capacity(events.len() + lane_names.len() + counters.len());
     for (lane, name) in lane_names.iter().enumerate() {
         let mut meta = Value::object();
         meta.set("ph", "M");
@@ -97,6 +115,7 @@ pub fn chrome_trace(events: &[TraceEvent], lane_names: &[String]) -> Value {
         }
         trace_events.push(x);
     }
+    trace_events.extend(counters);
     let mut doc = Value::object();
     doc.set("traceEvents", Value::Array(trace_events));
     doc.set("displayTimeUnit", "ms");

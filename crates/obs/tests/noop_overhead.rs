@@ -1,0 +1,86 @@
+//! Guard: the uninstalled-recorder path must cost nothing.
+//!
+//! A detached [`Recorder`] (no registry installed) is the state every
+//! instrumented hot loop runs in by default, so its operations must not
+//! allocate or take locks — each one is a single branch on `None`. This
+//! test pins that down with a counting global allocator: any future
+//! change that makes the disabled path allocate (e.g. building the
+//! metric name eagerly) fails here. A matching wall-time micro-check
+//! lives in `crates/bench/benches/kernels.rs`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pipemap_obs::Recorder;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations observed while running `f`.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn disabled_recorder_operations_do_not_allocate() {
+    let r = Recorder::disabled();
+    // Resolve handles once outside the measured window, like a hot loop
+    // would.
+    let counter = r.counter("hot.items");
+    let hist = r.histogram("hot.size");
+
+    let allocs = allocations_during(|| {
+        for i in 0..10_000u64 {
+            r.add("hot.items", 1);
+            r.observe("hot.size", i as f64);
+            r.gauge_set("hot.level", i as f64);
+            counter.add(1);
+            hist.record(i as f64);
+            drop(r.timer("hot.wall_s"));
+            drop(r.span("hot.phase", "test"));
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "disabled recorder must not allocate (saw {allocs} allocations over 70k ops)"
+    );
+}
+
+#[test]
+fn detached_handles_are_allocation_free_to_create() {
+    let r = Recorder::disabled();
+    let allocs = allocations_during(|| {
+        for _ in 0..1000 {
+            let c = r.counter("x.y");
+            c.add(1);
+            let h = r.histogram("x.z");
+            h.record(1.0);
+            let r2 = r.clone();
+            r2.add("x.w", 1);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "handle creation on a disabled recorder allocated"
+    );
+}

@@ -1,0 +1,104 @@
+//! Histogram percentile accuracy against known distributions.
+//!
+//! The log-bucketed histogram promises quantile estimates within the
+//! bucket-width relative-error bound (8 sub-buckets per octave → bucket
+//! width 2^(1/8) ≈ 9%, representative point in the middle → ≤ ~6–7%
+//! relative error). Feed it large deterministic samples from a uniform
+//! and a lognormal distribution and compare its p50/p95/p99 against the
+//! *exact* sample quantiles (same rank convention), so sampling noise
+//! cancels and only bucketing error remains.
+
+use pipemap_obs::{Histogram, Registry};
+
+/// The histogram's worst-case relative quantile error from bucketing.
+const BUCKET_REL_ERROR: f64 = 0.07;
+
+/// Exact sample quantile with the histogram's rank convention
+/// (`rank = ceil(q·n)` clamped to `[1, n]`, 1-indexed order statistic).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+fn assert_quantiles_close(values: &mut [f64], label: &str) {
+    let h = Histogram::new();
+    for &v in values.iter() {
+        h.record(v);
+    }
+    values.sort_by(|a, b| a.total_cmp(b));
+    let s = h.summary();
+    assert_eq!(s.count, values.len() as u64);
+    for (q, est) in [(0.50, s.p50), (0.95, s.p95), (0.99, s.p99)] {
+        let exact = exact_quantile(values, q);
+        let rel = (est - exact).abs() / exact;
+        assert!(
+            rel <= BUCKET_REL_ERROR,
+            "{label} p{:.0}: estimate {est}, exact {exact}, rel err {rel:.4} > {BUCKET_REL_ERROR}",
+            q * 100.0
+        );
+    }
+    // The maximum is tracked exactly, not bucketed.
+    assert_eq!(s.max, *values.last().unwrap());
+}
+
+#[test]
+fn uniform_distribution_quantiles_within_bucket_error() {
+    // 100k evenly spaced points over (0, 2.5] — a uniform sample with
+    // zero sampling noise.
+    let mut values: Vec<f64> = (1..=100_000).map(|i| i as f64 * 2.5e-5).collect();
+    assert_quantiles_close(&mut values, "uniform(0, 2.5]");
+}
+
+#[test]
+fn uniform_distribution_spanning_octaves() {
+    // Uniform over [0.001, 10): exercises ~13 octaves of buckets.
+    let mut values: Vec<f64> = (0..100_000)
+        .map(|i| 0.001 + i as f64 * (10.0 - 0.001) / 100_000.0)
+        .collect();
+    assert_quantiles_close(&mut values, "uniform[0.001, 10)");
+}
+
+#[test]
+fn lognormal_distribution_quantiles_within_bucket_error() {
+    // Deterministic lognormal(μ=-1, σ=0.75) via Box–Muller over an LCG.
+    let mut state = 0x2545f4914f6cdd1du64;
+    let mut next_u01 = move || {
+        // Numerical Recipes LCG; take the high bits.
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+    };
+    let (mu, sigma) = (-1.0, 0.75);
+    let mut values = Vec::with_capacity(100_000);
+    while values.len() < 100_000 {
+        let u1: f64 = next_u01();
+        let u2: f64 = next_u01();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        for z in [r * theta.cos(), r * theta.sin()] {
+            values.push((mu + sigma * z).exp());
+        }
+    }
+    assert_quantiles_close(&mut values, "lognormal(-1, 0.75)");
+}
+
+#[test]
+fn quantiles_survive_the_registry_roundtrip() {
+    // Same bound when recording through a Recorder into a Registry.
+    let registry = Registry::new();
+    let r = registry.recorder();
+    let mut values: Vec<f64> = (1..=50_000).map(|i| i as f64 * 1e-4).collect();
+    for &v in &values {
+        r.observe("rt.latency_s", v);
+    }
+    values.sort_by(|a, b| a.total_cmp(b));
+    let snap = registry.snapshot();
+    let s = snap.histogram("rt.latency_s").unwrap();
+    for (q, est) in [(0.50, s.p50), (0.95, s.p95), (0.99, s.p99)] {
+        let exact = exact_quantile(&values, q);
+        let rel = (est - exact).abs() / exact;
+        assert!(rel <= BUCKET_REL_ERROR, "p{}: rel err {rel}", q * 100.0);
+    }
+}

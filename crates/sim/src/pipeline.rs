@@ -116,6 +116,13 @@ pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> Sim
     let n_data = config.num_datasets;
     let mut noise = config.noise.clone();
 
+    // Live metrics (no-op when no registry is installed): monotonic
+    // counters the flight recorder turns into data-sets/sec and
+    // activities/sec rates while a long simulation runs.
+    let rec = pipemap_obs::global();
+    let datasets_ctr = rec.counter("sim.datasets.completed");
+    let activities_ctr = rec.counter("sim.activities");
+
     // Noise-free durations per module: (incoming, exec) — outgoing of
     // module i equals incoming of module i+1 and is sampled once per
     // transfer below.
@@ -144,6 +151,7 @@ pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> Sim
     };
 
     for n in 0..n_data {
+        let mut activities = 0u64;
         // An open-loop source gates the first module on the data set's
         // arrival time; a saturated source has everything ready at t=0.
         let mut upstream_done = match config.arrival_period {
@@ -185,6 +193,7 @@ pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> Sim
                 // The sender is occupied until the transfer completes.
                 free[i - 1][cu] = t + dur;
                 t += dur;
+                activities += 2;
             }
             if i == 0 {
                 // Latency is measured from arrival (sojourn time): under
@@ -213,8 +222,11 @@ pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> Sim
             t += dur;
             free[i][c] = t;
             upstream_done = t;
+            activities += 1;
         }
         finish_times[n] = upstream_done;
+        datasets_ctr.add(1);
+        activities_ctr.add(activities);
     }
 
     let makespan = finish_times[n_data - 1];
@@ -229,6 +241,13 @@ pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> Sim
         .map(|n| finish_times[n] - start_times[n])
         .collect();
     let latency = Summary::of(&latencies).expect("post-warmup window non-empty");
+    if rec.enabled() {
+        let lat_hist = rec.histogram("sim.latency_s");
+        for &lat in &latencies {
+            lat_hist.record(lat);
+        }
+        rec.gauge_set("sim.throughput", throughput);
+    }
     let utilization = (0..l)
         .map(|i| {
             if makespan <= 0.0 {

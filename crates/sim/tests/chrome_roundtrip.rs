@@ -1,0 +1,130 @@
+//! Chrome trace round-trip: exported `trace_event` documents must parse
+//! as JSON, keep `ts` monotonically non-decreasing within every lane,
+//! and contain only balanced span records — this exporter uses `X`
+//! complete events exclusively (plus `M` metadata and `C` counters), so
+//! any `B` without a matching `E` is a bug.
+
+use std::collections::HashMap;
+
+use pipemap_chain::{ChainBuilder, Edge, Mapping, ModuleAssignment, Task};
+use pipemap_model::{PolyEcom, PolyUnary};
+use pipemap_obs::Value;
+use pipemap_sim::{chrome_trace_json, simulate, SimConfig};
+
+fn traced_run(noise: Option<(f64, u64)>) -> Value {
+    let chain = ChainBuilder::new()
+        .task(Task::new("a", PolyUnary::perfectly_parallel(4.0)))
+        .edge(Edge::new(
+            PolyUnary::zero(),
+            PolyEcom::new(0.5, 0.0, 0.0, 0.0, 0.0),
+        ))
+        .task(Task::new("b", PolyUnary::perfectly_parallel(6.0)))
+        .edge(Edge::new(
+            PolyUnary::zero(),
+            PolyEcom::new(0.25, 0.0, 0.0, 0.0, 0.0),
+        ))
+        .task(Task::new("c", PolyUnary::perfectly_parallel(2.0)))
+        .build();
+    // Replication so multiple instances interleave within the run.
+    let mapping = Mapping::new(vec![
+        ModuleAssignment::new(0, 0, 2, 2),
+        ModuleAssignment::new(1, 1, 3, 2),
+        ModuleAssignment::new(2, 2, 1, 2),
+    ]);
+    let mut cfg = SimConfig::with_datasets(40).with_trace();
+    if let Some((s, seed)) = noise {
+        cfg = cfg.with_noise(s, seed);
+    }
+    let result = simulate(&chain, &mapping, &cfg);
+    chrome_trace_json(&result.trace.expect("trace requested"))
+}
+
+/// Validate the Chrome-trace invariants on a parsed document; returns
+/// the number of slice events checked.
+fn check_invariants(doc: &Value) -> usize {
+    // Round-trip: serialise and re-parse.
+    let parsed = Value::parse(&doc.to_json_pretty()).expect("document parses as JSON");
+    let events = parsed
+        .get("traceEvents")
+        .expect("traceEvents key")
+        .as_array()
+        .expect("traceEvents array");
+
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut open_b: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut slices = 0;
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("ph field");
+        match ph {
+            "M" => continue, // metadata carries no timestamp ordering
+            "X" | "B" | "E" | "C" => {
+                let pid = e.get("pid").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+                let tid = e.get("tid").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+                let ts = e.get("ts").and_then(Value::as_f64).expect("ts field");
+                let lane = (pid, tid);
+                if let Some(prev) = last_ts.get(&lane) {
+                    assert!(
+                        ts >= *prev,
+                        "ts regressed in lane {lane:?}: {ts} after {prev}"
+                    );
+                }
+                last_ts.insert(lane, ts);
+                match ph {
+                    "B" => *open_b.entry(lane).or_insert(0) += 1,
+                    "E" => {
+                        let open = open_b.entry(lane).or_insert(0);
+                        assert!(*open > 0, "E without a B in lane {lane:?}");
+                        *open -= 1;
+                    }
+                    "X" => {
+                        assert!(e.get("dur").and_then(Value::as_f64).expect("X has dur") >= 0.0);
+                        slices += 1;
+                    }
+                    _ => {}
+                }
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (lane, open) in open_b {
+        assert_eq!(open, 0, "unclosed B events in lane {lane:?}");
+    }
+    slices
+}
+
+#[test]
+fn simulator_chrome_export_round_trips() {
+    let doc = traced_run(None);
+    let slices = check_invariants(&doc);
+    assert!(slices > 100, "expected a dense trace, got {slices} slices");
+}
+
+#[test]
+fn noisy_simulator_chrome_export_round_trips() {
+    // Noise shifts activity boundaries; the per-lane ordering guarantee
+    // must survive it.
+    let doc = traced_run(Some((0.08, 0xfeed)));
+    check_invariants(&doc);
+}
+
+#[test]
+fn registry_span_export_round_trips_with_counters() {
+    // The other producer of Chrome traces: obs registry spans plus
+    // flight-recorder counter tracks.
+    let registry = pipemap_obs::Registry::new();
+    registry.set_tracing(true);
+    let lane = registry.register_lane("worker.0");
+    let rec = registry.recorder();
+    let flight =
+        pipemap_obs::FlightRecorder::attach(&registry, pipemap_obs::RecorderConfig::default());
+    for i in 0..5 {
+        rec.add("work.items", i);
+        drop(rec.span_on(lane, "tick", "test"));
+        flight.sample_now();
+    }
+    let (events, lanes) = (registry.take_events(), registry.lane_names());
+    let doc =
+        pipemap_obs::chrome_trace_with_counters(&events, &lanes, flight.counter_track_events());
+    let slices = check_invariants(&doc);
+    assert_eq!(slices, 5);
+}

@@ -1,0 +1,701 @@
+//! The `pipemap bench` perf-regression suite.
+//!
+//! Runs a fixed set of workloads — the three solvers on a synthetic chain
+//! and the radar application, the full `auto_map` methodology measured in
+//! the simulator, and a short real-threads executor run — and emits a
+//! schema-versioned JSON document (`BENCH_<git-sha>.json`) of named
+//! metrics. A later run compares itself against a committed baseline with
+//! [`compare_bench`]: each metric carries a *direction* (whether lower or
+//! higher is better) and an absolute *slack* below which changes are
+//! noise, and a regression verdict requires both the relative threshold
+//! and the slack to be exceeded.
+//!
+//! Wall-clock metrics (`*.wall_s`, executor throughput) are inherently
+//! noisy, which is why the default threshold is generous (30%) and every
+//! timed section runs `iters` times keeping the best. Model-derived
+//! metrics (solver throughput, DP cell counts, simulated throughput and
+//! latency) are deterministic and act as precise canaries for solver or
+//! simulator quality regressions.
+
+use std::time::Instant;
+
+use pipemap_apps::{radar, synthetic_chain, ChainFlavor, RadarConfig};
+use pipemap_chain::Problem;
+use pipemap_core::{cluster_heuristic, dp_assignment, dp_mapping, GreedyOptions, Solution};
+use pipemap_exec::kernels::{fft_cols, fft_rows, histogram, Complex, Matrix};
+use pipemap_exec::{run_pipeline, PipelinePlan, Stage, StagePlan};
+use pipemap_machine::MachineConfig;
+use pipemap_obs::Value;
+
+use crate::mapper::{auto_map, MapperOptions};
+
+/// Schema identifier stamped into every bench document.
+pub const BENCH_SCHEMA: &str = "pipemap-bench/v1";
+
+/// Default relative-change threshold for regression verdicts.
+pub const DEFAULT_THRESHOLD: f64 = 0.30;
+
+/// Options for [`run_bench_suite`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BenchOptions {
+    /// Shrink every workload (fewer data sets, one timing iteration) so
+    /// the suite finishes in seconds — used by CI's bench-smoke step.
+    pub quick: bool,
+}
+
+/// Short git commit hash of the working tree, or `"unknown"` outside a
+/// repository.
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Whether lower or higher values of a metric are better.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (wall time, error, latency).
+    Lower,
+    /// Larger is better (throughput, cells/s).
+    Higher,
+}
+
+impl Direction {
+    fn as_str(self) -> &'static str {
+        match self {
+            Direction::Lower => "lower",
+            Direction::Higher => "higher",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "lower" => Some(Direction::Lower),
+            "higher" => Some(Direction::Higher),
+            _ => None,
+        }
+    }
+}
+
+fn metric(value: f64, unit: &str, direction: Direction, slack: f64) -> Value {
+    let mut o = Value::object();
+    o.set("value", value);
+    o.set("unit", unit);
+    o.set("direction", direction.as_str());
+    o.set("slack", slack);
+    o
+}
+
+/// Best (minimum) wall time over `iters` runs of `f`, in seconds, along
+/// with the result of the fastest run.
+fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let iters = iters.max(1);
+    let mut best: Option<(f64, R)> = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let r = f();
+        let dt = t0.elapsed().as_secs_f64();
+        if best.as_ref().map(|(b, _)| dt < *b).unwrap_or(true) {
+            best = Some((dt, r));
+        }
+    }
+    best.expect("iters >= 1")
+}
+
+/// Counter delta observed in the global registry while `f` runs.
+fn counted<R>(name: &str, f: impl FnOnce() -> R) -> (u64, R) {
+    let read = || -> u64 {
+        pipemap_obs::global_registry()
+            .and_then(|r| r.snapshot().counter(name))
+            .unwrap_or(0)
+    };
+    let before = read();
+    let r = f();
+    (read().saturating_sub(before), r)
+}
+
+fn bench_solvers(metrics: &mut Value, label: &str, problem: &Problem, iters: usize) {
+    // Greedy heuristic: wall time + model throughput + evals/s.
+    let (wall, (evals, sol)) = time_best(iters, || {
+        counted("solver.greedy.evals", || {
+            cluster_heuristic(problem, GreedyOptions::adaptive()).expect("greedy solves")
+        })
+    });
+    push_solver_metrics(
+        metrics,
+        &format!("solver.greedy.{label}"),
+        wall,
+        evals,
+        &sol,
+    );
+
+    // DP over assignments (fixed clustering dimension).
+    let (wall, (cells, sol)) = time_best(iters, || {
+        counted("solver.dp_assignment.cells", || {
+            dp_assignment(problem).expect("dp_assignment solves").0
+        })
+    });
+    push_solver_metrics(
+        metrics,
+        &format!("solver.dp_assignment.{label}"),
+        wall,
+        cells,
+        &sol,
+    );
+
+    // Full DP mapper (clustering + replication + assignment).
+    let (wall, (cells, sol)) = time_best(iters, || {
+        counted("solver.dp_mapping.cells", || {
+            dp_mapping(problem).expect("dp_mapping solves")
+        })
+    });
+    push_solver_metrics(
+        metrics,
+        &format!("solver.dp_mapping.{label}"),
+        wall,
+        cells,
+        &sol,
+    );
+}
+
+fn push_solver_metrics(metrics: &mut Value, prefix: &str, wall: f64, work: u64, sol: &Solution) {
+    metrics.set(
+        format!("{prefix}.wall_s"),
+        metric(wall, "s", Direction::Lower, 0.02),
+    );
+    if work > 0 {
+        metrics.set(
+            format!("{prefix}.cells_per_s"),
+            metric(work as f64 / wall.max(1e-9), "1/s", Direction::Higher, 0.0),
+        );
+    }
+    // Model throughput of the returned solution: deterministic, so zero
+    // slack — any drop is a solver-quality regression.
+    metrics.set(
+        format!("{prefix}.throughput"),
+        metric(sol.throughput, "datasets/s", Direction::Higher, 0.0),
+    );
+}
+
+fn bench_end_to_end(metrics: &mut Value, opts: &BenchOptions) {
+    let app = radar(RadarConfig::paper());
+    let machine = MachineConfig::iwarp_message();
+    let mapper_opts = if opts.quick {
+        MapperOptions {
+            sim_datasets: 120,
+            measurement_runs: 1,
+            ..MapperOptions::default()
+        }
+    } else {
+        MapperOptions::default()
+    };
+    let t0 = Instant::now();
+    let report = auto_map(&app, &machine, &mapper_opts).expect("auto_map radar");
+    let wall = t0.elapsed().as_secs_f64();
+
+    metrics.set(
+        "e2e.radar.wall_s",
+        metric(wall, "s", Direction::Lower, 0.25),
+    );
+    // Simulated quantities are virtual-time and deterministic given the
+    // fixed seeds in MapperOptions — tight canaries.
+    metrics.set(
+        "e2e.radar.measured_throughput",
+        metric(
+            report.measured.throughput,
+            "datasets/s",
+            Direction::Higher,
+            0.0,
+        ),
+    );
+    metrics.set(
+        "e2e.radar.pred_error_pct",
+        metric(
+            report.percent_difference().abs(),
+            "%",
+            Direction::Lower,
+            3.0,
+        ),
+    );
+    metrics.set(
+        "e2e.radar.latency_p50_s",
+        metric(report.measured.latency.p50, "s", Direction::Lower, 0.0),
+    );
+    metrics.set(
+        "e2e.radar.latency_p99_s",
+        metric(report.measured.latency.p99, "s", Direction::Lower, 0.0),
+    );
+    metrics.set(
+        "e2e.radar.fit_error_pct",
+        metric(
+            report.fit_accuracy.mean_rel_error * 100.0,
+            "%",
+            Direction::Lower,
+            1.0,
+        ),
+    );
+}
+
+fn bench_executor(metrics: &mut Value, opts: &BenchOptions) {
+    let (n, datasets) = if opts.quick { (64, 12) } else { (128, 48) };
+    let plan = PipelinePlan::new(vec![
+        StagePlan::new(
+            Stage::new("fft_rows", |mut m: Matrix, t| {
+                fft_rows(&mut m, t);
+                m
+            }),
+            1,
+            2,
+        ),
+        StagePlan::new(
+            Stage::new("fft_cols", |mut m: Matrix, t| {
+                fft_cols(&mut m, t);
+                m
+            }),
+            1,
+            2,
+        ),
+        StagePlan::new(
+            Stage::new("histogram", move |m: Matrix, t| {
+                histogram(&m, 64, n as f64, t)
+            }),
+            1,
+            1,
+        ),
+    ])
+    .with_queue_depth(2);
+    let inputs: Vec<pipemap_exec::Data> = (0..datasets)
+        .map(|d| {
+            let m = Matrix::from_fn(n, |r, c| {
+                Complex::new(((r * 31 + c * 17 + d * 7) % 97) as f64 / 97.0, 0.0)
+            });
+            Box::new(m) as pipemap_exec::Data
+        })
+        .collect();
+    let (outputs, stats) = run_pipeline(&plan, inputs);
+    assert_eq!(outputs.len(), datasets);
+
+    metrics.set(
+        "exec.fft_hist.throughput",
+        metric(stats.throughput, "datasets/s", Direction::Higher, 1.0),
+    );
+    metrics.set(
+        "exec.fft_hist.elapsed_s",
+        metric(stats.elapsed, "s", Direction::Lower, 0.05),
+    );
+}
+
+/// Run the whole suite and return the bench document.
+pub fn run_bench_suite(opts: &BenchOptions) -> Value {
+    // Solver counters flow through the global registry; install one if
+    // the process has none yet (install is first-wins, so this is safe
+    // even if a server already installed its own).
+    pipemap_obs::install_global(pipemap_obs::Registry::new());
+    let iters = if opts.quick { 1 } else { 3 };
+
+    let mut metrics = Value::object();
+
+    let machine = if opts.quick {
+        MachineConfig::iwarp_message().with_geometry(4, 4)
+    } else {
+        MachineConfig::iwarp_message()
+    };
+    let k = if opts.quick { 6 } else { 8 };
+    let synth = synthetic_chain(ChainFlavor::Alternating, k);
+    let synth_problem = pipemap_machine::synthesize_problem(&synth, &machine);
+    bench_solvers(&mut metrics, "synthetic", &synth_problem, iters);
+
+    let radar_problem = pipemap_machine::synthesize_problem(
+        &radar(RadarConfig::paper()),
+        &MachineConfig::iwarp_message(),
+    );
+    bench_solvers(&mut metrics, "radar", &radar_problem, iters);
+
+    bench_end_to_end(&mut metrics, opts);
+    bench_executor(&mut metrics, opts);
+
+    let mut doc = Value::object();
+    doc.set("schema", BENCH_SCHEMA);
+    doc.set("git_sha", git_sha());
+    doc.set("quick", opts.quick);
+    doc.set("iters", iters);
+    doc.set(
+        "threads_available",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
+    doc.set("metrics", metrics);
+    doc
+}
+
+/// Check that `doc` is a structurally valid bench document.
+pub fn validate_bench(doc: &Value) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing 'schema' string")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!(
+            "schema '{schema}' is not the supported '{BENCH_SCHEMA}'"
+        ));
+    }
+    doc.get("git_sha")
+        .and_then(Value::as_str)
+        .ok_or("missing 'git_sha' string")?;
+    let metrics = doc
+        .get("metrics")
+        .ok_or("missing 'metrics' object")?
+        .as_object()
+        .ok_or("'metrics' is not an object")?;
+    if metrics.is_empty() {
+        return Err("'metrics' is empty".into());
+    }
+    for (name, m) in metrics {
+        let value = m
+            .get("value")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("metric '{name}': missing numeric 'value'"))?;
+        if !value.is_finite() {
+            return Err(format!("metric '{name}': value {value} is not finite"));
+        }
+        m.get("unit")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("metric '{name}': missing 'unit'"))?;
+        let dir = m
+            .get("direction")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("metric '{name}': missing 'direction'"))?;
+        if Direction::parse(dir).is_none() {
+            return Err(format!(
+                "metric '{name}': direction '{dir}' is neither 'lower' nor 'higher'"
+            ));
+        }
+        let slack = m
+            .get("slack")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("metric '{name}': missing numeric 'slack'"))?;
+        if !slack.is_finite() || slack < 0.0 {
+            return Err(format!("metric '{name}': slack {slack} is invalid"));
+        }
+    }
+    Ok(())
+}
+
+/// Verdict for one metric in a comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within threshold/slack.
+    Ok,
+    /// Changed beyond threshold in the good direction.
+    Improved,
+    /// Changed beyond threshold in the bad direction.
+    Regressed,
+    /// Present in the baseline but missing from the current run — counted
+    /// as a regression so metrics cannot silently disappear.
+    Missing,
+    /// Present only in the current run (informational).
+    New,
+}
+
+impl Verdict {
+    fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Missing => "MISSING",
+            Verdict::New => "new",
+        }
+    }
+}
+
+/// One row of a comparison.
+#[derive(Clone, Debug)]
+pub struct MetricVerdict {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value (`None` for [`Verdict::New`]).
+    pub baseline: Option<f64>,
+    /// Current value (`None` for [`Verdict::Missing`]).
+    pub current: Option<f64>,
+    /// Signed relative change in percent (current vs baseline).
+    pub change_pct: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Result of [`compare_bench`].
+#[derive(Clone, Debug)]
+pub struct CompareResult {
+    /// Per-metric rows, in baseline order (new metrics appended).
+    pub verdicts: Vec<MetricVerdict>,
+    /// Relative threshold the verdicts used.
+    pub threshold: f64,
+}
+
+impl CompareResult {
+    /// Names of the regressed (or missing) metrics.
+    pub fn regressions(&self) -> Vec<&str> {
+        self.verdicts
+            .iter()
+            .filter(|v| matches!(v.verdict, Verdict::Regressed | Verdict::Missing))
+            .map(|v| v.name.as_str())
+            .collect()
+    }
+
+    /// Render the comparison as an aligned text table plus a one-line
+    /// summary.
+    pub fn render(&self) -> String {
+        let name_w = self
+            .verdicts
+            .iter()
+            .map(|v| v.name.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let mut out = format!(
+            "{:<name_w$}  {:>12}  {:>12}  {:>8}  verdict\n",
+            "metric", "baseline", "current", "change"
+        );
+        let num = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.4}"),
+            None => "-".to_string(),
+        };
+        for v in &self.verdicts {
+            let change = if v.baseline.is_some() && v.current.is_some() {
+                format!("{:+.1}%", v.change_pct)
+            } else {
+                "-".to_string()
+            };
+            out.push_str(&format!(
+                "{:<name_w$}  {:>12}  {:>12}  {:>8}  {}\n",
+                v.name,
+                num(v.baseline),
+                num(v.current),
+                change,
+                v.verdict.as_str()
+            ));
+        }
+        let regressed = self.regressions().len();
+        let improved = self
+            .verdicts
+            .iter()
+            .filter(|v| v.verdict == Verdict::Improved)
+            .count();
+        out.push_str(&format!(
+            "\n{} metrics compared at threshold {:.0}%: {} regressed, {} improved\n",
+            self.verdicts
+                .iter()
+                .filter(|v| v.verdict != Verdict::New)
+                .count(),
+            self.threshold * 100.0,
+            regressed,
+            improved
+        ));
+        out
+    }
+}
+
+fn metric_fields(m: &Value) -> Option<(f64, Direction, f64)> {
+    Some((
+        m.get("value").and_then(Value::as_f64)?,
+        Direction::parse(m.get("direction").and_then(Value::as_str)?)?,
+        m.get("slack").and_then(Value::as_f64).unwrap_or(0.0),
+    ))
+}
+
+/// Compare `current` against `baseline`. `threshold` is the relative
+/// change (fraction of the baseline value) beyond which a change counts;
+/// a change must also exceed the metric's absolute `slack` to matter.
+pub fn compare_bench(
+    current: &Value,
+    baseline: &Value,
+    threshold: Option<f64>,
+) -> Result<CompareResult, String> {
+    validate_bench(baseline).map_err(|e| format!("baseline: {e}"))?;
+    validate_bench(current).map_err(|e| format!("current: {e}"))?;
+    let threshold = threshold.unwrap_or(DEFAULT_THRESHOLD);
+    let base_metrics = baseline.get("metrics").unwrap().as_object().unwrap();
+    let cur_metrics = current.get("metrics").unwrap().as_object().unwrap();
+
+    let mut verdicts = Vec::new();
+    for (name, bm) in base_metrics {
+        let (bv, bdir, bslack) = metric_fields(bm).expect("validated");
+        let Some(cm) = cur_metrics.iter().find(|(n, _)| n == name).map(|(_, m)| m) else {
+            verdicts.push(MetricVerdict {
+                name: name.clone(),
+                baseline: Some(bv),
+                current: None,
+                change_pct: 0.0,
+                verdict: Verdict::Missing,
+            });
+            continue;
+        };
+        let (cv, _, cslack) = metric_fields(cm).expect("validated");
+        let slack = bslack.max(cslack);
+        // Positive `worse` means the current value moved in the bad
+        // direction by that amount.
+        let worse = match bdir {
+            Direction::Lower => cv - bv,
+            Direction::Higher => bv - cv,
+        };
+        let rel = worse / bv.abs().max(1e-12);
+        let verdict = if worse > slack && rel > threshold {
+            Verdict::Regressed
+        } else if -worse > slack && -rel > threshold {
+            Verdict::Improved
+        } else {
+            Verdict::Ok
+        };
+        verdicts.push(MetricVerdict {
+            name: name.clone(),
+            baseline: Some(bv),
+            current: Some(cv),
+            change_pct: (cv - bv) / bv.abs().max(1e-12) * 100.0,
+            verdict,
+        });
+    }
+    for (name, cm) in cur_metrics {
+        if base_metrics.iter().any(|(n, _)| n == name) {
+            continue;
+        }
+        let (cv, _, _) = metric_fields(cm).expect("validated");
+        verdicts.push(MetricVerdict {
+            name: name.clone(),
+            baseline: None,
+            current: Some(cv),
+            change_pct: 0.0,
+            verdict: Verdict::New,
+        });
+    }
+    Ok(CompareResult {
+        verdicts,
+        threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &[(&str, f64, Direction, f64)]) -> Value {
+        let mut metrics = Value::object();
+        for (name, value, dir, slack) in entries {
+            metrics.set(*name, metric(*value, "u", *dir, *slack));
+        }
+        let mut d = Value::object();
+        d.set("schema", BENCH_SCHEMA);
+        d.set("git_sha", "test");
+        d.set("metrics", metrics);
+        d
+    }
+
+    #[test]
+    fn compare_flags_injected_regression() {
+        let baseline = doc(&[
+            ("a.wall_s", 1.0, Direction::Lower, 0.02),
+            ("b.throughput", 100.0, Direction::Higher, 0.0),
+        ]);
+        // a regresses (2x slower), b regresses (half throughput).
+        let current = doc(&[
+            ("a.wall_s", 2.0, Direction::Lower, 0.02),
+            ("b.throughput", 50.0, Direction::Higher, 0.0),
+        ]);
+        let r = compare_bench(&current, &baseline, None).unwrap();
+        assert_eq!(r.regressions(), vec!["a.wall_s", "b.throughput"]);
+        let rendered = r.render();
+        assert!(rendered.contains("REGRESSED"), "{rendered}");
+    }
+
+    #[test]
+    fn compare_respects_direction_slack_and_threshold() {
+        let baseline = doc(&[
+            ("fast.wall_s", 0.010, Direction::Lower, 0.05),
+            ("thr", 100.0, Direction::Higher, 0.0),
+        ]);
+        // fast.wall_s triples but stays inside the 50ms slack; thr improves.
+        let current = doc(&[
+            ("fast.wall_s", 0.030, Direction::Lower, 0.05),
+            ("thr", 200.0, Direction::Higher, 0.0),
+        ]);
+        let r = compare_bench(&current, &baseline, None).unwrap();
+        assert!(r.regressions().is_empty(), "{:?}", r.verdicts);
+        assert_eq!(r.verdicts[1].verdict, Verdict::Improved);
+        // A tighter threshold alone still cannot beat the slack...
+        let r = compare_bench(&current, &baseline, Some(0.01)).unwrap();
+        assert!(r.regressions().is_empty());
+        // ...but without slack it is a regression.
+        let baseline = doc(&[("fast.wall_s", 0.010, Direction::Lower, 0.0)]);
+        let current = doc(&[("fast.wall_s", 0.030, Direction::Lower, 0.0)]);
+        let r = compare_bench(&current, &baseline, None).unwrap();
+        assert_eq!(r.regressions(), vec!["fast.wall_s"]);
+    }
+
+    #[test]
+    fn missing_metric_is_a_regression_and_new_is_not() {
+        let baseline = doc(&[("gone", 1.0, Direction::Lower, 0.0)]);
+        let current = doc(&[("fresh", 1.0, Direction::Lower, 0.0)]);
+        let r = compare_bench(&current, &baseline, None).unwrap();
+        assert_eq!(r.regressions(), vec!["gone"]);
+        assert_eq!(r.verdicts.len(), 2);
+        assert_eq!(r.verdicts[1].verdict, Verdict::New);
+    }
+
+    #[test]
+    fn validate_catches_malformed_documents() {
+        assert!(validate_bench(&Value::object()).is_err());
+        let mut d = doc(&[("m", 1.0, Direction::Lower, 0.0)]);
+        assert!(validate_bench(&d).is_ok());
+        d.set("schema", "pipemap-bench/v999");
+        assert!(validate_bench(&d).is_err());
+        // Bad direction string.
+        let mut metrics = Value::object();
+        let mut m = Value::object();
+        m.set("value", 1.0);
+        m.set("unit", "s");
+        m.set("direction", "sideways");
+        m.set("slack", 0.0);
+        metrics.set("m", m);
+        let mut d = Value::object();
+        d.set("schema", BENCH_SCHEMA);
+        d.set("git_sha", "x");
+        d.set("metrics", metrics);
+        assert!(validate_bench(&d).is_err());
+    }
+
+    #[test]
+    fn quick_suite_produces_a_valid_self_comparable_document() {
+        let doc = run_bench_suite(&BenchOptions { quick: true });
+        validate_bench(&doc).expect("suite output validates");
+        // Round-trips through JSON.
+        let parsed = Value::parse(&doc.to_json_pretty()).unwrap();
+        validate_bench(&parsed).unwrap();
+        // Self-comparison has no regressions (identical values).
+        let r = compare_bench(&parsed, &doc, None).unwrap();
+        assert!(r.regressions().is_empty(), "{}", r.render());
+        // The suite covers all three solvers, e2e, and the executor.
+        let metrics = parsed.get("metrics").unwrap().as_object().unwrap();
+        for prefix in [
+            "solver.greedy.synthetic.",
+            "solver.dp_assignment.synthetic.",
+            "solver.dp_mapping.synthetic.",
+            "solver.greedy.radar.",
+            "solver.dp_assignment.radar.",
+            "solver.dp_mapping.radar.",
+            "e2e.radar.",
+            "exec.fft_hist.",
+        ] {
+            assert!(
+                metrics.iter().any(|(n, _)| n.starts_with(prefix)),
+                "no metric with prefix {prefix}"
+            );
+        }
+    }
+}

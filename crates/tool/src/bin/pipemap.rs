@@ -12,6 +12,7 @@
 //! constrain → simulate) on one of the built-in applications.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use pipemap_apps::{fft_hist, radar, stereo, FftHistConfig, RadarConfig, StereoConfig};
 use pipemap_core::{
@@ -19,10 +20,12 @@ use pipemap_core::{
     GreedyOptions,
 };
 use pipemap_machine::MachineConfig;
+use pipemap_obs::{FlightRecorder, MetricsServer, RecorderConfig};
+use pipemap_tool::bench::{compare_bench, git_sha, run_bench_suite, validate_bench, BenchOptions};
 use pipemap_tool::spec::parse_spec;
 use pipemap_tool::{
     auto_map, demo_report_json, map_report_json, mapping_json, render_mapping, render_report,
-    MapperOptions,
+    simulate_report_json, MapperOptions,
 };
 
 const USAGE: &str = "\
@@ -32,9 +35,14 @@ USAGE:
     pipemap map <spec-file> [--greedy-only] [--latency-floor <thr>]
                             [--min-procs <thr>] [--report json]
     pipemap simulate <spec-file> <mapping> [--datasets <n>] [--noise <spread>]
-                     [--seed <n>]
+                     [--seed <n>] [--report json] [--serve <addr>]
+                     [--hold <secs>] [--recorder-out <file>]
     pipemap demo <fft-hist-256|fft-hist-512|radar|stereo> [--systolic]
-                 [--metrics] [--trace-out <file>]
+                 [--metrics] [--trace-out <file>] [--serve <addr>]
+                 [--hold <secs>] [--recorder-out <file>]
+    pipemap bench [--quick] [--out <file>] [--compare <baseline.json>]
+                  [--against <current.json>] [--threshold <frac>]
+                  [--warn-only] [--validate <file>]
     pipemap fit <fft-hist-256|fft-hist-512|radar|stereo> [--systolic]
     pipemap template
 
@@ -44,17 +52,34 @@ COMMANDS:
               solver counters: DP cells, lookups, prunings, wall time)
     simulate  run a given mapping (e.g. '0-0:8x3,1-2:10x4') through the
               pipeline simulator and report measured throughput
-              (--seed makes a --noise run reproducible)
+              (--seed makes a --noise run reproducible; --report json
+              emits a deterministic machine-readable report)
     demo      run the full profile→fit→map→simulate methodology on a
               built-in application from the paper; --metrics prints a
               JSON report (per-stage utilisation, recv/send wait,
               predicted-vs-measured error, solver metrics) and
               --trace-out writes a Chrome trace of the measured run
               (open in Perfetto / chrome://tracing)
+    bench     run the fixed perf suite (solvers, end-to-end methodology,
+              threaded executor) and write BENCH_<git-sha>.json;
+              --compare prints per-metric verdicts against a baseline and
+              exits nonzero on regression (--threshold overrides the
+              default 30% relative change; --warn-only never fails);
+              --validate checks a bench file against the schema
     fit       profile a built-in application on the machine model and
               print its fitted polynomial spec (pipe to a file, then use
               'map' / 'simulate' on it)
     template  print an annotated spec file to start from
+
+OBSERVABILITY (simulate, demo):
+    --serve <addr>        expose live OpenMetrics on http://<addr>/metrics
+                          (plus /snapshot.json and /recorder.jsonl) while
+                          the command runs; <addr> like 127.0.0.1:9184,
+                          port 0 picks a free port (printed to stderr)
+    --hold <secs>         keep the server up this long after the run
+                          (default with --serve: hold until interrupted)
+    --recorder-out <f>    write flight-recorder samples (counter rates,
+                          gauges over time) as JSON lines to <f>
 ";
 
 const TEMPLATE: &str = "\
@@ -85,6 +110,7 @@ fn main() -> ExitCode {
         Some("map") => cmd_map(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("fit") => cmd_fit(&args[1..]),
         Some("template") => {
             print!("{TEMPLATE}");
@@ -271,13 +297,129 @@ fn cmd_map(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Shared `--serve` / `--hold` / `--recorder-out` flags.
+#[derive(Clone, Debug, Default)]
+struct ObsFlags {
+    serve: Option<String>,
+    hold: Option<f64>,
+    recorder_out: Option<String>,
+}
+
+impl ObsFlags {
+    /// Try to consume one observability flag; `Ok(true)` if `arg` was
+    /// one of ours.
+    fn try_parse(
+        &mut self,
+        arg: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--serve" => {
+                self.serve = Some(it.next().ok_or("--serve needs an address")?.clone());
+            }
+            "--hold" => {
+                let v = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .ok_or("--hold needs a duration in seconds")?;
+                self.hold = Some(v);
+            }
+            "--recorder-out" => {
+                self.recorder_out =
+                    Some(it.next().ok_or("--recorder-out needs a file path")?.clone());
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn active(&self) -> bool {
+        self.serve.is_some() || self.recorder_out.is_some()
+    }
+}
+
+/// Install the global registry and start the flight recorder and metrics
+/// server the flags ask for. Returns `(flight, server)`.
+fn start_observability(
+    flags: &ObsFlags,
+) -> Result<(Option<FlightRecorder>, Option<MetricsServer>), String> {
+    if !flags.active() {
+        return Ok((None, None));
+    }
+    pipemap_obs::install_global(pipemap_obs::Registry::new());
+    let registry = pipemap_obs::global_registry().expect("registry installed");
+    // Sample fast enough that short runs still record a useful timeline.
+    let flight = FlightRecorder::start(
+        registry,
+        RecorderConfig {
+            interval: Duration::from_millis(50),
+            ..RecorderConfig::default()
+        },
+    );
+    let server = match &flags.serve {
+        Some(addr) => {
+            let s = pipemap_obs::serve(addr.as_str(), registry, Some(&flight))
+                .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+            eprintln!(
+                "serving metrics on http://{}/metrics (also /snapshot.json, /recorder.jsonl)",
+                s.addr()
+            );
+            Some(s)
+        }
+        None => None,
+    };
+    Ok((Some(flight), server))
+}
+
+/// Finish an observed run: take a final sample, write the recorder dump,
+/// and honour `--hold` before shutting the server down.
+fn finish_observability(
+    flags: &ObsFlags,
+    mut flight: Option<FlightRecorder>,
+    server: Option<MetricsServer>,
+) -> Result<(), String> {
+    if let Some(f) = flight.as_mut() {
+        f.stop();
+    }
+    if let (Some(f), Some(path)) = (flight.as_ref(), flags.recorder_out.as_deref()) {
+        std::fs::write(path, f.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "wrote flight-recorder samples to {path} ({} samples)",
+            f.samples().len()
+        );
+    }
+    if let Some(mut s) = server {
+        match flags.hold {
+            Some(secs) => std::thread::sleep(Duration::from_secs_f64(secs.max(0.0))),
+            None => {
+                eprintln!("run finished; holding metrics server open (Ctrl-C to exit)");
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            }
+        }
+        s.shutdown();
+    }
+    Ok(())
+}
+
 fn cmd_simulate(args: &[String]) -> ExitCode {
     let mut positional = Vec::new();
     let mut datasets = 400usize;
     let mut noise: Option<f64> = None;
     let mut seed = 0x51e5u64;
+    let mut report_fmt: Option<String> = None;
+    let mut obs_flags = ObsFlags::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        match obs_flags.try_parse(a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
         match a.as_str() {
             "--datasets" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => datasets = v,
@@ -300,9 +442,24 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--report" => match it.next() {
+                Some(v) => report_fmt = Some(v.clone()),
+                None => {
+                    eprintln!("--report needs a format (json)");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => positional.push(other.to_string()),
         }
     }
+    let json = match report_fmt.as_deref() {
+        None => false,
+        Some("json") => true,
+        Some(other) => {
+            eprintln!("unsupported report format '{other}' (only 'json')");
+            return ExitCode::FAILURE;
+        }
+    };
     let [file, mapping_str] = positional.as_slice() else {
         eprintln!("simulate needs: <spec-file> <mapping>\n\n{USAGE}");
         return ExitCode::FAILURE;
@@ -332,24 +489,42 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         eprintln!("mapping invalid for this problem: {e}");
         return ExitCode::FAILURE;
     }
+    let (flight, server) = match start_observability(&obs_flags) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let analytic = pipemap_chain::throughput(&problem.chain, &mapping);
     let mut cfg = pipemap_sim::SimConfig::with_datasets(datasets);
     if let Some(s) = noise {
         cfg = cfg.with_noise(s, seed);
     }
     let result = pipemap_sim::simulate(&problem.chain, &mapping, &cfg);
-    println!("mapping  : {}", render_mapping(&problem, &mapping));
-    println!("analytic : {analytic:.3} data sets/s");
-    println!(
-        "simulated: {:.3} data sets/s over {} data sets",
-        result.throughput, datasets
-    );
-    println!(
-        "latency  : mean {:.3}s  p50 {:.3}s  p90 {:.3}s  p99 {:.3}s",
-        result.latency.mean, result.latency.p50, result.latency.p90, result.latency.p99
-    );
-    for (i, u) in result.utilization.iter().enumerate() {
-        println!("module {i}: utilisation {:.0}%", 100.0 * u);
+    if json {
+        let doc = simulate_report_json(
+            file, &problem, &mapping, datasets, noise, seed, analytic, &result,
+        );
+        println!("{}", doc.to_json_pretty());
+    } else {
+        println!("mapping  : {}", render_mapping(&problem, &mapping));
+        println!("analytic : {analytic:.3} data sets/s");
+        println!(
+            "simulated: {:.3} data sets/s over {} data sets",
+            result.throughput, datasets
+        );
+        println!(
+            "latency  : mean {:.3}s  p50 {:.3}s  p90 {:.3}s  p99 {:.3}s",
+            result.latency.mean, result.latency.p50, result.latency.p90, result.latency.p99
+        );
+        for (i, u) in result.utilization.iter().enumerate() {
+            println!("module {i}: utilisation {:.0}%", 100.0 * u);
+        }
+    }
+    if let Err(e) = finish_observability(&obs_flags, flight, server) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -397,8 +572,17 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     let mut metrics = false;
     let mut trace_out: Option<String> = None;
     let mut name: Option<String> = None;
+    let mut obs_flags = ObsFlags::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        match obs_flags.try_parse(a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
         match a.as_str() {
             "--systolic" => systolic = true,
             "--metrics" => metrics = true,
@@ -430,6 +614,13 @@ fn cmd_demo(args: &[String]) -> ExitCode {
         // mappers run; snapshotted into the JSON report.
         pipemap_obs::install_global(pipemap_obs::Registry::new());
     }
+    let (mut flight, server) = match start_observability(&obs_flags) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let options = MapperOptions::default();
     let report = match auto_map(&app, &machine, &options) {
         Ok(r) => r,
@@ -453,7 +644,17 @@ fn cmd_demo(args: &[String]) -> ExitCode {
             .as_ref()
             .and_then(|r| r.trace.as_ref())
             .expect("trace collected");
-        let doc = pipemap_sim::chrome_trace_json(trace);
+        // With a flight recorder running, append its counter tracks
+        // (wall-clock timeline) to the simulated-time slices; stop it
+        // first so the dump includes a final sample.
+        let doc = match flight.as_mut() {
+            Some(f) => {
+                f.stop();
+                let (events, lanes) = pipemap_sim::trace_events(trace);
+                pipemap_obs::chrome_trace_with_counters(&events, &lanes, f.counter_track_events())
+            }
+            None => pipemap_sim::chrome_trace_json(trace),
+        };
         if let Err(e) = std::fs::write(path, doc.to_json_pretty()) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -473,5 +674,159 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     } else {
         println!("{}", render_report(&report));
     }
+    if let Err(e) = finish_observability(&obs_flags, flight, server) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+fn read_bench_file(path: &str) -> Result<pipemap_obs::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    pipemap_obs::Value::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e:?}"))
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut against: Option<String> = None;
+    let mut threshold: Option<f64> = None;
+    let mut warn_only = false;
+    let mut validate: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--warn-only" => warn_only = true,
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--compare" => match it.next() {
+                Some(v) => baseline = Some(v.clone()),
+                None => {
+                    eprintln!("--compare needs a baseline bench file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--against" => match it.next() {
+                Some(v) => against = Some(v.clone()),
+                None => {
+                    eprintln!("--against needs a bench file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => threshold = Some(v),
+                _ => {
+                    eprintln!("--threshold needs a positive fraction (e.g. 0.3)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--validate" => match it.next() {
+                Some(v) => validate = Some(v.clone()),
+                None => {
+                    eprintln!("--validate needs a bench file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Pure validation mode: no suite run.
+    if let Some(path) = &validate {
+        let doc = match read_bench_file(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_bench(&doc) {
+            Ok(()) => {
+                println!("{path}: valid {}", pipemap_tool::BENCH_SCHEMA);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Current document: a file (--against) or a fresh suite run.
+    let current = match &against {
+        Some(path) => match read_bench_file(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            eprintln!(
+                "running bench suite{} ...",
+                if quick { " (quick)" } else { "" }
+            );
+            let doc = run_bench_suite(&BenchOptions { quick });
+            let path = out
+                .clone()
+                .unwrap_or_else(|| format!("BENCH_{}.json", git_sha()));
+            if let Err(e) = std::fs::write(&path, doc.to_json_pretty() + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+            doc
+        }
+    };
+
+    let Some(baseline_path) = &baseline else {
+        // No comparison asked for: print the metric values.
+        if let Some(metrics) = current.get("metrics").and_then(|m| m.as_object()) {
+            for (name, m) in metrics {
+                let v = m.get("value").and_then(pipemap_obs::Value::as_f64);
+                let unit = m
+                    .get("unit")
+                    .and_then(pipemap_obs::Value::as_str)
+                    .unwrap_or("");
+                println!("{name} = {} {unit}", v.unwrap_or(f64::NAN));
+            }
+        }
+        return ExitCode::SUCCESS;
+    };
+    let base = match read_bench_file(baseline_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match compare_bench(&current, &base, threshold) {
+        Ok(result) => {
+            print!("{}", result.render());
+            let regressions = result.regressions();
+            if regressions.is_empty() {
+                ExitCode::SUCCESS
+            } else if warn_only {
+                eprintln!("warn-only: ignoring {} regression(s)", regressions.len());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("perf regression in: {}", regressions.join(", "));
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -19,6 +19,7 @@
 //! [`render`] turns the results into the paper's table rows and the
 //! Figure 6-style array diagram.
 
+pub mod bench;
 pub mod mapper;
 pub mod markdown;
 pub mod render;
@@ -26,9 +27,15 @@ pub mod report;
 pub mod sensitivity;
 pub mod spec;
 
+pub use bench::{
+    compare_bench, git_sha, run_bench_suite, validate_bench, BenchOptions, CompareResult,
+    BENCH_SCHEMA,
+};
 pub use mapper::{auto_map, MapperOptions, MappingReport};
 pub use markdown::{report_markdown, table2_header, table2_row};
 pub use render::{render_mapping, render_placement, render_report};
-pub use report::{demo_report_json, map_report_json, mapping_json, stage_metrics_json};
+pub use report::{
+    demo_report_json, map_report_json, mapping_json, simulate_report_json, stage_metrics_json,
+};
 pub use sensitivity::{perturb_problem, robustness, Robustness};
 pub use spec::{parse_mapping, parse_spec, render_spec, SpecError};

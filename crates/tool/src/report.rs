@@ -94,6 +94,40 @@ pub fn map_report_json(
     o
 }
 
+/// Report for `pipemap simulate --report json`: the run's configuration
+/// and the simulator's measurements. Everything here is virtual-time —
+/// no wall clocks — so the report is byte-identical across runs with the
+/// same spec, mapping, and seed.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_report_json(
+    file: &str,
+    problem: &Problem,
+    mapping: &Mapping,
+    datasets: usize,
+    noise: Option<f64>,
+    seed: u64,
+    analytic: f64,
+    result: &SimResult,
+) -> Value {
+    let mut cfg = Value::object();
+    cfg.set("datasets", datasets);
+    match noise {
+        Some(s) => cfg.set("noise", s),
+        None => cfg.set("noise", Value::Null),
+    };
+    cfg.set("seed", seed);
+
+    let mut o = Value::object();
+    o.set("spec", file);
+    o.set("mapping", mapping_json(problem, mapping));
+    o.set("config", cfg);
+    o.set("analytic_throughput", analytic);
+    o.set("simulated_throughput", result.throughput);
+    o.set("latency", summary_json(&result.latency));
+    o.set("utilization", result.utilization.clone());
+    o
+}
+
 /// Per-stage activity sums extracted from a simulation trace.
 #[derive(Clone, Copy, Debug, Default)]
 struct StageActivity {

@@ -138,6 +138,213 @@ fn unknown_command_fails() {
     assert!(!out.status.success());
 }
 
+/// `simulate --report json` is virtual-time only, so a seeded run is
+/// byte-for-byte reproducible — and a different seed actually changes
+/// the noise draw.
+#[test]
+fn simulate_json_report_is_deterministic_per_seed() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = write_spec(&dir, "p.pmap", SPEC);
+    let run = |seed: &str| {
+        let out = pipemap()
+            .arg("simulate")
+            .arg(&spec)
+            .arg("0-0:2x4,1-1:1x8")
+            .args(["--datasets", "80", "--noise", "0.08", "--seed", seed])
+            .args(["--report", "json"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let a = run("42");
+    let b = run("42");
+    assert_eq!(a, b, "same seed must reproduce the report byte-for-byte");
+    let c = run("43");
+    assert_ne!(a, c, "a different seed must change the noisy measurements");
+    // And the output is valid JSON with the advertised fields.
+    let doc = pipemap_obs::Value::parse(&String::from_utf8_lossy(&a)).unwrap();
+    assert_eq!(
+        doc.get("config")
+            .and_then(|c| c.get("seed"))
+            .and_then(pipemap_obs::Value::as_f64),
+        Some(42.0)
+    );
+    assert!(doc.get("simulated_throughput").is_some());
+    assert!(doc.get("latency").and_then(|l| l.get("p99")).is_some());
+}
+
+fn http_get(addr: &str, path: &str) -> String {
+    use std::io::Read;
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    buf
+}
+
+/// `--serve` exposes live OpenMetrics over HTTP while the command runs:
+/// the body must carry at least one counter, gauge, and histogram family
+/// and end with the OpenMetrics EOF marker.
+#[test]
+fn simulate_serve_exposes_openmetrics_over_http() {
+    use std::io::BufRead;
+    let dir = std::env::temp_dir().join("pipemap-cli-test-serve");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = write_spec(&dir, "p.pmap", SPEC);
+    let mut child = pipemap()
+        .arg("simulate")
+        .arg(&spec)
+        .arg("0-0:2x4,1-1:1x8")
+        .args(["--datasets", "200", "--noise", "0.05"])
+        .args(["--serve", "127.0.0.1:0", "--hold", "20"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The bound address (port 0 = ephemeral) is announced on stderr.
+    let mut stderr = std::io::BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|s| s.split("/metrics").next())
+        .unwrap_or_else(|| panic!("no address in {line:?}"))
+        .to_string();
+
+    // Poll until the run has published its counters (the simulation is
+    // fast; the server holds the registry open afterwards).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let body = loop {
+        let resp = http_get(&addr, "/metrics");
+        if resp.contains("pipemap_sim_datasets_completed_total") {
+            break resp;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "metrics never appeared; last response: {resp}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    assert!(body.contains("200 OK"), "{body}");
+    assert!(body.contains("application/openmetrics-text"), "{body}");
+    for family in ["counter", "gauge", "histogram"] {
+        assert!(
+            body.lines()
+                .any(|l| l.starts_with("# TYPE ") && l.ends_with(family)),
+            "no {family} family in:\n{body}"
+        );
+    }
+    assert!(body.contains("# EOF"), "{body}");
+
+    // The JSON snapshot and the flight-recorder dump are also served.
+    let snap = http_get(&addr, "/snapshot.json");
+    assert!(snap.contains("200 OK"), "{snap}");
+    assert!(snap.contains("sim.datasets.completed"), "{snap}");
+    let rec = http_get(&addr, "/recorder.jsonl");
+    assert!(rec.contains("200 OK"), "{rec}");
+    assert!(rec.contains("\"t_s\""), "{rec}");
+
+    child.kill().unwrap();
+    let _ = child.wait();
+}
+
+fn bench_doc(dir: &std::path::Path, name: &str, entries: &[(&str, f64)]) -> std::path::PathBuf {
+    let mut metrics = String::new();
+    for (i, (metric, value)) in entries.iter().enumerate() {
+        if i > 0 {
+            metrics.push(',');
+        }
+        metrics.push_str(&format!(
+            "\"{metric}\": {{\"value\": {value}, \"unit\": \"s\", \"direction\": \"lower\", \"slack\": 0.0}}"
+        ));
+    }
+    let body = format!(
+        "{{\"schema\": \"pipemap-bench/v1\", \"git_sha\": \"test\", \"metrics\": {{{metrics}}}}}"
+    );
+    write_spec(dir, name, &body)
+}
+
+/// `bench --compare` must exit nonzero when the current run regresses
+/// past the threshold, stay green within it, and honour `--warn-only`.
+#[test]
+fn bench_compare_exits_nonzero_on_regression() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = bench_doc(&dir, "base.json", &[("suite.wall_s", 1.0)]);
+    let regressed = bench_doc(&dir, "bad.json", &[("suite.wall_s", 2.0)]);
+    let fine = bench_doc(&dir, "fine.json", &[("suite.wall_s", 1.05)]);
+
+    let compare = |current: &std::path::Path, extra: &[&str]| {
+        pipemap()
+            .arg("bench")
+            .arg("--compare")
+            .arg(&baseline)
+            .arg("--against")
+            .arg(current)
+            .args(extra)
+            .output()
+            .unwrap()
+    };
+
+    let out = compare(&regressed, &[]);
+    assert!(!out.status.success(), "2x slower must fail the gate");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REGRESSED"), "{text}");
+
+    let out = compare(&fine, &[]);
+    assert!(
+        out.status.success(),
+        "5% drift is inside the default threshold: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // A tight threshold flags the small drift too...
+    let out = compare(&fine, &["--threshold", "0.01"]);
+    assert!(!out.status.success());
+    // ...unless the caller asked for warnings only.
+    let out = compare(&regressed, &["--warn-only"]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn bench_validate_checks_schema() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-bench-validate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = bench_doc(&dir, "good.json", &[("m.wall_s", 0.5)]);
+    let out = pipemap()
+        .arg("bench")
+        .arg("--validate")
+        .arg(&good)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("valid"));
+
+    let bad = write_spec(&dir, "bad.json", "{\"schema\": \"nope\"}");
+    let out = pipemap()
+        .arg("bench")
+        .arg("--validate")
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
 #[test]
 fn fit_emits_a_mappable_spec() {
     let dir = std::env::temp_dir().join("pipemap-cli-test-fit");
