@@ -16,6 +16,13 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== solver equivalence under forced thread counts =="
+# The differential suite must hold regardless of the worker-pool size the
+# environment imposes; 1 exercises the serial fallback, 4 oversubscribes
+# small CI machines on purpose.
+PIPEMAP_THREADS=1 cargo test -q -p pipemap-core --test equivalence
+PIPEMAP_THREADS=4 cargo test -q -p pipemap-core --test equivalence
+
 echo "== bench-smoke: quick perf suite + schema check =="
 BENCH_SMOKE_OUT=$(mktemp /tmp/pipemap-bench-smoke.XXXXXX.json)
 trap 'rm -f "$BENCH_SMOKE_OUT"' EXIT

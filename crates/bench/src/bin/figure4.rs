@@ -50,8 +50,7 @@ fn main() {
         for pl in 1..=p {
             print!("  {pl:>14} |");
             for &pn in &pn_values {
-                let idx = (p * (p + 1) + pl) * (p + 1) + pn;
-                let v = stage.value[idx];
+                let v = stage.get(p, pl, pn);
                 if v == f64::NEG_INFINITY {
                     print!("    -   ");
                 } else {

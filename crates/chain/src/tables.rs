@@ -2,13 +2,15 @@
 //!
 //! The DP algorithm evaluates response times `O(P⁴k)` times; evaluating a
 //! `UnaryCost`/`BinaryCost` enum (or a user closure) in the innermost loop
-//! would dominate the run time. [`CostTable`] evaluates every cost function
-//! once for every relevant processor count, builds prefix sums over the
-//! chain so a *module's* execution time is an O(1) lookup for any extent
-//! and processor count (the §3.3 requirement), and caches memory floors and
-//! replication decisions.
+//! would dominate the run time. [`CostTable`] materialises every cost
+//! function once into a [`pipemap_model::DenseCostTable`] (flat rows for
+//! unary costs, row-major `P×P` slabs for `ecom`), builds prefix sums over
+//! the chain so a *module's* execution time is an O(1) lookup for any
+//! extent and processor count (the §3.3 requirement), and caches memory
+//! floors and replication decisions. The dense backing is shared read-only
+//! with the solvers' worker threads via [`CostTable::dense`].
 
-use pipemap_model::{max_replication, Procs, Replication, Seconds};
+use pipemap_model::{max_replication, DenseCostTable, Procs, Replication, Seconds};
 
 use crate::problem::{Problem, ReplicationPolicy};
 
@@ -18,8 +20,9 @@ use crate::problem::{Problem, ReplicationPolicy};
 pub struct CostTable {
     k: usize,
     max_p: Procs,
-    /// `ecom_t[e][(ps-1) * max_p + (pr-1)]`.
-    ecom_t: Vec<Vec<Seconds>>,
+    /// Flat per-point costs: `f_exec`, `f_icom` rows and `f_ecom` slabs,
+    /// each cost function evaluated exactly once per argument.
+    dense: DenseCostTable,
     /// `exec_prefix[p-1][i]` = Σ_{l<i} exec_l(p); length `k+1` per row.
     exec_prefix: Vec<Vec<Seconds>>,
     /// `icom_prefix[p-1][e]` = Σ_{d<e} icom_d(p); length `k` per row.
@@ -41,34 +44,31 @@ impl CostTable {
         let k = chain.len();
         let max_p = problem.total_procs;
 
+        // Single evaluation pass over every cost function; everything
+        // below reads the dense table, never the closures again.
+        let dense = DenseCostTable::build(
+            k,
+            max_p,
+            |i, p| chain.task(i).exec.eval(p),
+            |e, p| chain.edge(e).icom.eval(p),
+            |e, ps, pr| chain.edge(e).ecom.eval(ps, pr),
+        );
+
         let mut exec_prefix = Vec::with_capacity(max_p);
         let mut icom_prefix = Vec::with_capacity(max_p);
         for p in 1..=max_p {
             let mut epfx = Vec::with_capacity(k + 1);
             epfx.push(0.0);
             for i in 0..k {
-                let v = chain.task(i).exec.eval(p);
-                epfx.push(epfx[i] + v);
+                epfx.push(epfx[i] + dense.exec(i, p));
             }
             exec_prefix.push(epfx);
             let mut ipfx = Vec::with_capacity(k);
             ipfx.push(0.0);
             for e in 0..k.saturating_sub(1) {
-                let v = chain.edge(e).icom.eval(p);
-                ipfx.push(ipfx[e] + v);
+                ipfx.push(ipfx[e] + dense.icom(e, p));
             }
             icom_prefix.push(ipfx);
-        }
-
-        let mut ecom_t = Vec::with_capacity(k.saturating_sub(1));
-        for e in 0..k.saturating_sub(1) {
-            let mut t = Vec::with_capacity(max_p * max_p);
-            for ps in 1..=max_p {
-                for pr in 1..=max_p {
-                    t.push(chain.edge(e).ecom.eval(ps, pr));
-                }
-            }
-            ecom_t.push(t);
         }
 
         let mut floor = vec![vec![Procs::MAX; k]; k];
@@ -97,13 +97,21 @@ impl CostTable {
         Self {
             k,
             max_p,
-            ecom_t,
+            dense,
             exec_prefix,
             icom_prefix,
             floor,
             replicable,
             rep,
         }
+    }
+
+    /// The dense per-point cost tables backing this table. Solver inner
+    /// loops borrow the flat rows / `ecom` slabs directly (the table is
+    /// `Sync`, so worker threads share it read-only).
+    #[inline]
+    pub fn dense(&self) -> &DenseCostTable {
+        &self.dense
     }
 
     /// Number of tasks.
@@ -119,23 +127,20 @@ impl CostTable {
     /// Execution time of task `i` on `p` processors.
     #[inline]
     pub fn exec(&self, i: usize, p: Procs) -> Seconds {
-        debug_assert!(p >= 1 && p <= self.max_p);
-        self.exec_prefix[p - 1][i + 1] - self.exec_prefix[p - 1][i]
+        self.dense.exec(i, p)
     }
 
     /// Internal redistribution time of edge `e` on `p` processors.
     #[inline]
     pub fn icom(&self, e: usize, p: Procs) -> Seconds {
-        debug_assert!(p >= 1 && p <= self.max_p);
-        self.icom_prefix[p - 1][e + 1] - self.icom_prefix[p - 1][e]
+        self.dense.icom(e, p)
     }
 
     /// External transfer time of edge `e` from `ps` senders to `pr`
     /// receivers.
     #[inline]
     pub fn ecom(&self, e: usize, ps: Procs, pr: Procs) -> Seconds {
-        debug_assert!(ps >= 1 && ps <= self.max_p && pr >= 1 && pr <= self.max_p);
-        self.ecom_t[e][(ps - 1) * self.max_p + (pr - 1)]
+        self.dense.ecom(e, ps, pr)
     }
 
     /// Execution time of the module `first..=last` on `p` processors:

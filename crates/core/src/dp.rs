@@ -42,14 +42,51 @@
 //! tables in [`pipemap_chain::CostTable`] pre-compute the `p → (r, inst)`
 //! map, so the recurrence is unchanged — exactly the paper's observation.
 //!
-//! Complexity: `O(P⁴ k)` time (the `pn` dimension of the final stage is a
-//! single sentinel value, and per-stage work is `pt × pl × pn × q ≤ P⁴`),
-//! `O(P³)` memory (two live stages).
+//! ## Performance layer
+//!
+//! All knobs live on [`SolveOptions`] and change *nothing* about the
+//! result (bit-identical throughput and assignment, see
+//! `tests/equivalence.rs`):
+//!
+//! * **Dense tables** — inner loops index the flat rows/slabs of
+//!   [`pipemap_model::DenseCostTable`] (via [`CostTable::dense`]); the
+//!   predecessor scan over `q` walks the previous stage's value row and a
+//!   pre-gathered `ecom` column contiguously.
+//! * **Instance dedup** (`dedup`) — the `p_next` axis only distinguishes
+//!   *instance sizes*: two successor offers with equal instance size are
+//!   interchangeable for the subproblem. A replicable successor with floor
+//!   1 collapses the whole axis to one slot.
+//! * **Bound pruning** (`prune`) — the greedy heuristic's throughput is an
+//!   admissible incumbent (its assignment is a feasible DP state, so the
+//!   optimum is ≥ it). A cell whose single-task upper bound
+//!   `1 / f_j(best ecom_in)` — or whose best reachable subchain value —
+//!   falls below the incumbent cannot lie on the optimal path and is
+//!   skipped; inner scans break once a cell reaches its own bound.
+//! * **Parallel rows** (`par`) — each stage's `(pl)` rows are independent;
+//!   [`crate::pool::run_strided`] computes them on scoped threads with
+//!   per-thread buffers merged deterministically at the stage barrier.
+//!
+//! Complexity: `O(P⁴ k)` time worst case (the `pn` dimension of the final
+//! stage is a single sentinel value, and per-stage work is
+//! `pt × pl × pn × q ≤ P⁴`), `O(P² · slots)` memory per live stage.
 
 use pipemap_chain::{Assignment, CostTable, Mapping, Problem};
 use pipemap_model::Procs;
 
+use crate::greedy;
+use crate::options::SolveOptions;
+use crate::pool::{self, CellStats};
 use crate::solution::{Solution, SolveError};
+
+/// Relative safety margin on the pruning incumbent: the greedy bound and
+/// the DP cells accumulate the same three cost terms in different
+/// association orders, so allow a few ulps of slack before declaring a
+/// cell unreachable. Far larger than any association error, far smaller
+/// than any real throughput gap.
+const PRUNE_MARGIN: f64 = 1e-12;
+
+/// Slot sentinel for "no entry" in a raw-offer → slot map.
+const NO_SLOT: usize = usize::MAX;
 
 /// The value + parent tables of one DP stage, kept for introspection
 /// (Figure 4 of the paper illustrates exactly these subchain tables).
@@ -57,11 +94,40 @@ use crate::solution::{Solution, SolveError};
 pub struct DpStage {
     /// Task index `j` of this stage.
     pub task: usize,
-    /// `value[idx(pt, pl, pn)]` = best bottleneck throughput, or
-    /// `f64::NEG_INFINITY` when the state is invalid.
+    /// `value[(pt * nslots + slot) * P + (pl - 1)]` = best bottleneck
+    /// throughput, or `f64::NEG_INFINITY` when the state is invalid. Use
+    /// [`DpStage::get`] rather than indexing by hand: `slot` is the
+    /// successor's axis slot (see module docs), not a raw `pn`.
     pub value: Vec<f64>,
-    /// `parent[idx]` = the maximising `q` (processors of task `j-1`).
+    /// Parent table in the same layout: the maximising `q` (processors of
+    /// task `j-1`).
     pub parent: Vec<u32>,
+    /// Successor-axis width of this stage.
+    nslots: usize,
+    /// The problem's `P`.
+    max_p: usize,
+    /// Raw successor offer → axis slot; empty for the final (sentinel)
+    /// stage.
+    slot_of_raw: Vec<usize>,
+}
+
+impl DpStage {
+    /// Value at `(p_total, p_last, p_next)`; `pn = 0` is the final stage's
+    /// sentinel ("no next task"). Returns `-inf` for invalid states.
+    pub fn get(&self, pt: usize, pl: usize, pn: usize) -> f64 {
+        if pl < 1 || pl > self.max_p || pt > self.max_p {
+            return f64::NEG_INFINITY;
+        }
+        let slot = if self.slot_of_raw.is_empty() {
+            0 // sentinel stage: pn is ignored (the paper's φ)
+        } else {
+            match self.slot_of_raw.get(pn) {
+                Some(&s) if s != NO_SLOT => s,
+                _ => return f64::NEG_INFINITY,
+            }
+        };
+        self.value[(pt * self.nslots + slot) * self.max_p + (pl - 1)]
+    }
 }
 
 /// Introspection record of a DP run: per-stage tables plus the final
@@ -76,74 +142,94 @@ pub struct DpTrace {
     pub throughput: f64,
 }
 
-struct Dims {
-    p: usize,
+/// The successor axis of one stage: which "next task offer" states are
+/// distinguished. Entry `insts[slot]` is the successor's *instance* size
+/// (0 = the "no next task" sentinel); `slot_of_raw[pn]` maps a raw
+/// successor offer to its slot.
+struct Axis {
+    insts: Vec<Procs>,
+    slot_of_raw: Vec<usize>,
 }
 
-impl Dims {
-    #[inline]
-    fn idx(&self, pt: usize, pl: usize, pn: usize) -> usize {
-        debug_assert!(pt <= self.p && pl <= self.p && pn <= self.p);
-        (pt * (self.p + 1) + pl) * (self.p + 1) + pn
+impl Axis {
+    fn sentinel() -> Self {
+        Self {
+            insts: vec![0],
+            slot_of_raw: Vec::new(),
+        }
+    }
+
+    /// Axis over the offers `floor..=p` of the task with instance map
+    /// `inst_of`. With `dedup`, offers collapse to distinct instance
+    /// sizes; otherwise every raw offer keeps its own slot (the faithful
+    /// reference enumeration).
+    fn for_task(inst_of: &[Procs], floor: Procs, p: Procs, dedup: bool) -> Self {
+        let mut slot_of_raw = vec![NO_SLOT; p + 1];
+        if dedup {
+            let mut insts: Vec<Procs> = (floor..=p).map(|q| inst_of[q]).collect();
+            insts.sort_unstable();
+            insts.dedup();
+            for q in floor..=p {
+                slot_of_raw[q] = insts
+                    .binary_search(&inst_of[q])
+                    .expect("axis contains every instance size");
+            }
+            Self { insts, slot_of_raw }
+        } else {
+            let insts: Vec<Procs> = (floor..=p).map(|q| inst_of[q]).collect();
+            for (slot, q) in (floor..=p).enumerate() {
+                slot_of_raw[q] = slot;
+            }
+            Self { insts, slot_of_raw }
+        }
     }
 
     fn len(&self) -> usize {
-        (self.p + 1) * (self.p + 1) * (self.p + 1)
+        self.insts.len()
     }
 }
 
-/// Sentinel `pn` index meaning "no next task" (the paper's φ).
-const NO_NEXT: usize = 0;
-
-/// Throughput contribution of task `j` when offered `pl` processors, its
-/// predecessor `q` (0 = none) and successor `pn` (0 = none): `1 / f_j`
-/// with `f_j` the replication-adjusted response. Returns 0.0 when the
-/// response is infinite (below floor).
+/// `1 / f_eff` with the conventions of the solvers: an infinitely slow
+/// state contributes throughput 0 (dominated but legal), a zero-cost state
+/// contributes `+inf`.
 #[inline]
-fn task_throughput(table: &CostTable, j: usize, q: usize, pl: usize, pn: usize) -> f64 {
-    let prev_inst = if q == 0 {
-        None
-    } else {
-        match table.task_instance_procs(j - 1, q) {
-            Some(i) => Some(i),
-            None => return f64::NEG_INFINITY, // predecessor below floor
-        }
-    };
-    let next_inst = if pn == 0 {
-        None
-    } else {
-        match table.task_instance_procs(j + 1, pn) {
-            Some(i) => Some(i),
-            None => return f64::NEG_INFINITY,
-        }
-    };
-    let f = table.task_effective_response(j, pl, prev_inst, next_inst);
-    if f.is_infinite() {
-        if f.is_sign_positive() {
-            0.0 // valid state, infinitely slow — dominated but not illegal
+fn throughput_of(f_eff: f64) -> f64 {
+    if f_eff.is_infinite() {
+        if f_eff.is_sign_positive() {
+            0.0
         } else {
             f64::NEG_INFINITY
         }
-    } else if f <= 0.0 {
-        f64::INFINITY // zero-cost task
+    } else if f_eff <= 0.0 {
+        f64::INFINITY
     } else {
-        1.0 / f
+        1.0 / f_eff
     }
 }
 
-fn run_dp(problem: &Problem, table: &CostTable, keep_stages: bool) -> Result<DpTrace, SolveError> {
+/// One computed stage row (a single `pl`), produced by a pool worker and
+/// merged into the stage table at the barrier.
+struct Row {
+    /// `value[pt * nslots + slot]`.
+    value: Vec<f64>,
+    /// Same layout; empty for the base stage (no predecessor).
+    parent: Vec<u32>,
+    stats: CellStats,
+}
+
+fn run_dp(
+    problem: &Problem,
+    table: &CostTable,
+    keep_stages: bool,
+    opts: &SolveOptions,
+) -> Result<DpTrace, SolveError> {
     let rec = pipemap_obs::global();
     let _wall = rec.timer("solver.dp_assignment.wall_s");
     let _span = pipemap_obs::span!("dp_assignment", "solver");
-    // Hot-loop counters accumulate locally and publish once at the end,
-    // so instrumentation adds no atomics to the recurrence itself.
-    let mut n_cells: u64 = 0;
-    let mut n_lookups: u64 = 0;
-    let mut n_pruned: u64 = 0;
 
     let k = problem.num_tasks();
     let p = problem.total_procs;
-    let dims = Dims { p };
+    let dense = table.dense();
 
     let floors: Vec<Procs> = (0..k)
         .map(|i| problem.task_floor(i).ok_or(SolveError::Infeasible))
@@ -152,76 +238,292 @@ fn run_dp(problem: &Problem, table: &CostTable, keep_stages: bool) -> Result<DpT
         return Err(SolveError::Infeasible);
     }
 
-    // pn values that matter for stage j: the sentinel for the last stage,
-    // the successor's feasible range otherwise.
-    let pn_range = |j: usize| -> Vec<usize> {
-        if j + 1 == k {
-            vec![NO_NEXT]
-        } else {
-            (floors[j + 1]..=p).collect()
+    // Replication maps per task: offer → (instance size, instance count).
+    let mut inst_of: Vec<Vec<Procs>> = vec![vec![0; p + 1]; k];
+    let mut r_of: Vec<Vec<f64>> = vec![vec![0.0; p + 1]; k];
+    for i in 0..k {
+        for q in floors[i]..=p {
+            let rep = table
+                .module_replication(i, i, q)
+                .expect("offer >= floor implies a replication exists");
+            inst_of[i][q] = rep.procs_per_instance;
+            r_of[i][q] = rep.instances as f64;
         }
+    }
+
+    // Successor axis of each stage.
+    let axes: Vec<Axis> = (0..k)
+        .map(|j| {
+            if j + 1 == k {
+                Axis::sentinel()
+            } else {
+                Axis::for_task(&inst_of[j + 1], floors[j + 1], p, opts.dedup)
+            }
+        })
+        .collect();
+
+    // Pruning incumbent: the greedy assignment is a feasible DP state
+    // computed with the *same* response arithmetic, so the DP optimum is
+    // ≥ its throughput — an admissible bound.
+    let bound = if opts.prune {
+        let inc = greedy::incumbent_throughput(problem, table);
+        if inc.is_finite() && inc > 0.0 {
+            inc * (1.0 - PRUNE_MARGIN)
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        f64::NEG_INFINITY
+    };
+
+    let threads = if opts.par {
+        pool::thread_limit(opts.threads)
+    } else {
+        1
     };
 
     let mut stages: Vec<DpStage> = Vec::new();
-    let mut prev_value: Vec<f64> = Vec::new();
     let mut all_parents: Vec<Vec<u32>> = Vec::new();
+    let mut prev_value: Vec<f64> = Vec::new();
+    let mut prev_rowmax: Vec<f64> = Vec::new();
+    let mut totals = CellStats::default();
 
     for j in 0..k {
-        let mut value = vec![f64::NEG_INFINITY; dims.len()];
-        let mut parent = vec![0u32; dims.len()];
-        let pns = pn_range(j);
-        for pt in floors[j]..=p {
-            for pl in floors[j]..=pt {
-                for &pn in &pns {
-                    n_cells += 1;
-                    let v = if j == 0 {
-                        task_throughput(table, 0, 0, pl, pn)
-                    } else {
-                        // Enumerate the predecessor's processors q.
-                        let budget = pt - pl;
-                        let mut best = f64::NEG_INFINITY;
-                        let mut best_q = 0u32;
-                        for q in floors[j - 1]..=budget {
-                            n_lookups += 1;
-                            let sub = prev_value[dims.idx(budget, q, pl)];
-                            if sub <= best {
-                                n_pruned += 1;
-                                continue; // min(sub, _) ≤ sub ≤ best
-                            }
-                            let own = task_throughput(table, j, q, pl, pn);
-                            let cand = sub.min(own);
-                            if cand > best {
-                                best = cand;
-                                best_q = q as u32;
-                            }
-                        }
-                        parent[dims.idx(pt, pl, pn)] = best_q;
-                        best
-                    };
-                    value[dims.idx(pt, pl, pn)] = v;
+        let axis = &axes[j];
+        let nslots = axis.len();
+        let nslots_prev = if j > 0 { axes[j - 1].len() } else { 0 };
+        let floor = floors[j];
+        let rows = p - floor + 1;
+        let out_slab = if j + 1 < k {
+            Some(dense.ecom_slab(j))
+        } else {
+            None
+        };
+
+        // Pre-gather incoming-transfer columns, one per distinct instance
+        // size of task j: eincol[q - 1] = ecom(j-1, inst_{j-1}(q), inst).
+        // The q scan then walks both the previous value row and this
+        // column contiguously. The paired scalar is the column minimum
+        // over feasible q (for the cell's single-task bound).
+        let mut eincols: Vec<Option<(Vec<f64>, f64)>> = vec![None; p + 1];
+        if j > 0 {
+            let in_slab = dense.ecom_slab(j - 1);
+            for pl in floor..=p {
+                let inst = inst_of[j][pl];
+                if eincols[inst].is_some() {
+                    continue;
                 }
+                let mut col = vec![f64::INFINITY; p];
+                let mut min = f64::INFINITY;
+                for q in floors[j - 1]..=p {
+                    let c = in_slab[(inst_of[j - 1][q] - 1) * p + (inst - 1)];
+                    col[q - 1] = c;
+                    if c < min {
+                        min = c;
+                    }
+                }
+                eincols[inst] = Some((col, min));
             }
         }
-        all_parents.push(parent.clone());
+
+        // Fewest successor processors mapping to each slot, for the
+        // structural reachability prune (see the worker); empty when
+        // unused.
+        let min_raw: Vec<usize> = if opts.prune && j + 1 < k {
+            let mut m = vec![usize::MAX; nslots];
+            for q in 1..=p {
+                let s = axis.slot_of_raw[q];
+                if s != NO_SLOT && q < m[s] {
+                    m[s] = q;
+                }
+            }
+            m
+        } else {
+            Vec::new()
+        };
+
+        let worker = |ri: usize| -> Row {
+            let pl = floor + ri;
+            let inst = inst_of[j][pl];
+            let r = r_of[j][pl];
+            let e = dense.exec(j, inst);
+            let mut value = vec![f64::NEG_INFINITY; (p + 1) * nslots];
+            let mut parent = vec![0u32; if j == 0 { 0 } else { (p + 1) * nslots }];
+            let mut st = CellStats::default();
+            let (ein_col, ein_min) = if j > 0 {
+                let (col, min) = eincols[inst]
+                    .as_ref()
+                    .expect("column built for every offer");
+                (&col[..], *min)
+            } else {
+                (&[][..], 0.0)
+            };
+            let slot_prev = if j > 0 {
+                axes[j - 1].slot_of_raw[pl]
+            } else {
+                NO_SLOT
+            };
+
+            for (s, &ne_inst) in axis.insts.iter().enumerate() {
+                let eout = match out_slab {
+                    Some(slab) if ne_inst != 0 => slab[(inst - 1) * p + (ne_inst - 1)],
+                    _ => 0.0,
+                };
+                let nominal = (p + 1 - pl) as u64;
+                // Structural reachability (the other half of `prune`): a
+                // successor row reading this slot holds `min_raw[s]`
+                // processors of its own, and the final stage is read by
+                // the terminal scan at pt = P only — cells outside
+                // [lo, hi] are never read by anything, so skipping them
+                // is exact even without an incumbent.
+                let (lo, hi) = if !opts.prune {
+                    (pl, p)
+                } else if j + 1 == k {
+                    (p, p)
+                } else {
+                    (pl, p - min_raw[s].min(p))
+                };
+                if j == 0 {
+                    // Base case: the response depends on (pl, slot) only.
+                    let own = throughput_of((e + eout) / r);
+                    st.cells += nominal;
+                    if opts.prune && own < bound {
+                        st.cells_pruned += nominal;
+                        continue; // below the incumbent: never optimal
+                    }
+                    if hi < lo {
+                        st.cells_pruned += nominal;
+                        continue;
+                    }
+                    st.cells_pruned += nominal - (hi - lo + 1) as u64;
+                    for pt in lo..=hi {
+                        value[pt * nslots + s] = own;
+                    }
+                    continue;
+                }
+                // Upper bound on any candidate's own term: best possible
+                // incoming transfer. If even that misses the incumbent,
+                // the whole (pl, slot) row is off the optimal path.
+                let cap = throughput_of(((e + ein_min) + eout) / r);
+                st.cells += nominal;
+                if opts.prune && cap < bound {
+                    st.cells_pruned += nominal;
+                    continue;
+                }
+                if hi < lo {
+                    st.cells_pruned += nominal;
+                    continue;
+                }
+                st.cells_pruned += nominal - (hi - lo + 1) as u64;
+                let pfloor = floors[j - 1];
+                for pt in lo..=hi {
+                    let budget = pt - pl;
+                    if budget < pfloor {
+                        continue; // no feasible predecessor: stays -inf
+                    }
+                    let row_base = (budget * nslots_prev + slot_prev) * p;
+                    if opts.prune && prev_rowmax[budget * nslots_prev + slot_prev] < bound {
+                        // No reachable subchain value meets the incumbent.
+                        st.cells_pruned += 1;
+                        continue;
+                    }
+                    let prev_row = &prev_value[row_base..row_base + p];
+                    // Start the running best at the pruning bound (`-∞`
+                    // when pruning is off): sub-incumbent candidates can
+                    // never sit on the optimal chain, so the `sub ≤ best`
+                    // skip may drop them wholesale — the cell merely
+                    // becomes `-∞` instead of carrying a value that is
+                    // never reconstructed.
+                    let mut best = bound;
+                    let mut updated = false;
+                    let mut best_q = 0u32;
+                    for q in pfloor..=budget {
+                        st.lookups += 1;
+                        let sub = prev_row[q - 1];
+                        if sub <= best {
+                            st.qskips += 1;
+                            continue; // min(sub, _) ≤ sub ≤ best
+                        }
+                        let own = throughput_of(((e + ein_col[q - 1]) + eout) / r);
+                        let cand = sub.min(own);
+                        if cand > best {
+                            best = cand;
+                            updated = true;
+                            best_q = q as u32;
+                            if opts.prune && best >= cap {
+                                // Ties can't displace the first argmax
+                                // (strict update), so nothing after this
+                                // candidate changes the cell.
+                                break;
+                            }
+                        }
+                    }
+                    value[pt * nslots + s] = if updated { best } else { f64::NEG_INFINITY };
+                    parent[pt * nslots + s] = best_q;
+                }
+            }
+            Row {
+                value,
+                parent,
+                stats: st,
+            }
+        };
+
+        let computed = pool::run_strided(threads, rows, worker);
+
+        // Stage barrier: merge per-row buffers into the stage tables.
+        let mut value = vec![f64::NEG_INFINITY; (p + 1) * nslots * p];
+        let mut parent = vec![0u32; if j == 0 { 0 } else { (p + 1) * nslots * p }];
+        for (ri, row) in computed.into_iter().enumerate() {
+            let pl = floor + ri;
+            for pt in 0..=p {
+                for s in 0..nslots {
+                    let src = pt * nslots + s;
+                    let dst = src * p + (pl - 1);
+                    value[dst] = row.value[src];
+                    if j > 0 {
+                        parent[dst] = row.parent[src];
+                    }
+                }
+            }
+            totals.absorb(&row.stats);
+        }
+        if opts.prune {
+            // Row maxima over pl, used by the next stage's cell bound.
+            let mut rowmax = vec![f64::NEG_INFINITY; (p + 1) * nslots];
+            for (i, m) in rowmax.iter_mut().enumerate() {
+                *m = value[i * p..(i + 1) * p]
+                    .iter()
+                    .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            }
+            prev_rowmax = rowmax;
+        }
         if keep_stages {
             stages.push(DpStage {
                 task: j,
                 value: value.clone(),
                 parent: parent.clone(),
+                nslots,
+                max_p: p,
+                slot_of_raw: axis.slot_of_raw.clone(),
             });
         }
+        all_parents.push(parent);
         prev_value = value;
     }
 
-    rec.add("solver.dp_assignment.cells", n_cells);
-    rec.add("solver.dp_assignment.lookups", n_lookups);
-    rec.add("solver.dp_assignment.pruned", n_pruned);
+    rec.add("solver.dp_assignment.cells", totals.cells);
+    rec.add("solver.dp_assignment.lookups", totals.lookups);
+    rec.add("solver.dp_assignment.pruned", totals.qskips);
+    rec.add(pipemap_obs::names::SOLVER_CELLS_TOTAL, totals.cells);
+    rec.add(pipemap_obs::names::SOLVER_CELLS_PRUNED, totals.cells_pruned);
 
     // Answer: best over pl of V_{k-1}(P, pl, φ); ties prefer fewer procs.
+    // The final stage has the single sentinel slot.
     let mut best = f64::NEG_INFINITY;
     let mut best_pl = 0usize;
     for pl in floors[k - 1]..=p {
-        let v = prev_value[dims.idx(p, pl, NO_NEXT)];
+        let v = prev_value[p * p + (pl - 1)]; // (pt = P, slot 0) row
         if v > best {
             best = v;
             best_pl = pl;
@@ -235,13 +537,14 @@ fn run_dp(problem: &Problem, table: &CostTable, keep_stages: bool) -> Result<DpT
     let mut assignment = vec![0usize; k];
     let mut pt = p;
     let mut pl = best_pl;
-    let mut pn = NO_NEXT;
+    let mut slot = 0usize; // sentinel slot of the final stage
     for j in (0..k).rev() {
         assignment[j] = pl;
         if j > 0 {
-            let q = all_parents[j][dims.idx(pt, pl, pn)] as usize;
+            let nslots = axes[j].len();
+            let q = all_parents[j][(pt * nslots + slot) * p + (pl - 1)] as usize;
             pt -= pl;
-            pn = pl;
+            slot = axes[j - 1].slot_of_raw[pl];
             pl = q;
         }
     }
@@ -253,20 +556,53 @@ fn run_dp(problem: &Problem, table: &CostTable, keep_stages: bool) -> Result<DpT
     })
 }
 
+/// [`run_dp`] with a defensive retry: if the pruned run reports
+/// infeasibility (mathematically impossible when the incumbent is
+/// admissible, but cheap to guard), rerun without pruning.
+fn run_dp_with_fallback(
+    problem: &Problem,
+    table: &CostTable,
+    keep_stages: bool,
+    opts: &SolveOptions,
+) -> Result<DpTrace, SolveError> {
+    match run_dp(problem, table, keep_stages, opts) {
+        Err(SolveError::Infeasible) if opts.prune => {
+            let unpruned = SolveOptions {
+                prune: false,
+                ..*opts
+            };
+            run_dp(problem, table, keep_stages, &unpruned)
+        }
+        r => r,
+    }
+}
+
 /// Optimal processor assignment for the unclustered problem: each task its
 /// own module, replication per the problem's policy. Returns the optimal
 /// [`Solution`] (throughput recomputed by the evaluator) and the chosen
-/// per-task processor counts.
+/// per-task processor counts. Uses the default performance options; see
+/// [`dp_assignment_with`].
 pub fn dp_assignment(problem: &Problem) -> Result<(Solution, Assignment), SolveError> {
+    dp_assignment_with(problem, &SolveOptions::default())
+}
+
+/// [`dp_assignment`] with explicit [`SolveOptions`]. Every option
+/// combination returns bit-identical results; the options only trade
+/// wall-clock time.
+pub fn dp_assignment_with(
+    problem: &Problem,
+    opts: &SolveOptions,
+) -> Result<(Solution, Assignment), SolveError> {
     let table = CostTable::build(problem);
-    let trace = run_dp(problem, &table, false)?;
+    let trace = run_dp_with_fallback(problem, &table, false, opts)?;
     let assignment = Assignment(trace.assignment.clone());
     let mapping: Mapping = assignment
         .to_mapping(problem)
         .expect("DP respects per-task floors");
     let solution = Solution::from_mapping(problem, mapping);
     debug_assert!(
-        (solution.throughput - trace.throughput).abs() <= 1e-9 * trace.throughput.abs().max(1.0),
+        (solution.throughput - trace.throughput).abs() <= 1e-9 * trace.throughput.abs().max(1.0)
+            || (solution.throughput.is_infinite() && trace.throughput.is_infinite()),
         "DP internal value {} disagrees with evaluator {}",
         trace.throughput,
         solution.throughput
@@ -275,9 +611,11 @@ pub fn dp_assignment(problem: &Problem) -> Result<(Solution, Assignment), SolveE
 }
 
 /// [`dp_assignment`] keeping every stage table for inspection (Figure 4).
+/// Runs the reference enumeration so the tables cover every raw
+/// `(pt, pl, pn)` state.
 pub fn dp_assignment_traced(problem: &Problem) -> Result<DpTrace, SolveError> {
     let table = CostTable::build(problem);
-    run_dp(problem, &table, true)
+    run_dp(problem, &table, true, &SolveOptions::reference())
 }
 
 #[cfg(test)]
@@ -431,6 +769,55 @@ mod tests {
         assert_eq!(t.stages[0].task, 0);
         // The final stage's best value matches the reported throughput.
         assert!(t.throughput > 0.0);
+        // The sentinel-stage accessor agrees with the answer: the best
+        // get(P, pl, 0) over pl equals the optimum.
+        let best = (1..=4)
+            .map(|pl| t.stages[1].get(4, pl, 0))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(best, t.throughput);
+    }
+
+    #[test]
+    fn option_combinations_agree_exactly() {
+        let c = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::new(0.1, 6.0, 0.02)))
+            .edge(Edge::new(
+                PolyUnary::zero(),
+                PolyEcom::new(0.2, 1.0, 1.0, 0.05, 0.05),
+            ))
+            .task(Task::new("b", PolyUnary::new(0.0, 10.0, 0.01)))
+            .edge(Edge::new(
+                PolyUnary::zero(),
+                PolyEcom::new(0.1, 0.5, 0.5, 0.02, 0.02),
+            ))
+            .task(Task::new("c", PolyUnary::perfectly_parallel(3.0)))
+            .build();
+        let p = Problem::new(c, 24, 1e9);
+        let (reference, ra) = dp_assignment_with(&p, &SolveOptions::reference()).unwrap();
+        for opts in [
+            SolveOptions::default(),
+            SolveOptions {
+                par: false,
+                ..SolveOptions::default()
+            },
+            SolveOptions {
+                prune: false,
+                ..SolveOptions::default()
+            },
+            SolveOptions {
+                dedup: false,
+                ..SolveOptions::default()
+            },
+            SolveOptions::with_threads(4),
+        ] {
+            let (s, a) = dp_assignment_with(&p, &opts).unwrap();
+            assert_eq!(
+                s.throughput.to_bits(),
+                reference.throughput.to_bits(),
+                "options {opts:?} changed the optimum"
+            );
+            assert_eq!(a.0, ra.0, "options {opts:?} changed the assignment");
+        }
     }
 
     #[test]

@@ -46,10 +46,42 @@
 //! the cost is dominated by `P⁴`, and for the paper's scale (`P = 64`,
 //! `k ≤ 5`) the solve completes in seconds; the greedy algorithm exists
 //! precisely because this is too slow for large `P` or dynamic mapping.
+//!
+//! ## Performance layer
+//!
+//! [`dp_mapping_with`] exposes the same knobs as the assignment DP (see
+//! [`crate::dp`] and [`SolveOptions`]); all of them preserve bit-identical
+//! results:
+//!
+//! * the `ne` axis of each stage is restricted (under `dedup`) to the
+//!   *achievable instance sizes* of modules starting at the next task —
+//!   the only values the recurrence ever reads — instead of all of
+//!   `1..=P`;
+//! * whole `(pl, ne)` rows are skipped when the module's best possible
+//!   response cannot reach the greedy incumbent (`prune`), individual
+//!   cells are skipped when the processors they leave for the *rest* of
+//!   the chain cannot sustain the incumbent (a cheapest-transfer
+//!   branch-and-bound suffix bound — see [`suffix_bounds`]) or when no
+//!   consumer can ever read them (structural reachability), the scan
+//!   over a previous stage is skipped when that stage's row maximum
+//!   cannot beat the running best, and the candidate loop breaks once a
+//!   cell attains its own response cap;
+//! * the `pl` rows of every `(j, L)` stage are computed on the scoped
+//!   worker pool (`par`), reading the already-finished stages and the
+//!   dense cost slabs, and merged deterministically at the stage barrier.
 
 use pipemap_chain::{CostTable, Mapping, ModuleAssignment, Problem};
+use pipemap_model::Procs;
 
+use crate::greedy;
+use crate::options::SolveOptions;
+use crate::pool::{self, CellStats};
 use crate::solution::{Solution, SolveError};
+
+/// Relative safety margin on the pruning incumbent (see `dp.rs`): the
+/// greedy bound folds the same cost terms in a different association
+/// order, so leave a few ulps of slack.
+const PRUNE_MARGIN: f64 = 1e-12;
 
 /// Packed parent record: the maximising previous-module choice.
 #[derive(Clone, Copy, Debug, Default)]
@@ -60,44 +92,305 @@ struct Parent {
 
 /// Per-(j, L) stage table.
 struct Stage {
-    /// `value[((pl-1) * (P+1) + ne) * (P+1) + pt]`.
+    /// `value[(s * (P+1) + pt) * P + (pl - 1)]`, where `s` is the slot of
+    /// the next-module instance size on this stage's `ne` axis. The `pl`
+    /// scan of the recurrence walks a row contiguously.
     value: Vec<f64>,
+    /// Same layout.
     parent: Vec<Parent>,
+    /// `rowmax[s * (P+1) + pt]` = max of the row over `pl` (only built
+    /// when pruning: it bounds what any predecessor scan can contribute).
+    rowmax: Vec<f64>,
+    /// The module's processor floor (first feasible `pl`).
+    floor: Procs,
 }
 
-struct StageDims {
-    p: usize,
+/// The `ne` axis of stages whose subchain ends just before `start`:
+/// the distinct instance sizes of modules beginning at task `start`.
+struct NeAxis {
+    insts: Vec<Procs>,
+    /// instance size → slot (`usize::MAX` = never read).
+    slot_of_inst: Vec<usize>,
+    /// Per slot: the fewest processors any module starting at `start`
+    /// needs to realise this instance size (`usize::MAX` when no module
+    /// does). A consumer reading slot `s` holds at least `min_procs[s]`
+    /// processors itself, so cells with `pt > P - min_procs[s]` can
+    /// never be read — the structural half of the `prune` option.
+    min_procs: Vec<usize>,
 }
 
-impl StageDims {
-    #[inline]
-    fn idx(&self, pl: usize, ne: usize, pt: usize) -> usize {
-        debug_assert!(pl >= 1);
-        ((pl - 1) * (self.p + 1) + ne) * (self.p + 1) + pt
+const NO_SLOT: usize = usize::MAX;
+
+impl NeAxis {
+    fn sentinel() -> Self {
+        Self {
+            insts: vec![0],
+            slot_of_inst: Vec::new(),
+            min_procs: vec![0],
+        }
+    }
+
+    /// Axis for modules starting at `start` (< k). With `dedup`, only the
+    /// instance sizes actually achievable by some `(last, pl)` pair;
+    /// otherwise the raw `1..=P` enumeration of the reference path.
+    fn for_start(table: &CostTable, start: usize, k: usize, p: Procs, dedup: bool) -> Self {
+        // Fewest processors realising each instance size, over every
+        // module `(start..=last, pl)`.
+        let mut min_pl = vec![usize::MAX; p + 1];
+        for last in start..k {
+            let Some(floor) = table.module_floor(start, last) else {
+                continue;
+            };
+            for pl in floor..=p {
+                let rep = table
+                    .module_replication(start, last, pl)
+                    .expect("pl >= floor implies a replication exists");
+                let m = &mut min_pl[rep.procs_per_instance];
+                if pl < *m {
+                    *m = pl;
+                }
+            }
+        }
+        if !dedup {
+            let mut slot_of_inst = vec![NO_SLOT; p + 1];
+            for (slot, inst) in (1..=p).enumerate() {
+                slot_of_inst[inst] = slot;
+            }
+            return Self {
+                insts: (1..=p).collect(),
+                slot_of_inst,
+                min_procs: (1..=p).map(|inst| min_pl[inst]).collect(),
+            };
+        }
+        let mut insts = Vec::new();
+        let mut slot_of_inst = vec![NO_SLOT; p + 1];
+        let mut min_procs = Vec::new();
+        for inst in 1..=p {
+            if min_pl[inst] != usize::MAX {
+                slot_of_inst[inst] = insts.len();
+                insts.push(inst);
+                min_procs.push(min_pl[inst]);
+            }
+        }
+        Self {
+            insts,
+            slot_of_inst,
+            min_procs,
+        }
     }
 
     fn len(&self) -> usize {
-        self.p * (self.p + 1) * (self.p + 1)
+        self.insts.len()
     }
 }
 
+/// `r / f` with the solver's conventions: a zero-cost module is infinitely
+/// fast.
+#[inline]
+fn cluster_thr(r: f64, f: f64) -> f64 {
+    if f <= 0.0 {
+        f64::INFINITY
+    } else {
+        r / f
+    }
+}
+
+/// Branch-and-bound suffix bounds.
+///
+/// `out[j * (P+1) + r]` bounds the throughput of *any* completion of a
+/// partial mapping that ends at task `j` with `r` processors left for
+/// tasks `j+1..k`: every later task `t` lives in some module covering it
+/// on at most `r` processors, and that module's response time is at
+/// least its execution time plus the *cheapest possible* incoming and
+/// outgoing transfers at its instance size (the recurrence charges a
+/// module `cin + exec + out`, and the actual neighbour sizes can only
+/// cost more than the slab minima). Taking the minimum over the later
+/// tasks gives an admissible upper bound, so a cell whose bound falls
+/// below the incumbent cannot lie on the optimal path. In particular
+/// `r = 0` (or `r` below every covering module's floor) yields `-∞` and
+/// kills the provably dead full-budget cells of non-final stages. The
+/// `j = k-1` row is unused (`+∞`: nothing remains).
+fn suffix_bounds(table: &CostTable, k: usize, p: usize) -> Vec<f64> {
+    let dense = table.dense();
+    // Cheapest transfer on edge e for one fixed endpoint instance size:
+    // in_min[e * P + (i-1)] = min over sender sizes of ecom(e)[s][i]
+    // (module *receiving* on edge e with instance size i);
+    // out_min[e * P + (i-1)] = min over receiver sizes of ecom(e)[i][r].
+    let mut in_min = vec![f64::INFINITY; k.saturating_sub(1) * p];
+    let mut out_min = vec![f64::INFINITY; k.saturating_sub(1) * p];
+    for e in 0..k.saturating_sub(1) {
+        let slab = dense.ecom_slab(e);
+        for s in 0..p {
+            for r in 0..p {
+                let c = slab[s * p + r];
+                let im = &mut in_min[e * p + r];
+                if c < *im {
+                    *im = c;
+                }
+                let om = &mut out_min[e * p + s];
+                if c < *om {
+                    *om = c;
+                }
+            }
+        }
+    }
+    // task_ub[t * (P+1) + b]: best cheapest-transfer throughput over
+    // every module covering task t on at most b processors.
+    let mut task_ub = vec![f64::NEG_INFINITY; k * (p + 1)];
+    for start in 0..k {
+        for end in start..k {
+            let Some(floor) = table.module_floor(start, end) else {
+                continue;
+            };
+            if floor > p {
+                continue;
+            }
+            for pl in floor..=p {
+                let rep = table
+                    .module_replication(start, end, pl)
+                    .expect("pl >= floor implies a replication exists");
+                let i = rep.procs_per_instance;
+                let mut f = table.module_exec(start, end, i);
+                if start > 0 {
+                    f += in_min[(start - 1) * p + (i - 1)];
+                }
+                if end + 1 < k {
+                    f += out_min[end * p + (i - 1)];
+                }
+                let thr = cluster_thr(rep.instances as f64, f);
+                for t in start..=end {
+                    let cell = &mut task_ub[t * (p + 1) + pl];
+                    if thr > *cell {
+                        *cell = thr;
+                    }
+                }
+            }
+        }
+    }
+    // Monotone closure over the budget axis ("at most b", not "exactly").
+    for t in 0..k {
+        for b in 1..=p {
+            let prev = task_ub[t * (p + 1) + b - 1];
+            let cell = &mut task_ub[t * (p + 1) + b];
+            if prev > *cell {
+                *cell = prev;
+            }
+        }
+    }
+    let mut suffix = vec![f64::INFINITY; k * (p + 1)];
+    for j in (0..k.saturating_sub(1)).rev() {
+        for r in 0..=p {
+            let mut v = task_ub[(j + 1) * (p + 1) + r];
+            if j + 2 < k {
+                let rest = suffix[(j + 1) * (p + 1) + r];
+                if rest < v {
+                    v = rest;
+                }
+            }
+            suffix[j * (p + 1) + r] = v;
+        }
+    }
+    suffix
+}
+
+/// One computed row (a single `pl`) of a stage, layout `[s * (P+1) + pt]`.
+struct Row {
+    value: Vec<f64>,
+    /// Empty for base-case stages (no predecessor).
+    parent: Vec<Parent>,
+    stats: CellStats,
+}
+
+/// A predecessor stage reachable by the current stage's recurrence: the
+/// previous module has length `prev_len` and its table is `stage`.
+struct PrevGroup<'a> {
+    prev_len: usize,
+    stage: &'a Stage,
+    /// Instance size of the previous module at each offer `q`
+    /// (`prev_inst[q - 1]`, valid for `q >= stage.floor`).
+    prev_inst: Vec<Procs>,
+}
+
 /// Optimal full mapping (clustering + replication + allocation) of the
-/// problem. Optimal with respect to the problem's replication policy and
-/// cost model; machine-geometry feasibility is handled separately by
-/// `pipemap-machine`.
+/// problem, with the default performance options. Optimal with respect to
+/// the problem's replication policy and cost model; machine-geometry
+/// feasibility is handled separately by `pipemap-machine`.
 pub fn dp_mapping(problem: &Problem) -> Result<Solution, SolveError> {
+    dp_mapping_with(problem, &SolveOptions::default())
+}
+
+/// [`dp_mapping`] with explicit [`SolveOptions`]. Every option combination
+/// returns bit-identical results; the options only trade wall-clock time.
+pub fn dp_mapping_with(problem: &Problem, opts: &SolveOptions) -> Result<Solution, SolveError> {
+    match run_cluster_dp(problem, opts) {
+        // Defensive: an admissible incumbent can never prune the optimum,
+        // but if the margin were ever wrong, fall back to the exact path
+        // rather than mis-reporting infeasibility.
+        Err(SolveError::Infeasible) if opts.prune => {
+            let unpruned = SolveOptions {
+                prune: false,
+                ..*opts
+            };
+            run_cluster_dp(problem, &unpruned)
+        }
+        r => r,
+    }
+}
+
+fn run_cluster_dp(problem: &Problem, opts: &SolveOptions) -> Result<Solution, SolveError> {
     let rec = pipemap_obs::global();
     let _wall = rec.timer("solver.dp_mapping.wall_s");
     let _span = pipemap_obs::span!("dp_mapping", "solver");
     // Local accumulators, published once — no atomics in the recurrence.
-    let mut n_cells: u64 = 0;
-    let mut n_lookups: u64 = 0;
-    let mut n_pruned: u64 = 0;
+    let mut totals = CellStats::default();
 
     let table = CostTable::build(problem);
+    let dense = table.dense();
     let k = problem.num_tasks();
     let p = problem.total_procs;
-    let dims = StageDims { p };
+
+    // Admissible incumbent: the refined greedy assignment is an
+    // all-singleton clustering, i.e. one feasible clustering, so the
+    // mapping optimum is ≥ its throughput. (The exact assignment-DP value
+    // is tighter still, but costs a full O(P³k) solve and in practice
+    // buys only a couple of percentage points of extra pruning here.)
+    // Singleton infeasibility does NOT imply mapping infeasibility — a
+    // merged module's floor can be smaller than the sum of singleton
+    // floors — so an Err simply disables pruning (incumbent 0).
+    let bound = if opts.prune {
+        let inc = greedy::incumbent_throughput(problem, &table);
+        if inc.is_finite() && inc > 0.0 {
+            inc * (1.0 - PRUNE_MARGIN)
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        f64::NEG_INFINITY
+    };
+
+    let threads = if opts.par {
+        pool::thread_limit(opts.threads)
+    } else {
+        1
+    };
+
+    // Cell-level branch & bound: only meaningful with a finite incumbent.
+    let suffix_ub = if opts.prune && bound > f64::NEG_INFINITY && k > 1 {
+        suffix_bounds(&table, k, p)
+    } else {
+        Vec::new()
+    };
+
+    // ne axes, one per possible next-module start (k = chain end).
+    let axes: Vec<NeAxis> = (0..=k)
+        .map(|start| {
+            if start == k {
+                NeAxis::sentinel()
+            } else {
+                NeAxis::for_start(&table, start, k, p, opts.dedup)
+            }
+        })
+        .collect();
 
     // stage_key(j, L) → index into `stages`; only L ≤ j+1 exist.
     let stage_key = |j: usize, l: usize| -> usize {
@@ -115,110 +408,277 @@ pub fn dp_mapping(problem: &Problem) -> Result<Solution, SolveError> {
             if floor > p {
                 continue;
             }
-            let mut value = vec![f64::NEG_INFINITY; dims.len()];
-            let mut parent = vec![Parent::default(); dims.len()];
+            let axis = &axes[j + 1];
+            let nslots = axis.len();
+            let rows = p - floor + 1;
 
-            // `ne` values worth computing: the sentinel for the chain end,
-            // every possible next-module instance size otherwise.
-            let ne_values: Vec<usize> = if j + 1 == k {
-                vec![0]
-            } else {
-                (1..=p).collect()
-            };
-
+            // Per-offer replication data for this module, shared read-only
+            // by the row workers.
+            let mut inst_of = vec![0usize; p + 1];
+            let mut r_of = vec![0.0f64; p + 1];
+            let mut exec_of = vec![0.0f64; p + 1];
             for pl in floor..=p {
                 let rep = table
                     .module_replication(first, j, pl)
                     .expect("pl >= floor implies a replication exists");
-                let inst = rep.procs_per_instance;
-                let r = rep.instances as f64;
-                let exec = table.module_exec(first, j, inst);
+                inst_of[pl] = rep.procs_per_instance;
+                r_of[pl] = rep.instances as f64;
+                exec_of[pl] = table.module_exec(first, j, rep.procs_per_instance);
+            }
+            let out_slab = if j + 1 < k {
+                Some(dense.ecom_slab(j))
+            } else {
+                None
+            };
 
-                // Incoming-transfer cost per previous-module (length, q):
-                // independent of ne and pt, so hoist it out of those loops.
-                let mut in_cost: Vec<(usize, usize, f64)> = Vec::new();
+            // Reachable predecessor stages, in the reference candidate
+            // order (prev_len ascending), each with its offer → instance
+            // map so workers only touch dense slabs.
+            let mut groups: Vec<PrevGroup<'_>> = Vec::new();
+            if first > 0 {
+                for prev_len in 1..=first {
+                    let Some(stage) = stages[stage_key(first - 1, prev_len)].as_ref() else {
+                        continue;
+                    };
+                    let prev_first = first - prev_len;
+                    let mut prev_inst = vec![0usize; p];
+                    for q in stage.floor..=p {
+                        let prep = table
+                            .module_replication(prev_first, first - 1, q)
+                            .expect("q >= floor");
+                        prev_inst[q - 1] = prep.procs_per_instance;
+                    }
+                    groups.push(PrevGroup {
+                        prev_len,
+                        stage,
+                        prev_inst,
+                    });
+                }
+            }
+            let in_slab = if first > 0 {
+                Some(dense.ecom_slab(first - 1))
+            } else {
+                None
+            };
+            // Suffix bound row for this stage's end task; `None` for the
+            // final task (nothing remains to bound).
+            let suffix_row: Option<&[f64]> = if !suffix_ub.is_empty() && j + 1 < k {
+                Some(&suffix_ub[j * (p + 1)..(j + 1) * (p + 1)])
+            } else {
+                None
+            };
+
+            let worker = |ri: usize| -> Row {
+                let pl = floor + ri;
+                let inst = inst_of[pl];
+                let r = r_of[pl];
+                let exec = exec_of[pl];
+                let mut value = vec![f64::NEG_INFINITY; nslots * (p + 1)];
+                let mut parent =
+                    vec![Parent::default(); if first == 0 { 0 } else { nslots * (p + 1) }];
+                let mut st = CellStats::default();
+
+                // Incoming-transfer columns at this module size, one per
+                // predecessor group: cin[gi * P + (q - 1)]. The q scan
+                // walks the column and the group's value row contiguously.
+                let mut cin = Vec::new();
+                let mut min_cin = f64::INFINITY;
+                let mut s_in = NO_SLOT;
                 if first > 0 {
-                    let in_edge = first - 1;
-                    for prev_len in 1..=first {
-                        let prev_first = first - prev_len;
-                        let Some(pfloor) = table.module_floor(prev_first, first - 1) else {
-                            continue;
-                        };
-                        for q in pfloor..=p {
-                            let prep = table
-                                .module_replication(prev_first, first - 1, q)
-                                .expect("q >= pfloor");
-                            let cin = table.ecom(in_edge, prep.procs_per_instance, inst);
-                            in_cost.push((prev_len, q, cin));
+                    let slab = in_slab.expect("in_slab exists when first > 0");
+                    cin = vec![f64::INFINITY; groups.len() * p];
+                    for (gi, g) in groups.iter().enumerate() {
+                        for q in g.stage.floor..=p {
+                            let c = slab[(g.prev_inst[q - 1] - 1) * p + (inst - 1)];
+                            cin[gi * p + (q - 1)] = c;
+                            if c < min_cin {
+                                min_cin = c;
+                            }
                         }
                     }
+                    s_in = axes[first].slot_of_inst[inst];
+                    debug_assert_ne!(s_in, NO_SLOT, "own instance size on the in-axis");
                 }
 
-                for &ne in &ne_values {
-                    let out = if ne == 0 {
-                        0.0
-                    } else {
-                        table.ecom(j, inst, ne)
+                for (s, &ne) in axis.insts.iter().enumerate() {
+                    let out = match out_slab {
+                        Some(slab) if ne != 0 => slab[(inst - 1) * p + (ne - 1)],
+                        _ => 0.0,
                     };
                     let base_f = exec + out;
+                    let nominal = (p + 1 - pl) as u64;
+
+                    // Structural reachability (the other half of `prune`):
+                    // a consumer module reading this slot holds at least
+                    // `min_procs[s]` processors of its own, and final
+                    // stages are read by the terminal scan at pt = P
+                    // only — cells outside [lo, hi] are never read by
+                    // anything, so skipping them is exact even without
+                    // an incumbent.
+                    let (lo, hi) = if !opts.prune {
+                        (pl, p)
+                    } else if j + 1 == k {
+                        (p, p)
+                    } else {
+                        (pl, p - axis.min_procs[s].min(p))
+                    };
 
                     if first == 0 {
                         // Base case: M is the leftmost module; slack allowed.
-                        n_cells += (p + 1 - pl) as u64;
-                        let thr = if base_f <= 0.0 {
-                            f64::INFINITY
-                        } else {
-                            r / base_f
-                        };
-                        for pt in pl..=p {
-                            value[dims.idx(pl, ne, pt)] = thr;
+                        st.cells += nominal;
+                        let thr = cluster_thr(r, base_f);
+                        if opts.prune && thr < bound {
+                            st.cells_pruned += nominal;
+                            continue; // below the incumbent: never optimal
                         }
-                    } else {
-                        for pt in pl..=p {
-                            n_cells += 1;
-                            let budget = pt - pl;
-                            let mut best = f64::NEG_INFINITY;
-                            let mut best_parent = Parent::default();
-                            for &(prev_len, q, cin) in &in_cost {
-                                if q > budget {
-                                    continue;
+                        if hi < lo {
+                            st.cells_pruned += nominal;
+                            continue;
+                        }
+                        st.cells_pruned += nominal - (hi - lo + 1) as u64;
+                        for pt in lo..=hi {
+                            if let Some(sfx) = suffix_row {
+                                if sfx[p - pt] < bound {
+                                    st.cells_pruned += 1;
+                                    continue; // rest of chain can't keep up
                                 }
-                                n_lookups += 1;
-                                let sub_stage = stages[stage_key(first - 1, prev_len)]
-                                    .as_ref()
-                                    .expect("in_cost only lists existing stages");
-                                let sub = sub_stage.value[dims.idx(q, inst, budget)];
+                            }
+                            value[s * (p + 1) + pt] = thr;
+                        }
+                        continue;
+                    }
+
+                    // Best possible response of M at this (pl, ne): the
+                    // cheapest incoming transfer over every predecessor.
+                    // Below the incumbent, the whole row is off the
+                    // optimal path.
+                    let cap = cluster_thr(r, min_cin + base_f);
+                    st.cells += nominal;
+                    if opts.prune && cap < bound {
+                        st.cells_pruned += nominal;
+                        continue;
+                    }
+                    if hi < lo {
+                        st.cells_pruned += nominal;
+                        continue;
+                    }
+                    st.cells_pruned += nominal - (hi - lo + 1) as u64;
+
+                    for pt in lo..=hi {
+                        if let Some(sfx) = suffix_row {
+                            // The P - pt processors left for tasks j+1..k
+                            // cannot sustain the incumbent: no completion
+                            // through this cell can be optimal.
+                            if sfx[p - pt] < bound {
+                                st.cells_pruned += 1;
+                                continue;
+                            }
+                        }
+                        let budget = pt - pl;
+                        // Start the running best at the pruning bound
+                        // (`-∞` when pruning is off): candidates at or
+                        // below the incumbent can never sit on the
+                        // optimal chain, so letting the `sub ≤ best` and
+                        // row-max skips drop them wholesale is exact —
+                        // sub-bound cells merely become `-∞` instead of
+                        // carrying their (never reconstructed) value.
+                        let mut best = bound;
+                        let mut updated = false;
+                        let mut best_parent = Parent::default();
+                        'groups: for (gi, g) in groups.iter().enumerate() {
+                            let pfloor = g.stage.floor;
+                            if pfloor > budget {
+                                continue;
+                            }
+                            if opts.prune && g.stage.rowmax[s_in * (p + 1) + budget] <= best {
+                                // No value in this stage's row can strictly
+                                // beat the running best: min(sub, ·) ≤ sub.
+                                st.qskips += (budget - pfloor + 1) as u64;
+                                continue;
+                            }
+                            let row_base = (s_in * (p + 1) + budget) * p;
+                            let prev_row = &g.stage.value[row_base..row_base + p];
+                            let col = &cin[gi * p..gi * p + p];
+                            for q in pfloor..=budget {
+                                st.lookups += 1;
+                                let sub = prev_row[q - 1];
                                 if sub <= best {
-                                    n_pruned += 1;
+                                    st.qskips += 1;
                                     continue; // min(sub, _) cannot beat best
                                 }
-                                let f = cin + base_f;
-                                let thr = if f <= 0.0 { f64::INFINITY } else { r / f };
+                                let f = col[q - 1] + base_f;
+                                let thr = cluster_thr(r, f);
                                 let cand = sub.min(thr);
                                 if cand > best {
                                     best = cand;
+                                    updated = true;
                                     best_parent = Parent {
-                                        prev_len: prev_len as u16,
+                                        prev_len: g.prev_len as u16,
                                         prev_procs: q as u16,
                                     };
+                                    if opts.prune && best >= cap {
+                                        // Ties cannot displace the first
+                                        // argmax (strict update), so later
+                                        // candidates change nothing.
+                                        break 'groups;
+                                    }
                                 }
                             }
-                            let idx = dims.idx(pl, ne, pt);
-                            value[idx] = best;
-                            parent[idx] = best_parent;
                         }
+                        value[s * (p + 1) + pt] = if updated { best } else { f64::NEG_INFINITY };
+                        parent[s * (p + 1) + pt] = best_parent;
                     }
                 }
+                Row {
+                    value,
+                    parent,
+                    stats: st,
+                }
+            };
+
+            let computed = pool::run_strided(threads, rows, worker);
+
+            // Stage barrier: merge per-row buffers into the stage table.
+            let mut value = vec![f64::NEG_INFINITY; nslots * (p + 1) * p];
+            let mut parent =
+                vec![Parent::default(); if first == 0 { 0 } else { nslots * (p + 1) * p }];
+            for (ri, row) in computed.into_iter().enumerate() {
+                let pl = floor + ri;
+                for src in 0..nslots * (p + 1) {
+                    let dst = src * p + (pl - 1);
+                    value[dst] = row.value[src];
+                    if first > 0 {
+                        parent[dst] = row.parent[src];
+                    }
+                }
+                totals.absorb(&row.stats);
             }
-            stages[stage_key(j, l)] = Some(Stage { value, parent });
+            let rowmax = if opts.prune {
+                value
+                    .chunks_exact(p)
+                    .map(|row| row.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            drop(groups);
+            stages[stage_key(j, l)] = Some(Stage {
+                value,
+                parent,
+                rowmax,
+                floor,
+            });
         }
     }
 
-    rec.add("solver.dp_mapping.cells", n_cells);
-    rec.add("solver.dp_mapping.lookups", n_lookups);
-    rec.add("solver.dp_mapping.pruned", n_pruned);
+    rec.add("solver.dp_mapping.cells", totals.cells);
+    rec.add("solver.dp_mapping.lookups", totals.lookups);
+    rec.add("solver.dp_mapping.pruned", totals.qskips);
+    rec.add(pipemap_obs::names::SOLVER_CELLS_TOTAL, totals.cells);
+    rec.add(pipemap_obs::names::SOLVER_CELLS_PRUNED, totals.cells_pruned);
 
-    // Answer: best over the last module's (L, pl) at ne = 0, pt = P.
+    // Answer: best over the last module's (L, pl) at ne = 0, pt = P. The
+    // final stages' ne axis is the single sentinel slot.
     let mut best = f64::NEG_INFINITY;
     let mut best_l = 0usize;
     let mut best_pl = 0usize;
@@ -227,7 +687,7 @@ pub fn dp_mapping(problem: &Problem) -> Result<Solution, SolveError> {
             continue;
         };
         for pl in 1..=p {
-            let v = stage.value[dims.idx(pl, 0, p)];
+            let v = stage.value[p * p + (pl - 1)]; // slot 0, pt = P
             if v > best {
                 best = v;
                 best_l = l;
@@ -244,7 +704,7 @@ pub fn dp_mapping(problem: &Problem) -> Result<Solution, SolveError> {
     let mut j = k - 1;
     let mut l = best_l;
     let mut pl = best_pl;
-    let mut ne = 0usize;
+    let mut slot = 0usize; // sentinel slot of the final stages
     let mut pt = p;
     loop {
         let first = j + 1 - l;
@@ -261,8 +721,8 @@ pub fn dp_mapping(problem: &Problem) -> Result<Solution, SolveError> {
             break;
         }
         let stage = stages[stage_key(j, l)].as_ref().expect("visited stage");
-        let par = stage.parent[dims.idx(pl, ne, pt)];
-        ne = rep.procs_per_instance;
+        let par = stage.parent[(slot * (p + 1) + pt) * p + (pl - 1)];
+        slot = axes[first].slot_of_inst[rep.procs_per_instance];
         pt -= pl;
         j = first - 1;
         l = par.prev_len as usize;
@@ -422,5 +882,75 @@ mod tests {
         let s = dp_mapping(&p).unwrap();
         assert!(s.mapping.total_procs() <= 13);
         validate(&p, &s.mapping).unwrap();
+    }
+
+    #[test]
+    fn feasible_by_merging_even_when_singletons_are_not() {
+        // Singleton floors round up: each task needs ceil(45/10) = 5 of 9
+        // processors, so no all-singleton mapping fits (5 + 5 > 9). The
+        // merged module needs only ceil(90/10) = 9 ≤ 9. The greedy
+        // incumbent fails here; the DP must still find the merged mapping
+        // (pruning silently disabled, not an error).
+        let c = ChainBuilder::new()
+            .task(
+                Task::new("a", PolyUnary::perfectly_parallel(4.0))
+                    .with_memory(MemoryReq::new(0.0, 45.0)),
+            )
+            .edge(Edge::aligned(PolyEcom::zero()))
+            .task(
+                Task::new("b", PolyUnary::perfectly_parallel(4.0))
+                    .with_memory(MemoryReq::new(0.0, 45.0)),
+            )
+            .build();
+        let p = Problem::new(c, 9, 10.0).without_replication();
+        let s = dp_mapping(&p).unwrap();
+        assert_eq!(s.mapping.num_modules(), 1);
+        validate(&p, &s.mapping).unwrap();
+    }
+
+    #[test]
+    fn option_combinations_agree_exactly() {
+        let c = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::new(0.1, 6.0, 0.02)))
+            .edge(Edge::new(
+                PolyUnary::new(0.05, 0.0, 0.0),
+                PolyEcom::new(0.2, 1.0, 1.0, 0.05, 0.05),
+            ))
+            .task(Task::new("b", PolyUnary::new(0.0, 10.0, 0.01)))
+            .edge(Edge::new(
+                PolyUnary::zero(),
+                PolyEcom::new(0.1, 0.5, 0.5, 0.02, 0.02),
+            ))
+            .task(Task::new("c", PolyUnary::perfectly_parallel(3.0)))
+            .build();
+        let p = Problem::new(c, 20, 1e9);
+        let reference = dp_mapping_with(&p, &SolveOptions::reference()).unwrap();
+        for opts in [
+            SolveOptions::default(),
+            SolveOptions {
+                par: false,
+                ..SolveOptions::default()
+            },
+            SolveOptions {
+                prune: false,
+                ..SolveOptions::default()
+            },
+            SolveOptions {
+                dedup: false,
+                ..SolveOptions::default()
+            },
+            SolveOptions::with_threads(4),
+        ] {
+            let s = dp_mapping_with(&p, &opts).unwrap();
+            assert_eq!(
+                s.throughput.to_bits(),
+                reference.throughput.to_bits(),
+                "options {opts:?} changed the optimum"
+            );
+            assert_eq!(
+                s.mapping, reference.mapping,
+                "options {opts:?} changed the mapping"
+            );
+        }
     }
 }

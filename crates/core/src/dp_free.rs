@@ -79,6 +79,12 @@ fn min_procs_for_throughput(
     let mut parent: Vec<Option<Vec<(u16, u16)>>> = (0..k * k).map(|_| None).collect();
     const UNREACHABLE: usize = usize::MAX;
 
+    // Shared across all stages: the raw `ne` enumeration and the chain-end
+    // sentinel (no per-stage allocation).
+    let all_ne: Vec<usize> = (1..=p).collect();
+    let sentinel = [0usize];
+    let dense = table.dense();
+
     for j in 0..k {
         for l in 1..=j + 1 {
             let first = j + 1 - l;
@@ -91,30 +97,30 @@ fn min_procs_for_throughput(
             let replicable = table.module_replicable(first, j);
             let mut v = vec![UNREACHABLE; stage_len];
             let mut par = vec![(0u16, 0u16); stage_len];
-            let ne_values: Vec<usize> = if j + 1 == k {
-                vec![0]
+            let ne_values: &[usize] = if j + 1 == k { &sentinel } else { &all_ne };
+            // The predecessor (length, instance) pairs are the same for
+            // every `inst` of this module; only the transfer cost differs,
+            // and that is a dense-slab read.
+            let mut prev_opts: Vec<(usize, usize)> = Vec::new();
+            if first > 0 {
+                for prev_len in 1..=first {
+                    let prev_first = first - prev_len;
+                    let Some(pf) = table.module_floor(prev_first, first - 1) else {
+                        continue;
+                    };
+                    for prev_inst in pf..=p {
+                        prev_opts.push((prev_len, prev_inst));
+                    }
+                }
+            }
+            let in_slab = if first > 0 {
+                Some(dense.ecom_slab(first - 1))
             } else {
-                (1..=p).collect()
+                None
             };
             for inst in floor..=p {
                 let exec = table.module_exec(first, j, inst);
-                let mut prev_opts: Vec<(usize, usize, f64)> = Vec::new();
-                if first > 0 {
-                    for prev_len in 1..=first {
-                        let prev_first = first - prev_len;
-                        let Some(pf) = table.module_floor(prev_first, first - 1) else {
-                            continue;
-                        };
-                        for prev_inst in pf..=p {
-                            prev_opts.push((
-                                prev_len,
-                                prev_inst,
-                                table.ecom(first - 1, prev_inst, inst),
-                            ));
-                        }
-                    }
-                }
-                for &ne in &ne_values {
+                for &ne in ne_values {
                     let out = if ne == 0 {
                         0.0
                     } else {
@@ -131,9 +137,11 @@ fn min_procs_for_throughput(
                             }
                         }
                     } else {
+                        let slab = in_slab.expect("in_slab exists when first > 0");
                         let mut best = UNREACHABLE;
                         let mut best_par = (0u16, 0u16);
-                        for &(prev_len, prev_inst, cin) in &prev_opts {
+                        for &(prev_len, prev_inst) in &prev_opts {
+                            let cin = slab[(prev_inst - 1) * p + (inst - 1)];
                             let Some(r) = required_r(cin + exec + out, replicable, inst) else {
                                 continue;
                             };

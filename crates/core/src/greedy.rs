@@ -143,6 +143,46 @@ pub fn greedy_assignment(
     problem: &Problem,
     options: GreedyOptions,
 ) -> Result<(Solution, Assignment), SolveError> {
+    let table = CostTable::build(problem);
+    greedy_assignment_with_table(problem, &table, options)
+}
+
+/// [`greedy_assignment`] against a pre-built [`CostTable`], so callers
+/// that already materialised the tables (the DP solvers seeding their
+/// pruning incumbent, batch sweeps) don't pay the build twice.
+pub fn greedy_assignment_with_table(
+    problem: &Problem,
+    table: &CostTable,
+    options: GreedyOptions,
+) -> Result<(Solution, Assignment), SolveError> {
+    let (best_a, _thr) = greedy_core(problem, table, options)?;
+    let assignment = Assignment(best_a);
+    let mapping = assignment
+        .to_mapping(problem)
+        .expect("greedy respects floors");
+    Ok((Solution::from_mapping(problem, mapping), assignment))
+}
+
+/// The greedy's best throughput in the solvers' *internal* measure
+/// (`1 / max_i f_i` over table responses), used by the DP solvers as the
+/// admissible pruning incumbent. Returns `0.0` when the singleton
+/// clustering is infeasible (the clustering DP may still find a merged
+/// mapping, so infeasibility here must not abort the caller — it just
+/// means "no incumbent, prune nothing").
+pub(crate) fn incumbent_throughput(problem: &Problem, table: &CostTable) -> f64 {
+    match greedy_core(problem, table, GreedyOptions::adaptive()) {
+        Ok((_, thr)) => thr,
+        Err(_) => 0.0,
+    }
+}
+
+/// Core of the greedy: returns the refined best assignment and its
+/// internal throughput (`assignment_throughput` of the result).
+fn greedy_core(
+    problem: &Problem,
+    table: &CostTable,
+    options: GreedyOptions,
+) -> Result<(Vec<Procs>, f64), SolveError> {
     let rec = pipemap_obs::global();
     let _wall = rec.timer("solver.greedy.wall_s");
     let _span = pipemap_obs::span!("greedy_assignment", "solver");
@@ -150,7 +190,6 @@ pub fn greedy_assignment(
     let mut n_placements: u64 = 0;
     let mut n_evals: u64 = 0;
 
-    let table = CostTable::build(problem);
     let k = problem.num_tasks();
     let p = problem.total_procs;
 
@@ -166,11 +205,11 @@ pub fn greedy_assignment(
     let mut available = p - used;
 
     let mut best_a = a.clone();
-    let mut best_thr = assignment_throughput(&table, &a);
+    let mut best_thr = assignment_throughput(table, &a);
 
     // Steps 2–3: place the remaining processors one at a time.
     while available > 0 {
-        let slow = bottleneck(&table, &a);
+        let slow = bottleneck(table, &a);
         let candidates: &[isize] = match options.variant {
             GreedyVariant::Neighbors => &[-1, 0, 1],
             GreedyVariant::BottleneckOnly => &[0],
@@ -186,7 +225,7 @@ pub fn greedy_assignment(
             }
             a[c] += 1;
             n_evals += 1;
-            let thr = assignment_throughput(&table, &a);
+            let thr = assignment_throughput(table, &a);
             a[c] -= 1;
             // Strict improvement wins; on ties prefer the bottleneck task
             // itself (d == 0 is scanned between the neighbours, so require
@@ -216,16 +255,13 @@ pub fn greedy_assignment(
         radius = radius.max(quantum);
     }
     if radius > 0 {
-        best_a = refine_assignment(problem, &table, &best_a, radius);
+        best_a = refine_assignment(problem, table, &best_a, radius);
+        best_thr = assignment_throughput(table, &best_a);
     }
     rec.add("solver.greedy.placements", n_placements);
     rec.add("solver.greedy.evals", n_evals);
 
-    let assignment = Assignment(best_a);
-    let mapping = assignment
-        .to_mapping(problem)
-        .expect("greedy respects floors");
-    Ok((Solution::from_mapping(problem, mapping), assignment))
+    Ok((best_a, best_thr))
 }
 
 /// Bounded local reallocation: repeatedly move up to `radius` processors

@@ -24,6 +24,13 @@
 //! [`Solution`] whose throughput is recomputed from first principles by
 //! `pipemap-chain`'s evaluator, so a solver bug cannot report a throughput
 //! its own mapping does not achieve.
+//!
+//! Both optimal DP solvers carry a performance layer — dense shared cost
+//! tables, bound-based cell pruning seeded by the greedy incumbent, and a
+//! scoped-thread row pool ([`pool`]) — controlled by [`SolveOptions`].
+//! Every option combination returns bit-identical results (enforced by
+//! `tests/equivalence.rs`); [`SolveOptions::reference`] is the faithful
+//! serial enumeration used as the speedup baseline.
 
 pub mod brute;
 pub mod cluster;
@@ -32,15 +39,21 @@ pub mod dp_cluster;
 pub mod dp_free;
 pub mod greedy;
 pub mod latency;
+pub mod options;
+pub mod pool;
 pub mod procs;
 pub mod solution;
 
 pub use brute::{brute_force_assignment, brute_force_mapping};
 pub use cluster::{cluster_heuristic, contract_chain, ContractedProblem};
-pub use dp::{dp_assignment, DpTrace};
-pub use dp_cluster::dp_mapping;
+pub use dp::{dp_assignment, dp_assignment_with, DpStage, DpTrace};
+pub use dp_cluster::{dp_mapping, dp_mapping_with};
 pub use dp_free::dp_mapping_free;
-pub use greedy::{greedy_assignment, refine_assignment, GreedyOptions, GreedyVariant};
+pub use greedy::{
+    greedy_assignment, greedy_assignment_with_table, refine_assignment, GreedyOptions,
+    GreedyVariant,
+};
 pub use latency::{best_latency_mapping, latency, LatencySolution};
+pub use options::SolveOptions;
 pub use procs::{min_procs_mapping, ProcsSolution};
 pub use solution::{Solution, SolveError};

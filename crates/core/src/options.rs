@@ -1,0 +1,67 @@
+//! Tuning knobs for the optimal DP solvers.
+//!
+//! All knobs are *performance-only*: every combination returns the same
+//! optimal throughput and the same mapping, bit for bit (enforced by the
+//! differential suite in `tests/equivalence.rs`). The default enables the
+//! whole performance layer; [`SolveOptions::reference`] disables it and
+//! reproduces the paper-faithful serial enumeration — useful as the
+//! baseline when measuring speedups and as the differential oracle.
+
+/// Performance options for [`crate::dp_assignment_with`] and
+/// [`crate::dp_mapping_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// Evaluate each DP stage's independent cell rows on a scoped-thread
+    /// worker pool ([`crate::pool`]). Results are identical for any thread
+    /// count: rows are partitioned deterministically and merged at the
+    /// stage barrier.
+    pub par: bool,
+    /// Bound-based cell pruning: seed the DP with the greedy heuristic's
+    /// throughput as an incumbent, skip cells whose single-module upper
+    /// bound cannot reach it, and early-break inner processor scans once a
+    /// cell's own bound is attained.
+    pub prune: bool,
+    /// Collapse the "next group size" DP axis to *distinct instance
+    /// sizes*. Under replication two neighbour offers with equal instance
+    /// size are interchangeable for the subproblem, so the deduplicated
+    /// axis is often tiny (a replicable task with floor 1 always runs
+    /// 1-processor instances).
+    pub dedup: bool,
+    /// Worker threads when `par` is set. `None` consults the
+    /// `PIPEMAP_THREADS` environment variable, then
+    /// `std::thread::available_parallelism()`.
+    pub threads: Option<usize>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            par: true,
+            prune: true,
+            dedup: true,
+            threads: None,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// The serial, unpruned, undeduplicated enumeration — the faithful
+    /// baseline path. Bit-identical results to [`Self::default`], at the
+    /// full `O(P⁴)` cost.
+    pub fn reference() -> Self {
+        Self {
+            par: false,
+            prune: false,
+            dedup: false,
+            threads: None,
+        }
+    }
+
+    /// Default options with an explicit worker-thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: Some(threads),
+            ..Self::default()
+        }
+    }
+}

@@ -45,7 +45,7 @@ pub use cost::{BinaryCost, UnaryCost};
 pub use memory::MemoryReq;
 pub use poly::{PolyEcom, PolyUnary};
 pub use replicate::{max_replication, Replication};
-pub use table::{Tabulated, Tabulated2d};
+pub use table::{DenseCostTable, Tabulated, Tabulated2d};
 
 /// Wall-clock time in seconds. All cost functions return this unit.
 pub type Seconds = f64;

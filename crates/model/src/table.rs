@@ -122,6 +122,127 @@ impl Tabulated2d {
     }
 }
 
+/// Fully materialised cost tables for a `k`-task chain over processor
+/// counts `1..=max_p`: every `f_exec_i(p)` and `f_icom_e(p)` in a flat row,
+/// every `f_ecom_e(ps, pr)` in a row-major `max_p × max_p` slab.
+///
+/// The optimal mapping DPs evaluate costs `O(P⁴)` times; evaluating a cost
+/// enum (or user closure) in the innermost loop would dominate the solve.
+/// A `DenseCostTable` is built **once per solve** — each cost function is
+/// evaluated exactly once per relevant argument — and then shared read-only
+/// (it is `Sync`) across the solver's worker threads, which index straight
+/// into the flat storage.
+#[derive(Clone, Debug)]
+pub struct DenseCostTable {
+    k: usize,
+    max_p: Procs,
+    /// `exec[i * max_p + (p - 1)]` = `f_exec_i(p)`.
+    exec: Vec<Seconds>,
+    /// `icom[e * max_p + (p - 1)]` = `f_icom_e(p)`.
+    icom: Vec<Seconds>,
+    /// `ecom[e * max_p² + (ps - 1) * max_p + (pr - 1)]` = `f_ecom_e(ps, pr)`.
+    ecom: Vec<Seconds>,
+}
+
+impl DenseCostTable {
+    /// Materialise the tables for a `k`-task chain by evaluating the given
+    /// cost functions over `1..=max_p` (and the `max_p × max_p` grid for
+    /// `ecom`). `exec_fn(i, p)` is the execution time of task `i`,
+    /// `icom_fn(e, p)` / `ecom_fn(e, ps, pr)` the internal/external
+    /// communication times of edge `e` (edges `0..k-1`).
+    pub fn build(
+        k: usize,
+        max_p: Procs,
+        mut exec_fn: impl FnMut(usize, Procs) -> Seconds,
+        mut icom_fn: impl FnMut(usize, Procs) -> Seconds,
+        mut ecom_fn: impl FnMut(usize, Procs, Procs) -> Seconds,
+    ) -> Self {
+        assert!(max_p >= 1, "dense cost table needs max_p >= 1");
+        let edges = k.saturating_sub(1);
+        let mut exec = Vec::with_capacity(k * max_p);
+        for i in 0..k {
+            for p in 1..=max_p {
+                exec.push(exec_fn(i, p));
+            }
+        }
+        let mut icom = Vec::with_capacity(edges * max_p);
+        for e in 0..edges {
+            for p in 1..=max_p {
+                icom.push(icom_fn(e, p));
+            }
+        }
+        let mut ecom = Vec::with_capacity(edges * max_p * max_p);
+        for e in 0..edges {
+            for ps in 1..=max_p {
+                for pr in 1..=max_p {
+                    ecom.push(ecom_fn(e, ps, pr));
+                }
+            }
+        }
+        Self {
+            k,
+            max_p,
+            exec,
+            icom,
+            ecom,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.k
+    }
+
+    /// Largest tabulated processor count.
+    pub fn max_procs(&self) -> Procs {
+        self.max_p
+    }
+
+    /// Execution time of task `i` on `p` processors.
+    #[inline]
+    pub fn exec(&self, i: usize, p: Procs) -> Seconds {
+        debug_assert!(p >= 1 && p <= self.max_p);
+        self.exec[i * self.max_p + (p - 1)]
+    }
+
+    /// The flat row `f_exec_i(1..=max_p)`; entry `p - 1` is the cost at `p`.
+    #[inline]
+    pub fn exec_row(&self, i: usize) -> &[Seconds] {
+        &self.exec[i * self.max_p..(i + 1) * self.max_p]
+    }
+
+    /// Internal redistribution time of edge `e` on `p` processors.
+    #[inline]
+    pub fn icom(&self, e: usize, p: Procs) -> Seconds {
+        debug_assert!(p >= 1 && p <= self.max_p);
+        self.icom[e * self.max_p + (p - 1)]
+    }
+
+    /// The flat row `f_icom_e(1..=max_p)`.
+    #[inline]
+    pub fn icom_row(&self, e: usize) -> &[Seconds] {
+        &self.icom[e * self.max_p..(e + 1) * self.max_p]
+    }
+
+    /// External transfer time of edge `e` from `ps` senders to `pr`
+    /// receivers.
+    #[inline]
+    pub fn ecom(&self, e: usize, ps: Procs, pr: Procs) -> Seconds {
+        debug_assert!(ps >= 1 && ps <= self.max_p && pr >= 1 && pr <= self.max_p);
+        self.ecom[e * self.max_p * self.max_p + (ps - 1) * self.max_p + (pr - 1)]
+    }
+
+    /// The row-major `max_p × max_p` slab of edge `e`: entry
+    /// `(ps - 1) * max_p + (pr - 1)` is the cost from `ps` senders to `pr`
+    /// receivers. Solver inner loops index the slab directly so a scan over
+    /// senders at a fixed receiver count walks memory contiguously.
+    #[inline]
+    pub fn ecom_slab(&self, e: usize) -> &[Seconds] {
+        let n = self.max_p * self.max_p;
+        &self.ecom[e * n..(e + 1) * n]
+    }
+}
+
 /// Locate `p` in `axis`: returns `(index, weight)` such that the value lies
 /// between `axis[index]` and `axis[index + 1]` with interpolation `weight`
 /// in `[0, 1]`; clamps outside the range.
@@ -215,5 +336,67 @@ mod tests {
         let t2 = Tabulated2d::new(vec![1], vec![1], vec![1.0]);
         assert!(t2.eval(0, 1).is_infinite());
         assert!(t2.eval(1, 0).is_infinite());
+    }
+
+    #[test]
+    fn dense_table_matches_generating_functions() {
+        let (k, max_p) = (3usize, 5usize);
+        let t = DenseCostTable::build(
+            k,
+            max_p,
+            |i, p| (i + 1) as f64 / p as f64,
+            |e, p| e as f64 + 0.1 * p as f64,
+            |e, ps, pr| (e + 1) as f64 * (ps as f64 + 2.0 * pr as f64),
+        );
+        assert_eq!(t.num_tasks(), 3);
+        assert_eq!(t.max_procs(), 5);
+        for i in 0..k {
+            for p in 1..=max_p {
+                assert_eq!(t.exec(i, p), (i + 1) as f64 / p as f64);
+                assert_eq!(t.exec_row(i)[p - 1], t.exec(i, p));
+            }
+        }
+        for e in 0..k - 1 {
+            for p in 1..=max_p {
+                assert_eq!(t.icom(e, p), e as f64 + 0.1 * p as f64);
+                assert_eq!(t.icom_row(e)[p - 1], t.icom(e, p));
+            }
+            for ps in 1..=max_p {
+                for pr in 1..=max_p {
+                    let expect = (e + 1) as f64 * (ps as f64 + 2.0 * pr as f64);
+                    assert_eq!(t.ecom(e, ps, pr), expect);
+                    assert_eq!(t.ecom_slab(e)[(ps - 1) * max_p + (pr - 1)], expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_table_evaluates_each_point_once() {
+        use std::cell::Cell;
+        let execs = Cell::new(0usize);
+        let ecoms = Cell::new(0usize);
+        let t = DenseCostTable::build(
+            2,
+            4,
+            |_, p| {
+                execs.set(execs.get() + 1);
+                p as f64
+            },
+            |_, _| 0.0,
+            |_, ps, pr| {
+                ecoms.set(ecoms.get() + 1);
+                (ps + pr) as f64
+            },
+        );
+        assert_eq!(execs.get(), 2 * 4);
+        assert_eq!(ecoms.get(), 4 * 4);
+        // Repeated lookups are pure indexing, no re-evaluation.
+        for _ in 0..3 {
+            assert_eq!(t.exec(1, 3), 3.0);
+            assert_eq!(t.ecom(0, 2, 2), 4.0);
+        }
+        assert_eq!(execs.get(), 8);
+        assert_eq!(ecoms.get(), 16);
     }
 }

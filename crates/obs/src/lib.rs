@@ -50,6 +50,19 @@ pub use openmetrics::render_openmetrics;
 pub use recorder::{FlightRecorder, FlightSample, RecorderConfig};
 pub use trace::{chrome_trace, chrome_trace_with_counters, events_to_jsonl, SpanGuard, TraceEvent};
 
+/// Well-known metric names shared across crates, so producers (solvers)
+/// and consumers (`/metrics`, `pipemap bench`) cannot drift apart.
+pub mod names {
+    /// DP cells enumerated by the optimal solvers (`dp_assignment` and
+    /// `dp_mapping` both add to it). A "cell" is one `(p_total, p_last,
+    /// next-size)` state of the stage recurrence.
+    pub const SOLVER_CELLS_TOTAL: &str = "solver.cells_total";
+    /// DP cells skipped wholesale by incumbent-bound pruning (their
+    /// single-module upper bound cannot reach the greedy incumbent).
+    /// `cells_pruned / cells_total` is the pruning effectiveness.
+    pub const SOLVER_CELLS_PRUNED: &str = "solver.cells_pruned";
+}
+
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
 
 /// Install the process-global registry. Returns `false` (and drops

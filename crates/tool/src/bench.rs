@@ -21,7 +21,10 @@ use std::time::Instant;
 
 use pipemap_apps::{radar, synthetic_chain, ChainFlavor, RadarConfig};
 use pipemap_chain::Problem;
-use pipemap_core::{cluster_heuristic, dp_assignment, dp_mapping, GreedyOptions, Solution};
+use pipemap_core::{
+    cluster_heuristic, dp_assignment, dp_assignment_with, dp_mapping, dp_mapping_with,
+    GreedyOptions, Solution, SolveOptions,
+};
 use pipemap_exec::kernels::{fft_cols, fft_rows, histogram, Complex, Matrix};
 use pipemap_exec::{run_pipeline, PipelinePlan, Stage, StagePlan};
 use pipemap_machine::MachineConfig;
@@ -183,6 +186,112 @@ fn push_solver_metrics(metrics: &mut Value, prefix: &str, wall: f64, work: u64, 
     );
 }
 
+/// The large-P DP cases exercising the solver performance layer (dense
+/// tables + pruning + dedup + worker pool). Metric names are fixed at the
+/// full-mode sizes; quick mode shrinks the machine so CI's bench-smoke
+/// stays fast but still compares like-for-like against a quick baseline.
+fn bench_scaled_dp(metrics: &mut Value, opts: &BenchOptions) {
+    let iters = if opts.quick { 1 } else { 3 };
+
+    // dp_mapping at P = 128 (quick: 32), k = 8 (quick: 6) — optimised
+    // path vs. the serial unpruned reference, which is the pre-layer
+    // solver. Identical optima are asserted, so the speedup metric can
+    // never be bought with a wrong answer.
+    let (rows, cols, k) = if opts.quick { (4, 8, 6) } else { (8, 16, 8) };
+    let machine = MachineConfig::iwarp_message().with_geometry(rows, cols);
+    let chain = synthetic_chain(ChainFlavor::Alternating, k);
+    let problem = pipemap_machine::synthesize_problem(&chain, &machine);
+
+    let (wall, (total, (pruned, sol))) = time_best(iters, || {
+        counted(pipemap_obs::names::SOLVER_CELLS_TOTAL, || {
+            counted(pipemap_obs::names::SOLVER_CELLS_PRUNED, || {
+                dp_mapping_with(&problem, &SolveOptions::default()).expect("dp_mapping solves")
+            })
+        })
+    });
+    // Best-of-2 (quick: 1): the reference solve is the longest timed
+    // section in the suite, so a single sample would make the speedup
+    // ratio hostage to scheduler noise.
+    let (ref_wall, ref_sol) = time_best(if opts.quick { 1 } else { 2 }, || {
+        dp_mapping_with(&problem, &SolveOptions::reference()).expect("dp_mapping solves")
+    });
+    assert_eq!(
+        sol.throughput.to_bits(),
+        ref_sol.throughput.to_bits(),
+        "optimised dp_mapping diverged from the reference path"
+    );
+    let prefix = "solver.dp_mapping_p128";
+    metrics.set(
+        format!("{prefix}.wall_s"),
+        metric(wall, "s", Direction::Lower, 0.05),
+    );
+    metrics.set(
+        format!("{prefix}.reference_wall_s"),
+        metric(ref_wall, "s", Direction::Lower, 0.5),
+    );
+    metrics.set(
+        format!("{prefix}.speedup"),
+        metric(ref_wall / wall.max(1e-9), "x", Direction::Higher, 1.0),
+    );
+    metrics.set(
+        format!("{prefix}.throughput"),
+        metric(sol.throughput, "datasets/s", Direction::Higher, 0.0),
+    );
+    metrics.set(
+        format!("{prefix}.cells_total"),
+        metric(total as f64, "cells", Direction::Lower, 0.0),
+    );
+    metrics.set(
+        format!("{prefix}.pruned_frac"),
+        metric(
+            pruned as f64 / (total as f64).max(1.0),
+            "frac",
+            Direction::Higher,
+            0.05,
+        ),
+    );
+
+    // dp_assignment at P = 256 (quick: 64) — optimised path only; the
+    // serial reference's O(P⁴k) enumeration is impractical at this scale,
+    // which is the point of the case. Exactness at large P is covered by
+    // the equivalence suite.
+    let (rows, cols, k) = if opts.quick { (4, 16, 6) } else { (16, 16, 8) };
+    let machine = MachineConfig::iwarp_message().with_geometry(rows, cols);
+    let chain = synthetic_chain(ChainFlavor::Alternating, k);
+    let problem = pipemap_machine::synthesize_problem(&chain, &machine);
+    let (wall, (total, (pruned, sol))) = time_best(iters, || {
+        counted(pipemap_obs::names::SOLVER_CELLS_TOTAL, || {
+            counted(pipemap_obs::names::SOLVER_CELLS_PRUNED, || {
+                dp_assignment_with(&problem, &SolveOptions::default())
+                    .expect("dp_assignment solves")
+                    .0
+            })
+        })
+    });
+    let prefix = "solver.dp_assignment_p256";
+    metrics.set(
+        format!("{prefix}.wall_s"),
+        metric(wall, "s", Direction::Lower, 0.05),
+    );
+    metrics.set(
+        format!("{prefix}.throughput"),
+        metric(sol.throughput, "datasets/s", Direction::Higher, 0.0),
+    );
+    metrics.set(
+        format!("{prefix}.cells_total"),
+        metric(total as f64, "cells", Direction::Lower, 0.0),
+    );
+    metrics.set(
+        format!("{prefix}.pruned_frac"),
+        metric(
+            pruned as f64 / (total as f64).max(1.0),
+            "frac",
+            Direction::Higher,
+            0.05,
+        ),
+    );
+}
+
 fn bench_end_to_end(metrics: &mut Value, opts: &BenchOptions) {
     let app = radar(RadarConfig::paper());
     let machine = MachineConfig::iwarp_message();
@@ -317,6 +426,7 @@ pub fn run_bench_suite(opts: &BenchOptions) -> Value {
     );
     bench_solvers(&mut metrics, "radar", &radar_problem, iters);
 
+    bench_scaled_dp(&mut metrics, opts);
     bench_end_to_end(&mut metrics, opts);
     bench_executor(&mut metrics, opts);
 
@@ -689,6 +799,8 @@ mod tests {
             "solver.greedy.radar.",
             "solver.dp_assignment.radar.",
             "solver.dp_mapping.radar.",
+            "solver.dp_mapping_p128.",
+            "solver.dp_assignment_p256.",
             "e2e.radar.",
             "exec.fft_hist.",
         ] {
