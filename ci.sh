@@ -23,6 +23,18 @@ echo "== solver equivalence under forced thread counts =="
 PIPEMAP_THREADS=1 cargo test -q -p pipemap-core --test equivalence
 PIPEMAP_THREADS=4 cargo test -q -p pipemap-core --test equivalence
 
+echo "== executor data plane: batching equivalence under forced thread counts =="
+# Batched + pooled transport must be bit-identical to the unbatched
+# reference path whatever the per-instance thread count.
+PIPEMAP_THREADS=1 cargo test -q -p pipemap-exec --test batching
+PIPEMAP_THREADS=4 cargo test -q -p pipemap-exec --test batching
+
+echo "== executor stress smoke: sustained load for 2s =="
+# A short open-loop run through the release binary; `pipemap load` exits
+# nonzero when the pipeline completes no datasets, so success here means
+# the data plane actually moved traffic under sustained load.
+./target/release/pipemap load micro --duration 2s
+
 echo "== bench-smoke: quick perf suite + schema check =="
 BENCH_SMOKE_OUT=$(mktemp /tmp/pipemap-bench-smoke.XXXXXX.json)
 trap 'rm -f "$BENCH_SMOKE_OUT"' EXIT

@@ -7,14 +7,33 @@
 //! data sets by sequence number. Bounded channels provide the
 //! backpressure that makes the bottleneck module govern throughput, as in
 //! the paper's execution model.
+//!
+//! # Data plane
+//!
+//! Messages carry *batches*: up to [`PipelinePlan::batch`] data sets per
+//! channel message, grouped per destination instance so the round-robin
+//! assignment (data set `n` → instance `n mod r`) is untouched — batching
+//! only changes how many data sets ride in one message, never which
+//! instance serves them. A batch is flushed when it is full, when its
+//! oldest item has waited [`PipelinePlan::flush_us`] microseconds, and
+//! always before a worker blocks on input or exits — so batching never
+//! holds a data set hostage behind an idle stage. `batch == 1` is the
+//! unbatched reference data plane (one message per data set, the
+//! pre-batching executor), kept for A/B measurement in `pipemap bench`.
+//!
+//! Per-instance statistics are accumulated thread-locally and handed back
+//! through the scoped-thread join (no shared lock on the data path).
 
-use std::time::Instant;
+use std::mem;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
-use pipemap_obs::TraceEvent;
+use pipemap_obs::{Counter, Recorder, TraceEvent};
 
 use crate::stage::{Data, Stage};
+
+/// Default latency bound on buffered batch items (microseconds).
+pub const DEFAULT_FLUSH_US: u64 = 200;
 
 /// One stage of a pipeline plan: the computation plus its mapping.
 #[derive(Clone, Debug)]
@@ -53,20 +72,30 @@ impl StagePlan {
 pub struct PipelinePlan {
     /// Stages in chain order.
     pub stages: Vec<StagePlan>,
-    /// Capacity of each instance's input queue (≥ 1). Small values mimic
-    /// the rendezvous of the paper's model; larger values decouple
-    /// stages.
+    /// Capacity of each instance's input queue in *messages* (≥ 1; each
+    /// message carries up to [`batch`](Self::batch) data sets). Small
+    /// values mimic the rendezvous of the paper's model; larger values
+    /// decouple stages.
     pub queue_depth: usize,
+    /// Maximum data sets per channel message (≥ 1). `1` is the unbatched
+    /// reference data plane; larger values amortize per-message channel
+    /// overhead across the batch on high-rate streams.
+    pub batch: usize,
+    /// Latency bound: a buffered item is force-flushed once it has
+    /// waited this many microseconds, even if its batch is not full.
+    pub flush_us: u64,
 }
 
 impl PipelinePlan {
-    /// A plan with queue depth 1 (closest to the paper's rendezvous
-    /// semantics).
+    /// A plan with queue depth 1 and unbatched transport (closest to the
+    /// paper's rendezvous semantics).
     pub fn new(stages: Vec<StagePlan>) -> Self {
         assert!(!stages.is_empty());
         Self {
             stages,
             queue_depth: 1,
+            batch: 1,
+            flush_us: DEFAULT_FLUSH_US,
         }
     }
 
@@ -74,6 +103,19 @@ impl PipelinePlan {
     pub fn with_queue_depth(mut self, depth: usize) -> Self {
         assert!(depth >= 1);
         self.queue_depth = depth;
+        self
+    }
+
+    /// Set the transport batch size (data sets per channel message).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1);
+        self.batch = batch;
+        self
+    }
+
+    /// Set the batch latency bound in microseconds.
+    pub fn with_flush_us(mut self, flush_us: u64) -> Self {
+        self.flush_us = flush_us;
         self
     }
 }
@@ -101,8 +143,11 @@ pub struct InstanceStats {
 /// Execution statistics of one pipeline run.
 #[derive(Clone, Debug)]
 pub struct PipelineStats {
-    /// Data sets processed.
+    /// Data sets completed at the sink.
     pub datasets: usize,
+    /// Data sets fed by the source (equals `datasets` when the pipeline
+    /// drained fully).
+    pub generated: usize,
     /// Wall-clock seconds from first send to last completion.
     pub elapsed: f64,
     /// Measured throughput (data sets per second).
@@ -116,21 +161,305 @@ pub struct PipelineStats {
     /// Fraction of stage capacity spent computing:
     /// `busy / (replicas × elapsed)`, in `[0, 1]`.
     pub utilization: Vec<f64>,
+    /// Seconds the source spent blocked on stage-0 backpressure.
+    pub source_wait: f64,
+    /// Channel messages sent (source + every stage boundary).
+    pub messages: u64,
+    /// Data sets carried inside those messages.
+    pub message_items: u64,
     /// Per-instance breakdowns, ordered by (stage, instance).
     pub instances: Vec<InstanceStats>,
 }
 
-/// Run `inputs` through the pipeline and return the outputs (in input
-/// order) plus statistics.
+impl PipelineStats {
+    /// Mean data sets per channel message (1.0 on the unbatched path).
+    pub fn mean_batch_fill(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.message_items as f64 / self.messages as f64
+        }
+    }
+}
+
+/// One in-flight data set: its global sequence number, the instant it
+/// entered the pipeline (for end-to-end latency), and the payload.
+pub(crate) struct Item {
+    pub(crate) seq: usize,
+    pub(crate) born: Instant,
+    pub(crate) data: Data,
+}
+
+type Batch = Vec<Item>;
+
+/// Batching output side shared by the source and every worker: one
+/// buffer per destination instance, flushed when full, aged past the
+/// latency bound, or explicitly (before blocking / at exit).
+struct TxSet {
+    targets: Vec<Sender<Batch>>,
+    bufs: Vec<Batch>,
+    /// When `bufs[t]` went non-empty; only consulted when `batch > 1`.
+    since: Vec<Instant>,
+    batch: usize,
+    flush: Duration,
+    send_wait: f64,
+    messages: u64,
+    items: u64,
+    msg_ctr: Counter,
+    item_ctr: Counter,
+    wait_ctr: Counter,
+}
+
+impl TxSet {
+    fn new(
+        targets: Vec<Sender<Batch>>,
+        batch: usize,
+        flush: Duration,
+        rec: &Recorder,
+        wait_ctr: Counter,
+    ) -> Self {
+        let now = Instant::now();
+        Self {
+            bufs: targets.iter().map(|_| Vec::with_capacity(batch)).collect(),
+            since: vec![now; targets.len()],
+            targets,
+            batch,
+            flush,
+            send_wait: 0.0,
+            messages: 0,
+            items: 0,
+            msg_ctr: rec.counter(pipemap_obs::names::EXEC_BATCH_MESSAGES),
+            item_ctr: rec.counter(pipemap_obs::names::EXEC_BATCH_ITEMS),
+            wait_ctr,
+        }
+    }
+
+    /// Route `item` to its round-robin destination; flushes the
+    /// destination's buffer when full or aged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination hung up (its worker panicked).
+    fn push(&mut self, item: Item) {
+        let t = item.seq % self.targets.len();
+        if self.batch > 1 && self.bufs[t].is_empty() {
+            self.since[t] = Instant::now();
+        }
+        self.bufs[t].push(item);
+        if self.bufs[t].len() >= self.batch
+            || (self.batch > 1 && self.since[t].elapsed() >= self.flush)
+        {
+            self.flush_target(t);
+        }
+    }
+
+    fn flush_target(&mut self, t: usize) {
+        if self.bufs[t].is_empty() {
+            return;
+        }
+        let out = mem::replace(&mut self.bufs[t], Vec::with_capacity(self.batch));
+        let n = out.len() as u64;
+        let t0 = Instant::now();
+        self.targets[t]
+            .send(out)
+            .expect("downstream instance hung up");
+        let blocked = t0.elapsed().as_secs_f64();
+        self.send_wait += blocked;
+        self.wait_ctr.add((blocked * 1e6) as u64);
+        self.messages += 1;
+        self.items += n;
+        self.msg_ctr.add(1);
+        self.item_ctr.add(n);
+    }
+
+    /// Flush buffers whose oldest item exceeded the latency bound.
+    fn flush_aged(&mut self) {
+        if self.batch == 1 {
+            return;
+        }
+        for t in 0..self.bufs.len() {
+            if !self.bufs[t].is_empty() && self.since[t].elapsed() >= self.flush {
+                self.flush_target(t);
+            }
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for t in 0..self.bufs.len() {
+            self.flush_target(t);
+        }
+    }
+}
+
+/// Handle the source closure uses to push data sets into stage 0 of a
+/// running pipeline (see [`execute`]); batching, sequence numbering, and
+/// round-robin distribution are applied here.
+pub struct Feeder {
+    tx: TxSet,
+    seq: usize,
+}
+
+/// Source-side totals collected when the feeder finishes.
+struct FeederTotals {
+    pushed: usize,
+    send_wait: f64,
+    messages: u64,
+    items: u64,
+}
+
+impl Feeder {
+    /// Push one data set; blocks when stage 0 exerts backpressure.
+    pub fn push(&mut self, data: Data) {
+        let item = Item {
+            seq: self.seq,
+            born: Instant::now(),
+            data,
+        };
+        self.seq += 1;
+        self.tx.push(item);
+    }
+
+    /// Flush aged partial batches. Call before pacing sleeps so a
+    /// rate-limited source never holds items past the latency bound.
+    pub fn flush(&mut self) {
+        self.tx.flush_aged();
+    }
+
+    /// Data sets pushed so far.
+    pub fn pushed(&self) -> usize {
+        self.seq
+    }
+
+    fn finish(mut self) -> FeederTotals {
+        self.tx.flush_all();
+        FeederTotals {
+            pushed: self.seq,
+            send_wait: self.tx.send_wait,
+            messages: self.tx.messages,
+            items: self.tx.items,
+        }
+    }
+}
+
+/// Per-worker context handed to [`worker_loop`].
+struct WorkerCtx<'a> {
+    rx: Receiver<Batch>,
+    tx: TxSet,
+    stage: &'a Stage,
+    threads: usize,
+    si: usize,
+    ii: usize,
+    lane: u64,
+    rec: Recorder,
+    tracing: bool,
+}
+
+fn worker_loop(mut ctx: WorkerCtx<'_>) -> (InstanceStats, u64, u64) {
+    // Hoisted per-instance handles: metric names are formatted once and
+    // the stage name is cloned per trace event only when tracing is on —
+    // the untraced hot path does no per-message allocation.
+    let service_hist = ctx.rec.histogram(&format!(
+        "exec.stage{}.{}.service_s",
+        ctx.si, &*ctx.stage.name
+    ));
+    let recv_ctr = ctx
+        .rec
+        .counter(&format!("exec.stage{}.recv_wait_us", ctx.si));
+    let busy_ctr = ctx.rec.counter(&format!("exec.stage{}.busy_us", ctx.si));
+    let trace_name: String = ctx.stage.name.to_string();
+    let born = Instant::now();
+    let mut recv_wait = 0.0f64;
+    let mut busy = 0.0f64;
+    loop {
+        // Fast path: input already queued — no clock reads for the wait.
+        let batch = match ctx.rx.try_recv() {
+            Some(b) => b,
+            None => {
+                // Latency rule: never hold buffered output while blocked
+                // on input.
+                ctx.tx.flush_all();
+                let t_recv = Instant::now();
+                match ctx.rx.recv() {
+                    Ok(b) => {
+                        let waited = t_recv.elapsed().as_secs_f64();
+                        recv_wait += waited;
+                        recv_ctr.add((waited * 1e6) as u64);
+                        if ctx.tracing && waited > 0.0 {
+                            let now = ctx.rec.now_us();
+                            ctx.rec.event(TraceEvent {
+                                name: "recv".into(),
+                                cat: "recv".into(),
+                                lane: ctx.lane,
+                                ts_us: now - waited * 1e6,
+                                dur_us: waited * 1e6,
+                                args: vec![(
+                                    "seq".into(),
+                                    (b.first().map_or(0, |i| i.seq) as u64).into(),
+                                )],
+                            });
+                        }
+                        b
+                    }
+                    Err(_) => break,
+                }
+            }
+        };
+        for item in batch {
+            let t_exec = Instant::now();
+            let out = ctx.stage.apply(item.data, ctx.threads);
+            let service = t_exec.elapsed().as_secs_f64();
+            busy += service;
+            service_hist.record(service);
+            busy_ctr.add((service * 1e6) as u64);
+            if ctx.tracing {
+                let now = ctx.rec.now_us();
+                ctx.rec.event(TraceEvent {
+                    name: trace_name.clone(),
+                    cat: "exec".into(),
+                    lane: ctx.lane,
+                    ts_us: now - service * 1e6,
+                    dur_us: service * 1e6,
+                    args: vec![("seq".into(), (item.seq as u64).into())],
+                });
+            }
+            ctx.tx.push(Item {
+                seq: item.seq,
+                born: item.born,
+                data: out,
+            });
+        }
+    }
+    ctx.tx.flush_all();
+    let stats = InstanceStats {
+        stage: ctx.si,
+        instance: ctx.ii,
+        recv_wait,
+        busy,
+        send_wait: ctx.tx.send_wait,
+        lifetime: born.elapsed().as_secs_f64(),
+    };
+    (stats, ctx.tx.messages, ctx.tx.items)
+}
+
+/// Run the pipeline with a source closure feeding data sets and a sink
+/// closure consuming completed items (called on the caller's thread, in
+/// arrival order — *not* sequence order). Shared engine behind
+/// [`run_pipeline`] and [`run_load`](crate::driver::run_load).
 ///
 /// # Panics
 ///
 /// Panics if a stage function panics (the panic is propagated) or the
 /// plan is empty.
-pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, PipelineStats) {
+pub(crate) fn execute(
+    plan: &PipelinePlan,
+    sink_cap: usize,
+    feed: impl FnOnce(&mut Feeder) + Send,
+    mut on_item: impl FnMut(Item),
+) -> PipelineStats {
     let n_stages = plan.stages.len();
-    let n_data = inputs.len();
-    let instance_stats: Mutex<Vec<InstanceStats>> = Mutex::new(Vec::new());
+    assert!(n_stages > 0, "empty pipeline plan");
+    let batch = plan.batch.max(1);
+    let flush = Duration::from_micros(plan.flush_us);
 
     // Observability: metrics always flow to the global recorder (no-op
     // when none is installed); per-activity trace events only when the
@@ -146,7 +475,7 @@ pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, Pipel
             (0..sp.replicas)
                 .map(|ii| match (tracing, pipemap_obs::global_registry()) {
                     (true, Some(reg)) => {
-                        reg.register_lane(format!("stage{si}.{}.{ii}", sp.stage.name))
+                        reg.register_lane(format!("stage{si}.{}.{ii}", &*sp.stage.name))
                     }
                     _ => 0,
                 })
@@ -155,120 +484,52 @@ pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, Pipel
         .collect();
 
     // Channels: input channels for every instance of every stage, plus a
-    // sink channel. Messages carry (sequence, data).
-    type Msg = (usize, Data);
-    let mut senders: Vec<Vec<Sender<Msg>>> = Vec::with_capacity(n_stages);
-    let mut receivers: Vec<Vec<Receiver<Msg>>> = Vec::with_capacity(n_stages);
+    // sink channel. Messages carry batches of (sequence, data) items.
+    let mut senders: Vec<Vec<Sender<Batch>>> = Vec::with_capacity(n_stages);
+    let mut receivers: Vec<Vec<Receiver<Batch>>> = Vec::with_capacity(n_stages);
     for sp in &plan.stages {
         let mut ss = Vec::with_capacity(sp.replicas);
         let mut rs = Vec::with_capacity(sp.replicas);
         for _ in 0..sp.replicas {
-            let (s, r) = bounded::<Msg>(plan.queue_depth);
+            let (s, r) = bounded::<Batch>(plan.queue_depth);
             ss.push(s);
             rs.push(r);
         }
         senders.push(ss);
         receivers.push(rs);
     }
-    let (sink_s, sink_r) = bounded::<Msg>(n_data.max(1));
+    let (sink_s, sink_r) = bounded::<Batch>(sink_cap.max(1));
 
     let start = Instant::now();
-    let outputs: Vec<Option<Data>> = std::thread::scope(|scope| {
-        // Instance workers.
+    let (results, feeder_totals, completed) = std::thread::scope(|scope| {
+        // Instance workers; stats come back through the join handles.
+        let mut worker_handles = Vec::new();
         for (si, sp) in plan.stages.iter().enumerate() {
             for (ii, rx_src) in receivers[si].iter().take(sp.replicas).enumerate() {
                 let rx = rx_src.clone();
-                let next: Option<Vec<Sender<Msg>>> = senders.get(si + 1).cloned();
-                let sink = sink_s.clone();
-                let stage = sp.stage.clone();
+                let targets: Vec<Sender<Batch>> = match senders.get(si + 1) {
+                    Some(next) => next.clone(),
+                    None => vec![sink_s.clone()],
+                };
+                let stage = &sp.stage;
                 let threads = sp.threads;
-                let stats_out = &instance_stats;
                 let rec = rec.clone();
                 let lane = lanes[si][ii];
-                scope.spawn(move || {
-                    let service_hist =
-                        rec.histogram(&format!("exec.stage{si}.{}.service_s", stage.name));
-                    // Monotonic per-stage counters (µs) — the flight
-                    // recorder derives live busy/wait rates (and hence
-                    // utilization) from their deltas.
-                    let recv_ctr = rec.counter(&format!("exec.stage{si}.recv_wait_us"));
-                    let busy_ctr = rec.counter(&format!("exec.stage{si}.busy_us"));
+                worker_handles.push(scope.spawn(move || {
                     let send_ctr = rec.counter(&format!("exec.stage{si}.send_wait_us"));
-                    let born = Instant::now();
-                    let mut recv_wait = 0.0f64;
-                    let mut busy = 0.0f64;
-                    let mut send_wait = 0.0f64;
-                    loop {
-                        let t_recv = Instant::now();
-                        let msg = rx.recv();
-                        let waited = t_recv.elapsed().as_secs_f64();
-                        recv_wait += waited;
-                        recv_ctr.add((waited * 1e6) as u64);
-                        let Ok((seq, data)) = msg else { break };
-                        if tracing && waited > 0.0 {
-                            let now = rec.now_us();
-                            rec.event(TraceEvent {
-                                name: "recv".into(),
-                                cat: "recv".into(),
-                                lane,
-                                ts_us: now - waited * 1e6,
-                                dur_us: waited * 1e6,
-                                args: vec![("seq".into(), (seq as u64).into())],
-                            });
-                        }
-                        let t_exec = Instant::now();
-                        let out = stage.apply(data, threads);
-                        let service = t_exec.elapsed().as_secs_f64();
-                        busy += service;
-                        service_hist.record(service);
-                        busy_ctr.add((service * 1e6) as u64);
-                        if tracing {
-                            let now = rec.now_us();
-                            rec.event(TraceEvent {
-                                name: stage.name.clone(),
-                                cat: "exec".into(),
-                                lane,
-                                ts_us: now - service * 1e6,
-                                dur_us: service * 1e6,
-                                args: vec![("seq".into(), (seq as u64).into())],
-                            });
-                        }
-                        let t_send = Instant::now();
-                        match &next {
-                            Some(next_senders) => {
-                                let target = seq % next_senders.len();
-                                next_senders[target]
-                                    .send((seq, out))
-                                    .expect("downstream instance hung up");
-                            }
-                            None => {
-                                sink.send((seq, out)).expect("sink hung up");
-                            }
-                        }
-                        let blocked = t_send.elapsed().as_secs_f64();
-                        send_wait += blocked;
-                        send_ctr.add((blocked * 1e6) as u64);
-                        if tracing && blocked > 0.0 {
-                            let now = rec.now_us();
-                            rec.event(TraceEvent {
-                                name: "send".into(),
-                                cat: "send".into(),
-                                lane,
-                                ts_us: now - blocked * 1e6,
-                                dur_us: blocked * 1e6,
-                                args: vec![("seq".into(), (seq as u64).into())],
-                            });
-                        }
-                    }
-                    stats_out.lock().push(InstanceStats {
-                        stage: si,
-                        instance: ii,
-                        recv_wait,
-                        busy,
-                        send_wait,
-                        lifetime: born.elapsed().as_secs_f64(),
-                    });
-                });
+                    let tx = TxSet::new(targets, batch, flush, &rec, send_ctr);
+                    worker_loop(WorkerCtx {
+                        rx,
+                        tx,
+                        stage,
+                        threads,
+                        si,
+                        ii,
+                        lane,
+                        rec,
+                        tracing,
+                    })
+                }));
             }
         }
         // Close our copies so workers see disconnects once sources drain.
@@ -277,29 +538,50 @@ pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, Pipel
         drop(senders);
         drop(receivers);
 
-        // Feed inputs round-robin into the first stage's instances.
-        scope.spawn(move || {
-            for (seq, data) in inputs.into_iter().enumerate() {
-                let target = seq % first.len();
-                first[target].send((seq, data)).expect("stage 0 hung up");
-            }
-            // Dropping `first` closes stage 0's queues; disconnect
-            // cascades down the chain as workers finish.
+        // Source thread: run the feed closure, then flush and hang up —
+        // the disconnect cascades down the chain as workers finish.
+        let feeder_rec = rec.clone();
+        let feeder_handle = scope.spawn(move || {
+            let send_ctr = feeder_rec.counter("exec.source.send_wait_us");
+            let mut feeder = Feeder {
+                tx: TxSet::new(first, batch, flush, &feeder_rec, send_ctr),
+                seq: 0,
+            };
+            feed(&mut feeder);
+            feeder.finish()
         });
 
-        // Collect and reorder.
-        let done_ctr = pipemap_obs::global().counter("exec.datasets.completed");
-        let mut out: Vec<Option<Data>> = (0..n_data).map(|_| None).collect();
-        for _ in 0..n_data {
-            let (seq, data) = sink_r.recv().expect("pipeline dropped a data set");
-            done_ctr.add(1);
-            out[seq] = Some(data);
+        // Sink: drain until every last-stage worker hangs up.
+        let done_ctr = rec.counter("exec.datasets.completed");
+        let mut completed = 0usize;
+        while let Ok(items) = sink_r.recv() {
+            for item in items {
+                done_ctr.add(1);
+                completed += 1;
+                on_item(item);
+            }
         }
-        out
+        fn join<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
+            match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+        let feeder_totals = join(feeder_handle);
+        let results: Vec<(InstanceStats, u64, u64)> =
+            worker_handles.into_iter().map(join).collect();
+        (results, feeder_totals, completed)
     });
     let elapsed = start.elapsed().as_secs_f64();
 
-    let mut instances = instance_stats.into_inner();
+    let mut messages = feeder_totals.messages;
+    let mut message_items = feeder_totals.items;
+    let mut instances = Vec::with_capacity(results.len());
+    for (stats, msgs, items) in results {
+        messages += msgs;
+        message_items += items;
+        instances.push(stats);
+    }
     instances.sort_by_key(|i| (i.stage, i.instance));
     let per_stage = |f: fn(&InstanceStats) -> f64| -> Vec<f64> {
         let mut v = vec![0.0; n_stages];
@@ -324,11 +606,12 @@ pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, Pipel
         })
         .collect();
 
-    let stats = PipelineStats {
-        datasets: n_data,
+    PipelineStats {
+        datasets: completed,
+        generated: feeder_totals.pushed,
         elapsed,
         throughput: if elapsed > 0.0 {
-            n_data as f64 / elapsed
+            completed as f64 / elapsed
         } else {
             f64::INFINITY
         },
@@ -336,9 +619,36 @@ pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, Pipel
         recv_wait,
         send_wait,
         utilization,
+        source_wait: feeder_totals.send_wait,
+        messages,
+        message_items,
         instances,
-    };
-    let outputs = outputs
+    }
+}
+
+/// Run `inputs` through the pipeline and return the outputs (in input
+/// order) plus statistics.
+///
+/// # Panics
+///
+/// Panics if a stage function panics (the panic is propagated) or the
+/// plan is empty.
+pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, PipelineStats) {
+    let n_data = inputs.len();
+    let mut out: Vec<Option<Data>> = (0..n_data).map(|_| None).collect();
+    let stats = execute(
+        plan,
+        n_data.max(1),
+        move |feeder| {
+            for data in inputs {
+                feeder.push(data);
+            }
+        },
+        |item| {
+            out[item.seq] = Some(item.data);
+        },
+    );
+    let outputs = out
         .into_iter()
         .map(|o| o.expect("every sequence number must arrive"))
         .collect();
@@ -363,6 +673,7 @@ mod tests {
         let (out, stats) = run_pipeline(&plan, inputs);
         assert_eq!(unwrap_all::<usize>(out), (0..50).collect::<Vec<_>>());
         assert_eq!(stats.datasets, 50);
+        assert_eq!(stats.generated, 50);
     }
 
     #[test]
@@ -375,6 +686,31 @@ mod tests {
         let (out, _) = run_pipeline(&plan, inputs);
         let got = unwrap_all::<usize>(out);
         assert_eq!(got, (0..100).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_transport_matches_unbatched_output() {
+        for batch in [2usize, 5, 16, 64] {
+            let mk = || {
+                vec![
+                    StagePlan::new(Stage::new("x3", |x: u64, _| x.wrapping_mul(3)), 3, 1),
+                    StagePlan::new(Stage::new("p7", |x: u64, _| x.wrapping_add(7)), 2, 1),
+                ]
+            };
+            let inputs = || (0..137u64).map(|i| Box::new(i) as Data).collect::<Vec<_>>();
+            let (ref_out, ref_stats) = run_pipeline(&PipelinePlan::new(mk()), inputs());
+            let plan = PipelinePlan::new(mk())
+                .with_batch(batch)
+                .with_queue_depth(3);
+            let (out, stats) = run_pipeline(&plan, inputs());
+            assert_eq!(unwrap_all::<u64>(out), unwrap_all::<u64>(ref_out));
+            assert_eq!(stats.datasets, 137);
+            // Batching reduces messages; the unbatched path is 1 item
+            // per message by construction.
+            assert!((ref_stats.mean_batch_fill() - 1.0).abs() < 1e-12);
+            assert!(stats.messages < ref_stats.messages, "batch={batch}");
+            assert!(stats.mean_batch_fill() > 1.0, "batch={batch}");
+        }
     }
 
     #[test]
@@ -441,6 +777,7 @@ mod tests {
         let (out, stats) = run_pipeline(&plan, vec![]);
         assert!(out.is_empty());
         assert_eq!(stats.datasets, 0);
+        assert_eq!(stats.messages, 0);
     }
 
     #[test]
@@ -519,5 +856,49 @@ mod tests {
         let inputs: Vec<Data> = vec![Box::new(5usize), Box::new(123usize), Box::new(42usize)];
         let (out, _) = run_pipeline(&plan, inputs);
         assert_eq!(unwrap_all::<usize>(out), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn pooled_payloads_flow_and_recycle() {
+        use crate::pool::{BufferPool, Lease};
+        let pool = BufferPool::new(8);
+        let plan = PipelinePlan::new(vec![
+            StagePlan::serial(Stage::new("double", |mut v: Lease<Vec<u64>>, _| {
+                for x in v.iter_mut() {
+                    *x *= 2;
+                }
+                v
+            })),
+            StagePlan::serial(Stage::new("sum", |v: Lease<Vec<u64>>, _| {
+                v.iter().sum::<u64>()
+                // lease drops here → payload returns to the pool
+            })),
+        ])
+        .with_batch(4);
+        let inputs = |pool: &BufferPool| -> Vec<Data> {
+            (0..20u64)
+                .map(|i| {
+                    let mut lease = pool.take(|| vec![0u64; 4]);
+                    for (j, x) in lease.iter_mut().enumerate() {
+                        *x = i + j as u64;
+                    }
+                    Box::new(lease) as Data
+                })
+                .collect()
+        };
+        // First wave: all takes are misses; the sink drops each lease,
+        // shelving up to the pool's bound of 8.
+        let (out, _) = run_pipeline(&plan, inputs(&pool));
+        let sums = unwrap_all::<u64>(out);
+        assert_eq!(sums[0], 2 * (1 + 2 + 3));
+        assert_eq!(sums.len(), 20);
+        let first = pool.stats();
+        assert_eq!(first.hits, 0, "{first:?}");
+        assert!(first.returns >= 8, "{first:?}");
+        // Second wave over the same pool: shelved payloads are recycled.
+        let (out, _) = run_pipeline(&plan, inputs(&pool));
+        assert_eq!(unwrap_all::<u64>(out), sums);
+        let second = pool.stats();
+        assert_eq!(second.hits, 8, "{second:?}");
     }
 }

@@ -151,6 +151,13 @@ impl Matrix {
 /// FFT every row of the matrix, splitting rows across `threads`.
 pub fn fft_rows(m: &mut Matrix, threads: usize) {
     let n = m.n;
+    if threads <= 1 {
+        // Inline fast path: no row-pointer scratch vector, no scope.
+        for row in m.data.chunks_mut(n) {
+            fft_inplace(row);
+        }
+        return;
+    }
     let rows: Vec<&mut [Complex]> = m.data.chunks_mut(n).collect();
     run_chunks(rows, threads, fft_inplace);
 }
@@ -177,9 +184,19 @@ pub fn fft_cols(m: &mut Matrix, threads: usize) {
 /// computed with per-thread partial histograms merged at the end.
 pub fn histogram(m: &Matrix, bins: usize, max: f64, threads: usize) -> Vec<u64> {
     assert!(bins >= 1 && max > 0.0);
+    let mut total = vec![0u64; bins];
+    if threads <= 1 {
+        // Inline fast path: accumulate straight into the result — no
+        // row-pointer scratch, no partials, no scope.
+        for x in &m.data {
+            let b = ((x.norm_sq() / max) * bins as f64) as usize;
+            total[b.min(bins - 1)] += 1;
+        }
+        return total;
+    }
     let rows: Vec<&[Complex]> = m.data.chunks(m.n).collect();
     let ranges = split_ranges(rows.len(), threads);
-    let partials: Vec<Vec<u64>> = std::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|range| {
@@ -197,14 +214,14 @@ pub fn histogram(m: &Matrix, bins: usize, max: f64, threads: usize) -> Vec<u64> 
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let mut total = vec![0u64; bins];
-    for p in partials {
-        for (t, v) in total.iter_mut().zip(p) {
-            *t += v;
+        // Merge partials into the one accumulator as workers finish,
+        // instead of first collecting a Vec<Vec<u64>> of them.
+        for h in handles {
+            for (t, v) in total.iter_mut().zip(h.join().unwrap()) {
+                *t += v;
+            }
         }
-    }
+    });
     total
 }
 
@@ -357,6 +374,10 @@ pub fn map_units<T: Sync, R: Send>(
     threads: usize,
     f: impl Fn(&T) -> R + Sync,
 ) -> Vec<R> {
+    if threads <= 1 || units.len() <= 1 {
+        // Fast path: map on the calling thread, no scope spawn.
+        return units.iter().map(f).collect();
+    }
     let ranges = split_ranges(units.len(), threads);
     let mut chunks: Vec<Vec<R>> = std::thread::scope(|s| {
         let f = &f;
@@ -377,7 +398,15 @@ pub fn map_units<T: Sync, R: Send>(
 }
 
 /// Run `f` over mutable chunks with up to `threads` scoped threads.
+/// `threads <= 1` runs inline on the caller — no range splitting, no
+/// scoped spawn — so a serial instance pays nothing for the machinery.
 fn run_chunks<T: Send>(chunks: Vec<&mut [T]>, threads: usize, f: impl Fn(&mut [T]) + Sync) {
+    if threads <= 1 || chunks.len() <= 1 {
+        for c in chunks {
+            f(c);
+        }
+        return;
+    }
     let ranges = split_ranges(chunks.len(), threads);
     let mut chunks = chunks;
     std::thread::scope(|s| {

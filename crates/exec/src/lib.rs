@@ -19,11 +19,15 @@
 //! examples run the real FFT-Hist and stereo pipelines end to end and
 //! measure genuine throughput.
 
+pub mod driver;
 pub mod executor;
 pub mod kernels;
 pub mod plan;
+pub mod pool;
 pub mod stage;
 
-pub use executor::{run_pipeline, InstanceStats, PipelinePlan, PipelineStats, StagePlan};
+pub use driver::{run_load, LatencySummary, LoadOptions, LoadReport};
+pub use executor::{run_pipeline, Feeder, InstanceStats, PipelinePlan, PipelineStats, StagePlan};
 pub use plan::{plan_from_mapping, ThreadBudget};
+pub use pool::{BufferPool, Lease, PoolStats};
 pub use stage::{Data, Stage};

@@ -1,0 +1,305 @@
+//! Reusable buffer pool for pipeline payloads.
+//!
+//! A sustained stream allocates one payload per data set — a matrix, an
+//! image, a sample vector — uses it for a few milliseconds, and drops it
+//! at the sink. At high rates that alloc/free churn (and the page faults
+//! behind it) becomes a measurable fraction of the per-dataset cost. The
+//! [`BufferPool`] recycles payloads instead: the source *takes* a
+//! [`Lease`] (recycled when available, freshly built otherwise), the
+//! lease travels through the pipeline as an ordinary type-erased
+//! [`Data`](crate::stage::Data) box, and when the last consumer drops it
+//! the payload returns to the pool shelf for the next data set.
+//!
+//! Leases deref to the payload, so stage functions mutate in place
+//! (`|mut m: Lease<Matrix>, t| { fft_rows(&mut m, t); m }`). The pool is
+//! type-indexed: one shelf per payload type, each bounded so a burst
+//! cannot pin unbounded memory. Takes and returns are counted and
+//! published to the observability registry under the
+//! [`pipemap_obs::names`] `exec.pool.*` names.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Default bound on recycled payloads kept per type.
+pub const DEFAULT_SHELF_CAP: usize = 64;
+
+struct Shelves {
+    shelves: Mutex<HashMap<TypeId, Vec<Box<dyn Any + Send>>>>,
+    shelf_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returns: AtomicU64,
+    discarded: AtomicU64,
+}
+
+/// A typed, bounded, thread-safe recycling pool. Cloning is cheap and
+/// shares the shelves.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<Shelves>,
+}
+
+/// Counters describing a pool's effectiveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Takes served from a shelf (no allocation).
+    pub hits: u64,
+    /// Takes that had to build a fresh payload.
+    pub misses: u64,
+    /// Leases returned to a shelf on drop.
+    pub returns: u64,
+    /// Leases dropped because their shelf was full.
+    pub discarded: u64,
+}
+
+impl PoolStats {
+    /// Fraction of takes served from a shelf, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHELF_CAP)
+    }
+}
+
+impl BufferPool {
+    /// A pool keeping at most `shelf_cap` recycled payloads per type.
+    pub fn new(shelf_cap: usize) -> Self {
+        Self {
+            inner: Arc::new(Shelves {
+                shelves: Mutex::new(HashMap::new()),
+                shelf_cap,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                returns: AtomicU64::new(0),
+                discarded: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Take a payload of type `T`: a recycled one when the shelf has
+    /// any (the caller must overwrite its contents — recycled payloads
+    /// keep their previous values), else a fresh `init()`.
+    pub fn take<T: Send + 'static>(&self, init: impl FnOnce() -> T) -> Lease<T> {
+        let recycled = {
+            let mut shelves = self.inner.shelves.lock().expect("pool lock");
+            shelves.get_mut(&TypeId::of::<T>()).and_then(Vec::pop)
+        };
+        let value = match recycled {
+            Some(boxed) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                boxed.downcast::<T>().expect("shelf is type-indexed")
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                Box::new(init())
+            }
+        };
+        Lease {
+            value: Some(value),
+            pool: Arc::downgrade(&self.inner),
+        }
+    }
+
+    /// Number of payloads currently shelved (all types).
+    pub fn shelved(&self) -> usize {
+        self.inner
+            .shelves
+            .lock()
+            .expect("pool lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            returns: self.inner.returns.load(Ordering::Relaxed),
+            discarded: self.inner.discarded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Publish the counters to the global observability registry as the
+    /// `exec.pool.*` gauges (no-op when no registry is installed).
+    pub fn publish(&self) {
+        let rec = pipemap_obs::global();
+        let s = self.stats();
+        rec.gauge_set(pipemap_obs::names::EXEC_POOL_HITS, s.hits as f64);
+        rec.gauge_set(pipemap_obs::names::EXEC_POOL_MISSES, s.misses as f64);
+        rec.gauge_set(pipemap_obs::names::EXEC_POOL_SHELVED, self.shelved() as f64);
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "BufferPool(shelved {}, hits {}, misses {})",
+            self.shelved(),
+            s.hits,
+            s.misses
+        )
+    }
+}
+
+/// An exclusive lease on a pooled payload. Derefs to `T`; returning the
+/// payload to the pool happens on drop (or is skipped if the pool is
+/// gone or the shelf is full — the payload is then simply freed).
+pub struct Lease<T: Send + 'static> {
+    value: Option<Box<T>>,
+    pool: Weak<Shelves>,
+}
+
+impl<T: Send + 'static> Lease<T> {
+    /// A lease not backed by any pool; dropping it frees the payload.
+    /// Useful for code paths that are generic over leased data but run
+    /// with pooling disabled.
+    pub fn detached(value: T) -> Self {
+        Lease {
+            value: Some(Box::new(value)),
+            pool: Weak::new(),
+        }
+    }
+
+    /// Take the payload out, detaching it from the pool.
+    pub fn into_inner(mut self) -> T {
+        *self
+            .value
+            .take()
+            .expect("lease holds a value until dropped")
+    }
+}
+
+impl<T: Send + 'static> Deref for Lease<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.value.as_ref().expect("lease holds a value")
+    }
+}
+
+impl<T: Send + 'static> DerefMut for Lease<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value.as_mut().expect("lease holds a value")
+    }
+}
+
+impl<T: Send + 'static> Drop for Lease<T> {
+    fn drop(&mut self) {
+        let Some(boxed) = self.value.take() else {
+            return;
+        };
+        let Some(pool) = self.pool.upgrade() else {
+            return;
+        };
+        let mut shelves = pool.shelves.lock().expect("pool lock");
+        let shelf = shelves.entry(TypeId::of::<T>()).or_default();
+        if shelf.len() < pool.shelf_cap {
+            shelf.push(boxed as Box<dyn Any + Send>);
+            drop(shelves);
+            pool.returns.fetch_add(1, Ordering::Relaxed);
+        } else {
+            drop(shelves);
+            pool.discarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<T: Send + std::fmt::Debug + 'static> std::fmt::Debug for Lease<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Lease({:?})", self.deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_miss_then_hit_recycles_the_same_payload() {
+        let pool = BufferPool::new(8);
+        let mut a = pool.take(|| vec![0u64; 4]);
+        a[0] = 7;
+        drop(a);
+        assert_eq!(pool.shelved(), 1);
+        let b = pool.take(|| vec![0u64; 4]);
+        // Recycled payloads keep their previous contents.
+        assert_eq!(b[0], 7);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.returns), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shelves_are_type_indexed_and_bounded() {
+        let pool = BufferPool::new(2);
+        drop(pool.take(|| 1u32));
+        drop(pool.take(|| String::from("x")));
+        assert_eq!(pool.shelved(), 2);
+        // Fill the u32 shelf beyond its cap.
+        let (a, b, c) = (pool.take(|| 2u32), pool.take(|| 3u32), pool.take(|| 4u32));
+        drop(a);
+        drop(b);
+        drop(c);
+        let s = pool.stats();
+        assert_eq!(s.discarded, 1, "{s:?}");
+        // u32 shelf capped at 2, plus the shelved String.
+        assert_eq!(pool.shelved(), 3);
+    }
+
+    #[test]
+    fn lease_outliving_the_pool_is_fine() {
+        let pool = BufferPool::new(4);
+        let lease = pool.take(|| vec![1u8; 16]);
+        drop(pool);
+        assert_eq!(lease.len(), 16);
+        drop(lease); // frees instead of returning
+    }
+
+    #[test]
+    fn detached_and_into_inner() {
+        let mut d = Lease::detached(vec![1, 2, 3]);
+        d.push(4);
+        assert_eq!(d.into_inner(), vec![1, 2, 3, 4]);
+
+        let pool = BufferPool::new(4);
+        let lease = pool.take(|| 9i64);
+        assert_eq!(lease.into_inner(), 9);
+        // into_inner detaches: nothing returned to the shelf.
+        assert_eq!(pool.shelved(), 0);
+    }
+
+    #[test]
+    fn pool_is_shared_across_clones_and_threads() {
+        let pool = BufferPool::new(16);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let mut l = p.take(|| vec![0u64; 8]);
+                        l[0] += 1;
+                    }
+                });
+            }
+        });
+        let st = pool.stats();
+        assert_eq!(st.hits + st.misses, 200);
+        assert!(st.hits > 0, "concurrent takes should recycle: {st:?}");
+    }
+}

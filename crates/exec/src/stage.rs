@@ -14,10 +14,14 @@ use std::sync::Arc;
 pub type Data = Box<dyn Any + Send>;
 
 /// One pipeline stage: a named data parallel computation.
+///
+/// The name is an `Arc<str>` so plans, worker threads, and trace lanes
+/// share one allocation — cloning a `Stage` (or formatting its name in a
+/// hot loop's setup) never copies the string.
 #[derive(Clone)]
 pub struct Stage {
     /// Stage name (for stats and errors).
-    pub name: String,
+    pub name: Arc<str>,
     func: Arc<dyn Fn(Data, usize) -> Data + Send + Sync>,
 }
 
@@ -27,14 +31,14 @@ impl Stage {
     ///
     /// The wrapper panics (with the stage name) if an upstream stage sent
     /// a value of the wrong type — a wiring bug, not a data error.
-    pub fn new<I, O, F>(name: impl Into<String>, f: F) -> Self
+    pub fn new<I, O, F>(name: impl Into<Arc<str>>, f: F) -> Self
     where
         I: 'static,
         O: Send + 'static,
         F: Fn(I, usize) -> O + Send + Sync + 'static,
     {
         let name = name.into();
-        let n2 = name.clone();
+        let n2 = Arc::clone(&name);
         Stage {
             name,
             func: Arc::new(move |data, threads| {

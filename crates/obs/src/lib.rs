@@ -61,6 +61,19 @@ pub mod names {
     /// single-module upper bound cannot reach the greedy incumbent).
     /// `cells_pruned / cells_total` is the pruning effectiveness.
     pub const SOLVER_CELLS_PRUNED: &str = "solver.cells_pruned";
+
+    /// Channel messages sent by the executor data plane (each carries a
+    /// batch of 1..=B data sets).
+    pub const EXEC_BATCH_MESSAGES: &str = "exec.batch.messages";
+    /// Data sets carried inside those messages.
+    /// `items / messages` is the mean batch fill.
+    pub const EXEC_BATCH_ITEMS: &str = "exec.batch.items";
+    /// Buffer-pool takes served from a shelf (gauge, no allocation).
+    pub const EXEC_POOL_HITS: &str = "exec.pool.hits";
+    /// Buffer-pool takes that allocated a fresh payload (gauge).
+    pub const EXEC_POOL_MISSES: &str = "exec.pool.misses";
+    /// Payloads currently shelved in the buffer pool (gauge).
+    pub const EXEC_POOL_SHELVED: &str = "exec.pool.shelved";
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();

@@ -267,6 +267,40 @@ pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> Sim
     }
 }
 
+/// The paper's closed-form steady-state throughput,
+/// `1 / max_i (s_i / r_i)`, from *measured* per-stage service times
+/// rather than model costs: `service_s[i]` is stage `i`'s mean seconds
+/// per data set on one instance, `replicas[i]` its replication degree.
+///
+/// This is how a [`run_load`](../pipemap_exec/driver/fn.run_load.html)
+/// measurement is validated: feed the per-stage busy means observed by
+/// the executor back through the analytic form and compare predicted
+/// against achieved datasets/sec.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or a replica count is zero.
+pub fn steady_state_throughput(service_s: &[f64], replicas: &[usize]) -> f64 {
+    assert_eq!(
+        service_s.len(),
+        replicas.len(),
+        "one replica count per stage"
+    );
+    let bottleneck = service_s
+        .iter()
+        .zip(replicas)
+        .map(|(&s, &r)| {
+            assert!(r >= 1, "replica counts must be >= 1");
+            s / r as f64
+        })
+        .fold(0.0f64, f64::max);
+    if bottleneck <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / bottleneck
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,5 +503,42 @@ mod tests {
             ..SimConfig::default()
         };
         let _ = simulate(&c, &m, &cfg);
+    }
+
+    #[test]
+    fn steady_state_throughput_is_bottleneck_governed() {
+        // Stage 1 at 4 s/dataset over 2 replicas is the 2 s bottleneck.
+        let thr = steady_state_throughput(&[1.0, 4.0, 0.5], &[1, 2, 1]);
+        assert!((thr - 0.5).abs() < 1e-12, "thr {thr}");
+        // Replicating the bottleneck shifts it to the next stage.
+        let thr = steady_state_throughput(&[1.0, 4.0, 0.5], &[1, 4, 1]);
+        assert!((thr - 1.0).abs() < 1e-12, "thr {thr}");
+        // Zero service times: infinite predicted throughput.
+        assert!(steady_state_throughput(&[0.0, 0.0], &[1, 1]).is_infinite());
+    }
+
+    #[test]
+    fn steady_state_throughput_matches_simulation() {
+        // A noise-free simulation of a compute-only chain should land on
+        // the closed form from the same service times.
+        let c = chain2(3.0, 1.0, 0.0);
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 3, 1),
+            ModuleAssignment::new(1, 1, 1, 1),
+        ]);
+        let r = simulate(&c, &m, &SimConfig::with_datasets(300));
+        let predicted = steady_state_throughput(&[3.0, 1.0], &[3, 1]);
+        assert!(
+            (r.throughput - predicted).abs() / predicted < 0.02,
+            "sim {} vs closed form {}",
+            r.throughput,
+            predicted
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one replica count per stage")]
+    fn steady_state_throughput_length_checked() {
+        let _ = steady_state_throughput(&[1.0], &[1, 2]);
     }
 }

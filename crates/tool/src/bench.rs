@@ -30,6 +30,7 @@ use pipemap_exec::{run_pipeline, PipelinePlan, Stage, StagePlan};
 use pipemap_machine::MachineConfig;
 use pipemap_obs::Value;
 
+use crate::load::{micro_plan, micro_source, run_configured_load, LoadConfig};
 use crate::mapper::{auto_map, MapperOptions};
 
 /// Schema identifier stamped into every bench document.
@@ -400,6 +401,123 @@ fn bench_executor(metrics: &mut Value, opts: &BenchOptions) {
     );
 }
 
+/// The executor data-plane cases: open-loop sustained load on the micro
+/// pipeline, optimised path (batched transport + buffer pool) against
+/// the unbatched/unpooled reference data plane *measured in the same
+/// run* — like the solver suite's serial reference, the speedup metric
+/// compares two configurations of the same binary, so it cannot drift
+/// with machine load between runs. Bit-identical outputs between the
+/// two transports are asserted here on a small prefix (and across
+/// replication degrees by the batching property test).
+fn bench_executor_dataplane(metrics: &mut Value, opts: &BenchOptions) {
+    let n = if opts.quick { 1_500 } else { 12_000 };
+    let base = LoadConfig {
+        duration_s: None,
+        datasets: Some(n),
+        stages: 4,
+        size: 512,
+        ..LoadConfig::default()
+    };
+
+    // Output bit-equality: the batched transport must reorder nothing.
+    {
+        let plain = LoadConfig {
+            pool: false,
+            ..base.clone()
+        };
+        let unbatched = LoadConfig {
+            batch: 1,
+            ..plain.clone()
+        };
+        let inputs = |cfg: &LoadConfig| -> Vec<pipemap_exec::Data> {
+            let mut src = micro_source(cfg.size, None);
+            (0..64).map(&mut src).collect()
+        };
+        let (a, _) = run_pipeline(&micro_plan(&plain), inputs(&plain));
+        let (b, _) = run_pipeline(&micro_plan(&unbatched), inputs(&unbatched));
+        for (i, (x, y)) in a.into_iter().zip(b).enumerate() {
+            let x = x.downcast::<Vec<u64>>().expect("micro output");
+            let y = y.downcast::<Vec<u64>>().expect("micro output");
+            assert_eq!(x, y, "batched output diverged at dataset {i}");
+        }
+    }
+
+    // Reference data plane first, optimised second, same process.
+    let reference = run_configured_load(&base.clone().reference());
+    let optimised = run_configured_load(&base);
+    assert_eq!(reference.report.completed, n);
+    assert_eq!(optimised.report.completed, n);
+
+    let prefix = "exec.throughput_pipeline";
+    metrics.set(
+        format!("{prefix}.throughput"),
+        metric(
+            optimised.report.throughput,
+            "datasets/s",
+            Direction::Higher,
+            500.0,
+        ),
+    );
+    metrics.set(
+        format!("{prefix}.reference_throughput"),
+        metric(
+            reference.report.throughput,
+            "datasets/s",
+            Direction::Higher,
+            500.0,
+        ),
+    );
+    metrics.set(
+        format!("{prefix}.speedup"),
+        metric(
+            optimised.report.throughput / reference.report.throughput.max(1e-9),
+            "x",
+            Direction::Higher,
+            1.0,
+        ),
+    );
+    metrics.set(
+        format!("{prefix}.latency_p99_s"),
+        metric(optimised.report.latency.p99, "s", Direction::Lower, 0.005),
+    );
+
+    // Replicated stages under batched + pooled load: round-robin fan-out
+    // means each destination's buffer fills at 1/r the rate, so this
+    // case keeps the mean batch fill and pool hit rate honest when
+    // messages split across instances.
+    let replicated = run_configured_load(&LoadConfig {
+        datasets: Some(n / 2),
+        replicas: 3,
+        queue_depth: 2,
+        ..base
+    });
+    assert_eq!(replicated.report.completed, n / 2);
+    let pool = replicated.pool.expect("pooled config");
+    let prefix = "exec.throughput_batched";
+    metrics.set(
+        format!("{prefix}.throughput"),
+        metric(
+            replicated.report.throughput,
+            "datasets/s",
+            Direction::Higher,
+            500.0,
+        ),
+    );
+    metrics.set(
+        format!("{prefix}.mean_batch_fill"),
+        metric(
+            replicated.report.stats.mean_batch_fill(),
+            "datasets/msg",
+            Direction::Higher,
+            0.5,
+        ),
+    );
+    metrics.set(
+        format!("{prefix}.pool_hit_rate"),
+        metric(pool.hit_rate(), "frac", Direction::Higher, 0.05),
+    );
+}
+
 /// Run the whole suite and return the bench document.
 pub fn run_bench_suite(opts: &BenchOptions) -> Value {
     // Solver counters flow through the global registry; install one if
@@ -429,6 +547,7 @@ pub fn run_bench_suite(opts: &BenchOptions) -> Value {
     bench_scaled_dp(&mut metrics, opts);
     bench_end_to_end(&mut metrics, opts);
     bench_executor(&mut metrics, opts);
+    bench_executor_dataplane(&mut metrics, opts);
 
     let mut doc = Value::object();
     doc.set("schema", BENCH_SCHEMA);
@@ -803,6 +922,8 @@ mod tests {
             "solver.dp_assignment_p256.",
             "e2e.radar.",
             "exec.fft_hist.",
+            "exec.throughput_pipeline.",
+            "exec.throughput_batched.",
         ] {
             assert!(
                 metrics.iter().any(|(n, _)| n.starts_with(prefix)),

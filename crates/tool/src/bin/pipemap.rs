@@ -43,6 +43,12 @@ USAGE:
     pipemap bench [--quick] [--out <file>] [--compare <baseline.json>]
                   [--against <current.json>] [--threshold <frac>]
                   [--warn-only] [--validate <file>]
+    pipemap load [micro|fft-hist] [--rate <ds/s>] [--duration <secs|Nms>]
+                 [--datasets <n>] [--batch <B>] [--flush-us <us>]
+                 [--queue-depth <d>] [--stages <k>] [--size <n>]
+                 [--replicas <r>] [--threads <t>] [--no-pool] [--reference]
+                 [--report json] [--serve <addr>] [--hold <secs>]
+                 [--recorder-out <file>]
     pipemap fit <fft-hist-256|fft-hist-512|radar|stereo> [--systolic]
     pipemap template
 
@@ -66,6 +72,13 @@ COMMANDS:
               exits nonzero on regression (--threshold overrides the
               default 30% relative change; --warn-only never fails);
               --validate checks a bench file against the schema
+    load      drive a real threaded pipeline at a target rate (or open
+              loop) and report achieved datasets/s, p50/p99 end-to-end
+              latency, per-stage backpressure, batching fill, and buffer
+              pool hit rate; the achieved rate is checked against the
+              closed form 1/max(s_i/r_i) on the measured service means.
+              --reference runs the unbatched/unpooled data plane for A/B
+              comparison; stop conditions combine (--duration default 2s)
     fit       profile a built-in application on the machine model and
               print its fitted polynomial spec (pipe to a file, then use
               'map' / 'simulate' on it)
@@ -111,6 +124,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("load") => cmd_load(&args[1..]),
         Some("fit") => cmd_fit(&args[1..]),
         Some("template") => {
             print!("{TEMPLATE}");
@@ -676,6 +690,129 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     }
     if let Err(e) = finish_observability(&obs_flags, flight, server) {
         eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_load(args: &[String]) -> ExitCode {
+    use pipemap_tool::{
+        load_report_json, parse_duration_s, render_load_summary, run_configured_load, LoadConfig,
+        Workload,
+    };
+    let mut cfg = LoadConfig::default();
+    let mut duration_set = false;
+    let mut reference = false;
+    let mut report_fmt: Option<String> = None;
+    let mut obs_flags = ObsFlags::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match obs_flags.try_parse(a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        macro_rules! numeric {
+            ($what:literal) => {
+                match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!(concat!($what, " needs a number"));
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+        }
+        match a.as_str() {
+            "--rate" => {
+                let r: f64 = numeric!("--rate");
+                if r <= 0.0 || r.is_nan() {
+                    eprintln!("--rate must be positive");
+                    return ExitCode::FAILURE;
+                }
+                cfg.rate = Some(r);
+            }
+            "--duration" => match it.next().map(String::as_str).and_then(parse_duration_s) {
+                Some(v) => {
+                    cfg.duration_s = Some(v);
+                    duration_set = true;
+                }
+                None => {
+                    eprintln!("--duration needs a duration like 2, 2s, or 250ms");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--datasets" => {
+                cfg.datasets = Some(numeric!("--datasets"));
+                // A dataset count is a complete stop condition by itself.
+                if !duration_set {
+                    cfg.duration_s = None;
+                }
+            }
+            "--batch" => cfg.batch = numeric!("--batch"),
+            "--flush-us" => cfg.flush_us = numeric!("--flush-us"),
+            "--queue-depth" => cfg.queue_depth = numeric!("--queue-depth"),
+            "--stages" => cfg.stages = numeric!("--stages"),
+            "--size" => cfg.size = numeric!("--size"),
+            "--replicas" => cfg.replicas = numeric!("--replicas"),
+            "--threads" => cfg.threads = numeric!("--threads"),
+            "--no-pool" => cfg.pool = false,
+            "--reference" => reference = true,
+            "--report" => match it.next() {
+                Some(v) => report_fmt = Some(v.clone()),
+                None => {
+                    eprintln!("--report needs a format (json)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => match Workload::parse(other) {
+                Some(w) => cfg.workload = w,
+                None => {
+                    eprintln!("unexpected argument '{other}' (workloads: micro, fft-hist)");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    if reference {
+        cfg = cfg.reference();
+    }
+    let json = match report_fmt.as_deref() {
+        None => false,
+        Some("json") => true,
+        Some(other) => {
+            eprintln!("unsupported report format '{other}' (only 'json')");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cfg.batch == 0 || cfg.queue_depth == 0 || cfg.stages == 0 {
+        eprintln!("--batch, --queue-depth, and --stages must be >= 1");
+        return ExitCode::FAILURE;
+    }
+    let (flight, server) = match start_observability(&obs_flags) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = run_configured_load(&cfg);
+    if json {
+        println!("{}", load_report_json(&summary).to_json_pretty());
+    } else {
+        print!("{}", render_load_summary(&summary));
+    }
+    if let Err(e) = finish_observability(&obs_flags, flight, server) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    // A load run that served nothing is a failure — CI's stress smoke
+    // relies on this to catch a wedged executor.
+    if summary.report.completed == 0 && cfg.datasets != Some(0) {
+        eprintln!("load run completed 0 datasets");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -20,6 +20,7 @@
 //! Figure 6-style array diagram.
 
 pub mod bench;
+pub mod load;
 pub mod mapper;
 pub mod markdown;
 pub mod render;
@@ -30,6 +31,10 @@ pub mod spec;
 pub use bench::{
     compare_bench, git_sha, run_bench_suite, validate_bench, BenchOptions, CompareResult,
     BENCH_SCHEMA,
+};
+pub use load::{
+    load_report_json, parse_duration_s, render_load_summary, run_configured_load, LoadConfig,
+    LoadSummary, Workload,
 };
 pub use mapper::{auto_map, MapperOptions, MappingReport};
 pub use markdown::{report_markdown, table2_header, table2_row};

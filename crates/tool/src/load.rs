@@ -1,0 +1,560 @@
+//! The `pipemap load` sustained-load driver.
+//!
+//! Drives a real threaded pipeline (built from one of two built-in
+//! workloads) at a target rate or open loop, via
+//! [`pipemap_exec::run_load`], and reports achieved datasets/sec, p50/p99
+//! end-to-end latency, per-stage backpressure, transport batching
+//! effectiveness, and buffer-pool hit rate. The achieved throughput is
+//! validated against the paper's closed form
+//! `1 / max_i (s_i / r_i)` ([`pipemap_sim::steady_state_throughput`])
+//! evaluated on the *measured* per-stage service means — the serving-side
+//! counterpart of the predicted-vs-measured tables.
+//!
+//! Workloads:
+//!
+//! * `micro` — `stages` light integer-mixing stages over `len`-element
+//!   `u64` buffers: per-dataset work is tiny, so the data plane (channel
+//!   messages, allocation churn) dominates and batching/pooling effects
+//!   are visible;
+//! * `fft-hist` — the paper's FFT-Hist computation on `n×n` complex
+//!   matrices (row FFTs → column FFTs → histogram): per-dataset work is
+//!   real, so latency percentiles and backpressure are meaningful.
+
+use pipemap_exec::kernels::{fft_cols, fft_rows, histogram, Complex, Matrix};
+use pipemap_exec::{
+    run_load, BufferPool, Data, Lease, LoadOptions, LoadReport, PipelinePlan, PoolStats, Stage,
+    StagePlan,
+};
+use pipemap_obs::Value;
+use std::time::Duration;
+
+/// Which built-in pipeline to drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Light integer-mixing stages (data-plane stress).
+    Micro,
+    /// FFT-Hist on complex matrices (real compute).
+    FftHist,
+}
+
+impl Workload {
+    /// Parse a workload name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "micro" => Some(Workload::Micro),
+            "fft-hist" => Some(Workload::FftHist),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Workload::Micro => "micro",
+            Workload::FftHist => "fft-hist",
+        }
+    }
+}
+
+/// Full configuration of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// The pipeline to drive.
+    pub workload: Workload,
+    /// Target rate (datasets/s); `None` = open loop.
+    pub rate: Option<f64>,
+    /// Stop feeding after this many seconds.
+    pub duration_s: Option<f64>,
+    /// Stop feeding after this many datasets.
+    pub datasets: Option<usize>,
+    /// Transport batch size (datasets per channel message).
+    pub batch: usize,
+    /// Batch latency bound, microseconds.
+    pub flush_us: u64,
+    /// Per-instance input queue depth, in messages.
+    pub queue_depth: usize,
+    /// Replicas per stage.
+    pub replicas: usize,
+    /// Threads per instance.
+    pub threads: usize,
+    /// Recycle payloads through a [`BufferPool`].
+    pub pool: bool,
+    /// Micro: number of stages. FFT-Hist: fixed 3-stage pipeline.
+    pub stages: usize,
+    /// Micro: buffer length (u64 elements). FFT-Hist: matrix edge.
+    pub size: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            workload: Workload::Micro,
+            rate: None,
+            duration_s: Some(2.0),
+            datasets: None,
+            batch: 32,
+            flush_us: 200,
+            queue_depth: 4,
+            replicas: 1,
+            threads: 1,
+            pool: true,
+            stages: 4,
+            size: 1024,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// The reference data plane: unbatched transport, no pooling — the
+    /// pre-batching executor, kept for A/B comparison.
+    pub fn reference(mut self) -> Self {
+        self.batch = 1;
+        self.pool = false;
+        self
+    }
+}
+
+/// What one load run produced, ready for rendering.
+#[derive(Clone, Debug)]
+pub struct LoadSummary {
+    /// The configuration that ran.
+    pub config: LoadConfig,
+    /// Stage names, in pipeline order.
+    pub stage_names: Vec<String>,
+    /// The driver's measurement.
+    pub report: LoadReport,
+    /// Closed-form throughput predicted from the measured per-stage
+    /// service means (`NaN` when nothing completed).
+    pub predicted_throughput: f64,
+    /// Pool counters, when pooling was on.
+    pub pool: Option<PoolStats>,
+}
+
+const MIX_PRIME: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn mix(v: &mut [u64], salt: u64) {
+    for x in v.iter_mut() {
+        *x = x.wrapping_mul(MIX_PRIME).rotate_left(13) ^ salt;
+    }
+}
+
+fn fill(v: &mut [u64], seq: usize) {
+    for (j, x) in v.iter_mut().enumerate() {
+        *x = seq as u64 ^ ((j as u64) << 32);
+    }
+}
+
+/// The micro workload's plan: `stages` mixing stages, pooled or plain
+/// payloads. Exposed for the bench suite, which drives the same plan.
+pub fn micro_plan(cfg: &LoadConfig) -> PipelinePlan {
+    let stages = (0..cfg.stages.max(1))
+        .map(|i| {
+            let salt = i as u64 + 1;
+            let stage = if cfg.pool {
+                Stage::new(format!("mix{i}"), move |mut v: Lease<Vec<u64>>, _| {
+                    mix(&mut v, salt);
+                    v
+                })
+            } else {
+                Stage::new(format!("mix{i}"), move |mut v: Vec<u64>, _| {
+                    mix(&mut v, salt);
+                    v
+                })
+            };
+            StagePlan::new(stage, cfg.replicas.max(1), cfg.threads.max(1))
+        })
+        .collect();
+    PipelinePlan::new(stages)
+        .with_batch(cfg.batch.max(1))
+        .with_flush_us(cfg.flush_us)
+        .with_queue_depth(cfg.queue_depth.max(1))
+}
+
+/// The micro workload's source: fresh or pooled `len`-element buffers.
+/// Exposed for the bench suite.
+pub fn micro_source(
+    len: usize,
+    pool: Option<BufferPool>,
+) -> impl FnMut(usize) -> Data + Send + 'static {
+    move |seq| match &pool {
+        Some(p) => {
+            let mut lease = p.take(|| vec![0u64; len]);
+            fill(&mut lease, seq);
+            Box::new(lease) as Data
+        }
+        None => {
+            let mut v = vec![0u64; len];
+            fill(&mut v, seq);
+            Box::new(v) as Data
+        }
+    }
+}
+
+/// The FFT-Hist workload's plan: row FFTs → column FFTs → histogram.
+pub fn fft_hist_plan(cfg: &LoadConfig) -> PipelinePlan {
+    let n = cfg.size.max(2).next_power_of_two();
+    let max = n as f64;
+    let stages = if cfg.pool {
+        vec![
+            Stage::new("fft_rows", |mut m: Lease<Matrix>, t| {
+                fft_rows(&mut m, t);
+                m
+            }),
+            Stage::new("fft_cols", |mut m: Lease<Matrix>, t| {
+                fft_cols(&mut m, t);
+                m
+            }),
+            // The lease drops here, returning the matrix to the pool.
+            Stage::new("histogram", move |m: Lease<Matrix>, t| {
+                histogram(&m, 64, max, t)
+            }),
+        ]
+    } else {
+        vec![
+            Stage::new("fft_rows", |mut m: Matrix, t| {
+                fft_rows(&mut m, t);
+                m
+            }),
+            Stage::new("fft_cols", |mut m: Matrix, t| {
+                fft_cols(&mut m, t);
+                m
+            }),
+            Stage::new("histogram", move |m: Matrix, t| histogram(&m, 64, max, t)),
+        ]
+    };
+    let plans = stages
+        .into_iter()
+        .map(|s| StagePlan::new(s, cfg.replicas.max(1), cfg.threads.max(1)))
+        .collect();
+    PipelinePlan::new(plans)
+        .with_batch(cfg.batch.max(1))
+        .with_flush_us(cfg.flush_us)
+        .with_queue_depth(cfg.queue_depth.max(1))
+}
+
+fn fft_hist_source(
+    n: usize,
+    pool: Option<BufferPool>,
+) -> impl FnMut(usize) -> Data + Send + 'static {
+    let n = n.max(2).next_power_of_two();
+    move |seq| {
+        let write = |m: &mut Matrix| {
+            for r in 0..n {
+                for c in 0..n {
+                    m.data[r * n + c] =
+                        Complex::new(((r * 31 + c * 17 + seq * 7) % 97) as f64 / 97.0, 0.0);
+                }
+            }
+        };
+        match &pool {
+            Some(p) => {
+                let mut lease = p.take(|| Matrix::zero(n));
+                write(&mut lease);
+                Box::new(lease) as Data
+            }
+            None => {
+                let mut m = Matrix::zero(n);
+                write(&mut m);
+                Box::new(m) as Data
+            }
+        }
+    }
+}
+
+/// Run one configured load and summarise it.
+pub fn run_configured_load(cfg: &LoadConfig) -> LoadSummary {
+    // The shelf must cover the pipeline's in-flight window (stage queues
+    // × batch × stages, plus transport buffers) or takes outrun returns
+    // and the pool degenerates to plain allocation. 1024 payloads cover
+    // every configuration the CLI exposes.
+    let pool = cfg.pool.then(|| BufferPool::new(1024));
+    let opts = LoadOptions {
+        rate: cfg.rate,
+        duration: cfg.duration_s.map(Duration::from_secs_f64),
+        max_datasets: cfg.datasets,
+    };
+    let (plan, report) = match cfg.workload {
+        Workload::Micro => {
+            let plan = micro_plan(cfg);
+            let report = run_load(&plan, micro_source(cfg.size, pool.clone()), &opts);
+            (plan, report)
+        }
+        Workload::FftHist => {
+            let plan = fft_hist_plan(cfg);
+            let report = run_load(&plan, fft_hist_source(cfg.size, pool.clone()), &opts);
+            (plan, report)
+        }
+    };
+    let stage_names: Vec<String> = plan
+        .stages
+        .iter()
+        .map(|sp| sp.stage.name.to_string())
+        .collect();
+    // Closed-form prediction from the measured service means: stage i's
+    // mean seconds per dataset is its total busy time over the datasets
+    // it served (every dataset passes through every stage once).
+    let predicted_throughput = if report.completed > 0 {
+        let means: Vec<f64> = report
+            .stats
+            .busy
+            .iter()
+            .map(|b| b / report.completed as f64)
+            .collect();
+        let replicas: Vec<usize> = plan.stages.iter().map(|sp| sp.replicas).collect();
+        pipemap_sim::steady_state_throughput(&means, &replicas)
+    } else {
+        f64::NAN
+    };
+    if let Some(p) = &pool {
+        p.publish();
+    }
+    LoadSummary {
+        config: cfg.clone(),
+        stage_names,
+        report,
+        predicted_throughput,
+        pool: pool.map(|p| p.stats()),
+    }
+}
+
+/// Render a human-readable report.
+pub fn render_load_summary(s: &LoadSummary) -> String {
+    let r = &s.report;
+    let cfg = &s.config;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "workload : {} (batch {}, flush {}µs, queue {}, {}x{} per stage, pool {})\n",
+        cfg.workload.as_str(),
+        cfg.batch,
+        cfg.flush_us,
+        cfg.queue_depth,
+        cfg.replicas,
+        cfg.threads,
+        if cfg.pool { "on" } else { "off" }
+    ));
+    match cfg.rate {
+        Some(rate) => out.push_str(&format!("offered  : {rate:.1} datasets/s\n")),
+        None => out.push_str("offered  : open loop (backpressure-limited)\n"),
+    }
+    out.push_str(&format!(
+        "served   : {} datasets in {:.3}s -> {:.1} datasets/s\n",
+        r.completed, r.elapsed, r.throughput
+    ));
+    if s.predicted_throughput.is_finite() {
+        let ratio = r.throughput / s.predicted_throughput;
+        out.push_str(&format!(
+            "predicted: {:.1} datasets/s from measured service means (achieved/predicted {:.2})\n",
+            s.predicted_throughput, ratio
+        ));
+    }
+    out.push_str(&format!(
+        "latency  : mean {:.6}s  p50 {:.6}s  p90 {:.6}s  p99 {:.6}s  max {:.6}s\n",
+        r.latency.mean, r.latency.p50, r.latency.p90, r.latency.p99, r.latency.max
+    ));
+    out.push_str(&format!(
+        "transport: {} messages carrying {} datasets (mean fill {:.2}); source blocked {:.3}s\n",
+        r.stats.messages,
+        r.stats.message_items,
+        r.stats.mean_batch_fill(),
+        r.stats.source_wait
+    ));
+    if let Some(p) = &s.pool {
+        out.push_str(&format!(
+            "pool     : {:.0}% hit rate ({} hits, {} misses, {} returns, {} discarded)\n",
+            p.hit_rate() * 100.0,
+            p.hits,
+            p.misses,
+            p.returns,
+            p.discarded
+        ));
+    }
+    let denom = (cfg.replicas.max(1) as f64) * r.elapsed.max(1e-9);
+    for (i, name) in s.stage_names.iter().enumerate() {
+        out.push_str(&format!(
+            "stage {i} ({name}): busy {:.0}%  starved {:.0}%  backpressured {:.0}%\n",
+            100.0 * r.stats.busy[i] / denom,
+            100.0 * r.stats.recv_wait[i] / denom,
+            100.0 * r.stats.send_wait[i] / denom,
+        ));
+    }
+    out
+}
+
+/// Render the machine-readable JSON report.
+pub fn load_report_json(s: &LoadSummary) -> Value {
+    let cfg = &s.config;
+    let r = &s.report;
+    let mut doc = Value::object();
+    doc.set("workload", cfg.workload.as_str());
+
+    let mut c = Value::object();
+    if let Some(rate) = cfg.rate {
+        c.set("rate", rate);
+    }
+    if let Some(d) = cfg.duration_s {
+        c.set("duration_s", d);
+    }
+    if let Some(n) = cfg.datasets {
+        c.set("datasets", n as f64);
+    }
+    c.set("batch", cfg.batch as f64);
+    c.set("flush_us", cfg.flush_us as f64);
+    c.set("queue_depth", cfg.queue_depth as f64);
+    c.set("replicas", cfg.replicas as f64);
+    c.set("threads", cfg.threads as f64);
+    c.set("pool", cfg.pool);
+    c.set("stages", cfg.stages as f64);
+    c.set("size", cfg.size as f64);
+    doc.set("config", c);
+
+    let mut res = Value::object();
+    res.set("generated", r.generated as f64);
+    res.set("completed", r.completed as f64);
+    res.set("elapsed_s", r.elapsed);
+    res.set("throughput", r.throughput);
+    if s.predicted_throughput.is_finite() {
+        res.set("predicted_throughput", s.predicted_throughput);
+        res.set(
+            "achieved_over_predicted",
+            r.throughput / s.predicted_throughput,
+        );
+    }
+    let mut lat = Value::object();
+    lat.set("mean_s", r.latency.mean);
+    lat.set("p50_s", r.latency.p50);
+    lat.set("p90_s", r.latency.p90);
+    lat.set("p99_s", r.latency.p99);
+    lat.set("max_s", r.latency.max);
+    res.set("latency", lat);
+    doc.set("result", res);
+
+    let mut t = Value::object();
+    t.set("messages", r.stats.messages as f64);
+    t.set("message_items", r.stats.message_items as f64);
+    t.set("mean_batch_fill", r.stats.mean_batch_fill());
+    t.set("source_wait_s", r.stats.source_wait);
+    doc.set("transport", t);
+
+    if let Some(p) = &s.pool {
+        let mut pv = Value::object();
+        pv.set("hits", p.hits as f64);
+        pv.set("misses", p.misses as f64);
+        pv.set("returns", p.returns as f64);
+        pv.set("discarded", p.discarded as f64);
+        pv.set("hit_rate", p.hit_rate());
+        doc.set("pool", pv);
+    }
+
+    let denom = (cfg.replicas.max(1) as f64) * r.elapsed.max(1e-9);
+    let stages: Vec<Value> = s
+        .stage_names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let mut st = Value::object();
+            st.set("name", name.as_str());
+            st.set("busy_s", r.stats.busy[i]);
+            st.set("recv_wait_s", r.stats.recv_wait[i]);
+            st.set("send_wait_s", r.stats.send_wait[i]);
+            st.set("utilization", r.stats.utilization[i]);
+            st.set("backpressure", r.stats.send_wait[i] / denom);
+            st
+        })
+        .collect();
+    doc.set("stages", Value::Array(stages));
+    doc
+}
+
+/// Parse a duration like `2`, `2s`, `2.5s`, or `250ms` into seconds.
+pub fn parse_duration_s(s: &str) -> Option<f64> {
+    let (num, scale) = if let Some(rest) = s.strip_suffix("ms") {
+        (rest, 1e-3)
+    } else if let Some(rest) = s.strip_suffix('s') {
+        (rest, 1.0)
+    } else {
+        (s, 1.0)
+    };
+    let v: f64 = num.parse().ok()?;
+    (v >= 0.0 && v.is_finite()).then_some(v * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counted(n: usize, cfg: LoadConfig) -> LoadConfig {
+        LoadConfig {
+            duration_s: None,
+            datasets: Some(n),
+            ..cfg
+        }
+    }
+
+    #[test]
+    fn micro_load_reports_consistent_numbers() {
+        // 2000 datasets is far beyond the pipeline's in-flight window,
+        // so a sustained run must see pool hits regardless of timing.
+        let cfg = counted(
+            2000,
+            LoadConfig {
+                size: 64,
+                ..LoadConfig::default()
+            },
+        );
+        let s = run_configured_load(&cfg);
+        assert_eq!(s.report.completed, 2000);
+        assert_eq!(s.stage_names.len(), 4);
+        assert!(s.report.throughput > 0.0);
+        assert!(s.predicted_throughput > 0.0);
+        let pool = s.pool.expect("pool on by default");
+        assert_eq!(pool.hits + pool.misses, 2000);
+        assert!(pool.hits > 0, "sustained run should recycle: {pool:?}");
+        // Batched transport fills messages beyond one item.
+        assert!(s.report.stats.mean_batch_fill() > 1.0);
+        let text = render_load_summary(&s);
+        assert!(text.contains("datasets/s"), "{text}");
+        let json = load_report_json(&s);
+        assert_eq!(
+            json.get("result")
+                .and_then(|r| r.get("completed"))
+                .and_then(Value::as_f64),
+            Some(2000.0)
+        );
+    }
+
+    #[test]
+    fn reference_config_disables_batching_and_pooling() {
+        let cfg = counted(200, LoadConfig::default().reference());
+        assert_eq!(cfg.batch, 1);
+        assert!(!cfg.pool);
+        let s = run_configured_load(&cfg);
+        assert_eq!(s.report.completed, 200);
+        assert!(s.pool.is_none());
+        assert!((s.report.stats.mean_batch_fill() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_hist_load_runs() {
+        let cfg = counted(
+            40,
+            LoadConfig {
+                workload: Workload::FftHist,
+                size: 16,
+                ..LoadConfig::default()
+            },
+        );
+        let s = run_configured_load(&cfg);
+        assert_eq!(s.report.completed, 40);
+        assert_eq!(s.stage_names, vec!["fft_rows", "fft_cols", "histogram"]);
+        assert!(s.report.latency.p99 >= s.report.latency.p50);
+    }
+
+    #[test]
+    fn duration_strings_parse() {
+        assert_eq!(parse_duration_s("2"), Some(2.0));
+        assert_eq!(parse_duration_s("2s"), Some(2.0));
+        assert_eq!(parse_duration_s("250ms"), Some(0.25));
+        assert_eq!(parse_duration_s("2.5s"), Some(2.5));
+        assert_eq!(parse_duration_s("-1"), None);
+        assert_eq!(parse_duration_s("x"), None);
+    }
+}

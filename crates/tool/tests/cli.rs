@@ -375,3 +375,91 @@ fn fit_emits_a_mappable_spec() {
     let text = String::from_utf8_lossy(&map.stdout);
     assert!(text.contains("data sets/s"), "{text}");
 }
+
+#[test]
+fn load_counted_run_reports_throughput() {
+    let out = pipemap()
+        .arg("load")
+        .arg("micro")
+        .args(["--datasets", "300", "--size", "64"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("datasets/s"), "{text}");
+    assert!(text.contains("micro"), "{text}");
+}
+
+#[test]
+fn load_json_report_completes_every_dataset() {
+    let out = pipemap()
+        .arg("load")
+        .arg("fft-hist")
+        .args(["--datasets", "24", "--size", "16", "--report", "json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = pipemap_obs::Value::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(
+        doc.get("workload").and_then(pipemap_obs::Value::as_str),
+        Some("fft-hist")
+    );
+    assert_eq!(
+        doc.get("result")
+            .and_then(|r| r.get("completed"))
+            .and_then(pipemap_obs::Value::as_f64),
+        Some(24.0)
+    );
+    assert!(doc
+        .get("result")
+        .and_then(|r| r.get("latency"))
+        .and_then(|l| l.get("p99_s"))
+        .is_some());
+    assert!(doc.get("transport").is_some());
+    assert!(doc.get("pool").is_some(), "pool stats on by default");
+}
+
+#[test]
+fn load_reference_mode_disables_batching_and_pool() {
+    let out = pipemap()
+        .arg("load")
+        .arg("micro")
+        .args(["--datasets", "50", "--size", "32", "--reference"])
+        .args(["--report", "json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = pipemap_obs::Value::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(
+        doc.get("config")
+            .and_then(|c| c.get("batch"))
+            .and_then(pipemap_obs::Value::as_f64),
+        Some(1.0)
+    );
+    assert!(doc.get("pool").is_none(), "reference path must not pool");
+}
+
+#[test]
+fn load_rejects_bad_flags() {
+    let out = pipemap()
+        .arg("load")
+        .arg("micro")
+        .args(["--batch", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = pipemap().arg("load").arg("nonsense").output().unwrap();
+    assert!(!out.status.success());
+}
