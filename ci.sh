@@ -10,7 +10,10 @@ echo "== cargo clippy (workspace, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tier-1: release build + tests =="
-cargo build --release
+# --workspace matters: the repo root is itself a package, so a bare
+# `cargo build` would build only the root lib and leave the `pipemap`
+# binary the smoke steps below run stale (or missing on a clean tree).
+cargo build --release --workspace
 cargo test -q
 
 echo "== workspace tests =="
@@ -29,15 +32,47 @@ echo "== executor data plane: batching equivalence under forced thread counts ==
 PIPEMAP_THREADS=1 cargo test -q -p pipemap-exec --test batching
 PIPEMAP_THREADS=4 cargo test -q -p pipemap-exec --test batching
 
+echo "== journey completeness under forced thread counts =="
+# Every sampled data set must leave a complete, monotone journey, and
+# tracing must not perturb pipeline outputs, serial or multi-threaded.
+PIPEMAP_THREADS=1 cargo test -q -p pipemap-exec --test journeys
+PIPEMAP_THREADS=4 cargo test -q -p pipemap-exec --test journeys
+
 echo "== executor stress smoke: sustained load for 2s =="
 # A short open-loop run through the release binary; `pipemap load` exits
 # nonzero when the pipeline completes no datasets, so success here means
 # the data plane actually moved traffic under sustained load.
 ./target/release/pipemap load micro --duration 2s
 
+echo "== doctor smoke: traced load run diagnosed drift-free =="
+# Record sampled journeys from a short fft-hist load run, then have the
+# doctor diagnose them. The fft-hist stages are genuinely heterogeneous
+# (column FFT > row FFT > histogram), so the measured bottleneck must
+# agree with the busy-time model and the report must be drift-free.
+# `--fail-on-drift` makes disagreement a hard failure; the JSON report
+# is also checked for structural well-formedness.
+JOURNEY_SMOKE_OUT=$(mktemp /tmp/pipemap-journeys.XXXXXX.jsonl)
+DOCTOR_SMOKE_OUT=$(mktemp /tmp/pipemap-doctor.XXXXXX.json)
+trap 'rm -f "$JOURNEY_SMOKE_OUT" "$DOCTOR_SMOKE_OUT" "${BENCH_SMOKE_OUT:-}"' EXIT
+./target/release/pipemap load fft-hist --duration 2s --size 64 \
+    --journey-out "$JOURNEY_SMOKE_OUT" --journey-sample 8
+./target/release/pipemap doctor "$JOURNEY_SMOKE_OUT" \
+    --report json --fail-on-drift > "$DOCTOR_SMOKE_OUT"
+python3 - "$DOCTOR_SMOKE_OUT" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "pipemap-doctor/v1", r.get("schema")
+assert r["complete"] > 0, "no complete journeys diagnosed"
+assert r["drift"] is False, "smoke run reported drift"
+assert len(r["stages"]) == 3, "expected the three fft-hist stages"
+for s in r["stages"]:
+    for comp in ("queue", "transport", "service", "batching"):
+        assert s[comp]["mean_s"] >= 0, (s["name"], comp)
+print("doctor smoke: %d journeys, drift-free" % r["complete"])
+EOF
+
 echo "== bench-smoke: quick perf suite + schema check =="
 BENCH_SMOKE_OUT=$(mktemp /tmp/pipemap-bench-smoke.XXXXXX.json)
-trap 'rm -f "$BENCH_SMOKE_OUT"' EXIT
 ./target/release/pipemap bench --quick --out "$BENCH_SMOKE_OUT"
 ./target/release/pipemap bench --validate "$BENCH_SMOKE_OUT"
 # Compare against the committed baseline when one exists. Warn-only:

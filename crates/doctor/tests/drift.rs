@@ -1,0 +1,146 @@
+//! The acceptance scenario from the issue: run the doctor over a
+//! noise-perturbed simulated execution and check that it identifies the
+//! measured bottleneck, reports the queue/service/transport
+//! decomposition, and flags drift exactly when the measured bottleneck
+//! differs from the DP prediction. Everything is seeded, so the verdict
+//! is deterministic.
+
+use pipemap_chain::{ChainBuilder, Edge, Mapping, ModuleAssignment, Task, TaskChain};
+use pipemap_doctor::{diagnose, DoctorOptions, ModelPrediction};
+use pipemap_model::{PolyEcom, PolyUnary};
+use pipemap_obs::{JourneyCollector, JourneyConfig, JourneyEvent};
+use pipemap_sim::{simulate_des, SimConfig};
+
+/// A three-stage chain whose middle task is the honest bottleneck.
+/// `scale_a` multiplies the first task's parallel work — the knob the
+/// drift scenario turns to model a stage that got slower in production
+/// than the fitted profile claimed.
+fn chain(scale_a: f64) -> TaskChain {
+    ChainBuilder::new()
+        .task(Task::new("fft", PolyUnary::new(0.0, scale_a * 4.0, 0.0)))
+        .edge(Edge::new(
+            PolyUnary::zero(),
+            PolyEcom::new(0.05, 0.1, 0.1, 0.0, 0.0),
+        ))
+        .task(Task::new("hist", PolyUnary::new(0.0, 6.0, 0.0)))
+        .edge(Edge::new(
+            PolyUnary::zero(),
+            PolyEcom::new(0.02, 0.05, 0.05, 0.0, 0.0),
+        ))
+        .task(Task::new("reduce", PolyUnary::new(0.0, 2.0, 0.0)))
+        .build()
+}
+
+fn mapping() -> Mapping {
+    Mapping::new(vec![
+        ModuleAssignment::new(0, 0, 1, 2),
+        ModuleAssignment::new(1, 1, 1, 2),
+        ModuleAssignment::new(2, 2, 1, 1),
+    ])
+}
+
+/// Journeys from a seeded DES run of `chain`.
+fn journeys_of(scale_a: f64, seed: u64) -> Vec<JourneyEvent> {
+    let collector = JourneyCollector::new(JourneyConfig::default());
+    let cfg = SimConfig::with_datasets(200)
+        .with_noise(0.05, seed)
+        .with_journeys(collector.clone());
+    simulate_des(&chain(scale_a), &mapping(), &cfg);
+    collector.drain()
+}
+
+#[test]
+fn healthy_run_matches_the_model_and_is_drift_free() {
+    let pred = ModelPrediction::from_chain(&chain(1.0), &mapping());
+    // Effective responses: fft ≈ 2.0s, hist > 3.0s, reduce ≈ 2.0s.
+    assert_eq!(pred.bottleneck, 1, "hist is the modelled bottleneck");
+
+    let events = journeys_of(1.0, 42);
+    let report = diagnose(&events, Some(&pred), &DoctorOptions::default());
+
+    assert_eq!(report.stitched, 200);
+    assert_eq!(report.complete, 200);
+    assert_eq!(report.measured_bottleneck, 1);
+    assert_eq!(report.predicted_bottleneck, Some(1));
+    assert_eq!(report.drift, Some(false), "healthy run must not alarm");
+    assert!(report.recommendation.is_none());
+
+    // The decomposition recovers the model within the 5% noise spread.
+    for (s, diag) in report.stages.iter().enumerate() {
+        let predicted = pred.stages[s].service_s;
+        assert!(
+            (diag.service.mean - predicted).abs() / predicted < 0.05,
+            "stage {s}: measured service {} vs predicted {predicted}",
+            diag.service.mean
+        );
+        assert!(diag.service.n == 200 && diag.queue.n == 200);
+        assert!(diag.queue.mean >= 0.0 && diag.transport.mean >= 0.0);
+    }
+    // Downstream of the bottleneck there is no sustained queueing; in
+    // front of it the queue grows as faster stages pile work up.
+    assert!(
+        report.stages[1].queue.mean > report.stages[2].queue.mean,
+        "queueing should concentrate at the bottleneck"
+    );
+    // Transport on stages with incoming edges is measured, not zero.
+    assert!(report.stages[1].transport.mean > 0.0);
+
+    let thr = report.measured_throughput.expect("sinks recorded");
+    assert!(
+        (thr - pred.throughput).abs() / pred.throughput < 0.10,
+        "measured {thr} vs predicted {}",
+        pred.throughput
+    );
+}
+
+#[test]
+fn perturbed_run_flags_drift_and_recommends_a_resolve() {
+    // Predictions come from the fitted chain; the simulated world runs
+    // a perturbed one where the first stage got 3x slower (same seed as
+    // the healthy run, so the only difference is the perturbation).
+    let pred = ModelPrediction::from_chain(&chain(1.0), &mapping());
+    let events = journeys_of(3.0, 42);
+    let report = diagnose(&events, Some(&pred), &DoctorOptions::default());
+
+    assert_eq!(report.measured_bottleneck, 0, "fft overtook hist");
+    assert_eq!(report.predicted_bottleneck, Some(1));
+    assert_eq!(report.drift, Some(true));
+
+    // The per-stage comparison pins the blame: stage 0's service is
+    // ~3x its prediction, the other stages still match the model.
+    let rel0 = report.stages[0].service_rel_err.expect("model given");
+    assert!(rel0 > 1.5, "stage 0 rel err {rel0}");
+    for s in 1..3 {
+        let rel = report.stages[s].service_rel_err.expect("model given");
+        assert!(rel < 0.25, "stage {s} rel err {rel}");
+    }
+    assert_eq!(report.stages[0].service_within_ci, Some(false));
+
+    // The slow stage dominates most critical paths.
+    let top = &report.critical[0];
+    assert_eq!(top.stage, 0);
+    assert!(top.share > 0.5);
+
+    // And the doctor says what to do about it.
+    let rec = report.recommendation.expect("drift recommends a re-solve");
+    assert!(rec.why.contains("re-solve"));
+    assert!(
+        rec.options.prune,
+        "defaults to the production solver config"
+    );
+
+    // Throughput degraded accordingly: measured well below predicted.
+    let thr = report.measured_throughput.expect("sinks recorded");
+    assert!(thr < 0.8 * pred.throughput);
+}
+
+#[test]
+fn verdicts_are_deterministic_for_a_fixed_seed() {
+    let pred = ModelPrediction::from_chain(&chain(1.0), &mapping());
+    let a = diagnose(&journeys_of(3.0, 7), Some(&pred), &DoctorOptions::default());
+    let b = diagnose(&journeys_of(3.0, 7), Some(&pred), &DoctorOptions::default());
+    assert_eq!(a.drift, b.drift);
+    assert_eq!(a.measured_bottleneck, b.measured_bottleneck);
+    assert_eq!(a.stages[0].service.mean, b.stages[0].service.mean);
+    assert_eq!(a.measured_throughput, b.measured_throughput);
+}

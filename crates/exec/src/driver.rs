@@ -113,6 +113,13 @@ pub fn run_load(
     let rec = pipemap_obs::global();
     let lat_hist = rec.histogram("exec.load.latency_s");
     let mut samples: Vec<f64> = Vec::new();
+    // Journey tracing: the load driver owns the sink side, so it records
+    // the terminal `Sink` event as each data set completes.
+    let mut jsink = plan
+        .journeys
+        .as_ref()
+        .map(pipemap_obs::JourneyCollector::sink);
+    let sink_stage = plan.stages.len() as u32;
     let stats = execute(
         plan,
         LOAD_SINK_CAP,
@@ -141,6 +148,9 @@ pub fn run_load(
             }
         },
         |item| {
+            if let Some(j) = jsink.as_mut() {
+                j.record(pipemap_obs::JourneyKind::Sink, item.seq, sink_stage, 0, 0);
+            }
             let latency = item.born.elapsed().as_secs_f64();
             lat_hist.record(latency);
             samples.push(latency);

@@ -28,7 +28,7 @@ use std::mem;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use pipemap_obs::{Counter, Recorder, TraceEvent};
+use pipemap_obs::{Counter, JourneyCollector, JourneyKind, JourneySink, Recorder, TraceEvent};
 
 use crate::stage::{Data, Stage};
 
@@ -84,6 +84,10 @@ pub struct PipelinePlan {
     /// Latency bound: a buffered item is force-flushed once it has
     /// waited this many microseconds, even if its batch is not full.
     pub flush_us: u64,
+    /// Per-dataset journey tracing: when set, every worker records
+    /// enqueue/dequeue/service/send events for sampled data sets into
+    /// this collector (see [`pipemap_obs::journey`]).
+    pub journeys: Option<JourneyCollector>,
 }
 
 impl PipelinePlan {
@@ -96,6 +100,7 @@ impl PipelinePlan {
             queue_depth: 1,
             batch: 1,
             flush_us: DEFAULT_FLUSH_US,
+            journeys: None,
         }
     }
 
@@ -116,6 +121,12 @@ impl PipelinePlan {
     /// Set the batch latency bound in microseconds.
     pub fn with_flush_us(mut self, flush_us: u64) -> Self {
         self.flush_us = flush_us;
+        self
+    }
+
+    /// Attach a journey collector (see [`Self::journeys`]).
+    pub fn with_journeys(mut self, journeys: JourneyCollector) -> Self {
+        self.journeys = Some(journeys);
         self
     }
 }
@@ -208,6 +219,11 @@ struct TxSet {
     msg_ctr: Counter,
     item_ctr: Counter,
     wait_ctr: Counter,
+    /// Journey tracing: stamps `Enqueue` events (destination stage,
+    /// replica, batch identity) as batches flush. `dest_stage` is `None`
+    /// when the targets are the sink channel (no enqueue recorded).
+    journey: Option<JourneySink>,
+    dest_stage: Option<u32>,
 }
 
 impl TxSet {
@@ -217,6 +233,8 @@ impl TxSet {
         flush: Duration,
         rec: &Recorder,
         wait_ctr: Counter,
+        journey: Option<JourneySink>,
+        dest_stage: Option<u32>,
     ) -> Self {
         let now = Instant::now();
         Self {
@@ -231,6 +249,8 @@ impl TxSet {
             msg_ctr: rec.counter(pipemap_obs::names::EXEC_BATCH_MESSAGES),
             item_ctr: rec.counter(pipemap_obs::names::EXEC_BATCH_ITEMS),
             wait_ctr,
+            journey,
+            dest_stage,
         }
     }
 
@@ -259,6 +279,26 @@ impl TxSet {
         }
         let out = mem::replace(&mut self.bufs[t], Vec::with_capacity(self.batch));
         let n = out.len() as u64;
+        if let (Some(j), Some(stage)) = (self.journey.as_mut(), self.dest_stage) {
+            // Timestamp taken before the (possibly blocking) send, so a
+            // receiver that dequeues promptly still observes
+            // `enqueue ≤ dequeue`; queue wait therefore includes any
+            // backpressure block at the queue door.
+            if out.iter().any(|i| j.sampled(i.seq)) {
+                let batch_id = if out.len() > 1 { j.next_batch() } else { 0 };
+                let t_us = j.now_us();
+                for item in &out {
+                    j.record_at(
+                        t_us,
+                        JourneyKind::Enqueue,
+                        item.seq,
+                        stage,
+                        t as u32,
+                        batch_id,
+                    );
+                }
+            }
+        }
         let t0 = Instant::now();
         self.targets[t]
             .send(out)
@@ -297,6 +337,7 @@ impl TxSet {
 pub struct Feeder {
     tx: TxSet,
     seq: usize,
+    journey: Option<JourneySink>,
 }
 
 /// Source-side totals collected when the feeder finishes.
@@ -310,6 +351,9 @@ struct FeederTotals {
 impl Feeder {
     /// Push one data set; blocks when stage 0 exerts backpressure.
     pub fn push(&mut self, data: Data) {
+        if let Some(j) = self.journey.as_mut() {
+            j.record(JourneyKind::Source, self.seq, 0, 0, 0);
+        }
         let item = Item {
             seq: self.seq,
             born: Instant::now(),
@@ -352,6 +396,7 @@ struct WorkerCtx<'a> {
     lane: u64,
     rec: Recorder,
     tracing: bool,
+    journey: Option<JourneySink>,
 }
 
 fn worker_loop(mut ctx: WorkerCtx<'_>) -> (InstanceStats, u64, u64) {
@@ -405,6 +450,37 @@ fn worker_loop(mut ctx: WorkerCtx<'_>) -> (InstanceStats, u64, u64) {
             }
         };
         for item in batch {
+            if let Some(j) = ctx.journey.as_mut() {
+                // Dequeue is stamped when the worker *picks the item up*,
+                // not at batch arrival: an item waiting behind batchmates
+                // in the same message is still queued, so that wait lands
+                // in the queue component. Transfer itself is a pointer
+                // move here, so Dequeue and ServiceStart share one clock
+                // read and the transport component is ~0 — unlike the
+                // simulators, whose modelled transfers occupy the
+                // instance for real time. The sampling check comes first:
+                // unsampled items must not pay for the clock read, which
+                // is a real syscall on containers without a vDSO clock.
+                if j.sampled(item.seq) {
+                    let t_us = j.now_us();
+                    j.record_at(
+                        t_us,
+                        JourneyKind::Dequeue,
+                        item.seq,
+                        ctx.si as u32,
+                        ctx.ii as u32,
+                        0,
+                    );
+                    j.record_at(
+                        t_us,
+                        JourneyKind::ServiceStart,
+                        item.seq,
+                        ctx.si as u32,
+                        ctx.ii as u32,
+                        0,
+                    );
+                }
+            }
             let t_exec = Instant::now();
             let out = ctx.stage.apply(item.data, ctx.threads);
             let service = t_exec.elapsed().as_secs_f64();
@@ -421,6 +497,27 @@ fn worker_loop(mut ctx: WorkerCtx<'_>) -> (InstanceStats, u64, u64) {
                     dur_us: service * 1e6,
                     args: vec![("seq".into(), (item.seq as u64).into())],
                 });
+            }
+            if let Some(j) = ctx.journey.as_mut() {
+                if j.sampled(item.seq) {
+                    let t_us = j.now_us();
+                    j.record_at(
+                        t_us,
+                        JourneyKind::ServiceEnd,
+                        item.seq,
+                        ctx.si as u32,
+                        ctx.ii as u32,
+                        0,
+                    );
+                    j.record_at(
+                        t_us,
+                        JourneyKind::Send,
+                        item.seq,
+                        ctx.si as u32,
+                        ctx.ii as u32,
+                        0,
+                    );
+                }
             }
             ctx.tx.push(Item {
                 seq: item.seq,
@@ -515,9 +612,19 @@ pub(crate) fn execute(
                 let threads = sp.threads;
                 let rec = rec.clone();
                 let lane = lanes[si][ii];
+                let journeys = plan.journeys.as_ref();
+                let dest_stage = (si + 1 < n_stages).then(|| (si + 1) as u32);
                 worker_handles.push(scope.spawn(move || {
                     let send_ctr = rec.counter(&format!("exec.stage{si}.send_wait_us"));
-                    let tx = TxSet::new(targets, batch, flush, &rec, send_ctr);
+                    let tx = TxSet::new(
+                        targets,
+                        batch,
+                        flush,
+                        &rec,
+                        send_ctr,
+                        journeys.map(JourneyCollector::sink),
+                        dest_stage,
+                    );
                     worker_loop(WorkerCtx {
                         rx,
                         tx,
@@ -528,6 +635,7 @@ pub(crate) fn execute(
                         lane,
                         rec,
                         tracing,
+                        journey: journeys.map(JourneyCollector::sink),
                     })
                 }));
             }
@@ -541,11 +649,21 @@ pub(crate) fn execute(
         // Source thread: run the feed closure, then flush and hang up —
         // the disconnect cascades down the chain as workers finish.
         let feeder_rec = rec.clone();
+        let feeder_journeys = plan.journeys.as_ref();
         let feeder_handle = scope.spawn(move || {
             let send_ctr = feeder_rec.counter("exec.source.send_wait_us");
             let mut feeder = Feeder {
-                tx: TxSet::new(first, batch, flush, &feeder_rec, send_ctr),
+                tx: TxSet::new(
+                    first,
+                    batch,
+                    flush,
+                    &feeder_rec,
+                    send_ctr,
+                    feeder_journeys.map(JourneyCollector::sink),
+                    Some(0),
+                ),
                 seq: 0,
+                journey: feeder_journeys.map(JourneyCollector::sink),
             };
             feed(&mut feeder);
             feeder.finish()
@@ -636,6 +754,8 @@ pub(crate) fn execute(
 pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, PipelineStats) {
     let n_data = inputs.len();
     let mut out: Vec<Option<Data>> = (0..n_data).map(|_| None).collect();
+    let mut jsink = plan.journeys.as_ref().map(JourneyCollector::sink);
+    let sink_stage = plan.stages.len() as u32;
     let stats = execute(
         plan,
         n_data.max(1),
@@ -645,6 +765,9 @@ pub fn run_pipeline(plan: &PipelinePlan, inputs: Vec<Data>) -> (Vec<Data>, Pipel
             }
         },
         |item| {
+            if let Some(j) = jsink.as_mut() {
+                j.record(JourneyKind::Sink, item.seq, sink_stage, 0, 0);
+            }
             out[item.seq] = Some(item.data);
         },
     );
@@ -856,6 +979,52 @@ mod tests {
         let inputs: Vec<Data> = vec![Box::new(5usize), Box::new(123usize), Box::new(42usize)];
         let (out, _) = run_pipeline(&plan, inputs);
         assert_eq!(unwrap_all::<usize>(out), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn journeys_are_complete_and_monotone() {
+        use pipemap_obs::{stitch, JourneyConfig};
+        let col = JourneyCollector::new(JourneyConfig::default());
+        let plan = PipelinePlan::new(vec![
+            StagePlan::new(Stage::new("x3", |x: u64, _| x.wrapping_mul(3)), 2, 1),
+            StagePlan::new(Stage::new("p7", |x: u64, _| x.wrapping_add(7)), 3, 1),
+        ])
+        .with_batch(4)
+        .with_queue_depth(2)
+        .with_journeys(col.clone());
+        let inputs: Vec<Data> = (0..40u64).map(|i| Box::new(i) as Data).collect();
+        let (out, _) = run_pipeline(&plan, inputs);
+        assert_eq!(out.len(), 40);
+        let journeys = stitch(&col.drain());
+        assert_eq!(journeys.len(), 40);
+        for j in &journeys {
+            assert!(j.complete(2), "journey {} incomplete: {j:?}", j.seq);
+            assert!(j.monotone(), "journey {} not monotone: {j:?}", j.seq);
+            assert!(j.source_us.is_some() && j.sink_us.is_some());
+            // Round-robin replica identity is recorded per hop.
+            assert_eq!(j.hops[0].instance as u64, j.seq % 2);
+            assert_eq!(j.hops[1].instance as u64, j.seq % 3);
+        }
+        // Batched transport: some data sets share a batch identity.
+        let shared_batches = journeys
+            .iter()
+            .filter(|j| j.hops.iter().any(|h| h.batch != 0))
+            .count();
+        assert!(shared_batches > 0, "batch ids should appear with batch=4");
+    }
+
+    #[test]
+    fn journey_sampling_records_one_in_n() {
+        use pipemap_obs::{stitch, JourneyConfig};
+        let col = JourneyCollector::new(JourneyConfig::default().with_sample(5));
+        let plan = PipelinePlan::new(vec![StagePlan::serial(Stage::new("id", |x: u64, _| x))])
+            .with_journeys(col.clone());
+        let inputs: Vec<Data> = (0..23u64).map(|i| Box::new(i) as Data).collect();
+        let (_, _) = run_pipeline(&plan, inputs);
+        let journeys = stitch(&col.drain());
+        let seqs: Vec<u64> = journeys.iter().map(|j| j.seq).collect();
+        assert_eq!(seqs, vec![0, 5, 10, 15, 20]);
+        assert!(journeys.iter().all(|j| j.complete(1) && j.monotone()));
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Property test: journey tracing observes the executor without
+//! perturbing it, and every sampled data set leaves a complete,
+//! causally ordered trail.
+//!
+//! For any replication degrees, batch size, queue depth, stream length
+//! and sampling rate:
+//!
+//! * every sampled data set yields a *complete* journey — one hop per
+//!   stage, each with enqueue/dequeue/service-start/service-end/send
+//!   stamps, bracketed by Source and Sink events;
+//! * each journey's merged timeline is monotone in time;
+//! * the number of stitched journeys is exactly the sampled population
+//!   (`ceil(n / sample)`), with nothing dropped by the ring;
+//! * pipeline outputs are bit-identical to an untraced run; and
+//! * the Chrome flow-event export round-trips through the JSON parser.
+//!
+//! Worker threads per instance come from `PIPEMAP_THREADS` (default 1,
+//! capped at 4) so CI can exercise both the serial fast path and the
+//! multi-threaded kernels.
+
+use pipemap_exec::{run_pipeline, Data, PipelinePlan, Stage, StagePlan};
+use pipemap_obs::{chrome_flow_trace, stitch, JourneyCollector, JourneyConfig, Value};
+use proptest::prelude::*;
+
+const PAYLOAD_LEN: usize = 8;
+
+fn env_threads() -> usize {
+    std::env::var("PIPEMAP_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1)
+        .clamp(1, 4)
+}
+
+fn mix(x: u64, salt: u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15 | 1)
+        .rotate_left(((salt % 61) + 1) as u32)
+        ^ salt.wrapping_mul(0xD131_0BA6_985D_F3A5)
+}
+
+fn input_vec(seed: u64, i: usize) -> Vec<u64> {
+    (0..PAYLOAD_LEN)
+        .map(|j| seed ^ ((i as u64) << 32) ^ mix(j as u64, seed))
+        .collect()
+}
+
+fn plan(replicas: &[usize], threads: usize, batch: usize, queue_depth: usize) -> PipelinePlan {
+    let stages = replicas
+        .iter()
+        .enumerate()
+        .map(|(si, &r)| {
+            let stage = Stage::new(format!("s{si}"), move |mut v: Vec<u64>, _threads| {
+                for x in v.iter_mut() {
+                    *x = mix(*x, si as u64 + 1);
+                }
+                v
+            });
+            StagePlan::new(stage, r, threads)
+        })
+        .collect();
+    PipelinePlan::new(stages)
+        .with_queue_depth(queue_depth)
+        .with_batch(batch)
+}
+
+fn run(
+    replicas: &[usize],
+    threads: usize,
+    batch: usize,
+    queue_depth: usize,
+    n: usize,
+    seed: u64,
+    journeys: Option<&JourneyCollector>,
+) -> Vec<Vec<u64>> {
+    let mut plan = plan(replicas, threads, batch, queue_depth);
+    if let Some(j) = journeys {
+        plan = plan.with_journeys(j.clone());
+    }
+    let inputs: Vec<Data> = (0..n)
+        .map(|i| Box::new(input_vec(seed, i)) as Data)
+        .collect();
+    let (out, stats) = run_pipeline(&plan, inputs);
+    assert_eq!(stats.datasets, n);
+    out.into_iter()
+        .map(|d| *d.downcast::<Vec<u64>>().expect("plain output"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sampled_journeys_are_complete_and_monotone(
+        replicas in prop::collection::vec(1..4usize, 1..4),
+        batch in 1..9usize,
+        queue_depth in 1..4usize,
+        n in 1..80usize,
+        sample in 1..5u64,
+        seed in any::<u64>(),
+    ) {
+        let threads = env_threads();
+        let stages = replicas.len();
+
+        let collector = JourneyCollector::new(JourneyConfig::default().with_sample(sample));
+        let traced = run(&replicas, threads, batch, queue_depth, n, seed, Some(&collector));
+        let untraced = run(&replicas, threads, batch, queue_depth, n, seed, None);
+        prop_assert_eq!(&traced, &untraced, "tracing changed pipeline outputs");
+
+        prop_assert_eq!(collector.dropped(), 0, "ring dropped events");
+        let events = collector.drain();
+        let journeys = stitch(&events);
+        // seq % sample == 0 selects the sampled population.
+        prop_assert_eq!(
+            journeys.len(),
+            n.div_ceil(sample as usize),
+            "sample={} n={}", sample, n
+        );
+        for j in &journeys {
+            prop_assert_eq!(j.seq % sample, 0, "unsampled seq {} traced", j.seq);
+            prop_assert!(
+                j.complete(stages),
+                "journey {} incomplete: {} hops of {} stages", j.seq, j.hops.len(), stages
+            );
+            prop_assert!(j.monotone(), "journey {} not monotone: {:?}", j.seq, j.timeline());
+            for (si, hop) in j.hops.iter().enumerate() {
+                prop_assert_eq!(hop.stage as usize, si);
+                prop_assert!((hop.instance as usize) < replicas[si], "instance out of range");
+            }
+        }
+
+        // Chrome flow export round-trips through the JSON layer.
+        let names: Vec<String> = (0..stages).map(|si| format!("s{si}")).collect();
+        let trace = chrome_flow_trace(&events, &names);
+        let reparsed = Value::parse(&trace.to_json()).expect("exported trace parses");
+        prop_assert_eq!(&reparsed, &trace, "flow trace changed across JSON round-trip");
+        let arr = reparsed
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        prop_assert!(!arr.is_empty(), "no trace events exported");
+    }
+}

@@ -1,12 +1,14 @@
 //! Live metrics exposition over HTTP — std-only, no external crates.
 //!
-//! [`serve`] binds a [`std::net::TcpListener`] and answers three routes
+//! [`serve`] binds a [`std::net::TcpListener`] and answers four routes
 //! with a minimal HTTP/1.1 response per connection:
 //!
 //! * `GET /metrics` — OpenMetrics text (see [`crate::openmetrics`]);
 //! * `GET /snapshot.json` — the full metrics snapshot as pretty JSON;
 //! * `GET /recorder.jsonl` — the flight-recorder ring as JSONL (404
-//!   when no recorder is attached).
+//!   when no recorder is attached);
+//! * `GET /journeys.jsonl` — the journey collector's current ring as
+//!   JSONL (404 when none is attached; see [`serve_with_journeys`]).
 //!
 //! The server runs on one background thread, handling connections
 //! serially — scrape endpoints see one client at a time and responses
@@ -21,6 +23,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::journey::{journey_jsonl, JourneyCollector};
 use crate::metrics::Registry;
 use crate::recorder::FlightRecorder;
 
@@ -64,11 +67,24 @@ pub fn serve(
     registry: &Registry,
     recorder: Option<&FlightRecorder>,
 ) -> std::io::Result<MetricsServer> {
+    serve_with_journeys(addr, registry, recorder, None)
+}
+
+/// [`serve`], additionally exposing a journey collector's ring at
+/// `GET /journeys.jsonl` so `pipemap doctor --attach` can analyse a
+/// live run.
+pub fn serve_with_journeys(
+    addr: impl ToSocketAddrs,
+    registry: &Registry,
+    recorder: Option<&FlightRecorder>,
+    journeys: Option<&JourneyCollector>,
+) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let registry = registry.clone_handle();
     let recorder = recorder.map(FlightRecorder::share_ring);
+    let journeys = journeys.cloned();
     let stop_flag = stop.clone();
     let thread = std::thread::spawn(move || {
         for conn in listener.incoming() {
@@ -79,7 +95,7 @@ pub fn serve(
             // A misbehaving client must not wedge the scrape loop.
             let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
             let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-            let _ = handle(stream, &registry, recorder.as_ref());
+            let _ = handle(stream, &registry, recorder.as_ref(), journeys.as_ref());
         }
     });
     Ok(MetricsServer {
@@ -93,6 +109,7 @@ fn handle(
     mut stream: TcpStream,
     registry: &Registry,
     recorder: Option<&FlightRecorder>,
+    journeys: Option<&JourneyCollector>,
 ) -> std::io::Result<()> {
     let path = match read_request_path(&mut stream) {
         Some(p) => p,
@@ -136,11 +153,25 @@ fn handle(
                 "no flight recorder attached\n",
             ),
         },
+        "/journeys.jsonl" => match journeys {
+            Some(col) => respond(
+                &mut stream,
+                "200 OK",
+                "application/jsonl; charset=utf-8",
+                &journey_jsonl(&col.snapshot()),
+            ),
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no journey collector attached\n",
+            ),
+        },
         _ => respond(
             &mut stream,
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "routes: /metrics /snapshot.json /recorder.jsonl\n",
+            "routes: /metrics /snapshot.json /recorder.jsonl /journeys.jsonl\n",
         ),
     }
 }
@@ -246,6 +277,27 @@ mod tests {
         let server = serve("127.0.0.1:0", &registry, None).unwrap();
         let (head, _) = http_get(server.addr(), "/recorder.jsonl");
         assert!(head.starts_with("HTTP/1.1 404"));
+        let (head, _) = http_get(server.addr(), "/journeys.jsonl");
+        assert!(head.starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn journeys_route_serves_the_ring() {
+        use crate::journey::{parse_journey_jsonl, JourneyCollector, JourneyConfig, JourneyKind};
+        let registry = Registry::new();
+        let col = JourneyCollector::new(JourneyConfig::default());
+        let mut sink = col.sink();
+        sink.record_at(1.0, JourneyKind::Source, 3, 0, 0, 0);
+        sink.record_at(2.0, JourneyKind::Sink, 3, 1, 0, 0);
+        sink.flush();
+        let server = serve_with_journeys("127.0.0.1:0", &registry, None, Some(&col)).unwrap();
+        let (head, body) = http_get(server.addr(), "/journeys.jsonl");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let events = parse_journey_jsonl(&body).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 3);
+        // Serving snapshots without draining: the ring still holds both.
+        assert_eq!(col.snapshot().len(), 2);
     }
 
     #[test]

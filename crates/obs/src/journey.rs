@@ -1,0 +1,815 @@
+//! Per-dataset journey tracing.
+//!
+//! Aggregate stage metrics answer "how busy is module i?"; journeys
+//! answer "why was data set `n` slow?". A [`JourneyCollector`] owns a
+//! bounded ring of [`JourneyEvent`]s; each worker thread gets its own
+//! [`JourneySink`] that buffers events locally and flushes them into the
+//! shared ring in chunks, so the hot path takes no lock and performs no
+//! allocation per event. Sampling is 1-in-N *by sequence number*
+//! (`seq % N == 0`), so every stage samples the *same* data sets and a
+//! sampled journey is always complete end to end.
+//!
+//! Per data set and per stage instance five timestamps are recorded:
+//!
+//! | kind            | recorded when                                        |
+//! |-----------------|------------------------------------------------------|
+//! | `Enqueue`       | the upstream sender hands the batch to the instance's input queue (timestamp taken *before* the blocking send, so `enqueue ≤ dequeue` holds across threads) |
+//! | `Dequeue`       | the instance receives the batch                      |
+//! | `ServiceStart`  | the stage function begins on this data set           |
+//! | `ServiceEnd`    | the stage function returns                           |
+//! | `Send`          | the instance hands its output to the transport layer |
+//!
+//! plus `Source` (the data set entered the pipeline) and `Sink` (it left).
+//! The `Enqueue` event carries the *batch identity* — a collector-unique
+//! id stamped on every data set that rode in the same channel message —
+//! and the destination *replica* (instance) index.
+//!
+//! The derived per-hop latency decomposition (see `pipemap-doctor`):
+//! queue wait `dequeue − enqueue`, transport `service_start − dequeue`,
+//! service `service_end − service_start`, batching delay
+//! `enqueue(s) − send(s−1)`.
+//!
+//! Exports: JSONL (one event object per line, [`journey_jsonl`]) and a
+//! Chrome `trace_event` document with *flow events* stitching each data
+//! set's service slices across stages ([`chrome_flow_trace`]) — load it
+//! in Perfetto and follow the arrows.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Value;
+
+/// Schema tag written into journey JSONL headers by the tooling.
+pub const JOURNEY_SCHEMA: &str = "pipemap-journey/v1";
+
+/// Events buffered per sink before the shared ring is touched.
+const SINK_CHUNK: usize = 256;
+
+/// What happened to a data set (see the module docs for semantics).
+/// Variant order is the within-stage happens-before order, so sorting
+/// events by `(seq, stage, kind)` yields each journey in causal order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JourneyKind {
+    /// The data set entered the pipeline (stage field is 0).
+    Source,
+    /// A sender pushed the data set into this stage's input queue.
+    Enqueue,
+    /// The instance received the data set from its input queue.
+    Dequeue,
+    /// The stage function started on this data set.
+    ServiceStart,
+    /// The stage function returned.
+    ServiceEnd,
+    /// The instance handed its output to the transport layer.
+    Send,
+    /// The data set left the pipeline (stage field is the stage count).
+    Sink,
+}
+
+impl JourneyKind {
+    /// Stable wire name used in JSONL.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JourneyKind::Source => "source",
+            JourneyKind::Enqueue => "enqueue",
+            JourneyKind::Dequeue => "dequeue",
+            JourneyKind::ServiceStart => "service_start",
+            JourneyKind::ServiceEnd => "service_end",
+            JourneyKind::Send => "send",
+            JourneyKind::Sink => "sink",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "source" => JourneyKind::Source,
+            "enqueue" => JourneyKind::Enqueue,
+            "dequeue" => JourneyKind::Dequeue,
+            "service_start" => JourneyKind::ServiceStart,
+            "service_end" => JourneyKind::ServiceEnd,
+            "send" => JourneyKind::Send,
+            "sink" => JourneyKind::Sink,
+            _ => return None,
+        })
+    }
+}
+
+/// One timestamped step of one data set's journey.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JourneyEvent {
+    /// The data set's global sequence number.
+    pub seq: u64,
+    /// Stage index (`Sink` uses the stage count, one past the last).
+    pub stage: u32,
+    /// Replica (instance) index within the stage.
+    pub instance: u32,
+    /// What happened.
+    pub kind: JourneyKind,
+    /// Microseconds since the collector's epoch (wall clock) or since
+    /// simulation time zero (virtual clock).
+    pub t_us: f64,
+    /// Batch identity: data sets that rode in the same channel message
+    /// share it. `0` when transport is unbatched or not applicable;
+    /// meaningful only on `Enqueue` events.
+    pub batch: u64,
+}
+
+impl JourneyEvent {
+    /// Serialise as a JSON object.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.set("seq", self.seq);
+        v.set("stage", self.stage as u64);
+        v.set("inst", self.instance as u64);
+        v.set("kind", self.kind.as_str());
+        v.set("t_us", self.t_us);
+        v.set("batch", self.batch);
+        v
+    }
+
+    /// Parse from a JSON object produced by [`to_value`](Self::to_value).
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("journey event missing numeric '{key}': {}", v.to_json()))
+        };
+        let kind_str = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("journey event missing 'kind': {}", v.to_json()))?;
+        let kind = JourneyKind::parse(kind_str)
+            .ok_or_else(|| format!("unknown journey kind '{kind_str}'"))?;
+        Ok(Self {
+            seq: num("seq")? as u64,
+            stage: num("stage")? as u32,
+            instance: num("inst")? as u32,
+            kind,
+            t_us: num("t_us")?,
+            batch: num("batch")? as u64,
+        })
+    }
+}
+
+/// Collector parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct JourneyConfig {
+    /// Record data sets with `seq % sample == 0` (1 = every data set).
+    pub sample: u64,
+    /// Ring capacity in events; the oldest events are dropped (and
+    /// counted) once exceeded, so a live scrape sees the recent window.
+    pub capacity: usize,
+}
+
+impl Default for JourneyConfig {
+    fn default() -> Self {
+        Self {
+            sample: 1,
+            capacity: 1 << 16,
+        }
+    }
+}
+
+impl JourneyConfig {
+    /// Set the 1-in-N sampling stride.
+    pub fn with_sample(mut self, sample: u64) -> Self {
+        assert!(sample >= 1);
+        self.sample = sample;
+        self
+    }
+
+    /// Set the ring capacity in events.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        self.capacity = capacity;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct SharedRing {
+    epoch: Instant,
+    sample: u64,
+    capacity: usize,
+    ring: Mutex<VecDeque<JourneyEvent>>,
+    dropped: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl SharedRing {
+    fn push_chunk(&self, chunk: &mut Vec<JourneyEvent>) {
+        let mut ring = self.ring.lock().expect("journey ring poisoned");
+        for ev in chunk.drain(..) {
+            ring.push_back(ev);
+        }
+        let mut dropped = 0u64;
+        while ring.len() > self.capacity {
+            ring.pop_front();
+            dropped += 1;
+        }
+        drop(ring);
+        if dropped > 0 {
+            self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Shared owner of the journey ring; clone freely (cheap `Arc` handle)
+/// and hand [`sink`](Self::sink)s to worker threads.
+#[derive(Clone, Debug)]
+pub struct JourneyCollector {
+    shared: Arc<SharedRing>,
+}
+
+impl JourneyCollector {
+    /// A collector with the given sampling stride and ring capacity.
+    pub fn new(config: JourneyConfig) -> Self {
+        assert!(config.sample >= 1 && config.capacity >= 1);
+        Self {
+            shared: Arc::new(SharedRing {
+                epoch: Instant::now(),
+                sample: config.sample,
+                capacity: config.capacity,
+                ring: Mutex::new(VecDeque::new()),
+                dropped: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A per-worker sink. Events buffer locally and reach the shared
+    /// ring in chunks and when the sink drops.
+    pub fn sink(&self) -> JourneySink {
+        JourneySink {
+            shared: self.shared.clone(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// The sampling stride.
+    pub fn sample(&self) -> u64 {
+        self.shared.sample
+    }
+
+    /// Microseconds since the collector's epoch.
+    pub fn now_us(&self) -> f64 {
+        self.shared.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Events dropped because the ring overflowed.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current ring contents without draining (live scrapes).
+    pub fn snapshot(&self) -> Vec<JourneyEvent> {
+        self.shared
+            .ring
+            .lock()
+            .expect("journey ring poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Take every buffered event out of the ring.
+    pub fn drain(&self) -> Vec<JourneyEvent> {
+        self.shared
+            .ring
+            .lock()
+            .expect("journey ring poisoned")
+            .drain(..)
+            .collect()
+    }
+}
+
+/// A worker-local event sink (see [`JourneyCollector::sink`]). Not
+/// shared between threads: recording appends to a local buffer.
+#[derive(Debug)]
+pub struct JourneySink {
+    shared: Arc<SharedRing>,
+    buf: Vec<JourneyEvent>,
+}
+
+impl JourneySink {
+    /// Whether data set `seq` is in the sampled population. All stages
+    /// agree on this, so sampled journeys are complete.
+    #[inline]
+    pub fn sampled(&self, seq: usize) -> bool {
+        (seq as u64).is_multiple_of(self.shared.sample)
+    }
+
+    /// Microseconds since the collector's epoch (wall clock).
+    #[inline]
+    pub fn now_us(&self) -> f64 {
+        self.shared.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Allocate a collector-unique batch identity (never 0).
+    pub fn next_batch(&self) -> u64 {
+        self.shared.batches.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Record an event at the current wall-clock time. No-op for
+    /// unsampled sequence numbers.
+    #[inline]
+    pub fn record(&mut self, kind: JourneyKind, seq: usize, stage: u32, instance: u32, batch: u64) {
+        if !self.sampled(seq) {
+            return;
+        }
+        let t_us = self.now_us();
+        self.push(JourneyEvent {
+            seq: seq as u64,
+            stage,
+            instance,
+            kind,
+            t_us,
+            batch,
+        });
+    }
+
+    /// Record an event at an explicit time (virtual clocks: the
+    /// simulator records in simulated microseconds). No-op for
+    /// unsampled sequence numbers.
+    #[inline]
+    pub fn record_at(
+        &mut self,
+        t_us: f64,
+        kind: JourneyKind,
+        seq: usize,
+        stage: u32,
+        instance: u32,
+        batch: u64,
+    ) {
+        if !self.sampled(seq) {
+            return;
+        }
+        self.push(JourneyEvent {
+            seq: seq as u64,
+            stage,
+            instance,
+            kind,
+            t_us,
+            batch,
+        });
+    }
+
+    fn push(&mut self, ev: JourneyEvent) {
+        self.buf.push(ev);
+        if self.buf.len() >= SINK_CHUNK {
+            self.flush();
+        }
+    }
+
+    /// Hand buffered events to the shared ring.
+    pub fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.shared.push_chunk(&mut self.buf);
+        }
+    }
+}
+
+impl Drop for JourneySink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// One stage's worth of a data set's journey, stitched from events.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Hop {
+    /// Stage index.
+    pub stage: u32,
+    /// Replica that served the data set.
+    pub instance: u32,
+    /// Batch the data set rode in to reach this stage (0 = unknown).
+    pub batch: u64,
+    /// When the upstream sender enqueued it.
+    pub enqueue_us: Option<f64>,
+    /// When the instance received it.
+    pub dequeue_us: Option<f64>,
+    /// When service started.
+    pub service_start_us: Option<f64>,
+    /// When service ended.
+    pub service_end_us: Option<f64>,
+    /// When the output was handed to transport.
+    pub send_us: Option<f64>,
+}
+
+/// A data set's full path through the pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct Journey {
+    /// The data set's sequence number.
+    pub seq: u64,
+    /// When it entered the pipeline.
+    pub source_us: Option<f64>,
+    /// When it left.
+    pub sink_us: Option<f64>,
+    /// Hops in stage order (not necessarily contiguous if events were
+    /// dropped).
+    pub hops: Vec<Hop>,
+}
+
+impl Journey {
+    /// Whether hops 0..`stages` are all present with all five
+    /// timestamps recorded.
+    pub fn complete(&self, stages: usize) -> bool {
+        self.hops.len() == stages
+            && self.hops.iter().enumerate().all(|(i, h)| {
+                h.stage as usize == i
+                    && h.enqueue_us.is_some()
+                    && h.dequeue_us.is_some()
+                    && h.service_start_us.is_some()
+                    && h.service_end_us.is_some()
+                    && h.send_us.is_some()
+            })
+    }
+
+    /// The journey's timestamps in causal order, flattened.
+    pub fn timeline(&self) -> Vec<f64> {
+        let mut ts = Vec::with_capacity(2 + 5 * self.hops.len());
+        ts.extend(self.source_us);
+        for h in &self.hops {
+            ts.extend(h.enqueue_us);
+            ts.extend(h.dequeue_us);
+            ts.extend(h.service_start_us);
+            ts.extend(h.service_end_us);
+            ts.extend(h.send_us);
+        }
+        ts.extend(self.sink_us);
+        ts
+    }
+
+    /// Whether every recorded timestamp is non-decreasing in causal
+    /// order.
+    pub fn monotone(&self) -> bool {
+        self.timeline().windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// End-to-end latency in microseconds, when both ends were seen.
+    pub fn latency_us(&self) -> Option<f64> {
+        Some(self.sink_us? - self.source_us?)
+    }
+}
+
+/// Group events by data set and order each journey's hops by stage.
+/// Journeys come back sorted by sequence number. The earliest event
+/// wins when duplicates of the same `(seq, stage, kind)` exist.
+pub fn stitch(events: &[JourneyEvent]) -> Vec<Journey> {
+    let mut sorted: Vec<JourneyEvent> = events.to_vec();
+    sorted.sort_by(|a, b| {
+        (a.seq, a.stage, a.kind)
+            .cmp(&(b.seq, b.stage, b.kind))
+            .then(a.t_us.total_cmp(&b.t_us))
+    });
+    let mut journeys: Vec<Journey> = Vec::new();
+    for ev in sorted {
+        if journeys.last().map(|j| j.seq) != Some(ev.seq) {
+            journeys.push(Journey {
+                seq: ev.seq,
+                ..Journey::default()
+            });
+        }
+        let j = journeys.last_mut().expect("just pushed");
+        match ev.kind {
+            JourneyKind::Source => {
+                j.source_us.get_or_insert(ev.t_us);
+                continue;
+            }
+            JourneyKind::Sink => {
+                j.sink_us.get_or_insert(ev.t_us);
+                continue;
+            }
+            _ => {}
+        }
+        if j.hops.last().map(|h| h.stage) != Some(ev.stage) {
+            j.hops.push(Hop {
+                stage: ev.stage,
+                instance: ev.instance,
+                ..Hop::default()
+            });
+        }
+        let hop = j.hops.last_mut().expect("just pushed");
+        let slot = match ev.kind {
+            JourneyKind::Enqueue => {
+                if hop.batch == 0 {
+                    hop.batch = ev.batch;
+                }
+                // The sender knows the destination replica; service
+                // events confirm it.
+                hop.instance = ev.instance;
+                &mut hop.enqueue_us
+            }
+            JourneyKind::Dequeue => &mut hop.dequeue_us,
+            JourneyKind::ServiceStart => &mut hop.service_start_us,
+            JourneyKind::ServiceEnd => &mut hop.service_end_us,
+            JourneyKind::Send => &mut hop.send_us,
+            JourneyKind::Source | JourneyKind::Sink => unreachable!("handled above"),
+        };
+        slot.get_or_insert(ev.t_us);
+    }
+    journeys
+}
+
+/// Serialise events as JSONL, one object per line.
+pub fn journey_jsonl(events: &[JourneyEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_value().to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse JSONL produced by [`journey_jsonl`]. Blank lines are skipped;
+/// any other malformed line is an error.
+pub fn parse_journey_jsonl(text: &str) -> Result<Vec<JourneyEvent>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events.push(JourneyEvent::from_value(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(events)
+}
+
+/// Render journeys as a Chrome `trace_event` document: one process per
+/// stage, one thread per replica, an `X` slice per service interval,
+/// and flow events (`s`/`t`/`f`, id = sequence number) stitching each
+/// data set's slices across stages — Perfetto draws them as arrows.
+pub fn chrome_flow_trace(events: &[JourneyEvent], stage_names: &[String]) -> Value {
+    let journeys = stitch(events);
+    let mut out: Vec<Value> = Vec::new();
+    let stage_name = |s: u32| -> String {
+        stage_names
+            .get(s as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("stage{s}"))
+    };
+    let mut max_stage = 0u32;
+    for j in &journeys {
+        for h in &j.hops {
+            max_stage = max_stage.max(h.stage);
+        }
+    }
+    if !journeys.is_empty() {
+        for s in 0..=max_stage {
+            let mut meta = Value::object();
+            meta.set("name", "process_name");
+            meta.set("ph", "M");
+            meta.set("pid", (s + 1) as u64);
+            meta.set("tid", 0u64);
+            let mut args = Value::object();
+            args.set("name", stage_name(s));
+            meta.set("args", args);
+            out.push(meta);
+        }
+    }
+    for j in &journeys {
+        let served: Vec<&Hop> = j
+            .hops
+            .iter()
+            .filter(|h| h.service_start_us.is_some() && h.service_end_us.is_some())
+            .collect();
+        for (k, hop) in served.iter().enumerate() {
+            let ss = hop.service_start_us.expect("filtered");
+            let se = hop.service_end_us.expect("filtered");
+            let mut slice = Value::object();
+            slice.set("name", stage_name(hop.stage));
+            slice.set("cat", "journey");
+            slice.set("ph", "X");
+            slice.set("pid", (hop.stage + 1) as u64);
+            slice.set("tid", (hop.instance + 1) as u64);
+            slice.set("ts", ss);
+            slice.set("dur", se - ss);
+            let mut args = Value::object();
+            args.set("seq", j.seq);
+            args.set("batch", hop.batch);
+            slice.set("args", args);
+            out.push(slice);
+
+            // The flow event binds to the slice enclosing (pid, tid, ts).
+            let ph = if k == 0 {
+                "s"
+            } else if k + 1 == served.len() {
+                "f"
+            } else {
+                "t"
+            };
+            let mut flow = Value::object();
+            flow.set("name", "journey");
+            flow.set("cat", "journey");
+            flow.set("ph", ph);
+            flow.set("id", j.seq);
+            flow.set("pid", (hop.stage + 1) as u64);
+            flow.set("tid", (hop.instance + 1) as u64);
+            flow.set("ts", ss);
+            if ph == "f" {
+                // Bind to the enclosing slice rather than the next one.
+                flow.set("bp", "e");
+            }
+            out.push(flow);
+        }
+    }
+    let mut doc = Value::object();
+    doc.set("traceEvents", Value::Array(out));
+    doc.set("displayTimeUnit", "ms");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Emit a synthetic complete journey for data set `seq` over
+    /// `stages` stages starting at `t0` µs; 10 µs per step.
+    fn emit(sink: &mut JourneySink, seq: usize, stages: u32, t0: f64) {
+        let mut t = t0;
+        let step = |t: &mut f64| {
+            let v = *t;
+            *t += 10.0;
+            v
+        };
+        sink.record_at(step(&mut t), JourneyKind::Source, seq, 0, 0, 0);
+        for s in 0..stages {
+            let inst = (seq as u32) % 2;
+            sink.record_at(
+                step(&mut t),
+                JourneyKind::Enqueue,
+                seq,
+                s,
+                inst,
+                seq as u64 + 1,
+            );
+            sink.record_at(step(&mut t), JourneyKind::Dequeue, seq, s, inst, 0);
+            sink.record_at(step(&mut t), JourneyKind::ServiceStart, seq, s, inst, 0);
+            sink.record_at(step(&mut t), JourneyKind::ServiceEnd, seq, s, inst, 0);
+            sink.record_at(step(&mut t), JourneyKind::Send, seq, s, inst, 0);
+        }
+        sink.record_at(step(&mut t), JourneyKind::Sink, seq, stages, 0, 0);
+    }
+
+    #[test]
+    fn record_flush_and_stitch_complete_journeys() {
+        let col = JourneyCollector::new(JourneyConfig::default());
+        let mut sink = col.sink();
+        for seq in 0..5usize {
+            emit(&mut sink, seq, 3, seq as f64 * 1000.0);
+        }
+        sink.flush();
+        let events = col.drain();
+        assert_eq!(events.len(), 5 * (2 + 3 * 5));
+        let journeys = stitch(&events);
+        assert_eq!(journeys.len(), 5);
+        for (i, j) in journeys.iter().enumerate() {
+            assert_eq!(j.seq, i as u64);
+            assert!(j.complete(3), "journey {i} incomplete: {j:?}");
+            assert!(j.monotone(), "journey {i} not monotone: {j:?}");
+            assert_eq!(j.hops[0].batch, i as u64 + 1);
+            assert_eq!(j.hops[1].instance, (i as u32) % 2);
+            assert_eq!(j.latency_us(), Some(160.0));
+        }
+    }
+
+    #[test]
+    fn sampling_keeps_only_matching_sequences() {
+        let col = JourneyCollector::new(JourneyConfig::default().with_sample(3));
+        let mut sink = col.sink();
+        for seq in 0..10usize {
+            sink.record(JourneyKind::Source, seq, 0, 0, 0);
+        }
+        drop(sink); // flushes
+        let seqs: Vec<u64> = col.drain().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let col = JourneyCollector::new(JourneyConfig::default().with_capacity(4));
+        let mut sink = col.sink();
+        for seq in 0..10usize {
+            sink.record_at(seq as f64, JourneyKind::Source, seq, 0, 0, 0);
+        }
+        sink.flush();
+        let events = col.snapshot();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].seq, 6, "oldest events dropped first");
+        assert_eq!(col.dropped(), 6);
+    }
+
+    #[test]
+    fn wall_clock_recording_is_monotone() {
+        let col = JourneyCollector::new(JourneyConfig::default());
+        let mut sink = col.sink();
+        sink.record(JourneyKind::Source, 0, 0, 0, 0);
+        for s in 0..4u32 {
+            sink.record(JourneyKind::Enqueue, 0, s, 0, sink.next_batch());
+            sink.record(JourneyKind::Dequeue, 0, s, 0, 0);
+            sink.record(JourneyKind::ServiceStart, 0, s, 0, 0);
+            sink.record(JourneyKind::ServiceEnd, 0, s, 0, 0);
+            sink.record(JourneyKind::Send, 0, s, 0, 0);
+        }
+        sink.record(JourneyKind::Sink, 0, 4, 0, 0);
+        sink.flush();
+        let journeys = stitch(&col.drain());
+        assert_eq!(journeys.len(), 1);
+        assert!(journeys[0].complete(4));
+        assert!(journeys[0].monotone());
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let col = JourneyCollector::new(JourneyConfig::default());
+        let mut sink = col.sink();
+        emit(&mut sink, 7, 2, 0.0);
+        sink.flush();
+        let events = col.drain();
+        let text = journey_jsonl(&events);
+        let back = parse_journey_jsonl(&text).expect("parses");
+        assert_eq!(back, events);
+        assert!(parse_journey_jsonl("{\"kind\":\"nope\"}").is_err());
+        assert!(parse_journey_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn chrome_flow_trace_stitches_across_stages() {
+        let col = JourneyCollector::new(JourneyConfig::default());
+        let mut sink = col.sink();
+        emit(&mut sink, 0, 3, 0.0);
+        emit(&mut sink, 1, 3, 500.0);
+        sink.flush();
+        let events = col.drain();
+        let names = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let doc = chrome_flow_trace(&events, &names);
+        // Round-trip through the serialised form like a consumer would.
+        let parsed = Value::parse(&doc.to_json()).expect("valid JSON");
+        let trace = parsed.get("traceEvents").and_then(Value::as_array).unwrap();
+        let ph = |e: &Value| e.get("ph").and_then(Value::as_str).unwrap().to_string();
+        let slices = trace.iter().filter(|e| ph(e) == "X").count();
+        assert_eq!(slices, 6, "one service slice per (journey, stage)");
+        // Each journey's flow chain: one start, one step, one finish,
+        // all carrying the journey's sequence number as id.
+        for seq in [0u64, 1] {
+            let flows: Vec<&Value> = trace
+                .iter()
+                .filter(|e| {
+                    matches!(ph(e).as_str(), "s" | "t" | "f")
+                        && e.get("id").and_then(Value::as_f64) == Some(seq as f64)
+                })
+                .collect();
+            assert_eq!(flows.len(), 3, "seq {seq}");
+            assert_eq!(ph(flows[0]), "s");
+            assert_eq!(ph(flows[1]), "t");
+            assert_eq!(ph(flows[2]), "f");
+            assert_eq!(flows[2].get("bp").and_then(Value::as_str), Some("e"));
+            // Flow events bind to the enclosing slices: timestamps climb.
+            let ts: Vec<f64> = flows
+                .iter()
+                .map(|e| e.get("ts").and_then(Value::as_f64).unwrap())
+                .collect();
+            assert!(ts.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Process metadata names the stages.
+        let metas: Vec<&Value> = trace.iter().filter(|e| ph(e) == "M").collect();
+        assert_eq!(metas.len(), 3);
+        assert_eq!(
+            metas[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str),
+            Some("a")
+        );
+    }
+
+    #[test]
+    fn stitch_tolerates_incomplete_journeys() {
+        let events = vec![
+            JourneyEvent {
+                seq: 4,
+                stage: 1,
+                instance: 0,
+                kind: JourneyKind::ServiceStart,
+                t_us: 50.0,
+                batch: 0,
+            },
+            JourneyEvent {
+                seq: 4,
+                stage: 1,
+                instance: 0,
+                kind: JourneyKind::ServiceEnd,
+                t_us: 60.0,
+                batch: 0,
+            },
+        ];
+        let journeys = stitch(&events);
+        assert_eq!(journeys.len(), 1);
+        assert!(!journeys[0].complete(2));
+        assert!(journeys[0].monotone());
+        assert_eq!(journeys[0].latency_us(), None);
+    }
+}

@@ -32,6 +32,7 @@
 //! Only std is used — no external dependencies.
 
 pub mod expose;
+pub mod journey;
 pub mod json;
 pub mod metrics;
 pub mod openmetrics;
@@ -40,7 +41,11 @@ pub mod trace;
 
 use std::sync::OnceLock;
 
-pub use expose::{serve, MetricsServer};
+pub use expose::{serve, serve_with_journeys, MetricsServer};
+pub use journey::{
+    chrome_flow_trace, journey_jsonl, parse_journey_jsonl, stitch, Hop, Journey, JourneyCollector,
+    JourneyConfig, JourneyEvent, JourneyKind, JourneySink, JOURNEY_SCHEMA,
+};
 pub use json::Value;
 pub use metrics::{
     Counter, Histogram, HistogramHandle, HistogramSummary, MetricsSnapshot, Recorder, Registry,
@@ -74,6 +79,17 @@ pub mod names {
     pub const EXEC_POOL_MISSES: &str = "exec.pool.misses";
     /// Payloads currently shelved in the buffer pool (gauge).
     pub const EXEC_POOL_SHELVED: &str = "exec.pool.shelved";
+
+    /// 1 when the doctor's measured bottleneck stage differs from the
+    /// DP-predicted one (gauge; see `pipemap-doctor`).
+    pub const DOCTOR_DRIFT_FLAGGED: &str = "doctor.drift.flagged";
+    /// Bottleneck stage index measured from journeys (gauge).
+    pub const DOCTOR_DRIFT_MEASURED_BOTTLENECK: &str = "doctor.drift.measured_bottleneck";
+    /// Bottleneck stage index the model predicted (gauge).
+    pub const DOCTOR_DRIFT_PREDICTED_BOTTLENECK: &str = "doctor.drift.predicted_bottleneck";
+    /// Worst per-stage relative error of measured vs predicted service
+    /// time (gauge).
+    pub const DOCTOR_DRIFT_MAX_REL_ERR: &str = "doctor.drift.max_rel_err";
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();

@@ -202,10 +202,14 @@ impl FlightRecorder {
 impl Drop for FlightRecorder {
     fn drop(&mut self) {
         // Only the handle that owns the thread stops the sampler;
-        // shared ring handles (see `share_ring`) drop silently.
+        // shared ring handles (see `share_ring`) drop silently. Like
+        // `stop`, take a final sample after the join so a short-lived
+        // run that drops the recorder without calling `stop` still
+        // records the last window of counter deltas.
         if let Some(t) = self.thread.take() {
             self.shared.stop.store(true, Ordering::Relaxed);
             let _ = t.join();
+            self.shared.sample();
         }
     }
 }
@@ -315,6 +319,33 @@ mod tests {
         // Stopped: no further growth.
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(rec.samples().len(), n);
+    }
+
+    #[test]
+    fn drop_flushes_a_final_sample() {
+        let registry = Registry::new();
+        let r = registry.recorder();
+        // Interval far longer than the run: the background thread takes
+        // exactly one sample at startup, so only the drop-time flush can
+        // observe the counter increment below.
+        let rec = FlightRecorder::start(
+            &registry,
+            RecorderConfig {
+                interval: Duration::from_secs(60),
+                capacity: 128,
+            },
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        r.add("final.window", 7);
+        let shared = rec.shared.clone();
+        drop(rec);
+        let ring = shared.ring.lock().unwrap_or_else(|e| e.into_inner());
+        let last = ring.back().expect("at least the final sample");
+        assert_eq!(
+            last.snapshot.counter("final.window"),
+            Some(7),
+            "drop must sample the final counter window"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use pipemap_chain::{module_response, Mapping, TaskChain};
+use pipemap_obs::{JourneyCollector, JourneyKind, JourneySink};
 
 use crate::engine::Engine;
 use crate::noise::NoiseModel;
@@ -49,6 +50,8 @@ struct Model {
     start_times: Vec<f64>,
     finish_times: Vec<f64>,
     busy: Vec<f64>,
+    /// Journey tracing sink (virtual timestamps, sim-seconds × 1e6).
+    journey: Option<JourneySink>,
 }
 
 impl Model {
@@ -56,6 +59,12 @@ impl Model {
         match &mut self.noise {
             Some(n) => n.perturb(d),
             None => d,
+        }
+    }
+
+    fn journal(&mut self, t_s: f64, kind: JourneyKind, n: usize, stage: u32, instance: u32) {
+        if let Some(j) = self.journey.as_mut() {
+            j.record_at(t_s * 1e6, kind, n, stage, instance, 0);
         }
     }
 
@@ -80,8 +89,13 @@ impl Model {
         }
         // Consume the enabling state.
         self.ready_for.remove(&(i, c));
+        let now = eng.now();
+        self.journal(now, JourneyKind::Dequeue, n, i as u32, c as u32);
         if i == 0 {
-            self.start_times[n] = eng.now();
+            self.start_times[n] = now;
+            // No incoming transfer: service starts the moment the data
+            // set is picked up.
+            self.journal(now, JourneyKind::ServiceStart, n, 0, c as u32);
             let dur = self.sample(self.durations[0].1);
             self.busy[0] += dur;
             eng.schedule_in(dur, Ev::ExecEnd { module: 0, n });
@@ -99,10 +113,17 @@ impl Model {
         match ev {
             Ev::Arrival { n } => {
                 self.input_ready[n] = true;
+                let now = eng.now();
+                self.journal(now, JourneyKind::Source, n, 0, 0);
+                let c = (n % self.replicas[0]) as u32;
+                self.journal(now, JourneyKind::Enqueue, n, 0, c);
                 self.try_start(eng, 0, n);
             }
             Ev::TransferEnd { module: i, n } => {
                 // Receiver starts executing immediately.
+                let now = eng.now();
+                let c = (n % self.replicas[i]) as u32;
+                self.journal(now, JourneyKind::ServiceStart, n, i as u32, c);
                 let dur = self.sample(self.durations[i].1);
                 self.busy[i] += dur;
                 eng.schedule_in(dur, Ev::ExecEnd { module: i, n });
@@ -120,6 +141,18 @@ impl Model {
                 }
             }
             Ev::ExecEnd { module: i, n } => {
+                let now = eng.now();
+                let c = (n % self.replicas[i]) as u32;
+                self.journal(now, JourneyKind::ServiceEnd, n, i as u32, c);
+                self.journal(now, JourneyKind::Send, n, i as u32, c);
+                if i + 1 < self.l {
+                    // The output is now available for the downstream
+                    // module (it may wait for the rendezvous).
+                    let cd = (n % self.replicas[i + 1]) as u32;
+                    self.journal(now, JourneyKind::Enqueue, n, (i + 1) as u32, cd);
+                } else {
+                    self.journal(now, JourneyKind::Sink, n, self.l as u32, 0);
+                }
                 if i + 1 == self.l {
                     // Output leaves for free; the instance is done with n.
                     self.finish_times[n] = eng.now();
@@ -176,6 +209,7 @@ pub fn simulate_des(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) ->
         start_times: vec![0.0; n_data],
         finish_times: vec![0.0; n_data],
         busy: vec![0.0; l],
+        journey: config.journeys.as_ref().map(JourneyCollector::sink),
     };
     // Every instance starts idle, waiting for its first data set.
     for (i, &r) in replicas.iter().enumerate() {
@@ -195,6 +229,8 @@ pub fn simulate_des(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) ->
     // Bound: every data set generates ≤ 2 events per module + 1 arrival.
     let cap = (n_data as u64) * (2 * l as u64 + 2) + 16;
     eng.run(cap, |eng, _t, ev| model.handle(eng, ev));
+    // Hand any buffered journey events to the collector before reporting.
+    model.journey.take();
 
     let makespan = model.finish_times[n_data - 1];
     let w = config.warmup;
@@ -318,5 +354,44 @@ mod tests {
     fn single_module_single_instance() {
         let m = Mapping::new(vec![ModuleAssignment::new(0, 2, 1, 4)]);
         agree(m, &SimConfig::with_datasets(60));
+    }
+
+    #[test]
+    fn journeys_match_between_sweep_and_des() {
+        use pipemap_obs::{stitch, JourneyCollector, JourneyConfig};
+        let c = chain3();
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 2, 2),
+            ModuleAssignment::new(1, 1, 1, 3),
+            ModuleAssignment::new(2, 2, 3, 1),
+        ]);
+        let cfg = SimConfig::with_datasets(60);
+        let cs = JourneyCollector::new(JourneyConfig::default());
+        let cd = JourneyCollector::new(JourneyConfig::default());
+        let _ = simulate(&c, &m, &cfg.clone().with_journeys(cs.clone()));
+        let _ = simulate_des(&c, &m, &cfg.with_journeys(cd.clone()));
+        let js = stitch(&cs.drain());
+        let jd = stitch(&cd.drain());
+        assert_eq!(js.len(), 60);
+        assert_eq!(jd.len(), 60);
+        for (a, b) in js.iter().zip(&jd) {
+            assert!(a.complete(3) && a.monotone(), "sweep journey {a:?}");
+            assert!(b.complete(3) && b.monotone(), "des journey {b:?}");
+            // Replica identity matches the round-robin assignment.
+            for (s, h) in a.hops.iter().enumerate() {
+                assert_eq!(h.instance as u64, a.seq % [2u64, 1, 3][s]);
+            }
+            // The two simulators produce the same timestamps.
+            let ta = a.timeline();
+            let tb = b.timeline();
+            assert_eq!(ta.len(), tb.len());
+            for (x, y) in ta.iter().zip(&tb) {
+                assert!(
+                    (x - y).abs() <= 1e-9 * x.abs().max(1.0),
+                    "seq {}: sweep {x} vs des {y}",
+                    a.seq
+                );
+            }
+        }
     }
 }

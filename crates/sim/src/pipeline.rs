@@ -14,6 +14,7 @@
 //! result is exactly the event-driven schedule.
 
 use pipemap_chain::{module_response, Mapping, TaskChain};
+use pipemap_obs::{JourneyCollector, JourneyKind};
 
 use crate::noise::NoiseModel;
 use crate::stats::Summary;
@@ -37,6 +38,11 @@ pub struct SimConfig {
     /// Collect a full activity trace (costs memory proportional to
     /// `num_datasets × modules`).
     pub collect_trace: bool,
+    /// Per-dataset journey tracing: when set, the simulators record the
+    /// same enqueue/dequeue/service/send events as the real executor
+    /// (virtual timestamps, simulated-seconds × 1e6), so the doctor's
+    /// analysis runs identically on simulated and real executions.
+    pub journeys: Option<JourneyCollector>,
 }
 
 impl Default for SimConfig {
@@ -47,6 +53,7 @@ impl Default for SimConfig {
             noise: None,
             arrival_period: None,
             collect_trace: false,
+            journeys: None,
         }
     }
 }
@@ -78,6 +85,12 @@ impl SimConfig {
     pub fn with_arrival_period(mut self, period: f64) -> Self {
         assert!(period > 0.0 && period.is_finite());
         self.arrival_period = Some(period);
+        self
+    }
+
+    /// Attach a journey collector (see [`SimConfig::journeys`]).
+    pub fn with_journeys(mut self, journeys: JourneyCollector) -> Self {
+        self.journeys = Some(journeys);
         self
     }
 }
@@ -142,6 +155,7 @@ pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> Sim
     let mut start_times = vec![0.0f64; n_data];
     let mut finish_times = vec![0.0f64; n_data];
     let mut trace = config.collect_trace.then(Trace::default);
+    let mut jsink = config.journeys.as_ref().map(JourneyCollector::sink);
 
     let sample = |d: f64, noise: &mut Option<NoiseModel>| -> f64 {
         match noise {
@@ -167,6 +181,23 @@ pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> Sim
             // `upstream_done` by construction of its serial schedule
             // (its send immediately follows its exec).
             let mut t = free[i][c].max(upstream_done);
+            if let Some(j) = jsink.as_mut() {
+                if i == 0 {
+                    j.record_at(arrival * 1e6, JourneyKind::Source, n, 0, 0, 0);
+                }
+                // The data set is available for module i the moment the
+                // upstream exec finished (arrival for module 0); the
+                // receive rendezvous begins at t.
+                j.record_at(
+                    upstream_done * 1e6,
+                    JourneyKind::Enqueue,
+                    n,
+                    i as u32,
+                    c as u32,
+                    0,
+                );
+                j.record_at(t * 1e6, JourneyKind::Dequeue, n, i as u32, c as u32, 0);
+            }
             if i > 0 && incoming > 0.0 {
                 let dur = sample(incoming, &mut noise);
                 let cu = n % replicas[i - 1];
@@ -218,6 +249,12 @@ pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> Sim
                     end: t + dur,
                 });
             }
+            if let Some(j) = jsink.as_mut() {
+                j.record_at(t * 1e6, JourneyKind::ServiceStart, n, i as u32, c as u32, 0);
+                let end = (t + dur) * 1e6;
+                j.record_at(end, JourneyKind::ServiceEnd, n, i as u32, c as u32, 0);
+                j.record_at(end, JourneyKind::Send, n, i as u32, c as u32, 0);
+            }
             busy[i][c] += dur;
             t += dur;
             free[i][c] = t;
@@ -225,6 +262,9 @@ pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> Sim
             activities += 1;
         }
         finish_times[n] = upstream_done;
+        if let Some(j) = jsink.as_mut() {
+            j.record_at(upstream_done * 1e6, JourneyKind::Sink, n, l as u32, 0, 0);
+        }
         datasets_ctr.add(1);
         activities_ctr.add(activities);
     }

@@ -518,6 +518,91 @@ fn bench_executor_dataplane(metrics: &mut Value, opts: &BenchOptions) {
     );
 }
 
+/// Journey-tracing overhead on the sustained-load micro pipeline: the
+/// same configuration is run with sampled journey recording enabled and
+/// disabled *in the same process*, so the overhead fraction compares two
+/// modes of the same binary and cannot drift with machine load between
+/// runs. The committed baseline pins `overhead_frac` near zero with a
+/// 2% slack — sampled tracing costing more than that is a regression.
+fn bench_journey_overhead(metrics: &mut Value, opts: &BenchOptions) {
+    // Longer streams than the dataplane case: the A/B delta being
+    // bounded here is a couple of percent, which 5ms runs cannot
+    // resolve above scheduler noise.
+    let n = if opts.quick { 15_000 } else { 60_000 };
+    let base = LoadConfig {
+        duration_s: None,
+        datasets: Some(n),
+        stages: 4,
+        size: 512,
+        ..LoadConfig::default()
+    };
+
+    // Paired trials with alternating order, scored by the median of
+    // per-pair throughput ratios: a single short run cannot resolve a
+    // couple-percent delta above scheduler noise on a small CI box, a
+    // pair cancels drift slower than one run, alternating order cancels
+    // warmup bias, and the median rejects the odd preempted outlier.
+    let run_base = |base: &LoadConfig| {
+        let r = run_configured_load(base);
+        assert_eq!(r.report.completed, n);
+        r.report.throughput
+    };
+    let run_traced = |base: &LoadConfig| {
+        let journeys = pipemap_obs::JourneyCollector::new(
+            pipemap_obs::JourneyConfig::default().with_sample(32),
+        );
+        let r = run_configured_load(&LoadConfig {
+            journeys: Some(journeys.clone()),
+            ..base.clone()
+        });
+        assert_eq!(r.report.completed, n);
+        // The traced runs must actually have produced journeys, or the
+        // A/B comparison is vacuous.
+        let stitched = pipemap_obs::stitch(&journeys.drain());
+        assert!(
+            stitched.iter().any(|j| j.complete(base.stages)),
+            "traced run produced no complete journeys"
+        );
+        r.report.throughput
+    };
+
+    let mut thr_base: f64 = 0.0;
+    let mut thr_traced: f64 = 0.0;
+    let mut ratios = Vec::new();
+    for pair in 0..5 {
+        let (b, t) = if pair % 2 == 0 {
+            let b = run_base(&base);
+            (b, run_traced(&base))
+        } else {
+            let t = run_traced(&base);
+            (run_base(&base), t)
+        };
+        thr_base = thr_base.max(b);
+        thr_traced = thr_traced.max(t);
+        ratios.push(t / b.max(1e-9));
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median_ratio = ratios[ratios.len() / 2];
+    let prefix = "obs.journey_overhead";
+    metrics.set(
+        format!("{prefix}.throughput"),
+        metric(thr_traced, "datasets/s", Direction::Higher, 500.0),
+    );
+    metrics.set(
+        format!("{prefix}.baseline_throughput"),
+        metric(thr_base, "datasets/s", Direction::Higher, 500.0),
+    );
+    metrics.set(
+        format!("{prefix}.overhead_frac"),
+        metric(
+            (1.0 - median_ratio).max(0.0),
+            "frac",
+            Direction::Lower,
+            0.02,
+        ),
+    );
+}
+
 /// Run the whole suite and return the bench document.
 pub fn run_bench_suite(opts: &BenchOptions) -> Value {
     // Solver counters flow through the global registry; install one if
@@ -548,6 +633,7 @@ pub fn run_bench_suite(opts: &BenchOptions) -> Value {
     bench_end_to_end(&mut metrics, opts);
     bench_executor(&mut metrics, opts);
     bench_executor_dataplane(&mut metrics, opts);
+    bench_journey_overhead(&mut metrics, opts);
 
     let mut doc = Value::object();
     doc.set("schema", BENCH_SCHEMA);
@@ -564,16 +650,35 @@ pub fn run_bench_suite(opts: &BenchOptions) -> Value {
     doc
 }
 
+/// Parse a `pipemap-bench/vN` schema string into its version number.
+fn bench_schema_version(schema: &str) -> Option<u64> {
+    schema
+        .strip_prefix("pipemap-bench/v")
+        .and_then(|v| v.parse().ok())
+}
+
 /// Check that `doc` is a structurally valid bench document.
+///
+/// Schema versions are compared numerically so a stale committed baseline
+/// fails with an actionable message instead of a generic mismatch.
 pub fn validate_bench(doc: &Value) -> Result<(), String> {
     let schema = doc
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("missing 'schema' string")?;
     if schema != BENCH_SCHEMA {
-        return Err(format!(
-            "schema '{schema}' is not the supported '{BENCH_SCHEMA}'"
-        ));
+        let current = bench_schema_version(BENCH_SCHEMA).expect("BENCH_SCHEMA is well-formed");
+        return Err(match bench_schema_version(schema) {
+            Some(v) if v < current => format!(
+                "schema '{schema}' is older than the current '{BENCH_SCHEMA}' — \
+                 regenerate the baseline with `pipemap bench`"
+            ),
+            Some(_) => format!(
+                "schema '{schema}' is newer than '{BENCH_SCHEMA}' and not supported \
+                 by this binary — update the tool"
+            ),
+            None => format!("schema '{schema}' is not the supported '{BENCH_SCHEMA}'"),
+        });
     }
     doc.get("git_sha")
         .and_then(Value::as_str)
@@ -900,6 +1005,23 @@ mod tests {
     }
 
     #[test]
+    fn validate_distinguishes_stale_future_and_garbage_schemas() {
+        let mut d = doc(&[("m", 1.0, Direction::Lower, 0.0)]);
+        d.set("schema", "pipemap-bench/v0");
+        let err = validate_bench(&d).unwrap_err();
+        assert!(err.contains("older than"), "{err}");
+        assert!(err.contains("regenerate the baseline"), "{err}");
+
+        d.set("schema", "pipemap-bench/v999");
+        let err = validate_bench(&d).unwrap_err();
+        assert!(err.contains("newer than"), "{err}");
+
+        d.set("schema", "not-a-bench-doc/v1");
+        let err = validate_bench(&d).unwrap_err();
+        assert!(err.contains("not the supported"), "{err}");
+    }
+
+    #[test]
     fn quick_suite_produces_a_valid_self_comparable_document() {
         let doc = run_bench_suite(&BenchOptions { quick: true });
         validate_bench(&doc).expect("suite output validates");
@@ -924,6 +1046,7 @@ mod tests {
             "exec.fft_hist.",
             "exec.throughput_pipeline.",
             "exec.throughput_batched.",
+            "obs.journey_overhead.",
         ] {
             assert!(
                 metrics.iter().any(|(n, _)| n.starts_with(prefix)),

@@ -35,7 +35,8 @@ USAGE:
     pipemap map <spec-file> [--greedy-only] [--latency-floor <thr>]
                             [--min-procs <thr>] [--report json]
     pipemap simulate <spec-file> <mapping> [--datasets <n>] [--noise <spread>]
-                     [--seed <n>] [--report json] [--serve <addr>]
+                     [--seed <n>] [--report json] [--journey-out <file>]
+                     [--journey-sample <n>] [--serve <addr>]
                      [--hold <secs>] [--recorder-out <file>]
     pipemap demo <fft-hist-256|fft-hist-512|radar|stereo> [--systolic]
                  [--metrics] [--trace-out <file>] [--serve <addr>]
@@ -47,8 +48,12 @@ USAGE:
                  [--datasets <n>] [--batch <B>] [--flush-us <us>]
                  [--queue-depth <d>] [--stages <k>] [--size <n>]
                  [--replicas <r>] [--threads <t>] [--no-pool] [--reference]
-                 [--report json] [--serve <addr>] [--hold <secs>]
-                 [--recorder-out <file>]
+                 [--report json] [--journey-out <file>] [--journey-sample <n>]
+                 [--serve <addr>] [--hold <secs>] [--recorder-out <file>]
+    pipemap doctor <journeys.jsonl> [--attach <addr>] [--report json]
+                   [--fail-on-drift] [--threshold <frac>] [--min-samples <n>]
+                   [--spec <file> --mapping <m>] [--trace-out <file>]
+                   [--serve <addr>] [--hold <secs>] [--recorder-out <file>]
     pipemap fit <fft-hist-256|fft-hist-512|radar|stereo> [--systolic]
     pipemap template
 
@@ -78,7 +83,21 @@ COMMANDS:
               pool hit rate; the achieved rate is checked against the
               closed form 1/max(s_i/r_i) on the measured service means.
               --reference runs the unbatched/unpooled data plane for A/B
-              comparison; stop conditions combine (--duration default 2s)
+              comparison; stop conditions combine (--duration default 2s);
+              --journey-out records sampled per-dataset journeys (enqueue/
+              dequeue/service/send per stage) to a JSONL file for 'doctor'
+    doctor    explain a run from its journey trace: per-stage latency
+              decomposition (queue wait vs transport vs service vs
+              batching delay), per-dataset critical path, measured vs
+              model-predicted service means with 95% confidence
+              intervals, and a drift verdict when the measured bottleneck
+              is not the one the DP solver predicted (recommending a
+              re-solve). Reads a --journey-out file, or scrapes a live
+              run's /journeys.jsonl via --attach <addr>. --spec/--mapping
+              rebuild the prediction from a spec instead of the file
+              header; --fail-on-drift exits nonzero on drift;
+              --trace-out writes the journeys as a Chrome trace with flow
+              arrows stitching each data set across stages
     fit       profile a built-in application on the machine model and
               print its fitted polynomial spec (pipe to a file, then use
               'map' / 'simulate' on it)
@@ -125,6 +144,7 @@ fn main() -> ExitCode {
         Some("demo") => cmd_demo(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
+        Some("doctor") => cmd_doctor(&args[1..]),
         Some("fit") => cmd_fit(&args[1..]),
         Some("template") => {
             print!("{TEMPLATE}");
@@ -353,9 +373,12 @@ impl ObsFlags {
 }
 
 /// Install the global registry and start the flight recorder and metrics
-/// server the flags ask for. Returns `(flight, server)`.
+/// server the flags ask for. A journey collector, when given, is exposed
+/// at `/journeys.jsonl` so `pipemap doctor --attach` can scrape a live
+/// run. Returns `(flight, server)`.
 fn start_observability(
     flags: &ObsFlags,
+    journeys: Option<&pipemap_obs::JourneyCollector>,
 ) -> Result<(Option<FlightRecorder>, Option<MetricsServer>), String> {
     if !flags.active() {
         return Ok((None, None));
@@ -372,11 +395,17 @@ fn start_observability(
     );
     let server = match &flags.serve {
         Some(addr) => {
-            let s = pipemap_obs::serve(addr.as_str(), registry, Some(&flight))
-                .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+            let s =
+                pipemap_obs::serve_with_journeys(addr.as_str(), registry, Some(&flight), journeys)
+                    .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
             eprintln!(
-                "serving metrics on http://{}/metrics (also /snapshot.json, /recorder.jsonl)",
-                s.addr()
+                "serving metrics on http://{}/metrics (also /snapshot.json, /recorder.jsonl{})",
+                s.addr(),
+                if journeys.is_some() {
+                    ", /journeys.jsonl"
+                } else {
+                    ""
+                }
             );
             Some(s)
         }
@@ -423,6 +452,8 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
     let mut noise: Option<f64> = None;
     let mut seed = 0x51e5u64;
     let mut report_fmt: Option<String> = None;
+    let mut journey_out: Option<String> = None;
+    let mut journey_sample = 1u64;
     let mut obs_flags = ObsFlags::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -439,6 +470,20 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
                 Some(v) => datasets = v,
                 None => {
                     eprintln!("--datasets needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--journey-out" => match it.next() {
+                Some(v) => journey_out = Some(v.clone()),
+                None => {
+                    eprintln!("--journey-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--journey-sample" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => journey_sample = v,
+                _ => {
+                    eprintln!("--journey-sample needs an integer >= 1");
                     return ExitCode::FAILURE;
                 }
             },
@@ -503,7 +548,14 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         eprintln!("mapping invalid for this problem: {e}");
         return ExitCode::FAILURE;
     }
-    let (flight, server) = match start_observability(&obs_flags) {
+    // Journeys are recorded in virtual simulated time; the same doctor
+    // pipeline that reads real-executor journeys analyses them.
+    let journeys = journey_out.as_ref().map(|_| {
+        pipemap_obs::JourneyCollector::new(
+            pipemap_obs::JourneyConfig::default().with_sample(journey_sample),
+        )
+    });
+    let (flight, server) = match start_observability(&obs_flags, journeys.as_ref()) {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("{e}");
@@ -515,7 +567,30 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
     if let Some(s) = noise {
         cfg = cfg.with_noise(s, seed);
     }
+    if let Some(col) = &journeys {
+        cfg = cfg.with_journeys(col.clone());
+    }
     let result = pipemap_sim::simulate(&problem.chain, &mapping, &cfg);
+    if let (Some(path), Some(col)) = (&journey_out, &journeys) {
+        let log = pipemap_doctor::JourneyLog {
+            source: "simulate".to_string(),
+            sample: col.sample(),
+            model: Some(pipemap_doctor::ModelPrediction::from_chain(
+                &problem.chain,
+                &mapping,
+            )),
+            events: col.snapshot(),
+        };
+        if let Err(e) = std::fs::write(path, log.to_jsonl()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} journey events to {path} (1-in-{} sampling)",
+            log.events.len(),
+            log.sample
+        );
+    }
     if json {
         let doc = simulate_report_json(
             file, &problem, &mapping, datasets, noise, seed, analytic, &result,
@@ -628,7 +703,7 @@ fn cmd_demo(args: &[String]) -> ExitCode {
         // mappers run; snapshotted into the JSON report.
         pipemap_obs::install_global(pipemap_obs::Registry::new());
     }
-    let (mut flight, server) = match start_observability(&obs_flags) {
+    let (mut flight, server) = match start_observability(&obs_flags, None) {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("{e}");
@@ -704,6 +779,8 @@ fn cmd_load(args: &[String]) -> ExitCode {
     let mut duration_set = false;
     let mut reference = false;
     let mut report_fmt: Option<String> = None;
+    let mut journey_out: Option<String> = None;
+    let mut journey_sample = 1u64;
     let mut obs_flags = ObsFlags::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -761,6 +838,20 @@ fn cmd_load(args: &[String]) -> ExitCode {
             "--threads" => cfg.threads = numeric!("--threads"),
             "--no-pool" => cfg.pool = false,
             "--reference" => reference = true,
+            "--journey-out" => match it.next() {
+                Some(v) => journey_out = Some(v.clone()),
+                None => {
+                    eprintln!("--journey-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--journey-sample" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => journey_sample = v,
+                _ => {
+                    eprintln!("--journey-sample needs an integer >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--report" => match it.next() {
                 Some(v) => report_fmt = Some(v.clone()),
                 None => {
@@ -792,7 +883,16 @@ fn cmd_load(args: &[String]) -> ExitCode {
         eprintln!("--batch, --queue-depth, and --stages must be >= 1");
         return ExitCode::FAILURE;
     }
-    let (flight, server) = match start_observability(&obs_flags) {
+    // Journey tracing: hand every worker thread a sampled sink; the
+    // collector also backs /journeys.jsonl when --serve is up, so a
+    // doctor can attach to the live run.
+    let journeys = journey_out.as_ref().map(|_| {
+        pipemap_obs::JourneyCollector::new(
+            pipemap_obs::JourneyConfig::default().with_sample(journey_sample),
+        )
+    });
+    cfg.journeys = journeys.clone();
+    let (flight, server) = match start_observability(&obs_flags, journeys.as_ref()) {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("{e}");
@@ -800,6 +900,24 @@ fn cmd_load(args: &[String]) -> ExitCode {
         }
     };
     let summary = run_configured_load(&cfg);
+    if let (Some(path), Some(col)) = (&journey_out, &journeys) {
+        let log = pipemap_doctor::JourneyLog {
+            source: "load".to_string(),
+            sample: col.sample(),
+            model: pipemap_tool::measured_prediction(&summary),
+            events: col.snapshot(),
+        };
+        if let Err(e) = std::fs::write(path, log.to_jsonl()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} journey events to {path} (1-in-{} sampling, {} dropped)",
+            log.events.len(),
+            log.sample,
+            col.dropped()
+        );
+    }
     if json {
         println!("{}", load_report_json(&summary).to_json_pretty());
     } else {
@@ -813,6 +931,230 @@ fn cmd_load(args: &[String]) -> ExitCode {
     // relies on this to catch a wedged executor.
     if summary.report.completed == 0 && cfg.datasets != Some(0) {
         eprintln!("load run completed 0 datasets");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Minimal HTTP GET against a live metrics server (std-only; the server
+/// answers with `Connection: close`, so read-to-end is the body).
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("cannot send request to {addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("cannot read response from {addr}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}{path}: malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}{path}: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+fn cmd_doctor(args: &[String]) -> ExitCode {
+    use pipemap_doctor::{
+        diagnose_log, publish, render, report_json, DoctorOptions, JourneyLog, ModelPrediction,
+    };
+    let mut file: Option<String> = None;
+    let mut attach: Option<String> = None;
+    let mut report_fmt: Option<String> = None;
+    let mut fail_on_drift = false;
+    let mut spec: Option<String> = None;
+    let mut mapping_str: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut opts = DoctorOptions::default();
+    let mut obs_flags = ObsFlags::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match obs_flags.try_parse(a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match a.as_str() {
+            "--attach" => match it.next() {
+                Some(v) => attach = Some(v.clone()),
+                None => {
+                    eprintln!("--attach needs an address like 127.0.0.1:9184");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fail-on-drift" => fail_on_drift = true,
+            "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 && v.is_finite() => opts.margin = v,
+                _ => {
+                    eprintln!("--threshold needs a non-negative fraction (e.g. 0.1)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--min-samples" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.min_samples = v,
+                None => {
+                    eprintln!("--min-samples needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--spec" => match it.next() {
+                Some(v) => spec = Some(v.clone()),
+                None => {
+                    eprintln!("--spec needs a spec file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--mapping" => match it.next() {
+                Some(v) => mapping_str = Some(v.clone()),
+                None => {
+                    eprintln!("--mapping needs a mapping like '0-0:8x3,1-2:10x4'");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-out" => match it.next() {
+                Some(v) => trace_out = Some(v.clone()),
+                None => {
+                    eprintln!("--trace-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--report" => match it.next() {
+                Some(v) => report_fmt = Some(v.clone()),
+                None => {
+                    eprintln!("--report needs a format (json)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let json = match report_fmt.as_deref() {
+        None => false,
+        Some("json") => true,
+        Some(other) => {
+            eprintln!("unsupported report format '{other}' (only 'json')");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match (&file, &attach) {
+        (Some(path), None) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(addr)) => match http_get(addr, "/journeys.jsonl") {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("doctor needs exactly one of <journeys.jsonl> or --attach <addr>\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut log = match JourneyLog::parse(&text) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bad journey log: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // --spec/--mapping rebuild the prediction from the fitted model
+    // instead of trusting the snapshot the producer stamped (e.g. to ask
+    // "does this trace fit the spec I *thought* I deployed?").
+    match (&spec, &mapping_str) {
+        (Some(spec_path), Some(mstr)) => {
+            let spec_text = match std::fs::read_to_string(spec_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {spec_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let problem = match parse_spec(&spec_text) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{spec_path}:{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mapping = match pipemap_tool::spec::parse_mapping(mstr) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("bad mapping: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = pipemap_chain::validate(&problem, &mapping) {
+                eprintln!("mapping invalid for this problem: {e}");
+                return ExitCode::FAILURE;
+            }
+            log.model = Some(ModelPrediction::from_chain(&problem.chain, &mapping));
+        }
+        (None, None) => {}
+        _ => {
+            eprintln!("--spec and --mapping must be given together");
+            return ExitCode::FAILURE;
+        }
+    }
+    let (flight, server) = match start_observability(&obs_flags, None) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = diagnose_log(&log, &opts);
+    if obs_flags.active() {
+        publish(&report, &pipemap_obs::global());
+    }
+    if let Some(path) = &trace_out {
+        let names: Vec<String> = match &log.model {
+            Some(m) => m.stages.iter().map(|s| s.name.clone()).collect(),
+            None => (0..report.stages.len())
+                .map(|i| format!("stage{i}"))
+                .collect(),
+        };
+        let doc = pipemap_obs::chrome_flow_trace(&log.events, &names);
+        if let Err(e) = std::fs::write(path, doc.to_json_pretty()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote journey flow trace to {path}");
+    }
+    if json {
+        println!("{}", report_json(&report).to_json_pretty());
+    } else {
+        print!("{}", render(&report));
+    }
+    if let Err(e) = finish_observability(&obs_flags, flight, server) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if report.complete == 0 {
+        eprintln!("no complete journeys in the input — nothing to diagnose");
+        return ExitCode::FAILURE;
+    }
+    if fail_on_drift && report.drift == Some(true) {
+        eprintln!("drift detected (exit forced by --fail-on-drift)");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -33,8 +33,8 @@ pub use bench::{
     BENCH_SCHEMA,
 };
 pub use load::{
-    load_report_json, parse_duration_s, render_load_summary, run_configured_load, LoadConfig,
-    LoadSummary, Workload,
+    load_report_json, measured_prediction, parse_duration_s, render_load_summary,
+    run_configured_load, LoadConfig, LoadSummary, Workload,
 };
 pub use mapper::{auto_map, MapperOptions, MappingReport};
 pub use markdown::{report_markdown, table2_header, table2_row};

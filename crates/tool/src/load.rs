@@ -25,7 +25,7 @@ use pipemap_exec::{
     run_load, BufferPool, Data, Lease, LoadOptions, LoadReport, PipelinePlan, PoolStats, Stage,
     StagePlan,
 };
-use pipemap_obs::Value;
+use pipemap_obs::{JourneyCollector, Value};
 use std::time::Duration;
 
 /// Which built-in pipeline to drive.
@@ -82,6 +82,8 @@ pub struct LoadConfig {
     pub stages: usize,
     /// Micro: buffer length (u64 elements). FFT-Hist: matrix edge.
     pub size: usize,
+    /// Record per-dataset journey events into this collector.
+    pub journeys: Option<JourneyCollector>,
 }
 
 impl Default for LoadConfig {
@@ -99,6 +101,7 @@ impl Default for LoadConfig {
             pool: true,
             stages: 4,
             size: 1024,
+            journeys: None,
         }
     }
 }
@@ -163,10 +166,14 @@ pub fn micro_plan(cfg: &LoadConfig) -> PipelinePlan {
             StagePlan::new(stage, cfg.replicas.max(1), cfg.threads.max(1))
         })
         .collect();
-    PipelinePlan::new(stages)
+    let plan = PipelinePlan::new(stages)
         .with_batch(cfg.batch.max(1))
         .with_flush_us(cfg.flush_us)
-        .with_queue_depth(cfg.queue_depth.max(1))
+        .with_queue_depth(cfg.queue_depth.max(1));
+    match &cfg.journeys {
+        Some(j) => plan.with_journeys(j.clone()),
+        None => plan,
+    }
 }
 
 /// The micro workload's source: fresh or pooled `len`-element buffers.
@@ -225,10 +232,14 @@ pub fn fft_hist_plan(cfg: &LoadConfig) -> PipelinePlan {
         .into_iter()
         .map(|s| StagePlan::new(s, cfg.replicas.max(1), cfg.threads.max(1)))
         .collect();
-    PipelinePlan::new(plans)
+    let plan = PipelinePlan::new(plans)
         .with_batch(cfg.batch.max(1))
         .with_flush_us(cfg.flush_us)
-        .with_queue_depth(cfg.queue_depth.max(1))
+        .with_queue_depth(cfg.queue_depth.max(1));
+    match &cfg.journeys {
+        Some(j) => plan.with_journeys(j.clone()),
+        None => plan,
+    }
 }
 
 fn fft_hist_source(
@@ -462,6 +473,31 @@ pub fn load_report_json(s: &LoadSummary) -> Value {
         .collect();
     doc.set("stages", Value::Array(stages));
     doc
+}
+
+/// The model snapshot a load run's journey log carries: the closed-form
+/// prediction over the *measured* per-stage service means (the executor
+/// has no communication model, so predicted transport is zero). The
+/// doctor compares journey-derived means against this, so on a healthy
+/// run the drift verdict is clean by construction — it flips only when
+/// the journey decomposition disagrees with the busy-time accounting.
+pub fn measured_prediction(s: &LoadSummary) -> Option<pipemap_doctor::ModelPrediction> {
+    if s.report.completed == 0 {
+        return None;
+    }
+    let means: Vec<f64> = s
+        .report
+        .stats
+        .busy
+        .iter()
+        .map(|b| b / s.report.completed as f64)
+        .collect();
+    let replicas = vec![s.config.replicas.max(1); s.stage_names.len()];
+    Some(pipemap_doctor::ModelPrediction::from_measured(
+        &s.stage_names,
+        &replicas,
+        &means,
+    ))
 }
 
 /// Parse a duration like `2`, `2s`, `2.5s`, or `250ms` into seconds.

@@ -463,3 +463,125 @@ fn load_rejects_bad_flags() {
     let out = pipemap().arg("load").arg("nonsense").output().unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn bench_validate_explains_stale_schemas() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-bench-stale");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stale = write_spec(
+        &dir,
+        "stale.json",
+        "{\"schema\": \"pipemap-bench/v0\", \"git_sha\": \"x\", \"metrics\": {}}",
+    );
+    let out = pipemap()
+        .arg("bench")
+        .arg("--validate")
+        .arg(&stale)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("older than"), "{err}");
+    assert!(err.contains("regenerate the baseline"), "{err}");
+}
+
+/// `simulate --journey-out` followed by `doctor` on the same files: the
+/// self-consistent run must be diagnosed drift-free, and the JSON
+/// report must be structurally complete.
+#[test]
+fn simulate_journeys_doctor_round_trip() {
+    use pipemap_obs::Value;
+    let dir = std::env::temp_dir().join("pipemap-cli-test-doctor");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = write_spec(&dir, "p.pmap", SPEC);
+    let journeys = dir.join("j.jsonl");
+    // One replica of `front` on 4 procs (~274ms effective) against
+    // `back` on 8 (~141ms): a clearly unbalanced pipeline, so a wrong
+    // bottleneck prediction is material rather than a near-tie.
+    let out = pipemap()
+        .arg("simulate")
+        .arg(&spec)
+        .arg("0-0:1x4,1-1:1x8")
+        .args(["--datasets", "120", "--noise", "0.02", "--seed", "11"])
+        .arg("--journey-out")
+        .arg(&journeys)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = pipemap()
+        .arg("doctor")
+        .arg(&journeys)
+        .args(["--report", "json", "--fail-on-drift"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "self-consistent run flagged drift: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Value::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("pipemap-doctor/v1")
+    );
+    assert_eq!(doc.get("complete").and_then(Value::as_f64), Some(120.0));
+    assert_eq!(doc.get("drift"), Some(&Value::Bool(false)));
+    let stages = doc.get("stages").and_then(Value::as_array).unwrap();
+    assert_eq!(stages.len(), 2);
+    for s in stages {
+        for comp in ["queue", "transport", "service", "batching"] {
+            let mean = s
+                .get(comp)
+                .and_then(|c| c.get("mean_s"))
+                .and_then(Value::as_f64)
+                .unwrap();
+            assert!(mean >= 0.0, "{comp} mean negative");
+        }
+    }
+
+    // Re-pricing against a spec whose second task is 3x slower than
+    // what actually ran must move the predicted bottleneck (to `back`,
+    // away from the measured bottleneck at `front`) and flag drift;
+    // `--fail-on-drift` turns that into a nonzero exit.
+    let slow_back = SPEC.replace("exec poly 0.05 0.5 0.0", "exec poly 0.15 1.5 0.0");
+    let stale = write_spec(&dir, "stale.pmap", &slow_back);
+    let out = pipemap()
+        .arg("doctor")
+        .arg(&journeys)
+        .args(["--spec", stale.to_str().unwrap()])
+        .args(["--mapping", "0-0:1x4,1-1:1x8", "--fail-on-drift"])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "stale model must flag drift: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DRIFT"), "{text}");
+    assert!(text.contains("re-solve"), "{text}");
+}
+
+#[test]
+fn doctor_rejects_missing_and_empty_input() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-doctor-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = pipemap()
+        .arg("doctor")
+        .arg(dir.join("nope.jsonl"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let empty = write_spec(&dir, "empty.jsonl", "");
+    let out = pipemap().arg("doctor").arg(&empty).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no complete journeys"), "{err}");
+}
