@@ -53,7 +53,7 @@ echo "== doctor smoke: traced load run diagnosed drift-free =="
 # is also checked for structural well-formedness.
 JOURNEY_SMOKE_OUT=$(mktemp /tmp/pipemap-journeys.XXXXXX.jsonl)
 DOCTOR_SMOKE_OUT=$(mktemp /tmp/pipemap-doctor.XXXXXX.json)
-trap 'rm -f "$JOURNEY_SMOKE_OUT" "$DOCTOR_SMOKE_OUT" "${BENCH_SMOKE_OUT:-}"' EXIT
+trap 'rm -f "$JOURNEY_SMOKE_OUT" "$DOCTOR_SMOKE_OUT" "${BENCH_SMOKE_OUT:-}" "${LIVE_SMOKE_LOG:-}"; kill "${LIVE_SMOKE_PID:-}" 2>/dev/null || true' EXIT
 ./target/release/pipemap load fft-hist --duration 2s --size 64 \
     --journey-out "$JOURNEY_SMOKE_OUT" --journey-sample 8
 ./target/release/pipemap doctor "$JOURNEY_SMOKE_OUT" \
@@ -70,6 +70,49 @@ for s in r["stages"]:
         assert s[comp]["mean_s"] >= 0, (s["name"], comp)
 print("doctor smoke: %d journeys, drift-free" % r["complete"])
 EOF
+
+echo "== live-attach smoke: observatory endpoints over a held load run =="
+# Serve the full observatory surface from a short micro load run (--hold
+# keeps the server up after the datasets drain), attach `pipemap top`
+# and the doctor to it over HTTP, and check that /model.json and
+# /events.jsonl are well-formed. This is the end-to-end path a live
+# operator takes; ports are OS-assigned so parallel CI runs don't clash.
+LIVE_SMOKE_LOG=$(mktemp /tmp/pipemap-live-smoke.XXXXXX.log)
+./target/release/pipemap load micro --datasets 20000 \
+    --serve 127.0.0.1:0 --hold 30 2> "$LIVE_SMOKE_LOG" &
+LIVE_SMOKE_PID=$!
+LIVE_ADDR=""
+for _ in $(seq 1 100); do
+    LIVE_ADDR=$(sed -n 's#^serving metrics on http://\([^/]*\)/metrics.*#\1#p' "$LIVE_SMOKE_LOG")
+    [ -n "$LIVE_ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$LIVE_ADDR" ]; then
+    echo "live smoke: server never announced an address" >&2
+    cat "$LIVE_SMOKE_LOG" >&2
+    exit 1
+fi
+./target/release/pipemap top --attach "$LIVE_ADDR" --once
+./target/release/pipemap doctor --attach "$LIVE_ADDR" --model online > /dev/null
+python3 - "$LIVE_ADDR" <<'EOF'
+import json, sys, urllib.request
+addr = sys.argv[1]
+model = json.load(urllib.request.urlopen("http://%s/model.json" % addr, timeout=10))
+assert model["model_schema"] == "pipemap-model/v1", model
+assert model["journeys_ingested"] > 0, "observatory ingested no journeys"
+assert model["stages"], "model published no stages"
+for s in model["stages"]:
+    for key in ("stage", "samples", "p", "mean_s", "drift", "fitted"):
+        assert key in s, (key, s)
+raw = urllib.request.urlopen("http://%s/events.jsonl" % addr, timeout=10).read()
+lines = [json.loads(l) for l in raw.decode().splitlines() if l.strip()]
+assert lines and lines[0].get("event_schema") == "pipemap-events/v1", lines[:1]
+for e in lines[1:]:
+    assert "kind" in e and "severity" in e and "t_us" in e, e
+print("live smoke: %d stages modelled, %d events" % (len(model["stages"]), len(lines) - 1))
+EOF
+kill "$LIVE_SMOKE_PID" 2>/dev/null || true
+wait "$LIVE_SMOKE_PID" 2>/dev/null || true
 
 echo "== bench-smoke: quick perf suite + schema check =="
 BENCH_SMOKE_OUT=$(mktemp /tmp/pipemap-bench-smoke.XXXXXX.json)

@@ -113,6 +113,21 @@ pub fn run_load(
     let rec = pipemap_obs::global();
     let lat_hist = rec.histogram("exec.load.latency_s");
     let mut samples: Vec<f64> = Vec::new();
+    // SLO alerting: evaluate every completed data set's end-to-end
+    // latency against the objective, emitting burn-rate events into the
+    // plan's event log.
+    let mut alerts = match (&plan.events, plan.slo) {
+        (Some(log), Some(slo)) => {
+            Some((pipemap_obs::AlertEngine::new(slo, log.clone()), log.clone()))
+        }
+        _ => None,
+    };
+    // Reading the clock per completion is measurable at hundreds of
+    // thousands of datasets per second, and the burn windows bucket
+    // time far coarser than a few dozen datasets anyway — so refresh
+    // the alert timestamp every 32 observations instead of every one.
+    let mut alert_t_us = 0.0;
+    let mut alert_ctr = 0u32;
     // Journey tracing: the load driver owns the sink side, so it records
     // the terminal `Sink` event as each data set completes.
     let mut jsink = plan
@@ -154,6 +169,13 @@ pub fn run_load(
             let latency = item.born.elapsed().as_secs_f64();
             lat_hist.record(latency);
             samples.push(latency);
+            if let Some((engine, log)) = alerts.as_mut() {
+                if alert_ctr.is_multiple_of(32) {
+                    alert_t_us = log.now_us();
+                }
+                alert_ctr = alert_ctr.wrapping_add(1);
+                engine.observe_latency(alert_t_us, latency);
+            }
         },
     );
     LoadReport {
@@ -236,6 +258,46 @@ mod tests {
         assert!(t0.elapsed() < Duration::from_secs(5));
         assert_eq!(report.generated, report.completed);
         assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn slo_burn_and_backpressure_events_fire_under_overload() {
+        use pipemap_obs::{EventKind, EventLog, EventLogConfig, SloConfig};
+        // A 2 ms stage behind a depth-1 queue, driven open loop: every
+        // latency blows the 1 µs objective (fast burn fires) and the
+        // source blocks on stage-0 admission (backpressure onset).
+        let log = EventLog::new(EventLogConfig::default());
+        let plan = PipelinePlan::new(vec![StagePlan::serial(Stage::new("slow", |x: u64, _| {
+            std::thread::sleep(Duration::from_millis(2));
+            x
+        }))])
+        .with_events(log.clone())
+        .with_slo(SloConfig::default().with_objective(1e-6, 0.99));
+        let report = run_load(
+            &plan,
+            |seq| Box::new(seq as u64),
+            &LoadOptions {
+                rate: None,
+                duration: None,
+                max_datasets: Some(60),
+            },
+        );
+        assert_eq!(report.completed, 60);
+        let events = log.snapshot();
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::SloFastBurn),
+            "no fast-burn event in {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::BackpressureOnset),
+            "no backpressure onset in {events:?}"
+        );
+        // Timestamps ride the log's shared epoch, so they are ordered.
+        for w in events.windows(2) {
+            assert!(w[0].t_us <= w[1].t_us);
+        }
     }
 
     #[test]

@@ -28,12 +28,20 @@ use std::mem;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use pipemap_obs::{Counter, JourneyCollector, JourneyKind, JourneySink, Recorder, TraceEvent};
+use pipemap_obs::{
+    Counter, EventKind, EventLog, JourneyCollector, JourneyKind, JourneySink, ObsEvent, Recorder,
+    Severity, SloConfig, TraceEvent,
+};
 
 use crate::stage::{Data, Stage};
 
 /// Default latency bound on buffered batch items (microseconds).
 pub const DEFAULT_FLUSH_US: u64 = 200;
+
+/// A single send blocking at least this long (seconds) marks the sender
+/// as backpressured; a send blocking under half of it clears the state
+/// (hysteresis, so a boundary-hovering sender cannot flap events).
+const BACKPRESSURE_ONSET_S: f64 = 1e-3;
 
 /// One stage of a pipeline plan: the computation plus its mapping.
 #[derive(Clone, Debug)]
@@ -88,6 +96,16 @@ pub struct PipelinePlan {
     /// enqueue/dequeue/service/send events for sampled data sets into
     /// this collector (see [`pipemap_obs::journey`]).
     pub journeys: Option<JourneyCollector>,
+    /// Structured-event emission: when set, senders emit
+    /// `backpressure_onset`/`backpressure_end` events (with hysteresis)
+    /// as downstream queues fill and drain, and the load driver runs the
+    /// latency-SLO [`AlertEngine`](pipemap_obs::AlertEngine) when
+    /// [`slo`](Self::slo) is also set.
+    pub events: Option<EventLog>,
+    /// Latency-SLO objective evaluated by
+    /// [`run_load`](crate::driver::run_load); requires
+    /// [`events`](Self::events) for the alerts to land anywhere.
+    pub slo: Option<SloConfig>,
 }
 
 impl PipelinePlan {
@@ -101,6 +119,8 @@ impl PipelinePlan {
             batch: 1,
             flush_us: DEFAULT_FLUSH_US,
             journeys: None,
+            events: None,
+            slo: None,
         }
     }
 
@@ -127,6 +147,18 @@ impl PipelinePlan {
     /// Attach a journey collector (see [`Self::journeys`]).
     pub fn with_journeys(mut self, journeys: JourneyCollector) -> Self {
         self.journeys = Some(journeys);
+        self
+    }
+
+    /// Attach an event log (see [`Self::events`]).
+    pub fn with_events(mut self, events: EventLog) -> Self {
+        self.events = Some(events);
+        self
+    }
+
+    /// Evaluate a latency SLO during load runs (see [`Self::slo`]).
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = Some(slo);
         self
     }
 }
@@ -224,9 +256,15 @@ struct TxSet {
     /// when the targets are the sink channel (no enqueue recorded).
     journey: Option<JourneySink>,
     dest_stage: Option<u32>,
+    /// Structured backpressure events; `src_stage` is `None` for the
+    /// source feeder.
+    events: Option<EventLog>,
+    src_stage: Option<u32>,
+    bp_active: bool,
 }
 
 impl TxSet {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         targets: Vec<Sender<Batch>>,
         batch: usize,
@@ -235,6 +273,8 @@ impl TxSet {
         wait_ctr: Counter,
         journey: Option<JourneySink>,
         dest_stage: Option<u32>,
+        events: Option<EventLog>,
+        src_stage: Option<u32>,
     ) -> Self {
         let now = Instant::now();
         Self {
@@ -251,6 +291,50 @@ impl TxSet {
             wait_ctr,
             journey,
             dest_stage,
+            events,
+            src_stage,
+            bp_active: false,
+        }
+    }
+
+    /// Track the backpressure state machine after a send that blocked
+    /// for `blocked` seconds: one onset event when a send first blocks
+    /// past [`BACKPRESSURE_ONSET_S`], one end event once sends flow
+    /// freely again (half-threshold hysteresis in between).
+    /// Event-message name for this sender.
+    fn who(&self) -> String {
+        match self.src_stage {
+            Some(s) => format!("stage {s}"),
+            None => "source".to_string(),
+        }
+    }
+
+    fn note_blocked(&mut self, blocked: f64) {
+        let Some(log) = self.events.as_ref() else {
+            return;
+        };
+        // Both arms are state *transitions*, so the formatting below is
+        // off the steady-state path — most calls return right here.
+        if !self.bp_active && blocked >= BACKPRESSURE_ONSET_S {
+            self.bp_active = true;
+            log.emit(ObsEvent {
+                t_us: log.now_us(),
+                kind: EventKind::BackpressureOnset,
+                severity: Severity::Warning,
+                stage: self.src_stage,
+                value: blocked,
+                message: format!("{} blocked {:.1} ms on send", self.who(), blocked * 1e3),
+            });
+        } else if self.bp_active && blocked < BACKPRESSURE_ONSET_S * 0.5 {
+            self.bp_active = false;
+            log.emit(ObsEvent {
+                t_us: log.now_us(),
+                kind: EventKind::BackpressureEnd,
+                severity: Severity::Info,
+                stage: self.src_stage,
+                value: blocked,
+                message: format!("{} sends flowing again", self.who()),
+            });
         }
     }
 
@@ -306,6 +390,7 @@ impl TxSet {
         let blocked = t0.elapsed().as_secs_f64();
         self.send_wait += blocked;
         self.wait_ctr.add((blocked * 1e6) as u64);
+        self.note_blocked(blocked);
         self.messages += 1;
         self.items += n;
         self.msg_ctr.add(1);
@@ -613,6 +698,7 @@ pub(crate) fn execute(
                 let rec = rec.clone();
                 let lane = lanes[si][ii];
                 let journeys = plan.journeys.as_ref();
+                let events = plan.events.clone();
                 let dest_stage = (si + 1 < n_stages).then(|| (si + 1) as u32);
                 worker_handles.push(scope.spawn(move || {
                     let send_ctr = rec.counter(&format!("exec.stage{si}.send_wait_us"));
@@ -624,6 +710,8 @@ pub(crate) fn execute(
                         send_ctr,
                         journeys.map(JourneyCollector::sink),
                         dest_stage,
+                        events,
+                        Some(si as u32),
                     );
                     worker_loop(WorkerCtx {
                         rx,
@@ -650,6 +738,7 @@ pub(crate) fn execute(
         // the disconnect cascades down the chain as workers finish.
         let feeder_rec = rec.clone();
         let feeder_journeys = plan.journeys.as_ref();
+        let feeder_events = plan.events.clone();
         let feeder_handle = scope.spawn(move || {
             let send_ctr = feeder_rec.counter("exec.source.send_wait_us");
             let mut feeder = Feeder {
@@ -661,6 +750,8 @@ pub(crate) fn execute(
                     send_ctr,
                     feeder_journeys.map(JourneyCollector::sink),
                     Some(0),
+                    feeder_events,
+                    None,
                 ),
                 seq: 0,
                 journey: feeder_journeys.map(JourneyCollector::sink),

@@ -8,7 +8,11 @@
 //! * `GET /recorder.jsonl` — the flight-recorder ring as JSONL (404
 //!   when no recorder is attached);
 //! * `GET /journeys.jsonl` — the journey collector's current ring as
-//!   JSONL (404 when none is attached; see [`serve_with_journeys`]).
+//!   JSONL (404 when none is attached; see [`serve_with_journeys`]);
+//! * `GET /events.jsonl` — the structured event ring as JSONL (404 when
+//!   none is attached; see [`serve_observatory`]);
+//! * `GET /model.json` — the latest online-fitted cost model (404 when
+//!   no publisher is attached).
 //!
 //! The server runs on one background thread, handling connections
 //! serially — scrape endpoints see one client at a time and responses
@@ -23,6 +27,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::events::{EventLog, ModelPublisher};
 use crate::journey::{journey_jsonl, JourneyCollector};
 use crate::metrics::Registry;
 use crate::recorder::FlightRecorder;
@@ -79,12 +84,29 @@ pub fn serve_with_journeys(
     recorder: Option<&FlightRecorder>,
     journeys: Option<&JourneyCollector>,
 ) -> std::io::Result<MetricsServer> {
+    serve_observatory(addr, registry, recorder, journeys, None, None)
+}
+
+/// The full exposition surface: [`serve_with_journeys`] plus the
+/// structured event ring at `GET /events.jsonl` and the online-fitted
+/// cost model at `GET /model.json`, so `pipemap top --attach` can render
+/// a live dashboard.
+pub fn serve_observatory(
+    addr: impl ToSocketAddrs,
+    registry: &Registry,
+    recorder: Option<&FlightRecorder>,
+    journeys: Option<&JourneyCollector>,
+    events: Option<&EventLog>,
+    model: Option<&ModelPublisher>,
+) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let registry = registry.clone_handle();
     let recorder = recorder.map(FlightRecorder::share_ring);
     let journeys = journeys.cloned();
+    let events = events.cloned();
+    let model = model.cloned();
     let stop_flag = stop.clone();
     let thread = std::thread::spawn(move || {
         for conn in listener.incoming() {
@@ -95,7 +117,14 @@ pub fn serve_with_journeys(
             // A misbehaving client must not wedge the scrape loop.
             let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
             let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-            let _ = handle(stream, &registry, recorder.as_ref(), journeys.as_ref());
+            let _ = handle(
+                stream,
+                &registry,
+                recorder.as_ref(),
+                journeys.as_ref(),
+                events.as_ref(),
+                model.as_ref(),
+            );
         }
     });
     Ok(MetricsServer {
@@ -110,6 +139,8 @@ fn handle(
     registry: &Registry,
     recorder: Option<&FlightRecorder>,
     journeys: Option<&JourneyCollector>,
+    events: Option<&EventLog>,
+    model: Option<&ModelPublisher>,
 ) -> std::io::Result<()> {
     let path = match read_request_path(&mut stream) {
         Some(p) => p,
@@ -167,11 +198,45 @@ fn handle(
                 "no journey collector attached\n",
             ),
         },
+        "/events.jsonl" => match events {
+            Some(log) => respond(
+                &mut stream,
+                "200 OK",
+                "application/jsonl; charset=utf-8",
+                &log.to_jsonl(),
+            ),
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no event log attached\n",
+            ),
+        },
+        "/model.json" => match model {
+            Some(slot) => {
+                let mut body = slot.current();
+                if !body.ends_with('\n') {
+                    body.push('\n');
+                }
+                respond(
+                    &mut stream,
+                    "200 OK",
+                    "application/json; charset=utf-8",
+                    &body,
+                )
+            }
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no model publisher attached\n",
+            ),
+        },
         _ => respond(
             &mut stream,
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "routes: /metrics /snapshot.json /recorder.jsonl /journeys.jsonl\n",
+            "routes: /metrics /snapshot.json /recorder.jsonl /journeys.jsonl /events.jsonl /model.json\n",
         ),
     }
 }
@@ -298,6 +363,56 @@ mod tests {
         assert_eq!(events[0].seq, 3);
         // Serving snapshots without draining: the ring still holds both.
         assert_eq!(col.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn events_and_model_routes_serve_the_observatory() {
+        use crate::events::{EventKind, EventLog, ModelPublisher, ObsEvent, Severity};
+        let registry = Registry::new();
+        let log = EventLog::default();
+        log.emit(ObsEvent {
+            t_us: 1.0,
+            kind: EventKind::BottleneckChange,
+            severity: Severity::Warning,
+            stage: Some(1),
+            value: 2.0,
+            message: "moved".to_string(),
+        });
+        let model = ModelPublisher::new();
+        let server = serve_observatory(
+            "127.0.0.1:0",
+            &registry,
+            None,
+            None,
+            Some(&log),
+            Some(&model),
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let (head, body) = http_get(addr, "/events.jsonl");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let events = crate::events::parse_events_jsonl(&body).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::BottleneckChange);
+
+        // Before any publish the model route still serves valid JSON.
+        let (head, body) = http_get(addr, "/model.json");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        crate::json::Value::parse(body.trim()).unwrap();
+        model.publish("{\"schema\":\"x\"}".to_string());
+        let (_, body) = http_get(addr, "/model.json");
+        assert!(body.contains("\"schema\""), "{body}");
+    }
+
+    #[test]
+    fn observatory_routes_are_404_when_unattached() {
+        let registry = Registry::new();
+        let server = serve("127.0.0.1:0", &registry, None).unwrap();
+        let (head, _) = http_get(server.addr(), "/events.jsonl");
+        assert!(head.starts_with("HTTP/1.1 404"));
+        let (head, _) = http_get(server.addr(), "/model.json");
+        assert!(head.starts_with("HTTP/1.1 404"));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //!
 //! Only std is used — no external dependencies.
 
+pub mod events;
 pub mod expose;
 pub mod journey;
 pub mod json;
@@ -41,7 +42,11 @@ pub mod trace;
 
 use std::sync::OnceLock;
 
-pub use expose::{serve, serve_with_journeys, MetricsServer};
+pub use events::{
+    events_jsonl, parse_events_jsonl, AlertEngine, BottleneckTracker, EventKind, EventLog,
+    EventLogConfig, ModelPublisher, ObsEvent, Severity, SloConfig, EVENT_SCHEMA,
+};
+pub use expose::{serve, serve_observatory, serve_with_journeys, MetricsServer};
 pub use journey::{
     chrome_flow_trace, journey_jsonl, parse_journey_jsonl, stitch, Hop, Journey, JourneyCollector,
     JourneyConfig, JourneyEvent, JourneyKind, JourneySink, JOURNEY_SCHEMA,
@@ -51,7 +56,7 @@ pub use metrics::{
     Counter, Histogram, HistogramHandle, HistogramSummary, MetricsSnapshot, Recorder, Registry,
     Timer,
 };
-pub use openmetrics::render_openmetrics;
+pub use openmetrics::{escape_label_value, render_openmetrics};
 pub use recorder::{FlightRecorder, FlightSample, RecorderConfig};
 pub use trace::{chrome_trace, chrome_trace_with_counters, events_to_jsonl, SpanGuard, TraceEvent};
 

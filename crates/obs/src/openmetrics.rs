@@ -28,6 +28,45 @@ fn metric_name(raw: &str) -> String {
     out
 }
 
+/// Escape a label *value* for the exposition format: inside the double
+/// quotes, backslash, double quote, and newline must be escaped as
+/// `\\`, `\"`, and `\n` respectively (anything else passes through).
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one labelled sample line: `name{k1="v1",k2="v2"} value`, with
+/// every label value escaped via [`escape_label_value`].
+fn labelled_sample(name: &str, labels: &[(&str, &str)], value: &str) -> String {
+    let mut out = String::from(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label_value(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+    out
+}
+
 /// Format a float the way Prometheus expects (`+Inf`/`-Inf`/`NaN` words).
 fn number(v: f64) -> String {
     if v.is_nan() {
@@ -61,9 +100,17 @@ pub fn render_openmetrics(registry: &Registry) -> String {
         let summary = hist.summary();
         out.push_str(&format!("# TYPE {m} histogram\n"));
         for (le, cum) in hist.cumulative_buckets() {
-            out.push_str(&format!("{m}_bucket{{le=\"{}\"}} {cum}\n", number(le)));
+            out.push_str(&labelled_sample(
+                &format!("{m}_bucket"),
+                &[("le", &number(le))],
+                &cum.to_string(),
+            ));
         }
-        out.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {}\n", summary.count));
+        out.push_str(&labelled_sample(
+            &format!("{m}_bucket"),
+            &[("le", "+Inf")],
+            &summary.count.to_string(),
+        ));
         out.push_str(&format!("{m}_sum {}\n", number(summary.sum)));
         out.push_str(&format!("{m}_count {}\n", summary.count));
         // Companion summary family with the quantile estimates.
@@ -73,7 +120,11 @@ pub fn render_openmetrics(registry: &Registry) -> String {
             ("0.95", summary.p95),
             ("0.99", summary.p99),
         ] {
-            out.push_str(&format!("{m}_q{{quantile=\"{q}\"}} {}\n", number(v)));
+            out.push_str(&labelled_sample(
+                &format!("{m}_q"),
+                &[("quantile", q)],
+                &number(v),
+            ));
         }
         out.push_str(&format!("{m}_q_sum {}\n", number(summary.sum)));
         out.push_str(&format!("{m}_q_count {}\n", summary.count));
@@ -105,6 +156,33 @@ mod tests {
             "pipemap_solver_dp_mapping_cells"
         );
         assert_eq!(metric_name("9lives"), "pipemap_9lives");
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_and_newlines() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("C:\\tmp\\x"), "C:\\\\tmp\\\\x");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        // All three at once, in order.
+        assert_eq!(escape_label_value("\"\\\n"), "\\\"\\\\\\n");
+    }
+
+    #[test]
+    fn labelled_samples_escape_their_values_and_stay_single_line() {
+        let line = labelled_sample(
+            "pipemap_m",
+            &[("stage", "fft \"rows\""), ("path", "a\\b\nc")],
+            "1",
+        );
+        assert_eq!(
+            line,
+            "pipemap_m{stage=\"fft \\\"rows\\\"\",path=\"a\\\\b\\nc\"} 1\n"
+        );
+        // A hostile label value cannot break the sample across lines.
+        assert_eq!(line.matches('\n').count(), 1);
+        // No labels at all: a bare sample.
+        assert_eq!(labelled_sample("pipemap_m", &[], "2"), "pipemap_m 2\n");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 pub mod executions;
 pub mod fit;
 pub mod linalg;
+pub mod online;
 pub mod training;
 
 pub use executions::{
@@ -30,6 +31,9 @@ pub use executions::{
 };
 pub use fit::{fit_ecom, fit_unary, FitOptions, FitReport};
 pub use linalg::{least_squares, solve_linear};
+pub use online::{
+    Decayed, EdgeEstimator, EstimatorSnapshot, OnlineConfig, OnlineModel, StageEstimator, Welford,
+};
 pub use training::{
     default_training_procs, fit_chain, model_accuracy, profile_chain, AccuracyReport, ProfileData,
     TrainingConfig,

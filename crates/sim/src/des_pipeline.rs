@@ -12,11 +12,11 @@
 use std::collections::HashMap;
 
 use pipemap_chain::{module_response, Mapping, TaskChain};
-use pipemap_obs::{JourneyCollector, JourneyKind, JourneySink};
+use pipemap_obs::{BottleneckTracker, JourneyCollector, JourneyKind, JourneySink};
 
 use crate::engine::Engine;
 use crate::noise::NoiseModel;
-use crate::pipeline::{SimConfig, SimResult};
+use crate::pipeline::{CostPerturbation, SimConfig, SimResult, EVENT_WINDOW};
 use crate::stats::Summary;
 
 /// Events of the pipeline model.
@@ -52,6 +52,12 @@ struct Model {
     busy: Vec<f64>,
     /// Journey tracing sink (virtual timestamps, sim-seconds × 1e6).
     journey: Option<JourneySink>,
+    /// Mid-stream cost drift, applied exactly as in the forward sweep.
+    perturb: Option<CostPerturbation>,
+    /// Per-(dataset, stage) sampled exec durations, row-major `n × l`,
+    /// fed to the bottleneck tracker when the data set completes.
+    svc: Vec<f64>,
+    tracker: Option<BottleneckTracker>,
 }
 
 impl Model {
@@ -59,6 +65,16 @@ impl Model {
         match &mut self.noise {
             Some(n) => n.perturb(d),
             None => d,
+        }
+    }
+
+    /// Noise-free exec duration of module `i` for data set `n`, with the
+    /// configured perturbation applied.
+    fn exec_base(&self, i: usize, n: usize) -> f64 {
+        let base = self.durations[i].1;
+        match self.perturb {
+            Some(p) if p.stage == i && n >= p.after => base * p.factor,
+            _ => base,
         }
     }
 
@@ -96,8 +112,10 @@ impl Model {
             // No incoming transfer: service starts the moment the data
             // set is picked up.
             self.journal(now, JourneyKind::ServiceStart, n, 0, c as u32);
-            let dur = self.sample(self.durations[0].1);
+            let base = self.exec_base(0, n);
+            let dur = self.sample(base);
             self.busy[0] += dur;
+            self.svc[n * self.l] = dur;
             eng.schedule_in(dur, Ev::ExecEnd { module: 0, n });
         } else {
             self.exec_done.insert((i - 1, n), false);
@@ -124,8 +142,10 @@ impl Model {
                 let now = eng.now();
                 let c = (n % self.replicas[i]) as u32;
                 self.journal(now, JourneyKind::ServiceStart, n, i as u32, c);
-                let dur = self.sample(self.durations[i].1);
+                let base = self.exec_base(i, n);
+                let dur = self.sample(base);
                 self.busy[i] += dur;
+                self.svc[n * self.l + i] = dur;
                 eng.schedule_in(dur, Ev::ExecEnd { module: i, n });
                 // The sender instance becomes free for its next data set
                 // — unless the edge costs nothing, in which case it was
@@ -152,6 +172,10 @@ impl Model {
                     self.journal(now, JourneyKind::Enqueue, n, (i + 1) as u32, cd);
                 } else {
                     self.journal(now, JourneyKind::Sink, n, self.l as u32, 0);
+                    if let Some(tr) = self.tracker.as_mut() {
+                        let row = &self.svc[n * self.l..(n + 1) * self.l];
+                        tr.observe(now * 1e6, row);
+                    }
                 }
                 if i + 1 == self.l {
                     // Output leaves for free; the instance is done with n.
@@ -210,6 +234,12 @@ pub fn simulate_des(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) ->
         finish_times: vec![0.0; n_data],
         busy: vec![0.0; l],
         journey: config.journeys.as_ref().map(JourneyCollector::sink),
+        perturb: config.perturb,
+        svc: vec![0.0; n_data * l],
+        tracker: config
+            .events
+            .as_ref()
+            .map(|log| BottleneckTracker::new(&replicas, EVENT_WINDOW, log.clone())),
     };
     // Every instance starts idle, waiting for its first data set.
     for (i, &r) in replicas.iter().enumerate() {
@@ -354,6 +384,42 @@ mod tests {
     fn single_module_single_instance() {
         let m = Mapping::new(vec![ModuleAssignment::new(0, 2, 1, 4)]);
         agree(m, &SimConfig::with_datasets(60));
+    }
+
+    #[test]
+    fn perturbed_runs_agree_and_emit_bottleneck_change() {
+        use pipemap_obs::{EventKind, EventLog, EventLogConfig};
+        let c = chain3();
+        let m = Mapping::new(vec![
+            ModuleAssignment::new(0, 0, 1, 2),
+            ModuleAssignment::new(1, 1, 1, 3),
+            ModuleAssignment::new(2, 2, 1, 1),
+        ]);
+        // Stage execs are 2.5 / 2.2 / 2.1 s: stage 0 governs until the
+        // 6x slowdown moves the bottleneck to stage 2 mid-stream.
+        let base = SimConfig::with_datasets(300).with_perturbation(100, 2, 6.0);
+        let ls = EventLog::new(EventLogConfig::default());
+        let ld = EventLog::new(EventLogConfig::default());
+        let sweep = simulate(&c, &m, &base.clone().with_events(ls.clone()));
+        let des = simulate_des(&c, &m, &base.with_events(ld.clone()));
+        assert!(
+            (sweep.throughput - des.throughput).abs() <= 1e-9 * sweep.throughput.abs().max(1.0),
+            "perturbed throughput: sweep {} vs des {}",
+            sweep.throughput,
+            des.throughput
+        );
+        assert!((sweep.makespan - des.makespan).abs() <= 1e-9 * sweep.makespan.max(1.0));
+        // The perturbation actually bit: slower than the unperturbed run.
+        let clean = simulate(&c, &m, &SimConfig::with_datasets(300));
+        assert!(sweep.throughput < 0.5 * clean.throughput);
+        for (name, log) in [("sweep", ls), ("des", ld)] {
+            let events = log.snapshot();
+            let change = events
+                .iter()
+                .find(|e| e.kind == EventKind::BottleneckChange)
+                .unwrap_or_else(|| panic!("{name}: no bottleneck_change in {events:?}"));
+            assert_eq!(change.stage, Some(2), "{name}: moved to the slow stage");
+        }
     }
 
     #[test]

@@ -14,11 +14,31 @@
 //! result is exactly the event-driven schedule.
 
 use pipemap_chain::{module_response, Mapping, TaskChain};
-use pipemap_obs::{JourneyCollector, JourneyKind};
+use pipemap_obs::{BottleneckTracker, EventLog, JourneyCollector, JourneyKind};
 
 use crate::noise::NoiseModel;
 use crate::stats::Summary;
 use crate::trace::{Activity, ActivityKind, Trace};
+
+/// Data sets per bottleneck re-evaluation window when an event log is
+/// attached (shared by the sweep and DES simulators so their event
+/// streams match).
+pub(crate) const EVENT_WINDOW: usize = 16;
+
+/// A mid-stream multiplicative change to one stage's execution cost:
+/// data sets with index `>= after` see stage `stage`'s exec time
+/// multiplied by `factor`. Both simulators apply it identically (so
+/// their 1e-9 equivalence holds under drift); it provides a known
+/// ground truth for the online estimators and the drift doctor.
+#[derive(Clone, Copy, Debug)]
+pub struct CostPerturbation {
+    /// First data-set index affected.
+    pub after: usize,
+    /// Module (stage) index whose exec cost changes.
+    pub stage: usize,
+    /// Multiplier applied to the stage's exec duration.
+    pub factor: f64,
+}
 
 /// Simulation parameters.
 #[derive(Clone, Debug)]
@@ -43,6 +63,14 @@ pub struct SimConfig {
     /// (virtual timestamps, simulated-seconds × 1e6), so the doctor's
     /// analysis runs identically on simulated and real executions.
     pub journeys: Option<JourneyCollector>,
+    /// Optional mid-stream cost drift (see [`CostPerturbation`]).
+    pub perturb: Option<CostPerturbation>,
+    /// Structured-event emission: when set, a [`BottleneckTracker`]
+    /// watches the per-data-set exec services and emits
+    /// `bottleneck_change` events into the log as the perturbation (or
+    /// noise) moves the governing stage. Emission never alters the
+    /// simulated schedule, so sweep/DES equivalence is unaffected.
+    pub events: Option<EventLog>,
 }
 
 impl Default for SimConfig {
@@ -54,6 +82,8 @@ impl Default for SimConfig {
             arrival_period: None,
             collect_trace: false,
             journeys: None,
+            perturb: None,
+            events: None,
         }
     }
 }
@@ -91,6 +121,24 @@ impl SimConfig {
     /// Attach a journey collector (see [`SimConfig::journeys`]).
     pub fn with_journeys(mut self, journeys: JourneyCollector) -> Self {
         self.journeys = Some(journeys);
+        self
+    }
+
+    /// Multiply stage `stage`'s exec cost by `factor` from data set
+    /// `after` onward (see [`CostPerturbation`]).
+    pub fn with_perturbation(mut self, after: usize, stage: usize, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "factor must be > 0");
+        self.perturb = Some(CostPerturbation {
+            after,
+            stage,
+            factor,
+        });
+        self
+    }
+
+    /// Attach an event log (see [`SimConfig::events`]).
+    pub fn with_events(mut self, events: EventLog) -> Self {
+        self.events = Some(events);
         self
     }
 }
@@ -156,6 +204,11 @@ pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> Sim
     let mut finish_times = vec![0.0f64; n_data];
     let mut trace = config.collect_trace.then(Trace::default);
     let mut jsink = config.journeys.as_ref().map(JourneyCollector::sink);
+    let mut tracker = config
+        .events
+        .as_ref()
+        .map(|log| BottleneckTracker::new(&replicas, EVENT_WINDOW, log.clone()));
+    let mut services = vec![0.0f64; l];
 
     let sample = |d: f64, noise: &mut Option<NoiseModel>| -> f64 {
         match noise {
@@ -238,7 +291,12 @@ pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> Sim
                     t
                 };
             }
+            let exec = match config.perturb {
+                Some(p) if p.stage == i && n >= p.after => exec * p.factor,
+                _ => exec,
+            };
             let dur = sample(exec, &mut noise);
+            services[i] = dur;
             if let Some(tr) = trace.as_mut() {
                 tr.push(Activity {
                     module: i,
@@ -264,6 +322,9 @@ pub fn simulate(chain: &TaskChain, mapping: &Mapping, config: &SimConfig) -> Sim
         finish_times[n] = upstream_done;
         if let Some(j) = jsink.as_mut() {
             j.record_at(upstream_done * 1e6, JourneyKind::Sink, n, l as u32, 0, 0);
+        }
+        if let Some(tr) = tracker.as_mut() {
+            tr.observe(upstream_done * 1e6, &services);
         }
         datasets_ctr.add(1);
         activities_ctr.add(activities);

@@ -526,9 +526,9 @@ fn bench_executor_dataplane(metrics: &mut Value, opts: &BenchOptions) {
 /// 2% slack — sampled tracing costing more than that is a regression.
 fn bench_journey_overhead(metrics: &mut Value, opts: &BenchOptions) {
     // Longer streams than the dataplane case: the A/B delta being
-    // bounded here is a couple of percent, which 5ms runs cannot
-    // resolve above scheduler noise.
-    let n = if opts.quick { 15_000 } else { 60_000 };
+    // bounded here is a couple of percent, which runs of a few
+    // milliseconds cannot resolve above scheduler noise.
+    let n = if opts.quick { 40_000 } else { 120_000 };
     let base = LoadConfig {
         duration_s: None,
         datasets: Some(n),
@@ -603,6 +603,98 @@ fn bench_journey_overhead(metrics: &mut Value, opts: &BenchOptions) {
     );
 }
 
+/// Cost of the full live observatory — sampled journeys, SLO/alert
+/// event log, and a background thread refitting the online cost model
+/// from the stream — versus a plain run of the same load. Same paired
+/// alternating-order median-of-ratios scoring as
+/// [`bench_journey_overhead`]; the committed baseline pins the whole
+/// observatory under a 2% throughput tax.
+fn bench_estimator_overhead(metrics: &mut Value, opts: &BenchOptions) {
+    let n = if opts.quick { 40_000 } else { 120_000 };
+    let base = LoadConfig {
+        duration_s: None,
+        datasets: Some(n),
+        stages: 4,
+        size: 512,
+        ..LoadConfig::default()
+    };
+
+    let run_base = |base: &LoadConfig| {
+        let r = run_configured_load(base);
+        assert_eq!(r.report.completed, n);
+        r.report.throughput
+    };
+    let run_observed = |base: &LoadConfig| {
+        let journeys = pipemap_obs::JourneyCollector::new(
+            pipemap_obs::JourneyConfig::default().with_sample(32),
+        );
+        let events = pipemap_obs::EventLog::default();
+        let publisher = pipemap_obs::ModelPublisher::default();
+        let observatory = crate::observatory::Observatory::without_statics(
+            base.stages,
+            crate::observatory::ObservatoryConfig::default(),
+            events.clone(),
+            publisher.clone(),
+        );
+        let handle = crate::observatory::spawn_observatory(
+            journeys.clone(),
+            observatory,
+            std::time::Duration::from_millis(250),
+        );
+        let r = run_configured_load(&LoadConfig {
+            journeys: Some(journeys.clone()),
+            events: Some(events.clone()),
+            slo: Some(pipemap_obs::SloConfig::default()),
+            ..base.clone()
+        });
+        let observatory = handle.stop();
+        assert_eq!(r.report.completed, n);
+        // The observed runs must actually have exercised the estimators,
+        // or the A/B comparison is vacuous.
+        assert!(
+            observatory.ingested() > 0,
+            "observatory ingested no journeys during the observed run"
+        );
+        r.report.throughput
+    };
+
+    let mut thr_base: f64 = 0.0;
+    let mut thr_observed: f64 = 0.0;
+    let mut ratios = Vec::new();
+    for pair in 0..5 {
+        let (b, t) = if pair % 2 == 0 {
+            let b = run_base(&base);
+            (b, run_observed(&base))
+        } else {
+            let t = run_observed(&base);
+            (run_base(&base), t)
+        };
+        thr_base = thr_base.max(b);
+        thr_observed = thr_observed.max(t);
+        ratios.push(t / b.max(1e-9));
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median_ratio = ratios[ratios.len() / 2];
+    let prefix = "obs.estimator_overhead";
+    metrics.set(
+        format!("{prefix}.throughput"),
+        metric(thr_observed, "datasets/s", Direction::Higher, 500.0),
+    );
+    metrics.set(
+        format!("{prefix}.baseline_throughput"),
+        metric(thr_base, "datasets/s", Direction::Higher, 500.0),
+    );
+    metrics.set(
+        format!("{prefix}.overhead_frac"),
+        metric(
+            (1.0 - median_ratio).max(0.0),
+            "frac",
+            Direction::Lower,
+            0.02,
+        ),
+    );
+}
+
 /// Run the whole suite and return the bench document.
 pub fn run_bench_suite(opts: &BenchOptions) -> Value {
     // Solver counters flow through the global registry; install one if
@@ -634,6 +726,7 @@ pub fn run_bench_suite(opts: &BenchOptions) -> Value {
     bench_executor(&mut metrics, opts);
     bench_executor_dataplane(&mut metrics, opts);
     bench_journey_overhead(&mut metrics, opts);
+    bench_estimator_overhead(&mut metrics, opts);
 
     let mut doc = Value::object();
     doc.set("schema", BENCH_SCHEMA);
@@ -784,6 +877,16 @@ impl CompareResult {
             .collect()
     }
 
+    /// Names of metrics present in the baseline but absent from the
+    /// current run (a subset of [`regressions`](Self::regressions)).
+    pub fn missing(&self) -> Vec<&str> {
+        self.verdicts
+            .iter()
+            .filter(|v| v.verdict == Verdict::Missing)
+            .map(|v| v.name.as_str())
+            .collect()
+    }
+
     /// Render the comparison as an aligned text table plus a one-line
     /// summary.
     pub fn render(&self) -> String {
@@ -833,6 +936,15 @@ impl CompareResult {
             regressed,
             improved
         ));
+        // A missing metric is easy to misread as "covered": name the
+        // culprits so the failure is actionable from the output alone.
+        let missing = self.missing();
+        if !missing.is_empty() {
+            out.push_str(&format!(
+                "missing from the current run: {}\n",
+                missing.join(", ")
+            ));
+        }
         out
     }
 }
@@ -978,8 +1090,16 @@ mod tests {
         let current = doc(&[("fresh", 1.0, Direction::Lower, 0.0)]);
         let r = compare_bench(&current, &baseline, None).unwrap();
         assert_eq!(r.regressions(), vec!["gone"]);
+        assert_eq!(r.missing(), vec!["gone"]);
         assert_eq!(r.verdicts.len(), 2);
         assert_eq!(r.verdicts[1].verdict, Verdict::New);
+        // The rendered report must name the missing metric, not just
+        // count it as a regression.
+        let rendered = r.render();
+        assert!(
+            rendered.contains("missing from the current run: gone"),
+            "{rendered}"
+        );
     }
 
     #[test]
@@ -1047,6 +1167,7 @@ mod tests {
             "exec.throughput_pipeline.",
             "exec.throughput_batched.",
             "obs.journey_overhead.",
+            "obs.estimator_overhead.",
         ] {
             assert!(
                 metrics.iter().any(|(n, _)| n.starts_with(prefix)),

@@ -51,9 +51,12 @@ USAGE:
                  [--report json] [--journey-out <file>] [--journey-sample <n>]
                  [--serve <addr>] [--hold <secs>] [--recorder-out <file>]
     pipemap doctor <journeys.jsonl> [--attach <addr>] [--report json]
-                   [--fail-on-drift] [--threshold <frac>] [--min-samples <n>]
+                   [--model static|online] [--fail-on-drift]
+                   [--threshold <frac>] [--min-samples <n>]
                    [--spec <file> --mapping <m>] [--trace-out <file>]
                    [--serve <addr>] [--hold <secs>] [--recorder-out <file>]
+    pipemap top [--attach <addr>] [--once] [--interval <secs|Nms>]
+                [--duration <secs|Nms>]
     pipemap fit <fft-hist-256|fft-hist-512|radar|stereo> [--systolic]
     pipemap template
 
@@ -85,7 +88,11 @@ COMMANDS:
               --reference runs the unbatched/unpooled data plane for A/B
               comparison; stop conditions combine (--duration default 2s);
               --journey-out records sampled per-dataset journeys (enqueue/
-              dequeue/service/send per stage) to a JSONL file for 'doctor'
+              dequeue/service/send per stage) to a JSONL file for 'doctor'.
+              With --serve the run exposes the full observatory surface:
+              journeys at /journeys.jsonl, SLO burn-rate and backpressure
+              events at /events.jsonl, and a continuously refitted online
+              cost model at /model.json (for 'top' and 'doctor --attach')
     doctor    explain a run from its journey trace: per-stage latency
               decomposition (queue wait vs transport vs service vs
               batching delay), per-dataset critical path, measured vs
@@ -96,18 +103,30 @@ COMMANDS:
               run's /journeys.jsonl via --attach <addr>. --spec/--mapping
               rebuild the prediction from a spec instead of the file
               header; --fail-on-drift exits nonzero on drift;
+              --model online refits the cost model from the journeys
+              themselves (recent data sets weighted heaviest) and
+              localises the stage whose live cost drifted from the static
+              model — catching mid-run changes whole-run means dilute;
               --trace-out writes the journeys as a Chrome trace with flow
               arrows stitching each data set across stages
+    top       live terminal dashboard: per-stage throughput/utilization
+              sparklines, the online-fitted cost model with residuals,
+              and a scrolling event feed. --attach scrapes a --serve
+              endpoint (e.g. a 'load --serve' run); without it, drives a
+              short local micro load. --once prints a single frame and
+              exits (CI-friendly); --interval sets the refresh cadence
     fit       profile a built-in application on the machine model and
               print its fitted polynomial spec (pipe to a file, then use
               'map' / 'simulate' on it)
     template  print an annotated spec file to start from
 
-OBSERVABILITY (simulate, demo):
+OBSERVABILITY (simulate, demo, load, doctor):
     --serve <addr>        expose live OpenMetrics on http://<addr>/metrics
-                          (plus /snapshot.json and /recorder.jsonl) while
-                          the command runs; <addr> like 127.0.0.1:9184,
-                          port 0 picks a free port (printed to stderr)
+                          (plus /snapshot.json, /recorder.jsonl, and —
+                          per command — /journeys.jsonl, /events.jsonl,
+                          /model.json) while the command runs; <addr>
+                          like 127.0.0.1:9184, port 0 picks a free port
+                          (printed to stderr)
     --hold <secs>         keep the server up this long after the run
                           (default with --serve: hold until interrupted)
     --recorder-out <f>    write flight-recorder samples (counter rates,
@@ -145,6 +164,7 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
         Some("doctor") => cmd_doctor(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("fit") => cmd_fit(&args[1..]),
         Some("template") => {
             print!("{TEMPLATE}");
@@ -375,10 +395,14 @@ impl ObsFlags {
 /// Install the global registry and start the flight recorder and metrics
 /// server the flags ask for. A journey collector, when given, is exposed
 /// at `/journeys.jsonl` so `pipemap doctor --attach` can scrape a live
-/// run. Returns `(flight, server)`.
+/// run; an event log and model publisher likewise back `/events.jsonl`
+/// and `/model.json` for `pipemap top --attach`. Returns
+/// `(flight, server)`.
 fn start_observability(
     flags: &ObsFlags,
     journeys: Option<&pipemap_obs::JourneyCollector>,
+    events: Option<&pipemap_obs::EventLog>,
+    model: Option<&pipemap_obs::ModelPublisher>,
 ) -> Result<(Option<FlightRecorder>, Option<MetricsServer>), String> {
     if !flags.active() {
         return Ok((None, None));
@@ -395,17 +419,28 @@ fn start_observability(
     );
     let server = match &flags.serve {
         Some(addr) => {
-            let s =
-                pipemap_obs::serve_with_journeys(addr.as_str(), registry, Some(&flight), journeys)
-                    .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+            let s = pipemap_obs::serve_observatory(
+                addr.as_str(),
+                registry,
+                Some(&flight),
+                journeys,
+                events,
+                model,
+            )
+            .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+            let mut routes = String::from("/snapshot.json, /recorder.jsonl");
+            if journeys.is_some() {
+                routes.push_str(", /journeys.jsonl");
+            }
+            if events.is_some() {
+                routes.push_str(", /events.jsonl");
+            }
+            if model.is_some() {
+                routes.push_str(", /model.json");
+            }
             eprintln!(
-                "serving metrics on http://{}/metrics (also /snapshot.json, /recorder.jsonl{})",
-                s.addr(),
-                if journeys.is_some() {
-                    ", /journeys.jsonl"
-                } else {
-                    ""
-                }
+                "serving metrics on http://{}/metrics (also {routes})",
+                s.addr()
             );
             Some(s)
         }
@@ -555,7 +590,7 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
             pipemap_obs::JourneyConfig::default().with_sample(journey_sample),
         )
     });
-    let (flight, server) = match start_observability(&obs_flags, journeys.as_ref()) {
+    let (flight, server) = match start_observability(&obs_flags, journeys.as_ref(), None, None) {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("{e}");
@@ -703,7 +738,7 @@ fn cmd_demo(args: &[String]) -> ExitCode {
         // mappers run; snapshotted into the JSON report.
         pipemap_obs::install_global(pipemap_obs::Registry::new());
     }
-    let (mut flight, server) = match start_observability(&obs_flags, None) {
+    let (mut flight, server) = match start_observability(&obs_flags, None, None, None) {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("{e}");
@@ -885,21 +920,71 @@ fn cmd_load(args: &[String]) -> ExitCode {
     }
     // Journey tracing: hand every worker thread a sampled sink; the
     // collector also backs /journeys.jsonl when --serve is up, so a
-    // doctor can attach to the live run.
-    let journeys = journey_out.as_ref().map(|_| {
+    // doctor can attach to the live run — serving implies collecting.
+    let journeys = (journey_out.is_some() || obs_flags.serve.is_some()).then(|| {
         pipemap_obs::JourneyCollector::new(
             pipemap_obs::JourneyConfig::default().with_sample(journey_sample),
         )
     });
     cfg.journeys = journeys.clone();
-    let (flight, server) = match start_observability(&obs_flags, journeys.as_ref()) {
+    // A served run also gets the full observatory surface: SLO/alert
+    // events at /events.jsonl and the online-fitted model at /model.json.
+    let (events, publisher) = if obs_flags.serve.is_some() {
+        (
+            Some(pipemap_obs::EventLog::default()),
+            Some(pipemap_obs::ModelPublisher::default()),
+        )
+    } else {
+        (None, None)
+    };
+    cfg.events = events.clone();
+    if events.is_some() {
+        cfg.slo = Some(pipemap_obs::SloConfig::default());
+    }
+    let (flight, server) = match start_observability(
+        &obs_flags,
+        journeys.as_ref(),
+        events.as_ref(),
+        publisher.as_ref(),
+    ) {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    // The online observatory: a background thread polling the journey
+    // collector, refitting the per-stage cost estimators, and publishing
+    // the fitted model (with residual events) while the load runs.
+    let observatory = match (&journeys, &events, &publisher) {
+        (Some(j), Some(log), Some(p)) => {
+            let stages = match cfg.workload {
+                Workload::Micro => cfg.stages.max(1),
+                Workload::FftHist => 3,
+            };
+            let obs = pipemap_tool::Observatory::without_statics(
+                stages,
+                pipemap_tool::ObservatoryConfig {
+                    procs: vec![cfg.threads.max(1); stages],
+                    ..pipemap_tool::ObservatoryConfig::default()
+                },
+                log.clone(),
+                p.clone(),
+            );
+            Some(pipemap_tool::spawn_observatory(
+                j.clone(),
+                obs,
+                Duration::from_millis(250),
+            ))
+        }
+        _ => None,
+    };
     let summary = run_configured_load(&cfg);
+    // Final ingest+refit so even a short run lands in /model.json before
+    // --hold keeps the surface up for scrapers.
+    if let Some(h) = observatory {
+        h.stop();
+    }
     if let (Some(path), Some(col)) = (&journey_out, &journeys) {
         let log = pipemap_doctor::JourneyLog {
             source: "load".to_string(),
@@ -936,29 +1021,47 @@ fn cmd_load(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Minimal HTTP GET against a live metrics server (std-only; the server
-/// answers with `Connection: close`, so read-to-end is the body).
-fn http_get(addr: &str, path: &str) -> Result<String, String> {
-    use std::io::{Read, Write};
-    let mut stream =
-        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    stream
-        .write_all(
-            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
-        )
-        .map_err(|e| format!("cannot send request to {addr}: {e}"))?;
-    let mut response = String::new();
-    stream
-        .read_to_string(&mut response)
-        .map_err(|e| format!("cannot read response from {addr}: {e}"))?;
-    let (head, body) = response
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| format!("{addr}{path}: malformed HTTP response"))?;
-    let status = head.lines().next().unwrap_or("");
-    if !status.contains(" 200 ") {
-        return Err(format!("{addr}{path}: {status}"));
+fn cmd_top(args: &[String]) -> ExitCode {
+    use pipemap_tool::{parse_duration_s, run_top, TopConfig};
+    let mut cfg = TopConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--attach" => match it.next() {
+                Some(v) => cfg.attach = Some(v.clone()),
+                None => {
+                    eprintln!("--attach needs an address like 127.0.0.1:9184");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--once" => cfg.once = true,
+            "--interval" => match it.next().map(String::as_str).and_then(parse_duration_s) {
+                Some(v) if v > 0.0 => cfg.interval_s = v,
+                _ => {
+                    eprintln!("--interval needs a positive duration like 1, 0.5s, or 250ms");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--duration" => match it.next().map(String::as_str).and_then(parse_duration_s) {
+                Some(v) if v > 0.0 => cfg.duration_s = v,
+                _ => {
+                    eprintln!("--duration needs a positive duration like 5, 5s, or 500ms");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
     }
-    Ok(body.to_string())
+    match run_top(&cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_doctor(args: &[String]) -> ExitCode {
@@ -968,6 +1071,7 @@ fn cmd_doctor(args: &[String]) -> ExitCode {
     let mut file: Option<String> = None;
     let mut attach: Option<String> = None;
     let mut report_fmt: Option<String> = None;
+    let mut model_mode: Option<String> = None;
     let mut fail_on_drift = false;
     let mut spec: Option<String> = None;
     let mut mapping_str: Option<String> = None;
@@ -993,6 +1097,13 @@ fn cmd_doctor(args: &[String]) -> ExitCode {
                 }
             },
             "--fail-on-drift" => fail_on_drift = true,
+            "--model" => match it.next() {
+                Some(v) => model_mode = Some(v.clone()),
+                None => {
+                    eprintln!("--model needs a mode (static or online)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(v) if v >= 0.0 && v.is_finite() => opts.margin = v,
                 _ => {
@@ -1050,6 +1161,14 @@ fn cmd_doctor(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let online_mode = match model_mode.as_deref() {
+        None | Some("static") => false,
+        Some("online") => true,
+        Some(other) => {
+            eprintln!("unsupported model mode '{other}' (static or online)");
+            return ExitCode::FAILURE;
+        }
+    };
     let text = match (&file, &attach) {
         (Some(path), None) => match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -1058,13 +1177,22 @@ fn cmd_doctor(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        (None, Some(addr)) => match http_get(addr, "/journeys.jsonl") {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
+        // Bounded retry with backoff: an endpoint started moments ago
+        // (e.g. `load --serve` backgrounded by a script) becomes
+        // reachable within the window instead of failing hard.
+        (None, Some(addr)) => {
+            match pipemap_tool::http_get_retry(
+                addr,
+                "/journeys.jsonl",
+                pipemap_tool::ATTACH_ATTEMPTS,
+            ) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        },
+        }
         _ => {
             eprintln!("doctor needs exactly one of <journeys.jsonl> or --attach <addr>\n\n{USAGE}");
             return ExitCode::FAILURE;
@@ -1115,7 +1243,7 @@ fn cmd_doctor(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let (flight, server) = match start_observability(&obs_flags, None) {
+    let (flight, server) = match start_observability(&obs_flags, None, None, None) {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("{e}");
@@ -1123,6 +1251,26 @@ fn cmd_doctor(args: &[String]) -> ExitCode {
         }
     };
     let report = diagnose_log(&log, &opts);
+    // --model online: refit the per-stage cost estimators from the
+    // journeys themselves (16-dataset half-life, so recent behaviour
+    // dominates) and price drift as the fitted-vs-static residual. This
+    // localises a mid-stream cost change that the whole-run means the
+    // static verdict averages over would dilute.
+    let online = if online_mode {
+        let cfg = pipemap_profile::OnlineConfig {
+            half_life: 16.0,
+            ..pipemap_profile::OnlineConfig::default()
+        };
+        match pipemap_tool::online_drift(&log, cfg, opts.margin) {
+            Some(d) => Some(d),
+            None => {
+                eprintln!("--model online found no service observations in the journeys");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     if obs_flags.active() {
         publish(&report, &pipemap_obs::global());
     }
@@ -1141,9 +1289,16 @@ fn cmd_doctor(args: &[String]) -> ExitCode {
         eprintln!("wrote journey flow trace to {path}");
     }
     if json {
-        println!("{}", report_json(&report).to_json_pretty());
+        let mut doc = report_json(&report);
+        if let Some(d) = &online {
+            doc.set("online", pipemap_tool::online_drift_json(d));
+        }
+        println!("{}", doc.to_json_pretty());
     } else {
         print!("{}", render(&report));
+        if let Some(d) = &online {
+            print!("{}", pipemap_tool::render_online_drift(d));
+        }
     }
     if let Err(e) = finish_observability(&obs_flags, flight, server) {
         eprintln!("{e}");
@@ -1153,7 +1308,8 @@ fn cmd_doctor(args: &[String]) -> ExitCode {
         eprintln!("no complete journeys in the input — nothing to diagnose");
         return ExitCode::FAILURE;
     }
-    if fail_on_drift && report.drift == Some(true) {
+    let online_drifted = online.as_ref().is_some_and(|d| d.drifted.is_some());
+    if fail_on_drift && (report.drift == Some(true) || online_drifted) {
         eprintln!("drift detected (exit forced by --fail-on-drift)");
         return ExitCode::FAILURE;
     }
@@ -1299,7 +1455,18 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 eprintln!("warn-only: ignoring {} regression(s)", regressions.len());
                 ExitCode::SUCCESS
             } else {
-                eprintln!("perf regression in: {}", regressions.join(", "));
+                let missing = result.missing();
+                let regressed: Vec<&str> = regressions
+                    .iter()
+                    .copied()
+                    .filter(|n| !missing.contains(n))
+                    .collect();
+                if !regressed.is_empty() {
+                    eprintln!("perf regression in: {}", regressed.join(", "));
+                }
+                if !missing.is_empty() {
+                    eprintln!("missing from the current run: {}", missing.join(", "));
+                }
                 ExitCode::FAILURE
             }
         }

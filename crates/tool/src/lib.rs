@@ -23,10 +23,12 @@ pub mod bench;
 pub mod load;
 pub mod mapper;
 pub mod markdown;
+pub mod observatory;
 pub mod render;
 pub mod report;
 pub mod sensitivity;
 pub mod spec;
+pub mod top;
 
 pub use bench::{
     compare_bench, git_sha, run_bench_suite, validate_bench, BenchOptions, CompareResult,
@@ -38,9 +40,17 @@ pub use load::{
 };
 pub use mapper::{auto_map, MapperOptions, MappingReport};
 pub use markdown::{report_markdown, table2_header, table2_row};
+pub use observatory::{
+    online_drift, online_drift_json, render_online_drift, spawn_observatory, Observatory,
+    ObservatoryConfig, ObservatoryHandle, OnlineDrift, OnlineStageDrift, MODEL_SCHEMA,
+};
 pub use render::{render_mapping, render_placement, render_report};
 pub use report::{
     demo_report_json, map_report_json, mapping_json, simulate_report_json, stage_metrics_json,
 };
 pub use sensitivity::{perturb_problem, robustness, Robustness};
 pub use spec::{parse_mapping, parse_spec, render_spec, SpecError};
+pub use top::{
+    http_get, http_get_retry, parse_frame, render_frame, run_top, sparkline, Frame, StageGauge,
+    TopConfig, TopState, ATTACH_ATTEMPTS,
+};

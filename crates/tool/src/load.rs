@@ -25,7 +25,7 @@ use pipemap_exec::{
     run_load, BufferPool, Data, Lease, LoadOptions, LoadReport, PipelinePlan, PoolStats, Stage,
     StagePlan,
 };
-use pipemap_obs::{JourneyCollector, Value};
+use pipemap_obs::{EventLog, JourneyCollector, SloConfig, Value};
 use std::time::Duration;
 
 /// Which built-in pipeline to drive.
@@ -84,6 +84,11 @@ pub struct LoadConfig {
     pub size: usize,
     /// Record per-dataset journey events into this collector.
     pub journeys: Option<JourneyCollector>,
+    /// Emit SLO/backpressure events into this log.
+    pub events: Option<EventLog>,
+    /// Latency objective evaluated against every completed data set
+    /// (needs `events` to land anywhere).
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for LoadConfig {
@@ -102,6 +107,8 @@ impl Default for LoadConfig {
             stages: 4,
             size: 1024,
             journeys: None,
+            events: None,
+            slo: None,
         }
     }
 }
@@ -170,10 +177,21 @@ pub fn micro_plan(cfg: &LoadConfig) -> PipelinePlan {
         .with_batch(cfg.batch.max(1))
         .with_flush_us(cfg.flush_us)
         .with_queue_depth(cfg.queue_depth.max(1));
-    match &cfg.journeys {
-        Some(j) => plan.with_journeys(j.clone()),
-        None => plan,
+    attach_observability(plan, cfg)
+}
+
+/// Attach whichever observability surfaces the config carries.
+fn attach_observability(mut plan: PipelinePlan, cfg: &LoadConfig) -> PipelinePlan {
+    if let Some(j) = &cfg.journeys {
+        plan = plan.with_journeys(j.clone());
     }
+    if let Some(log) = &cfg.events {
+        plan = plan.with_events(log.clone());
+        if let Some(slo) = cfg.slo {
+            plan = plan.with_slo(slo);
+        }
+    }
+    plan
 }
 
 /// The micro workload's source: fresh or pooled `len`-element buffers.
@@ -236,10 +254,7 @@ pub fn fft_hist_plan(cfg: &LoadConfig) -> PipelinePlan {
         .with_batch(cfg.batch.max(1))
         .with_flush_us(cfg.flush_us)
         .with_queue_depth(cfg.queue_depth.max(1));
-    match &cfg.journeys {
-        Some(j) => plan.with_journeys(j.clone()),
-        None => plan,
-    }
+    attach_observability(plan, cfg)
 }
 
 fn fft_hist_source(

@@ -1,0 +1,659 @@
+//! The live cost-model observatory: glue between journey tracing, the
+//! online estimators, and the event/exposition surfaces.
+//!
+//! An [`Observatory`] ingests stitched journeys (from a live
+//! [`JourneyCollector`] or a recorded [`JourneyLog`]), feeds each hop's
+//! service time into a [`pipemap_profile::OnlineModel`], and on every
+//! refit
+//!
+//! * publishes the fitted-vs-static model as JSON into a
+//!   [`ModelPublisher`] (served at `/model.json`), and
+//! * emits `residual_high` / `residual_recovered` events (with
+//!   half-threshold hysteresis) into an [`EventLog`] as a stage's
+//!   online-fitted cost departs from its static model.
+//!
+//! [`spawn_observatory`] runs the ingest→refit loop on a background
+//! thread against a live collector, so `pipemap load --serve` exposes a
+//! continuously refitted model while the run is in flight.
+//! [`online_drift`] is the offline twin used by
+//! `pipemap doctor --model online`: it refits from a recorded journey
+//! log and localises the stage whose fitted cost drifted furthest from
+//! the static prediction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pipemap_doctor::JourneyLog;
+use pipemap_model::PolyUnary;
+use pipemap_obs::{
+    stitch, EventKind, EventLog, Journey, JourneyCollector, JourneyEvent, ModelPublisher, ObsEvent,
+    Severity, Value,
+};
+use pipemap_profile::{OnlineConfig, OnlineModel};
+
+/// Schema identifier stamped into `/model.json`.
+pub const MODEL_SCHEMA: &str = "pipemap-model/v1";
+
+/// Observatory tuning.
+#[derive(Clone, Debug)]
+pub struct ObservatoryConfig {
+    /// Processor count per stage used as the `p` of every exec
+    /// observation (the executor's threads-per-instance; 1 when
+    /// unknown).
+    pub procs: Vec<usize>,
+    /// Relative fitted-vs-static residual above which a stage fires
+    /// `residual_high` (recovery at half of it).
+    pub residual_threshold: f64,
+    /// Estimator tuning (decay half-life, refit cadence).
+    pub online: OnlineConfig,
+}
+
+impl Default for ObservatoryConfig {
+    fn default() -> Self {
+        Self {
+            procs: Vec::new(),
+            residual_threshold: 0.25,
+            online: OnlineConfig::default(),
+        }
+    }
+}
+
+/// Continuous model refit over a stream of journeys.
+pub struct Observatory {
+    model: OnlineModel,
+    cfg: ObservatoryConfig,
+    log: EventLog,
+    publisher: ModelPublisher,
+    residual_high: Vec<bool>,
+    ingested: u64,
+    last_seq: Option<u64>,
+}
+
+impl Observatory {
+    /// An observatory fitting against the given static per-stage models.
+    /// `cfg.procs` is padded with 1s to the stage count.
+    pub fn new(
+        statics: &[PolyUnary],
+        mut cfg: ObservatoryConfig,
+        log: EventLog,
+        publisher: ModelPublisher,
+    ) -> Self {
+        while cfg.procs.len() < statics.len() {
+            cfg.procs.push(1);
+        }
+        Self {
+            model: OnlineModel::new(statics, &[], cfg.online),
+            residual_high: vec![false; statics.len()],
+            cfg,
+            log,
+            publisher,
+            ingested: 0,
+            last_seq: None,
+        }
+    }
+
+    /// An observatory for `stages` stages with no static model (the
+    /// fitted model bootstraps purely from observations; residual events
+    /// stay silent because there is nothing to drift from).
+    pub fn without_statics(
+        stages: usize,
+        cfg: ObservatoryConfig,
+        log: EventLog,
+        publisher: ModelPublisher,
+    ) -> Self {
+        Self::new(
+            &vec![PolyUnary::new(0.0, 0.0, 0.0); stages],
+            cfg,
+            log,
+            publisher,
+        )
+    }
+
+    /// Ingest from a raw (possibly repeated) collector snapshot: drop
+    /// events at or below the sequence watermark *before* stitching, so
+    /// a polling loop pays for the new tail of the ring, not the whole
+    /// accumulated history every round.
+    pub fn ingest_events(&mut self, events: &[JourneyEvent]) -> usize {
+        let fresh: Vec<JourneyEvent> = match self.last_seq {
+            None => events.to_vec(),
+            Some(last) => events.iter().filter(|e| e.seq > last).copied().collect(),
+        };
+        if fresh.is_empty() {
+            return 0;
+        }
+        self.ingest(&stitch(&fresh))
+    }
+
+    /// Feed every not-yet-seen journey's per-hop service times into the
+    /// estimators. Journeys are identified by sequence number, so
+    /// repeated snapshots of a growing collector ingest each data set
+    /// once. Returns how many journeys were new.
+    pub fn ingest(&mut self, journeys: &[Journey]) -> usize {
+        let mut new = 0usize;
+        for j in journeys {
+            if self.last_seq.is_some_and(|last| j.seq <= last) {
+                continue;
+            }
+            self.last_seq = Some(j.seq);
+            new += 1;
+            self.ingested += 1;
+            for hop in &j.hops {
+                let (Some(s0), Some(s1)) = (hop.service_start_us, hop.service_end_us) else {
+                    continue;
+                };
+                let stage = hop.stage as usize;
+                if stage >= self.model.num_stages() {
+                    continue;
+                }
+                let p = self.cfg.procs.get(stage).copied().unwrap_or(1);
+                self.model.observe_exec(stage, p, (s1 - s0) / 1e6);
+            }
+        }
+        new
+    }
+
+    /// Refit every estimator, emit residual threshold crossings, and
+    /// publish the fresh model JSON.
+    pub fn refit_and_publish(&mut self) {
+        self.model.refit();
+        let t_us = self.log.now_us();
+        for (i, est) in self.model.stages().iter().enumerate() {
+            let Some(snap) = est.snapshot() else {
+                continue;
+            };
+            // Drift is only meaningful against a positive static model.
+            if snap.static_model.eval(snap.p) <= 0.0 {
+                continue;
+            }
+            let thr = self.cfg.residual_threshold;
+            if !self.residual_high[i] && snap.drift > thr {
+                self.residual_high[i] = true;
+                self.log.emit(ObsEvent {
+                    t_us,
+                    kind: EventKind::ResidualHigh,
+                    severity: Severity::Warning,
+                    stage: Some(i as u32),
+                    value: snap.drift,
+                    message: format!(
+                        "stage {i}: online-fitted cost {:.1}% off the static model",
+                        snap.drift * 100.0
+                    ),
+                });
+            } else if self.residual_high[i] && snap.drift < thr * 0.5 {
+                self.residual_high[i] = false;
+                self.log.emit(ObsEvent {
+                    t_us,
+                    kind: EventKind::ResidualRecovered,
+                    severity: Severity::Info,
+                    stage: Some(i as u32),
+                    value: snap.drift,
+                    message: format!("stage {i}: fitted cost back within tolerance"),
+                });
+            }
+        }
+        self.publisher.publish(self.model_json().to_json());
+    }
+
+    /// The current model as the `/model.json` document.
+    pub fn model_json(&self) -> Value {
+        let mut doc = Value::object();
+        doc.set("model_schema", MODEL_SCHEMA);
+        doc.set("journeys_ingested", self.ingested);
+        let stages: Vec<Value> = self
+            .model
+            .stages()
+            .iter()
+            .enumerate()
+            .map(|(i, est)| {
+                let mut st = Value::object();
+                st.set("stage", i as u64);
+                match est.snapshot() {
+                    Some(snap) => {
+                        st.set("samples", snap.samples);
+                        st.set("p", snap.p as u64);
+                        st.set("mean_s", snap.mean_s);
+                        st.set("sd_s", snap.sd_s);
+                        st.set("drift", snap.drift);
+                        st.set("fit_rel_err", snap.fit_rel_err);
+                        st.set("confidence", snap.confidence);
+                        st.set("static", poly_json(&snap.static_model));
+                        st.set("fitted", poly_json(&snap.fitted));
+                    }
+                    None => {
+                        st.set("samples", 0u64);
+                        st.set("static", poly_json(&est.static_model()));
+                    }
+                }
+                st
+            })
+            .collect();
+        doc.set("stages", Value::Array(stages));
+        doc
+    }
+
+    /// The underlying estimators.
+    pub fn model(&self) -> &OnlineModel {
+        &self.model
+    }
+
+    /// Total journeys ingested so far.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+}
+
+fn poly_json(p: &PolyUnary) -> Value {
+    let mut o = Value::object();
+    o.set("c1", p.c1);
+    o.set("c2", p.c2);
+    o.set("c3", p.c3);
+    o
+}
+
+/// Handle to a background observatory loop; [`stop`](Self::stop) joins
+/// it and returns the final [`Observatory`] state.
+pub struct ObservatoryHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Observatory>>,
+}
+
+impl ObservatoryHandle {
+    /// Signal the loop and wait for its final ingest+refit.
+    pub fn stop(mut self) -> Observatory {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("observatory joined once")
+            .join()
+            .expect("observatory thread panicked")
+    }
+}
+
+/// Run `observatory` against a live collector on a background thread:
+/// every `period`, snapshot the collector, ingest new journeys, refit,
+/// and publish. A final round runs on stop, so short runs still land in
+/// `/model.json`.
+pub fn spawn_observatory(
+    collector: JourneyCollector,
+    mut observatory: Observatory,
+    period: Duration,
+) -> ObservatoryHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle = std::thread::spawn(move || {
+        let mut published = false;
+        loop {
+            let stopping = stop_flag.load(Ordering::Relaxed);
+            let new = observatory.ingest_events(&collector.snapshot());
+            // Refitting with nothing new republishes an identical model;
+            // skip it (after the first publish) to keep the idle loop
+            // off the CPU — on a saturated box this thread competes with
+            // the very pipeline it watches.
+            if new > 0 || stopping || !published {
+                observatory.refit_and_publish();
+                published = true;
+            }
+            if stopping {
+                return observatory;
+            }
+            // Sleep in small slices so stop() never waits a full period.
+            let mut remaining = period;
+            while remaining > Duration::ZERO && !stop_flag.load(Ordering::Relaxed) {
+                let slice = remaining.min(Duration::from_millis(20));
+                std::thread::sleep(slice);
+                remaining = remaining.saturating_sub(slice);
+            }
+        }
+    });
+    ObservatoryHandle {
+        stop,
+        handle: Some(handle),
+    }
+}
+
+/// One stage's fitted-vs-static verdict from [`online_drift`].
+#[derive(Clone, Debug)]
+pub struct OnlineStageDrift {
+    /// Stage index.
+    pub stage: usize,
+    /// Stage name from the log's model snapshot.
+    pub name: String,
+    /// Static (deployed) per-dataset service seconds.
+    pub static_s: f64,
+    /// Online-fitted service seconds at the operating point.
+    pub fitted_s: f64,
+    /// `|fitted − static| / static`.
+    pub residual: f64,
+    /// Fit confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Samples behind the fit.
+    pub samples: u64,
+}
+
+/// `pipemap doctor --model online`: the drift verdict priced against the
+/// online-fitted model.
+#[derive(Clone, Debug)]
+pub struct OnlineDrift {
+    /// Per-stage verdicts, in pipeline order.
+    pub stages: Vec<OnlineStageDrift>,
+    /// The threshold a residual must clear to localise drift.
+    pub threshold: f64,
+    /// Stage with the largest above-threshold residual, if any.
+    pub drifted: Option<usize>,
+}
+
+/// Refit an online model from a recorded journey log (exponential decay
+/// weighting recent data sets) and localise the drifted stage. The
+/// static baseline is the log's model snapshot when it carries one;
+/// otherwise the whole-run mean per stage stands in, so the residual
+/// reads "recent behaviour vs the run as a whole" — which is exactly
+/// the question on a live scrape (those logs have no model header).
+/// Returns `None` when the log has no usable service observations.
+pub fn online_drift(log: &JourneyLog, cfg: OnlineConfig, threshold: f64) -> Option<OnlineDrift> {
+    let journeys = stitch(&log.events);
+    let (names, static_means) = match log.model.as_ref() {
+        Some(m) => (
+            m.stages.iter().map(|s| s.name.clone()).collect::<Vec<_>>(),
+            m.stages.iter().map(|s| s.service_s).collect::<Vec<_>>(),
+        ),
+        None => {
+            let means = whole_run_means(&journeys);
+            if means.is_empty() {
+                return None;
+            }
+            (
+                (0..means.len()).map(|i| format!("stage{i}")).collect(),
+                means,
+            )
+        }
+    };
+    let statics: Vec<PolyUnary> = static_means
+        .iter()
+        .map(|&s| PolyUnary::new(s, 0.0, 0.0))
+        .collect();
+    let mut observatory = Observatory::new(
+        &statics,
+        ObservatoryConfig {
+            online: cfg,
+            ..ObservatoryConfig::default()
+        },
+        EventLog::default(),
+        ModelPublisher::default(),
+    );
+    observatory.ingest(&journeys);
+    observatory.refit_and_publish();
+
+    let mut stages = Vec::new();
+    let mut drifted: Option<(usize, f64)> = None;
+    for (i, est) in observatory.model().stages().iter().enumerate() {
+        let name = names.get(i).cloned().unwrap_or_else(|| format!("stage{i}"));
+        let static_s = static_means.get(i).copied().unwrap_or(0.0);
+        let (fitted_s, residual, confidence, samples) = match est.snapshot() {
+            Some(snap) => (
+                snap.fitted.eval(snap.p),
+                if static_s > 0.0 { snap.drift } else { 0.0 },
+                snap.confidence,
+                snap.samples,
+            ),
+            None => (static_s, 0.0, 0.0, 0),
+        };
+        if residual > threshold && drifted.is_none_or(|(_, r)| residual > r) {
+            drifted = Some((i, residual));
+        }
+        stages.push(OnlineStageDrift {
+            stage: i,
+            name,
+            static_s,
+            fitted_s,
+            residual,
+            confidence,
+            samples,
+        });
+    }
+    Some(OnlineDrift {
+        stages,
+        threshold,
+        drifted: drifted.map(|(i, _)| i),
+    })
+}
+
+/// Unweighted per-stage mean service seconds over every complete hop.
+fn whole_run_means(journeys: &[Journey]) -> Vec<f64> {
+    let mut sum: Vec<f64> = Vec::new();
+    let mut count: Vec<u64> = Vec::new();
+    for j in journeys {
+        for hop in &j.hops {
+            let (Some(s0), Some(s1)) = (hop.service_start_us, hop.service_end_us) else {
+                continue;
+            };
+            let stage = hop.stage as usize;
+            if sum.len() <= stage {
+                sum.resize(stage + 1, 0.0);
+                count.resize(stage + 1, 0);
+            }
+            sum[stage] += (s1 - s0) / 1e6;
+            count[stage] += 1;
+        }
+    }
+    sum.iter()
+        .zip(&count)
+        .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect()
+}
+
+/// JSON form of an [`OnlineDrift`] report (the `online` key of the
+/// doctor's JSON output).
+pub fn online_drift_json(d: &OnlineDrift) -> Value {
+    let mut doc = Value::object();
+    doc.set("threshold", d.threshold);
+    if let Some(s) = d.drifted {
+        doc.set("drifted_stage", s as u64);
+    }
+    let stages: Vec<Value> = d
+        .stages
+        .iter()
+        .map(|s| {
+            let mut o = Value::object();
+            o.set("stage", s.stage as u64);
+            o.set("name", s.name.as_str());
+            o.set("static_s", s.static_s);
+            o.set("fitted_s", s.fitted_s);
+            o.set("residual", s.residual);
+            o.set("confidence", s.confidence);
+            o.set("samples", s.samples);
+            o
+        })
+        .collect();
+    doc.set("stages", Value::Array(stages));
+    doc
+}
+
+/// Human-readable rendering of an [`OnlineDrift`] report.
+pub fn render_online_drift(d: &OnlineDrift) -> String {
+    let mut out = String::from("online model (decay-weighted refit from journeys):\n");
+    for s in &d.stages {
+        out.push_str(&format!(
+            "  stage {} ({}): static {:.6}s  fitted {:.6}s  residual {:>5.1}%  confidence {:.2}  ({} samples)\n",
+            s.stage,
+            s.name,
+            s.static_s,
+            s.fitted_s,
+            s.residual * 100.0,
+            s.confidence,
+            s.samples
+        ));
+    }
+    match d.drifted {
+        Some(i) => out.push_str(&format!(
+            "  drift localised: stage {i} ({}) is {:.1}% off its static model (> {:.0}% threshold) — re-solve the mapping\n",
+            d.stages[i].name,
+            d.stages[i].residual * 100.0,
+            d.threshold * 100.0
+        )),
+        None => out.push_str(&format!(
+            "  no stage exceeds the {:.0}% residual threshold — static model still holds\n",
+            d.threshold * 100.0
+        )),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_obs::{EventLogConfig, JourneyConfig, JourneyKind};
+
+    /// Synthesise a journey stream: `n` data sets over `service_s[stage]`
+    /// seconds each, with stage `k`'s cost multiplied by `factor` from
+    /// data set `after` onward.
+    fn synth_events(
+        n: usize,
+        service_s: &[f64],
+        after: usize,
+        k: usize,
+        factor: f64,
+    ) -> Vec<pipemap_obs::JourneyEvent> {
+        let col = JourneyCollector::new(JourneyConfig::default().with_capacity(64 * n));
+        let mut sink = col.sink();
+        let mut t = 0.0f64;
+        for seq in 0..n {
+            sink.record_at(t, JourneyKind::Source, seq, 0, 0, 0);
+            for (stage, &s) in service_s.iter().enumerate() {
+                let dur = if stage == k && seq >= after {
+                    s * factor
+                } else {
+                    s
+                };
+                sink.record_at(t, JourneyKind::Enqueue, seq, stage as u32, 0, 0);
+                sink.record_at(t, JourneyKind::Dequeue, seq, stage as u32, 0, 0);
+                sink.record_at(t, JourneyKind::ServiceStart, seq, stage as u32, 0, 0);
+                t += dur * 1e6;
+                sink.record_at(t, JourneyKind::ServiceEnd, seq, stage as u32, 0, 0);
+                sink.record_at(t, JourneyKind::Send, seq, stage as u32, 0, 0);
+            }
+            sink.record_at(t, JourneyKind::Sink, seq, service_s.len() as u32, 0, 0);
+        }
+        drop(sink);
+        col.drain()
+    }
+
+    #[test]
+    fn online_drift_without_model_header_uses_whole_run_baseline() {
+        // No model snapshot (the live-scrape case): the whole-run mean is
+        // the baseline, so a stage that triples mid-run still localises.
+        let log = JourneyLog {
+            source: "live".to_string(),
+            sample: 1,
+            model: None,
+            events: synth_events(120, &[0.010, 0.020], 60, 1, 3.0),
+        };
+        let cfg = OnlineConfig {
+            half_life: 16.0,
+            ..OnlineConfig::default()
+        };
+        let drift = online_drift(&log, cfg, 0.10).expect("journeys present");
+        assert_eq!(drift.drifted, Some(1), "{drift:?}");
+        assert_eq!(drift.stages[1].name, "stage1");
+        // A log with no service events at all yields None.
+        let empty = JourneyLog {
+            source: "live".to_string(),
+            sample: 1,
+            model: None,
+            events: Vec::new(),
+        };
+        assert!(online_drift(&empty, OnlineConfig::default(), 0.10).is_none());
+    }
+
+    #[test]
+    fn ingest_is_incremental_and_publishes_model_json() {
+        let log = EventLog::default();
+        let publisher = ModelPublisher::default();
+        let mut obs = Observatory::new(
+            &[
+                PolyUnary::new(0.01, 0.0, 0.0),
+                PolyUnary::new(0.02, 0.0, 0.0),
+            ],
+            ObservatoryConfig::default(),
+            log,
+            publisher.clone(),
+        );
+        let events = synth_events(50, &[0.01, 0.02], usize::MAX, 0, 1.0);
+        let journeys = stitch(&events);
+        assert_eq!(obs.ingest(&journeys), 50);
+        // Re-ingesting the same snapshot is a no-op.
+        assert_eq!(obs.ingest(&journeys), 0);
+        obs.refit_and_publish();
+        let doc = Value::parse(&publisher.current()).expect("valid model json");
+        assert_eq!(
+            doc.get("model_schema").and_then(Value::as_str),
+            Some(MODEL_SCHEMA)
+        );
+        let stages = doc.get("stages").and_then(Value::as_array).unwrap();
+        assert_eq!(stages.len(), 2);
+        let mean = stages[0].get("mean_s").and_then(Value::as_f64).unwrap();
+        assert!((mean - 0.01).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn residual_events_fire_once_with_hysteresis() {
+        let log = EventLog::new(EventLogConfig::default());
+        let mut obs = Observatory::new(
+            &[PolyUnary::new(0.01, 0.0, 0.0)],
+            ObservatoryConfig::default(),
+            log.clone(),
+            ModelPublisher::default(),
+        );
+        // All samples 3x the static cost: residual ≈ 2.0 ≫ 0.25.
+        let journeys = stitch(&synth_events(60, &[0.03], 0, 0, 1.0));
+        obs.ingest(&journeys);
+        obs.refit_and_publish();
+        obs.refit_and_publish(); // second refit must not re-fire
+        let events = log.snapshot();
+        let high: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::ResidualHigh)
+            .collect();
+        assert_eq!(high.len(), 1, "{events:?}");
+        assert_eq!(high[0].stage, Some(0));
+    }
+
+    #[test]
+    fn online_drift_localises_a_perturbed_stage() {
+        use pipemap_doctor::ModelPrediction;
+        // Static model says [10ms, 20ms, 5ms]; stage 1 triples mid-run.
+        let events = synth_events(120, &[0.010, 0.020, 0.005], 60, 1, 3.0);
+        let log = JourneyLog {
+            source: "test".to_string(),
+            sample: 1,
+            model: Some(ModelPrediction::from_measured(
+                &["a".into(), "b".into(), "c".into()],
+                &[1, 1, 1],
+                &[0.010, 0.020, 0.005],
+            )),
+            events,
+        };
+        // A 16-sample half-life forgets the pre-perturbation regime
+        // quickly enough for the fit to track the new cost.
+        let cfg = OnlineConfig {
+            half_life: 16.0,
+            ..OnlineConfig::default()
+        };
+        let drift = online_drift(&log, cfg, 0.10).expect("model present");
+        assert_eq!(drift.drifted, Some(1), "{drift:?}");
+        // The decayed fit tracks the *perturbed* cost within 10%.
+        let fitted = drift.stages[1].fitted_s;
+        assert!(
+            (fitted - 0.060).abs() / 0.060 < 0.10,
+            "fitted {fitted} vs perturbed truth 0.060"
+        );
+        // Unperturbed stages stay close to their statics.
+        assert!(drift.stages[0].residual < 0.05);
+        assert!(drift.stages[2].residual < 0.05);
+        let text = render_online_drift(&drift);
+        assert!(text.contains("drift localised: stage 1"), "{text}");
+        let json = online_drift_json(&drift);
+        assert_eq!(json.get("drifted_stage").and_then(Value::as_f64), Some(1.0));
+    }
+}
