@@ -53,7 +53,7 @@ echo "== doctor smoke: traced load run diagnosed drift-free =="
 # is also checked for structural well-formedness.
 JOURNEY_SMOKE_OUT=$(mktemp /tmp/pipemap-journeys.XXXXXX.jsonl)
 DOCTOR_SMOKE_OUT=$(mktemp /tmp/pipemap-doctor.XXXXXX.json)
-trap 'rm -f "$JOURNEY_SMOKE_OUT" "$DOCTOR_SMOKE_OUT" "${BENCH_SMOKE_OUT:-}" "${LIVE_SMOKE_LOG:-}"; kill "${LIVE_SMOKE_PID:-}" 2>/dev/null || true' EXIT
+trap 'rm -f "$JOURNEY_SMOKE_OUT" "$DOCTOR_SMOKE_OUT" "${BENCH_SMOKE_OUT:-}" "${LIVE_SMOKE_LOG:-}" "${EXPLAIN_SMOKE_SPEC:-}" "${EXPLAIN_SMOKE_OUT:-}" "${EXPLAIN_SMOKE_JOURNEYS:-}"; kill "${LIVE_SMOKE_PID:-}" 2>/dev/null || true' EXIT
 ./target/release/pipemap load fft-hist --duration 2s --size 64 \
     --journey-out "$JOURNEY_SMOKE_OUT" --journey-sample 8
 ./target/release/pipemap doctor "$JOURNEY_SMOKE_OUT" \
@@ -70,6 +70,54 @@ for s in r["stages"]:
         assert s[comp]["mean_s"] >= 0, (s["name"], comp)
 print("doctor smoke: %d journeys, drift-free" % r["complete"])
 EOF
+
+echo "== explain smoke: decision provenance, exact margins, doctor --margins =="
+# Solve a two-stage chain with full provenance, check the
+# pipemap-explain/v1 report is well-formed (margins per stage, finite
+# tightest margin on this knife-edge split), then close the loop: a
+# seeded DES run of the same mapping doctored against those exact
+# margins must come back drift-free with a nonzero exit reserved for a
+# genuine margin crossing.
+EXPLAIN_SMOKE_SPEC=$(mktemp /tmp/pipemap-explain.XXXXXX.pmap)
+EXPLAIN_SMOKE_OUT=$(mktemp /tmp/pipemap-explain.XXXXXX.json)
+EXPLAIN_SMOKE_JOURNEYS=$(mktemp /tmp/pipemap-explain-j.XXXXXX.jsonl)
+cat > "$EXPLAIN_SMOKE_SPEC" <<'SPEC'
+procs 12
+mem_per_proc 1e9
+
+task front
+  exec poly 0.0 5.0 0.02
+  replicable no
+
+edge
+  icom poly 0.0 0.05 0.0
+  ecom poly 0.02 0.3 0.3 0.01 0.01
+
+task back
+  exec poly 0.05 3.0 0.02
+  replicable no
+SPEC
+./target/release/pipemap explain "$EXPLAIN_SMOKE_SPEC" \
+    --report json --out "$EXPLAIN_SMOKE_OUT" --robustness 6 --spread 0.02 > /dev/null
+python3 - "$EXPLAIN_SMOKE_OUT" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "pipemap-explain/v1", r.get("schema")
+assert len(r["stages"]) == 2, r["stages"]
+for s in r["stages"]:
+    m = s["margins"]
+    for key in ("exec_up", "exec_down", "ecom_in_up", "ecom_in_down"):
+        assert key in m, (key, s)
+assert r["min_exec_up"] is not None and 1.0 < r["min_exec_up"] < 2.0, r["min_exec_up"]
+# Perturbations inside the margin must cost nothing in the sampled study.
+assert r["robustness"]["regret_max"] == 0, r["robustness"]
+print("explain smoke: min margin %.1f%%" % ((r["min_exec_up"] - 1) * 100))
+EOF
+./target/release/pipemap simulate "$EXPLAIN_SMOKE_SPEC" "0-0:1x7,1-1:1x5" \
+    --datasets 60 --noise 0.02 --seed 11 \
+    --journey-out "$EXPLAIN_SMOKE_JOURNEYS" --journey-sample 1 > /dev/null
+./target/release/pipemap doctor "$EXPLAIN_SMOKE_JOURNEYS" \
+    --margins "$EXPLAIN_SMOKE_OUT" --fail-on-drift > /dev/null
 
 echo "== live-attach smoke: observatory endpoints over a held load run =="
 # Serve the full observatory surface from a short micro load run (--hold

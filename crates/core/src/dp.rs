@@ -76,6 +76,7 @@ use pipemap_model::Procs;
 use crate::greedy;
 use crate::options::SolveOptions;
 use crate::pool::{self, CellStats};
+use crate::provenance::{self, Provenance, StageCells};
 use crate::solution::{Solution, SolveError};
 
 /// Relative safety margin on the pruning incumbent: the greedy bound and
@@ -140,6 +141,9 @@ pub struct DpTrace {
     pub assignment: Vec<Procs>,
     /// Optimal bottleneck throughput.
     pub throughput: f64,
+    /// Per-stage cell statistics; populated only when
+    /// [`SolveOptions::provenance`] is set.
+    pub stage_cells: Vec<StageCells>,
 }
 
 /// The successor axis of one stage: which "next task offer" states are
@@ -217,7 +221,7 @@ struct Row {
     stats: CellStats,
 }
 
-fn run_dp(
+pub(crate) fn run_dp(
     problem: &Problem,
     table: &CostTable,
     keep_stages: bool,
@@ -226,6 +230,9 @@ fn run_dp(
     let rec = pipemap_obs::global();
     let _wall = rec.timer("solver.dp_assignment.wall_s");
     let _span = pipemap_obs::span!("dp_assignment", "solver");
+    // Provenance harvesting reads the winning path back out of the stage
+    // tables, so recording implies keeping them.
+    let keep_stages = keep_stages || opts.provenance;
 
     let k = problem.num_tasks();
     let p = problem.total_procs;
@@ -287,6 +294,7 @@ fn run_dp(
     let mut prev_value: Vec<f64> = Vec::new();
     let mut prev_rowmax: Vec<f64> = Vec::new();
     let mut totals = CellStats::default();
+    let mut stage_cells: Vec<StageCells> = Vec::new();
 
     for j in 0..k {
         let axis = &axes[j];
@@ -474,6 +482,7 @@ fn run_dp(
         // Stage barrier: merge per-row buffers into the stage tables.
         let mut value = vec![f64::NEG_INFINITY; (p + 1) * nslots * p];
         let mut parent = vec![0u32; if j == 0 { 0 } else { (p + 1) * nslots * p }];
+        let mut stage_st = CellStats::default();
         for (ri, row) in computed.into_iter().enumerate() {
             let pl = floor + ri;
             for pt in 0..=p {
@@ -486,7 +495,17 @@ fn run_dp(
                     }
                 }
             }
-            totals.absorb(&row.stats);
+            stage_st.absorb(&row.stats);
+        }
+        totals.absorb(&stage_st);
+        if opts.provenance {
+            stage_cells.push(StageCells {
+                stage: j,
+                cells: stage_st.cells,
+                pruned: stage_st.cells_pruned,
+                lookups: stage_st.lookups,
+                skips: stage_st.qskips,
+            });
         }
         if opts.prune {
             // Row maxima over pl, used by the next stage's cell bound.
@@ -553,6 +572,7 @@ fn run_dp(
         stages,
         assignment,
         throughput: best,
+        stage_cells,
     })
 }
 
@@ -616,6 +636,52 @@ pub fn dp_assignment_with(
 pub fn dp_assignment_traced(problem: &Problem) -> Result<DpTrace, SolveError> {
     let table = CostTable::build(problem);
     run_dp(problem, &table, true, &SolveOptions::reference())
+}
+
+/// [`dp_assignment`] recording full decision provenance: the winning DP
+/// path (one [`crate::provenance::DecisionCell`] per task, with runner-up
+/// predecessors) and per-stage cell statistics. Forces the unpruned scan
+/// so runner-up values are exact — a pruned scan drops sub-incumbent
+/// candidates wholesale (see [`SolveOptions::provenance`]); `par`, `dedup`
+/// and `threads` are honoured as given. Results are bit-identical to
+/// [`dp_assignment_with`].
+pub fn dp_assignment_provenance(
+    problem: &Problem,
+    opts: &SolveOptions,
+) -> Result<(Solution, Assignment, Provenance), SolveError> {
+    let opts = SolveOptions {
+        prune: false,
+        provenance: true,
+        ..*opts
+    };
+    let table = CostTable::build(problem);
+    let trace = run_dp(problem, &table, true, &opts)?;
+    let prov = provenance::harvest_assignment(problem, &table, &trace);
+    let assignment = Assignment(trace.assignment.clone());
+    let mapping: Mapping = assignment
+        .to_mapping(problem)
+        .expect("DP respects per-task floors");
+    let solution = Solution::from_mapping(problem, mapping);
+    Ok((solution, assignment, prov))
+}
+
+/// Per-stage cell statistics of a *pruned* assignment solve — the "what
+/// did pruning skip" half of the `pipemap explain` heatmap (the exact
+/// half comes from [`dp_assignment_provenance`]'s unpruned counts). The
+/// solve itself is bit-identical to [`dp_assignment_with`]; only the
+/// statistics are kept.
+pub fn dp_assignment_pruned_stats(
+    problem: &Problem,
+    opts: &SolveOptions,
+) -> Result<Vec<StageCells>, SolveError> {
+    let opts = SolveOptions {
+        prune: true,
+        provenance: true,
+        ..*opts
+    };
+    let table = CostTable::build(problem);
+    let trace = run_dp_with_fallback(problem, &table, false, &opts)?;
+    Ok(trace.stage_cells)
 }
 
 #[cfg(test)]

@@ -76,6 +76,7 @@ use pipemap_model::Procs;
 use crate::greedy;
 use crate::options::SolveOptions;
 use crate::pool::{self, CellStats};
+use crate::provenance::{DecisionCell, Provenance, RunnerUp, StageCells};
 use crate::solution::{Solution, SolveError};
 
 /// Relative safety margin on the pruning incumbent (see `dp.rs`): the
@@ -322,7 +323,7 @@ pub fn dp_mapping(problem: &Problem) -> Result<Solution, SolveError> {
 /// [`dp_mapping`] with explicit [`SolveOptions`]. Every option combination
 /// returns bit-identical results; the options only trade wall-clock time.
 pub fn dp_mapping_with(problem: &Problem, opts: &SolveOptions) -> Result<Solution, SolveError> {
-    match run_cluster_dp(problem, opts) {
+    let r = match run_cluster_dp(problem, opts) {
         // Defensive: an admissible incumbent can never prune the optimum,
         // but if the margin were ever wrong, fall back to the exact path
         // rather than mis-reporting infeasibility.
@@ -334,10 +335,56 @@ pub fn dp_mapping_with(problem: &Problem, opts: &SolveOptions) -> Result<Solutio
             run_cluster_dp(problem, &unpruned)
         }
         r => r,
-    }
+    };
+    r.map(|(solution, _)| solution)
 }
 
-fn run_cluster_dp(problem: &Problem, opts: &SolveOptions) -> Result<Solution, SolveError> {
+/// [`dp_mapping`] recording full decision provenance: the winning DP path
+/// (one [`DecisionCell`] per module, with runner-up predecessor choices)
+/// and per-stage cell statistics. Forces the unpruned scan so runner-up
+/// values are exact (see [`SolveOptions::provenance`]); `par`, `dedup` and
+/// `threads` are honoured as given. Results are bit-identical to
+/// [`dp_mapping_with`].
+pub fn dp_mapping_provenance(
+    problem: &Problem,
+    opts: &SolveOptions,
+) -> Result<(Solution, Provenance), SolveError> {
+    let opts = SolveOptions {
+        prune: false,
+        provenance: true,
+        ..*opts
+    };
+    let (solution, prov) = run_cluster_dp(problem, &opts)?;
+    Ok((
+        solution,
+        prov.expect("provenance recorded when the option is set"),
+    ))
+}
+
+/// Per-stage cell statistics of a *pruned* cluster solve — the "what did
+/// pruning skip" half of the `pipemap explain` heatmap (the exact half
+/// comes from [`dp_mapping_provenance`]'s unpruned counts). The solve
+/// itself is bit-identical to [`dp_mapping_with`]; only the statistics
+/// are kept.
+pub fn dp_mapping_pruned_stats(
+    problem: &Problem,
+    opts: &SolveOptions,
+) -> Result<Vec<StageCells>, SolveError> {
+    let opts = SolveOptions {
+        prune: true,
+        provenance: true,
+        ..*opts
+    };
+    let (_, prov) = run_cluster_dp(problem, &opts)?;
+    Ok(prov
+        .expect("provenance recorded when the option is set")
+        .stage_cells)
+}
+
+fn run_cluster_dp(
+    problem: &Problem,
+    opts: &SolveOptions,
+) -> Result<(Solution, Option<Provenance>), SolveError> {
     let rec = pipemap_obs::global();
     let _wall = rec.timer("solver.dp_mapping.wall_s");
     let _span = pipemap_obs::span!("dp_mapping", "solver");
@@ -348,6 +395,13 @@ fn run_cluster_dp(problem: &Problem, opts: &SolveOptions) -> Result<Solution, So
     let dense = table.dense();
     let k = problem.num_tasks();
     let p = problem.total_procs;
+    // Per-end-task cell statistics (summed over module lengths), kept only
+    // under provenance for the explain pruning heatmap.
+    let mut stage_stats: Vec<CellStats> = if opts.provenance {
+        vec![CellStats::default(); k]
+    } else {
+        Vec::new()
+    };
 
     // Admissible incumbent: the refined greedy assignment is an
     // all-singleton clustering, i.e. one feasible clustering, so the
@@ -651,6 +705,9 @@ fn run_cluster_dp(problem: &Problem, opts: &SolveOptions) -> Result<Solution, So
                         parent[dst] = row.parent[src];
                     }
                 }
+                if opts.provenance {
+                    stage_stats[j].absorb(&row.stats);
+                }
                 totals.absorb(&row.stats);
             }
             let rowmax = if opts.prune {
@@ -699,8 +756,10 @@ fn run_cluster_dp(problem: &Problem, opts: &SolveOptions) -> Result<Solution, So
         return Err(SolveError::Infeasible);
     }
 
-    // Reconstruct modules right-to-left.
+    // Reconstruct modules right-to-left, recording the visited cells for
+    // the provenance harvest.
     let mut modules_rev: Vec<ModuleAssignment> = Vec::new();
+    let mut path: Vec<PathCell> = Vec::new();
     let mut j = k - 1;
     let mut l = best_l;
     let mut pl = best_pl;
@@ -717,6 +776,9 @@ fn run_cluster_dp(problem: &Problem, opts: &SolveOptions) -> Result<Solution, So
             rep.instances,
             rep.procs_per_instance,
         ));
+        if opts.provenance {
+            path.push(PathCell { j, l, pl, pt, slot });
+        }
         if first == 0 {
             break;
         }
@@ -729,6 +791,21 @@ fn run_cluster_dp(problem: &Problem, opts: &SolveOptions) -> Result<Solution, So
         pl = par.prev_procs as usize;
     }
     modules_rev.reverse();
+    let prov = if opts.provenance {
+        Some(harvest_cluster(
+            &table,
+            &stages,
+            &axes,
+            &stage_stats,
+            &path,
+            stage_key,
+            p,
+            best,
+            !opts.prune,
+        ))
+    } else {
+        None
+    };
     let mapping = Mapping::new(modules_rev);
     let solution = Solution::from_mapping(problem, mapping);
     debug_assert!(
@@ -738,7 +815,139 @@ fn run_cluster_dp(problem: &Problem, opts: &SolveOptions) -> Result<Solution, So
         best,
         solution.throughput
     );
-    Ok(solution)
+    Ok((solution, prov))
+}
+
+/// One reconstructed cell of the winning path: module ending at task `j`
+/// with length `l`, offered `pl` of a `pt` budget, read through successor
+/// slot `slot`.
+struct PathCell {
+    j: usize,
+    l: usize,
+    pl: usize,
+    pt: usize,
+    slot: usize,
+}
+
+/// Rebuild [`DecisionCell`]s for the cluster DP's winning path by
+/// re-scanning each visited cell's candidates (exact when the solve ran
+/// unpruned — the entry point forces that).
+#[allow(clippy::too_many_arguments)]
+fn harvest_cluster(
+    table: &CostTable,
+    stages: &[Option<Stage>],
+    axes: &[NeAxis],
+    stage_stats: &[CellStats],
+    path: &[PathCell],
+    stage_key: impl Fn(usize, usize) -> usize,
+    p: usize,
+    throughput: f64,
+    exact: bool,
+) -> Provenance {
+    let dense = table.dense();
+    let mut cells: Vec<DecisionCell> = Vec::with_capacity(path.len());
+    for pc in path {
+        let first = pc.j + 1 - pc.l;
+        let stage = stages[stage_key(pc.j, pc.l)]
+            .as_ref()
+            .expect("path visits existing stages");
+        let value = stage.value[(pc.slot * (p + 1) + pc.pt) * p + (pc.pl - 1)];
+        let rep = table
+            .module_replication(first, pc.j, pc.pl)
+            .expect("path offer respects the floor");
+        let inst = rep.procs_per_instance;
+        let r = rep.instances as f64;
+        let ne = axes[pc.j + 1].insts[pc.slot];
+        let out = if ne != 0 {
+            dense.ecom_slab(pc.j)[(inst - 1) * p + (ne - 1)]
+        } else {
+            0.0
+        };
+        let exec = table.module_exec(first, pc.j, inst);
+        let (chosen, ein, runner_up) = if first > 0 {
+            let par = stage.parent[(pc.slot * (p + 1) + pc.pt) * p + (pc.pl - 1)];
+            let budget = pc.pt - pc.pl;
+            let in_slab = dense.ecom_slab(first - 1);
+            let s_in = axes[first].slot_of_inst[inst];
+            let mut ein_star = 0.0;
+            let mut alt_val = f64::NEG_INFINITY;
+            let mut alt = Parent::default();
+            for prev_len in 1..=first {
+                let Some(pstage) = stages[stage_key(first - 1, prev_len)].as_ref() else {
+                    continue;
+                };
+                let prev_first = first - prev_len;
+                for q in pstage.floor..=budget {
+                    let sub = pstage.value[(s_in * (p + 1) + budget) * p + (q - 1)];
+                    let prep = table
+                        .module_replication(prev_first, first - 1, q)
+                        .expect("q >= floor");
+                    let cin = in_slab[(prep.procs_per_instance - 1) * p + (inst - 1)];
+                    if prev_len == par.prev_len as usize && q == par.prev_procs as usize {
+                        ein_star = cin;
+                        continue; // the chosen candidate is not its own runner-up
+                    }
+                    if sub == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let cand = sub.min(cluster_thr(r, cin + exec + out));
+                    if cand > alt_val {
+                        alt_val = cand;
+                        alt = Parent {
+                            prev_len: prev_len as u16,
+                            prev_procs: q as u16,
+                        };
+                    }
+                }
+            }
+            let ru = (alt_val > f64::NEG_INFINITY).then_some(RunnerUp {
+                prev_len: alt.prev_len as usize,
+                prev_procs: alt.prev_procs as usize,
+                value: alt_val,
+            });
+            (par, ein_star, ru)
+        } else {
+            (Parent::default(), 0.0, None)
+        };
+        cells.push(DecisionCell {
+            index: 0, // assigned after the reverse below
+            first,
+            last: pc.j,
+            offer: pc.pl,
+            instances: rep.instances,
+            instance_procs: inst,
+            budget: pc.pt,
+            value,
+            chosen_prev_len: chosen.prev_len as usize,
+            chosen_prev_procs: chosen.prev_procs as usize,
+            runner_up,
+            exec_s: exec,
+            ecom_in_s: ein,
+            ecom_out_s: out,
+        });
+    }
+    cells.reverse();
+    for (i, cell) in cells.iter_mut().enumerate() {
+        cell.index = i;
+    }
+    let stage_cells = stage_stats
+        .iter()
+        .enumerate()
+        .map(|(stage, st)| StageCells {
+            stage,
+            cells: st.cells,
+            pruned: st.cells_pruned,
+            lookups: st.lookups,
+            skips: st.qskips,
+        })
+        .collect();
+    Provenance {
+        algorithm: "dp_mapping",
+        throughput,
+        cells,
+        stage_cells,
+        exact_runner_ups: exact,
+    }
 }
 
 #[cfg(test)]

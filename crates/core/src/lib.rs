@@ -42,12 +42,16 @@ pub mod latency;
 pub mod options;
 pub mod pool;
 pub mod procs;
+pub mod provenance;
 pub mod solution;
 
 pub use brute::{brute_force_assignment, brute_force_mapping};
 pub use cluster::{cluster_heuristic, contract_chain, ContractedProblem};
-pub use dp::{dp_assignment, dp_assignment_with, DpStage, DpTrace};
-pub use dp_cluster::{dp_mapping, dp_mapping_with};
+pub use dp::{
+    dp_assignment, dp_assignment_provenance, dp_assignment_pruned_stats, dp_assignment_with,
+    DpStage, DpTrace,
+};
+pub use dp_cluster::{dp_mapping, dp_mapping_provenance, dp_mapping_pruned_stats, dp_mapping_with};
 pub use dp_free::dp_mapping_free;
 pub use greedy::{
     greedy_assignment, greedy_assignment_with_table, refine_assignment, GreedyOptions,
@@ -56,4 +60,7 @@ pub use greedy::{
 pub use latency::{best_latency_mapping, latency, LatencySolution};
 pub use options::SolveOptions;
 pub use procs::{min_procs_mapping, ProcsSolution};
+pub use provenance::{
+    stability_margins, DecisionCell, MarginReport, Provenance, RunnerUp, StageCells, StageMargin,
+};
 pub use solution::{Solution, SolveError};

@@ -6,6 +6,13 @@
 //! whole performance layer; [`SolveOptions::reference`] disables it and
 //! reproduces the paper-faithful serial enumeration — useful as the
 //! baseline when measuring speedups and as the differential oracle.
+//!
+//! The one non-performance knob is [`SolveOptions::provenance`]: it asks
+//! the solver to *additionally* record the winning decision path and
+//! per-stage cell statistics (see [`crate::provenance`]). It never changes
+//! the solve's result either — recording observes the scan, it does not
+//! steer it — and it is zero-cost when off (no tables are retained, no
+//! stats are pushed).
 
 /// Performance options for [`crate::dp_assignment_with`] and
 /// [`crate::dp_mapping_with`].
@@ -31,6 +38,14 @@ pub struct SolveOptions {
     /// `PIPEMAP_THREADS` environment variable, then
     /// `std::thread::available_parallelism()`.
     pub threads: Option<usize>,
+    /// Record decision provenance: keep the winning path's DP cells,
+    /// runner-up candidates, and per-stage cell/pruning statistics (the
+    /// raw material of `pipemap explain`). Does not change results;
+    /// zero-cost when off. Runner-up values are only exact when `prune`
+    /// is off (a pruned scan drops sub-incumbent candidates wholesale),
+    /// which is what [`crate::dp_assignment_provenance`] and
+    /// [`crate::dp_mapping_provenance`] enforce.
+    pub provenance: bool,
 }
 
 impl Default for SolveOptions {
@@ -40,6 +55,7 @@ impl Default for SolveOptions {
             prune: true,
             dedup: true,
             threads: None,
+            provenance: false,
         }
     }
 }
@@ -54,6 +70,7 @@ impl SolveOptions {
             prune: false,
             dedup: false,
             threads: None,
+            provenance: false,
         }
     }
 
@@ -61,6 +78,17 @@ impl SolveOptions {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: Some(threads),
+            ..Self::default()
+        }
+    }
+
+    /// Default options plus provenance recording with the unpruned scan
+    /// (exact runner-ups). `par` and `dedup` stay on: both preserve full
+    /// tables and bit-identical values.
+    pub fn provenance() -> Self {
+        Self {
+            prune: false,
+            provenance: true,
             ..Self::default()
         }
     }

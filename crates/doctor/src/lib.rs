@@ -32,11 +32,96 @@
 //! the OpenMetrics endpoint.
 
 use pipemap_chain::{bottleneck_module, module_response, throughput, Mapping, TaskChain};
-use pipemap_core::SolveOptions;
+use pipemap_core::{MarginReport, SolveOptions};
 use pipemap_obs::{journey_jsonl, stitch, Journey, JourneyEvent, Recorder, Value, JOURNEY_SCHEMA};
 
 /// Schema tag of the JSON drift report.
 pub const DOCTOR_SCHEMA: &str = "pipemap-doctor/v1";
+
+/// Exact per-stage stability margins for one mapping, as produced by
+/// `pipemap explain --report json` (see [`pipemap_core::stability_margins`]).
+///
+/// With a spec loaded (`pipemap doctor --margins explain.json`) the
+/// doctor stops using the fixed near-tie percentage and instead flags
+/// drift exactly when a fitted cost has crossed the drift factor at
+/// which a *different* mapping becomes optimal: a stage with a wide
+/// margin can drift 3× without a flag, a knife-edge stage flags at 2%.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MarginSpec {
+    /// Per-stage margins; `stage` indexes the mapping's modules.
+    pub stages: Vec<StageMarginSpec>,
+}
+
+/// One stage's exact drift tolerance, as multiplicative factors on the
+/// fitted costs. `1.0` is "exactly as modelled"; the mapping stays
+/// optimal while the observed factor lies inside `(down, up)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StageMarginSpec {
+    /// Module index in the mapping.
+    pub stage: usize,
+    /// Largest tolerable growth factor of this stage's execution cost
+    /// (`f64::INFINITY` when no growth ever flips the mapping).
+    pub exec_up: f64,
+    /// Smallest tolerable shrink factor (`0.0` when none flips it).
+    pub exec_down: f64,
+    /// Growth tolerance of the stage's incoming transfer cost.
+    pub ecom_in_up: f64,
+    /// Shrink tolerance of the incoming transfer cost.
+    pub ecom_in_down: f64,
+}
+
+impl MarginSpec {
+    /// Adopt the margins of a freshly-computed report.
+    pub fn from_report(report: &MarginReport) -> Self {
+        Self {
+            stages: report
+                .stages
+                .iter()
+                .map(|s| StageMarginSpec {
+                    stage: s.index,
+                    exec_up: s.exec_up,
+                    exec_down: s.exec_down,
+                    ecom_in_up: s.ecom_in_up,
+                    ecom_in_down: s.ecom_in_down,
+                })
+                .collect(),
+        }
+    }
+
+    /// Parse an explain document (or any JSON with a `stages` array
+    /// whose entries carry a `margins` object or flat margin fields).
+    /// Infinite margins arrive as JSON `null` and parse back to
+    /// `INFINITY` (up) / `0.0` (down).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = Value::parse(text.trim()).map_err(|e| format!("invalid JSON: {e:?}"))?;
+        let stages_v = doc
+            .get("stages")
+            .and_then(Value::as_array)
+            .ok_or("margin spec: no 'stages' array")?;
+        let mut stages = Vec::with_capacity(stages_v.len());
+        for (i, s) in stages_v.iter().enumerate() {
+            let m = s.get("margins").unwrap_or(s);
+            let bound =
+                |key: &str, absent: f64| m.get(key).and_then(Value::as_f64).unwrap_or(absent);
+            stages.push(StageMarginSpec {
+                stage: s
+                    .get("index")
+                    .or_else(|| s.get("stage"))
+                    .and_then(Value::as_f64)
+                    .map(|v| v as usize)
+                    .unwrap_or(i),
+                exec_up: bound("exec_up", f64::INFINITY),
+                exec_down: bound("exec_down", 0.0),
+                ecom_in_up: bound("ecom_in_up", f64::INFINITY),
+                ecom_in_down: bound("ecom_in_down", 0.0),
+            });
+        }
+        if stages.is_empty() {
+            return Err("margin spec: 'stages' array is empty".into());
+        }
+        Ok(Self { stages })
+    }
+}
 
 /// What the fitted model predicts for one stage of the pipeline.
 #[derive(Clone, Debug, PartialEq)]
@@ -386,6 +471,20 @@ pub struct StageDiagnosis {
     /// Whether the predicted service mean lies within the measured
     /// mean's 95% confidence interval.
     pub service_within_ci: Option<bool>,
+    /// Measured-over-predicted service drift factor (`None` without a
+    /// positive prediction).
+    pub service_gamma: Option<f64>,
+    /// Measured-over-predicted transport drift factor.
+    pub transport_gamma: Option<f64>,
+    /// This stage's exact `(exec_down, exec_up)` tolerance, when a
+    /// [`MarginSpec`] was supplied.
+    pub exec_margin: Option<(f64, f64)>,
+    /// Exact `(ecom_in_down, ecom_in_up)` tolerance.
+    pub ecom_margin: Option<(f64, f64)>,
+    /// `Some(true)` when an observed drift factor left its exact
+    /// stability interval; `None` when margins or predictions were
+    /// unavailable for this stage.
+    pub margin_crossed: Option<bool>,
 }
 
 /// One slice of the critical-path distribution: the fraction of data
@@ -464,19 +563,49 @@ pub struct DriftReport {
     pub critical: Vec<CriticalShare>,
     /// Set when drift is flagged.
     pub recommendation: Option<Recommendation>,
+    /// Whether exact stability margins (not the fixed near-tie
+    /// percentage) decided the drift verdict.
+    pub margins_used: bool,
 }
 
 /// Analyse a journey log (uses its header's model and sample stride).
 pub fn diagnose_log(log: &JourneyLog, opts: &DoctorOptions) -> DriftReport {
+    diagnose_log_with_margins(log, None, opts)
+}
+
+/// [`diagnose_log`] with an exact margin spec deciding the drift
+/// verdict (`pipemap doctor --margins explain.json`).
+pub fn diagnose_log_with_margins(
+    log: &JourneyLog,
+    margins: Option<&MarginSpec>,
+    opts: &DoctorOptions,
+) -> DriftReport {
     let mut o = *opts;
     o.sample = log.sample;
-    diagnose(&log.events, log.model.as_ref(), &o)
+    diagnose_with_margins(&log.events, log.model.as_ref(), margins, &o)
 }
 
 /// Analyse raw journey events against an optional model prediction.
 pub fn diagnose(
     events: &[JourneyEvent],
     model: Option<&ModelPrediction>,
+    opts: &DoctorOptions,
+) -> DriftReport {
+    diagnose_with_margins(events, model, None, opts)
+}
+
+/// [`diagnose`], with drift judged against exact per-stage stability
+/// margins when `margins` is given: instead of "did the measured
+/// bottleneck move by more than the fixed percentage", the verdict
+/// becomes "did any fitted cost drift past the factor at which the DP
+/// would have chosen a different mapping". This both silences false
+/// positives on stages with wide margins and catches real drift the
+/// bottleneck-move test cannot see (a cost can cross its margin before
+/// the bottleneck visibly moves).
+pub fn diagnose_with_margins(
+    events: &[JourneyEvent],
+    model: Option<&ModelPrediction>,
+    margins: Option<&MarginSpec>,
     opts: &DoctorOptions,
 ) -> DriftReport {
     let journeys = stitch(events);
@@ -562,6 +691,27 @@ pub fn diagnose(
                 None
             }
         };
+        let spec = margins.and_then(|m| m.stages.iter().find(|ms| ms.stage == s));
+        let gamma = |measured: f64, predicted: Option<f64>| {
+            predicted.filter(|p| *p > 0.0).map(|p| measured / p)
+        };
+        let service_gamma = gamma(sv.mean, pred.map(|p| p.service_s));
+        let transport_gamma = gamma(t.mean, pred.map(|p| p.transport_s));
+        let outside = |g: Option<f64>, bounds: Option<(f64, f64)>| match (g, bounds) {
+            (Some(g), Some((down, up))) => Some(g > up || g < down),
+            _ => None,
+        };
+        let exec_margin = spec.map(|m| (m.exec_down, m.exec_up));
+        let ecom_margin = spec.map(|m| (m.ecom_in_down, m.ecom_in_up));
+        let crossings = [
+            outside(service_gamma, exec_margin),
+            outside(transport_gamma, ecom_margin),
+        ];
+        let margin_crossed = if crossings.iter().all(Option::is_none) {
+            None
+        } else {
+            Some(crossings.contains(&Some(true)))
+        };
         stages.push(StageDiagnosis {
             stage: s,
             name: pred
@@ -578,20 +728,35 @@ pub fn diagnose(
             service_rel_err: pred.and_then(|p| rel(sv.mean, p.service_s)),
             transport_rel_err: pred.and_then(|p| rel(t.mean, p.transport_s)),
             service_within_ci: pred.map(|p| (sv.mean - p.service_s).abs() <= sv.ci95()),
+            service_gamma,
+            transport_gamma,
+            exec_margin,
+            ecom_margin,
+            margin_crossed,
         });
     }
 
     let measured_bottleneck = leftmost_argmax(&effective);
     let predicted_bottleneck = model.map(|m| m.bottleneck);
-    let drift = match predicted_bottleneck {
-        Some(pb) if complete.len() >= opts.min_samples && !effective.is_empty() => {
-            let moved = measured_bottleneck != pb;
-            let material = moved
-                && effective[pb] > 0.0
-                && (effective[measured_bottleneck] - effective[pb]) / effective[pb] > opts.margin;
-            Some(material)
+    let margins_used = margins.is_some() && stages.iter().any(|s| s.margin_crossed.is_some());
+    let drift = if margins_used {
+        // Margin-aware verdict: drift iff a fitted cost provably left
+        // the region where the chosen mapping is optimal. The fixed
+        // percentage plays no role.
+        (complete.len() >= opts.min_samples)
+            .then(|| stages.iter().any(|s| s.margin_crossed == Some(true)))
+    } else {
+        match predicted_bottleneck {
+            Some(pb) if complete.len() >= opts.min_samples && !effective.is_empty() => {
+                let moved = measured_bottleneck != pb;
+                let material = moved
+                    && effective[pb] > 0.0
+                    && (effective[measured_bottleneck] - effective[pb]) / effective[pb]
+                        > opts.margin;
+                Some(material)
+            }
+            _ => None,
         }
-        _ => None,
     };
 
     // Throughput from sink spacing: sampled completions are `sample`
@@ -619,6 +784,41 @@ pub fn diagnose(
     }
 
     let recommendation = match drift {
+        Some(true) if margins_used => {
+            let why = stages
+                .iter()
+                .find(|s| s.margin_crossed == Some(true))
+                .map(|s| {
+                    let (kind, g, (down, up)) = match (
+                        s.service_gamma.zip(s.exec_margin),
+                        s.transport_gamma.zip(s.ecom_margin),
+                    ) {
+                        (Some((g, b)), _) if g > b.1 || g < b.0 => ("service", g, b),
+                        (_, Some((g, b))) => ("transport", g, b),
+                        (Some((g, b)), None) => ("service", g, b),
+                        (None, None) => unreachable!("crossed implies a drift factor"),
+                    };
+                    format!(
+                        "stage {} ({}) {kind} cost drifted to {g:.3}x its fitted model, \
+                         outside the exact stability interval ({:.3}, {}) — a different \
+                         mapping is now provably optimal; re-solve against refreshed \
+                         profiles",
+                        s.stage,
+                        s.name,
+                        down,
+                        if up.is_finite() {
+                            format!("{up:.3}")
+                        } else {
+                            "inf".into()
+                        },
+                    )
+                })
+                .expect("margin drift implies a crossed stage");
+            Some(Recommendation {
+                why,
+                options: SolveOptions::default(),
+            })
+        }
         Some(true) => Some(Recommendation {
             why: format!(
                 "measured bottleneck is stage {} but the model predicted stage {}; \
@@ -645,6 +845,7 @@ pub fn diagnose(
         latency: ComponentStats::of(&latencies),
         critical,
         recommendation,
+        margins_used,
     }
 }
 
@@ -699,6 +900,12 @@ pub fn publish(report: &DriftReport, rec: &Recorder) {
                 rel,
             );
         }
+        if let Some(g) = s.service_gamma {
+            rec.gauge_set(&format!("doctor.drift.stage{}.service_gamma", s.stage), g);
+        }
+    }
+    if report.margins_used {
+        rec.gauge_set("doctor.drift.margins_used", 1.0);
     }
 }
 
@@ -746,6 +953,24 @@ pub fn report_json(report: &DriftReport) -> Value {
                 Some(b) => o.set("service_within_ci", b),
                 None => o.set("service_within_ci", Value::Null),
             };
+            if report.margins_used {
+                opt_num(&mut o, "service_gamma", s.service_gamma);
+                opt_num(&mut o, "transport_gamma", s.transport_gamma);
+                if let Some((down, up)) = s.exec_margin {
+                    let mut m = Value::object();
+                    m.set("exec_down", down);
+                    m.set("exec_up", up);
+                    if let Some((ed, eu)) = s.ecom_margin {
+                        m.set("ecom_in_down", ed);
+                        m.set("ecom_in_up", eu);
+                    }
+                    o.set("margins", m);
+                }
+                match s.margin_crossed {
+                    Some(b) => o.set("margin_crossed", b),
+                    None => o.set("margin_crossed", Value::Null),
+                };
+            }
             o
         })
         .collect();
@@ -759,6 +984,7 @@ pub fn report_json(report: &DriftReport) -> Value {
         Some(b) => v.set("drift", b),
         None => v.set("drift", Value::Null),
     };
+    v.set("margins_used", report.margins_used);
     opt_num(&mut v, "measured_throughput", report.measured_throughput);
     opt_num(&mut v, "predicted_throughput", report.predicted_throughput);
     v.set("latency", stats(&report.latency));
@@ -876,6 +1102,66 @@ pub fn render(report: &DriftReport) -> String {
             c.stage,
             c.component.as_str()
         );
+    }
+    if report.margins_used {
+        let _ = writeln!(
+            out,
+            "\nexact stability margins (drift factor vs tolerance):"
+        );
+        let bound = |b: f64| {
+            if b.is_finite() {
+                format!("{b:.3}")
+            } else {
+                "inf".into()
+            }
+        };
+        for s in &report.stages {
+            let (Some(g), Some((down, up))) = (s.service_gamma, s.exec_margin) else {
+                continue;
+            };
+            let verdict = match s.margin_crossed {
+                Some(true) => "CROSSED",
+                Some(false) => "ok",
+                None => "-",
+            };
+            let transport = match (s.transport_gamma, s.ecom_margin) {
+                (Some(tg), Some((td, tu))) => {
+                    format!(", transport {tg:.3}x in ({:.3}, {})", td, bound(tu))
+                }
+                _ => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  stage {} {:<14} service {g:.3}x in ({:.3}, {}){transport}  [{verdict}]",
+                s.stage,
+                s.name,
+                down,
+                bound(up),
+            );
+        }
+        match report.drift {
+            Some(true) => {
+                let _ = writeln!(
+                    out,
+                    "\nMARGIN DRIFT: a fitted cost left the region where the chosen \
+                     mapping is optimal"
+                );
+                if let Some(r) = &report.recommendation {
+                    let _ = writeln!(out, "recommendation: {}", r.why);
+                }
+            }
+            Some(false) => {
+                let _ = writeln!(
+                    out,
+                    "\nno drift: every fitted cost is inside its exact stability margin \
+                     (mapping still provably optimal)"
+                );
+            }
+            None => {
+                let _ = writeln!(out, "\nnot enough complete journeys for a margin verdict");
+            }
+        }
+        return out;
     }
     match (report.drift, report.predicted_bottleneck) {
         (Some(true), Some(pb)) => {
@@ -1016,6 +1302,114 @@ mod tests {
         let few = synth(3, &[(0.0, 0.0, 40.0, 0.0), (0.0, 0.0, 90.0, 0.0)], 150.0);
         let r = diagnose(&few, Some(&model), &DoctorOptions::default());
         assert_eq!(r.drift, None);
+    }
+
+    fn spec2(up0: f64, up1: f64) -> MarginSpec {
+        MarginSpec {
+            stages: vec![
+                StageMarginSpec {
+                    stage: 0,
+                    exec_up: up0,
+                    exec_down: 0.5,
+                    ecom_in_up: f64::INFINITY,
+                    ecom_in_down: 0.0,
+                },
+                StageMarginSpec {
+                    stage: 1,
+                    exec_up: up1,
+                    exec_down: 0.5,
+                    ecom_in_up: f64::INFINITY,
+                    ecom_in_down: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn margins_silence_false_positives_and_catch_hidden_drift() {
+        let model = model2(40e-6, 20e-6);
+        let opts = DoctorOptions::default();
+
+        // Stage 1 balloons 41/20 = 2.05x and overtakes the bottleneck —
+        // the fixed-percentage doctor flags drift. But stage 1's exact
+        // margin says anything under 2.5x still leaves the mapping
+        // optimal: the margin-aware doctor stays quiet.
+        let overtaken = synth(20, &[(0.0, 0.0, 40.0, 0.0), (0.0, 0.0, 41.0, 0.0)], 100.0);
+        let fixed = diagnose(&overtaken, Some(&model), &opts);
+        assert_eq!(fixed.measured_bottleneck, 1);
+        assert!(!fixed.margins_used);
+        let wide = spec2(3.0, 2.5);
+        let margin = diagnose_with_margins(&overtaken, Some(&model), Some(&wide), &opts);
+        assert!(margin.margins_used);
+        assert_eq!(margin.drift, Some(false), "inside margins is not drift");
+        let g = margin.stages[1].service_gamma.expect("prediction present");
+        assert!((g - 41.0 / 20.0).abs() < 1e-9, "gamma {g}");
+        assert_eq!(margin.stages[1].margin_crossed, Some(false));
+        assert!(margin.recommendation.is_none());
+
+        // Stage 0 creeps only 10% (44/40) and stays the bottleneck — the
+        // fixed doctor sees nothing. On a knife-edge mapping (margin
+        // 1.05x) that creep already makes a different mapping optimal:
+        // only the margin-aware doctor catches it.
+        let creep = synth(20, &[(0.0, 0.0, 44.0, 0.0), (0.0, 0.0, 20.0, 0.0)], 100.0);
+        let fixed = diagnose(&creep, Some(&model), &opts);
+        assert_eq!(fixed.drift, Some(false), "bottleneck never moved");
+        let knife = spec2(1.05, 3.0);
+        let margin = diagnose_with_margins(&creep, Some(&model), Some(&knife), &opts);
+        assert_eq!(margin.drift, Some(true));
+        assert_eq!(margin.stages[0].margin_crossed, Some(true));
+        let rec = margin
+            .recommendation
+            .expect("crossing recommends a re-solve");
+        assert!(rec.why.contains("stage 0"), "{}", rec.why);
+        assert!(rec.why.contains("1.100"), "{}", rec.why);
+
+        // Shrink direction: stage 1 collapses to 0.25x its model, below
+        // exec_down = 0.5 — procs are provably misallocated.
+        let shrink = synth(20, &[(0.0, 0.0, 40.0, 0.0), (0.0, 0.0, 5.0, 0.0)], 100.0);
+        let margin = diagnose_with_margins(&shrink, Some(&model), Some(&wide), &opts);
+        assert_eq!(margin.drift, Some(true));
+        assert_eq!(margin.stages[1].margin_crossed, Some(true));
+
+        // The JSON report carries the margin fields.
+        let v = report_json(&margin);
+        let parsed = Value::parse(&v.to_json()).unwrap();
+        assert_eq!(parsed.get("margins_used"), Some(&Value::Bool(true)));
+        let stages = parsed.get("stages").and_then(Value::as_array).unwrap();
+        assert_eq!(
+            stages[1].get("service_gamma").and_then(Value::as_f64),
+            Some(0.25)
+        );
+        assert_eq!(stages[1].get("margin_crossed"), Some(&Value::Bool(true)));
+        // And the rendering names the verdict.
+        let text = render(&margin);
+        assert!(text.contains("MARGIN DRIFT"), "{text}");
+        assert!(text.contains("CROSSED"), "{text}");
+    }
+
+    #[test]
+    fn margin_spec_parses_explain_json() {
+        // The shape `pipemap explain --report json` produces: stages
+        // with nested margins; infinities serialised as null.
+        let text = r#"{
+            "schema": "pipemap-explain/v1",
+            "throughput": 0.5,
+            "stages": [
+                {"index": 0, "margins": {"exec_up": 1.25, "exec_down": 0.8,
+                                          "ecom_in_up": null, "ecom_in_down": 0.0}},
+                {"index": 1, "margins": {"exec_up": null, "exec_down": 0.0}}
+            ]
+        }"#;
+        let spec = MarginSpec::parse(text).expect("parses");
+        assert_eq!(spec.stages.len(), 2);
+        assert_eq!(spec.stages[0].exec_up, 1.25);
+        assert_eq!(spec.stages[0].ecom_in_up, f64::INFINITY);
+        assert_eq!(spec.stages[1].exec_up, f64::INFINITY);
+        assert_eq!(spec.stages[1].ecom_in_down, 0.0);
+
+        assert!(MarginSpec::parse("{}").is_err());
+        assert!(MarginSpec::parse("{\"stages\": []}").is_err());
+        assert!(MarginSpec::parse("not json").is_err());
     }
 
     #[test]

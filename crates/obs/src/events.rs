@@ -89,6 +89,12 @@ pub enum EventKind {
     BackpressureEnd,
     /// Load was shed (a data set dropped instead of queued).
     Shed,
+    /// An online-fitted cost drifted past its stage's exact stability
+    /// margin: the solver's chosen mapping is provably no longer optimal
+    /// (see `pipemap_core::stability_margins`). Unlike [`ResidualHigh`],
+    /// which fires at a fixed residual threshold, this fires exactly at
+    /// the drift factor where a different mapping starts to win.
+    MarginCrossed,
 }
 
 impl EventKind {
@@ -104,6 +110,7 @@ impl EventKind {
             EventKind::BackpressureOnset => "backpressure_onset",
             EventKind::BackpressureEnd => "backpressure_end",
             EventKind::Shed => "shed",
+            EventKind::MarginCrossed => "margin_crossed",
         }
     }
 
@@ -119,6 +126,7 @@ impl EventKind {
             "backpressure_onset" => Some(EventKind::BackpressureOnset),
             "backpressure_end" => Some(EventKind::BackpressureEnd),
             "shed" => Some(EventKind::Shed),
+            "margin_crossed" => Some(EventKind::MarginCrossed),
             _ => None,
         }
     }
@@ -184,8 +192,15 @@ impl Default for EventLogConfig {
     }
 }
 
+struct RingState {
+    events: VecDeque<(u64, ObsEvent)>,
+    /// Sequence number the next emitted event receives (first event is 1,
+    /// so `since=0` means "everything").
+    next_seq: u64,
+}
+
 struct LogInner {
-    ring: Mutex<VecDeque<ObsEvent>>,
+    ring: Mutex<RingState>,
     dropped: AtomicU64,
     capacity: usize,
     /// Creation instant: the shared epoch for wall-clock producers (see
@@ -222,7 +237,10 @@ impl EventLog {
     pub fn new(config: EventLogConfig) -> Self {
         Self {
             inner: Arc::new(LogInner {
-                ring: Mutex::new(VecDeque::new()),
+                ring: Mutex::new(RingState {
+                    events: VecDeque::new(),
+                    next_seq: 1,
+                }),
                 dropped: AtomicU64::new(0),
                 capacity: config.capacity.max(1),
                 epoch: Instant::now(),
@@ -243,18 +261,21 @@ impl EventLog {
     /// producers on different threads (or ones that batch their clock
     /// reads) can race to the ring with slightly skewed `t_us`, and the
     /// lock here already defines the authoritative order.
-    pub fn emit(&self, mut event: ObsEvent) {
+    pub fn emit(&self, mut event: ObsEvent) -> u64 {
         let mut ring = self.inner.ring.lock().expect("event ring poisoned");
-        if let Some(back) = ring.back() {
+        if let Some((_, back)) = ring.events.back() {
             if event.t_us < back.t_us {
                 event.t_us = back.t_us;
             }
         }
-        while ring.len() >= self.inner.capacity {
-            ring.pop_front();
+        while ring.events.len() >= self.inner.capacity {
+            ring.events.pop_front();
             self.inner.dropped.fetch_add(1, Ordering::Relaxed);
         }
-        ring.push_back(event);
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        ring.events.push_back((seq, event));
+        seq
     }
 
     /// Copy of the current contents, oldest first.
@@ -263,14 +284,39 @@ impl EventLog {
             .ring
             .lock()
             .expect("event ring poisoned")
+            .events
             .iter()
-            .cloned()
+            .map(|(_, e)| e.clone())
             .collect()
+    }
+
+    /// Events strictly after cursor `since` (their sequence numbers
+    /// included), plus the cursor a caller should pass next time. The
+    /// first event ever emitted has sequence 1, so `since = 0` returns
+    /// everything still in the ring. The returned cursor is always the
+    /// newest sequence assigned so far (so a stale or garbage cursor
+    /// self-corrects on the next poll). Evicted events are gone — a tail
+    /// reader that falls more than one ring behind silently skips them
+    /// (the `dropped` counter still tells the tale).
+    pub fn snapshot_since(&self, since: u64) -> (Vec<(u64, ObsEvent)>, u64) {
+        let ring = self.inner.ring.lock().expect("event ring poisoned");
+        let events: Vec<(u64, ObsEvent)> = ring
+            .events
+            .iter()
+            .filter(|(seq, _)| *seq > since)
+            .cloned()
+            .collect();
+        (events, ring.next_seq - 1)
     }
 
     /// Number of events currently held.
     pub fn len(&self) -> usize {
-        self.inner.ring.lock().expect("event ring poisoned").len()
+        self.inner
+            .ring
+            .lock()
+            .expect("event ring poisoned")
+            .events
+            .len()
     }
 
     /// Whether the log holds no events.
@@ -285,7 +331,27 @@ impl EventLog {
 
     /// The whole log as JSONL (header line + one line per event).
     pub fn to_jsonl(&self) -> String {
-        events_jsonl(&self.snapshot(), self.dropped())
+        self.to_jsonl_since(0)
+    }
+
+    /// Events after cursor `since` as JSONL. The header carries
+    /// `next_since` — the cursor to pass on the next poll for a
+    /// tail-only fetch — and each event line carries its `seq`.
+    pub fn to_jsonl_since(&self, since: u64) -> String {
+        let (events, next_since) = self.snapshot_since(since);
+        let mut header = Value::object();
+        header.set("event_schema", EVENT_SCHEMA);
+        header.set("dropped", self.dropped());
+        header.set("next_since", next_since);
+        let mut out = header.to_json();
+        out.push('\n');
+        for (seq, e) in &events {
+            let mut v = e.to_value();
+            v.set("seq", *seq);
+            out.push_str(&v.to_json());
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -320,6 +386,35 @@ pub fn parse_events_jsonl(text: &str) -> Result<Vec<ObsEvent>, String> {
             .push(ObsEvent::from_value(&v).ok_or_else(|| format!("line {}: not an event", i + 1))?);
     }
     Ok(events)
+}
+
+/// Parse an event JSONL dump *and* the paging cursor: returns the events
+/// plus the `next_since` value to pass to the next
+/// `/events.jsonl?since=` poll. Falls back to the largest per-line `seq`
+/// (then to the given `since`) when the header predates the cursor, so
+/// polling an old producer degrades to full fetches instead of erroring.
+pub fn parse_events_jsonl_since(text: &str, since: u64) -> Result<(Vec<ObsEvent>, u64), String> {
+    let mut events = Vec::new();
+    let mut next = since;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).map_err(|e| format!("line {}: invalid JSON: {e:?}", i + 1))?;
+        if v.get("event_schema").is_some() {
+            if let Some(n) = v.get("next_since").and_then(Value::as_f64) {
+                next = next.max(n as u64);
+            }
+            continue;
+        }
+        if let Some(s) = v.get("seq").and_then(Value::as_f64) {
+            next = next.max(s as u64);
+        }
+        events
+            .push(ObsEvent::from_value(&v).ok_or_else(|| format!("line {}: not an event", i + 1))?);
+    }
+    Ok((events, next))
 }
 
 /// A latency SLO with multiwindow burn-rate alerting thresholds.
@@ -677,6 +772,53 @@ mod tests {
     }
 
     #[test]
+    fn since_cursor_pages_the_tail() {
+        let log = EventLog::new(EventLogConfig { capacity: 4 });
+        assert_eq!(log.emit(event(0.0, EventKind::Shed)), 1);
+        assert_eq!(log.emit(event(1.0, EventKind::Shed)), 2);
+
+        let (page, next) = log.snapshot_since(0);
+        assert_eq!(page.len(), 2);
+        assert_eq!(next, 2);
+
+        // Nothing new: empty page, cursor stable.
+        let (page, next) = log.snapshot_since(next);
+        assert!(page.is_empty());
+        assert_eq!(next, 2);
+
+        log.emit(event(2.0, EventKind::MarginCrossed));
+        let (page, next) = log.snapshot_since(next);
+        assert_eq!(page.len(), 1);
+        assert_eq!(page[0].0, 3);
+        assert_eq!(page[0].1.kind, EventKind::MarginCrossed);
+        assert_eq!(next, 3);
+
+        // Eviction keeps sequence numbers monotone: after overflowing the
+        // 4-slot ring, an old cursor sees only what survived.
+        for i in 0..6 {
+            log.emit(event(10.0 + i as f64, EventKind::Shed));
+        }
+        let (page, next) = log.snapshot_since(3);
+        assert_eq!(next, 9);
+        assert_eq!(
+            page.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "ring holds the newest 4 of 9"
+        );
+
+        // JSONL form: header carries the cursor, lines carry seq.
+        let text = log.to_jsonl_since(8);
+        let mut lines = text.lines();
+        let header = Value::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(header.get("next_since").and_then(Value::as_f64), Some(9.0));
+        let line = Value::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(line.get("seq").and_then(Value::as_f64), Some(9.0));
+        assert!(lines.next().is_none());
+        // Events with seq fields still parse with the plain reader.
+        assert_eq!(parse_events_jsonl(&text).unwrap().len(), 1);
+    }
+
+    #[test]
     fn kinds_and_severities_round_trip() {
         for k in [
             EventKind::SloFastBurn,
@@ -688,6 +830,7 @@ mod tests {
             EventKind::BackpressureOnset,
             EventKind::BackpressureEnd,
             EventKind::Shed,
+            EventKind::MarginCrossed,
         ] {
             assert_eq!(EventKind::parse(k.as_str()), Some(k));
         }

@@ -10,9 +10,15 @@
 //! * `GET /journeys.jsonl` — the journey collector's current ring as
 //!   JSONL (404 when none is attached; see [`serve_with_journeys`]);
 //! * `GET /events.jsonl` — the structured event ring as JSONL (404 when
-//!   none is attached; see [`serve_observatory`]);
+//!   none is attached; see [`serve_observatory`]). Accepts a
+//!   `?since=<seq>` cursor for tail-only fetches: only events with a
+//!   sequence number strictly greater than `since` are returned, and the
+//!   header line's `next_since` is the cursor to pass on the next poll —
+//!   a dashboard polling at 1 Hz re-downloads nothing it has seen;
 //! * `GET /model.json` — the latest online-fitted cost model (404 when
-//!   no publisher is attached).
+//!   no publisher is attached);
+//! * `GET /healthz` — liveness: always 200 with uptime and version, so
+//!   orchestration can probe a run without touching the scrape routes.
 //!
 //! The server runs on one background thread, handling connections
 //! serially — scrape endpoints see one client at a time and responses
@@ -142,7 +148,7 @@ fn handle(
     events: Option<&EventLog>,
     model: Option<&ModelPublisher>,
 ) -> std::io::Result<()> {
-    let path = match read_request_path(&mut stream) {
+    let (path, query) = match read_request_path(&mut stream) {
         Some(p) => p,
         None => {
             return respond(
@@ -199,12 +205,17 @@ fn handle(
             ),
         },
         "/events.jsonl" => match events {
-            Some(log) => respond(
-                &mut stream,
-                "200 OK",
-                "application/jsonl; charset=utf-8",
-                &log.to_jsonl(),
-            ),
+            Some(log) => {
+                let since = query_param(&query, "since")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0);
+                respond(
+                    &mut stream,
+                    "200 OK",
+                    "application/jsonl; charset=utf-8",
+                    &log.to_jsonl_since(since),
+                )
+            }
             None => respond(
                 &mut stream,
                 "404 Not Found",
@@ -232,18 +243,41 @@ fn handle(
                 "no model publisher attached\n",
             ),
         },
+        "/healthz" => {
+            let mut doc = crate::json::Value::object();
+            doc.set("status", "ok");
+            doc.set("uptime_s", registry.uptime_s());
+            doc.set("version", env!("CARGO_PKG_VERSION"));
+            let mut body = doc.to_json();
+            body.push('\n');
+            respond(
+                &mut stream,
+                "200 OK",
+                "application/json; charset=utf-8",
+                &body,
+            )
+        }
         _ => respond(
             &mut stream,
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "routes: /metrics /snapshot.json /recorder.jsonl /journeys.jsonl /events.jsonl /model.json\n",
+            "routes: /metrics /snapshot.json /recorder.jsonl /journeys.jsonl /events.jsonl /model.json /healthz\n",
         ),
     }
 }
 
+/// The value of `name` in a raw query string (`a=1&b=2`), if present.
+fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == name).then_some(v)
+    })
+}
+
 /// Read up to the end of the request headers and return the request
-/// path, or `None` for anything that is not a well-formed GET.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+/// path and query string (empty when absent), or `None` for anything
+/// that is not a well-formed GET.
+fn read_request_path(stream: &mut TcpStream) -> Option<(String, String)> {
     let mut buf = [0u8; 4096];
     let mut used = 0;
     loop {
@@ -263,8 +297,11 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
     if method != "GET" {
         return None;
     }
-    // Ignore any query string.
-    Some(path.split('?').next().unwrap_or(path).to_string())
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
+    Some((path.to_string(), query.to_string()))
 }
 
 fn respond(
@@ -403,6 +440,77 @@ mod tests {
         model.publish("{\"schema\":\"x\"}".to_string());
         let (_, body) = http_get(addr, "/model.json");
         assert!(body.contains("\"schema\""), "{body}");
+    }
+
+    #[test]
+    fn events_route_honours_the_since_cursor() {
+        use crate::events::{EventKind, EventLog, ObsEvent, Severity};
+        let registry = Registry::new();
+        let log = EventLog::default();
+        let mk = |t: f64| ObsEvent {
+            t_us: t,
+            kind: EventKind::Shed,
+            severity: Severity::Info,
+            stage: None,
+            value: 0.0,
+            message: "x".to_string(),
+        };
+        log.emit(mk(1.0));
+        log.emit(mk(2.0));
+        let server =
+            serve_observatory("127.0.0.1:0", &registry, None, None, Some(&log), None).unwrap();
+        let addr = server.addr();
+
+        // Full fetch: header + 2 events, cursor = 2.
+        let (_, body) = http_get(addr, "/events.jsonl");
+        assert_eq!(body.lines().count(), 3, "{body}");
+        let header = crate::json::Value::parse(body.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            header
+                .get("next_since")
+                .and_then(crate::json::Value::as_f64),
+            Some(2.0)
+        );
+
+        // Tail-only: nothing new after the cursor.
+        let (_, body) = http_get(addr, "/events.jsonl?since=2");
+        assert_eq!(body.lines().count(), 1, "{body}");
+
+        log.emit(mk(3.0));
+        let (_, body) = http_get(addr, "/events.jsonl?since=2");
+        assert_eq!(body.lines().count(), 2, "{body}");
+        let line = crate::json::Value::parse(body.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(
+            line.get("seq").and_then(crate::json::Value::as_f64),
+            Some(3.0)
+        );
+
+        // Garbage cursors fall back to a full fetch.
+        let (_, body) = http_get(addr, "/events.jsonl?since=nope");
+        assert_eq!(body.lines().count(), 4, "{body}");
+    }
+
+    #[test]
+    fn healthz_always_answers() {
+        let registry = Registry::new();
+        let server = serve("127.0.0.1:0", &registry, None).unwrap();
+        let (head, body) = http_get(server.addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let doc = crate::json::Value::parse(body.trim()).unwrap();
+        assert_eq!(
+            doc.get("status").and_then(crate::json::Value::as_str),
+            Some("ok")
+        );
+        assert!(
+            doc.get("uptime_s")
+                .and_then(crate::json::Value::as_f64)
+                .unwrap()
+                >= 0.0
+        );
+        assert!(doc
+            .get("version")
+            .and_then(crate::json::Value::as_str)
+            .is_some());
     }
 
     #[test]

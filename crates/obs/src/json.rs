@@ -81,6 +81,20 @@ impl Value {
         }
     }
 
+    /// The boolean value (`None` for non-booleans).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is JSON `null` (which is also how non-finite numbers
+    /// serialise).
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
     /// Serialise compactly (single line, no spaces).
     pub fn to_json(&self) -> String {
         let mut out = String::new();

@@ -43,8 +43,9 @@ pub mod trace;
 use std::sync::OnceLock;
 
 pub use events::{
-    events_jsonl, parse_events_jsonl, AlertEngine, BottleneckTracker, EventKind, EventLog,
-    EventLogConfig, ModelPublisher, ObsEvent, Severity, SloConfig, EVENT_SCHEMA,
+    events_jsonl, parse_events_jsonl, parse_events_jsonl_since, AlertEngine, BottleneckTracker,
+    EventKind, EventLog, EventLogConfig, ModelPublisher, ObsEvent, Severity, SloConfig,
+    EVENT_SCHEMA,
 };
 pub use expose::{serve, serve_observatory, serve_with_journeys, MetricsServer};
 pub use journey::{
@@ -71,6 +72,15 @@ pub mod names {
     /// single-module upper bound cannot reach the greedy incumbent).
     /// `cells_pruned / cells_total` is the pruning effectiveness.
     pub const SOLVER_CELLS_PRUNED: &str = "solver.cells_pruned";
+
+    /// Tightest upward execution-cost stability margin across the mapped
+    /// stages (gauge; a factor ≥ 1). Written by
+    /// `pipemap_core::stability_margins`: the first drift factor at which
+    /// any stage's execution-cost growth makes a different mapping
+    /// strictly better. Per-stage margins are published under
+    /// `solver.margin.stage<i>.exec_up` / `.ecom_in_up` by
+    /// `pipemap explain`.
+    pub const SOLVER_MARGIN_MIN_UP: &str = "solver.margin.min_exec_up";
 
     /// Channel messages sent by the executor data plane (each carries a
     /// batch of 1..=B data sets).

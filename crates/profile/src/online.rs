@@ -186,6 +186,11 @@ pub struct EstimatorSnapshot {
     /// Relative deviation of the fitted model from the static one at the
     /// dominant count: `|fitted(p) − static(p)| / static(p)`.
     pub drift: f64,
+    /// Signed drift factor `fitted(p) / static(p)` at the dominant count
+    /// (`1.0` when the static model is non-positive). This is the γ the
+    /// solver's exact stability margins are expressed in: the mapping is
+    /// provably still optimal while `exec_down < factor < exec_up`.
+    pub factor: f64,
     /// Relative error of the fitted model against the measured decayed
     /// mean at the dominant count.
     pub fit_rel_err: f64,
@@ -337,10 +342,10 @@ impl StageEstimator {
         let sd = stats.decayed.sd();
         let stat = self.static_model.eval(p);
         let fit = self.fitted.eval(p);
-        let drift = if stat.is_finite() && stat > 0.0 {
-            (fit - stat).abs() / stat
+        let (drift, factor) = if stat.is_finite() && stat > 0.0 {
+            ((fit - stat).abs() / stat, fit / stat)
         } else {
-            0.0
+            (0.0, 1.0)
         };
         let fit_rel_err = if mean > 0.0 {
             (fit - mean).abs() / mean
@@ -360,6 +365,7 @@ impl StageEstimator {
             mean_s: mean,
             sd_s: sd,
             drift,
+            factor,
             fit_rel_err,
             confidence,
         })
@@ -474,7 +480,27 @@ impl EdgeEstimator {
     /// Relative deviation of the fitted model from the static one at the
     /// dominant pair (0 until the first refit).
     pub fn drift(&self) -> f64 {
-        let Some(((ps, pr), _)) = self
+        let stat = self.static_at_dominant();
+        match stat {
+            Some((stat, fit)) => (fit - stat).abs() / stat,
+            None => 0.0,
+        }
+    }
+
+    /// Signed drift factor `fitted / static` at the dominant pair
+    /// (`1.0` until observations arrive or when the static model is
+    /// non-positive) — the γ that `ecom_in_up` / `ecom_in_down` margins
+    /// bound.
+    pub fn factor(&self) -> f64 {
+        match self.static_at_dominant() {
+            Some((stat, fit)) => fit / stat,
+            None => 1.0,
+        }
+    }
+
+    /// `(static, fitted)` evaluated at the dominant pair, when positive.
+    fn static_at_dominant(&self) -> Option<(f64, f64)> {
+        let ((ps, pr), _) = self
             .points
             .iter()
             .max_by(|a, b| {
@@ -482,15 +508,12 @@ impl EdgeEstimator {
                     .effective_weight()
                     .total_cmp(&b.1.decayed.effective_weight())
             })
-            .map(|(k, s)| (*k, s))
-        else {
-            return 0.0;
-        };
+            .map(|(k, s)| (*k, s))?;
         let stat = self.static_model.eval(ps, pr);
         if stat.is_finite() && stat > 0.0 {
-            (self.fitted.eval(ps, pr) - stat).abs() / stat
+            Some((stat, self.fitted.eval(ps, pr)))
         } else {
-            0.0
+            None
         }
     }
 }
@@ -655,6 +678,8 @@ mod tests {
         assert!((fitted.c2 / static_model.c2 - g).abs() / g < 0.10);
         let snap = est.snapshot().unwrap();
         assert!(snap.drift > 1.5, "drift {}", snap.drift);
+        // The signed factor tracks γ itself, not just its magnitude.
+        assert!((snap.factor - g).abs() < 0.3, "factor {}", snap.factor);
         assert!(snap.fit_rel_err < 0.05, "fit err {}", snap.fit_rel_err);
         assert!(snap.confidence > 0.5, "confidence {}", snap.confidence);
     }
@@ -668,6 +693,7 @@ mod tests {
         }
         let snap = est.snapshot().unwrap();
         assert!(snap.drift < 0.01, "drift {}", snap.drift);
+        assert!((snap.factor - 1.0).abs() < 0.01, "factor {}", snap.factor);
         assert_eq!(snap.p, 8);
         assert_eq!(snap.samples, 100);
     }
@@ -724,6 +750,11 @@ mod tests {
             / static_model.eval(4, 4);
         assert!(rel < 0.2, "fitted {:?}", est.fitted());
         assert!(est.drift() > 0.5);
+        assert!(
+            (est.factor() - 2.0).abs() < 0.4,
+            "factor {} should sit near the 2x perturbation",
+            est.factor()
+        );
     }
 
     #[test]

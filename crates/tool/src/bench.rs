@@ -22,8 +22,8 @@ use std::time::Instant;
 use pipemap_apps::{radar, synthetic_chain, ChainFlavor, RadarConfig};
 use pipemap_chain::Problem;
 use pipemap_core::{
-    cluster_heuristic, dp_assignment, dp_assignment_with, dp_mapping, dp_mapping_with,
-    GreedyOptions, Solution, SolveOptions,
+    cluster_heuristic, dp_assignment, dp_assignment_with, dp_mapping, dp_mapping_provenance,
+    dp_mapping_with, GreedyOptions, Solution, SolveOptions,
 };
 use pipemap_exec::kernels::{fft_cols, fft_rows, histogram, Complex, Matrix};
 use pipemap_exec::{run_pipeline, PipelinePlan, Stage, StagePlan};
@@ -524,6 +524,85 @@ fn bench_executor_dataplane(metrics: &mut Value, opts: &BenchOptions) {
 /// modes of the same binary and cannot drift with machine load between
 /// runs. The committed baseline pins `overhead_frac` near zero with a
 /// 2% slack — sampled tracing costing more than that is a regression.
+/// Cost of decision-provenance recording inside the clustering DP:
+/// the same unpruned solve with and without the recorder. Both arms run
+/// at `prune: false` because that is what the provenance entry point
+/// forces (pruned cells have no exact runner-ups), so the ratio isolates
+/// the recorder itself rather than the pruning it disables. Identical
+/// optima are asserted; the committed baseline pins the recording tax
+/// under a 5% wall-clock overhead.
+fn bench_provenance_overhead(metrics: &mut Value, opts: &BenchOptions) {
+    let (rows, cols, k) = if opts.quick { (4, 8, 6) } else { (8, 16, 8) };
+    let machine = MachineConfig::iwarp_message().with_geometry(rows, cols);
+    let chain = synthetic_chain(ChainFlavor::Alternating, k);
+    let problem = pipemap_machine::synthesize_problem(&chain, &machine);
+    let off = SolveOptions {
+        prune: false,
+        ..SolveOptions::default()
+    };
+
+    // Paired trials with alternating order, scored by the median of
+    // per-pair wall ratios (same reasoning as the journey-overhead
+    // case: a couple-percent delta needs noise cancellation).
+    let pairs = if opts.quick { 3 } else { 5 };
+    let mut wall_off: f64 = f64::INFINITY;
+    let mut wall_on: f64 = f64::INFINITY;
+    let mut ratios = Vec::new();
+    let mut thr_pair = (0.0f64, 0.0f64);
+    for pair in 0..pairs {
+        let run_off = || {
+            time_best(1, || {
+                dp_mapping_with(&problem, &off).expect("dp_mapping solves")
+            })
+        };
+        let run_on = || {
+            time_best(1, || {
+                dp_mapping_provenance(&problem, &off).expect("dp_mapping solves")
+            })
+        };
+        let ((b, sol_off), (t, (sol_on, prov))) = if pair % 2 == 0 {
+            let b = run_off();
+            (b, run_on())
+        } else {
+            let t = run_on();
+            (run_off(), t)
+        };
+        assert!(
+            !prov.cells.is_empty(),
+            "provenance arm recorded no decision cells"
+        );
+        thr_pair = (sol_off.throughput, sol_on.throughput);
+        wall_off = wall_off.min(b);
+        wall_on = wall_on.min(t);
+        ratios.push(t / b.max(1e-9));
+    }
+    assert_eq!(
+        thr_pair.0.to_bits(),
+        thr_pair.1.to_bits(),
+        "provenance recording changed the optimum"
+    );
+    ratios.sort_by(f64::total_cmp);
+    let median_ratio = ratios[ratios.len() / 2];
+    let prefix = "solver.provenance_overhead";
+    metrics.set(
+        format!("{prefix}.wall_s"),
+        metric(wall_on, "s", Direction::Lower, 0.1),
+    );
+    metrics.set(
+        format!("{prefix}.baseline_wall_s"),
+        metric(wall_off, "s", Direction::Lower, 0.1),
+    );
+    metrics.set(
+        format!("{prefix}.overhead_frac"),
+        metric(
+            (median_ratio - 1.0).max(0.0),
+            "frac",
+            Direction::Lower,
+            0.05,
+        ),
+    );
+}
+
 fn bench_journey_overhead(metrics: &mut Value, opts: &BenchOptions) {
     // Longer streams than the dataplane case: the A/B delta being
     // bounded here is a couple of percent, which runs of a few
@@ -722,6 +801,7 @@ pub fn run_bench_suite(opts: &BenchOptions) -> Value {
     bench_solvers(&mut metrics, "radar", &radar_problem, iters);
 
     bench_scaled_dp(&mut metrics, opts);
+    bench_provenance_overhead(&mut metrics, opts);
     bench_end_to_end(&mut metrics, opts);
     bench_executor(&mut metrics, opts);
     bench_executor_dataplane(&mut metrics, opts);

@@ -34,6 +34,9 @@ pipemap — optimal mapping of pipelines of data parallel tasks
 USAGE:
     pipemap map <spec-file> [--greedy-only] [--latency-floor <thr>]
                             [--min-procs <thr>] [--report json]
+    pipemap explain <spec-file> [--assignment] [--report json]
+                    [--out <file>] [--trace-out <file>]
+                    [--robustness <trials>] [--spread <frac>] [--seed <n>]
     pipemap simulate <spec-file> <mapping> [--datasets <n>] [--noise <spread>]
                      [--seed <n>] [--report json] [--journey-out <file>]
                      [--journey-sample <n>] [--serve <addr>]
@@ -52,6 +55,7 @@ USAGE:
                  [--serve <addr>] [--hold <secs>] [--recorder-out <file>]
     pipemap doctor <journeys.jsonl> [--attach <addr>] [--report json]
                    [--model static|online] [--fail-on-drift]
+                   [--margins <explain.json>]
                    [--threshold <frac>] [--min-samples <n>]
                    [--spec <file> --mapping <m>] [--trace-out <file>]
                    [--serve <addr>] [--hold <secs>] [--recorder-out <file>]
@@ -64,6 +68,20 @@ COMMANDS:
     map       read a pipeline spec and print its optimal mapping
               (--report json emits a machine-readable report including
               solver counters: DP cells, lookups, prunings, wall time)
+    explain   solve with full decision provenance and print *why*: the
+              winning DP path with each stage's runner-up alternative,
+              exact stability margins (how far each stage's fitted
+              exec/transfer cost can drift before the optimum flips —
+              closed form from the value tables, no sampling), marginal
+              throughput contributions, and a pruning heatmap.
+              --report json emits the pipemap-explain/v1 document that
+              'doctor --margins' and the observatory consume (--out
+              writes it to a file as well); --trace-out writes the
+              decision path as a Chrome trace; --robustness <trials>
+              cross-checks the exact margins with the §6.4 Monte-Carlo
+              study (--spread sets the perturbation, default 0.10);
+              --assignment explains the per-task assignment DP instead
+              of the clustering DP
     simulate  run a given mapping (e.g. '0-0:8x3,1-2:10x4') through the
               pipeline simulator and report measured throughput
               (--seed makes a --noise run reproducible; --report json
@@ -107,6 +125,10 @@ COMMANDS:
               themselves (recent data sets weighted heaviest) and
               localises the stage whose live cost drifted from the static
               model — catching mid-run changes whole-run means dilute;
+              --margins <explain.json> replaces the fixed near-tie
+              threshold with each stage's exact stability interval from
+              'explain --report json': quiet while drift provably cannot
+              flip the mapping, flagged the moment it can;
               --trace-out writes the journeys as a Chrome trace with flow
               arrows stitching each data set across stages
     top       live terminal dashboard: per-stage throughput/utilization
@@ -159,6 +181,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("map") => cmd_map(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -390,6 +413,125 @@ impl ObsFlags {
     fn active(&self) -> bool {
         self.serve.is_some() || self.recorder_out.is_some()
     }
+}
+
+fn cmd_explain(args: &[String]) -> ExitCode {
+    use pipemap_tool::{explain, explain_json, explain_trace_json, render_explanation};
+    let mut file: Option<String> = None;
+    let mut report_fmt: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut opts = pipemap_tool::ExplainOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--assignment" => opts.cluster = false,
+            "--report" => match it.next() {
+                Some(v) => report_fmt = Some(v.clone()),
+                None => {
+                    eprintln!("--report needs a format (json)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-out" => match it.next() {
+                Some(v) => trace_out = Some(v.clone()),
+                None => {
+                    eprintln!("--trace-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--robustness" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v > 0 => opts.robustness_trials = Some(v),
+                _ => {
+                    eprintln!("--robustness needs a positive trial count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--spread" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 && v.is_finite() => opts.spread = v,
+                _ => {
+                    eprintln!("--spread needs a non-negative fraction (e.g. 0.1)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => opts.seed = v,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("explain needs a spec file\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let json = match report_fmt.as_deref() {
+        None => false,
+        Some("json") => true,
+        Some(other) => {
+            eprintln!("unsupported report format '{other}' (only 'json')");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let problem = match parse_spec(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{file}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Margins land in the global registry as solver.margin.* gauges.
+    pipemap_obs::install_global(pipemap_obs::Registry::new());
+    let ex = match explain(&problem, &opts) {
+        Ok(ex) => ex,
+        Err(e) => {
+            eprintln!("explain failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = explain_json(&file, &problem, &ex);
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, doc.to_json_pretty()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote margin spec to {path} (feed to 'doctor --margins')");
+    }
+    if let Some(path) = &trace_out {
+        let trace = explain_trace_json(&problem, &ex);
+        if let Err(e) = std::fs::write(path, trace.to_json_pretty()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote decision trace to {path}");
+    }
+    if json {
+        println!("{}", doc.to_json_pretty());
+    } else {
+        print!("{}", render_explanation(&problem, &ex));
+    }
+    ExitCode::SUCCESS
 }
 
 /// Install the global registry and start the flight recorder and metrics
@@ -1066,10 +1208,12 @@ fn cmd_top(args: &[String]) -> ExitCode {
 
 fn cmd_doctor(args: &[String]) -> ExitCode {
     use pipemap_doctor::{
-        diagnose_log, publish, render, report_json, DoctorOptions, JourneyLog, ModelPrediction,
+        diagnose_log_with_margins, publish, render, report_json, DoctorOptions, JourneyLog,
+        MarginSpec, ModelPrediction,
     };
     let mut file: Option<String> = None;
     let mut attach: Option<String> = None;
+    let mut margins_file: Option<String> = None;
     let mut report_fmt: Option<String> = None;
     let mut model_mode: Option<String> = None;
     let mut fail_on_drift = false;
@@ -1097,6 +1241,13 @@ fn cmd_doctor(args: &[String]) -> ExitCode {
                 }
             },
             "--fail-on-drift" => fail_on_drift = true,
+            "--margins" => match it.next() {
+                Some(v) => margins_file = Some(v.clone()),
+                None => {
+                    eprintln!("--margins needs a 'pipemap explain --report json' file");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--model" => match it.next() {
                 Some(v) => model_mode = Some(v.clone()),
                 None => {
@@ -1243,6 +1394,29 @@ fn cmd_doctor(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // --margins replaces the fixed near-tie threshold with each stage's
+    // exact stability interval from a `pipemap explain` report: drift is
+    // flagged exactly when a fitted cost escapes the interval within
+    // which the deployed mapping is provably still optimal.
+    let margin_spec: Option<MarginSpec> = match &margins_file {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match MarginSpec::parse(&text) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     let (flight, server) = match start_observability(&obs_flags, None, None, None) {
         Ok(pair) => pair,
         Err(e) => {
@@ -1250,7 +1424,7 @@ fn cmd_doctor(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = diagnose_log(&log, &opts);
+    let report = diagnose_log_with_margins(&log, margin_spec.as_ref(), &opts);
     // --model online: refit the per-stage cost estimators from the
     // journeys themselves (16-dataset half-life, so recent behaviour
     // dominates) and price drift as the fitted-vs-static residual. This

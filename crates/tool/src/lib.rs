@@ -20,6 +20,7 @@
 //! Figure 6-style array diagram.
 
 pub mod bench;
+pub mod explain;
 pub mod load;
 pub mod mapper;
 pub mod markdown;
@@ -33,6 +34,10 @@ pub mod top;
 pub use bench::{
     compare_bench, git_sha, run_bench_suite, validate_bench, BenchOptions, CompareResult,
     BENCH_SCHEMA,
+};
+pub use explain::{
+    explain, explain_json, explain_trace_json, render_explanation, ExplainOptions, Explanation,
+    EXPLAIN_SCHEMA,
 };
 pub use load::{
     load_report_json, measured_prediction, parse_duration_s, render_load_summary,

@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use pipemap_doctor::JourneyLog;
+use pipemap_doctor::{JourneyLog, MarginSpec};
 use pipemap_model::PolyUnary;
 use pipemap_obs::{
     stitch, EventKind, EventLog, Journey, JourneyCollector, JourneyEvent, ModelPublisher, ObsEvent,
@@ -46,6 +46,14 @@ pub struct ObservatoryConfig {
     /// Relative fitted-vs-static residual above which a stage fires
     /// `residual_high` (recovery at half of it).
     pub residual_threshold: f64,
+    /// Exact per-stage stability margins from `pipemap explain` (via
+    /// [`MarginSpec`]). When set, each refit also compares the signed
+    /// fitted/static factor against the stage's `(exec_down, exec_up)`
+    /// interval and fires a `margin_crossed` event the moment the fitted
+    /// cost leaves it — i.e. the moment the deployed mapping is provably
+    /// no longer optimal, which a fixed residual threshold can neither
+    /// promise nor rule out.
+    pub margins: Option<MarginSpec>,
     /// Estimator tuning (decay half-life, refit cadence).
     pub online: OnlineConfig,
 }
@@ -55,6 +63,7 @@ impl Default for ObservatoryConfig {
         Self {
             procs: Vec::new(),
             residual_threshold: 0.25,
+            margins: None,
             online: OnlineConfig::default(),
         }
     }
@@ -67,6 +76,7 @@ pub struct Observatory {
     log: EventLog,
     publisher: ModelPublisher,
     residual_high: Vec<bool>,
+    margin_crossed: Vec<bool>,
     ingested: u64,
     last_seq: Option<u64>,
 }
@@ -86,6 +96,7 @@ impl Observatory {
         Self {
             model: OnlineModel::new(statics, &[], cfg.online),
             residual_high: vec![false; statics.len()],
+            margin_crossed: vec![false; statics.len()],
             cfg,
             log,
             publisher,
@@ -192,6 +203,53 @@ impl Observatory {
                     message: format!("stage {i}: fitted cost back within tolerance"),
                 });
             }
+            // Margin-aware alerting: the exact stability interval from the
+            // solver, not a one-size-fits-all threshold. Crossing it means
+            // the argmin has provably flipped — a different mapping now
+            // wins under the fitted costs.
+            let spec = self
+                .cfg
+                .margins
+                .as_ref()
+                .and_then(|m| m.stages.iter().find(|ms| ms.stage == i));
+            if let Some(ms) = spec {
+                let g = snap.factor;
+                let crossed = g > ms.exec_up || g < ms.exec_down;
+                if !self.margin_crossed[i] && crossed {
+                    self.margin_crossed[i] = true;
+                    let up = if ms.exec_up.is_finite() {
+                        format!("{:.3}", ms.exec_up)
+                    } else {
+                        "inf".to_string()
+                    };
+                    self.log.emit(ObsEvent {
+                        t_us,
+                        kind: EventKind::MarginCrossed,
+                        severity: Severity::Critical,
+                        stage: Some(i as u32),
+                        value: g,
+                        message: format!(
+                            "stage {i}: fitted cost {g:.3}x its static model, outside the \
+                             exact stability interval ({:.3}, {up}) — the deployed mapping \
+                             is no longer optimal",
+                            ms.exec_down
+                        ),
+                    });
+                } else if self.margin_crossed[i] && !crossed {
+                    // Re-arm only once the factor is halfway back toward
+                    // 1.0 inside the interval, so a cost oscillating on
+                    // the margin edge fires once, not every refit.
+                    let up_rearm = if ms.exec_up.is_finite() {
+                        1.0 + 0.5 * (ms.exec_up - 1.0)
+                    } else {
+                        f64::INFINITY
+                    };
+                    let down_rearm = 1.0 - 0.5 * (1.0 - ms.exec_down);
+                    if g < up_rearm && g > down_rearm {
+                        self.margin_crossed[i] = false;
+                    }
+                }
+            }
         }
         self.publisher.publish(self.model_json().to_json());
     }
@@ -216,6 +274,7 @@ impl Observatory {
                         st.set("mean_s", snap.mean_s);
                         st.set("sd_s", snap.sd_s);
                         st.set("drift", snap.drift);
+                        st.set("factor", snap.factor);
                         st.set("fit_rel_err", snap.fit_rel_err);
                         st.set("confidence", snap.confidence);
                         st.set("static", poly_json(&snap.static_model));
@@ -225,6 +284,22 @@ impl Observatory {
                         st.set("samples", 0u64);
                         st.set("static", poly_json(&est.static_model()));
                     }
+                }
+                if let Some(ms) = self
+                    .cfg
+                    .margins
+                    .as_ref()
+                    .and_then(|m| m.stages.iter().find(|ms| ms.stage == i))
+                {
+                    // Non-finite bounds serialise as null: "no factor
+                    // ever flips the mapping in that direction".
+                    let mut margin = Value::object();
+                    margin.set("exec_up", ms.exec_up);
+                    margin.set("exec_down", ms.exec_down);
+                    margin.set("ecom_in_up", ms.ecom_in_up);
+                    margin.set("ecom_in_down", ms.ecom_in_down);
+                    st.set("margin", margin);
+                    st.set("margin_crossed", self.margin_crossed.get(i) == Some(&true));
                 }
                 st
             })
@@ -617,6 +692,77 @@ mod tests {
             .collect();
         assert_eq!(high.len(), 1, "{events:?}");
         assert_eq!(high[0].stage, Some(0));
+    }
+
+    #[test]
+    fn margin_crossed_fires_once_and_lands_in_model_json() {
+        use pipemap_doctor::StageMarginSpec;
+        let margins = MarginSpec {
+            stages: vec![StageMarginSpec {
+                stage: 0,
+                exec_up: 1.5,
+                exec_down: 0.5,
+                ecom_in_up: f64::INFINITY,
+                ecom_in_down: 0.0,
+            }],
+        };
+        let log = EventLog::new(EventLogConfig::default());
+        let publisher = ModelPublisher::default();
+        let mut obs = Observatory::new(
+            &[PolyUnary::new(0.01, 0.0, 0.0)],
+            ObservatoryConfig {
+                margins: Some(margins.clone()),
+                // Park the residual threshold out of the way so this test
+                // watches only the margin path.
+                residual_threshold: 1e9,
+                ..ObservatoryConfig::default()
+            },
+            log.clone(),
+            publisher.clone(),
+        );
+        // 1.3x the static cost: 30% residual, but inside (0.5, 1.5) —
+        // the margin engine stays quiet where a fixed 10–25% threshold
+        // would have paged.
+        obs.ingest(&stitch(&synth_events(40, &[0.013], 0, 0, 1.0)));
+        obs.refit_and_publish();
+        assert!(
+            !log.snapshot()
+                .iter()
+                .any(|e| e.kind == EventKind::MarginCrossed),
+            "inside-margin drift must not fire"
+        );
+        // Drift past exec_up = 1.5: fires exactly once across refits.
+        obs.ingest(&stitch(&synth_events(200, &[0.02], 40, 0, 1.0)));
+        obs.refit_and_publish();
+        obs.refit_and_publish();
+        let crossed: Vec<_> = log
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::MarginCrossed)
+            .collect();
+        assert_eq!(crossed.len(), 1, "{crossed:?}");
+        assert_eq!(crossed[0].stage, Some(0));
+        assert_eq!(crossed[0].severity, Severity::Critical);
+        assert!(crossed[0].value > 1.5, "factor {}", crossed[0].value);
+        assert!(
+            crossed[0].message.contains("stability interval"),
+            "{}",
+            crossed[0].message
+        );
+        let doc = Value::parse(&publisher.current()).expect("valid model json");
+        let stage = &doc.get("stages").and_then(Value::as_array).unwrap()[0];
+        assert_eq!(
+            stage.get("margin_crossed").and_then(Value::as_bool),
+            Some(true)
+        );
+        let m = stage.get("margin").expect("margin block");
+        assert_eq!(m.get("exec_up").and_then(Value::as_f64), Some(1.5));
+        assert!(
+            m.get("ecom_in_up").is_some_and(Value::is_null),
+            "infinite bound serialises as null"
+        );
+        let factor = stage.get("factor").and_then(Value::as_f64).unwrap();
+        assert!(factor > 1.5, "factor {factor}");
     }
 
     #[test]

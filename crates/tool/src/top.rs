@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
-use pipemap_obs::{parse_events_jsonl, ObsEvent, Severity, Value};
+use pipemap_obs::{parse_events_jsonl_since, ObsEvent, Severity, Value};
 
 /// Sparkline ramp, lowest to highest.
 const SPARK: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -375,12 +375,36 @@ fn render_model(model: &Value) -> String {
         let drift = st.get("drift").and_then(Value::as_f64).unwrap_or(0.0);
         let conf = st.get("confidence").and_then(Value::as_f64).unwrap_or(0.0);
         out.push_str(&format!(
-            "  stage {idx:.0}: fitted mean {:.6}s  drift {:>5.1}%  confidence {conf:.2}  (n={samples:.0})\n",
+            "  stage {idx:.0}: fitted mean {:.6}s  drift {:>5.1}%  confidence {conf:.2}  (n={samples:.0}){}\n",
             mean,
-            drift * 100.0
+            drift * 100.0,
+            render_margin(st)
         ));
     }
     out
+}
+
+/// The margin column of one model stage: the signed drift factor against
+/// the exact stability interval, when the producer was given one.
+fn render_margin(st: &Value) -> String {
+    let Some(m) = st.get("margin") else {
+        return String::new();
+    };
+    let factor = st.get("factor").and_then(Value::as_f64).unwrap_or(1.0);
+    let bound = |key: &str, absent: f64| m.get(key).and_then(Value::as_f64).unwrap_or(absent);
+    let down = bound("exec_down", 0.0);
+    let up = bound("exec_up", f64::INFINITY);
+    let up_str = if up.is_finite() {
+        format!("{up:.2}")
+    } else {
+        "inf".to_string()
+    };
+    let verdict = if st.get("margin_crossed").and_then(Value::as_bool) == Some(true) {
+        "CROSSED"
+    } else {
+        "ok"
+    };
+    format!("  margin {factor:.2}x in ({down:.2}, {up_str}) {verdict}")
 }
 
 /// The scrolling event feed (most recent last).
@@ -419,8 +443,15 @@ fn render_events(events: &[ObsEvent]) -> String {
 // ---------------------------------------------------------------------------
 // The two run modes.
 
-/// Scrape one frame's worth of documents from a live observatory.
-fn scrape(addr: &str, attempts: u32) -> Result<(Frame, Value, Vec<ObsEvent>), String> {
+/// Scrape one frame's worth of documents from a live observatory. The
+/// event feed is fetched through the `?since=` cursor, so each poll pays
+/// for the new tail of the ring, not the whole history; the returned
+/// cursor feeds the next scrape.
+fn scrape(
+    addr: &str,
+    attempts: u32,
+    since: u64,
+) -> Result<(Frame, Value, Vec<ObsEvent>, u64), String> {
     let snap_text = http_get_retry(addr, "/snapshot.json", attempts)?;
     let snap = Value::parse(&snap_text)
         .map_err(|e| format!("{addr}/snapshot.json: invalid JSON: {e:?}"))?;
@@ -430,11 +461,11 @@ fn scrape(addr: &str, attempts: u32) -> Result<(Frame, Value, Vec<ObsEvent>), St
         .ok()
         .and_then(|t| Value::parse(&t).ok())
         .unwrap_or_else(Value::object);
-    let events = http_get(addr, "/events.jsonl")
+    let (events, next_since) = http_get(addr, &format!("/events.jsonl?since={since}"))
         .ok()
-        .and_then(|t| parse_events_jsonl(&t).ok())
-        .unwrap_or_default();
-    Ok((parse_frame(&snap), model, events))
+        .and_then(|t| parse_events_jsonl_since(&t, since).ok())
+        .unwrap_or((Vec::new(), since));
+    Ok((parse_frame(&snap), model, events, next_since))
 }
 
 fn emit(text: &str, clear: bool) {
@@ -453,9 +484,18 @@ fn run_attached(cfg: &TopConfig, addr: &str) -> Result<(), String> {
     // First contact retries while the endpoint comes up; after that a
     // vanished endpoint is a clean exit condition, not a hang.
     let mut attempts = ATTACH_ATTEMPTS;
+    // The feed accumulates tail-only fetches across polls; the cursor
+    // self-corrects if the endpoint restarts (a stale cursor returns the
+    // whole ring plus a fresh cursor).
+    let mut since = 0u64;
+    let mut feed: Vec<ObsEvent> = Vec::new();
     loop {
-        let (frame, model, events) = scrape(addr, attempts)?;
+        let (frame, model, fresh, next_since) = scrape(addr, attempts, since)?;
         attempts = 1;
+        since = next_since;
+        feed.extend(fresh);
+        let keep = feed.len().saturating_sub(4 * EVENT_FEED);
+        feed.drain(..keep);
         let rates = state.observe(started.elapsed().as_secs_f64(), &frame);
         let text = render_frame(
             &format!("attached to {addr}"),
@@ -463,7 +503,7 @@ fn run_attached(cfg: &TopConfig, addr: &str) -> Result<(), String> {
             &rates,
             &state,
             &model,
-            &events,
+            &feed,
         );
         emit(&text, !cfg.once);
         if cfg.once {
@@ -627,6 +667,45 @@ mod tests {
         assert!(text.contains("drift  30.0%"), "{text}");
         assert!(text.contains("residual_high"), "{text}");
         assert!(text.contains("WARN"), "{text}");
+    }
+
+    #[test]
+    fn model_margin_column_renders_interval_and_verdict() {
+        let model = Value::parse(
+            r#"{"model_schema":"pipemap-model/v1","journeys_ingested":10,
+               "stages":[
+                 {"stage":0,"samples":10,"mean_s":0.002,"drift":0.6,"confidence":0.8,
+                  "factor":1.60,"margin":{"exec_up":1.25,"exec_down":0.80},
+                  "margin_crossed":true,
+                  "static":{"c1":0.001,"c2":0,"c3":0},"fitted":{"c1":0.002,"c2":0,"c3":0}},
+                 {"stage":1,"samples":10,"mean_s":0.001,"drift":0.05,"confidence":0.8,
+                  "factor":1.05,"margin":{"exec_up":null,"exec_down":0.5},
+                  "margin_crossed":false,
+                  "static":{"c1":0.001,"c2":0,"c3":0},"fitted":{"c1":0.001,"c2":0,"c3":0}}
+               ]}"#,
+        )
+        .unwrap();
+        let text = render_model(&model);
+        assert!(
+            text.contains("margin 1.60x in (0.80, 1.25) CROSSED"),
+            "{text}"
+        );
+        assert!(text.contains("margin 1.05x in (0.50, inf) ok"), "{text}");
+    }
+
+    #[test]
+    fn event_cursor_parser_accumulates_the_tail() {
+        // A cursor-bearing dump: header next_since plus per-line seq.
+        let text = "{\"event_schema\":\"pipemap-events/v1\",\"dropped\":0,\"next_since\":7}\n\
+             {\"seq\":7,\"t_us\":1000000,\"kind\":\"residual_high\",\"severity\":\"warning\",\"stage\":0,\"value\":0.5,\"message\":\"m\"}\n";
+        let (events, next) = parse_events_jsonl_since(text, 3).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(next, 7);
+        // An empty tail keeps the cursor where it was.
+        let empty = "{\"event_schema\":\"pipemap-events/v1\",\"dropped\":0,\"next_since\":7}\n";
+        let (events, next) = parse_events_jsonl_since(empty, 7).unwrap();
+        assert!(events.is_empty());
+        assert_eq!(next, 7);
     }
 
     #[test]
