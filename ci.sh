@@ -53,7 +53,7 @@ echo "== doctor smoke: traced load run diagnosed drift-free =="
 # is also checked for structural well-formedness.
 JOURNEY_SMOKE_OUT=$(mktemp /tmp/pipemap-journeys.XXXXXX.jsonl)
 DOCTOR_SMOKE_OUT=$(mktemp /tmp/pipemap-doctor.XXXXXX.json)
-trap 'rm -f "$JOURNEY_SMOKE_OUT" "$DOCTOR_SMOKE_OUT" "${BENCH_SMOKE_OUT:-}" "${LIVE_SMOKE_LOG:-}" "${EXPLAIN_SMOKE_SPEC:-}" "${EXPLAIN_SMOKE_OUT:-}" "${EXPLAIN_SMOKE_JOURNEYS:-}"; kill "${LIVE_SMOKE_PID:-}" 2>/dev/null || true' EXIT
+trap 'rm -f "$JOURNEY_SMOKE_OUT" "$DOCTOR_SMOKE_OUT" "${BENCH_SMOKE_OUT:-}" "${LIVE_SMOKE_LOG:-}" "${EXPLAIN_SMOKE_SPEC:-}" "${EXPLAIN_SMOKE_OUT:-}" "${EXPLAIN_SMOKE_JOURNEYS:-}" "${RESOLVE_SMOKE_SPEC:-}" "${RESOLVE_SMOKE_JOURNEYS:-}" "${RESOLVE_SMOKE_DOCTOR:-}" "${RESOLVE_SMOKE_OUT:-}"; kill "${LIVE_SMOKE_PID:-}" 2>/dev/null || true' EXIT
 ./target/release/pipemap load fft-hist --duration 2s --size 64 \
     --journey-out "$JOURNEY_SMOKE_OUT" --journey-sample 8
 ./target/release/pipemap doctor "$JOURNEY_SMOKE_OUT" \
@@ -118,6 +118,77 @@ EOF
     --journey-out "$EXPLAIN_SMOKE_JOURNEYS" --journey-sample 1 > /dev/null
 ./target/release/pipemap doctor "$EXPLAIN_SMOKE_JOURNEYS" \
     --margins "$EXPLAIN_SMOKE_OUT" --fail-on-drift > /dev/null
+
+echo "== resolve smoke: drift -> doctor factors -> incremental re-solve =="
+# Close the re-planning loop end to end: simulate the explain-smoke chain
+# with its front stage genuinely 2.5x slower than the spec predicts, have
+# the doctor fit the drift factors and judge them against the explain
+# smoke's exact margins (2.5x is provably outside the front stage's
+# stability interval, whose upper crossing the explain smoke pins below
+# 2.0x), then hand the doctor report to
+# `pipemap resolve`, which re-prices the original spec and re-solves
+# incrementally. The resolve command verifies bit-identity against a cold
+# solve on every run and exits nonzero on mismatch, so this smoke fails
+# hard if the incremental engine ever diverges. A second call exercises
+# the margin short-circuit: a 1% drift strictly inside the exact
+# stability interval must be answered with zero DP cells.
+RESOLVE_SMOKE_SPEC=$(mktemp /tmp/pipemap-resolve.XXXXXX.pmap)
+RESOLVE_SMOKE_JOURNEYS=$(mktemp /tmp/pipemap-resolve-j.XXXXXX.jsonl)
+RESOLVE_SMOKE_DOCTOR=$(mktemp /tmp/pipemap-resolve-d.XXXXXX.json)
+RESOLVE_SMOKE_OUT=$(mktemp /tmp/pipemap-resolve-o.XXXXXX.json)
+cat > "$RESOLVE_SMOKE_SPEC" <<'SPEC'
+procs 12
+mem_per_proc 1e9
+
+task front
+  exec poly 0.0 12.5 0.05
+  replicable no
+
+edge
+  icom poly 0.0 0.05 0.0
+  ecom poly 0.02 0.3 0.3 0.01 0.01
+
+task back
+  exec poly 0.05 3.0 0.02
+  replicable no
+SPEC
+./target/release/pipemap simulate "$RESOLVE_SMOKE_SPEC" "0-0:1x7,1-1:1x5" \
+    --datasets 80 --noise 0.02 --seed 11 \
+    --journey-out "$RESOLVE_SMOKE_JOURNEYS" --journey-sample 1 > /dev/null
+./target/release/pipemap doctor "$RESOLVE_SMOKE_JOURNEYS" \
+    --spec "$EXPLAIN_SMOKE_SPEC" --mapping "0-0:1x7,1-1:1x5" \
+    --margins "$EXPLAIN_SMOKE_OUT" \
+    --report json > "$RESOLVE_SMOKE_DOCTOR"
+python3 - "$RESOLVE_SMOKE_DOCTOR" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["drift"] is True, "2.5x slower front stage must be flagged as drift"
+f = r["recommendation"]["factors"]["service"]
+assert f[0] is not None and 2.0 < f[0] < 3.0, f
+print("resolve smoke: doctor fitted front service factor %.2fx" % f[0])
+EOF
+./target/release/pipemap resolve "$EXPLAIN_SMOKE_SPEC" --assignment \
+    --doctor "$RESOLVE_SMOKE_DOCTOR" --report json > "$RESOLVE_SMOKE_OUT"
+python3 - "$RESOLVE_SMOKE_OUT" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "pipemap-resolve/v1", r.get("schema")
+assert r["verify_match"] is True, "incremental result diverged from cold solve"
+assert r["mechanism"] == "suffix", r["mechanism"]
+assert r["new"]["throughput"] == r["cold_throughput"], r
+print("resolve smoke: suffix re-solve verified (%d cells, %.1fx)"
+      % (r["cells"], r["speedup"]))
+EOF
+./target/release/pipemap resolve "$EXPLAIN_SMOKE_SPEC" --assignment \
+    --drift exec:0=1.01 --report json > "$RESOLVE_SMOKE_OUT"
+python3 - "$RESOLVE_SMOKE_OUT" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["verify_match"] is True, "short-circuit diverged from cold solve"
+assert r["mechanism"] == "short-circuit", r["mechanism"]
+assert r["cells"] == 0, "short-circuit must do no DP work"
+print("resolve smoke: 1% in-margin drift short-circuited at 0 DP cells")
+EOF
 
 echo "== live-attach smoke: observatory endpoints over a held load run =="
 # Serve the full observatory surface from a short micro load run (--hold

@@ -114,6 +114,58 @@ impl CostTable {
         &self.dense
     }
 
+    /// Re-price the table in place by per-cost multiplicative factors:
+    /// `exec[i]` scales task `i`'s execution row, `icom[e]` / `ecom[e]`
+    /// scale edge `e`'s redistribution row / transfer slab (factor `1.0`
+    /// leaves a cost untouched). Prefix sums are rebuilt with the same
+    /// summation order as [`CostTable::build`], so the result is
+    /// bit-identical to building a fresh table from a problem whose cost
+    /// functions return `base(p) * factor`. Floors and replication are
+    /// cost-independent and stay as built.
+    ///
+    /// Slices may be shorter than the chain; missing entries mean `1.0`.
+    pub fn rescale(&mut self, exec: &[f64], icom: &[f64], ecom: &[f64]) {
+        let at = |f: &[f64], i: usize| f.get(i).copied().unwrap_or(1.0);
+        let mut unary_touched = false;
+        for i in 0..self.k {
+            let g = at(exec, i);
+            if g != 1.0 {
+                self.dense.scale_exec_row(i, g);
+                unary_touched = true;
+            }
+        }
+        for e in 0..self.k.saturating_sub(1) {
+            let g = at(icom, e);
+            if g != 1.0 {
+                self.dense.scale_icom_row(e, g);
+                unary_touched = true;
+            }
+            let g = at(ecom, e);
+            if g != 1.0 {
+                self.dense.scale_ecom_slab(e, g);
+            }
+        }
+        if !unary_touched {
+            return;
+        }
+        for p in 1..=self.max_p {
+            let epfx = &mut self.exec_prefix[p - 1];
+            epfx.clear();
+            epfx.push(0.0);
+            for i in 0..self.k {
+                let prev = epfx[i];
+                epfx.push(prev + self.dense.exec(i, p));
+            }
+            let ipfx = &mut self.icom_prefix[p - 1];
+            ipfx.clear();
+            ipfx.push(0.0);
+            for e in 0..self.k.saturating_sub(1) {
+                let prev = ipfx[e];
+                ipfx.push(prev + self.dense.icom(e, p));
+            }
+        }
+    }
+
     /// Number of tasks.
     pub fn num_tasks(&self) -> usize {
         self.k
@@ -341,6 +393,81 @@ mod tests {
             + prob.chain.edge(1).ecom.eval(2, 1))
             / 2.0;
         assert!((f - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescale_is_bitwise_equal_to_cold_build_from_scaled_costs() {
+        use pipemap_model::{BinaryCost, UnaryCost};
+
+        let prob = problem();
+        let exec_g = [1.5, 1.0, 0.75];
+        let icom_g = [2.0, 1.0];
+        let ecom_g = [1.0, 0.625];
+
+        let mut patched = CostTable::build(&prob);
+        patched.rescale(&exec_g, &icom_g, &ecom_g);
+
+        // The problem re-priced the way the incremental solver defines it:
+        // each cost function evaluates as `base(args) * factor`.
+        let mut b = ChainBuilder::new();
+        for (i, g) in exec_g.iter().enumerate() {
+            let base = prob.chain.task(i).exec.clone();
+            let g = *g;
+            let mut t = Task::new(
+                prob.chain.task(i).name.clone(),
+                UnaryCost::custom(move |p| base.eval(p) * g),
+            );
+            t.memory = prob.chain.task(i).memory;
+            b = b.task(t);
+            if i + 1 < exec_g.len() {
+                let (icom_base, ecom_base) = {
+                    let e = prob.chain.edge(i);
+                    (e.icom.clone(), e.ecom.clone())
+                };
+                let (gi, ge) = (icom_g[i], ecom_g[i]);
+                b = b.edge(Edge::new(
+                    UnaryCost::custom(move |p| icom_base.eval(p) * gi),
+                    BinaryCost::custom(move |s, r| ecom_base.eval(s, r) * ge),
+                ));
+            }
+        }
+        let scaled = Problem::new(b.build(), prob.total_procs, prob.mem_per_proc);
+        let cold = CostTable::build(&scaled);
+
+        for p in 1..=16 {
+            for i in 0..3 {
+                assert_eq!(
+                    patched.exec(i, p).to_bits(),
+                    cold.exec(i, p).to_bits(),
+                    "exec {i} @ {p}"
+                );
+            }
+            for e in 0..2 {
+                assert_eq!(
+                    patched.icom(e, p).to_bits(),
+                    cold.icom(e, p).to_bits(),
+                    "icom {e} @ {p}"
+                );
+                for q in 1..=16 {
+                    assert_eq!(
+                        patched.ecom(e, p, q).to_bits(),
+                        cold.ecom(e, p, q).to_bits(),
+                        "ecom {e} @ {p},{q}"
+                    );
+                }
+            }
+            // Prefix sums were rebuilt in build order, so module lookups
+            // match to the bit too.
+            for first in 0..3 {
+                for last in first..3 {
+                    assert_eq!(
+                        patched.module_exec(first, last, p).to_bits(),
+                        cold.module_exec(first, last, p).to_bits(),
+                        "module [{first},{last}] @ {p}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -144,6 +144,32 @@ pub struct DpTrace {
     /// Per-stage cell statistics; populated only when
     /// [`SolveOptions::provenance`] is set.
     pub stage_cells: Vec<StageCells>,
+    /// Total DP cells enumerated by this run (spliced-in stages of a
+    /// warm-started run contribute nothing — this is the work actually
+    /// done).
+    pub cells: u64,
+    /// Cells of that total skipped wholesale by pruning.
+    pub cells_pruned: u64,
+}
+
+/// Warm-start state for [`run_dp_resumable`]: splice the retained tables
+/// of a previous *unpruned, stage-keeping* solve for every stage left of
+/// `frontier` and recompute only the invalidated suffix. The retained
+/// prefix is exact (no `-inf` pruning holes), so a pruned suffix reading
+/// it behaves exactly like a pruned cold solve: prefix cells below the
+/// incumbent are floored out by the `sub <= best` skip instead of being
+/// absent, which cannot change any on-path argmax (see `resolve.rs` for
+/// the admissibility argument).
+pub(crate) struct DpResume<'a> {
+    /// First stage whose costs — or transitive inputs — changed; stages
+    /// `0..frontier` are copied from `stages` verbatim.
+    pub(crate) frontier: usize,
+    /// Retained per-stage tables of the previous unpruned solve (all `k`).
+    pub(crate) stages: &'a [DpStage],
+    /// Admissible pruning incumbent in the DP's *internal* arithmetic
+    /// (the previous optimum re-priced on the patched table), or
+    /// `NEG_INFINITY` to fall back to the greedy bound.
+    pub(crate) incumbent: f64,
 }
 
 /// The successor axis of one stage: which "next task offer" states are
@@ -197,7 +223,7 @@ impl Axis {
 /// state contributes throughput 0 (dominated but legal), a zero-cost state
 /// contributes `+inf`.
 #[inline]
-fn throughput_of(f_eff: f64) -> f64 {
+pub(crate) fn throughput_of(f_eff: f64) -> f64 {
     if f_eff.is_infinite() {
         if f_eff.is_sign_positive() {
             0.0
@@ -226,6 +252,16 @@ pub(crate) fn run_dp(
     table: &CostTable,
     keep_stages: bool,
     opts: &SolveOptions,
+) -> Result<DpTrace, SolveError> {
+    run_dp_resumable(problem, table, keep_stages, opts, None)
+}
+
+pub(crate) fn run_dp_resumable(
+    problem: &Problem,
+    table: &CostTable,
+    keep_stages: bool,
+    opts: &SolveOptions,
+    resume: Option<&DpResume<'_>>,
 ) -> Result<DpTrace, SolveError> {
     let rec = pipemap_obs::global();
     let _wall = rec.timer("solver.dp_assignment.wall_s");
@@ -271,9 +307,18 @@ pub(crate) fn run_dp(
 
     // Pruning incumbent: the greedy assignment is a feasible DP state
     // computed with the *same* response arithmetic, so the DP optimum is
-    // ≥ its throughput — an admissible bound.
+    // ≥ its throughput — an admissible bound. A warm-started run may carry
+    // its own incumbent (the previous optimum re-priced, also a feasible
+    // state); both are admissible, so take whichever is tighter — after a
+    // drift *on* the old bottleneck the old path's value can fall well
+    // below what a fresh greedy finds.
     let bound = if opts.prune {
-        let inc = greedy::incumbent_throughput(problem, table);
+        let mut inc = greedy::incumbent_throughput(problem, table);
+        if let Some(res) = resume {
+            if res.incumbent.is_finite() && res.incumbent > inc {
+                inc = res.incumbent;
+            }
+        }
         if inc.is_finite() && inc > 0.0 {
             inc * (1.0 - PRUNE_MARGIN)
         } else {
@@ -297,6 +342,42 @@ pub(crate) fn run_dp(
     let mut stage_cells: Vec<StageCells> = Vec::new();
 
     for j in 0..k {
+        // Warm start: stages left of the invalidation frontier are exact
+        // on the patched table — splice the retained tables instead of
+        // recomputing them. Rebuilding rowmax at the frontier boundary
+        // uses the identical fold as the cold path below.
+        if let Some(res) = resume {
+            if j < res.frontier {
+                let st = &res.stages[j];
+                if keep_stages {
+                    stages.push(st.clone());
+                }
+                all_parents.push(st.parent.clone());
+                if opts.provenance {
+                    stage_cells.push(StageCells {
+                        stage: j,
+                        cells: 0,
+                        pruned: 0,
+                        lookups: 0,
+                        skips: 0,
+                    });
+                }
+                if j + 1 == res.frontier {
+                    prev_value = st.value.clone();
+                    if opts.prune {
+                        let nslots = st.nslots;
+                        let mut rowmax = vec![f64::NEG_INFINITY; (p + 1) * nslots];
+                        for (i, m) in rowmax.iter_mut().enumerate() {
+                            *m = st.value[i * p..(i + 1) * p]
+                                .iter()
+                                .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+                        }
+                        prev_rowmax = rowmax;
+                    }
+                }
+                continue;
+            }
+        }
         let axis = &axes[j];
         let nslots = axis.len();
         let nslots_prev = if j > 0 { axes[j - 1].len() } else { 0 };
@@ -573,25 +654,30 @@ pub(crate) fn run_dp(
         assignment,
         throughput: best,
         stage_cells,
+        cells: totals.cells,
+        cells_pruned: totals.cells_pruned,
     })
 }
 
 /// [`run_dp`] with a defensive retry: if the pruned run reports
 /// infeasibility (mathematically impossible when the incumbent is
-/// admissible, but cheap to guard), rerun without pruning.
-fn run_dp_with_fallback(
+/// admissible, but cheap to guard), rerun without pruning. The retry keeps
+/// the warm-start splice — retained prefixes are exact regardless of
+/// pruning.
+pub(crate) fn run_dp_with_fallback(
     problem: &Problem,
     table: &CostTable,
     keep_stages: bool,
     opts: &SolveOptions,
+    resume: Option<&DpResume<'_>>,
 ) -> Result<DpTrace, SolveError> {
-    match run_dp(problem, table, keep_stages, opts) {
+    match run_dp_resumable(problem, table, keep_stages, opts, resume) {
         Err(SolveError::Infeasible) if opts.prune => {
             let unpruned = SolveOptions {
                 prune: false,
                 ..*opts
             };
-            run_dp(problem, table, keep_stages, &unpruned)
+            run_dp_resumable(problem, table, keep_stages, &unpruned, resume)
         }
         r => r,
     }
@@ -614,7 +700,7 @@ pub fn dp_assignment_with(
     opts: &SolveOptions,
 ) -> Result<(Solution, Assignment), SolveError> {
     let table = CostTable::build(problem);
-    let trace = run_dp_with_fallback(problem, &table, false, opts)?;
+    let trace = run_dp_with_fallback(problem, &table, false, opts, None)?;
     let assignment = Assignment(trace.assignment.clone());
     let mapping: Mapping = assignment
         .to_mapping(problem)
@@ -649,14 +735,25 @@ pub fn dp_assignment_provenance(
     problem: &Problem,
     opts: &SolveOptions,
 ) -> Result<(Solution, Assignment, Provenance), SolveError> {
+    let table = CostTable::build(problem);
+    dp_assignment_provenance_on(problem, &table, opts)
+}
+
+/// [`dp_assignment_provenance`] against a caller-supplied cost table (e.g.
+/// a [`crate::dp_cluster::SolveCtx`]'s), so multi-entry-point callers like
+/// `pipemap explain` build the dense table once.
+pub fn dp_assignment_provenance_on(
+    problem: &Problem,
+    table: &CostTable,
+    opts: &SolveOptions,
+) -> Result<(Solution, Assignment, Provenance), SolveError> {
     let opts = SolveOptions {
         prune: false,
         provenance: true,
         ..*opts
     };
-    let table = CostTable::build(problem);
-    let trace = run_dp(problem, &table, true, &opts)?;
-    let prov = provenance::harvest_assignment(problem, &table, &trace);
+    let trace = run_dp(problem, table, true, &opts)?;
+    let prov = provenance::harvest_assignment(problem, table, &trace);
     let assignment = Assignment(trace.assignment.clone());
     let mapping: Mapping = assignment
         .to_mapping(problem)
@@ -674,13 +771,22 @@ pub fn dp_assignment_pruned_stats(
     problem: &Problem,
     opts: &SolveOptions,
 ) -> Result<Vec<StageCells>, SolveError> {
+    let table = CostTable::build(problem);
+    dp_assignment_pruned_stats_on(problem, &table, opts)
+}
+
+/// [`dp_assignment_pruned_stats`] against a caller-supplied cost table.
+pub fn dp_assignment_pruned_stats_on(
+    problem: &Problem,
+    table: &CostTable,
+    opts: &SolveOptions,
+) -> Result<Vec<StageCells>, SolveError> {
     let opts = SolveOptions {
         prune: true,
         provenance: true,
         ..*opts
     };
-    let table = CostTable::build(problem);
-    let trace = run_dp_with_fallback(problem, &table, false, &opts)?;
+    let trace = run_dp_with_fallback(problem, table, false, &opts, None)?;
     Ok(trace.stage_cells)
 }
 

@@ -70,6 +70,8 @@
 //!   worker pool (`par`), reading the already-finished stages and the
 //!   dense cost slabs, and merged deterministically at the stage barrier.
 
+use std::sync::OnceLock;
+
 use pipemap_chain::{CostTable, Mapping, ModuleAssignment, Problem};
 use pipemap_model::Procs;
 
@@ -91,8 +93,55 @@ struct Parent {
     prev_procs: u16,
 }
 
+/// Shared solver context for one cost table: the dense table plus
+/// lazily-computed derived structures that several entry points need.
+/// Today that is the branch-and-bound [`suffix_bounds`] table, which
+/// `pipemap explain` used to recompute once per provenance / pruned-stats
+/// / production solve; a `SolveCtx` computes it at most once.
+pub struct SolveCtx {
+    table: CostTable,
+    k: usize,
+    p: usize,
+    suffix: OnceLock<Vec<f64>>,
+}
+
+impl SolveCtx {
+    /// Build the cost table for `problem` and wrap it.
+    pub fn new(problem: &Problem) -> Self {
+        Self::from_table(
+            CostTable::build(problem),
+            problem.num_tasks(),
+            problem.total_procs,
+        )
+    }
+
+    /// Wrap an existing table (e.g. a retained table patched in place by
+    /// the incremental re-solver). Derived caches start empty: they
+    /// depend on the table's costs.
+    pub fn from_table(table: CostTable, k: usize, p: usize) -> Self {
+        Self {
+            table,
+            k,
+            p,
+            suffix: OnceLock::new(),
+        }
+    }
+
+    /// The wrapped cost table.
+    pub fn table(&self) -> &CostTable {
+        &self.table
+    }
+
+    /// The cached suffix-bound table, computed on first use.
+    fn suffix(&self) -> &[f64] {
+        self.suffix
+            .get_or_init(|| suffix_bounds(&self.table, self.k, self.p))
+    }
+}
+
 /// Per-(j, L) stage table.
-struct Stage {
+#[derive(Clone)]
+pub(crate) struct Stage {
     /// `value[(s * (P+1) + pt) * P + (pl - 1)]`, where `s` is the slot of
     /// the next-module instance size on this stage's `ne` axis. The `pl`
     /// scan of the recurrence walks a row contiguously.
@@ -188,7 +237,7 @@ impl NeAxis {
 /// `r / f` with the solver's conventions: a zero-cost module is infinitely
 /// fast.
 #[inline]
-fn cluster_thr(r: f64, f: f64) -> f64 {
+pub(crate) fn cluster_thr(r: f64, f: f64) -> f64 {
     if f <= 0.0 {
         f64::INFINITY
     } else {
@@ -323,20 +372,42 @@ pub fn dp_mapping(problem: &Problem) -> Result<Solution, SolveError> {
 /// [`dp_mapping`] with explicit [`SolveOptions`]. Every option combination
 /// returns bit-identical results; the options only trade wall-clock time.
 pub fn dp_mapping_with(problem: &Problem, opts: &SolveOptions) -> Result<Solution, SolveError> {
-    let r = match run_cluster_dp(problem, opts) {
-        // Defensive: an admissible incumbent can never prune the optimum,
-        // but if the margin were ever wrong, fall back to the exact path
-        // rather than mis-reporting infeasibility.
+    let ctx = SolveCtx::new(problem);
+    dp_mapping_ctx(problem, &ctx, opts)
+}
+
+/// [`dp_mapping_with`] against a shared [`SolveCtx`], reusing its cost
+/// table and cached suffix bounds across entry points.
+pub fn dp_mapping_ctx(
+    problem: &Problem,
+    ctx: &SolveCtx,
+    opts: &SolveOptions,
+) -> Result<Solution, SolveError> {
+    run_cluster_dp_with_fallback(problem, ctx, opts, false, None).map(|run| run.solution)
+}
+
+/// [`run_cluster_dp`] with a defensive retry: an admissible incumbent can
+/// never prune the optimum, but if the margin were ever wrong, fall back
+/// to the exact path rather than mis-reporting infeasibility. The retry
+/// keeps any warm-start splice — retained prefixes are exact regardless
+/// of pruning.
+pub(crate) fn run_cluster_dp_with_fallback(
+    problem: &Problem,
+    ctx: &SolveCtx,
+    opts: &SolveOptions,
+    keep_stages: bool,
+    resume: Option<&ClusterResume<'_>>,
+) -> Result<ClusterRun, SolveError> {
+    match run_cluster_dp(problem, ctx, opts, keep_stages, resume) {
         Err(SolveError::Infeasible) if opts.prune => {
             let unpruned = SolveOptions {
                 prune: false,
                 ..*opts
             };
-            run_cluster_dp(problem, &unpruned)
+            run_cluster_dp(problem, ctx, &unpruned, keep_stages, resume)
         }
         r => r,
-    };
-    r.map(|(solution, _)| solution)
+    }
 }
 
 /// [`dp_mapping`] recording full decision provenance: the winning DP path
@@ -349,15 +420,26 @@ pub fn dp_mapping_provenance(
     problem: &Problem,
     opts: &SolveOptions,
 ) -> Result<(Solution, Provenance), SolveError> {
+    let ctx = SolveCtx::new(problem);
+    dp_mapping_provenance_ctx(problem, &ctx, opts)
+}
+
+/// [`dp_mapping_provenance`] against a shared [`SolveCtx`].
+pub fn dp_mapping_provenance_ctx(
+    problem: &Problem,
+    ctx: &SolveCtx,
+    opts: &SolveOptions,
+) -> Result<(Solution, Provenance), SolveError> {
     let opts = SolveOptions {
         prune: false,
         provenance: true,
         ..*opts
     };
-    let (solution, prov) = run_cluster_dp(problem, &opts)?;
+    let run = run_cluster_dp(problem, ctx, &opts, false, None)?;
     Ok((
-        solution,
-        prov.expect("provenance recorded when the option is set"),
+        run.solution,
+        run.provenance
+            .expect("provenance recorded when the option is set"),
     ))
 }
 
@@ -370,28 +452,70 @@ pub fn dp_mapping_pruned_stats(
     problem: &Problem,
     opts: &SolveOptions,
 ) -> Result<Vec<StageCells>, SolveError> {
+    let ctx = SolveCtx::new(problem);
+    dp_mapping_pruned_stats_ctx(problem, &ctx, opts)
+}
+
+/// [`dp_mapping_pruned_stats`] against a shared [`SolveCtx`].
+pub fn dp_mapping_pruned_stats_ctx(
+    problem: &Problem,
+    ctx: &SolveCtx,
+    opts: &SolveOptions,
+) -> Result<Vec<StageCells>, SolveError> {
     let opts = SolveOptions {
         prune: true,
         provenance: true,
         ..*opts
     };
-    let (_, prov) = run_cluster_dp(problem, &opts)?;
-    Ok(prov
+    let run = run_cluster_dp(problem, ctx, &opts, false, None)?;
+    Ok(run
+        .provenance
         .expect("provenance recorded when the option is set")
         .stage_cells)
 }
 
-fn run_cluster_dp(
+/// Warm-start state for [`run_cluster_dp`]: splice the retained `(j, L)`
+/// stage tables of a previous *unpruned, stage-keeping* solve for every
+/// end task left of `frontier` and recompute only the invalidated suffix.
+/// See `resolve.rs` for the admissibility argument.
+pub(crate) struct ClusterResume<'a> {
+    /// First end task whose costs — or transitive inputs — changed;
+    /// stages with `j < frontier` are copied from `stages` verbatim.
+    pub(crate) frontier: usize,
+    /// Retained stage tables (`stage_key` layout, all `k * k` slots) of
+    /// the previous unpruned solve.
+    pub(crate) stages: &'a [Option<Stage>],
+    /// Admissible pruning incumbent in the DP's *internal* arithmetic
+    /// (the previous optimum re-priced on the patched table), or
+    /// `NEG_INFINITY` to fall back to the greedy bound.
+    pub(crate) incumbent: f64,
+}
+
+/// Result of one [`run_cluster_dp`] invocation.
+pub(crate) struct ClusterRun {
+    pub(crate) solution: Solution,
+    pub(crate) provenance: Option<Provenance>,
+    /// The full stage tables (`stage_key` layout), kept only when
+    /// `keep_stages` was set — the retained artifact of a cold solve.
+    pub(crate) stages: Option<Vec<Option<Stage>>>,
+    /// DP cells enumerated by this run (spliced stages contribute none).
+    pub(crate) cells: u64,
+}
+
+pub(crate) fn run_cluster_dp(
     problem: &Problem,
+    ctx: &SolveCtx,
     opts: &SolveOptions,
-) -> Result<(Solution, Option<Provenance>), SolveError> {
+    keep_stages: bool,
+    resume: Option<&ClusterResume<'_>>,
+) -> Result<ClusterRun, SolveError> {
     let rec = pipemap_obs::global();
     let _wall = rec.timer("solver.dp_mapping.wall_s");
     let _span = pipemap_obs::span!("dp_mapping", "solver");
     // Local accumulators, published once — no atomics in the recurrence.
     let mut totals = CellStats::default();
 
-    let table = CostTable::build(problem);
+    let table = ctx.table();
     let dense = table.dense();
     let k = problem.num_tasks();
     let p = problem.total_procs;
@@ -410,9 +534,18 @@ fn run_cluster_dp(
     // buys only a couple of percentage points of extra pruning here.)
     // Singleton infeasibility does NOT imply mapping infeasibility — a
     // merged module's floor can be smaller than the sum of singleton
-    // floors — so an Err simply disables pruning (incumbent 0).
+    // floors — so an Err simply disables pruning (incumbent 0). A
+    // warm-started run may carry its own incumbent (the previous optimum
+    // re-priced, also a feasible mapping); both are admissible, so take
+    // whichever is tighter — after a drift *on* the old bottleneck the
+    // old path's value can fall well below what a fresh greedy finds.
     let bound = if opts.prune {
-        let inc = greedy::incumbent_throughput(problem, &table);
+        let mut inc = greedy::incumbent_throughput(problem, table);
+        if let Some(res) = resume {
+            if res.incumbent.is_finite() && res.incumbent > inc {
+                inc = res.incumbent;
+            }
+        }
         if inc.is_finite() && inc > 0.0 {
             inc * (1.0 - PRUNE_MARGIN)
         } else {
@@ -429,10 +562,12 @@ fn run_cluster_dp(
     };
 
     // Cell-level branch & bound: only meaningful with a finite incumbent.
-    let suffix_ub = if opts.prune && bound > f64::NEG_INFINITY && k > 1 {
-        suffix_bounds(&table, k, p)
+    // The bounds live on the shared ctx — entry points that solve the
+    // same table repeatedly (explain, resolve) compute them once.
+    let suffix_ub: &[f64] = if opts.prune && bound > f64::NEG_INFINITY && k > 1 {
+        ctx.suffix()
     } else {
-        Vec::new()
+        &[]
     };
 
     // ne axes, one per possible next-module start (k = chain end).
@@ -441,7 +576,7 @@ fn run_cluster_dp(
             if start == k {
                 NeAxis::sentinel()
             } else {
-                NeAxis::for_start(&table, start, k, p, opts.dedup)
+                NeAxis::for_start(table, start, k, p, opts.dedup)
             }
         })
         .collect();
@@ -454,6 +589,31 @@ fn run_cluster_dp(
     let mut stages: Vec<Option<Stage>> = (0..k * k).map(|_| None).collect();
 
     for j in 0..k {
+        // Warm start: stages whose subchain ends left of the invalidation
+        // frontier are exact on the patched table — splice the retained
+        // tables instead of recomputing. Retained tables come from an
+        // unpruned solve and carry no rowmax; materialise it with the
+        // identical fold the cold path uses below.
+        if let Some(res) = resume {
+            if j < res.frontier {
+                for l in 1..=j + 1 {
+                    let key = stage_key(j, l);
+                    let Some(st) = res.stages[key].as_ref() else {
+                        continue;
+                    };
+                    let mut st = st.clone();
+                    if opts.prune && st.rowmax.is_empty() {
+                        st.rowmax = st
+                            .value
+                            .chunks_exact(p)
+                            .map(|row| row.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)))
+                            .collect();
+                    }
+                    stages[key] = Some(st);
+                }
+                continue;
+            }
+        }
         for l in 1..=j + 1 {
             let first = j + 1 - l;
             let Some(floor) = table.module_floor(first, j) else {
@@ -793,7 +953,7 @@ fn run_cluster_dp(
     modules_rev.reverse();
     let prov = if opts.provenance {
         Some(harvest_cluster(
-            &table,
+            table,
             &stages,
             &axes,
             &stage_stats,
@@ -815,7 +975,12 @@ fn run_cluster_dp(
         best,
         solution.throughput
     );
-    Ok((solution, prov))
+    Ok(ClusterRun {
+        solution,
+        provenance: prov,
+        stages: keep_stages.then_some(stages),
+        cells: totals.cells,
+    })
 }
 
 /// One reconstructed cell of the winning path: module ending at task `j`

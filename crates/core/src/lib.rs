@@ -43,15 +43,20 @@ pub mod options;
 pub mod pool;
 pub mod procs;
 pub mod provenance;
+pub mod resolve;
 pub mod solution;
 
 pub use brute::{brute_force_assignment, brute_force_mapping};
 pub use cluster::{cluster_heuristic, contract_chain, ContractedProblem};
 pub use dp::{
-    dp_assignment, dp_assignment_provenance, dp_assignment_pruned_stats, dp_assignment_with,
-    DpStage, DpTrace,
+    dp_assignment, dp_assignment_provenance, dp_assignment_provenance_on,
+    dp_assignment_pruned_stats, dp_assignment_pruned_stats_on, dp_assignment_with, DpStage,
+    DpTrace,
 };
-pub use dp_cluster::{dp_mapping, dp_mapping_provenance, dp_mapping_pruned_stats, dp_mapping_with};
+pub use dp_cluster::{
+    dp_mapping, dp_mapping_ctx, dp_mapping_provenance, dp_mapping_provenance_ctx,
+    dp_mapping_pruned_stats, dp_mapping_pruned_stats_ctx, dp_mapping_with, SolveCtx,
+};
 pub use dp_free::dp_mapping_free;
 pub use greedy::{
     greedy_assignment, greedy_assignment_with_table, refine_assignment, GreedyOptions,
@@ -63,4 +68,5 @@ pub use procs::{min_procs_mapping, ProcsSolution};
 pub use provenance::{
     stability_margins, DecisionCell, MarginReport, Provenance, RunnerUp, StageCells, StageMargin,
 };
+pub use resolve::{reprice_problem, CostDeltas, ResolveArtifact, ResolveMechanism, ResolveOutcome};
 pub use solution::{Solution, SolveError};

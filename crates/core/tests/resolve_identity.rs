@@ -1,0 +1,255 @@
+//! Differential suite for the incremental re-solver.
+//!
+//! The contract of [`ResolveArtifact::resolve`] is *bit-identical results*
+//! to a cold solve of the re-priced problem with the artifact's options —
+//! throughput always, and the mapping too whenever any DP work ran. A
+//! margin short-circuit is a value-level certificate: it may report a
+//! different *value-tied* optimum than the cold argmax when the re-priced
+//! problem has several optima (see `resolve.rs` module docs), so on that
+//! mechanism the suite requires bitwise-equal throughput and accepts the
+//! old mapping as the tied representative. This suite enforces:
+//!
+//! 1. **Random multi-stage drift × the full option matrix** — random
+//!    exec/icom/ecom factor vectors (a mix of unchanged and 0.5–2.0×
+//!    drifted costs) re-solved incrementally must match
+//!    `dp_mapping_with` / `dp_assignment_with` on
+//!    [`reprice_problem`]`(problem, deltas)` in throughput bits, and in
+//!    mapping except on a tied short-circuit, for every
+//!    `{par, prune, dedup}` combination.
+//! 2. **Margin boundaries** — a delta *exactly on* a stability-margin
+//!    boundary (where an alternative ties and a naive short-circuit could
+//!    return a stale argmax) must still be fully bit-identical: the
+//!    guarded short-circuit refuses it and the suffix path answers
+//!    exactly, mapping included.
+//! 3. **In-margin single deltas** — strictly inside the margin interval
+//!    the short-circuit fires with zero DP cells, its throughput is
+//!    bit-identical to the cold solve, and its mapping matches unless the
+//!    cold argmax picked a value-tied alternate optimum.
+
+use pipemap_chain::{ChainBuilder, Edge, Problem, Task};
+use pipemap_core::{
+    dp_assignment_with, dp_mapping_with, reprice_problem, CostDeltas, ResolveArtifact,
+    ResolveMechanism, SolveOptions,
+};
+use pipemap_model::{MemoryReq, PolyEcom, PolyUnary};
+use proptest::prelude::*;
+
+/// Deterministic convex chain, same construction as the equivalence
+/// suite: every cost curve is convex with real transfer terms, so pruning
+/// and dedup both engage.
+fn convex_chain(k: usize, seed: u64, mem_scale: f64, p: usize, mem_per_proc: f64) -> Problem {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / ((1u64 << 31) as f64) // in [0, 2)
+    };
+    let mut b = ChainBuilder::new();
+    for i in 0..k {
+        let t = Task::new(
+            format!("t{i}"),
+            PolyUnary::new(0.05 * next(), 2.0 + 4.0 * next(), 0.01 * next()),
+        )
+        .with_memory(MemoryReq::new(0.0, mem_scale * next()));
+        b = b.task(t);
+        if i + 1 < k {
+            b = b.edge(Edge::new(
+                PolyUnary::new(0.02 * next(), 0.0, 0.0),
+                PolyEcom::new(
+                    0.05 * next(),
+                    0.4 * next(),
+                    0.4 * next(),
+                    0.005 * next(),
+                    0.005 * next(),
+                ),
+            ));
+        }
+    }
+    Problem::new(b.build(), p, mem_per_proc)
+}
+
+/// The option matrix of the equivalence suite: reference, each knob
+/// alone, everything on.
+fn option_matrix() -> Vec<SolveOptions> {
+    let on = SolveOptions::default();
+    vec![
+        SolveOptions::reference(),
+        SolveOptions {
+            par: true,
+            ..SolveOptions::reference()
+        },
+        SolveOptions {
+            prune: true,
+            ..SolveOptions::reference()
+        },
+        SolveOptions {
+            dedup: true,
+            ..SolveOptions::reference()
+        },
+        SolveOptions { prune: false, ..on },
+        SolveOptions { dedup: false, ..on },
+        on,
+    ]
+}
+
+/// A random factor vector: each slot unchanged with probability ~1/2,
+/// else drifted within [0.5, 2.0].
+fn arb_factors(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((any::<bool>(), 0.5..2.0f64), n).prop_map(|v| {
+        v.into_iter()
+            .map(|(keep, g)| if keep { 1.0 } else { g })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mechanism 2 + 3 under random multi-stage drift, across the full
+    /// option matrix, for both artifact kinds.
+    #[test]
+    fn resolve_is_bit_identical_to_cold_solve(
+        seed in 0u64..64,
+        p in 10usize..22,
+        exec in arb_factors(4),
+        icom in arb_factors(3),
+        ecom in arb_factors(3),
+    ) {
+        let problem = convex_chain(4, seed, 8.0, p, 8.0);
+        let deltas = CostDeltas::new(exec, icom, ecom);
+        let repriced = reprice_problem(&problem, &deltas);
+        for opts in option_matrix() {
+            let art = ResolveArtifact::build(&problem, &opts).expect("feasible convex chain");
+            let out = art.resolve(&deltas).expect("re-priced chain stays feasible");
+            let cold = dp_mapping_with(&repriced, &opts).expect("same feasibility");
+            prop_assert_eq!(
+                out.solution.throughput.to_bits(),
+                cold.throughput.to_bits(),
+                "cluster: options {:?} deltas {:?}: resolve {} vs cold {}",
+                opts, &deltas, out.solution.throughput, cold.throughput
+            );
+            prop_assert_eq!(&out.solution.mapping, &cold.mapping);
+
+            let art = ResolveArtifact::build_assignment(&problem, &opts)
+                .expect("feasible convex chain");
+            let out = art.resolve(&deltas).expect("re-priced chain stays feasible");
+            let (cold, _) = dp_assignment_with(&repriced, &opts).expect("same feasibility");
+            prop_assert_eq!(
+                out.solution.throughput.to_bits(),
+                cold.throughput.to_bits(),
+                "assignment: options {:?} deltas {:?}: resolve {} vs cold {}",
+                opts, &deltas, out.solution.throughput, cold.throughput
+            );
+            // A short-circuit may return a value-tied alternate optimum
+            // (bitwise-equal throughput, asserted above); any mechanism
+            // that ran DP work must reproduce the cold argmax exactly.
+            if out.mechanism != ResolveMechanism::ShortCircuit {
+                prop_assert_eq!(&out.solution.mapping, &cold.mapping);
+            }
+        }
+    }
+}
+
+/// A delta exactly on a margin boundary must fall through to the exact
+/// suffix path and still match the cold solve bitwise. Boundary factors
+/// are where an alternative *ties* — precisely the spot where a naive
+/// short-circuit could keep a stale argmax.
+#[test]
+fn margin_boundary_deltas_stay_bit_identical() {
+    let opts = SolveOptions::default();
+    for seed in 0..6u64 {
+        let problem = convex_chain(4, seed, 8.0, 16, 8.0);
+        let art = ResolveArtifact::build_assignment(&problem, &opts).expect("feasible");
+        let Some(margins) = art.margins().cloned() else {
+            continue;
+        };
+        let k = problem.num_tasks();
+        let mut boundary_cases: Vec<CostDeltas> = Vec::new();
+        for (i, s) in margins.stages.iter().enumerate() {
+            for g in [s.exec_down, s.exec_up] {
+                if g.is_finite() && g > 0.0 && g != 1.0 {
+                    let mut d = CostDeltas::identity(k);
+                    d.set_exec(i, g);
+                    boundary_cases.push(d);
+                }
+            }
+            if i > 0 {
+                for g in [s.ecom_in_down, s.ecom_in_up] {
+                    if g.is_finite() && g > 0.0 && g != 1.0 {
+                        let mut d = CostDeltas::identity(k);
+                        d.set_ecom(i - 1, g);
+                        boundary_cases.push(d);
+                    }
+                }
+            }
+        }
+        for d in boundary_cases {
+            let out = art.resolve(&d).expect("feasible");
+            let repriced = reprice_problem(&problem, &d);
+            let (cold, _) = dp_assignment_with(&repriced, &opts).expect("feasible");
+            assert_eq!(
+                out.solution.throughput.to_bits(),
+                cold.throughput.to_bits(),
+                "seed {seed}: boundary deltas {d:?}"
+            );
+            assert_eq!(
+                out.solution.mapping, cold.mapping,
+                "seed {seed}: boundary deltas {d:?}"
+            );
+        }
+    }
+}
+
+/// Strictly inside the margin interval the short-circuit must fire (zero
+/// DP cells) and must still agree with the cold solve bitwise.
+#[test]
+fn in_margin_short_circuit_is_exact() {
+    let opts = SolveOptions::default();
+    let mut fired = 0usize;
+    for seed in 0..6u64 {
+        let problem = convex_chain(4, seed, 8.0, 16, 8.0);
+        let art = ResolveArtifact::build_assignment(&problem, &opts).expect("feasible");
+        let Some(margins) = art.margins().cloned() else {
+            continue;
+        };
+        let k = problem.num_tasks();
+        for (i, s) in margins.stages.iter().enumerate() {
+            // Halfway between 1 and the upward crossing (or a token 1%
+            // when it never crosses).
+            let g = if s.exec_up.is_finite() {
+                1.0 + (s.exec_up - 1.0) / 2.0
+            } else {
+                1.01
+            };
+            if !(g.is_finite() && g > 1.0) {
+                continue;
+            }
+            let mut d = CostDeltas::identity(k);
+            d.set_exec(i, g);
+            let out = art.resolve(&d).expect("feasible");
+            let repriced = reprice_problem(&problem, &d);
+            let (cold, _) = dp_assignment_with(&repriced, &opts).expect("feasible");
+            assert_eq!(
+                out.solution.throughput.to_bits(),
+                cold.throughput.to_bits(),
+                "seed {seed} stage {i} g {g}"
+            );
+            if out.mechanism == ResolveMechanism::ShortCircuit {
+                // The old mapping is provably still optimal; the cold
+                // argmax may pick a value-tied alternative, which the
+                // bitwise throughput equality above certifies.
+                assert_eq!(out.cells, 0, "short-circuit must do no DP work");
+                fired += 1;
+            } else {
+                assert_eq!(out.solution.mapping, cold.mapping);
+            }
+        }
+    }
+    assert!(
+        fired > 0,
+        "the margin short-circuit never fired across the sweep"
+    );
+}

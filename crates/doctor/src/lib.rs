@@ -31,9 +31,10 @@
 //! line. [`publish`] exports the verdict as `doctor.drift.*` gauges for
 //! the OpenMetrics endpoint.
 
-use pipemap_chain::{bottleneck_module, module_response, throughput, Mapping, TaskChain};
-use pipemap_core::{MarginReport, SolveOptions};
+use pipemap_chain::{bottleneck_module, module_response, throughput, Mapping, Problem, TaskChain};
+use pipemap_core::{reprice_problem, CostDeltas, MarginReport, SolveOptions};
 use pipemap_obs::{journey_jsonl, stitch, Journey, JourneyEvent, Recorder, Value, JOURNEY_SCHEMA};
+use pipemap_profile::OnlineModel;
 
 /// Schema tag of the JSON drift report.
 pub const DOCTOR_SCHEMA: &str = "pipemap-doctor/v1";
@@ -499,6 +500,79 @@ pub struct CriticalShare {
     pub share: f64,
 }
 
+/// Collapse per-*module* drift factors onto per-*task* cost deltas for
+/// the incremental re-solver. A module's measured service time is the
+/// sum of its members' executions and internal redistributions, so
+/// scaling every member row by the module's factor scales the sum by
+/// exactly that factor — the collapse loses nothing. A module's
+/// transport factor applies to its incoming chain edge (`first − 1`);
+/// the first module has no incoming edge and its transport factor is
+/// ignored. `None` (or non-finite / non-positive) factors mean "no
+/// evidence" and leave the cost unchanged.
+pub fn stage_deltas(
+    mapping: &Mapping,
+    num_tasks: usize,
+    service: &[Option<f64>],
+    transport: &[Option<f64>],
+) -> CostDeltas {
+    let mut deltas = CostDeltas::identity(num_tasks);
+    let usable = |g: Option<&Option<f64>>| {
+        g.copied()
+            .flatten()
+            .filter(|g| g.is_finite() && *g > 0.0 && *g != 1.0)
+    };
+    for (i, m) in mapping.modules.iter().enumerate() {
+        if let Some(g) = usable(service.get(i)) {
+            for t in m.first..=m.last {
+                deltas.set_exec(t, g);
+            }
+            for e in m.first..m.last {
+                deltas.set_icom(e, g);
+            }
+        }
+        if let Some(g) = usable(transport.get(i)) {
+            if m.first > 0 {
+                deltas.set_ecom(m.first - 1, g);
+            }
+        }
+    }
+    deltas
+}
+
+/// [`stage_deltas`] fed straight from a live [`OnlineModel`]: each stage
+/// estimator's fitted-over-static factor becomes the module's service
+/// factor (stages without enough samples contribute nothing), each edge
+/// estimator's factor becomes the downstream module's transport factor.
+pub fn model_deltas(model: &OnlineModel, mapping: &Mapping, num_tasks: usize) -> CostDeltas {
+    let service: Vec<Option<f64>> = model
+        .stages()
+        .iter()
+        .map(|s| s.snapshot().map(|sn| sn.factor))
+        .collect();
+    let mut transport: Vec<Option<f64>> = vec![None; mapping.modules.len()];
+    for (e, est) in model.edges().iter().enumerate() {
+        if e + 1 < transport.len() {
+            transport[e + 1] = Some(est.factor());
+        }
+    }
+    stage_deltas(mapping, num_tasks, &service, &transport)
+}
+
+/// Apply an online model's fitted factors to a problem in one call: the
+/// returned problem prices every cost at `static(p) × factor`, and the
+/// returned deltas are the same factors in the re-solver's vocabulary —
+/// hand them to [`pipemap_core::ResolveArtifact::resolve`] to re-plan
+/// incrementally, or solve the problem cold. Both routes give
+/// bit-identical mappings by the re-solver's contract.
+pub fn reprice_from_model(
+    problem: &Problem,
+    mapping: &Mapping,
+    model: &OnlineModel,
+) -> (Problem, CostDeltas) {
+    let deltas = model_deltas(model, mapping, problem.num_tasks());
+    (reprice_problem(problem, &deltas), deltas)
+}
+
 /// Why the doctor thinks the mapping should be re-solved.
 #[derive(Clone, Debug)]
 pub struct Recommendation {
@@ -506,6 +580,26 @@ pub struct Recommendation {
     pub why: String,
     /// Solver options to re-solve with.
     pub options: SolveOptions,
+    /// Per-module measured-over-predicted service drift factors — the
+    /// warm-start handle: feed them through [`Recommendation::deltas`]
+    /// into the incremental re-solver instead of re-profiling from
+    /// scratch. `None` where the model had no prediction.
+    pub service_factors: Vec<Option<f64>>,
+    /// Per-module transport drift factors.
+    pub transport_factors: Vec<Option<f64>>,
+}
+
+impl Recommendation {
+    /// The recommendation's drift factors as re-solver cost deltas for
+    /// `mapping` (the mapping the journeys were measured under).
+    pub fn deltas(&self, mapping: &Mapping, num_tasks: usize) -> CostDeltas {
+        stage_deltas(
+            mapping,
+            num_tasks,
+            &self.service_factors,
+            &self.transport_factors,
+        )
+    }
 }
 
 /// Analysis thresholds.
@@ -783,6 +877,8 @@ pub fn diagnose_with_margins(
         critical.sort_by(|a, b| b.share.total_cmp(&a.share));
     }
 
+    let service_factors: Vec<Option<f64>> = stages.iter().map(|s| s.service_gamma).collect();
+    let transport_factors: Vec<Option<f64>> = stages.iter().map(|s| s.transport_gamma).collect();
     let recommendation = match drift {
         Some(true) if margins_used => {
             let why = stages
@@ -817,6 +913,8 @@ pub fn diagnose_with_margins(
             Some(Recommendation {
                 why,
                 options: SolveOptions::default(),
+                service_factors,
+                transport_factors,
             })
         }
         Some(true) => Some(Recommendation {
@@ -828,6 +926,8 @@ pub fn diagnose_with_margins(
                 predicted_bottleneck.expect("drift implies a prediction"),
             ),
             options: SolveOptions::default(),
+            service_factors,
+            transport_factors,
         }),
         _ => None,
     };
@@ -1014,6 +1114,22 @@ pub fn report_json(report: &DriftReport) -> Value {
                 None => so.set("threads", Value::Null),
             };
             o.set("solve_options", so);
+            // The warm-start handle: per-module drift factors for the
+            // incremental re-solver (`pipemap resolve --doctor`).
+            let factor_array = |fs: &[Option<f64>]| {
+                Value::Array(
+                    fs.iter()
+                        .map(|f| match f {
+                            Some(x) => Value::Number(*x),
+                            None => Value::Null,
+                        })
+                        .collect(),
+                )
+            };
+            let mut factors = Value::object();
+            factors.set("service", factor_array(&r.service_factors));
+            factors.set("transport", factor_array(&r.transport_factors));
+            o.set("factors", factors);
             v.set("recommendation", o);
         }
         None => {
@@ -1485,6 +1601,155 @@ mod tests {
             Some(1.0)
         );
         assert!(gauge("doctor.drift.stage1.service_rel_err").is_some());
+    }
+
+    #[test]
+    fn stage_deltas_collapse_module_factors_onto_tasks() {
+        use pipemap_chain::ModuleAssignment;
+        // [t0+t1][t2]: module 0's service factor covers both member
+        // tasks and the internal edge; module 1's transport factor lands
+        // on its incoming chain edge; module 0's transport factor has no
+        // incoming edge and is dropped.
+        let mapping = Mapping {
+            modules: vec![
+                ModuleAssignment {
+                    first: 0,
+                    last: 1,
+                    replicas: 1,
+                    procs: 2,
+                },
+                ModuleAssignment {
+                    first: 2,
+                    last: 2,
+                    replicas: 1,
+                    procs: 1,
+                },
+            ],
+        };
+        let d = stage_deltas(&mapping, 3, &[Some(1.5), None], &[Some(9.0), Some(2.0)]);
+        assert_eq!(d.exec(), &[1.5, 1.5, 1.0]);
+        assert_eq!(d.icom(), &[1.5, 1.0]);
+        assert_eq!(d.ecom(), &[1.0, 2.0]);
+        // No evidence anywhere → identity (the re-solver short-circuits).
+        let id = stage_deltas(&mapping, 3, &[None, None], &[None, None]);
+        assert!(id.is_identity());
+        // Garbage factors are evidence of nothing.
+        let id = stage_deltas(&mapping, 3, &[Some(f64::NAN), Some(0.0)], &[None, None]);
+        assert!(id.is_identity());
+    }
+
+    #[test]
+    fn model_deltas_feed_the_resolver_from_live_estimators() {
+        use pipemap_chain::{ChainBuilder, Edge, ModuleAssignment, Task};
+        use pipemap_model::{PolyEcom, PolyUnary};
+        use pipemap_profile::OnlineConfig;
+
+        let s0 = PolyUnary::new(0.0, 2.0, 0.0);
+        let s1 = PolyUnary::new(0.0, 1.0, 0.0);
+        let e0 = PolyEcom::new(0.01, 0.5, 0.5, 0.0, 0.0);
+        let mut model = OnlineModel::new(&[s0, s1], &[e0], OnlineConfig::default());
+        // Stage 0 runs 1.5× its static model; edge 0 transfers at 2×;
+        // stage 1 is never observed.
+        for _ in 0..200 {
+            model.observe_exec(0, 8, 1.5 * s0.eval(8));
+            model.observe_ecom(0, 8, 4, 2.0 * e0.eval(8, 4));
+        }
+        model.refit();
+
+        let mapping = Mapping {
+            modules: vec![
+                ModuleAssignment {
+                    first: 0,
+                    last: 0,
+                    replicas: 1,
+                    procs: 8,
+                },
+                ModuleAssignment {
+                    first: 1,
+                    last: 1,
+                    replicas: 1,
+                    procs: 4,
+                },
+            ],
+        };
+        let d = model_deltas(&model, &mapping, 2);
+        assert!(
+            (d.exec()[0] - 1.5).abs() < 0.2,
+            "exec factor {:?}",
+            d.exec()
+        );
+        assert_eq!(d.exec()[1], 1.0, "unobserved stage stays unchanged");
+        assert!(
+            (d.ecom()[0] - 2.0).abs() < 0.4,
+            "ecom factor {:?}",
+            d.ecom()
+        );
+
+        // The one-call helper prices the problem at static × factor.
+        let chain = ChainBuilder::new()
+            .task(Task::new("a", s0))
+            .edge(Edge::new(PolyUnary::new(0.0, 0.0, 0.0), e0))
+            .task(Task::new("b", s1))
+            .build();
+        let problem = Problem::new(chain, 12, 1e9);
+        let (repriced, deltas) = reprice_from_model(&problem, &mapping, &model);
+        let g = deltas.exec()[0];
+        for p in 1..=12 {
+            let want = g * problem.chain.task(0).exec.eval(p);
+            let got = repriced.chain.task(0).exec.eval(p);
+            assert_eq!(got.to_bits(), want.to_bits(), "exec @ {p}");
+            assert_eq!(
+                repriced.chain.task(1).exec.eval(p).to_bits(),
+                problem.chain.task(1).exec.eval(p).to_bits(),
+                "unobserved stage repriced @ {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn recommendation_carries_the_warm_start_factors() {
+        use pipemap_chain::ModuleAssignment;
+        let model = model2(40e-6, 20e-6);
+        let knife = spec2(1.05, 3.0);
+        let creep = synth(20, &[(0.0, 0.0, 44.0, 0.0), (0.0, 0.0, 20.0, 0.0)], 100.0);
+        let report = diagnose_with_margins(
+            &creep,
+            Some(&model),
+            Some(&knife),
+            &DoctorOptions::default(),
+        );
+        let rec = report.recommendation.as_ref().expect("margin crossed");
+        let g = rec.service_factors[0].expect("stage 0 has a prediction");
+        assert!((g - 1.1).abs() < 1e-9, "gamma {g}");
+        // The factors collapse to re-solver deltas for the live mapping.
+        let mapping = Mapping {
+            modules: vec![
+                ModuleAssignment {
+                    first: 0,
+                    last: 0,
+                    replicas: 1,
+                    procs: 1,
+                },
+                ModuleAssignment {
+                    first: 1,
+                    last: 1,
+                    replicas: 1,
+                    procs: 1,
+                },
+            ],
+        };
+        let d = rec.deltas(&mapping, 2);
+        assert!((d.exec()[0] - 1.1).abs() < 1e-9, "{:?}", d.exec());
+        // And they survive the JSON report for `pipemap resolve --doctor`.
+        let v = report_json(&report);
+        let parsed = Value::parse(&v.to_json()).unwrap();
+        let factors = parsed
+            .get("recommendation")
+            .and_then(|r| r.get("factors"))
+            .expect("factors object");
+        let service = factors.get("service").and_then(Value::as_array).unwrap();
+        assert_eq!(service.len(), 2);
+        assert!((service[0].as_f64().unwrap() - 1.1).abs() < 1e-9);
     }
 
     #[test]

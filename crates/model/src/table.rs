@@ -241,6 +241,35 @@ impl DenseCostTable {
         let n = self.max_p * self.max_p;
         &self.ecom[e * n..(e + 1) * n]
     }
+
+    /// Scale every tabulated execution cost of task `i` by `factor`,
+    /// in place. Produces bit-identical entries to rebuilding the table
+    /// from a cost function returning `f_exec_i(p) * factor` (one f64
+    /// multiply per entry, same operand order), which is what the
+    /// incremental re-solver's delta patching relies on.
+    pub fn scale_exec_row(&mut self, i: usize, factor: f64) {
+        for v in &mut self.exec[i * self.max_p..(i + 1) * self.max_p] {
+            *v *= factor;
+        }
+    }
+
+    /// Scale every tabulated internal-redistribution cost of edge `e` by
+    /// `factor`, in place. Same bit-identity contract as
+    /// [`Self::scale_exec_row`].
+    pub fn scale_icom_row(&mut self, e: usize, factor: f64) {
+        for v in &mut self.icom[e * self.max_p..(e + 1) * self.max_p] {
+            *v *= factor;
+        }
+    }
+
+    /// Scale the whole `ecom` slab of edge `e` by `factor`, in place. Same
+    /// bit-identity contract as [`Self::scale_exec_row`].
+    pub fn scale_ecom_slab(&mut self, e: usize, factor: f64) {
+        let n = self.max_p * self.max_p;
+        for v in &mut self.ecom[e * n..(e + 1) * n] {
+            *v *= factor;
+        }
+    }
 }
 
 /// Locate `p` in `axis`: returns `(index, weight)` such that the value lies
@@ -366,6 +395,51 @@ mod tests {
                     let expect = (e + 1) as f64 * (ps as f64 + 2.0 * pr as f64);
                     assert_eq!(t.ecom(e, ps, pr), expect);
                     assert_eq!(t.ecom_slab(e)[(ps - 1) * max_p + (pr - 1)], expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_rows_match_rebuilding_from_scaled_functions() {
+        let (k, max_p) = (3usize, 6usize);
+        let exec = |i: usize, p: usize| (i + 1) as f64 / (p as f64).sqrt() + 0.017;
+        let icom = |e: usize, p: usize| e as f64 + 0.13 * p as f64;
+        let ecom =
+            |e: usize, ps: usize, pr: usize| (e + 1) as f64 * (ps as f64).ln_1p() + 0.7 * pr as f64;
+        let mut patched = DenseCostTable::build(k, max_p, exec, icom, ecom);
+        let (gi, ge) = (1.37, 0.82);
+        patched.scale_exec_row(1, gi);
+        patched.scale_icom_row(0, gi);
+        patched.scale_ecom_slab(1, ge);
+        let cold = DenseCostTable::build(
+            k,
+            max_p,
+            |i, p| if i == 1 { exec(i, p) * gi } else { exec(i, p) },
+            |e, p| if e == 0 { icom(e, p) * gi } else { icom(e, p) },
+            |e, ps, pr| {
+                if e == 1 {
+                    ecom(e, ps, pr) * ge
+                } else {
+                    ecom(e, ps, pr)
+                }
+            },
+        );
+        for i in 0..k {
+            for p in 1..=max_p {
+                assert_eq!(patched.exec(i, p).to_bits(), cold.exec(i, p).to_bits());
+            }
+        }
+        for e in 0..k - 1 {
+            for p in 1..=max_p {
+                assert_eq!(patched.icom(e, p).to_bits(), cold.icom(e, p).to_bits());
+            }
+            for ps in 1..=max_p {
+                for pr in 1..=max_p {
+                    assert_eq!(
+                        patched.ecom(e, ps, pr).to_bits(),
+                        cold.ecom(e, ps, pr).to_bits()
+                    );
                 }
             }
         }

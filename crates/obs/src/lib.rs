@@ -82,6 +82,23 @@ pub mod names {
     /// `pipemap explain`.
     pub const SOLVER_MARGIN_MIN_UP: &str = "solver.margin.min_exec_up";
 
+    /// DP cells actually recomputed by the incremental re-solver
+    /// (`pipemap_core::ResolveArtifact::resolve`); a margin short-circuit
+    /// adds 0, a suffix re-solve adds only the invalidated stages' cells.
+    pub const SOLVER_RESOLVE_CELLS: &str = "solver.resolve.cells";
+    /// Mechanism of the last resolve (gauge): 0 = short-circuit (old
+    /// mapping provably still optimal), 1 = suffix re-solve.
+    pub const SOLVER_RESOLVE_MECHANISM: &str = "solver.resolve.mechanism";
+    /// Invalidation frontier of the last resolve (gauge): index of the
+    /// first stage whose DP cells had to be recomputed; `k` when nothing
+    /// was invalidated.
+    pub const SOLVER_RESOLVE_FRONTIER: &str = "solver.resolve.frontier";
+    /// Wall time of incremental re-solves (histogram, seconds).
+    pub const SOLVER_RESOLVE_WALL_S: &str = "solver.resolve.wall_s";
+    /// 1 when the last resolve changed the mapping, 0 when the old
+    /// mapping survived re-pricing (gauge).
+    pub const SOLVER_RESOLVE_CHANGED: &str = "solver.resolve.changed";
+
     /// Channel messages sent by the executor data plane (each carries a
     /// batch of 1..=B data sets).
     pub const EXEC_BATCH_MESSAGES: &str = "exec.batch.messages";

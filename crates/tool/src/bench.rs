@@ -23,7 +23,8 @@ use pipemap_apps::{radar, synthetic_chain, ChainFlavor, RadarConfig};
 use pipemap_chain::Problem;
 use pipemap_core::{
     cluster_heuristic, dp_assignment, dp_assignment_with, dp_mapping, dp_mapping_provenance,
-    dp_mapping_with, GreedyOptions, Solution, SolveOptions,
+    dp_mapping_with, reprice_problem, CostDeltas, GreedyOptions, ResolveArtifact, ResolveMechanism,
+    Solution, SolveOptions,
 };
 use pipemap_exec::kernels::{fft_cols, fft_rows, histogram, Complex, Matrix};
 use pipemap_exec::{run_pipeline, PipelinePlan, Stage, StagePlan};
@@ -290,6 +291,161 @@ fn bench_scaled_dp(metrics: &mut Value, opts: &BenchOptions) {
             Direction::Higher,
             0.05,
         ),
+    );
+}
+
+/// Incremental re-solve vs. cold re-solve after single-stage cost drift.
+///
+/// Two suites, both against retained artifacts built once (untimed — the
+/// artifact is the state the serving loop already holds):
+///
+/// **Headline (`median_x`):** the assignment DP at P = 128 (quick: 32)
+/// with replication, one small in-margin exec drift per stage. Every
+/// drift sits strictly inside its exact stability interval, so the
+/// margin short-circuit answers from the retained margins alone — zero
+/// DP cells against a full cold re-solve. Throughput bit-identity with
+/// the cold solve is asserted per stage (the margin certificate is
+/// value-level: the cold argmax may return a value-tied alternate
+/// mapping, which the bitwise throughput equality certifies). The
+/// reported speedup is the median over the per-stage suite, and full
+/// mode enforces the ≥ 10x floor outright.
+///
+/// **Suffix (`suffix_median_x`):** the cluster DP on the same geometry
+/// with 1.25x drifts — far outside any margin, so every re-solve takes
+/// the suffix path. Full bit-identity (throughput *and* mapping) of
+/// every pair is asserted, so the speedup can never be bought with a
+/// wrong answer. Early-stage drifts invalidate almost the whole table
+/// (warm incumbent only), late-stage drifts almost none of it; the
+/// median summarises both.
+fn bench_resolve_speedup(metrics: &mut Value, opts: &BenchOptions) {
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let prefix = "solver.resolve_speedup";
+    let solve = SolveOptions::default();
+
+    // Headline suite: margin short-circuit at P = 128 (quick: 32).
+    let (rows, cols, k) = if opts.quick { (4, 8, 6) } else { (8, 16, 8) };
+    let machine = MachineConfig::iwarp_message().with_geometry(rows, cols);
+    let chain = synthetic_chain(ChainFlavor::Alternating, k);
+    let problem = pipemap_machine::synthesize_problem(&chain, &machine);
+    let artifact = ResolveArtifact::build_assignment(&problem, &solve).expect("artifact builds");
+    let margins = artifact
+        .margins()
+        .expect("margins tractable with replication at this size")
+        .clone();
+
+    let mut speedups = Vec::with_capacity(k);
+    let mut sc_cells = 0u64;
+    let mut sc_wall = f64::INFINITY;
+    let mut short_circuits = 0usize;
+    for stage in 0..k {
+        // A small drift strictly inside the stage's stability interval:
+        // halfway to the upward crossing, capped at 2%, falling back to
+        // the downward side when the interval admits no upward drift.
+        let s = &margins.stages[stage];
+        let g = if s.exec_up > 1.0 {
+            let room = if s.exec_up.is_finite() {
+                (s.exec_up - 1.0) / 2.0
+            } else {
+                f64::INFINITY
+            };
+            1.0 + room.min(0.02)
+        } else if s.exec_down < 1.0 && s.exec_down >= 0.0 {
+            1.0 - ((1.0 - s.exec_down) / 2.0).min(0.02)
+        } else {
+            continue; // empty interval: nothing to short-circuit
+        };
+        let mut d = CostDeltas::identity(k);
+        d.set_exec(stage, g);
+        let (warm_wall, out) = time_best(1, || artifact.resolve(&d).expect("resolve"));
+        let repriced = reprice_problem(&problem, &d);
+        let (cold_wall, (cold, _)) = time_best(1, || {
+            dp_assignment_with(&repriced, &solve).expect("cold re-solve")
+        });
+        assert_eq!(
+            out.solution.throughput.to_bits(),
+            cold.throughput.to_bits(),
+            "incremental re-solve diverged from the cold solve at stage {stage} (g = {g})"
+        );
+        // Mapping bit-identity holds except when a short-circuit meets a
+        // value-tied alternate optimum (certified by the throughput
+        // assert above).
+        if out.mechanism != ResolveMechanism::ShortCircuit {
+            assert_eq!(out.solution.mapping, cold.mapping);
+        } else {
+            short_circuits += 1;
+            sc_cells = sc_cells.max(out.cells);
+            sc_wall = sc_wall.min(warm_wall);
+        }
+        speedups.push(cold_wall / warm_wall.max(1e-9));
+    }
+    assert!(
+        speedups.len() > k / 2,
+        "margin intervals admitted too few in-margin drifts ({} of {k})",
+        speedups.len()
+    );
+    assert!(
+        short_circuits > speedups.len() / 2,
+        "most in-margin drifts must short-circuit ({short_circuits} of {})",
+        speedups.len()
+    );
+    let median_x = median(&mut speedups);
+    if !opts.quick {
+        // The acceptance floor for the P = 128 single-stage-drift suite.
+        assert!(
+            median_x >= 10.0,
+            "median resolve speedup {median_x:.1}x below the 10x floor"
+        );
+    }
+    metrics.set(
+        format!("{prefix}.median_x"),
+        metric(median_x, "x", Direction::Higher, 5.0),
+    );
+    metrics.set(
+        format!("{prefix}.shortcircuit_cells"),
+        metric(sc_cells as f64, "cells", Direction::Lower, 0.0),
+    );
+    metrics.set(
+        format!("{prefix}.shortcircuit_wall_s"),
+        metric(sc_wall, "s", Direction::Lower, 0.001),
+    );
+
+    // Suffix suite: cluster DP, drifts far outside any margin.
+    let artifact = ResolveArtifact::build(&problem, &solve).expect("artifact builds");
+    let mut speedups = Vec::with_capacity(k);
+    let mut resolve_walls = Vec::with_capacity(k);
+    let mut cold_walls = Vec::with_capacity(k);
+    for stage in 0..k {
+        let mut d = CostDeltas::identity(k);
+        d.set_exec(stage, 1.25);
+        let (warm_wall, out) = time_best(1, || artifact.resolve(&d).expect("resolve"));
+        let repriced = reprice_problem(&problem, &d);
+        let (cold_wall, cold) = time_best(1, || {
+            dp_mapping_with(&repriced, &solve).expect("cold re-solve")
+        });
+        assert_eq!(
+            out.solution.throughput.to_bits(),
+            cold.throughput.to_bits(),
+            "incremental re-solve diverged from the cold solve at stage {stage}"
+        );
+        assert_eq!(out.solution.mapping, cold.mapping);
+        speedups.push(cold_wall / warm_wall.max(1e-9));
+        resolve_walls.push(warm_wall);
+        cold_walls.push(cold_wall);
+    }
+    metrics.set(
+        format!("{prefix}.suffix_median_x"),
+        metric(median(&mut speedups), "x", Direction::Higher, 2.0),
+    );
+    metrics.set(
+        format!("{prefix}.wall_s"),
+        metric(median(&mut resolve_walls), "s", Direction::Lower, 0.01),
+    );
+    metrics.set(
+        format!("{prefix}.cold_wall_s"),
+        metric(median(&mut cold_walls), "s", Direction::Lower, 0.05),
     );
 }
 
@@ -801,6 +957,7 @@ pub fn run_bench_suite(opts: &BenchOptions) -> Value {
     bench_solvers(&mut metrics, "radar", &radar_problem, iters);
 
     bench_scaled_dp(&mut metrics, opts);
+    bench_resolve_speedup(&mut metrics, opts);
     bench_provenance_overhead(&mut metrics, opts);
     bench_end_to_end(&mut metrics, opts);
     bench_executor(&mut metrics, opts);

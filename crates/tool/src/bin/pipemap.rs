@@ -59,6 +59,9 @@ USAGE:
                    [--threshold <frac>] [--min-samples <n>]
                    [--spec <file> --mapping <m>] [--trace-out <file>]
                    [--serve <addr>] [--hold <secs>] [--recorder-out <file>]
+    pipemap resolve <spec-file> [--assignment]
+                    [--drift <exec|icom|ecom>:<idx>=<factor>]...
+                    [--doctor <report.json>] [--report json]
     pipemap top [--attach <addr>] [--once] [--interval <secs|Nms>]
                 [--duration <secs|Nms>]
     pipemap fit <fft-hist-256|fft-hist-512|radar|stereo> [--systolic]
@@ -131,6 +134,24 @@ COMMANDS:
               flip the mapping, flagged the moment it can;
               --trace-out writes the journeys as a Chrome trace with flow
               arrows stitching each data set across stages
+    resolve   incremental warm-start re-solve: build the retained solver
+              artifact (dense cost table, DP value tables, optimal
+              mapping, exact stability margins) from the spec, apply a
+              cost-drift vector, and re-solve only what the drift
+              invalidated — throughput bit-identical to a cold solve of
+              the re-priced problem, verified on every run (a margin
+              short-circuit may keep the old mapping when the cold argmax
+              ties it at the same value). Drift comes from
+              repeated --drift factors (task index for exec, edge index
+              for icom/ecom), or from --doctor <report.json>: the fitted
+              per-module service/transport factors a 'doctor --report
+              json' run recommends are collapsed onto the artifact's own
+              mapping (explicit --drift factors override on top).
+              Reports old vs new mapping, the mechanism fired
+              (short-circuit vs suffix), DP cells recomputed, the
+              invalidation frontier, and the wall-clock speedup over the
+              verification cold solve; --assignment uses the per-task
+              assignment DP instead of the clustering DP
     top       live terminal dashboard: per-stage throughput/utilization
               sparklines, the online-fitted cost model with residuals,
               and a scrolling event feed. --attach scrapes a --serve
@@ -187,6 +208,7 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
         Some("doctor") => cmd_doctor(&args[1..]),
+        Some("resolve") => cmd_resolve(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("fit") => cmd_fit(&args[1..]),
         Some("template") => {
@@ -532,6 +554,163 @@ fn cmd_explain(args: &[String]) -> ExitCode {
         print!("{}", render_explanation(&problem, &ex));
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_resolve(args: &[String]) -> ExitCode {
+    use pipemap_core::{CostDeltas, ResolveArtifact, SolveOptions};
+    use pipemap_tool::{doctor_factors, parse_drift, render_resolve, resolve_report_json};
+    let mut file: Option<String> = None;
+    let mut assignment = false;
+    let mut drift_specs: Vec<String> = Vec::new();
+    let mut doctor_file: Option<String> = None;
+    let mut report_fmt: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--assignment" => assignment = true,
+            "--drift" => match it.next() {
+                Some(v) => drift_specs.push(v.clone()),
+                None => {
+                    eprintln!("--drift needs a spec like exec:1=1.5");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--doctor" => match it.next() {
+                Some(v) => doctor_file = Some(v.clone()),
+                None => {
+                    eprintln!("--doctor needs a report file (from 'doctor --report json')");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--report" => match it.next() {
+                Some(v) => report_fmt = Some(v.clone()),
+                None => {
+                    eprintln!("--report needs a format (json)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("resolve needs a spec file\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let json = match report_fmt.as_deref() {
+        None => false,
+        Some("json") => true,
+        Some(other) => {
+            eprintln!("unsupported report format '{other}' (only 'json')");
+            return ExitCode::FAILURE;
+        }
+    };
+    if drift_specs.is_empty() && doctor_file.is_none() {
+        eprintln!("resolve needs a drift source: --drift factors and/or --doctor <report.json>");
+        return ExitCode::FAILURE;
+    }
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let problem = match parse_spec(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{file}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // solver.resolve.* counters and gauges land in the global registry.
+    pipemap_obs::install_global(pipemap_obs::Registry::new());
+    let artifact = match if assignment {
+        ResolveArtifact::build_assignment(&problem, &SolveOptions::default())
+    } else {
+        ResolveArtifact::build(&problem, &SolveOptions::default())
+    } {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cold solve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Doctor factors first (per-module, collapsed onto the artifact's
+    // own mapping), then explicit --drift factors override on top.
+    let k = problem.num_tasks();
+    let mut deltas = CostDeltas::identity(k);
+    if let Some(path) = &doctor_file {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(t) => match pipemap_obs::Value::parse(&t) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("cannot parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (service, transport) = match doctor_factors(&doc) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        deltas =
+            pipemap_doctor::stage_deltas(&artifact.solution().mapping, k, &service, &transport);
+    }
+    match parse_drift(k, &drift_specs) {
+        Ok(explicit) => {
+            for (i, &g) in explicit.exec().iter().enumerate() {
+                if g != 1.0 {
+                    deltas.set_exec(i, g);
+                }
+            }
+            for (e, &g) in explicit.icom().iter().enumerate() {
+                if g != 1.0 {
+                    deltas.set_icom(e, g);
+                }
+            }
+            for (e, &g) in explicit.ecom().iter().enumerate() {
+                if g != 1.0 {
+                    deltas.set_ecom(e, g);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let run = match pipemap_tool::run_resolve_on(&artifact, &deltas) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("resolve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!(
+            "{}",
+            resolve_report_json(&problem, &run, &deltas).to_json_pretty()
+        );
+    } else {
+        print!("{}", render_resolve(&problem, &run));
+    }
+    if run.verified {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("resolve result does not match the cold solve — this is a bug");
+        ExitCode::FAILURE
+    }
 }
 
 /// Install the global registry and start the flight recorder and metrics

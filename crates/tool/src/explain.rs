@@ -19,9 +19,9 @@
 
 use pipemap_chain::Problem;
 use pipemap_core::{
-    dp_assignment_provenance, dp_assignment_pruned_stats, dp_mapping_provenance,
-    dp_mapping_pruned_stats, stability_margins, MarginReport, Provenance, Solution, SolveError,
-    SolveOptions, StageCells,
+    dp_assignment_provenance_on, dp_assignment_pruned_stats_on, dp_mapping_provenance_ctx,
+    dp_mapping_pruned_stats_ctx, stability_margins, MarginReport, Provenance, Solution, SolveCtx,
+    SolveError, SolveOptions, StageCells,
 };
 use pipemap_obs::Value;
 
@@ -120,17 +120,21 @@ fn marginal_gains(margins: &MarginReport) -> Vec<f64> {
 /// recorder.
 pub fn explain(problem: &Problem, opts: &ExplainOptions) -> Result<Explanation, SolveError> {
     let solve = SolveOptions::default();
+    // One context for both solves: the cost table is evaluated once and
+    // the cluster DP's suffix bounds are computed once and shared between
+    // the provenance (unpruned) and heatmap (pruned) runs.
+    let ctx = SolveCtx::new(problem);
     let (algorithm, solution, provenance) = if opts.cluster {
-        let (s, p) = dp_mapping_provenance(problem, &solve)?;
+        let (s, p) = dp_mapping_provenance_ctx(problem, &ctx, &solve)?;
         ("dp_mapping", s, p)
     } else {
-        let (s, _, p) = dp_assignment_provenance(problem, &solve)?;
+        let (s, _, p) = dp_assignment_provenance_on(problem, ctx.table(), &solve)?;
         ("dp_assignment", s, p)
     };
     let pruned_cells = if opts.cluster {
-        dp_mapping_pruned_stats(problem, &solve)?
+        dp_mapping_pruned_stats_ctx(problem, &ctx, &solve)?
     } else {
-        dp_assignment_pruned_stats(problem, &solve)?
+        dp_assignment_pruned_stats_on(problem, ctx.table(), &solve)?
     };
     let margins = stability_margins(problem, &solution.mapping)?;
     let rec = pipemap_obs::global();

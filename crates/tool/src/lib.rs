@@ -27,6 +27,7 @@ pub mod markdown;
 pub mod observatory;
 pub mod render;
 pub mod report;
+pub mod resolve;
 pub mod sensitivity;
 pub mod spec;
 pub mod top;
@@ -52,6 +53,10 @@ pub use observatory::{
 pub use render::{render_mapping, render_placement, render_report};
 pub use report::{
     demo_report_json, map_report_json, mapping_json, simulate_report_json, stage_metrics_json,
+};
+pub use resolve::{
+    doctor_factors, parse_drift, render_resolve, resolve_report_json, run_resolve, run_resolve_on,
+    ResolveRun, RESOLVE_SCHEMA,
 };
 pub use sensitivity::{perturb_problem, robustness, Robustness};
 pub use spec::{parse_mapping, parse_spec, render_spec, SpecError};

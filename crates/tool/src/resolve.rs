@@ -1,0 +1,366 @@
+//! The `pipemap resolve` command: incremental warm-start re-solving.
+//!
+//! Builds a retained cold-solve artifact from a spec, applies a drift
+//! vector (explicit `--drift` factors or the fitted factors a doctor
+//! report carries), re-solves incrementally, and *always* verifies the
+//! result against a cold solve of the re-priced problem — the command
+//! exists to demonstrate the bit-identity contract, so it measures it on
+//! every run and reports the wall-clock speedup alongside.
+
+use std::time::Instant;
+
+use pipemap_chain::Problem;
+use pipemap_core::{
+    dp_assignment_with, dp_mapping_with, reprice_problem, CostDeltas, ResolveArtifact,
+    ResolveMechanism, ResolveOutcome, Solution, SolveError, SolveOptions,
+};
+use pipemap_obs::Value;
+
+use crate::render::render_mapping;
+use crate::report::mapping_json;
+
+/// Schema tag for `pipemap resolve --report json`.
+pub const RESOLVE_SCHEMA: &str = "pipemap-resolve/v1";
+
+/// One end-to-end resolve run: the retained artifact's old optimum, the
+/// incremental outcome, and the cold re-solve it was verified against.
+pub struct ResolveRun {
+    /// `"dp_mapping"` (cluster artifact) or `"dp_assignment"`.
+    pub algorithm: &'static str,
+    /// The artifact's optimum, priced on the *original* costs.
+    pub old: Solution,
+    /// The incremental re-solve result on the re-priced costs.
+    pub outcome: ResolveOutcome,
+    /// The cold solve of the re-priced problem (ground truth).
+    pub cold: Solution,
+    /// The re-priced problem itself (for rendering the new mapping).
+    pub repriced: Problem,
+    /// Wall time of the incremental re-solve alone (artifact excluded —
+    /// it is the retained state the serving loop already holds).
+    pub resolve_wall_s: f64,
+    /// Wall time of the verification cold solve.
+    pub cold_wall_s: f64,
+    /// True when the incremental result matches the engine's contract
+    /// against the cold solve: throughput bits always equal, and the
+    /// mapping equal too except on a margin short-circuit, where the
+    /// (provably still optimal) old mapping may be a value-tied alternate
+    /// of the cold argmax. `false` is a bug.
+    pub verified: bool,
+    /// True when the incremental mapping equals the cold argmax exactly.
+    /// Always true when verified on the suffix path; on a short-circuit
+    /// it is false precisely when the re-priced problem has value-tied
+    /// optima and the cold solve picked a different one.
+    pub mapping_match: bool,
+}
+
+impl ResolveRun {
+    /// Cold wall time over incremental wall time.
+    pub fn speedup(&self) -> f64 {
+        self.cold_wall_s / self.resolve_wall_s.max(1e-9)
+    }
+}
+
+/// Build the artifact cold, re-solve against `deltas`, then cold-solve
+/// the re-priced problem and check bit-identity.
+pub fn run_resolve(
+    problem: &Problem,
+    deltas: &CostDeltas,
+    assignment: bool,
+    opts: &SolveOptions,
+) -> Result<ResolveRun, SolveError> {
+    let artifact = if assignment {
+        ResolveArtifact::build_assignment(problem, opts)?
+    } else {
+        ResolveArtifact::build(problem, opts)?
+    };
+    run_resolve_on(&artifact, deltas)
+}
+
+/// Re-solve an already-built artifact against `deltas`, then cold-solve
+/// the re-priced problem and check bit-identity. Only the incremental
+/// re-solve is timed against the cold solve — the artifact is the
+/// retained state the serving loop already holds.
+pub fn run_resolve_on(
+    artifact: &ResolveArtifact,
+    deltas: &CostDeltas,
+) -> Result<ResolveRun, SolveError> {
+    let cluster = artifact.is_cluster();
+    let opts = *artifact.options();
+    let t0 = Instant::now();
+    let outcome = artifact.resolve(deltas)?;
+    let resolve_wall_s = t0.elapsed().as_secs_f64();
+
+    let repriced = reprice_problem(artifact.problem(), deltas);
+    let t1 = Instant::now();
+    let cold = if cluster {
+        dp_mapping_with(&repriced, &opts)?
+    } else {
+        dp_assignment_with(&repriced, &opts)?.0
+    };
+    let cold_wall_s = t1.elapsed().as_secs_f64();
+
+    let thr_match = outcome.solution.throughput.to_bits() == cold.throughput.to_bits();
+    let mapping_match = outcome.solution.mapping == cold.mapping;
+    // The suffix path reproduces the cold argmax exactly; a margin
+    // short-circuit proves the old mapping still optimal but may differ
+    // from the cold argmax when value-tied optima exist — the bitwise
+    // throughput equality is the tie's certificate.
+    let verified =
+        thr_match && (mapping_match || outcome.mechanism == ResolveMechanism::ShortCircuit);
+    Ok(ResolveRun {
+        algorithm: if cluster {
+            "dp_mapping"
+        } else {
+            "dp_assignment"
+        },
+        old: artifact.solution().clone(),
+        outcome,
+        cold,
+        repriced,
+        resolve_wall_s,
+        cold_wall_s,
+        verified,
+        mapping_match,
+    })
+}
+
+/// Parse repeated `--drift` specs (`exec:IDX=FACTOR`, `icom:IDX=FACTOR`,
+/// `ecom:IDX=FACTOR`) into a delta vector for a `k`-task chain. Indices
+/// are task indices for `exec` and edge indices for `icom`/`ecom`.
+pub fn parse_drift(k: usize, specs: &[String]) -> Result<CostDeltas, String> {
+    let mut deltas = CostDeltas::identity(k);
+    for spec in specs {
+        apply_drift_spec(&mut deltas, k, spec)?;
+    }
+    Ok(deltas)
+}
+
+fn apply_drift_spec(deltas: &mut CostDeltas, k: usize, spec: &str) -> Result<(), String> {
+    let bad = || format!("drift spec '{spec}' must look like exec:IDX=FACTOR");
+    let (kind, rest) = spec.split_once(':').ok_or_else(bad)?;
+    let (idx, factor) = rest.split_once('=').ok_or_else(bad)?;
+    let idx: usize = idx
+        .trim()
+        .parse()
+        .map_err(|_| format!("drift spec '{spec}': bad index '{idx}'"))?;
+    let g: f64 = factor
+        .trim()
+        .parse()
+        .map_err(|_| format!("drift spec '{spec}': bad factor '{factor}'"))?;
+    if !(g.is_finite() && g > 0.0) {
+        return Err(format!(
+            "drift spec '{spec}': factor must be finite and positive"
+        ));
+    }
+    let edges = k.saturating_sub(1);
+    match kind {
+        "exec" => {
+            if idx >= k {
+                return Err(format!(
+                    "drift spec '{spec}': task index {idx} out of range (chain has {k} tasks)"
+                ));
+            }
+            deltas.set_exec(idx, g);
+        }
+        "icom" => {
+            if idx >= edges {
+                return Err(format!(
+                    "drift spec '{spec}': edge index {idx} out of range (chain has {edges} edges)"
+                ));
+            }
+            deltas.set_icom(idx, g);
+        }
+        "ecom" => {
+            if idx >= edges {
+                return Err(format!(
+                    "drift spec '{spec}': edge index {idx} out of range (chain has {edges} edges)"
+                ));
+            }
+            deltas.set_ecom(idx, g);
+        }
+        other => {
+            return Err(format!(
+                "drift spec '{spec}': unknown kind '{other}' (want exec, icom or ecom)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Per-module `(service, transport)` warm-start factor vectors, `None`
+/// meaning "no evidence".
+pub type DoctorFactors = (Vec<Option<f64>>, Vec<Option<f64>>);
+
+/// Extract the warm-start factor vectors (`recommendation.factors` from a
+/// `pipemap doctor --report json` document): per-module service and
+/// transport factors, `null` meaning "no evidence".
+pub fn doctor_factors(report: &Value) -> Result<DoctorFactors, String> {
+    let rec = report.get("recommendation").ok_or_else(|| {
+        "doctor report carries no recommendation (give the doctor --spec and --mapping)".to_string()
+    })?;
+    let factors = rec
+        .get("factors")
+        .ok_or_else(|| "doctor recommendation carries no factors object".to_string())?;
+    let pull = |name: &str| -> Result<Vec<Option<f64>>, String> {
+        let arr = factors
+            .get(name)
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| format!("doctor factors object has no '{name}' array"))?;
+        Ok(arr.iter().map(|v| v.as_f64()).collect())
+    };
+    Ok((pull("service")?, pull("transport")?))
+}
+
+fn mechanism_str(m: ResolveMechanism) -> &'static str {
+    match m {
+        ResolveMechanism::ShortCircuit => "short-circuit",
+        ResolveMechanism::Suffix => "suffix",
+    }
+}
+
+/// JSON report of a resolve run.
+pub fn resolve_report_json(problem: &Problem, run: &ResolveRun, deltas: &CostDeltas) -> Value {
+    let farr = |fs: &[f64]| Value::Array(fs.iter().map(|&g| Value::Number(g)).collect());
+    let mut d = Value::object();
+    d.set("exec", farr(deltas.exec()));
+    d.set("icom", farr(deltas.icom()));
+    d.set("ecom", farr(deltas.ecom()));
+
+    let mut old = Value::object();
+    old.set("throughput", run.old.throughput);
+    old.set("mapping", mapping_json(problem, &run.old.mapping));
+
+    let mut new = Value::object();
+    new.set("throughput", run.outcome.solution.throughput);
+    new.set(
+        "mapping",
+        mapping_json(&run.repriced, &run.outcome.solution.mapping),
+    );
+
+    let mut o = Value::object();
+    o.set("schema", RESOLVE_SCHEMA);
+    o.set("algorithm", run.algorithm);
+    o.set("deltas", d);
+    o.set("mechanism", mechanism_str(run.outcome.mechanism));
+    o.set("frontier", run.outcome.frontier);
+    o.set("cells", run.outcome.cells);
+    o.set("changed", run.outcome.changed);
+    o.set("old", old);
+    o.set("new", new);
+    o.set("cold_throughput", run.cold.throughput);
+    o.set("resolve_wall_s", run.resolve_wall_s);
+    o.set("cold_wall_s", run.cold_wall_s);
+    o.set("speedup", run.speedup());
+    o.set("verify_match", run.verified);
+    o.set("mapping_match", run.mapping_match);
+    o
+}
+
+/// Human-readable report of a resolve run.
+pub fn render_resolve(problem: &Problem, run: &ResolveRun) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("algorithm      {}\n", run.algorithm));
+    s.push_str(&format!(
+        "old optimum    {:.6}  {}\n",
+        run.old.throughput,
+        render_mapping(problem, &run.old.mapping)
+    ));
+    s.push_str(&format!(
+        "new optimum    {:.6}  {}\n",
+        run.outcome.solution.throughput,
+        render_mapping(&run.repriced, &run.outcome.solution.mapping)
+    ));
+    s.push_str(&format!(
+        "mechanism      {} (frontier {}, {} cells, mapping {})\n",
+        mechanism_str(run.outcome.mechanism),
+        run.outcome.frontier,
+        run.outcome.cells,
+        if run.outcome.changed {
+            "changed"
+        } else {
+            "unchanged"
+        },
+    ));
+    s.push_str(&format!(
+        "wall           resolve {:.3} ms vs cold {:.3} ms  ({:.1}x)\n",
+        run.resolve_wall_s * 1e3,
+        run.cold_wall_s * 1e3,
+        run.speedup()
+    ));
+    s.push_str(&format!(
+        "verify         {}\n",
+        if run.verified && run.mapping_match {
+            "bit-identical to cold solve"
+        } else if run.verified {
+            "throughput bit-identical; cold argmax picked a value-tied alternate optimum"
+        } else {
+            "MISMATCH against cold solve (bug!)"
+        }
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_chain::{ChainBuilder, Edge, Task};
+    use pipemap_model::{PolyEcom, PolyUnary};
+
+    fn problem() -> Problem {
+        let chain = ChainBuilder::new()
+            .task(Task::new("a", PolyUnary::new(0.1, 6.0, 0.02)))
+            .edge(Edge::new(
+                PolyUnary::new(0.05, 0.0, 0.0),
+                PolyEcom::new(0.2, 1.0, 1.0, 0.05, 0.05),
+            ))
+            .task(Task::new("b", PolyUnary::new(0.0, 10.0, 0.01)))
+            .edge(Edge::new(
+                PolyUnary::zero(),
+                PolyEcom::new(0.1, 0.5, 0.5, 0.02, 0.02),
+            ))
+            .task(Task::new("c", PolyUnary::perfectly_parallel(3.0)))
+            .build();
+        Problem::new(chain, 20, 1e9)
+    }
+
+    #[test]
+    fn drift_specs_parse_and_validate() {
+        let d = parse_drift(3, &["exec:1=1.5".into(), "ecom:0=0.5".into()]).unwrap();
+        assert_eq!(d.exec(), &[1.0, 1.5, 1.0]);
+        assert_eq!(d.ecom(), &[0.5, 1.0]);
+        assert!(parse_drift(3, &["exec:3=1.5".into()]).is_err());
+        assert!(parse_drift(3, &["icom:2=1.5".into()]).is_err());
+        assert!(parse_drift(3, &["exec:0=-1".into()]).is_err());
+        assert!(parse_drift(3, &["exec:0".into()]).is_err());
+        assert!(parse_drift(3, &["warp:0=2".into()]).is_err());
+    }
+
+    #[test]
+    fn run_resolve_verifies_against_cold_solve() {
+        let p = problem();
+        let deltas = parse_drift(3, &["exec:1=1.8".into()]).unwrap();
+        let run = run_resolve(&p, &deltas, false, &SolveOptions::default()).unwrap();
+        assert!(run.verified, "incremental result must be bit-identical");
+        assert_eq!(run.algorithm, "dp_mapping");
+        let json = resolve_report_json(&p, &run, &deltas);
+        assert_eq!(
+            json.get("schema").unwrap().as_str().unwrap(),
+            RESOLVE_SCHEMA
+        );
+        assert_eq!(json.get("verify_match").unwrap().as_bool(), Some(true));
+        let text = render_resolve(&p, &run);
+        assert!(text.contains("bit-identical"));
+    }
+
+    #[test]
+    fn doctor_factors_round_trip() {
+        let doc = Value::parse(
+            r#"{"recommendation":{"factors":{"service":[1.5,null],"transport":[null,2.0]}}}"#,
+        )
+        .unwrap();
+        let (service, transport) = doctor_factors(&doc).unwrap();
+        assert_eq!(service, vec![Some(1.5), None]);
+        assert_eq!(transport, vec![None, Some(2.0)]);
+        assert!(doctor_factors(&Value::object()).is_err());
+    }
+}

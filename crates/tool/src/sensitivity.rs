@@ -11,9 +11,8 @@
 //! across trials means the mapping decision is insensitive to model
 //! error of that magnitude.
 
-use pipemap_chain::{throughput, ChainBuilder, Edge, Mapping, Problem, Task};
-use pipemap_core::{cluster_heuristic, GreedyOptions, SolveError};
-use pipemap_model::{BinaryCost, UnaryCost};
+use pipemap_chain::{throughput, Mapping, Problem};
+use pipemap_core::{cluster_heuristic, reprice_problem, CostDeltas, GreedyOptions, SolveError};
 use pipemap_sim::{NoiseModel, Summary};
 
 /// Result of a robustness study.
@@ -29,45 +28,23 @@ pub struct Robustness {
     pub trials: usize,
 }
 
-/// Scale a unary cost by a constant factor.
-fn scale_unary(c: &UnaryCost, factor: f64) -> UnaryCost {
-    let base = c.clone();
-    UnaryCost::custom(move |p| base.eval(p) * factor)
-}
-
-/// Scale a binary cost by a constant factor.
-fn scale_binary(c: &BinaryCost, factor: f64) -> BinaryCost {
-    let base = c.clone();
-    BinaryCost::custom(move |s, r| base.eval(s, r) * factor)
-}
-
 /// Build a perturbed copy of the problem: every cost function scaled by
-/// an independent factor drawn from `noise`.
+/// an independent factor drawn from `noise`. The scaling goes through
+/// the re-solver's [`CostDeltas`]/[`reprice_problem`] path, so a trial's
+/// perturbation is exactly a drift vector the incremental solver could
+/// re-plan against. Noise factors are drawn in chain order: task `i`'s
+/// execution, then edge `i`'s redistribution and transfer.
 pub fn perturb_problem(problem: &Problem, noise: &mut NoiseModel) -> Problem {
-    let chain = &problem.chain;
-    let mut b = ChainBuilder::new();
-    for i in 0..chain.len() {
-        let src = chain.task(i);
-        let mut t = Task::new(src.name.clone(), scale_unary(&src.exec, noise.factor()))
-            .with_memory(src.memory);
-        if !src.replicable {
-            t = t.not_replicable();
-        }
-        if let Some(m) = src.min_procs {
-            t = t.with_min_procs(m);
-        }
-        b = b.task(t);
-        if i + 1 < chain.len() {
-            let e = chain.edge(i);
-            b = b.edge(Edge::new(
-                scale_unary(&e.icom, noise.factor()),
-                scale_binary(&e.ecom, noise.factor()),
-            ));
+    let k = problem.num_tasks();
+    let mut deltas = CostDeltas::identity(k);
+    for i in 0..k {
+        deltas.set_exec(i, noise.factor());
+        if i + 1 < k {
+            deltas.set_icom(i, noise.factor());
+            deltas.set_ecom(i, noise.factor());
         }
     }
-    let mut p = Problem::new(b.build(), problem.total_procs, problem.mem_per_proc);
-    p.replication = problem.replication;
-    p
+    reprice_problem(problem, &deltas)
 }
 
 /// Measure the regret of `mapping` under `trials` independent model
@@ -108,6 +85,7 @@ pub fn robustness(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipemap_chain::{ChainBuilder, Edge, Task};
     use pipemap_core::dp_mapping;
     use pipemap_model::{PolyEcom, PolyUnary};
 
