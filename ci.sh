@@ -53,7 +53,7 @@ echo "== doctor smoke: traced load run diagnosed drift-free =="
 # is also checked for structural well-formedness.
 JOURNEY_SMOKE_OUT=$(mktemp /tmp/pipemap-journeys.XXXXXX.jsonl)
 DOCTOR_SMOKE_OUT=$(mktemp /tmp/pipemap-doctor.XXXXXX.json)
-trap 'rm -f "$JOURNEY_SMOKE_OUT" "$DOCTOR_SMOKE_OUT" "${BENCH_SMOKE_OUT:-}" "${LIVE_SMOKE_LOG:-}" "${EXPLAIN_SMOKE_SPEC:-}" "${EXPLAIN_SMOKE_OUT:-}" "${EXPLAIN_SMOKE_JOURNEYS:-}" "${RESOLVE_SMOKE_SPEC:-}" "${RESOLVE_SMOKE_JOURNEYS:-}" "${RESOLVE_SMOKE_DOCTOR:-}" "${RESOLVE_SMOKE_OUT:-}"; kill "${LIVE_SMOKE_PID:-}" 2>/dev/null || true' EXIT
+trap 'rm -f "$JOURNEY_SMOKE_OUT" "$DOCTOR_SMOKE_OUT" "${UDS_SMOKE_CAL:-}" "${UDS_SMOKE_REPORT:-}" "${UDS_SMOKE_JOURNEYS:-}" "${UDS_SMOKE_DOCTOR:-}" "${BENCH_SMOKE_OUT:-}" "${LIVE_SMOKE_LOG:-}" "${EXPLAIN_SMOKE_SPEC:-}" "${EXPLAIN_SMOKE_OUT:-}" "${EXPLAIN_SMOKE_JOURNEYS:-}" "${RESOLVE_SMOKE_SPEC:-}" "${RESOLVE_SMOKE_JOURNEYS:-}" "${RESOLVE_SMOKE_DOCTOR:-}" "${RESOLVE_SMOKE_OUT:-}"; kill "${LIVE_SMOKE_PID:-}" 2>/dev/null || true' EXIT
 ./target/release/pipemap load fft-hist --duration 2s --size 64 \
     --journey-out "$JOURNEY_SMOKE_OUT" --journey-sample 8
 ./target/release/pipemap doctor "$JOURNEY_SMOKE_OUT" \
@@ -69,6 +69,52 @@ for s in r["stages"]:
     for comp in ("queue", "transport", "service", "batching"):
         assert s[comp]["mean_s"] >= 0, (s["name"], comp)
 print("doctor smoke: %d journeys, drift-free" % r["complete"])
+EOF
+
+echo "== uds smoke: multi-process plane, calibrated f_ecom, cross-process doctor =="
+# The out-of-process data plane end to end: fit the transport cost model
+# from real cross-process runs, then drive the uds pipeline and check
+# the calibrated closed-form prediction lands near what was measured
+# (the tentpole acceptance bar is 15%; the gate is looser because a
+# loaded CI box shifts both sides). Journeys recorded across four
+# processes must stitch into complete, drift-free timelines. Both
+# kernel-thread settings exercise the serial and forked kernel paths
+# inside the workers.
+UDS_SMOKE_CAL=$(mktemp /tmp/pipemap-uds-cal.XXXXXX.json)
+UDS_SMOKE_REPORT=$(mktemp /tmp/pipemap-uds-report.XXXXXX.json)
+UDS_SMOKE_JOURNEYS=$(mktemp /tmp/pipemap-uds-j.XXXXXX.jsonl)
+UDS_SMOKE_DOCTOR=$(mktemp /tmp/pipemap-uds-doctor.XXXXXX.json)
+./target/release/pipemap calibrate --out "$UDS_SMOKE_CAL" 2> /dev/null
+for UDS_THREADS in 1 4; do
+    PIPEMAP_THREADS=$UDS_THREADS ./target/release/pipemap load micro \
+        --transport uds --duration 2s --size 1024 --threads "$UDS_THREADS" \
+        --calibration "$UDS_SMOKE_CAL" --report json > "$UDS_SMOKE_REPORT"
+    python3 - "$UDS_SMOKE_REPORT" "$UDS_THREADS" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+res = r["result"]
+assert res["completed"] > 0, "uds run completed nothing"
+assert len(r["links"]) == 5, "4 stages -> 5 boundary links"
+assert r["links"][0]["items"] == res["completed"], "items lost on the first link"
+ratio = res["achieved_over_predicted"]
+assert 0.75 <= ratio <= 1.35, \
+    "calibrated prediction off: achieved/predicted %.2f" % ratio
+print("uds smoke (threads=%s): %d datasets, achieved/predicted %.2f"
+      % (sys.argv[2], res["completed"], ratio))
+EOF
+done
+PIPEMAP_THREADS=1 ./target/release/pipemap load fft-hist \
+    --transport uds --duration 2s --size 64 \
+    --journey-out "$UDS_SMOKE_JOURNEYS" --journey-sample 8 > /dev/null
+./target/release/pipemap doctor "$UDS_SMOKE_JOURNEYS" \
+    --report json --fail-on-drift > "$UDS_SMOKE_DOCTOR"
+python3 - "$UDS_SMOKE_DOCTOR" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["complete"] > 0, "no complete cross-process journeys"
+assert r["drift"] is False, "uds smoke reported drift"
+assert len(r["stages"]) == 3, "expected the three fft-hist stages"
+print("uds smoke: %d cross-process journeys, drift-free" % r["complete"])
 EOF
 
 echo "== explain smoke: decision provenance, exact margins, doctor --margins =="

@@ -1,0 +1,10 @@
+//! Standalone pipeline worker executable.
+//!
+//! The parent normally re-executes itself (`pipemap __worker …`), but
+//! test harnesses are not the pipemap binary, so integration tests
+//! point `PIPEMAP_WORKER_BIN` at this dedicated worker instead.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(pipemap_exec::proc::worker_main(&args));
+}

@@ -6,6 +6,7 @@
 //! `1 / max_i (f_i / r_i)`; [`run_load`] observes it on a running
 //! pipeline.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::executor::{execute, PipelinePlan, PipelineStats};
@@ -22,8 +23,16 @@ pub struct LoadOptions {
     pub rate: Option<f64>,
     /// Stop feeding after this long.
     pub duration: Option<Duration>,
-    /// Stop feeding after this many data sets.
+    /// Stop feeding after this many data sets (offered arrivals, when
+    /// admission control or shedding is active).
     pub max_datasets: Option<usize>,
+    /// Admission control: a token bucket capping the *accepted* rate;
+    /// arrivals beyond it are rejected at the door instead of queueing.
+    pub admit_rate: Option<f64>,
+    /// Bounded-queue shedding: drop arrivals while more than this many
+    /// admitted data sets are still in flight, instead of letting the
+    /// source block on backpressure.
+    pub shed_queue: Option<usize>,
 }
 
 impl Default for LoadOptions {
@@ -32,6 +41,8 @@ impl Default for LoadOptions {
             rate: None,
             duration: Some(Duration::from_secs(2)),
             max_datasets: None,
+            admit_rate: None,
+            shed_queue: None,
         }
     }
 }
@@ -53,7 +64,8 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn from_samples(samples: &mut [f64]) -> Self {
+    /// Summarise a sample set (sorted in place).
+    pub fn from_samples(samples: &mut [f64]) -> Self {
         if samples.is_empty() {
             return Self::default();
         }
@@ -72,6 +84,13 @@ impl LatencySummary {
 /// What a load run measured.
 #[derive(Clone, Debug)]
 pub struct LoadReport {
+    /// Arrivals the load generator offered (equals `generated` unless
+    /// admission control or shedding turned some away).
+    pub offered: usize,
+    /// Arrivals rejected by admission control.
+    pub rejected: usize,
+    /// Arrivals shed because the in-flight bound was hit.
+    pub shed: usize,
     /// Data sets the source pushed.
     pub generated: usize,
     /// Data sets that reached the sink (equals `generated`: the pipeline
@@ -109,7 +128,17 @@ pub fn run_load(
         rate,
         duration,
         max_datasets,
+        admit_rate,
+        shed_queue,
     } = *opts;
+    // Overload-discipline counters, shared between the source thread
+    // (which decides) and the sink (which retires in-flight datasets).
+    let done_ctr = AtomicUsize::new(0);
+    let offered_ctr = AtomicUsize::new(0);
+    let rejected_ctr = AtomicUsize::new(0);
+    let shed_ctr = AtomicUsize::new(0);
+    let (done_ref, offered_ref, rejected_ref, shed_ref) =
+        (&done_ctr, &offered_ctr, &rejected_ctr, &shed_ctr);
     let rec = pipemap_obs::global();
     let lat_hist = rec.histogram("exec.load.latency_s");
     let mut samples: Vec<f64> = Vec::new();
@@ -140,6 +169,9 @@ pub fn run_load(
         LOAD_SINK_CAP,
         move |feeder| {
             let start = Instant::now();
+            let mut offered = 0usize;
+            let mut tokens: f64 = 1.0;
+            let mut last_refill = Instant::now();
             loop {
                 if let Some(limit) = duration {
                     if start.elapsed() >= limit {
@@ -147,22 +179,53 @@ pub fn run_load(
                     }
                 }
                 if let Some(limit) = max_datasets {
-                    if feeder.pushed() >= limit {
+                    if offered >= limit {
                         break;
                     }
                 }
+                // Pacing is keyed off *offered* arrivals: sheds and
+                // rejections consume an arrival slot without feeding.
                 if let Some(rate) = rate {
-                    let due = start + Duration::from_secs_f64(feeder.pushed() as f64 / rate);
+                    let due = start + Duration::from_secs_f64(offered as f64 / rate);
                     let now = Instant::now();
                     if due > now {
                         feeder.flush();
                         std::thread::sleep(due - now);
                     }
                 }
+                offered += 1;
+                offered_ref.store(offered, Ordering::Relaxed);
+                if let Some(admit) = admit_rate {
+                    let now = Instant::now();
+                    tokens = (tokens + now.duration_since(last_refill).as_secs_f64() * admit)
+                        .min((admit * 0.1).max(1.0));
+                    last_refill = now;
+                    if tokens < 1.0 {
+                        rejected_ref.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    tokens -= 1.0;
+                }
+                if let Some(bound) = shed_queue {
+                    let in_flight = feeder
+                        .pushed()
+                        .saturating_sub(done_ref.load(Ordering::Relaxed));
+                    if in_flight >= bound {
+                        shed_ref.fetch_add(1, Ordering::Relaxed);
+                        if rate.is_none() {
+                            // Closed loop with a full queue: back off
+                            // briefly instead of spinning.
+                            feeder.flush();
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                        continue;
+                    }
+                }
                 feeder.push(make(feeder.pushed()));
             }
         },
         |item| {
+            done_ref.fetch_add(1, Ordering::Relaxed);
             if let Some(j) = jsink.as_mut() {
                 j.record(pipemap_obs::JourneyKind::Sink, item.seq, sink_stage, 0, 0);
             }
@@ -179,6 +242,9 @@ pub fn run_load(
         },
     );
     LoadReport {
+        offered: offered_ctr.load(Ordering::Relaxed),
+        rejected: rejected_ctr.load(Ordering::Relaxed),
+        shed: shed_ctr.load(Ordering::Relaxed),
         generated: stats.generated,
         completed: stats.datasets,
         elapsed: stats.elapsed,
@@ -211,6 +277,7 @@ mod tests {
                 rate: None,
                 duration: None,
                 max_datasets: Some(500),
+                ..LoadOptions::default()
             },
         );
         assert_eq!(report.generated, 500);
@@ -233,6 +300,7 @@ mod tests {
                 rate: Some(200.0),
                 duration: Some(Duration::from_millis(250)),
                 max_datasets: None,
+                ..LoadOptions::default()
             },
         );
         assert!(report.completed > 10, "completed {}", report.completed);
@@ -253,6 +321,7 @@ mod tests {
                 rate: None,
                 duration: Some(Duration::from_millis(120)),
                 max_datasets: None,
+                ..LoadOptions::default()
             },
         );
         assert!(t0.elapsed() < Duration::from_secs(5));
@@ -280,6 +349,7 @@ mod tests {
                 rate: None,
                 duration: None,
                 max_datasets: Some(60),
+                ..LoadOptions::default()
             },
         );
         assert_eq!(report.completed, 60);
@@ -301,6 +371,58 @@ mod tests {
     }
 
     #[test]
+    fn shedding_bounds_in_flight_work_and_counts_drops() {
+        // A slow serial stage driven open loop with a tight in-flight
+        // bound: most arrivals must be shed, everything admitted must
+        // complete, and the books must balance.
+        let plan = PipelinePlan::new(vec![StagePlan::serial(Stage::new("slow", |x: u64, _| {
+            std::thread::sleep(Duration::from_micros(500));
+            x
+        }))])
+        .with_batch(1)
+        // Queue deep enough that the shed bound, not channel
+        // backpressure, is what limits in-flight work.
+        .with_queue_depth(16);
+        let report = run_load(
+            &plan,
+            |seq| Box::new(seq as u64),
+            &LoadOptions {
+                rate: None,
+                duration: None,
+                max_datasets: Some(2_000),
+                shed_queue: Some(4),
+                ..LoadOptions::default()
+            },
+        );
+        assert_eq!(report.offered, 2_000);
+        assert_eq!(report.generated + report.shed + report.rejected, 2_000);
+        assert!(report.shed > 0, "tight bound must shed: {report:?}");
+        assert_eq!(report.generated, report.completed);
+    }
+
+    #[test]
+    fn admission_control_rejects_beyond_the_token_rate() {
+        // Offer open-loop but admit at ~200/s for a short window: the
+        // accepted count must be far below the offered count.
+        let report = run_load(
+            &light_plan(),
+            |seq| Box::new(seq as u64),
+            &LoadOptions {
+                rate: None,
+                duration: Some(Duration::from_millis(150)),
+                admit_rate: Some(200.0),
+                ..LoadOptions::default()
+            },
+        );
+        assert!(report.rejected > 0, "open loop must outrun 200/s");
+        assert!(
+            report.generated < report.offered / 2,
+            "admission not binding: {report:?}"
+        );
+        assert_eq!(report.generated, report.completed);
+    }
+
+    #[test]
     fn empty_run_reports_zeros() {
         let report = run_load(
             &light_plan(),
@@ -309,6 +431,7 @@ mod tests {
                 rate: None,
                 duration: None,
                 max_datasets: Some(0),
+                ..LoadOptions::default()
             },
         );
         assert_eq!(report.completed, 0);

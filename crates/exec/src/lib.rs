@@ -24,10 +24,23 @@ pub mod executor;
 pub mod kernels;
 pub mod plan;
 pub mod pool;
+pub mod proc;
 pub mod stage;
+pub mod transport;
+pub mod wire;
 
 pub use driver::{run_load, LatencySummary, LoadOptions, LoadReport};
 pub use executor::{run_pipeline, Feeder, InstanceStats, PipelinePlan, PipelineStats, StagePlan};
 pub use plan::{plan_from_mapping, ThreadBudget};
 pub use pool::{BufferPool, Lease, PoolStats};
+pub use proc::{
+    measure_transport, run_wire, run_wire_load, run_wire_pipeline, worker_command, worker_main,
+    worker_probe, LinkReport, StageAgg, TransportMeasurement, WireFeeder, WireLoadOptions,
+    WireLoadReport, WireRun, WorkerStats, PROBE_TOKEN, WORKER_BIN_ENV,
+};
 pub use stage::{Data, Stage};
+pub use transport::{
+    DataBatch, FrameKind, InProcLink, LinkStats, Transport, TransportKind, UdsLink, WireItem,
+    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+pub use wire::{WireKernel, WirePlan, WireScratch, WireStagePlan, WIRE_PLAN_ENV};

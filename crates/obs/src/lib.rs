@@ -111,6 +111,12 @@ pub mod names {
     pub const EXEC_POOL_MISSES: &str = "exec.pool.misses";
     /// Payloads currently shelved in the buffer pool (gauge).
     pub const EXEC_POOL_SHELVED: &str = "exec.pool.shelved";
+    /// Prefix of the per-boundary transport counters published by the
+    /// out-of-process engine: `exec.link.<link>.{bytes,frames,items}`,
+    /// where `<link>` names a stage boundary (e.g. `source->mix` or
+    /// `fftcols->sink`). The OpenMetrics exposition folds the link into
+    /// a `link="..."` label on `pipemap_exec_link_{bytes,frames,items}`.
+    pub const EXEC_LINK_PREFIX: &str = "exec.link.";
 
     /// 1 when the doctor's measured bottleneck stage differs from the
     /// DP-predicted one (gauge; see `pipemap-doctor`).

@@ -80,12 +80,42 @@ fn number(v: f64) -> String {
     }
 }
 
+/// Split `exec.link.<link>.<metric>` into `(link, metric)`; `None` for
+/// any other name. The metric is the last dot-separated segment.
+fn split_link_counter(name: &str) -> Option<(&str, &str)> {
+    let rest = name.strip_prefix(crate::names::EXEC_LINK_PREFIX)?;
+    let (link, metric) = rest.rsplit_once('.')?;
+    if link.is_empty() || !matches!(metric, "bytes" | "frames" | "items") {
+        return None;
+    }
+    Some((link, metric))
+}
+
 /// Render the registry's current metrics as OpenMetrics text.
 pub fn render_openmetrics(registry: &Registry) -> String {
     let snap = registry.snapshot();
     let mut out = String::new();
 
+    let mut link_families_typed: Vec<String> = Vec::new();
     for (name, v) in &snap.counters {
+        // Per-boundary transport counters (`exec.link.<link>.<metric>`)
+        // fold the link into a label instead of mangling it into the
+        // metric name: one `pipemap_exec_link_<metric>` family, one
+        // series per boundary. Link labels never contain a dot (stage
+        // names are dot-free), so the final segment is the metric.
+        if let Some((link, metric)) = split_link_counter(name) {
+            let m = format!("pipemap_exec_link_{metric}");
+            if !link_families_typed.contains(&m) {
+                out.push_str(&format!("# TYPE {m} counter\n"));
+                link_families_typed.push(m.clone());
+            }
+            out.push_str(&labelled_sample(
+                &format!("{m}_total"),
+                &[("link", link)],
+                &v.to_string(),
+            ));
+            continue;
+        }
         let m = metric_name(name);
         out.push_str(&format!("# TYPE {m} counter\n"));
         out.push_str(&format!("{m}_total {v}\n"));
@@ -204,6 +234,43 @@ mod tests {
         assert!(text.contains("pipemap_solver_wall_s_count 2\n"));
         assert!(text.contains("pipemap_solver_wall_s_q{quantile=\"0.5\"}"));
         assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn link_counters_become_labelled_series() {
+        let registry = Registry::new();
+        let r = registry.recorder();
+        r.add("exec.link.source->mix:7.bytes", 4096);
+        r.add("exec.link.source->mix:7.items", 32);
+        r.add("exec.link.mix:7->sink.bytes", 2048);
+        // A counter that merely shares the prefix but has no metric
+        // suffix stays a plain counter.
+        r.add("exec.link.weird", 1);
+        let text = registry.to_openmetrics();
+
+        assert!(text.contains("# TYPE pipemap_exec_link_bytes counter\n"));
+        assert!(text.contains("pipemap_exec_link_bytes_total{link=\"source->mix:7\"} 4096\n"));
+        assert!(text.contains("pipemap_exec_link_bytes_total{link=\"mix:7->sink\"} 2048\n"));
+        assert!(text.contains("pipemap_exec_link_items_total{link=\"source->mix:7\"} 32\n"));
+        // One TYPE line per family, not per series.
+        assert_eq!(
+            text.matches("# TYPE pipemap_exec_link_bytes counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("pipemap_exec_link_weird_total 1\n"));
+    }
+
+    #[test]
+    fn link_labels_are_escaped() {
+        let registry = Registry::new();
+        let r = registry.recorder();
+        r.add("exec.link.a\"b->c.frames", 3);
+        let text = registry.to_openmetrics();
+        assert!(
+            text.contains("pipemap_exec_link_frames_total{link=\"a\\\"b->c\"} 3\n"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Transport calibration: fit the paper's `f_ecom` from *measured*
+//! cross-process runs instead of assuming a model constant.
+//!
+//! The executor measures mean seconds per message for a handful of
+//! payload sizes (see `pipemap_exec::measure_transport`); this module
+//! fits the affine cost
+//!
+//! ```text
+//! t(B) = per_msg_s + per_byte_s · B
+//! ```
+//!
+//! by least squares over those samples. `per_msg_s` captures framing,
+//! syscall and scheduling overhead paid once per message; `per_byte_s`
+//! is the marginal copy/transfer cost. The fitted pair prices chain
+//! edges (`f_ecom` for a known edge payload) so `pipemap map` optimises
+//! against the transport the machine actually has.
+
+use crate::linalg::least_squares;
+
+/// Schema tag of the serialized calibration file.
+pub const CALIBRATION_SCHEMA: &str = "pipemap-calibration/v1";
+
+/// One measured point: mean seconds per message at a payload size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CalibrationSample {
+    /// Payload bytes per message.
+    pub payload_bytes: f64,
+    /// Observed mean seconds per message at that size.
+    pub seconds_per_message: f64,
+}
+
+/// The fitted affine transport cost `t(B) = per_msg_s + per_byte_s·B`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransportCalibration {
+    /// Fixed cost per message (framing, syscalls, scheduling), seconds.
+    pub per_msg_s: f64,
+    /// Marginal cost per payload byte, seconds.
+    pub per_byte_s: f64,
+    /// Coefficient of determination of the fit over the samples.
+    pub r2: f64,
+    /// The samples the fit was computed from.
+    pub samples: Vec<CalibrationSample>,
+}
+
+impl TransportCalibration {
+    /// Least-squares fit over `samples`. Needs at least two distinct
+    /// payload sizes to separate the fixed from the marginal cost;
+    /// returns `None` otherwise. Coefficients are clamped to be
+    /// non-negative — a negative cost is always measurement noise and
+    /// would predict negative transport times.
+    pub fn fit(samples: &[CalibrationSample]) -> Option<Self> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let first = samples[0].payload_bytes;
+        if samples.iter().all(|s| s.payload_bytes == first) {
+            return None;
+        }
+        let rows = samples.len();
+        let mut design = Vec::with_capacity(rows * 2);
+        let mut y = Vec::with_capacity(rows);
+        for s in samples {
+            design.push(1.0);
+            design.push(s.payload_bytes);
+            y.push(s.seconds_per_message);
+        }
+        let coeff = least_squares(&design, &y, rows, 2)?;
+        let per_msg_s = coeff[0].max(0.0);
+        let per_byte_s = coeff[1].max(0.0);
+
+        let mean = y.iter().sum::<f64>() / rows as f64;
+        let ss_tot: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
+        let ss_res: f64 = samples
+            .iter()
+            .map(|s| {
+                let pred = per_msg_s + per_byte_s * s.payload_bytes;
+                (s.seconds_per_message - pred).powi(2)
+            })
+            .sum();
+        let r2 = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+        Some(Self {
+            per_msg_s,
+            per_byte_s,
+            r2,
+            samples: samples.to_vec(),
+        })
+    }
+
+    /// Predicted transport seconds for one message of `bytes` payload —
+    /// the calibrated `f_ecom` for an edge of that size.
+    pub fn ecom_seconds(&self, bytes: f64) -> f64 {
+        self.per_msg_s + self.per_byte_s * bytes.max(0.0)
+    }
+
+    /// Serialize to the `pipemap-calibration/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{CALIBRATION_SCHEMA}\",\n"));
+        s.push_str(&format!("  \"per_msg_s\": {:e},\n", self.per_msg_s));
+        s.push_str(&format!("  \"per_byte_s\": {:e},\n", self.per_byte_s));
+        s.push_str(&format!("  \"r2\": {:e},\n", self.r2));
+        s.push_str("  \"samples\": [\n");
+        for (i, sm) in self.samples.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"payload_bytes\": {:e}, \"seconds_per_message\": {:e}}}{}\n",
+                sm.payload_bytes,
+                sm.seconds_per_message,
+                if i + 1 < self.samples.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse a `pipemap-calibration/v1` document produced by
+    /// [`to_json`](Self::to_json).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if !text.contains(CALIBRATION_SCHEMA) {
+            return Err(format!("not a {CALIBRATION_SCHEMA} document"));
+        }
+        let per_msg_s = scan_number(text, "per_msg_s")?;
+        let per_byte_s = scan_number(text, "per_byte_s")?;
+        let r2 = scan_number(text, "r2")?;
+        let mut samples = Vec::new();
+        let mut rest = text;
+        while let Some(pos) = rest.find("\"payload_bytes\"") {
+            let obj = &rest[pos..];
+            let payload_bytes = scan_number(obj, "payload_bytes")?;
+            let seconds_per_message = scan_number(obj, "seconds_per_message")?;
+            samples.push(CalibrationSample {
+                payload_bytes,
+                seconds_per_message,
+            });
+            rest = &obj["\"payload_bytes\"".len()..];
+        }
+        Ok(Self {
+            per_msg_s,
+            per_byte_s,
+            r2,
+            samples,
+        })
+    }
+}
+
+/// Find `"key": <number>` in `text` and parse the number.
+fn scan_number(text: &str, key: &str) -> Result<f64, String> {
+    let tag = format!("\"{key}\"");
+    let pos = text
+        .find(&tag)
+        .ok_or_else(|| format!("missing field '{key}'"))?;
+    let after = &text[pos + tag.len()..];
+    let after = after
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("malformed field '{key}'"))?
+        .trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(after.len());
+    after[..end]
+        .parse::<f64>()
+        .map_err(|e| format!("field '{key}': {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_samples(per_msg: f64, per_byte: f64) -> Vec<CalibrationSample> {
+        [1024.0, 8192.0, 65536.0, 262144.0]
+            .iter()
+            .map(|&b| CalibrationSample {
+                payload_bytes: b,
+                seconds_per_message: per_msg + per_byte * b,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_exact_affine_costs() {
+        let cal = TransportCalibration::fit(&exact_samples(5e-6, 2e-10)).expect("fit");
+        assert!((cal.per_msg_s - 5e-6).abs() < 1e-12, "{}", cal.per_msg_s);
+        assert!((cal.per_byte_s - 2e-10).abs() < 1e-16, "{}", cal.per_byte_s);
+        assert!(cal.r2 > 0.999999, "r2 {}", cal.r2);
+        assert!((cal.ecom_seconds(10_000.0) - (5e-6 + 2e-6)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fit_refuses_degenerate_sample_sets() {
+        assert!(TransportCalibration::fit(&[]).is_none());
+        let one = [CalibrationSample {
+            payload_bytes: 1024.0,
+            seconds_per_message: 1e-5,
+        }];
+        assert!(TransportCalibration::fit(&one).is_none());
+        // Two samples at the same size cannot separate the two costs.
+        let same = [one[0], one[0]];
+        assert!(TransportCalibration::fit(&same).is_none());
+    }
+
+    #[test]
+    fn negative_noise_is_clamped() {
+        // A decreasing trend would fit a negative per-byte cost; the
+        // clamp keeps predictions physical.
+        let samples = [
+            CalibrationSample {
+                payload_bytes: 1024.0,
+                seconds_per_message: 1e-5,
+            },
+            CalibrationSample {
+                payload_bytes: 65536.0,
+                seconds_per_message: 5e-6,
+            },
+        ];
+        let cal = TransportCalibration::fit(&samples).expect("fit");
+        assert!(cal.per_byte_s >= 0.0);
+        assert!(cal.ecom_seconds(1e9) >= 0.0);
+    }
+
+    #[test]
+    fn json_round_trips_bitwise() {
+        let cal = TransportCalibration::fit(&exact_samples(3.5e-6, 1.25e-10)).expect("fit");
+        let parsed = TransportCalibration::parse(&cal.to_json()).expect("parse");
+        assert_eq!(cal.per_msg_s.to_bits(), parsed.per_msg_s.to_bits());
+        assert_eq!(cal.per_byte_s.to_bits(), parsed.per_byte_s.to_bits());
+        assert_eq!(cal.r2.to_bits(), parsed.r2.to_bits());
+        assert_eq!(cal.samples.len(), parsed.samples.len());
+        for (a, b) in cal.samples.iter().zip(&parsed.samples) {
+            assert_eq!(a.payload_bytes.to_bits(), b.payload_bytes.to_bits());
+            assert_eq!(
+                a.seconds_per_message.to_bits(),
+                b.seconds_per_message.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_foreign_documents() {
+        assert!(TransportCalibration::parse("{}").is_err());
+        assert!(TransportCalibration::parse("per_msg_s: 3").is_err());
+    }
+}

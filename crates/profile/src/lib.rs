@@ -19,12 +19,14 @@
 //! equations with partial-pivot Gaussian elimination); no external linear
 //! algebra dependency is used.
 
+pub mod calibrate;
 pub mod executions;
 pub mod fit;
 pub mod linalg;
 pub mod online;
 pub mod training;
 
+pub use calibrate::{CalibrationSample, TransportCalibration, CALIBRATION_SCHEMA};
 pub use executions::{
     collect_profiles, fit_problem_from_executions, run_execution, training_assignments,
     ExecutionProfile,

@@ -402,6 +402,33 @@ pub fn steady_state_throughput(service_s: &[f64], replicas: &[usize]) -> f64 {
     }
 }
 
+/// Steady-state throughput with per-stage communication cost folded in:
+/// `1 / max_i ((service_s[i] + ecom_s[i]) / replicas[i])`.
+///
+/// `ecom_s[i]` is the measured (calibrated) per-data-set transport time
+/// a stage-`i` instance spends sending its output downstream — the
+/// paper's `f_ecom`, priced from real cross-process runs instead of a
+/// fixed model constant. Replication divides the communication work
+/// exactly like the compute work: alternate data sets leave from
+/// distinct instances.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or a replica count is zero.
+pub fn steady_state_throughput_with_ecom(
+    service_s: &[f64],
+    ecom_s: &[f64],
+    replicas: &[usize],
+) -> f64 {
+    assert_eq!(
+        service_s.len(),
+        ecom_s.len(),
+        "one communication cost per stage"
+    );
+    let loaded: Vec<f64> = service_s.iter().zip(ecom_s).map(|(&s, &e)| s + e).collect();
+    steady_state_throughput(&loaded, replicas)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -641,5 +668,24 @@ mod tests {
     #[should_panic(expected = "one replica count per stage")]
     fn steady_state_throughput_length_checked() {
         let _ = steady_state_throughput(&[1.0], &[1, 2]);
+    }
+
+    #[test]
+    fn ecom_shifts_the_bottleneck() {
+        // Compute alone says stage 0 (1 s) bounds; a 2 s transport cost
+        // on stage 1 makes (0.5 + 2) / 1 the real bottleneck.
+        let compute_only = steady_state_throughput_with_ecom(&[1.0, 0.5], &[0.0, 0.0], &[1, 1]);
+        assert!((compute_only - 1.0).abs() < 1e-12);
+        let with_ecom = steady_state_throughput_with_ecom(&[1.0, 0.5], &[0.0, 2.0], &[1, 1]);
+        assert!((with_ecom - 0.4).abs() < 1e-12, "thr {with_ecom}");
+        // Replication amortises communication like compute.
+        let replicated = steady_state_throughput_with_ecom(&[1.0, 0.5], &[0.0, 2.0], &[1, 5]);
+        assert!((replicated - 1.0).abs() < 1e-12, "thr {replicated}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one communication cost per stage")]
+    fn ecom_length_checked() {
+        let _ = steady_state_throughput_with_ecom(&[1.0, 1.0], &[0.0], &[1, 1]);
     }
 }

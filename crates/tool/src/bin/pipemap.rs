@@ -34,6 +34,9 @@ pipemap — optimal mapping of pipelines of data parallel tasks
 USAGE:
     pipemap map <spec-file> [--greedy-only] [--latency-floor <thr>]
                             [--min-procs <thr>] [--report json]
+                            [--calibration <file> --edge-bytes <b1,b2,..>]
+    pipemap calibrate [--sizes <b1,b2,..>] [--messages <n>] [--batch <B>]
+                      [--out <file>]
     pipemap explain <spec-file> [--assignment] [--report json]
                     [--out <file>] [--trace-out <file>]
                     [--robustness <trials>] [--spread <frac>] [--seed <n>]
@@ -47,7 +50,10 @@ USAGE:
     pipemap bench [--quick] [--out <file>] [--compare <baseline.json>]
                   [--against <current.json>] [--threshold <frac>]
                   [--warn-only] [--validate <file>]
-    pipemap load [micro|fft-hist] [--rate <ds/s>] [--duration <secs|Nms>]
+    pipemap load [micro|fft-hist] [--rate <ds/s | lo:hi:steps>]
+                 [--duration <secs|Nms>] [--transport inproc|uds]
+                 [--admit-rate <ds/s>] [--shed-queue <n>]
+                 [--calibration <file>]
                  [--datasets <n>] [--batch <B>] [--flush-us <us>]
                  [--queue-depth <d>] [--stages <k>] [--size <n>]
                  [--replicas <r>] [--threads <t>] [--no-pool] [--reference]
@@ -70,7 +76,18 @@ USAGE:
 COMMANDS:
     map       read a pipeline spec and print its optimal mapping
               (--report json emits a machine-readable report including
-              solver counters: DP cells, lookups, prunings, wall time)
+              solver counters: DP cells, lookups, prunings, wall time).
+              --calibration + --edge-bytes re-price every edge's external
+              transfer with the *measured* transport cost from
+              'pipemap calibrate': edge i costs per_msg + per_byte * b_i
+              seconds, so the mapping optimises against the transport the
+              machine actually has instead of the spec's assumed f_ecom
+    calibrate measure real cross-process transport cost: push messages of
+              each --sizes payload through a spawned worker over a Unix
+              socket, fit t(B) = per_msg_s + per_byte_s*B by least
+              squares, and print (or --out write) the
+              pipemap-calibration/v1 JSON that 'map --calibration' and
+              'load --calibration' consume
     explain   solve with full decision provenance and print *why*: the
               winning DP path with each stage's runner-up alternative,
               exact stability margins (how far each stage's fitted
@@ -113,7 +130,16 @@ COMMANDS:
               With --serve the run exposes the full observatory surface:
               journeys at /journeys.jsonl, SLO burn-rate and backpressure
               events at /events.jsonl, and a continuously refitted online
-              cost model at /model.json (for 'top' and 'doctor --attach')
+              cost model at /model.json (for 'top' and 'doctor --attach').
+              --transport uds runs the pipeline as worker *processes*
+              over Unix sockets (bit-identical output, measured per-link
+              frame/byte counters); --admit-rate caps the accepted rate
+              with a token bucket and --shed-queue drops arrivals beyond
+              an in-flight bound (rejected/shed are reported);
+              --calibration folds the measured f_ecom into the predicted
+              throughput; --rate lo:hi:steps ramps the offered rate and
+              reports the saturation knee (last rate with achieved >=
+              95% of offered)
     doctor    explain a run from its journey trace: per-stage latency
               decomposition (queue wait vs transport vs service vs
               batching delay), per-dataset critical path, measured vs
@@ -200,8 +226,14 @@ task back
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden worker dispatch: `pipemap __worker ...` re-enters this very
+    // binary as a data-plane worker process (see exec::worker_command).
+    if args.first().map(String::as_str) == Some("__worker") {
+        std::process::exit(pipemap_exec::worker_main(&args[1..]));
+    }
     match args.first().map(String::as_str) {
         Some("map") => cmd_map(&args[1..]),
+        Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
@@ -232,10 +264,33 @@ fn cmd_map(args: &[String]) -> ExitCode {
     let mut latency_floor: Option<f64> = None;
     let mut procs_target: Option<f64> = None;
     let mut report_fmt: Option<String> = None;
+    let mut calibration_file: Option<String> = None;
+    let mut edge_bytes: Option<Vec<f64>> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--greedy-only" => greedy_only = true,
+            "--calibration" => match it.next() {
+                Some(v) => calibration_file = Some(v.clone()),
+                None => {
+                    eprintln!("--calibration needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--edge-bytes" => {
+                let parsed: Option<Vec<f64>> = it
+                    .next()
+                    .and_then(|v| v.split(',').map(|b| b.trim().parse::<f64>().ok()).collect());
+                match parsed {
+                    Some(v) if !v.is_empty() && v.iter().all(|b| *b >= 0.0) => {
+                        edge_bytes = Some(v);
+                    }
+                    _ => {
+                        eprintln!("--edge-bytes needs a comma-separated byte list like 8192,1024");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--report" => match it.next() {
                 Some(v) => report_fmt = Some(v.clone()),
                 None => {
@@ -275,13 +330,58 @@ fn cmd_map(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let problem = match parse_spec(&text) {
+    let mut problem = match parse_spec(&text) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{file}:{e}");
             return ExitCode::FAILURE;
         }
     };
+
+    // Re-price external transfers from a measured transport calibration:
+    // edge i's f_ecom becomes the constant per_msg + per_byte * bytes_i,
+    // replacing the spec's assumed polynomial.
+    match (&calibration_file, &edge_bytes) {
+        (None, None) => {}
+        (Some(path), Some(bytes)) => {
+            let cal = match std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))
+                .and_then(|t| pipemap_profile::TransportCalibration::parse(&t))
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let nedges = problem.chain.edges().len();
+            if bytes.len() != nedges {
+                eprintln!(
+                    "--edge-bytes has {} entries but the chain has {nedges} edges",
+                    bytes.len()
+                );
+                return ExitCode::FAILURE;
+            }
+            let tasks = problem.chain.tasks().to_vec();
+            let edges: Vec<pipemap_chain::Edge> = problem
+                .chain
+                .edges()
+                .iter()
+                .zip(bytes)
+                .map(|(e, b)| {
+                    pipemap_chain::Edge::new(
+                        e.icom.clone(),
+                        pipemap_model::PolyEcom::new(cal.ecom_seconds(*b), 0.0, 0.0, 0.0, 0.0),
+                    )
+                })
+                .collect();
+            problem.chain = pipemap_chain::TaskChain::new(tasks, edges);
+        }
+        _ => {
+            eprintln!("--calibration and --edge-bytes must be given together");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let json = match report_fmt.as_deref() {
         None => false,
@@ -392,6 +492,101 @@ fn cmd_map(args: &[String]) -> ExitCode {
             sol.solution.throughput,
             target
         );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_calibrate(args: &[String]) -> ExitCode {
+    let mut sizes: Vec<usize> = vec![1024, 8192, 65536, 262144];
+    let mut messages: u64 = 2048;
+    let mut batch: usize = 32;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sizes" => {
+                let parsed: Option<Vec<usize>> = it
+                    .next()
+                    .and_then(|v| v.split(',').map(|b| b.trim().parse().ok()).collect());
+                match parsed {
+                    Some(v) if v.len() >= 2 => sizes = v,
+                    _ => {
+                        eprintln!("--sizes needs >= 2 comma-separated payload sizes");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--messages" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => messages = v,
+                _ => {
+                    eprintln!("--messages needs an integer >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => batch = v,
+                _ => {
+                    eprintln!("--batch needs an integer >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !pipemap_exec::worker_probe() {
+        eprintln!("calibrate: worker binary not reachable (set PIPEMAP_WORKER_BIN)");
+        return ExitCode::FAILURE;
+    }
+    let mut samples = Vec::with_capacity(sizes.len());
+    for &size in &sizes {
+        match pipemap_exec::measure_transport(size, messages, batch) {
+            Ok(m) => {
+                eprintln!(
+                    "calibrate: {size} B x {messages} msgs -> {:.3} µs/msg ({:.3}s total)",
+                    m.seconds_per_message * 1e6,
+                    m.elapsed_s
+                );
+                samples.push(pipemap_profile::CalibrationSample {
+                    payload_bytes: size as f64,
+                    seconds_per_message: m.seconds_per_message,
+                });
+            }
+            Err(e) => {
+                eprintln!("calibrate: measuring {size} B failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(cal) = pipemap_profile::TransportCalibration::fit(&samples) else {
+        eprintln!("calibrate: fit failed (need >= 2 distinct payload sizes)");
+        return ExitCode::FAILURE;
+    };
+    eprintln!(
+        "calibrate: per_msg {:.3} µs, per_byte {:.4} ns (r2 {:.4})",
+        cal.per_msg_s * 1e6,
+        cal.per_byte_s * 1e9,
+        cal.r2
+    );
+    let doc = cal.to_json();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote calibration to {path}");
+        }
+        None => print!("{doc}"),
     }
     ExitCode::SUCCESS
 }
@@ -1127,9 +1322,10 @@ fn cmd_demo(args: &[String]) -> ExitCode {
 }
 
 fn cmd_load(args: &[String]) -> ExitCode {
+    use pipemap_exec::TransportKind;
     use pipemap_tool::{
-        load_report_json, parse_duration_s, render_load_summary, run_configured_load, LoadConfig,
-        Workload,
+        load_report_json, parse_duration_s, rate_sweep_json, render_load_summary,
+        render_rate_sweep, run_rate_sweep, try_run_configured_load, LoadConfig, Workload,
     };
     let mut cfg = LoadConfig::default();
     let mut duration_set = false;
@@ -1137,6 +1333,7 @@ fn cmd_load(args: &[String]) -> ExitCode {
     let mut report_fmt: Option<String> = None;
     let mut journey_out: Option<String> = None;
     let mut journey_sample = 1u64;
+    let mut sweep: Option<(f64, f64, usize)> = None;
     let mut obs_flags = ObsFlags::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -1161,12 +1358,81 @@ fn cmd_load(args: &[String]) -> ExitCode {
         }
         match a.as_str() {
             "--rate" => {
-                let r: f64 = numeric!("--rate");
-                if r <= 0.0 || r.is_nan() {
-                    eprintln!("--rate must be positive");
+                let Some(v) = it.next() else {
+                    eprintln!("--rate needs a rate or a lo:hi:steps ramp");
+                    return ExitCode::FAILURE;
+                };
+                if v.contains(':') {
+                    // Ramp syntax: sweep the offered rate lo..hi in steps.
+                    let parts: Vec<&str> = v.split(':').collect();
+                    let parsed = (parts.len() == 3)
+                        .then(|| {
+                            Some((
+                                parts[0].parse::<f64>().ok()?,
+                                parts[1].parse::<f64>().ok()?,
+                                parts[2].parse::<usize>().ok()?,
+                            ))
+                        })
+                        .flatten();
+                    match parsed {
+                        Some((lo, hi, steps)) if lo > 0.0 && hi >= lo && steps >= 2 => {
+                            sweep = Some((lo, hi, steps));
+                        }
+                        _ => {
+                            eprintln!(
+                                "--rate ramp must be lo:hi:steps with 0 < lo <= hi, steps >= 2"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    match v.parse::<f64>() {
+                        Ok(r) if r > 0.0 && !r.is_nan() => cfg.rate = Some(r),
+                        _ => {
+                            eprintln!("--rate must be positive");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            "--transport" => match it.next().map(String::as_str).and_then(TransportKind::parse) {
+                Some(t) => cfg.transport = t,
+                None => {
+                    eprintln!("--transport must be 'inproc' or 'uds'");
                     return ExitCode::FAILURE;
                 }
-                cfg.rate = Some(r);
+            },
+            "--admit-rate" => {
+                let r: f64 = numeric!("--admit-rate");
+                if r <= 0.0 || r.is_nan() {
+                    eprintln!("--admit-rate must be positive");
+                    return ExitCode::FAILURE;
+                }
+                cfg.admit_rate = Some(r);
+            }
+            "--shed-queue" => {
+                let q: usize = numeric!("--shed-queue");
+                if q == 0 {
+                    eprintln!("--shed-queue must be >= 1");
+                    return ExitCode::FAILURE;
+                }
+                cfg.shed_queue = Some(q);
+            }
+            "--calibration" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--calibration needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                let cal = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))
+                    .and_then(|t| pipemap_profile::TransportCalibration::parse(&t));
+                match cal {
+                    Ok(c) => cfg.calibration = Some(c),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             "--duration" => match it.next().map(String::as_str).and_then(parse_duration_s) {
                 Some(v) => {
@@ -1239,15 +1505,44 @@ fn cmd_load(args: &[String]) -> ExitCode {
         eprintln!("--batch, --queue-depth, and --stages must be >= 1");
         return ExitCode::FAILURE;
     }
+    let uds = cfg.transport == TransportKind::Uds;
+    if uds && !pipemap_exec::worker_probe() {
+        eprintln!("--transport uds: worker binary not reachable (set PIPEMAP_WORKER_BIN)");
+        return ExitCode::FAILURE;
+    }
+
+    // Ramp mode: sweep the offered rate and report the saturation knee.
+    if let Some((lo, hi, steps)) = sweep {
+        return match run_rate_sweep(&cfg, lo, hi, steps) {
+            Ok(s) => {
+                if json {
+                    println!("{}", rate_sweep_json(&cfg, &s).to_json_pretty());
+                } else {
+                    print!("{}", render_rate_sweep(&s));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     // Journey tracing: hand every worker thread a sampled sink; the
     // collector also backs /journeys.jsonl when --serve is up, so a
     // doctor can attach to the live run — serving implies collecting.
-    let journeys = (journey_out.is_some() || obs_flags.serve.is_some()).then(|| {
+    // A UDS run samples inside the worker *processes* instead (the
+    // events come back in the run's stats channel), so no collector.
+    let journeys = (!uds && (journey_out.is_some() || obs_flags.serve.is_some())).then(|| {
         pipemap_obs::JourneyCollector::new(
             pipemap_obs::JourneyConfig::default().with_sample(journey_sample),
         )
     });
     cfg.journeys = journeys.clone();
+    if uds && journey_out.is_some() {
+        cfg.journey_sample = journey_sample;
+    }
     // A served run also gets the full observatory surface: SLO/alert
     // events at /events.jsonl and the online-fitted model at /model.json.
     let (events, publisher) = if obs_flags.serve.is_some() {
@@ -1300,18 +1595,31 @@ fn cmd_load(args: &[String]) -> ExitCode {
         }
         _ => None,
     };
-    let summary = run_configured_load(&cfg);
+    let summary = match try_run_configured_load(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     // Final ingest+refit so even a short run lands in /model.json before
     // --hold keeps the surface up for scrapers.
     if let Some(h) = observatory {
         h.stop();
     }
-    if let (Some(path), Some(col)) = (&journey_out, &journeys) {
+    if let Some(path) = &journey_out {
+        let (sample, events, dropped) = if uds {
+            (journey_sample, summary.wire_events.clone(), 0)
+        } else if let Some(col) = &journeys {
+            (col.sample(), col.snapshot(), col.dropped())
+        } else {
+            (journey_sample, Vec::new(), 0)
+        };
         let log = pipemap_doctor::JourneyLog {
             source: "load".to_string(),
-            sample: col.sample(),
+            sample,
             model: pipemap_tool::measured_prediction(&summary),
-            events: col.snapshot(),
+            events,
         };
         if let Err(e) = std::fs::write(path, log.to_jsonl()) {
             eprintln!("cannot write {path}: {e}");
@@ -1321,7 +1629,7 @@ fn cmd_load(args: &[String]) -> ExitCode {
             "wrote {} journey events to {path} (1-in-{} sampling, {} dropped)",
             log.events.len(),
             log.sample,
-            col.dropped()
+            dropped
         );
     }
     if json {

@@ -41,8 +41,9 @@ pub use explain::{
     EXPLAIN_SCHEMA,
 };
 pub use load::{
-    load_report_json, measured_prediction, parse_duration_s, render_load_summary,
-    run_configured_load, LoadConfig, LoadSummary, Workload,
+    load_report_json, measured_prediction, parse_duration_s, rate_sweep_json, render_load_summary,
+    render_rate_sweep, run_configured_load, run_rate_sweep, try_run_configured_load, wire_plan_for,
+    LoadConfig, LoadSummary, RateSweep, SweepPoint, Workload, KNEE_KEEPUP,
 };
 pub use mapper::{auto_map, MapperOptions, MappingReport};
 pub use markdown::{report_markdown, table2_header, table2_row};

@@ -22,10 +22,12 @@
 
 use pipemap_exec::kernels::{fft_cols, fft_rows, histogram, Complex, Matrix};
 use pipemap_exec::{
-    run_load, BufferPool, Data, Lease, LoadOptions, LoadReport, PipelinePlan, PoolStats, Stage,
-    StagePlan,
+    run_load, run_wire_load, BufferPool, Data, InstanceStats, Lease, LinkReport, LoadOptions,
+    LoadReport, PipelinePlan, PipelineStats, PoolStats, Stage, StagePlan, TransportKind,
+    WireKernel, WireLoadOptions, WirePlan, WireStagePlan,
 };
-use pipemap_obs::{EventLog, JourneyCollector, SloConfig, Value};
+use pipemap_obs::{EventLog, JourneyCollector, JourneyEvent, SloConfig, Value};
+use pipemap_profile::TransportCalibration;
 use std::time::Duration;
 
 /// Which built-in pipeline to drive.
@@ -89,6 +91,19 @@ pub struct LoadConfig {
     /// Latency objective evaluated against every completed data set
     /// (needs `events` to land anywhere).
     pub slo: Option<SloConfig>,
+    /// Which data plane carries the pipeline: threads in this process,
+    /// or worker processes over Unix sockets.
+    pub transport: TransportKind,
+    /// Admission control: a token bucket capping the accepted rate.
+    pub admit_rate: Option<f64>,
+    /// Bounded-queue shedding: drop arrivals beyond this in-flight bound.
+    pub shed_queue: Option<usize>,
+    /// Calibrated transport cost; when present on a UDS run, the
+    /// closed-form prediction includes the measured `f_ecom`.
+    pub calibration: Option<TransportCalibration>,
+    /// UDS journey sampling: record every n-th data set (0 = off). The
+    /// in-process path samples through `journeys` instead.
+    pub journey_sample: u64,
 }
 
 impl Default for LoadConfig {
@@ -109,6 +124,11 @@ impl Default for LoadConfig {
             journeys: None,
             events: None,
             slo: None,
+            transport: TransportKind::InProc,
+            admit_rate: None,
+            shed_queue: None,
+            calibration: None,
+            journey_sample: 0,
         }
     }
 }
@@ -137,6 +157,14 @@ pub struct LoadSummary {
     pub predicted_throughput: f64,
     /// Pool counters, when pooling was on.
     pub pool: Option<PoolStats>,
+    /// Per-boundary wire counters (UDS runs only; empty in-process).
+    pub wire_links: Vec<LinkReport>,
+    /// Journey events gathered from the worker processes (UDS runs with
+    /// `journey_sample > 0` only).
+    pub wire_events: Vec<JourneyEvent>,
+    /// Calibrated per-stage transport seconds folded into the
+    /// prediction (empty when no calibration was applied).
+    pub ecom_means: Vec<f64>,
 }
 
 const MIX_PRIME: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -286,8 +314,189 @@ fn fft_hist_source(
     }
 }
 
+/// The wire (multi-process) plan equivalent of the configured workload.
+pub fn wire_plan_for(cfg: &LoadConfig) -> WirePlan {
+    let kernels: Vec<WireKernel> = match cfg.workload {
+        Workload::Micro => (0..cfg.stages.max(1))
+            .map(|i| WireKernel::Mix { salt: i as u64 + 1 })
+            .collect(),
+        Workload::FftHist => {
+            let n = cfg.size.max(2).next_power_of_two();
+            vec![
+                WireKernel::FftRows,
+                WireKernel::FftCols,
+                WireKernel::Histogram {
+                    bins: 64,
+                    max: n as f64,
+                },
+            ]
+        }
+    };
+    let stages = kernels
+        .into_iter()
+        .map(|k| WireStagePlan::new(k, cfg.replicas.max(1), cfg.threads.max(1)))
+        .collect();
+    let mut plan = WirePlan::new(stages);
+    plan.batch = cfg.batch.max(1);
+    plan.flush_us = cfg.flush_us;
+    plan.queue_depth = cfg.queue_depth.max(1);
+    plan.journey_sample = cfg.journey_sample;
+    plan
+}
+
+/// Fill `buf` with data set `seq`'s input payload for the workload.
+fn wire_payload(cfg: &LoadConfig, seq: u64, buf: &mut Vec<u8>) {
+    match cfg.workload {
+        Workload::Micro => {
+            for j in 0..cfg.size {
+                let w = seq ^ ((j as u64) << 32);
+                buf.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        Workload::FftHist => {
+            let n = cfg.size.max(2).next_power_of_two();
+            for r in 0..n {
+                for c in 0..n {
+                    let re = ((r * 31 + c * 17 + seq as usize * 7) % 97) as f64 / 97.0;
+                    buf.extend_from_slice(&re.to_le_bytes());
+                    buf.extend_from_slice(&0f64.to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// Run the configured load over worker processes and shape the result
+/// into the same [`LoadSummary`] the in-process path produces.
+fn run_uds_load(cfg: &LoadConfig) -> Result<LoadSummary, String> {
+    let plan = wire_plan_for(cfg);
+    let opts = WireLoadOptions {
+        rate: cfg.rate,
+        duration: cfg.duration_s.map(Duration::from_secs_f64),
+        max_datasets: cfg.datasets.map(|n| n as u64),
+        admit_rate: cfg.admit_rate,
+        shed_queue: cfg.shed_queue.map(|n| n as u64),
+    };
+    let cfg2 = cfg.clone();
+    let wlr = run_wire_load(&plan, move |seq, buf| wire_payload(&cfg2, seq, buf), opts)?;
+    let run = &wlr.run;
+    let nstages = run.stages.len();
+    let elapsed = wlr.elapsed.max(1e-9);
+    let busy: Vec<f64> = run.stages.iter().map(|s| s.service_s).collect();
+    let recv_wait: Vec<f64> = run.stages.iter().map(|s| s.recv_wait_s).collect();
+    let send_wait: Vec<f64> = run.stages.iter().map(|s| s.send_wait_s).collect();
+    let utilization: Vec<f64> = run
+        .stages
+        .iter()
+        .map(|s| s.service_s / (s.replicas.max(1) as f64 * elapsed))
+        .collect();
+    let instances: Vec<InstanceStats> = run
+        .workers
+        .iter()
+        .map(|w| InstanceStats {
+            stage: w.stage,
+            instance: w.instance,
+            recv_wait: w.recv_wait_s,
+            busy: w.service_s,
+            send_wait: w.send_wait_s,
+            lifetime: w.lifetime_s,
+        })
+        .collect();
+    let messages: u64 = run.links.iter().map(|l| l.frames).sum();
+    let message_items: u64 = run.links.iter().map(|l| l.items).sum();
+    let stats = PipelineStats {
+        datasets: wlr.completed as usize,
+        generated: wlr.generated as usize,
+        elapsed: wlr.elapsed,
+        throughput: wlr.throughput,
+        busy,
+        recv_wait,
+        send_wait,
+        utilization,
+        source_wait: run.source_wait_s,
+        messages,
+        message_items,
+        instances,
+    };
+    let report = LoadReport {
+        offered: wlr.offered as usize,
+        rejected: wlr.rejected as usize,
+        shed: wlr.shed as usize,
+        generated: wlr.generated as usize,
+        completed: wlr.completed as usize,
+        elapsed: wlr.elapsed,
+        throughput: wlr.throughput,
+        offered_rate: cfg.rate,
+        latency: wlr.latency,
+        stats,
+    };
+    let stage_names: Vec<String> = plan.stage_names();
+    let replicas = plan.replicas();
+
+    // Closed form over the measured per-item service means, with the
+    // calibrated `f_ecom` folded in when a calibration is present: each
+    // stage's outbound link prices as
+    //   (per_msg · frames + per_byte · bytes) / items
+    // — per-message overhead amortised over the coalescing the run
+    // actually achieved.
+    let service_means = run.service_means();
+    let (predicted_throughput, ecom_means) = if wlr.completed == 0 {
+        (f64::NAN, Vec::new())
+    } else if let Some(cal) = &cfg.calibration {
+        let ecom: Vec<f64> = (0..nstages)
+            .map(|i| {
+                // Link i+1 is stage i's outbound boundary (0 = source).
+                run.links
+                    .get(i + 1)
+                    .map(|l| {
+                        if l.items == 0 {
+                            0.0
+                        } else {
+                            (cal.per_msg_s * l.frames as f64 + cal.per_byte_s * l.bytes as f64)
+                                / l.items as f64
+                        }
+                    })
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        (
+            pipemap_sim::steady_state_throughput_with_ecom(&service_means, &ecom, &replicas),
+            ecom,
+        )
+    } else {
+        (
+            pipemap_sim::steady_state_throughput(&service_means, &replicas),
+            Vec::new(),
+        )
+    };
+
+    Ok(LoadSummary {
+        config: cfg.clone(),
+        stage_names,
+        report,
+        predicted_throughput,
+        pool: None,
+        wire_links: run.links.clone(),
+        wire_events: run.events.clone(),
+        ecom_means,
+    })
+}
+
 /// Run one configured load and summarise it.
+///
+/// # Panics
+///
+/// Panics if a UDS run fails outright (no workers, dead sockets); the
+/// in-process path never errors.
 pub fn run_configured_load(cfg: &LoadConfig) -> LoadSummary {
+    try_run_configured_load(cfg).expect("load run failed")
+}
+
+/// [`run_configured_load`], with UDS engine failures surfaced as `Err`.
+pub fn try_run_configured_load(cfg: &LoadConfig) -> Result<LoadSummary, String> {
+    if cfg.transport == TransportKind::Uds {
+        return run_uds_load(cfg);
+    }
     // The shelf must cover the pipeline's in-flight window (stage queues
     // × batch × stages, plus transport buffers) or takes outrun returns
     // and the pool degenerates to plain allocation. 1024 payloads cover
@@ -297,6 +506,8 @@ pub fn run_configured_load(cfg: &LoadConfig) -> LoadSummary {
         rate: cfg.rate,
         duration: cfg.duration_s.map(Duration::from_secs_f64),
         max_datasets: cfg.datasets,
+        admit_rate: cfg.admit_rate,
+        shed_queue: cfg.shed_queue,
     };
     let (plan, report) = match cfg.workload {
         Workload::Micro => {
@@ -333,13 +544,16 @@ pub fn run_configured_load(cfg: &LoadConfig) -> LoadSummary {
     if let Some(p) = &pool {
         p.publish();
     }
-    LoadSummary {
+    Ok(LoadSummary {
         config: cfg.clone(),
         stage_names,
         report,
         predicted_throughput,
         pool: pool.map(|p| p.stats()),
-    }
+        wire_links: Vec::new(),
+        wire_events: Vec::new(),
+        ecom_means: Vec::new(),
+    })
 }
 
 /// Render a human-readable report.
@@ -348,8 +562,9 @@ pub fn render_load_summary(s: &LoadSummary) -> String {
     let cfg = &s.config;
     let mut out = String::new();
     out.push_str(&format!(
-        "workload : {} (batch {}, flush {}µs, queue {}, {}x{} per stage, pool {})\n",
+        "workload : {} over {} (batch {}, flush {}µs, queue {}, {}x{} per stage, pool {})\n",
         cfg.workload.as_str(),
+        cfg.transport.as_str(),
         cfg.batch,
         cfg.flush_us,
         cfg.queue_depth,
@@ -365,10 +580,21 @@ pub fn render_load_summary(s: &LoadSummary) -> String {
         "served   : {} datasets in {:.3}s -> {:.1} datasets/s\n",
         r.completed, r.elapsed, r.throughput
     ));
+    if r.rejected > 0 || r.shed > 0 || cfg.admit_rate.is_some() || cfg.shed_queue.is_some() {
+        out.push_str(&format!(
+            "overload : {} offered, {} rejected (admission), {} shed (queue bound)\n",
+            r.offered, r.rejected, r.shed
+        ));
+    }
     if s.predicted_throughput.is_finite() {
         let ratio = r.throughput / s.predicted_throughput;
+        let with = if s.ecom_means.is_empty() {
+            ""
+        } else {
+            " + calibrated f_ecom"
+        };
         out.push_str(&format!(
-            "predicted: {:.1} datasets/s from measured service means (achieved/predicted {:.2})\n",
+            "predicted: {:.1} datasets/s from measured service means{with} (achieved/predicted {:.2})\n",
             s.predicted_throughput, ratio
         ));
     }
@@ -395,11 +621,30 @@ pub fn render_load_summary(s: &LoadSummary) -> String {
     }
     let denom = (cfg.replicas.max(1) as f64) * r.elapsed.max(1e-9);
     for (i, name) in s.stage_names.iter().enumerate() {
+        let ecom = s
+            .ecom_means
+            .get(i)
+            .map(|e| format!("  f_ecom {:.2}µs/item", e * 1e6))
+            .unwrap_or_default();
         out.push_str(&format!(
-            "stage {i} ({name}): busy {:.0}%  starved {:.0}%  backpressured {:.0}%\n",
+            "stage {i} ({name}): busy {:.0}%  starved {:.0}%  backpressured {:.0}%{ecom}\n",
             100.0 * r.stats.busy[i] / denom,
             100.0 * r.stats.recv_wait[i] / denom,
             100.0 * r.stats.send_wait[i] / denom,
+        ));
+    }
+    for l in &s.wire_links {
+        out.push_str(&format!(
+            "link {}: {} frames carrying {} items ({:.1} bytes/item, fill {:.2})\n",
+            l.label,
+            l.frames,
+            l.items,
+            l.bytes_per_item(),
+            if l.frames == 0 {
+                0.0
+            } else {
+                l.items as f64 / l.frames as f64
+            }
         ));
     }
     out
@@ -413,8 +658,15 @@ pub fn load_report_json(s: &LoadSummary) -> Value {
     doc.set("workload", cfg.workload.as_str());
 
     let mut c = Value::object();
+    c.set("transport", cfg.transport.as_str());
     if let Some(rate) = cfg.rate {
         c.set("rate", rate);
+    }
+    if let Some(a) = cfg.admit_rate {
+        c.set("admit_rate", a);
+    }
+    if let Some(q) = cfg.shed_queue {
+        c.set("shed_queue", q as f64);
     }
     if let Some(d) = cfg.duration_s {
         c.set("duration_s", d);
@@ -433,6 +685,9 @@ pub fn load_report_json(s: &LoadSummary) -> Value {
     doc.set("config", c);
 
     let mut res = Value::object();
+    res.set("offered", r.offered as f64);
+    res.set("rejected", r.rejected as f64);
+    res.set("shed", r.shed as f64);
     res.set("generated", r.generated as f64);
     res.set("completed", r.completed as f64);
     res.set("elapsed_s", r.elapsed);
@@ -483,10 +738,30 @@ pub fn load_report_json(s: &LoadSummary) -> Value {
             st.set("send_wait_s", r.stats.send_wait[i]);
             st.set("utilization", r.stats.utilization[i]);
             st.set("backpressure", r.stats.send_wait[i] / denom);
+            if let Some(e) = s.ecom_means.get(i) {
+                st.set("ecom_s", *e);
+            }
             st
         })
         .collect();
     doc.set("stages", Value::Array(stages));
+
+    if !s.wire_links.is_empty() {
+        let links: Vec<Value> = s
+            .wire_links
+            .iter()
+            .map(|l| {
+                let mut lv = Value::object();
+                lv.set("link", l.label.as_str());
+                lv.set("frames", l.frames as f64);
+                lv.set("items", l.items as f64);
+                lv.set("bytes", l.bytes as f64);
+                lv.set("bytes_per_item", l.bytes_per_item());
+                lv
+            })
+            .collect();
+        doc.set("links", Value::Array(links));
+    }
     doc
 }
 
@@ -513,6 +788,136 @@ pub fn measured_prediction(s: &LoadSummary) -> Option<pipemap_doctor::ModelPredi
         &replicas,
         &means,
     ))
+}
+
+/// One point of a rate ramp: offered vs achieved, with the overload
+/// counters and tail latency at that rate.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Offered rate of this step (datasets/s).
+    pub offered_rate: f64,
+    /// Achieved sink throughput (datasets/s).
+    pub throughput: f64,
+    /// Arrivals rejected by admission control.
+    pub rejected: usize,
+    /// Arrivals shed at the in-flight bound.
+    pub shed: usize,
+    /// p50 end-to-end latency (s).
+    pub p50: f64,
+    /// p99 end-to-end latency (s).
+    pub p99: f64,
+}
+
+/// A full ramp sweep: the points in offered-rate order, plus the knee.
+#[derive(Clone, Debug)]
+pub struct RateSweep {
+    /// One point per offered rate, ascending.
+    pub points: Vec<SweepPoint>,
+    /// The saturation knee: the highest offered rate the pipeline still
+    /// kept up with (achieved ≥ 95% of offered). `None` when even the
+    /// lowest rate saturated.
+    pub knee: Option<f64>,
+}
+
+/// Fraction of the offered rate a point must achieve to count as
+/// "keeping up" in the knee search.
+pub const KNEE_KEEPUP: f64 = 0.95;
+
+/// Ramp the offered rate from `lo` to `hi` across `steps` runs of the
+/// configured load and locate the saturation knee. Each step reuses the
+/// full config (transport, shedding, calibration) with only `rate`
+/// swapped.
+pub fn run_rate_sweep(
+    cfg: &LoadConfig,
+    lo: f64,
+    hi: f64,
+    steps: usize,
+) -> Result<RateSweep, String> {
+    if !lo.is_finite() || !hi.is_finite() || lo <= 0.0 || hi < lo || steps < 2 {
+        return Err(format!(
+            "bad sweep lo:hi:steps = {lo}:{hi}:{steps} (need 0 < lo <= hi, steps >= 2)"
+        ));
+    }
+    let mut points = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let rate = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
+        let step_cfg = LoadConfig {
+            rate: Some(rate),
+            ..cfg.clone()
+        };
+        let s = try_run_configured_load(&step_cfg)?;
+        points.push(SweepPoint {
+            offered_rate: rate,
+            throughput: s.report.throughput,
+            rejected: s.report.rejected,
+            shed: s.report.shed,
+            p50: s.report.latency.p50,
+            p99: s.report.latency.p99,
+        });
+    }
+    // The knee is the last rate the pipeline still kept up with; beyond
+    // it the achieved curve flattens while offered keeps climbing.
+    let knee = points
+        .iter()
+        .filter(|p| p.throughput >= KNEE_KEEPUP * p.offered_rate)
+        .map(|p| p.offered_rate)
+        .fold(None, |acc: Option<f64>, r| {
+            Some(acc.map_or(r, |a| a.max(r)))
+        });
+    Ok(RateSweep { points, knee })
+}
+
+/// Render a human-readable sweep table.
+pub fn render_rate_sweep(s: &RateSweep) -> String {
+    let mut out = String::new();
+    out.push_str("offered/s  achieved/s  keep-up  rejected  shed  p50_s      p99_s\n");
+    for p in &s.points {
+        out.push_str(&format!(
+            "{:>9.1}  {:>10.1}  {:>6.2}   {:>8}  {:>4}  {:<9.6}  {:.6}\n",
+            p.offered_rate,
+            p.throughput,
+            p.throughput / p.offered_rate.max(1e-9),
+            p.rejected,
+            p.shed,
+            p.p50,
+            p.p99
+        ));
+    }
+    match s.knee {
+        Some(k) => out.push_str(&format!(
+            "knee     : {k:.1} datasets/s (last rate with achieved >= {:.0}% of offered)\n",
+            KNEE_KEEPUP * 100.0
+        )),
+        None => out.push_str("knee     : below the lowest swept rate (saturated everywhere)\n"),
+    }
+    out
+}
+
+/// Machine-readable sweep report.
+pub fn rate_sweep_json(cfg: &LoadConfig, s: &RateSweep) -> Value {
+    let mut doc = Value::object();
+    doc.set("workload", cfg.workload.as_str());
+    doc.set("transport", cfg.transport.as_str());
+    let points: Vec<Value> = s
+        .points
+        .iter()
+        .map(|p| {
+            let mut pv = Value::object();
+            pv.set("offered_rate", p.offered_rate);
+            pv.set("throughput", p.throughput);
+            pv.set("rejected", p.rejected as f64);
+            pv.set("shed", p.shed as f64);
+            pv.set("p50_s", p.p50);
+            pv.set("p99_s", p.p99);
+            pv
+        })
+        .collect();
+    doc.set("points", Value::Array(points));
+    match s.knee {
+        Some(k) => doc.set("knee_rate", k),
+        None => doc.set("knee_rate", Value::Null),
+    };
+    doc
 }
 
 /// Parse a duration like `2`, `2s`, `2.5s`, or `250ms` into seconds.

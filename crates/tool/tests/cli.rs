@@ -735,3 +735,245 @@ fn doctor_margins_flags_exactly_at_the_stability_boundary() {
     assert!(!ok, "fixed threshold should false-positive here: {text}");
     assert!(text.contains("DRIFT"), "{text}");
 }
+
+// ---------------------------------------------------------------------------
+// Out-of-process data plane: uds loads, overload discipline, calibration
+// ---------------------------------------------------------------------------
+//
+// These run here rather than in the tool's lib tests because the uds
+// path re-executes the current binary as a worker: under the `pipemap`
+// binary the hidden `__worker` dispatch answers the probe, under the
+// libtest harness it cannot.
+
+fn json_f64(doc: &pipemap_obs::Value, path: &[&str]) -> Option<f64> {
+    let mut v = doc;
+    for k in path {
+        v = v.get(k)?;
+    }
+    pipemap_obs::Value::as_f64(v)
+}
+
+#[test]
+fn uds_load_completes_and_reports_links() {
+    let out = pipemap()
+        .arg("load")
+        .arg("micro")
+        .args(["--transport", "uds"])
+        .args(["--datasets", "2000", "--size", "256", "--report", "json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = pipemap_obs::Value::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(
+        doc.get("config")
+            .and_then(|c| c.get("transport"))
+            .and_then(pipemap_obs::Value::as_str),
+        Some("uds")
+    );
+    assert_eq!(json_f64(&doc, &["result", "completed"]), Some(2000.0));
+    // Per-boundary link rows: nstages + 1 of them, every item accounted
+    // for on the first boundary.
+    let links = doc
+        .get("links")
+        .and_then(pipemap_obs::Value::as_array)
+        .unwrap();
+    assert_eq!(links.len(), 5, "4 stages -> 5 boundary links");
+    assert_eq!(json_f64(&links[0], &["items"]), Some(2000.0));
+    assert!(json_f64(&links[0], &["bytes"]).unwrap() > 0.0);
+    // Coalescing must actually coalesce: far fewer frames than items.
+    assert!(json_f64(&links[0], &["frames"]).unwrap() < 1000.0);
+}
+
+#[test]
+fn uds_load_admission_control_reports_rejections() {
+    let out = pipemap()
+        .arg("load")
+        .arg("micro")
+        .args(["--transport", "uds"])
+        .args(["--datasets", "3000", "--size", "64"])
+        .args(["--rate", "60000", "--admit-rate", "4000"])
+        .args(["--report", "json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = pipemap_obs::Value::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(json_f64(&doc, &["config", "admit_rate"]), Some(4000.0));
+    let offered = json_f64(&doc, &["result", "offered"]).unwrap();
+    let rejected = json_f64(&doc, &["result", "rejected"]).unwrap();
+    let completed = json_f64(&doc, &["result", "completed"]).unwrap();
+    assert_eq!(offered, 3000.0);
+    assert!(rejected > 0.0, "15x overload past the bucket must reject");
+    assert_eq!(completed + rejected, offered, "no arrival unaccounted");
+}
+
+#[test]
+fn load_rate_sweep_reports_knee_below_saturation() {
+    // Rates far below the micro pipeline's capacity: every point keeps
+    // up, so the knee is the top of the ramp.
+    let out = pipemap()
+        .arg("load")
+        .arg("micro")
+        .args(["--rate", "200:400:3"])
+        .args(["--duration", "200ms", "--size", "64"])
+        .args(["--report", "json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = pipemap_obs::Value::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    let points = doc
+        .get("points")
+        .and_then(pipemap_obs::Value::as_array)
+        .unwrap();
+    assert_eq!(points.len(), 3);
+    assert_eq!(json_f64(&points[0], &["offered_rate"]), Some(200.0));
+    assert_eq!(json_f64(&points[2], &["offered_rate"]), Some(400.0));
+    assert_eq!(json_f64(&doc, &["knee_rate"]), Some(400.0));
+
+    // A malformed ramp is rejected before any run starts.
+    let out = pipemap()
+        .arg("load")
+        .arg("micro")
+        .args(["--rate", "400:200:3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn calibrate_emits_schema_versioned_fit() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-calibrate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cal = dir.join("cal.json");
+    let out = pipemap()
+        .arg("calibrate")
+        .args(["--sizes", "64,4096", "--messages", "2000"])
+        .args(["--out", cal.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = pipemap_obs::Value::parse(&std::fs::read_to_string(&cal).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(pipemap_obs::Value::as_str),
+        Some("pipemap-calibration/v1")
+    );
+    assert!(json_f64(&doc, &["per_msg_s"]).unwrap() > 0.0);
+    assert!(json_f64(&doc, &["per_byte_s"]).unwrap() >= 0.0);
+    let samples = doc
+        .get("samples")
+        .and_then(pipemap_obs::Value::as_array)
+        .unwrap();
+    assert_eq!(samples.len(), 2);
+
+    // The fit round-trips into `map --calibration`.
+    let spec = write_spec(&dir, "cal.pmap", SPEC);
+    let out = pipemap()
+        .arg("map")
+        .arg(&spec)
+        .args(["--calibration", cal.to_str().unwrap()])
+        .args(["--edge-bytes", "1048576"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("data sets/s"), "{text}");
+}
+
+#[test]
+fn map_calibration_flags_must_be_consistent() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-cal-flags");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = write_spec(&dir, "p.pmap", SPEC);
+    let cal = write_spec(
+        &dir,
+        "cal.json",
+        "{\"schema\": \"pipemap-calibration/v1\", \"per_msg_s\": 1e-6, \
+          \"per_byte_s\": 1e-9, \"r2\": 1.0, \"samples\": []}",
+    );
+    // --calibration without --edge-bytes is an error, and vice versa.
+    let out = pipemap()
+        .arg("map")
+        .arg(&spec)
+        .args(["--calibration", cal.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = pipemap()
+        .arg("map")
+        .arg(&spec)
+        .args(["--edge-bytes", "100"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // The byte list must cover every edge (this spec has exactly one).
+    let out = pipemap()
+        .arg("map")
+        .arg(&spec)
+        .args(["--calibration", cal.to_str().unwrap()])
+        .args(["--edge-bytes", "100,200"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn uds_journeys_are_complete_for_doctor() {
+    let dir = std::env::temp_dir().join("pipemap-cli-test-uds-journeys");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journeys = dir.join("uds.jsonl");
+    let out = pipemap()
+        .arg("load")
+        .arg("fft-hist")
+        .args(["--transport", "uds"])
+        .args(["--datasets", "600", "--size", "32"])
+        .args(["--journey-out", journeys.to_str().unwrap()])
+        .args(["--journey-sample", "4"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = pipemap()
+        .arg("doctor")
+        .arg(&journeys)
+        .args(["--report", "json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = pipemap_obs::Value::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    // Cross-process events stitch into complete journeys: every sampled
+    // data set contributes all three hops.
+    let complete = json_f64(&doc, &["complete"]).unwrap();
+    assert!(complete > 0.0, "no complete journeys from the uds run");
+    assert_eq!(
+        doc.get("stages")
+            .and_then(pipemap_obs::Value::as_array)
+            .map(|s| s.len()),
+        Some(3)
+    );
+}
