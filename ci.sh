@@ -53,7 +53,7 @@ echo "== doctor smoke: traced load run diagnosed drift-free =="
 # is also checked for structural well-formedness.
 JOURNEY_SMOKE_OUT=$(mktemp /tmp/pipemap-journeys.XXXXXX.jsonl)
 DOCTOR_SMOKE_OUT=$(mktemp /tmp/pipemap-doctor.XXXXXX.json)
-trap 'rm -f "$JOURNEY_SMOKE_OUT" "$DOCTOR_SMOKE_OUT" "${UDS_SMOKE_CAL:-}" "${UDS_SMOKE_REPORT:-}" "${UDS_SMOKE_JOURNEYS:-}" "${UDS_SMOKE_DOCTOR:-}" "${BENCH_SMOKE_OUT:-}" "${LIVE_SMOKE_LOG:-}" "${EXPLAIN_SMOKE_SPEC:-}" "${EXPLAIN_SMOKE_OUT:-}" "${EXPLAIN_SMOKE_JOURNEYS:-}" "${RESOLVE_SMOKE_SPEC:-}" "${RESOLVE_SMOKE_JOURNEYS:-}" "${RESOLVE_SMOKE_DOCTOR:-}" "${RESOLVE_SMOKE_OUT:-}"; kill "${LIVE_SMOKE_PID:-}" 2>/dev/null || true' EXIT
+trap 'rm -f "$JOURNEY_SMOKE_OUT" "$DOCTOR_SMOKE_OUT" "${UDS_SMOKE_CAL:-}" "${UDS_SMOKE_REPORT:-}" "${UDS_SMOKE_JOURNEYS:-}" "${UDS_SMOKE_DOCTOR:-}" "${BENCH_SMOKE_OUT:-}" "${LIVE_SMOKE_LOG:-}" "${TELEM_SMOKE_LOG:-}" "${TELEM_SMOKE_TOP:-}" "${EXPLAIN_SMOKE_SPEC:-}" "${EXPLAIN_SMOKE_OUT:-}" "${EXPLAIN_SMOKE_JOURNEYS:-}" "${RESOLVE_SMOKE_SPEC:-}" "${RESOLVE_SMOKE_JOURNEYS:-}" "${RESOLVE_SMOKE_DOCTOR:-}" "${RESOLVE_SMOKE_OUT:-}"; kill "${LIVE_SMOKE_PID:-}" "${TELEM_SMOKE_PID:-}" 2>/dev/null || true' EXIT
 ./target/release/pipemap load fft-hist --duration 2s --size 64 \
     --journey-out "$JOURNEY_SMOKE_OUT" --journey-sample 8
 ./target/release/pipemap doctor "$JOURNEY_SMOKE_OUT" \
@@ -278,6 +278,78 @@ print("live smoke: %d stages modelled, %d events" % (len(model["stages"]), len(l
 EOF
 kill "$LIVE_SMOKE_PID" 2>/dev/null || true
 wait "$LIVE_SMOKE_PID" 2>/dev/null || true
+
+echo "== telemetry smoke: per-worker series over an observed uds load run =="
+# The cross-process telemetry plane end to end: an observed uds load run
+# (metrics server up) automatically lights the worker-side sidecar, so
+# /metrics must carry per-pid worker families — items moved, CPU and RSS
+# sampled from /proc, liveness — and `pipemap top` must render the
+# per-process worker rows from the same snapshot. Both kernel-thread
+# settings, like the uds smoke.
+TELEM_SMOKE_LOG=$(mktemp /tmp/pipemap-telem-smoke.XXXXXX.log)
+TELEM_SMOKE_TOP=$(mktemp /tmp/pipemap-telem-top.XXXXXX.txt)
+for TELEM_THREADS in 1 4; do
+    PIPEMAP_THREADS=$TELEM_THREADS ./target/release/pipemap load micro \
+        --transport uds --datasets 20000 --threads "$TELEM_THREADS" \
+        --serve 127.0.0.1:0 --hold 30 2> "$TELEM_SMOKE_LOG" &
+    TELEM_SMOKE_PID=$!
+    TELEM_ADDR=""
+    for _ in $(seq 1 100); do
+        TELEM_ADDR=$(sed -n 's#^serving metrics on http://\([^/]*\)/metrics.*#\1#p' "$TELEM_SMOKE_LOG")
+        [ -n "$TELEM_ADDR" ] && break
+        sleep 0.1
+    done
+    if [ -z "$TELEM_ADDR" ]; then
+        echo "telemetry smoke: server never announced an address" >&2
+        cat "$TELEM_SMOKE_LOG" >&2
+        exit 1
+    fi
+    python3 - "$TELEM_ADDR" "$TELEM_THREADS" <<'EOF'
+import sys, time, urllib.request
+addr, threads = sys.argv[1], sys.argv[2]
+
+def check():
+    text = urllib.request.urlopen("http://%s/metrics" % addr, timeout=10).read().decode()
+    lines = text.splitlines()
+    def series(family):
+        return [l for l in lines
+                if l.startswith(family + "{") or l.startswith(family + "_total{")]
+    items = series("pipemap_exec_worker_items")
+    assert items, "no per-worker items series on /metrics"
+    pids = {l.split('pid="')[1].split('"')[0] for l in items}
+    assert len(pids) >= 2, "expected several worker pids, got %s" % pids
+    moved = sum(float(l.rsplit(" ", 1)[1]) for l in items)
+    assert moved > 0, "worker series report no items moved"
+    for family in ("pipemap_exec_worker_cpu_pct", "pipemap_exec_worker_rss_bytes",
+                   "pipemap_exec_worker_stale"):
+        assert series(family), "missing %s series on /metrics" % family
+    stale = [float(l.rsplit(" ", 1)[1]) for l in series("pipemap_exec_worker_stale")]
+    assert all(s == 0.0 for s in stale), "clean run marked workers stale: %s" % stale
+    return len(pids), moved
+
+# The server announces before the datasets drain, so poll until the
+# worker series settle instead of racing the run.
+deadline = time.time() + 20
+while True:
+    try:
+        npids, moved = check()
+        break
+    except AssertionError:
+        if time.time() >= deadline:
+            raise
+        time.sleep(0.2)
+print("telemetry smoke (threads=%s): %d worker pids, %d items via telemetry"
+      % (threads, npids, moved))
+EOF
+    ./target/release/pipemap top --attach "$TELEM_ADDR" --once > "$TELEM_SMOKE_TOP"
+    grep -q "workers (per process):" "$TELEM_SMOKE_TOP" || {
+        echo "telemetry smoke: top rendered no worker rows" >&2
+        cat "$TELEM_SMOKE_TOP" >&2
+        exit 1
+    }
+    kill "$TELEM_SMOKE_PID" 2>/dev/null || true
+    wait "$TELEM_SMOKE_PID" 2>/dev/null || true
+done
 
 echo "== bench-smoke: quick perf suite + schema check =="
 BENCH_SMOKE_OUT=$(mktemp /tmp/pipemap-bench-smoke.XXXXXX.json)

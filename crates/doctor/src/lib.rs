@@ -37,7 +37,7 @@ use pipemap_obs::{journey_jsonl, stitch, Journey, JourneyEvent, Recorder, Value,
 use pipemap_profile::OnlineModel;
 
 /// Schema tag of the JSON drift report.
-pub const DOCTOR_SCHEMA: &str = "pipemap-doctor/v1";
+pub const DOCTOR_SCHEMA: &str = pipemap_obs::schema::DOCTOR;
 
 /// Exact per-stage stability margins for one mapping, as produced by
 /// `pipemap explain --report json` (see [`pipemap_core::stability_margins`]).
@@ -307,6 +307,10 @@ pub struct JourneyLog {
     pub source: String,
     /// 1-in-N sampling stride the events were recorded with.
     pub sample: u64,
+    /// Journey events lost to collector-ring overflow while recording:
+    /// nonzero means the file under-represents the run beyond its
+    /// declared sampling stride.
+    pub dropped: u64,
     /// The model prediction snapshot, when the producer had one.
     pub model: Option<ModelPrediction>,
     /// The recorded events.
@@ -320,6 +324,7 @@ impl JourneyLog {
         header.set("journey_schema", JOURNEY_SCHEMA);
         header.set("source", self.source.as_str());
         header.set("sample", self.sample);
+        header.set("dropped", self.dropped);
         match &self.model {
             Some(m) => header.set("model", m.to_value()),
             None => header.set("model", Value::Null),
@@ -336,6 +341,7 @@ impl JourneyLog {
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut source = "unknown".to_string();
         let mut sample = 1u64;
+        let mut dropped = 0u64;
         let mut model = None;
         let mut events = Vec::new();
         let mut saw_header = false;
@@ -360,6 +366,9 @@ impl JourneyLog {
                 if let Some(n) = v.get("sample").and_then(Value::as_f64) {
                     sample = (n as u64).max(1);
                 }
+                if let Some(n) = v.get("dropped").and_then(Value::as_f64) {
+                    dropped = n as u64;
+                }
                 match v.get("model") {
                     Some(Value::Null) | None => {}
                     Some(m) => model = Some(ModelPrediction::from_value(m)?),
@@ -373,6 +382,7 @@ impl JourneyLog {
         Ok(Self {
             source,
             sample,
+            dropped,
             model,
             events,
         })
@@ -616,6 +626,9 @@ pub struct DoctorOptions {
     /// Sampling stride the events were recorded with (scales the
     /// measured-throughput estimate).
     pub sample: u64,
+    /// Journey events the producer dropped at its collector ring
+    /// (sampling-completeness warning when nonzero).
+    pub dropped: u64,
 }
 
 impl Default for DoctorOptions {
@@ -625,6 +638,7 @@ impl Default for DoctorOptions {
             margin: 0.10,
             min_samples: 8,
             sample: 1,
+            dropped: 0,
         }
     }
 }
@@ -638,6 +652,8 @@ pub struct DriftReport {
     pub complete: usize,
     /// Sampling stride of the input.
     pub sample: u64,
+    /// Journey events the producer dropped at its collector ring.
+    pub dropped: u64,
     /// Per-stage decomposition and comparison.
     pub stages: Vec<StageDiagnosis>,
     /// Stage with the largest measured effective response.
@@ -676,6 +692,7 @@ pub fn diagnose_log_with_margins(
 ) -> DriftReport {
     let mut o = *opts;
     o.sample = log.sample;
+    o.dropped = log.dropped;
     diagnose_with_margins(&log.events, log.model.as_ref(), margins, &o)
 }
 
@@ -936,6 +953,7 @@ pub fn diagnose_with_margins(
         stitched: journeys.len(),
         complete: complete.len(),
         sample: opts.sample,
+        dropped: opts.dropped,
         stages,
         measured_bottleneck,
         predicted_bottleneck,
@@ -1016,6 +1034,7 @@ pub fn report_json(report: &DriftReport) -> Value {
     v.set("journeys", report.stitched as u64);
     v.set("complete", report.complete as u64);
     v.set("sample", report.sample);
+    v.set("dropped", report.dropped);
     let stats = |s: &ComponentStats| {
         let mut o = Value::object();
         o.set("mean_s", s.mean);
@@ -1148,6 +1167,15 @@ pub fn render(report: &DriftReport) -> String {
         "journeys: {} stitched, {} complete (1-in-{} sampling)",
         report.stitched, report.complete, report.sample
     );
+    if report.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {} journey events were dropped at the collector ring — the \
+             timeline under-represents the run beyond its sampling stride, so the \
+             decomposition below may be biased toward quieter periods",
+            report.dropped
+        );
+    }
     if let Some(thr) = report.measured_throughput {
         match report.predicted_throughput {
             Some(p) if p.is_finite() => {
@@ -1535,6 +1563,7 @@ mod tests {
         let log = JourneyLog {
             source: "simulate".into(),
             sample: 8,
+            dropped: 3,
             model: Some(model.clone()),
             events,
         };
@@ -1542,8 +1571,23 @@ mod tests {
         let back = JourneyLog::parse(&text).expect("parses");
         assert_eq!(back.source, "simulate");
         assert_eq!(back.sample, 8);
+        assert_eq!(back.dropped, 3);
         assert_eq!(back.model, Some(model));
         assert_eq!(back.events, log.events);
+
+        // A lossy log triggers the sampling-completeness warning; a
+        // complete one stays quiet.
+        let lossy = diagnose_log(&back, &DoctorOptions::default());
+        assert_eq!(lossy.dropped, 3);
+        assert!(render(&lossy).contains("WARNING: 3 journey events were dropped"));
+        let complete = diagnose_log(
+            &JourneyLog {
+                dropped: 0,
+                ..back.clone()
+            },
+            &DoctorOptions::default(),
+        );
+        assert!(!render(&complete).contains("WARNING"));
 
         // Headerless event streams still parse.
         let raw = pipemap_obs::journey_jsonl(&log.events);

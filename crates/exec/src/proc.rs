@@ -28,11 +28,14 @@ use std::io::{self, BufRead, BufReader};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use pipemap_obs::{JourneyCollector, JourneyConfig, JourneyEvent, JourneyKind, JourneySink, Value};
+use pipemap_obs::{
+    DeltaTracker, JourneyCollector, JourneyConfig, JourneyEvent, JourneyKind, JourneySink,
+    Recorder, Registry, Value,
+};
 
 use crate::driver::LatencySummary;
 use crate::pool::BufferPool;
@@ -380,6 +383,69 @@ fn sink_path(dir: &Path) -> PathBuf {
     dir.join("sink.sock")
 }
 
+fn telemetry_path(dir: &Path) -> PathBuf {
+    dir.join("telemetry.sock")
+}
+
+/// Bare metric names inside a worker's local registry. The parent
+/// prefixes each with `exec.worker.s<stage>i<instance>.p<pid>.` on
+/// ingest, which is the shape `pipemap_obs::openmetrics` folds into
+/// labelled `{stage,instance,pid}` families on `/metrics`.
+pub mod worker_metric {
+    /// Data sets processed (counter).
+    pub const ITEMS: &str = "items";
+    /// Kernel time per item, seconds (histogram).
+    pub const SERVICE_S: &str = "service_s";
+    /// Blocking input waits, seconds per wait (histogram).
+    pub const RECV_WAIT_S: &str = "recv_wait_s";
+    /// Blocking output writes, seconds per flush (histogram).
+    pub const SEND_WAIT_S: &str = "send_wait_s";
+    /// CPU utilisation since the previous telemetry tick, percent of
+    /// one core (gauge, from `/proc/self/stat`).
+    pub const CPU_PCT: &str = "cpu_pct";
+    /// Resident set size, bytes (gauge, from `/proc/self/status`).
+    pub const RSS_BYTES: &str = "rss_bytes";
+    /// Voluntary context switches since process start (gauge).
+    pub const CTX_VOLUNTARY: &str = "ctx_voluntary";
+    /// Involuntary context switches since process start (gauge).
+    pub const CTX_INVOLUNTARY: &str = "ctx_involuntary";
+    /// Fraction of the last telemetry interval spent in the kernel
+    /// (gauge, Δservice_s / Δwall).
+    pub const BUSY_FRAC: &str = "busy_frac";
+    /// Fraction of the last telemetry interval spent blocked on input
+    /// (gauge, Δrecv_wait_s / Δwall).
+    pub const STARVED_FRAC: &str = "starved_frac";
+    /// Journey ring evictions in this worker (counter; nonzero means
+    /// the sampled timeline is incomplete).
+    pub const JOURNEY_DROPPED: &str = "journey_dropped";
+    /// 0 while the worker's telemetry stream is live, 1 once the parent
+    /// saw it die without a clean EOF (gauge, parent-written).
+    pub const STALE: &str = "stale";
+}
+
+/// Where the parent routes journey events arriving over telemetry.
+/// Installed by the caller (e.g. `pipemap load --serve`) so live runs
+/// can expose worker-sampled journeys while the run is still going;
+/// `WireRun::events` stays fed by the end-of-run stdout lines either
+/// way.
+static TELEMETRY_JOURNEYS: Mutex<Option<JourneySink>> = Mutex::new(None);
+
+/// Install the sink that receives live worker journey events from the
+/// telemetry plane. Events were already sampled worker-side, so pass a
+/// sink from a collector configured with sample = 1 — a coarser sample
+/// here would silently re-filter them.
+pub fn install_telemetry_journeys(sink: JourneySink) {
+    *TELEMETRY_JOURNEYS.lock().unwrap() = Some(sink);
+}
+
+/// Remove the installed telemetry journey sink (flushing it), so a
+/// finished serve run stops holding the ring alive.
+pub fn uninstall_telemetry_journeys() {
+    if let Some(mut sink) = TELEMETRY_JOURNEYS.lock().unwrap().take() {
+        sink.flush();
+    }
+}
+
 /// The command that runs workers: `PIPEMAP_WORKER_BIN` if set (a
 /// dedicated worker binary taking worker args directly), else the
 /// current executable re-run with the hidden `__worker` argument.
@@ -707,6 +773,220 @@ fn run_echo_worker(path: &Path) -> Result<(), String> {
     link.send_eof().map_err(|e| e.to_string())
 }
 
+/// Pre-resolved handles for the worker loop's hot-path observations.
+struct WorkerMeters {
+    items: pipemap_obs::Counter,
+    service: pipemap_obs::HistogramHandle,
+    recv_wait: pipemap_obs::HistogramHandle,
+    send_wait: pipemap_obs::HistogramHandle,
+}
+
+impl WorkerMeters {
+    fn new(rec: &Recorder) -> Self {
+        Self {
+            items: rec.counter(worker_metric::ITEMS),
+            service: rec.histogram(worker_metric::SERVICE_S),
+            recv_wait: rec.histogram(worker_metric::RECV_WAIT_S),
+            send_wait: rec.histogram(worker_metric::SEND_WAIT_S),
+        }
+    }
+}
+
+/// The worker side of the telemetry plane: a process-local registry the
+/// pipeline loop records into, plus a background thread that ships
+/// delta snapshots (metrics, resource stats, drained journey events)
+/// to the parent every `telemetry_us` over the dedicated telemetry
+/// socket. Telemetry is strictly best-effort: if the connection cannot
+/// be made the worker runs on without it, and a worker that dies takes
+/// its stream down with it — the parent, not the worker, handles that.
+struct WorkerTelemetry {
+    rec: Recorder,
+    stop: Arc<AtomicBool>,
+    /// Journey events drained from the ring by the telemetry thread,
+    /// kept so the end-of-run stdout `J ` lines stay complete.
+    kept: Arc<Mutex<Vec<JourneyEvent>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerTelemetry {
+    fn start(
+        plan: &WirePlan,
+        si: usize,
+        ii: usize,
+        dir: &Path,
+        hash: u64,
+        collector: Option<JourneyCollector>,
+    ) -> Self {
+        let registry = Registry::new();
+        let rec = registry.recorder();
+        let stop = Arc::new(AtomicBool::new(false));
+        let kept = Arc::new(Mutex::new(Vec::new()));
+        let period = Duration::from_micros(plan.telemetry_us.max(1));
+        // Handshake and first snapshot happen synchronously, before the
+        // caller joins the data plane: the parent learns this worker's
+        // pid up front, so even a crash moments into the stream is
+        // attributed to the right series. A failure here just disables
+        // telemetry for the run — the data plane never depends on it.
+        let handle = match TelemetrySession::open(
+            &telemetry_path(dir),
+            hash,
+            si,
+            ii,
+            registry,
+            collector,
+            &kept,
+        ) {
+            Ok(mut session) => {
+                let thread_stop = stop.clone();
+                let thread_kept = kept.clone();
+                Some(std::thread::spawn(move || {
+                    session.run(period, &thread_stop, &thread_kept);
+                }))
+            }
+            Err(e) => {
+                eprintln!("stage {si}.{ii} telemetry: {e} (continuing without)");
+                None
+            }
+        };
+        Self {
+            rec,
+            stop,
+            kept,
+            handle,
+        }
+    }
+
+    /// Signal the thread, wait for its final snapshot + EOF, and return
+    /// every journey event it drained from the ring along the way.
+    fn finish(mut self) -> Vec<JourneyEvent> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        std::mem::take(&mut self.kept.lock().unwrap())
+    }
+}
+
+/// One worker's live telemetry connection and the delta-collection
+/// state behind it.
+struct TelemetrySession {
+    link: UdsLink,
+    registry: Registry,
+    rec: Recorder,
+    tracker: DeltaTracker,
+    cpu: pipemap_profile::CpuTracker,
+    collector: Option<JourneyCollector>,
+    dropped_seen: u64,
+    last_tick: Instant,
+    pid: u32,
+}
+
+impl TelemetrySession {
+    fn open(
+        path: &Path,
+        hash: u64,
+        si: usize,
+        ii: usize,
+        registry: Registry,
+        collector: Option<JourneyCollector>,
+        kept: &Mutex<Vec<JourneyEvent>>,
+    ) -> io::Result<Self> {
+        let pool = BufferPool::new(8);
+        let mut link = UdsLink::connect_retry(path, pool, HANDSHAKE_TIMEOUT)?;
+        link.send_hello(hash, si as u32, ii as u32)?;
+        link.recv_ready()?;
+        let mut session = Self {
+            link,
+            rec: registry.recorder(),
+            registry,
+            tracker: DeltaTracker::new(),
+            cpu: pipemap_profile::CpuTracker::new(),
+            collector,
+            dropped_seen: 0,
+            last_tick: Instant::now(),
+            pid: std::process::id(),
+        };
+        session.tick(kept)?;
+        Ok(session)
+    }
+
+    /// One telemetry beat: refresh resource gauges, collect the delta
+    /// since the previous tick (plus drained journey events), ship it.
+    fn tick(&mut self, kept: &Mutex<Vec<JourneyEvent>>) -> io::Result<()> {
+        if let Some(s) = pipemap_profile::sample_self() {
+            self.rec
+                .gauge_set(worker_metric::CPU_PCT, self.cpu.cpu_pct(&s));
+            self.rec
+                .gauge_set(worker_metric::RSS_BYTES, s.rss_bytes as f64);
+            self.rec
+                .gauge_set(worker_metric::CTX_VOLUNTARY, s.vol_ctx as f64);
+            self.rec
+                .gauge_set(worker_metric::CTX_INVOLUNTARY, s.invol_ctx as f64);
+        }
+        if let Some(c) = &self.collector {
+            let d = c.dropped();
+            self.rec
+                .add(worker_metric::JOURNEY_DROPPED, d - self.dropped_seen);
+            self.dropped_seen = d;
+        }
+
+        let mut snap = self.tracker.collect(&self.registry, self.pid);
+
+        // Busy/starved fractions of the interval just ended, derived
+        // from the very deltas being shipped so they can never disagree
+        // with the aggregated histograms.
+        let dt = self.last_tick.elapsed().as_secs_f64();
+        self.last_tick = Instant::now();
+        if dt > 1e-6 {
+            let delta_sum = |name: &str| {
+                snap.histograms
+                    .iter()
+                    .find(|h| h.name == name)
+                    .map_or(0.0, |h| h.sum)
+            };
+            let busy = delta_sum(worker_metric::SERVICE_S) / dt;
+            let starved = delta_sum(worker_metric::RECV_WAIT_S) / dt;
+            self.rec.gauge_set(worker_metric::BUSY_FRAC, busy);
+            self.rec.gauge_set(worker_metric::STARVED_FRAC, starved);
+            snap.gauges
+                .push((worker_metric::BUSY_FRAC.to_string(), busy));
+            snap.gauges
+                .push((worker_metric::STARVED_FRAC.to_string(), starved));
+        }
+
+        if let Some(c) = &self.collector {
+            let drained = c.drain();
+            if !drained.is_empty() {
+                kept.lock().unwrap().extend_from_slice(&drained);
+                snap.journeys = drained;
+            }
+        }
+
+        self.link.send_telemetry(snap.to_json().as_bytes())
+    }
+
+    fn run(&mut self, period: Duration, stop: &AtomicBool, kept: &Mutex<Vec<JourneyEvent>>) {
+        loop {
+            // Sleep the period in small slices so a stop request still
+            // gets its final snapshot promptly.
+            let deadline = Instant::now() + period;
+            while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+                let left = deadline.saturating_duration_since(Instant::now());
+                std::thread::sleep(left.min(Duration::from_millis(20)));
+            }
+            let stopping = stop.load(Ordering::Relaxed);
+            if self.tick(kept).is_err() {
+                // Parent side gone; nothing left to ship to.
+                return;
+            }
+            if stopping {
+                let _ = self.link.send_eof();
+                return;
+            }
+        }
+    }
+}
+
 fn run_pipeline_worker(plan: &WirePlan, si: usize, ii: usize, dir: &Path) -> Result<(), String> {
     let nstages = plan.stages.len();
     if si >= nstages {
@@ -723,6 +1003,24 @@ fn run_pipeline_worker(plan: &WirePlan, si: usize, ii: usize, dir: &Path) -> Res
     // can start in any order and retry its way to a full mesh.
     let listener = UnixListener::bind(sock_path(dir, si, ii))
         .map_err(|e| format!("bind stage {si}.{ii} listener: {e}"))?;
+
+    let collector = (plan.journey_sample > 0).then(|| {
+        JourneyCollector::new(
+            JourneyConfig::default()
+                .with_sample(plan.journey_sample)
+                .with_capacity(1 << 16),
+        )
+    });
+
+    // Telemetry is per-process: a local registry the loop below records
+    // into, shipped to the parent as deltas by a background thread.
+    // Started before the data-plane handshake so the parent learns this
+    // worker's pid from the first snapshot even if the worker dies
+    // moments into the stream.
+    let telemetry = (plan.telemetry_us > 0)
+        .then(|| WorkerTelemetry::start(plan, si, ii, dir, hash, collector.clone()));
+    let meters = telemetry.as_ref().map(|t| WorkerMeters::new(&t.rec));
+    let mut send_wait_logged = 0.0_f64;
 
     // Downstream links: one per next-stage instance (or the sink).
     let down_paths: Vec<PathBuf> = if si + 1 < nstages {
@@ -767,13 +1065,6 @@ fn run_pipeline_worker(plan: &WirePlan, si: usize, ii: usize, dir: &Path) -> Res
         .collect();
     drop(tx);
 
-    let collector = (plan.journey_sample > 0).then(|| {
-        JourneyCollector::new(
-            JourneyConfig::default()
-                .with_sample(plan.journey_sample)
-                .with_capacity(1 << 16),
-        )
-    });
     let mut journey = collector.as_ref().map(|c| WireJourney {
         sink: c.sink(),
         clock,
@@ -812,7 +1103,11 @@ fn run_pipeline_worker(plan: &WirePlan, si: usize, ii: usize, dir: &Path) -> Res
                 let t0 = Instant::now();
                 match rx.recv() {
                     Ok(m) => {
-                        stats.recv_wait_s += t0.elapsed().as_secs_f64();
+                        let waited = t0.elapsed().as_secs_f64();
+                        stats.recv_wait_s += waited;
+                        if let Some(mt) = &meters {
+                            mt.recv_wait.record(waited);
+                        }
                         m
                     }
                     Err(_) => break,
@@ -859,8 +1154,13 @@ fn run_pipeline_worker(plan: &WirePlan, si: usize, ii: usize, dir: &Path) -> Res
                         failure = Some(format!("stage {si}.{ii} kernel: {e}"));
                         return;
                     }
-                    stats.service_s += t0.elapsed().as_secs_f64();
+                    let served = t0.elapsed().as_secs_f64();
+                    stats.service_s += served;
                     stats.items += 1;
+                    if let Some(mt) = &meters {
+                        mt.service.record(served);
+                        mt.items.add(1);
+                    }
                     if sampled {
                         let j = journey.as_mut().expect("sampled implies journey");
                         let t = j.clock.now_us();
@@ -895,6 +1195,13 @@ fn run_pipeline_worker(plan: &WirePlan, si: usize, ii: usize, dir: &Path) -> Res
                     return Err(e);
                 }
                 txset.flush_aged(&mut journey).map_err(err)?;
+                if let Some(mt) = &meters {
+                    let waited = txset.send_wait_s - send_wait_logged;
+                    if waited > 0.0 {
+                        mt.send_wait.record(waited);
+                        send_wait_logged = txset.send_wait_s;
+                    }
+                }
             }
             RxMsg::Done(s) => upstream_in.merge(&s),
             RxMsg::Fail(e) => return Err(format!("stage {si}.{ii} upstream: {e}")),
@@ -910,10 +1217,21 @@ fn run_pipeline_worker(plan: &WirePlan, si: usize, ii: usize, dir: &Path) -> Res
     stats.lifetime_s = started.elapsed().as_secs_f64();
     stats.link = upstream_in;
     stats.link.merge(&txset.link_stats());
+    if let Some(mt) = &meters {
+        let waited = txset.send_wait_s - send_wait_logged;
+        if waited > 0.0 {
+            mt.send_wait.record(waited);
+        }
+    }
     println!("S {}", stats.to_value().to_json());
+    // Flush the journey sink into the ring *before* stopping telemetry,
+    // so the final delta snapshot carries the tail of the timeline.
     drop(journey);
+    let drained_early = telemetry.map(WorkerTelemetry::finish).unwrap_or_default();
     if let Some(c) = collector {
-        for ev in c.snapshot() {
+        // Telemetry drains the ring as it ships; stdout still reports
+        // the complete set (drained + whatever is left in the ring).
+        for ev in drained_early.iter().copied().chain(c.snapshot()) {
             println!("J {}", ev.to_value().to_json());
         }
     }
@@ -965,6 +1283,119 @@ impl WireFeeder {
     /// Parent seconds spent blocked in stage-0 writes so far.
     pub fn source_wait_s(&self) -> f64 {
         self.txset.send_wait_s
+    }
+}
+
+/// Parent half of the telemetry plane: accept one connection per
+/// worker on the run's telemetry socket and fold every delta snapshot
+/// into the *global* registry under per-process prefixes, so `/metrics`,
+/// the flight recorder and `pipemap top` see worker internals without
+/// any of them changing.
+struct TelemetryIngest {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryIngest {
+    fn start(listener: UnixListener, hash: u64, pool: BufferPool) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+            if listener.set_nonblocking(true).is_err() {
+                return;
+            }
+            while !accept_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        let _ = s.set_nonblocking(false);
+                        let link = UdsLink::new(s, pool.clone());
+                        handlers.push(std::thread::spawn(move || telemetry_handler(link, hash)));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Workers are dead (reaped or killed) by the time the run
+            // asks us to stop, so every handler sees EOF or a closed
+            // socket and the joins cannot hang.
+            for h in handlers {
+                let _ = h.join();
+            }
+        });
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for TelemetryIngest {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Drain one worker's telemetry stream into the global registry. A
+/// clean `EOF` ends the series as-is; a dead socket instead pins the
+/// worker's `stale` gauge to 1 — its last-known series stay visible
+/// and clearly marked rather than silently frozen.
+fn telemetry_handler(mut link: UdsLink, hash: u64) {
+    let Ok((si, ii)) = link.recv_hello(hash) else {
+        return;
+    };
+    if link.send_ready().is_err() {
+        return;
+    }
+    let rec = pipemap_obs::global();
+    let mut prefix: Option<String> = None;
+    loop {
+        match link.recv_telemetry() {
+            Ok(Some(buf)) => {
+                let Ok(text) = std::str::from_utf8(&buf) else {
+                    continue;
+                };
+                let Ok(snap) = pipemap_obs::DeltaSnapshot::parse(text) else {
+                    continue;
+                };
+                let p = prefix.get_or_insert_with(|| {
+                    format!(
+                        "{}s{si}i{ii}.p{}.",
+                        pipemap_obs::names::EXEC_WORKER_PREFIX,
+                        snap.pid
+                    )
+                });
+                pipemap_obs::apply_delta(&rec, p, &snap);
+                rec.gauge_set(&format!("{p}{}", worker_metric::STALE), 0.0);
+                if !snap.journeys.is_empty() {
+                    if let Some(sink) = TELEMETRY_JOURNEYS.lock().unwrap().as_mut() {
+                        for ev in &snap.journeys {
+                            sink.record_at(
+                                ev.t_us,
+                                ev.kind,
+                                ev.seq as usize,
+                                ev.stage,
+                                ev.instance,
+                                ev.batch,
+                            );
+                        }
+                        sink.flush();
+                    }
+                }
+            }
+            Ok(None) => return,
+            Err(_) => {
+                if let Some(p) = &prefix {
+                    rec.gauge_set(&format!("{p}{}", worker_metric::STALE), 1.0);
+                }
+                return;
+            }
+        }
     }
 }
 
@@ -1029,6 +1460,19 @@ fn run_wire_in(
     // to connect.
     let sink_listener =
         UnixListener::bind(sink_path(dir)).map_err(|e| format!("bind sink listener: {e}"))?;
+
+    // Likewise the telemetry listener, when the plan turns telemetry
+    // on: every worker's telemetry thread connects to it right after
+    // startup. The ingest joins on drop, which is after every child is
+    // reaped or killed — so its handlers always see their sockets
+    // close.
+    let _telemetry_ingest = if plan.telemetry_us > 0 {
+        let listener = UnixListener::bind(telemetry_path(dir))
+            .map_err(|e| format!("bind telemetry listener: {e}"))?;
+        Some(TelemetryIngest::start(listener, hash, pool.clone()))
+    } else {
+        None
+    };
 
     // Spawn every worker.
     let mut children: Vec<(usize, usize, Child)> = Vec::new();
@@ -1204,6 +1648,11 @@ fn run_wire_in(
         }
     };
     let elapsed = started.elapsed().as_secs_f64();
+
+    // The sink-side journey buffers flush on drop; without this the
+    // tail of the timeline (up to one sink chunk) would be missing
+    // from the snapshot below.
+    drop(sink_journey);
 
     // Children have sent EOF all the way down, so they are exiting:
     // read each stdout to end (stats + journey lines), then reap.

@@ -54,6 +54,9 @@ pub enum FrameKind {
     Eof = 3,
     /// Fatal error, UTF-8 message payload.
     Err = 4,
+    /// A worker's delta snapshot (JSON `pipemap-telemetry/v1` payload)
+    /// on the dedicated telemetry socket.
+    Telemetry = 5,
 }
 
 impl FrameKind {
@@ -64,6 +67,7 @@ impl FrameKind {
             2 => Some(FrameKind::Data),
             3 => Some(FrameKind::Eof),
             4 => Some(FrameKind::Err),
+            5 => Some(FrameKind::Telemetry),
             _ => None,
         }
     }
@@ -401,6 +405,37 @@ impl UdsLink {
         Ok(())
     }
 
+    /// Send one telemetry snapshot (the worker side of the sidecar
+    /// channel). The payload is an opaque serialized
+    /// `pipemap-telemetry/v1` document.
+    pub fn send_telemetry(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.send_control(FrameKind::Telemetry, payload)?;
+        self.stream.flush()
+    }
+
+    /// Blocking receive on the telemetry channel: `Some(payload)` per
+    /// snapshot, `None` after the worker's clean final `EOF`. A raw
+    /// close without `EOF` (the worker died) is an error, so the
+    /// parent can mark the series stale instead of wedging.
+    pub fn recv_telemetry(&mut self) -> io::Result<Option<Lease<Vec<u8>>>> {
+        let Some((kind, buf)) = self.read_frame()? else {
+            return Err(proto_err(
+                "peer closed without EOF (worker died mid-stream?)",
+            ));
+        };
+        match kind {
+            FrameKind::Telemetry => Ok(Some(buf)),
+            FrameKind::Eof => Ok(None),
+            FrameKind::Err => {
+                let msg = String::from_utf8_lossy(&buf).into_owned();
+                Err(io::Error::other(format!("peer error: {msg}")))
+            }
+            other => Err(proto_err(format!(
+                "unexpected {other:?} on telemetry channel"
+            ))),
+        }
+    }
+
     /// The naive reference path: one frame per item, header and payload
     /// copied into a freshly allocated contiguous buffer, one `write`
     /// per item. This is what [`Transport::send_data`]'s coalesced
@@ -722,6 +757,38 @@ mod tests {
         let err = b.recv_hello(0xbeef).unwrap_err();
         assert!(err.to_string().contains("plan hash mismatch"), "{err}");
         t.join().unwrap();
+    }
+
+    #[test]
+    fn telemetry_frames_round_trip_and_close_semantics_hold() {
+        let (mut tx, mut rx) = uds_pair();
+        let writer = std::thread::spawn(move || {
+            tx.send_telemetry(br#"{"schema":"pipemap-telemetry/v1","pid":1,"seq":1}"#)
+                .unwrap();
+            tx.send_telemetry(b"second").unwrap();
+            tx.send_eof().unwrap();
+        });
+        let first = rx.recv_telemetry().unwrap().expect("first snapshot");
+        assert!(first.starts_with(br#"{"schema""#));
+        let second = rx.recv_telemetry().unwrap().expect("second snapshot");
+        assert_eq!(&second[..], b"second");
+        assert!(rx.recv_telemetry().unwrap().is_none(), "clean EOF");
+        writer.join().unwrap();
+
+        // A worker that dies without EOF surfaces as an error, not a hang.
+        let (tx, mut rx) = uds_pair();
+        drop(tx);
+        let err = rx.recv_telemetry().unwrap_err();
+        assert!(err.to_string().contains("without EOF"), "{err}");
+
+        // A telemetry frame on a data channel is a protocol error.
+        let (mut tx, mut rx) = uds_pair();
+        let writer = std::thread::spawn(move || {
+            tx.send_telemetry(b"x").unwrap();
+        });
+        let err = rx.recv_data().unwrap_err();
+        assert!(err.to_string().contains("Telemetry"), "{err}");
+        writer.join().unwrap();
     }
 
     #[test]

@@ -299,6 +299,10 @@ pub struct WirePlan {
     /// Shared wall-clock epoch (unix µs) so per-process timestamps form
     /// one timeline. The parent picks it just before spawning.
     pub epoch_unix_us: u64,
+    /// Telemetry snapshot interval (µs). When nonzero each worker runs
+    /// a local registry and ships delta snapshots to the parent over a
+    /// dedicated TELEMETRY socket this often; 0 disables the sidecar.
+    pub telemetry_us: u64,
 }
 
 impl WirePlan {
@@ -312,14 +316,20 @@ impl WirePlan {
             queue_depth: 4,
             journey_sample: 0,
             epoch_unix_us: 0,
+            telemetry_us: 0,
         }
     }
 
     /// Serialize to the single-line form carried in `PIPEMAP_WIRE_PLAN`.
     pub fn serialize(&self) -> String {
         let mut s = format!(
-            "v1;batch={};flush_us={};queue={};sample={};epoch={}",
-            self.batch, self.flush_us, self.queue_depth, self.journey_sample, self.epoch_unix_us
+            "v1;batch={};flush_us={};queue={};sample={};epoch={};telem={}",
+            self.batch,
+            self.flush_us,
+            self.queue_depth,
+            self.journey_sample,
+            self.epoch_unix_us,
+            self.telemetry_us
         );
         for st in &self.stages {
             s.push_str(&format!(
@@ -353,6 +363,7 @@ impl WirePlan {
                 "queue" => plan.queue_depth = num(value)? as usize,
                 "sample" => plan.journey_sample = num(value)?,
                 "epoch" => plan.epoch_unix_us = num(value)?,
+                "telem" => plan.telemetry_us = num(value)?,
                 "stage" => {
                     let (kernel, shape) = value
                         .split_once('@')
@@ -425,6 +436,7 @@ mod tests {
         plan.queue_depth = 2;
         plan.journey_sample = 8;
         plan.epoch_unix_us = 1_234_567;
+        plan.telemetry_us = 250_000;
         let s = plan.serialize();
         let back = WirePlan::parse(&s).expect("parse");
         assert_eq!(back, plan);

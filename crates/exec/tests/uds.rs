@@ -166,6 +166,131 @@ fn fft_hist_chain_matches_in_process() {
     assert_eq!(reference, uds);
 }
 
+/// Both telemetry scenarios share the process-global registry, so they
+/// run sequentially inside one test: first the clean-run assertions
+/// (exact totals), then the worker-kill stale marking on top.
+#[test]
+fn telemetry_plane_aggregates_and_survives_worker_death() {
+    telemetry_aggregates_worker_series_into_parent_registry();
+    killed_worker_with_telemetry_marks_series_stale();
+}
+
+/// With telemetry on, a uds run must light up the parent's global
+/// registry with per-worker (stage, instance, pid) series whose totals
+/// reconstruct the run exactly, plus /proc-sampled resource gauges —
+/// and the drained-for-telemetry journey ring must still deliver the
+/// complete timeline to `WireRun::events`.
+fn telemetry_aggregates_worker_series_into_parent_registry() {
+    set_worker_bin();
+    pipemap_obs::install_global(pipemap_obs::Registry::new());
+    let threads = env_threads();
+    let kernels = [WireKernel::Mix { salt: 3 }, WireKernel::Mix { salt: 5 }];
+    let replicas = [2usize, 1];
+    let mut plan = wire_plan(&kernels, &replicas, threads, 4, 2);
+    plan.journey_sample = 1;
+    plan.telemetry_us = 2_000;
+    let n = 200usize;
+    let inputs: Vec<Vec<u8>> = (0..n).map(|i| input_bytes(17, i, 8)).collect();
+
+    let (out, run) = run_wire_pipeline(&plan, inputs).expect("wire run");
+    assert_eq!(out.len(), n);
+
+    let snap = pipemap_obs::global_registry()
+        .expect("installed")
+        .snapshot();
+    for si in 0..kernels.len() {
+        let stage_prefix = format!("exec.worker.s{si}");
+        let items: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(&stage_prefix) && k.ends_with(".items"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(items, n as u64, "stage {si} items over telemetry");
+        let service: u64 = snap
+            .histograms
+            .iter()
+            .filter(|(k, _)| k.starts_with(&stage_prefix) && k.ends_with(".service_s"))
+            .map(|(_, h)| h.count)
+            .sum();
+        assert_eq!(service, n as u64, "stage {si} service observations");
+    }
+    // One pid-labelled series per worker process.
+    let pids: std::collections::BTreeSet<&str> = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("exec.worker.") && k.ends_with(".items"))
+        .filter_map(|(k, _)| k.split('.').find(|part| part.starts_with('p')))
+        .collect();
+    assert_eq!(pids.len(), replicas.iter().sum::<usize>(), "{pids:?}");
+    // /proc-sampled resource gauges arrived, and nothing went stale.
+    assert!(snap
+        .gauges
+        .iter()
+        .any(|(k, _)| k.starts_with("exec.worker.") && k.ends_with(".rss_bytes")));
+    assert!(snap
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.ends_with(".stale"))
+        .all(|(_, v)| *v == 0.0));
+    // The telemetry thread drains the worker-side journey rings, yet
+    // the stdout path still reports every worker-recorded event.
+    assert!(run
+        .events
+        .iter()
+        .any(|ev| ev.kind == pipemap_obs::JourneyKind::ServiceStart));
+    assert_eq!(
+        run.events
+            .iter()
+            .filter(|ev| ev.kind == pipemap_obs::JourneyKind::Sink)
+            .count(),
+        n
+    );
+}
+
+/// A worker killed mid-run with telemetry on must not wedge the parent:
+/// the run fails cleanly and the dead worker's series are pinned stale
+/// (gauge = 1) instead of silently freezing.
+fn killed_worker_with_telemetry_marks_series_stale() {
+    set_worker_bin();
+    pipemap_obs::install_global(pipemap_obs::Registry::new());
+    let kernels = [
+        WireKernel::Mix { salt: 7 },
+        WireKernel::CrashAfter { n: 50 },
+        WireKernel::Mix { salt: 11 },
+    ];
+    let stages = kernels
+        .iter()
+        .map(|k| WireStagePlan::new(*k, 1, 1))
+        .collect();
+    let mut plan = WirePlan::new(stages);
+    plan.batch = 4;
+    plan.telemetry_us = 1_000;
+    let inputs: Vec<Vec<u8>> = (0..500).map(|i| input_bytes(23, i, 8)).collect();
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        tx.send(run_wire_pipeline(&plan, inputs)).ok();
+    });
+    let res = rx
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("run with a crashing worker must terminate");
+    res.expect_err("crashing worker must fail the run");
+
+    let snap = pipemap_obs::global_registry()
+        .expect("installed")
+        .snapshot();
+    let stale: Vec<&(String, f64)> = snap
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.starts_with("exec.worker.s1i0.") && k.ends_with(".stale"))
+        .collect();
+    assert!(
+        stale.iter().any(|(_, v)| *v == 1.0),
+        "crashed worker's series must be marked stale, got {stale:?}"
+    );
+}
+
 /// A worker that dies mid-stream must surface as a clean error — never
 /// a hang, never silent truncation.
 #[test]

@@ -1,0 +1,426 @@
+//! Delta snapshots: the mergeable wire form of a registry.
+//!
+//! The out-of-process data plane runs one worker process per (stage,
+//! instance); each worker records into its own local [`Registry`] and
+//! periodically ships what changed to the parent, which folds it into
+//! the process-wide registry under per-worker name prefixes. Three
+//! metric kinds need three different transfer semantics:
+//!
+//! * **counters** travel as *deltas* since the previous snapshot, so
+//!   applying them with [`Recorder::add`] is idempotent-per-snapshot
+//!   and a restarted worker (fresh registry, counts reset to zero)
+//!   never makes the aggregate go backwards;
+//! * **gauges** travel as *absolute* values — last writer wins;
+//! * **histograms** travel as per-bucket count deltas plus
+//!   (count, sum, max). Bucket indices derive from the f64 bit pattern
+//!   alone (see `metrics::bucket_index`), so they are stable across
+//!   processes and merge exactly: folding every worker's deltas into
+//!   one parent histogram yields the same buckets as a single
+//!   histogram fed the union of all samples. `max` is shipped as the
+//!   worker's running maximum; merging via max is order-independent.
+//!
+//! Sampled journey events ride along in the same snapshot, already
+//! re-based by the producer to the plan's shared `CLOCK_REALTIME`
+//! epoch so cross-process journeys stitch without clock negotiation.
+//!
+//! The JSON form is tagged [`schema::TELEMETRY`]; [`DeltaTracker`]
+//! produces snapshots on the worker side and [`apply_delta`] folds
+//! them in on the parent side.
+
+use std::collections::BTreeMap;
+
+use crate::journey::JourneyEvent;
+use crate::json::Value;
+use crate::metrics::{Recorder, Registry};
+use crate::schema;
+
+/// What changed in one histogram since the previous snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramDelta {
+    /// Metric name in the worker's registry (unprefixed).
+    pub name: String,
+    /// Sparse `(bucket_index, added_count)` pairs.
+    pub buckets: Vec<(u32, u64)>,
+    /// Observations added since the previous snapshot.
+    pub count: u64,
+    /// Sum added since the previous snapshot.
+    pub sum: f64,
+    /// The worker's running maximum (absolute, not a delta — merging
+    /// by max over snapshots reconstructs the true overall maximum).
+    pub max: f64,
+}
+
+/// One worker's changes since its previous snapshot.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct DeltaSnapshot {
+    /// The worker's OS process id.
+    pub pid: u32,
+    /// Snapshot sequence number (1, 2, 3, ... within one worker run).
+    pub seq: u64,
+    /// Counter deltas since the previous snapshot (zero deltas are
+    /// included on the first snapshot so the parent materialises the
+    /// series, then omitted).
+    pub counters: Vec<(String, u64)>,
+    /// Absolute gauge values.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram bucket deltas.
+    pub histograms: Vec<HistogramDelta>,
+    /// Journey events drained from the worker's ring, timestamps
+    /// already on the shared epoch.
+    pub journeys: Vec<JourneyEvent>,
+}
+
+impl DeltaSnapshot {
+    /// Serialise as a schema-tagged JSON object.
+    pub fn to_value(&self) -> Value {
+        let mut o = Value::object();
+        o.set("schema", schema::TELEMETRY);
+        o.set("pid", self.pid as u64);
+        o.set("seq", self.seq);
+        let mut counters = Value::object();
+        for (k, v) in &self.counters {
+            counters.set(k.clone(), *v);
+        }
+        o.set("counters", counters);
+        let mut gauges = Value::object();
+        for (k, v) in &self.gauges {
+            gauges.set(k.clone(), *v);
+        }
+        o.set("gauges", gauges);
+        let hists: Vec<Value> = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let mut ho = Value::object();
+                ho.set("name", h.name.clone());
+                ho.set("count", h.count);
+                ho.set("sum", h.sum);
+                ho.set("max", h.max);
+                let buckets: Vec<Value> = h
+                    .buckets
+                    .iter()
+                    .map(|&(idx, c)| Value::Array(vec![(idx as u64).into(), c.into()]))
+                    .collect();
+                ho.set("buckets", Value::Array(buckets));
+                ho
+            })
+            .collect();
+        o.set("histograms", Value::Array(hists));
+        let journeys: Vec<Value> = self.journeys.iter().map(|e| e.to_value()).collect();
+        o.set("journeys", Value::Array(journeys));
+        o
+    }
+
+    /// Compact single-line JSON (the TELEMETRY frame payload).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Parse a snapshot produced by [`to_value`](Self::to_value),
+    /// rejecting unknown schema tags.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let tag = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("telemetry snapshot missing 'schema'")?;
+        if tag != schema::TELEMETRY {
+            return Err(format!(
+                "unsupported telemetry schema '{tag}' (expected '{}')",
+                schema::TELEMETRY
+            ));
+        }
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("telemetry snapshot missing numeric '{key}'"))
+        };
+        let mut counters = Vec::new();
+        if let Some(pairs) = v.get("counters").and_then(Value::as_object) {
+            for (k, c) in pairs {
+                let c = c
+                    .as_f64()
+                    .ok_or_else(|| format!("non-numeric counter delta '{k}'"))?;
+                counters.push((k.clone(), c as u64));
+            }
+        }
+        let mut gauges = Vec::new();
+        if let Some(pairs) = v.get("gauges").and_then(Value::as_object) {
+            for (k, g) in pairs {
+                // Non-finite gauges serialise as JSON null; skip them.
+                if let Some(g) = g.as_f64() {
+                    gauges.push((k.clone(), g));
+                }
+            }
+        }
+        let mut histograms = Vec::new();
+        for h in v.get("histograms").and_then(Value::as_array).unwrap_or(&[]) {
+            let name = h
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("histogram delta missing 'name'")?
+                .to_string();
+            let field = |key: &str| {
+                h.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("histogram delta '{name}' missing '{key}'"))
+            };
+            let mut buckets = Vec::new();
+            for pair in h.get("buckets").and_then(Value::as_array).unwrap_or(&[]) {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| format!("histogram delta '{name}': bad bucket pair"))?;
+                let idx = pair[0]
+                    .as_f64()
+                    .ok_or_else(|| format!("histogram delta '{name}': bad bucket index"))?;
+                let c = pair[1]
+                    .as_f64()
+                    .ok_or_else(|| format!("histogram delta '{name}': bad bucket count"))?;
+                buckets.push((idx as u32, c as u64));
+            }
+            histograms.push(HistogramDelta {
+                count: field("count")? as u64,
+                sum: field("sum")?,
+                max: field("max")?,
+                name,
+                buckets,
+            });
+        }
+        let mut journeys = Vec::new();
+        for e in v.get("journeys").and_then(Value::as_array).unwrap_or(&[]) {
+            journeys.push(JourneyEvent::from_value(e)?);
+        }
+        Ok(Self {
+            pid: num("pid")? as u32,
+            seq: num("seq")? as u64,
+            counters,
+            gauges,
+            histograms,
+            journeys,
+        })
+    }
+
+    /// Parse from the compact JSON text form.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Value::parse(text).map_err(|e| e.to_string())?;
+        Self::from_value(&v)
+    }
+
+    /// Whether this snapshot carries no changes at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.journeys.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct HistogramBaseline {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: f64,
+}
+
+/// Worker-side snapshot producer: remembers the previously shipped
+/// state of every counter and histogram so each [`collect`] emits only
+/// what changed since the last one.
+///
+/// [`collect`]: DeltaTracker::collect
+#[derive(Default)]
+pub struct DeltaTracker {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramBaseline>,
+    seq: u64,
+}
+
+impl DeltaTracker {
+    /// A tracker with no baseline (the first collect ships everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Diff `registry` against the previous collect and advance the
+    /// baseline. Gauges always ship absolute; counters and histograms
+    /// ship deltas, included only when nonzero — except on each
+    /// series' first appearance, which ships even a zero delta so the
+    /// parent materialises the series immediately.
+    pub fn collect(&mut self, registry: &Registry, pid: u32) -> DeltaSnapshot {
+        self.seq += 1;
+        let snap = registry.snapshot();
+        let mut counters = Vec::new();
+        for (name, value) in &snap.counters {
+            let prev = self.counters.insert(name.clone(), *value);
+            let delta = value.saturating_sub(prev.unwrap_or(0));
+            if delta > 0 || prev.is_none() {
+                counters.push((name.clone(), delta));
+            }
+        }
+        let mut histograms = Vec::new();
+        for (name, hist) in registry.histogram_cells() {
+            let base = self.histograms.entry(name.clone()).or_default();
+            let mut buckets = Vec::new();
+            for (idx, c) in hist.bucket_counts() {
+                let prev = base.buckets.insert(idx, c).unwrap_or(0);
+                if c > prev {
+                    buckets.push((idx, c - prev));
+                }
+            }
+            let count = hist.count();
+            let sum = hist.sum();
+            let d_count = count.saturating_sub(base.count);
+            let d_sum = sum - base.sum;
+            // Still-empty histograms don't ship; a histogram first
+            // appears downstream with its first real observation.
+            if d_count > 0 {
+                histograms.push(HistogramDelta {
+                    name: name.clone(),
+                    buckets,
+                    count: d_count,
+                    sum: d_sum,
+                    max: hist.max(),
+                });
+            }
+            base.count = count;
+            base.sum = sum;
+        }
+        DeltaSnapshot {
+            pid,
+            seq: self.seq,
+            counters,
+            gauges: snap.gauges.clone(),
+            histograms,
+            journeys: Vec::new(),
+        }
+    }
+}
+
+/// Parent-side fold: apply one worker snapshot into `rec` with every
+/// metric name prefixed by `prefix` (e.g. `exec.worker.s0i1.p4242.`).
+/// Journey events are NOT applied here — they carry stitching
+/// semantics, so the caller routes them to its journey collector.
+pub fn apply_delta(rec: &Recorder, prefix: &str, snap: &DeltaSnapshot) {
+    for (name, delta) in &snap.counters {
+        rec.add(&format!("{prefix}{name}"), *delta);
+    }
+    for (name, value) in &snap.gauges {
+        rec.gauge_set(&format!("{prefix}{name}"), *value);
+    }
+    for h in &snap.histograms {
+        rec.histogram(&format!("{prefix}{}", h.name))
+            .merge_cells(&h.buckets, h.count, h.sum, h.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journey::JourneyKind;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let snap = DeltaSnapshot {
+            pid: 4242,
+            seq: 3,
+            counters: vec![("items".into(), 17), ("exec.batch.messages".into(), 2)],
+            gauges: vec![("cpu_pct".into(), 42.5), ("rss_bytes".into(), 1.5e7)],
+            histograms: vec![HistogramDelta {
+                name: "service_s".into(),
+                buckets: vec![(500, 3), (501, 1)],
+                count: 4,
+                sum: 0.012,
+                max: 0.004,
+            }],
+            journeys: vec![JourneyEvent {
+                seq: 9,
+                stage: 1,
+                instance: 0,
+                kind: JourneyKind::ServiceEnd,
+                t_us: 1234.5,
+                batch: 7,
+            }],
+        };
+        let text = snap.to_json();
+        let back = DeltaSnapshot::parse(&text).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        assert!(
+            DeltaSnapshot::parse(r#"{"schema":"pipemap-telemetry/v9","pid":1,"seq":1}"#)
+                .unwrap_err()
+                .contains("unsupported")
+        );
+        assert!(DeltaSnapshot::parse(r#"{"pid":1,"seq":1}"#).is_err());
+        assert!(DeltaSnapshot::parse("not json").is_err());
+    }
+
+    #[test]
+    fn tracker_ships_only_changes() {
+        let registry = Registry::new();
+        let rec = registry.recorder();
+        rec.add("items", 5);
+        rec.observe("service_s", 0.010);
+        rec.observe("service_s", 0.020);
+        rec.gauge_set("depth", 3.0);
+
+        let mut tracker = DeltaTracker::new();
+        let first = tracker.collect(&registry, 1);
+        assert_eq!(first.seq, 1);
+        assert_eq!(first.counters, vec![("items".to_string(), 5)]);
+        assert_eq!(first.gauges, vec![("depth".to_string(), 3.0)]);
+        assert_eq!(first.histograms.len(), 1);
+        assert_eq!(first.histograms[0].count, 2);
+        assert!((first.histograms[0].sum - 0.030).abs() < 1e-12);
+
+        // Nothing changed: counters and histograms go quiet, gauges
+        // remain absolute.
+        let second = tracker.collect(&registry, 1);
+        assert_eq!(second.seq, 2);
+        assert!(second.counters.is_empty());
+        assert!(second.histograms.is_empty());
+        assert_eq!(second.gauges, vec![("depth".to_string(), 3.0)]);
+
+        rec.add("items", 2);
+        rec.observe("service_s", 0.040);
+        let third = tracker.collect(&registry, 1);
+        assert_eq!(third.counters, vec![("items".to_string(), 2)]);
+        assert_eq!(third.histograms.len(), 1);
+        assert_eq!(third.histograms[0].count, 1);
+        assert!((third.histograms[0].sum - 0.040).abs() < 1e-12);
+        assert_eq!(third.histograms[0].max, 0.040);
+    }
+
+    #[test]
+    fn deltas_applied_to_parent_reconstruct_worker_totals() {
+        let worker = Registry::new();
+        let wrec = worker.recorder();
+        let parent = Registry::new();
+        let prec = parent.recorder();
+        let mut tracker = DeltaTracker::new();
+
+        for round in 1..=3u64 {
+            wrec.add("items", round);
+            wrec.observe("service_s", round as f64 * 1e-3);
+            let snap = tracker.collect(&worker, 77);
+            apply_delta(&prec, "exec.worker.s0i0.p77.", &snap);
+        }
+
+        let agg = parent.snapshot();
+        assert_eq!(agg.counter("exec.worker.s0i0.p77.items"), Some(6));
+        let h = agg.histogram("exec.worker.s0i0.p77.service_s").unwrap();
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 0.006).abs() < 1e-12);
+        assert_eq!(h.max, 0.003);
+        // The merged histogram matches one fed the same samples.
+        let direct = Histogram::new();
+        for v in [1e-3, 2e-3, 3e-3] {
+            direct.record(v);
+        }
+        let d = direct.summary();
+        assert_eq!(h.p50, d.p50);
+        assert_eq!(h.p99, d.p99);
+    }
+}

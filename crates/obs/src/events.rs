@@ -32,8 +32,9 @@ use std::time::Instant;
 
 use crate::json::Value;
 
-/// Schema identifier stamped into the header line of an event JSONL dump.
-pub const EVENT_SCHEMA: &str = "pipemap-events/v1";
+/// Schema identifier stamped into the header line of an event JSONL dump
+/// (re-exported from [`crate::schema`], the single home of all tags).
+pub const EVENT_SCHEMA: &str = crate::schema::EVENTS;
 
 /// How loud an event is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

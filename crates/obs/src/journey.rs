@@ -41,8 +41,9 @@ use std::time::Instant;
 
 use crate::json::Value;
 
-/// Schema tag written into journey JSONL headers by the tooling.
-pub const JOURNEY_SCHEMA: &str = "pipemap-journey/v1";
+/// Schema tag written into journey JSONL headers by the tooling
+/// (re-exported from [`crate::schema`], the single home of all tags).
+pub const JOURNEY_SCHEMA: &str = crate::schema::JOURNEY;
 
 /// Events buffered per sink before the shared ring is touched.
 const SINK_CHUNK: usize = 256;

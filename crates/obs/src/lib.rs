@@ -31,6 +31,7 @@
 //!
 //! Only std is used — no external dependencies.
 
+pub mod delta;
 pub mod events;
 pub mod expose;
 pub mod journey;
@@ -38,10 +39,12 @@ pub mod json;
 pub mod metrics;
 pub mod openmetrics;
 pub mod recorder;
+pub mod schema;
 pub mod trace;
 
 use std::sync::OnceLock;
 
+pub use delta::{apply_delta, DeltaSnapshot, DeltaTracker, HistogramDelta};
 pub use events::{
     events_jsonl, parse_events_jsonl, parse_events_jsonl_since, AlertEngine, BottleneckTracker,
     EventKind, EventLog, EventLogConfig, ModelPublisher, ObsEvent, Severity, SloConfig,
@@ -117,6 +120,16 @@ pub mod names {
     /// `fftcols->sink`). The OpenMetrics exposition folds the link into
     /// a `link="..."` label on `pipemap_exec_link_{bytes,frames,items}`.
     pub const EXEC_LINK_PREFIX: &str = "exec.link.";
+
+    /// Prefix of the per-worker telemetry series aggregated by the
+    /// out-of-process parent: `exec.worker.s<stage>i<inst>.p<pid>.<metric>`.
+    /// The OpenMetrics exposition folds the worker identity into
+    /// `stage`/`instance`/`pid` labels on `pipemap_exec_worker_<metric>`.
+    pub const EXEC_WORKER_PREFIX: &str = "exec.worker.";
+    /// Journey events dropped by a ring because it overflowed (counter;
+    /// nonzero means the sampled population is biased toward recent
+    /// data sets and `doctor` warns about completeness).
+    pub const JOURNEY_DROPPED: &str = "obs.journey.dropped";
 
     /// 1 when the doctor's measured bottleneck stage differs from the
     /// DP-predicted one (gauge; see `pipemap-doctor`).

@@ -121,6 +121,65 @@ impl Histogram {
         atomic_f64_max(&self.max, v);
     }
 
+    /// Raw per-bucket counts as `(bucket_index, count)` pairs over the
+    /// non-empty buckets — the mergeable wire form of this histogram.
+    /// Bucket indices are stable across processes (they derive from the
+    /// f64 bit pattern alone), so two histograms of the same metric can
+    /// be combined bucket-by-bucket without losing quantile accuracy.
+    pub fn bucket_counts(&self) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                out.push((idx as u32, c));
+            }
+        }
+        out
+    }
+
+    /// Total observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum.load(Ordering::Relaxed))
+    }
+
+    /// Exact maximum observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max.load(Ordering::Relaxed))
+    }
+
+    /// Fold another histogram into this one. Because buckets are
+    /// index-aligned, merge is exact at the bucket level: the merged
+    /// histogram's quantiles equal those of a single histogram fed the
+    /// union of both sample streams (property-tested in
+    /// `tests/histogram_merge.rs`).
+    pub fn merge(&self, other: &Histogram) {
+        self.merge_cells(
+            &other.bucket_counts(),
+            other.count(),
+            other.sum(),
+            other.max(),
+        );
+    }
+
+    /// Fold pre-extracted bucket deltas into this histogram — the
+    /// receive side of the telemetry wire form. Out-of-range bucket
+    /// indices (a newer peer with a different bucket layout) clamp into
+    /// the last bucket rather than panicking.
+    pub fn merge_cells(&self, buckets: &[(u32, u64)], count: u64, sum: f64, max: f64) {
+        for &(idx, c) in buckets {
+            let idx = (idx as usize).min(BUCKETS - 1);
+            self.buckets[idx].fetch_add(c, Ordering::Relaxed);
+        }
+        self.count.fetch_add(count, Ordering::Relaxed);
+        atomic_f64_add(&self.sum, sum);
+        atomic_f64_max(&self.max, max);
+    }
+
     /// Cumulative `(upper_bound, count)` pairs over the non-empty
     /// buckets, in increasing bound order — the OpenMetrics `_bucket`
     /// series (the implicit `+Inf` bound equals the total count).
@@ -268,8 +327,9 @@ impl Registry {
     }
 
     /// The histograms by name, with live access to their buckets (for
-    /// exposition formats that need more than the summary).
-    pub(crate) fn histogram_cells(&self) -> Vec<(String, Arc<Histogram>)> {
+    /// exposition formats and delta shipping, which need more than the
+    /// summary).
+    pub fn histogram_cells(&self) -> Vec<(String, Arc<Histogram>)> {
         lock(&self.inner.histograms)
             .iter()
             .map(|(k, h)| (k.clone(), h.clone()))
@@ -482,6 +542,15 @@ impl HistogramHandle {
     pub fn record(&self, v: f64) {
         if let Some(cell) = &self.cell {
             cell.record(v);
+        }
+    }
+
+    /// Fold pre-extracted bucket deltas in (see
+    /// [`Histogram::merge_cells`]) — used when aggregating a remote
+    /// worker's histogram into a local registry.
+    pub fn merge_cells(&self, buckets: &[(u32, u64)], count: u64, sum: f64, max: f64) {
+        if let Some(cell) = &self.cell {
+            cell.merge_cells(buckets, count, sum, max);
         }
     }
 }

@@ -91,12 +91,30 @@ fn split_link_counter(name: &str) -> Option<(&str, &str)> {
     Some((link, metric))
 }
 
+/// Split `exec.worker.s<stage>i<inst>.p<pid>.<metric>` into
+/// `(stage, instance, pid, metric)`; `None` for any other name. The
+/// metric may itself contain dots (a worker registry ships its full
+/// dotted names).
+fn split_worker_metric(name: &str) -> Option<(&str, &str, &str, &str)> {
+    let rest = name.strip_prefix(crate::names::EXEC_WORKER_PREFIX)?;
+    let (ident, rest) = rest.split_once('.')?;
+    let (stage, instance) = ident.strip_prefix('s')?.split_once('i')?;
+    let (pid, metric) = rest.split_once('.')?;
+    let pid = pid.strip_prefix('p')?;
+    let numeric = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    if !numeric(stage) || !numeric(instance) || !numeric(pid) || metric.is_empty() {
+        return None;
+    }
+    Some((stage, instance, pid, metric))
+}
+
 /// Render the registry's current metrics as OpenMetrics text.
 pub fn render_openmetrics(registry: &Registry) -> String {
     let snap = registry.snapshot();
     let mut out = String::new();
 
     let mut link_families_typed: Vec<String> = Vec::new();
+    let mut worker_counters_typed: Vec<String> = Vec::new();
     for (name, v) in &snap.counters {
         // Per-boundary transport counters (`exec.link.<link>.<metric>`)
         // fold the link into a label instead of mangling it into the
@@ -116,11 +134,41 @@ pub fn render_openmetrics(registry: &Registry) -> String {
             ));
             continue;
         }
+        // Per-worker telemetry series fold the worker's identity into
+        // stage/instance/pid labels: one `pipemap_exec_worker_<metric>`
+        // family, one series per worker process.
+        if let Some((stage, instance, pid, metric)) = split_worker_metric(name) {
+            let m = metric_name(&format!("exec.worker.{metric}"));
+            if !worker_counters_typed.contains(&m) {
+                out.push_str(&format!("# TYPE {m} counter\n"));
+                worker_counters_typed.push(m.clone());
+            }
+            out.push_str(&labelled_sample(
+                &format!("{m}_total"),
+                &[("stage", stage), ("instance", instance), ("pid", pid)],
+                &v.to_string(),
+            ));
+            continue;
+        }
         let m = metric_name(name);
         out.push_str(&format!("# TYPE {m} counter\n"));
         out.push_str(&format!("{m}_total {v}\n"));
     }
+    let mut worker_gauges_typed: Vec<String> = Vec::new();
     for (name, v) in &snap.gauges {
+        if let Some((stage, instance, pid, metric)) = split_worker_metric(name) {
+            let m = metric_name(&format!("exec.worker.{metric}"));
+            if !worker_gauges_typed.contains(&m) {
+                out.push_str(&format!("# TYPE {m} gauge\n"));
+                worker_gauges_typed.push(m.clone());
+            }
+            out.push_str(&labelled_sample(
+                &m,
+                &[("stage", stage), ("instance", instance), ("pid", pid)],
+                &number(*v),
+            ));
+            continue;
+        }
         let m = metric_name(name);
         out.push_str(&format!("# TYPE {m} gauge\n"));
         out.push_str(&format!("{m} {}\n", number(*v)));
@@ -259,6 +307,55 @@ mod tests {
             1
         );
         assert!(text.contains("pipemap_exec_link_weird_total 1\n"));
+    }
+
+    #[test]
+    fn worker_series_become_labelled_families() {
+        let registry = Registry::new();
+        let r = registry.recorder();
+        r.add("exec.worker.s0i1.p4242.items", 96);
+        r.add("exec.worker.s2i0.p4243.items", 41);
+        r.add("exec.worker.s0i1.p4242.exec.batch.messages", 3);
+        r.gauge_set("exec.worker.s0i1.p4242.cpu_pct", 37.5);
+        r.gauge_set("exec.worker.s2i0.p4243.cpu_pct", 12.0);
+        r.gauge_set("exec.worker.s0i1.p4242.rss_bytes", 1.5e7);
+        // Near-misses stay flat: malformed identity segments.
+        r.add("exec.worker.s0.p1.items", 5);
+        r.add("exec.worker.sxiy.pz.items", 5);
+        let text = registry.to_openmetrics();
+
+        assert!(text.contains("# TYPE pipemap_exec_worker_items counter\n"));
+        assert!(text.contains(
+            "pipemap_exec_worker_items_total{stage=\"0\",instance=\"1\",pid=\"4242\"} 96\n"
+        ));
+        assert!(text.contains(
+            "pipemap_exec_worker_items_total{stage=\"2\",instance=\"0\",pid=\"4243\"} 41\n"
+        ));
+        // Dotted worker metrics sanitise into the family name.
+        assert!(text.contains(
+            "pipemap_exec_worker_exec_batch_messages_total{stage=\"0\",instance=\"1\",pid=\"4242\"} 3\n"
+        ));
+        assert!(text.contains("# TYPE pipemap_exec_worker_cpu_pct gauge\n"));
+        assert!(text.contains(
+            "pipemap_exec_worker_cpu_pct{stage=\"0\",instance=\"1\",pid=\"4242\"} 37.5\n"
+        ));
+        assert!(text.contains(
+            "pipemap_exec_worker_rss_bytes{stage=\"0\",instance=\"1\",pid=\"4242\"} 15000000\n"
+        ));
+        // One TYPE line per family across all workers.
+        assert_eq!(
+            text.matches("# TYPE pipemap_exec_worker_items counter")
+                .count(),
+            1
+        );
+        assert_eq!(
+            text.matches("# TYPE pipemap_exec_worker_cpu_pct gauge")
+                .count(),
+            1
+        );
+        // Malformed identities fall back to flat sanitised names.
+        assert!(text.contains("pipemap_exec_worker_s0_p1_items_total 5\n"));
+        assert!(text.contains("pipemap_exec_worker_sxiy_pz_items_total 5\n"));
     }
 
     #[test]

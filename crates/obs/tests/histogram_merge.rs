@@ -1,0 +1,102 @@
+//! Properties of histogram merging (the telemetry plane's aggregation
+//! primitive): merging per-worker log-bucketed histograms must be
+//! associative and commutative at the bucket level, and the merged
+//! quantiles must match a single histogram fed the union of all
+//! samples — otherwise per-worker aggregation in the parent would
+//! report different percentiles than an in-process run would have.
+
+use pipemap_obs::Histogram;
+use proptest::prelude::*;
+
+/// Observations spanning ~12 octaves around 1.0 (microseconds to
+/// kiloseconds when read as seconds) — enough to cross many buckets.
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1e-4f64..1e4f64, 0..120)
+}
+
+fn fed(samples: &[f64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Everything bucket-derived must agree exactly; `sum` only up to
+/// floating-point addition order.
+fn assert_equivalent(a: &Histogram, b: &Histogram) {
+    assert_eq!(a.bucket_counts(), b.bucket_counts());
+    assert_eq!(a.count(), b.count());
+    assert_eq!(a.max(), b.max());
+    let (sa, sb) = (a.summary(), b.summary());
+    assert_eq!(sa.p50, sb.p50);
+    assert_eq!(sa.p95, sb.p95);
+    assert_eq!(sa.p99, sb.p99);
+    let scale = sa.sum.abs().max(sb.sum.abs()).max(1.0);
+    assert!(
+        (sa.sum - sb.sum).abs() <= 1e-9 * scale,
+        "sums diverged beyond fp reassociation: {} vs {}",
+        sa.sum,
+        sb.sum
+    );
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(xs in samples(), ys in samples()) {
+        let ab = fed(&xs);
+        ab.merge(&fed(&ys));
+        let ba = fed(&ys);
+        ba.merge(&fed(&xs));
+        assert_equivalent(&ab, &ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in samples(),
+        ys in samples(),
+        zs in samples(),
+    ) {
+        // ((x ∪ y) ∪ z)
+        let left = fed(&xs);
+        left.merge(&fed(&ys));
+        left.merge(&fed(&zs));
+        // (x ∪ (y ∪ z))
+        let yz = fed(&ys);
+        yz.merge(&fed(&zs));
+        let right = fed(&xs);
+        right.merge(&yz);
+        assert_equivalent(&left, &right);
+    }
+
+    #[test]
+    fn merged_quantiles_match_union_fed_histogram(
+        xs in samples(),
+        ys in samples(),
+        zs in samples(),
+    ) {
+        // Three "workers" merged into one parent histogram...
+        let merged = fed(&xs);
+        merged.merge(&fed(&ys));
+        merged.merge(&fed(&zs));
+        // ...versus one histogram that saw every sample directly.
+        let union: Vec<f64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        let direct = fed(&union);
+        assert_equivalent(&merged, &direct);
+        let (m, d) = (merged.summary(), direct.summary());
+        prop_assert_eq!(m.p50, d.p50);
+        prop_assert_eq!(m.p99, d.p99);
+        prop_assert_eq!(m.max, d.max);
+        prop_assert_eq!(m.count, d.count);
+    }
+}
+
+#[test]
+fn merge_cells_round_trips_through_wire_form() {
+    // The wire form (sparse bucket deltas + count/sum/max) must rebuild
+    // the source histogram exactly when applied to an empty one.
+    let src = fed(&[0.001, 0.002, 0.004, 0.004, 1.5, 300.0]);
+    let dst = Histogram::new();
+    dst.merge_cells(&src.bucket_counts(), src.count(), src.sum(), src.max());
+    assert_equivalent(&src, &dst);
+}

@@ -17,8 +17,9 @@
 
 use crate::linalg::least_squares;
 
-/// Schema tag of the serialized calibration file.
-pub const CALIBRATION_SCHEMA: &str = "pipemap-calibration/v1";
+/// Schema tag of the serialized calibration file (re-exported from
+/// `pipemap_obs::schema`, the single home of all tags).
+pub const CALIBRATION_SCHEMA: &str = pipemap_obs::schema::CALIBRATION;
 
 /// One measured point: mean seconds per message at a payload size.
 #[derive(Clone, Copy, Debug, PartialEq)]

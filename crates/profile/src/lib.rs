@@ -24,6 +24,7 @@ pub mod executions;
 pub mod fit;
 pub mod linalg;
 pub mod online;
+pub mod resource;
 pub mod training;
 
 pub use calibrate::{CalibrationSample, TransportCalibration, CALIBRATION_SCHEMA};
@@ -36,6 +37,7 @@ pub use linalg::{least_squares, solve_linear};
 pub use online::{
     Decayed, EdgeEstimator, EstimatorSnapshot, OnlineConfig, OnlineModel, StageEstimator, Welford,
 };
+pub use resource::{sample_self, CpuTracker, ResourceSample};
 pub use training::{
     default_training_procs, fit_chain, model_accuracy, profile_chain, AccuracyReport, ProfileData,
     TrainingConfig,

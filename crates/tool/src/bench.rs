@@ -27,7 +27,7 @@ use pipemap_core::{
     Solution, SolveOptions,
 };
 use pipemap_exec::kernels::{fft_cols, fft_rows, histogram, Complex, Matrix};
-use pipemap_exec::{run_pipeline, PipelinePlan, Stage, StagePlan};
+use pipemap_exec::{run_pipeline, PipelinePlan, Stage, StagePlan, TransportKind};
 use pipemap_machine::MachineConfig;
 use pipemap_obs::Value;
 
@@ -35,7 +35,7 @@ use crate::load::{micro_plan, micro_source, run_configured_load, LoadConfig};
 use crate::mapper::{auto_map, MapperOptions};
 
 /// Schema identifier stamped into every bench document.
-pub const BENCH_SCHEMA: &str = "pipemap-bench/v1";
+pub const BENCH_SCHEMA: &str = pipemap_obs::schema::BENCH;
 
 /// Default relative-change threshold for regression verdicts.
 pub const DEFAULT_THRESHOLD: f64 = 0.30;
@@ -1052,6 +1052,111 @@ fn bench_estimator_overhead(metrics: &mut Value, opts: &BenchOptions) {
     );
 }
 
+/// Cost of the cross-process telemetry plane on the UDS data plane:
+/// the same worker-process pipeline run with per-worker delta shipping
+/// on (at the 100ms period observed runs use) and off. Same
+/// paired alternating-order median-of-ratios scoring as
+/// [`bench_journey_overhead`]; the committed baseline pins the
+/// sidecar's throughput tax — under 3% on a quiet machine, with the
+/// regression slack sized to the CI box's noise floor (see below).
+/// Probe-gated like the transport case:
+/// skipped under harnesses that cannot re-execute themselves as a
+/// worker (e.g. the libtest runner).
+fn bench_telemetry_overhead(metrics: &mut Value, _opts: &BenchOptions) {
+    if !pipemap_exec::worker_probe() {
+        eprintln!("bench: skipping exec.telemetry_overhead.* (no worker binary available)");
+        return;
+    }
+    let base = LoadConfig {
+        duration_s: Some(0.5),
+        datasets: None,
+        stages: 4,
+        size: 512,
+        transport: TransportKind::Uds,
+        ..LoadConfig::default()
+    };
+
+    let run_plain = |base: &LoadConfig| {
+        let r = run_configured_load(base);
+        assert!(r.report.completed > 0, "plain uds run completed nothing");
+        r.report.throughput
+    };
+    let run_telemetry = |base: &LoadConfig| {
+        let r = run_configured_load(&LoadConfig {
+            telemetry_us: 100_000,
+            ..base.clone()
+        });
+        assert!(
+            r.report.completed > 0,
+            "telemetry uds run completed nothing"
+        );
+        // The telemetry arm must actually have shipped worker series
+        // into the parent registry, or the A/B comparison is vacuous.
+        let snap = pipemap_obs::global_registry()
+            .expect("bench installs a global registry")
+            .snapshot();
+        assert!(
+            snap.counters
+                .iter()
+                .any(|(k, _)| k.starts_with(pipemap_obs::names::EXEC_WORKER_PREFIX)),
+            "telemetry arm shipped no exec.worker.* series"
+        );
+        r.report.throughput
+    };
+
+    // The uds arms are the noisiest A/B in the suite: 5 processes on
+    // arbitrary CI hardware, where a preemption burst can shave 5%+ off
+    // either arm of a pair. Preemption only ever *lowers* throughput,
+    // so each arm takes the best of two runs — the max estimates what
+    // the arm can do, the ratio of maxes estimates the true tax — and
+    // the median over 5 pairs rejects what best-of-2 lets through.
+    // Both modes run the full schedule; a quick-mode median of 3 short
+    // windows lets one preempted pair set the score.
+    let best2 = |run: &dyn Fn(&LoadConfig) -> f64| run(&base).max(run(&base));
+    let pairs = 5;
+    let mut thr_base: f64 = 0.0;
+    let mut thr_telemetry: f64 = 0.0;
+    let mut ratios = Vec::new();
+    for pair in 0..pairs {
+        let (b, t) = if pair % 2 == 0 {
+            let b = best2(&run_plain);
+            (b, best2(&run_telemetry))
+        } else {
+            let t = best2(&run_telemetry);
+            (best2(&run_plain), t)
+        };
+        thr_base = thr_base.max(b);
+        thr_telemetry = thr_telemetry.max(t);
+        ratios.push(t / b.max(1e-9));
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median_ratio = ratios[ratios.len() / 2];
+    let prefix = "exec.telemetry_overhead";
+    metrics.set(
+        format!("{prefix}.throughput"),
+        metric(thr_telemetry, "datasets/s", Direction::Higher, 500.0),
+    );
+    metrics.set(
+        format!("{prefix}.baseline_throughput"),
+        metric(thr_base, "datasets/s", Direction::Higher, 500.0),
+    );
+    // On a quiet machine the tax sits under 3%; on the loaded 1-core CI
+    // box the measurement itself resolves no finer than ~8% (the plain
+    // arm's capacity drifts that much between suite runs), so — like
+    // p99_under_overload.improvement_x — the slack is sized to the
+    // box's spread, not the quiet-machine mean. A gross regression
+    // (say a 20% tax) still flags.
+    metrics.set(
+        format!("{prefix}.overhead_frac"),
+        metric(
+            (1.0 - median_ratio).max(0.0),
+            "frac",
+            Direction::Lower,
+            0.08,
+        ),
+    );
+}
+
 /// Run the whole suite and return the bench document.
 pub fn run_bench_suite(opts: &BenchOptions) -> Value {
     // Solver counters flow through the global registry; install one if
@@ -1088,6 +1193,7 @@ pub fn run_bench_suite(opts: &BenchOptions) -> Value {
     bench_p99_under_overload(&mut metrics, opts);
     bench_journey_overhead(&mut metrics, opts);
     bench_estimator_overhead(&mut metrics, opts);
+    bench_telemetry_overhead(&mut metrics, opts);
 
     let mut doc = Value::object();
     doc.set("schema", BENCH_SCHEMA);
@@ -1209,6 +1315,8 @@ impl Verdict {
 pub struct MetricVerdict {
     /// Metric name.
     pub name: String,
+    /// The metric's unit, for rendering values without a schema lookup.
+    pub unit: String,
     /// Baseline value (`None` for [`Verdict::New`]).
     pub baseline: Option<f64>,
     /// Current value (`None` for [`Verdict::Missing`]).
@@ -1235,6 +1343,26 @@ impl CompareResult {
             .iter()
             .filter(|v| matches!(v.verdict, Verdict::Regressed | Verdict::Missing))
             .map(|v| v.name.as_str())
+            .collect()
+    }
+
+    /// One line per regressed or missing metric, naming the unit and
+    /// both values — so the failure message is actionable without
+    /// rerunning with `--table`.
+    pub fn regression_details(&self) -> Vec<String> {
+        self.verdicts
+            .iter()
+            .filter(|v| matches!(v.verdict, Verdict::Regressed | Verdict::Missing))
+            .map(|v| match (v.baseline, v.current) {
+                (Some(b), Some(c)) => format!(
+                    "{}: {b:.4} -> {c:.4} {} ({:+.1}%)",
+                    v.name, v.unit, v.change_pct
+                ),
+                (Some(b), None) => {
+                    format!("{}: {b:.4} {} -> missing from current run", v.name, v.unit)
+                }
+                _ => format!("{}: no baseline value", v.name),
+            })
             .collect()
     }
 
@@ -1332,12 +1460,19 @@ pub fn compare_bench(
     let base_metrics = baseline.get("metrics").unwrap().as_object().unwrap();
     let cur_metrics = current.get("metrics").unwrap().as_object().unwrap();
 
+    let unit_of = |m: &Value| {
+        m.get("unit")
+            .and_then(Value::as_str)
+            .expect("validated")
+            .to_string()
+    };
     let mut verdicts = Vec::new();
     for (name, bm) in base_metrics {
         let (bv, bdir, bslack) = metric_fields(bm).expect("validated");
         let Some(cm) = cur_metrics.iter().find(|(n, _)| n == name).map(|(_, m)| m) else {
             verdicts.push(MetricVerdict {
                 name: name.clone(),
+                unit: unit_of(bm),
                 baseline: Some(bv),
                 current: None,
                 change_pct: 0.0,
@@ -1363,6 +1498,7 @@ pub fn compare_bench(
         };
         verdicts.push(MetricVerdict {
             name: name.clone(),
+            unit: unit_of(bm),
             baseline: Some(bv),
             current: Some(cv),
             change_pct: (cv - bv) / bv.abs().max(1e-12) * 100.0,
@@ -1376,6 +1512,7 @@ pub fn compare_bench(
         let (cv, _, _) = metric_fields(cm).expect("validated");
         verdicts.push(MetricVerdict {
             name: name.clone(),
+            unit: unit_of(cm),
             baseline: None,
             current: Some(cv),
             change_pct: 0.0,
@@ -1419,6 +1556,12 @@ mod tests {
         assert_eq!(r.regressions(), vec!["a.wall_s", "b.throughput"]);
         let rendered = r.render();
         assert!(rendered.contains("REGRESSED"), "{rendered}");
+        // The detail lines carry unit and both values, so a CI failure
+        // message is actionable without rerunning with --table.
+        let details = r.regression_details();
+        assert_eq!(details.len(), 2);
+        assert_eq!(details[0], "a.wall_s: 1.0000 -> 2.0000 u (+100.0%)");
+        assert_eq!(details[1], "b.throughput: 100.0000 -> 50.0000 u (-50.0%)");
     }
 
     #[test]
@@ -1460,6 +1603,10 @@ mod tests {
         assert!(
             rendered.contains("missing from the current run: gone"),
             "{rendered}"
+        );
+        assert_eq!(
+            r.regression_details(),
+            vec!["gone: 1.0000 u -> missing from current run".to_string()]
         );
     }
 

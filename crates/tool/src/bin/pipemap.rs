@@ -115,8 +115,10 @@ COMMANDS:
     bench     run the fixed perf suite (solvers, end-to-end methodology,
               threaded executor) and write BENCH_<git-sha>.json;
               --compare prints per-metric verdicts against a baseline and
-              exits nonzero on regression (--threshold overrides the
-              default 30% relative change; --warn-only never fails);
+              exits nonzero on regression, naming each regressed metric
+              with its unit and baseline -> current values (--threshold
+              overrides the default 30% relative change; --warn-only
+              never fails);
               --validate checks a bench file against the schema
     load      drive a real threaded pipeline at a target rate (or open
               loop) and report achieved datasets/s, p50/p99 end-to-end
@@ -133,7 +135,14 @@ COMMANDS:
               cost model at /model.json (for 'top' and 'doctor --attach').
               --transport uds runs the pipeline as worker *processes*
               over Unix sockets (bit-identical output, measured per-link
-              frame/byte counters); --admit-rate caps the accepted rate
+              frame/byte counters); an *observed* uds run (--serve or
+              --recorder-out) also streams per-worker telemetry — live
+              counters, service histograms, CPU/RSS sampled from /proc,
+              and journey events — into the parent's registry as
+              exec.worker.s<stage>i<inst>.p<pid>.* series, labelled
+              per process on /metrics and rendered by 'top'; a worker
+              whose stream dies is marked stale rather than dropped;
+              --admit-rate caps the accepted rate
               with a token bucket and --shed-queue drops arrivals beyond
               an in-flight bound (rejected/shed are reported);
               --calibration folds the measured f_ecom into the predicted
@@ -179,8 +188,10 @@ COMMANDS:
               verification cold solve; --assignment uses the per-task
               assignment DP instead of the clustering DP
     top       live terminal dashboard: per-stage throughput/utilization
-              sparklines, the online-fitted cost model with residuals,
-              and a scrolling event feed. --attach scrapes a --serve
+              sparklines, a per-process worker table when the run ships
+              cross-process telemetry (items, CPU%, RSS, busy/starved,
+              p99, liveness), the online-fitted cost model with
+              residuals, and a scrolling event feed. --attach scrapes a --serve
               endpoint (e.g. a 'load --serve' run); without it, drives a
               short local micro load. --once prints a single frame and
               exits (CI-friendly); --interval sets the refresh cadence
@@ -1126,6 +1137,7 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         let log = pipemap_doctor::JourneyLog {
             source: "simulate".to_string(),
             sample: col.sample(),
+            dropped: col.dropped(),
             model: Some(pipemap_doctor::ModelPrediction::from_chain(
                 &problem.chain,
                 &mapping,
@@ -1540,9 +1552,23 @@ fn cmd_load(args: &[String]) -> ExitCode {
         )
     });
     cfg.journeys = journeys.clone();
-    if uds && journey_out.is_some() {
+    if uds && (journey_out.is_some() || obs_flags.active()) {
         cfg.journey_sample = journey_sample;
     }
+    // An observed UDS run lights up the cross-process telemetry plane:
+    // each worker ships metric deltas, /proc resource gauges, and its
+    // sampled journey events back over the telemetry socket, aggregated
+    // into the global registry under exec.worker.* so /metrics and
+    // `pipemap top` see inside the worker processes. The parent-side
+    // sink is sample=1: the workers already sampled.
+    let telemetry_journeys = (uds && obs_flags.active()).then(|| {
+        cfg.telemetry_us = 100_000;
+        let col = pipemap_obs::JourneyCollector::new(
+            pipemap_obs::JourneyConfig::default().with_sample(1),
+        );
+        pipemap_exec::install_telemetry_journeys(col.sink());
+        col
+    });
     // A served run also gets the full observatory surface: SLO/alert
     // events at /events.jsonl and the online-fitted model at /model.json.
     let (events, publisher) = if obs_flags.serve.is_some() {
@@ -1559,7 +1585,7 @@ fn cmd_load(args: &[String]) -> ExitCode {
     }
     let (flight, server) = match start_observability(
         &obs_flags,
-        journeys.as_ref(),
+        journeys.as_ref().or(telemetry_journeys.as_ref()),
         events.as_ref(),
         publisher.as_ref(),
     ) {
@@ -1607,6 +1633,15 @@ fn cmd_load(args: &[String]) -> ExitCode {
     if let Some(h) = observatory {
         h.stop();
     }
+    if telemetry_journeys.is_some() {
+        pipemap_exec::uninstall_telemetry_journeys();
+    }
+    // Sampling completeness as a first-class metric: ring overflows on
+    // either collector mean the journey timeline under-represents the
+    // run, so scrapers (and the doctor) can see how much was lost.
+    let journeys_dropped = journeys.as_ref().map_or(0, |c| c.dropped())
+        + telemetry_journeys.as_ref().map_or(0, |c| c.dropped());
+    pipemap_obs::global().add(pipemap_obs::names::JOURNEY_DROPPED, journeys_dropped);
     if let Some(path) = &journey_out {
         let (sample, events, dropped) = if uds {
             (journey_sample, summary.wire_events.clone(), 0)
@@ -1618,6 +1653,7 @@ fn cmd_load(args: &[String]) -> ExitCode {
         let log = pipemap_doctor::JourneyLog {
             source: "load".to_string(),
             sample,
+            dropped,
             model: pipemap_tool::measured_prediction(&summary),
             events,
         };
@@ -2116,17 +2152,11 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 eprintln!("warn-only: ignoring {} regression(s)", regressions.len());
                 ExitCode::SUCCESS
             } else {
-                let missing = result.missing();
-                let regressed: Vec<&str> = regressions
-                    .iter()
-                    .copied()
-                    .filter(|n| !missing.contains(n))
-                    .collect();
-                if !regressed.is_empty() {
-                    eprintln!("perf regression in: {}", regressed.join(", "));
-                }
-                if !missing.is_empty() {
-                    eprintln!("missing from the current run: {}", missing.join(", "));
+                // Each line names the unit and both values, so the
+                // failure is diagnosable from CI output alone.
+                eprintln!("perf regression in {} metric(s):", regressions.len());
+                for line in result.regression_details() {
+                    eprintln!("  {line}");
                 }
                 ExitCode::FAILURE
             }

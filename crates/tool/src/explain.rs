@@ -28,7 +28,7 @@ use pipemap_obs::Value;
 use crate::sensitivity::{robustness, Robustness};
 
 /// Schema identifier stamped into `--report json` output.
-pub const EXPLAIN_SCHEMA: &str = "pipemap-explain/v1";
+pub const EXPLAIN_SCHEMA: &str = pipemap_obs::schema::EXPLAIN;
 
 /// How [`explain`] runs.
 #[derive(Clone, Copy, Debug)]

@@ -104,6 +104,10 @@ pub struct LoadConfig {
     /// UDS journey sampling: record every n-th data set (0 = off). The
     /// in-process path samples through `journeys` instead.
     pub journey_sample: u64,
+    /// UDS telemetry snapshot period, microseconds (0 = off): workers
+    /// ship metric deltas, resource gauges, and sampled journeys back to
+    /// the parent's global registry while the run is live.
+    pub telemetry_us: u64,
 }
 
 impl Default for LoadConfig {
@@ -129,6 +133,7 @@ impl Default for LoadConfig {
             shed_queue: None,
             calibration: None,
             journey_sample: 0,
+            telemetry_us: 0,
         }
     }
 }
@@ -341,6 +346,7 @@ pub fn wire_plan_for(cfg: &LoadConfig) -> WirePlan {
     plan.flush_us = cfg.flush_us;
     plan.queue_depth = cfg.queue_depth.max(1);
     plan.journey_sample = cfg.journey_sample;
+    plan.telemetry_us = cfg.telemetry_us;
     plan
 }
 

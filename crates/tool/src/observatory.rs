@@ -34,7 +34,7 @@ use pipemap_obs::{
 use pipemap_profile::{OnlineConfig, OnlineModel};
 
 /// Schema identifier stamped into `/model.json`.
-pub const MODEL_SCHEMA: &str = "pipemap-model/v1";
+pub const MODEL_SCHEMA: &str = pipemap_obs::schema::MODEL;
 
 /// Observatory tuning.
 #[derive(Clone, Debug)]
@@ -621,6 +621,7 @@ mod tests {
         let log = JourneyLog {
             source: "live".to_string(),
             sample: 1,
+            dropped: 0,
             model: None,
             events: synth_events(120, &[0.010, 0.020], 60, 1, 3.0),
         };
@@ -635,6 +636,7 @@ mod tests {
         let empty = JourneyLog {
             source: "live".to_string(),
             sample: 1,
+            dropped: 0,
             model: None,
             events: Vec::new(),
         };
@@ -773,6 +775,7 @@ mod tests {
         let log = JourneyLog {
             source: "test".to_string(),
             sample: 1,
+            dropped: 0,
             model: Some(ModelPrediction::from_measured(
                 &["a".into(), "b".into(), "c".into()],
                 &[1, 1, 1],

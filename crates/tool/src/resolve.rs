@@ -20,7 +20,7 @@ use crate::render::render_mapping;
 use crate::report::mapping_json;
 
 /// Schema tag for `pipemap resolve --report json`.
-pub const RESOLVE_SCHEMA: &str = "pipemap-resolve/v1";
+pub const RESOLVE_SCHEMA: &str = pipemap_obs::schema::RESOLVE;
 
 /// One end-to-end resolve run: the retained artifact's old optimum, the
 /// incremental outcome, and the cold re-solve it was verified against.

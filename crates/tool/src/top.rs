@@ -146,6 +146,35 @@ pub struct StageGauge {
     pub send_wait_us: u64,
 }
 
+/// One worker *process*'s numbers, extracted from the telemetry-fed
+/// `exec.worker.s{s}i{i}.p{pid}.*` series of a UDS run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkerGauge {
+    /// Stage index.
+    pub stage: usize,
+    /// Replica (instance) index within the stage.
+    pub instance: usize,
+    /// Worker process id.
+    pub pid: u32,
+    /// Data sets served so far.
+    pub items: u64,
+    /// p99 service seconds over the whole run.
+    pub service_p99_s: f64,
+    /// CPU utilisation of the worker process, percent (from /proc).
+    pub cpu_pct: f64,
+    /// Resident set size, bytes (from /proc).
+    pub rss_bytes: f64,
+    /// Fraction of the last telemetry interval spent serving.
+    pub busy_frac: f64,
+    /// Fraction of the last interval spent starved for input.
+    pub starved_frac: f64,
+    /// Journey events the worker's ring dropped.
+    pub journey_dropped: u64,
+    /// Whether the parent marked this series stale (worker died or its
+    /// telemetry channel broke mid-run).
+    pub stale: bool,
+}
+
 /// One parsed `/snapshot.json` scrape.
 #[derive(Clone, Debug, Default)]
 pub struct Frame {
@@ -155,6 +184,9 @@ pub struct Frame {
     pub latency_p99_s: f64,
     /// Per-stage gauges, in stage order.
     pub stages: Vec<StageGauge>,
+    /// Per-worker-process gauges (UDS runs with telemetry), ordered by
+    /// (stage, instance, pid). Empty on in-process runs.
+    pub workers: Vec<WorkerGauge>,
 }
 
 /// Split `exec.stage{i}.<rest>` into `(i, rest)`.
@@ -163,6 +195,16 @@ fn stage_metric(name: &str) -> Option<(usize, &str)> {
     let dot = rest.find('.')?;
     let idx: usize = rest[..dot].parse().ok()?;
     Some((idx, &rest[dot + 1..]))
+}
+
+/// Split `exec.worker.s{s}i{i}.p{pid}.<rest>` into `(s, i, pid, rest)`.
+fn worker_metric(name: &str) -> Option<(usize, usize, u32, &str)> {
+    let rest = name.strip_prefix("exec.worker.s")?;
+    let (si, rest) = rest.split_once('i')?;
+    let (ii, rest) = rest.split_once('.')?;
+    let rest = rest.strip_prefix('p')?;
+    let (pid, rest) = rest.split_once('.')?;
+    Some((si.parse().ok()?, ii.parse().ok()?, pid.parse().ok()?, rest))
 }
 
 fn stage_slot(stages: &mut Vec<StageGauge>, i: usize) -> &mut StageGauge {
@@ -179,6 +221,21 @@ fn stage_slot(stages: &mut Vec<StageGauge>, i: usize) -> &mut StageGauge {
 /// richer or older producers.
 pub fn parse_frame(snapshot: &Value) -> Frame {
     let mut frame = Frame::default();
+    let mut workers: std::collections::BTreeMap<(usize, usize, u32), WorkerGauge> =
+        std::collections::BTreeMap::new();
+    fn worker_slot(
+        workers: &mut std::collections::BTreeMap<(usize, usize, u32), WorkerGauge>,
+        s: usize,
+        i: usize,
+        pid: u32,
+    ) -> &mut WorkerGauge {
+        workers.entry((s, i, pid)).or_insert_with(|| WorkerGauge {
+            stage: s,
+            instance: i,
+            pid,
+            ..WorkerGauge::default()
+        })
+    }
     if let Some(counters) = snapshot.get("counters").and_then(Value::as_object) {
         for (name, v) in counters {
             let Some(v) = v.as_f64() else { continue };
@@ -190,6 +247,29 @@ pub fn parse_frame(snapshot: &Value) -> Frame {
                     "busy_us" => g.busy_us = v as u64,
                     "recv_wait_us" => g.recv_wait_us = v as u64,
                     "send_wait_us" => g.send_wait_us = v as u64,
+                    _ => {}
+                }
+            } else if let Some((s, i, pid, rest)) = worker_metric(name) {
+                let w = worker_slot(&mut workers, s, i, pid);
+                match rest {
+                    "items" => w.items = v as u64,
+                    "journey_dropped" => w.journey_dropped = v as u64,
+                    _ => {}
+                }
+            }
+        }
+    }
+    if let Some(gauges) = snapshot.get("gauges").and_then(Value::as_object) {
+        for (name, v) in gauges {
+            let Some(v) = v.as_f64() else { continue };
+            if let Some((s, i, pid, rest)) = worker_metric(name) {
+                let w = worker_slot(&mut workers, s, i, pid);
+                match rest {
+                    "cpu_pct" => w.cpu_pct = v,
+                    "rss_bytes" => w.rss_bytes = v,
+                    "busy_frac" => w.busy_frac = v,
+                    "starved_frac" => w.starved_frac = v,
+                    "stale" => w.stale = v != 0.0,
                     _ => {}
                 }
             }
@@ -208,9 +288,13 @@ pub fn parse_frame(snapshot: &Value) -> Frame {
                 g.served = h.get("count").and_then(Value::as_f64).unwrap_or(0.0) as u64;
                 g.mean_s = h.get("mean").and_then(Value::as_f64).unwrap_or(0.0);
                 g.p99_s = h.get("p99").and_then(Value::as_f64).unwrap_or(0.0);
+            } else if let Some((s, i, pid, "service_s")) = worker_metric(name) {
+                let w = worker_slot(&mut workers, s, i, pid);
+                w.service_p99_s = h.get("p99").and_then(Value::as_f64).unwrap_or(0.0);
             }
         }
     }
+    frame.workers = workers.into_values().collect();
     frame
 }
 
@@ -349,8 +433,38 @@ pub fn render_frame(
             sparkline(&state.busy_history(i)),
         ));
     }
+    out.push_str(&render_workers(&frame.workers));
     out.push_str(&render_model(model));
     out.push_str(&render_events(events));
+    out
+}
+
+/// The per-worker-process section (UDS runs with telemetry). Absent
+/// series render nothing, so in-process dashboards are unchanged.
+fn render_workers(workers: &[WorkerGauge]) -> String {
+    if workers.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from(
+        "workers (per process):\n\
+         stage  inst  pid          items    cpu%   rss MB   busy%  starv%   p99 ms  drop  state\n",
+    );
+    for w in workers {
+        out.push_str(&format!(
+            "{:<6} {:<5} {:<8} {:>9}  {:>6.1}  {:>7.1}  {:>6.1}  {:>6.1}  {:>7.3}  {:>4}  {}\n",
+            w.stage,
+            w.instance,
+            w.pid,
+            w.items,
+            w.cpu_pct,
+            w.rss_bytes / (1024.0 * 1024.0),
+            w.busy_frac * 100.0,
+            w.starved_frac * 100.0,
+            w.service_p99_s * 1e3,
+            w.journey_dropped,
+            if w.stale { "STALE" } else { "live" },
+        ));
+    }
     out
 }
 
@@ -629,6 +743,63 @@ mod tests {
         assert!((r1.throughput - 500.0).abs() < 1e-9);
         assert!((r1.busy[0] - 0.8).abs() < 1e-9);
         assert_eq!(state.throughput_history().len(), 2);
+    }
+
+    fn worker_snapshot_doc() -> Value {
+        Value::parse(
+            r#"{
+              "counters": {
+                "exec.worker.s0i0.p4242.items": 600,
+                "exec.worker.s0i1.p4243.items": 400,
+                "exec.worker.s1i0.p4244.items": 1000,
+                "exec.worker.s1i0.p4244.journey_dropped": 7
+              },
+              "gauges": {
+                "exec.worker.s0i0.p4242.cpu_pct": 85.5,
+                "exec.worker.s0i0.p4242.rss_bytes": 10485760,
+                "exec.worker.s0i0.p4242.busy_frac": 0.72,
+                "exec.worker.s0i0.p4242.starved_frac": 0.11,
+                "exec.worker.s0i0.p4242.stale": 0,
+                "exec.worker.s1i0.p4244.stale": 1
+              },
+              "histograms": {
+                "exec.worker.s0i0.p4242.service_s": {"count": 600, "sum": 0.3, "mean": 0.0005, "p50": 0.0004, "p95": 0.001, "p99": 0.002, "max": 0.003}
+              }
+            }"#,
+        )
+        .expect("valid snapshot")
+    }
+
+    #[test]
+    fn parses_worker_rows_from_telemetry_series() {
+        let frame = parse_frame(&worker_snapshot_doc());
+        assert_eq!(frame.workers.len(), 3);
+        let w = &frame.workers[0];
+        assert_eq!((w.stage, w.instance, w.pid), (0, 0, 4242));
+        assert_eq!(w.items, 600);
+        assert!((w.cpu_pct - 85.5).abs() < 1e-9);
+        assert!((w.rss_bytes - 10_485_760.0).abs() < 1e-9);
+        assert!((w.busy_frac - 0.72).abs() < 1e-9);
+        assert!((w.service_p99_s - 0.002).abs() < 1e-12);
+        assert!(!w.stale);
+        let dead = &frame.workers[2];
+        assert_eq!((dead.stage, dead.instance, dead.pid), (1, 0, 4244));
+        assert_eq!(dead.journey_dropped, 7);
+        assert!(dead.stale);
+    }
+
+    #[test]
+    fn renders_worker_rows_with_stale_marking() {
+        let frame = parse_frame(&worker_snapshot_doc());
+        let text = render_workers(&frame.workers);
+        assert!(text.contains("workers (per process):"), "{text}");
+        assert!(text.contains("4242"), "{text}");
+        assert!(text.contains("live"), "{text}");
+        assert!(text.contains("STALE"), "{text}");
+        // In-process snapshots have no worker series and add no section.
+        assert_eq!(render_workers(&[]), "");
+        let plain = parse_frame(&snapshot_doc());
+        assert!(plain.workers.is_empty());
     }
 
     #[test]

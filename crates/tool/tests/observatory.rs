@@ -72,6 +72,7 @@ fn perturbed_des_run_is_tracked_and_localised_end_to_end() {
     let log = JourneyLog {
         source: "des-acceptance".to_string(),
         sample: 1,
+        dropped: 0,
         model: Some(ModelPrediction::from_measured(
             &["a".to_string(), "b".to_string(), "c".to_string()],
             &[1, 1, 1],
